@@ -1,0 +1,40 @@
+//! The propagation kernel `Â · X` (sparse × dense), the hot loop of every
+//! GCN layer. Measured on the normalized adjacency of each dataset preset
+//! at the paper's embedding width (64) and a narrow width for comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lrgcn::data::{Dataset, SplitRatios, SyntheticConfig};
+use lrgcn::tensor::Matrix;
+use std::hint::black_box;
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm");
+    for preset in ["mooc", "games", "yelp"] {
+        let log = SyntheticConfig::by_name(preset)
+            .expect("preset")
+            .scaled(0.5)
+            .generate(1);
+        let ds = Dataset::chronological_split(preset, &log, SplitRatios::default());
+        let adj = ds.train().norm_adjacency();
+        let n = adj.n_rows();
+        for width in [16usize, 64] {
+            let x = Matrix::full(n, width, 0.5);
+            let mut out = vec![0.0f32; n * width];
+            group.throughput(Throughput::Elements((adj.nnz() * width) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{preset}-w{width}"), adj.nnz()),
+                &width,
+                |b, _| {
+                    b.iter(|| {
+                        adj.spmm_into(black_box(x.data()), width, &mut out);
+                        black_box(&out);
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmm);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Supporting analysis: receptive-field saturation per dataset.
+//!
+//! After `k` propagation layers a node's embedding mixes its whole k-hop
+//! neighbourhood; once that neighbourhood is "everything", more layers can
+//! only over-smooth (§I, §IV-A). This binary measures the mean fraction of
+//! the graph inside the k-hop receptive field per dataset replica — the
+//! structural reason the dense MOOC graph over-smooths hardest and
+//! LightGCN's useful depth is so shallow.
+//!
+//! ```text
+//! cargo run -p lrgcn-bench --release --bin exp_khop -- [--scale F] [--seed N]
+//! ```
+
+use lrgcn::graph::khop::{mean_receptive_fraction, saturation_depth};
+use lrgcn_bench::{rule, Args, ExpConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = ExpConfig::parse(&args, 0);
+    const MAX_HOPS: usize = 8;
+    const SAMPLES: usize = 64;
+    println!("RECEPTIVE-FIELD SATURATION (mean fraction of graph within k hops)");
+    rule(86);
+    print!("{:<8} |", "Dataset");
+    for k in 1..=MAX_HOPS {
+        print!(" {:>7}", format!("k={k}"));
+    }
+    println!(" | 90% at");
+    rule(86);
+    for preset in ["mooc", "games", "food", "yelp"] {
+        let ds = cfg.dataset(preset);
+        let adj = ds.train().adjacency();
+        let frac = mean_receptive_fraction(&adj, MAX_HOPS, SAMPLES);
+        print!("{:<8} |", ds.name);
+        for f in frac.iter().skip(1) {
+            print!(" {:>7.3}", f);
+        }
+        match saturation_depth(&adj, 0.9, MAX_HOPS, SAMPLES) {
+            Some(d) => println!(" | {d} hops"),
+            None => println!(" | >{MAX_HOPS}"),
+        }
+    }
+    rule(86);
+    println!(
+        "The denser the graph, the earlier the receptive field saturates — after that\n\
+         depth every extra LightGCN layer only re-mixes shared information (over-smoothing);\n\
+         LayerGCN's refinement (Fig. 6) is what keeps deep layers useful."
+    );
+}

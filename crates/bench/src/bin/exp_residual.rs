@@ -1,0 +1,104 @@
+//! §IV-B ablation: LayerGCN's dynamic layer refinement vs the fixed-weight
+//! residual alternatives it argues against.
+//!
+//! Columns: vanilla GCN (Eq. 1), previous-layer residual (Eq. 22/23),
+//! GCNII-style initial residual at several fixed α, and LayerGCN — all at
+//! the same depth, embedding size and BPR objective, at shallow and deep
+//! settings.
+//!
+//! ```text
+//! cargo run -p lrgcn-bench --release --bin exp_residual -- [--dataset mooc] [--epochs N] [--scale F]
+//! ```
+
+use lrgcn::models::residual::{ResidualFamilyGcn, ResidualGcnConfig, ResidualKind};
+use lrgcn::models::{LayerGcn, LayerGcnConfig, Recommender};
+use lrgcn::train::{train_and_test, TrainConfig};
+use lrgcn_bench::{fmt4, rule, Args, ExpConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = ExpConfig::parse(&args, 60);
+    let ds = cfg.dataset(args.get("dataset").unwrap_or("mooc"));
+    let tc = TrainConfig {
+        max_epochs: cfg.max_epochs,
+        patience: cfg.patience,
+        eval_every: 2,
+        criterion_k: 20,
+        seed: cfg.seed,
+        verbose: cfg.verbose,
+        restore_best: true,
+    };
+    println!("ABLATION (§IV-B): DYNAMIC LAYER REFINEMENT vs FIXED RESIDUAL SCHEMES ({})", ds.name);
+    rule(74);
+    println!(
+        "{:<24} | {:>9} {:>9} | {:>9} {:>9}",
+        "Scheme", "R@20 (4L)", "N@20 (4L)", "R@20 (8L)", "N@20 (8L)"
+    );
+    rule(74);
+    let kinds: Vec<ResidualKind> = vec![
+        ResidualKind::Vanilla,
+        ResidualKind::Residual,
+        ResidualKind::InitialResidual { alpha: 0.1 },
+        ResidualKind::InitialResidual { alpha: 0.3 },
+        ResidualKind::InitialResidual { alpha: 0.5 },
+    ];
+    for kind in kinds {
+        let mut row = Vec::new();
+        let mut name = String::new();
+        for layers in [4usize, 8] {
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            let mut m = ResidualFamilyGcn::new(
+                &ds,
+                ResidualGcnConfig {
+                    kind,
+                    n_layers: layers,
+                    ..Default::default()
+                },
+                &mut rng,
+            );
+            name = m.name();
+            let (_, rep) = train_and_test(&mut m, &ds, &tc, &[20]);
+            row.push((rep.recall(20), rep.ndcg(20)));
+        }
+        println!(
+            "{:<24} | {:>9} {:>9} | {:>9} {:>9}",
+            name,
+            fmt4(row[0].0),
+            fmt4(row[0].1),
+            fmt4(row[1].0),
+            fmt4(row[1].1)
+        );
+    }
+    // LayerGCN at the same depths.
+    let mut row = Vec::new();
+    for layers in [4usize, 8] {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut m = LayerGcn::new(
+            &ds,
+            LayerGcnConfig {
+                n_layers: layers,
+                ..LayerGcnConfig::default()
+            },
+            &mut rng,
+        );
+        let (_, rep) = train_and_test(&mut m, &ds, &tc, &[20]);
+        row.push((rep.recall(20), rep.ndcg(20)));
+    }
+    println!(
+        "{:<24} | {:>9} {:>9} | {:>9} {:>9}",
+        "LayerGCN (dynamic)",
+        fmt4(row[0].0),
+        fmt4(row[0].1),
+        fmt4(row[1].0),
+        fmt4(row[1].1)
+    );
+    rule(74);
+    println!(
+        "The paper's §IV-B argument: fixed-value skips (previous-layer or initial\n\
+         residual with hand-tuned α) lack per-node, per-layer flexibility; LayerGCN's\n\
+         similarity-driven weighting should match or beat every fixed scheme,\n\
+         especially at depth 8."
+    );
+}

@@ -1,0 +1,181 @@
+//! Table II — overall performance comparison.
+//!
+//! Trains every model of the paper's Table II on the four synthetic dataset
+//! replicas and prints R@{10,20,50} / N@{10,20,50} per model, the best
+//! baseline (underlined in the paper), LayerGCN's improvement %, and — with
+//! `--tseeds K` — the paired t-test of LayerGCN (Full) vs the best baseline
+//! across K seeds (the paper uses 5, p < 0.05).
+//!
+//! ```text
+//! cargo run -p lrgcn-bench --release --bin exp_table2 -- \
+//!     [--datasets mooc,games,food,yelp] [--models light,layer,...] \
+//!     [--epochs N] [--scale F] [--seed N] [--tseeds K]
+//! ```
+
+use lrgcn::eval::paired_t_test;
+use lrgcn::models::ModelKind;
+use lrgcn::train::{train_and_test, TrainConfig};
+use lrgcn_bench::{fmt4, rule, Args, ExpConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const KS: [usize; 3] = [10, 20, 50];
+
+fn run_model(
+    kind: ModelKind,
+    ds: &lrgcn::data::Dataset,
+    cfg: &ExpConfig,
+    seed: u64,
+) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = kind.build(ds, &mut rng);
+    let tc = TrainConfig {
+        max_epochs: cfg.max_epochs,
+        patience: cfg.patience,
+        eval_every: 2,
+        criterion_k: 20,
+        seed,
+        verbose: cfg.verbose,
+        restore_best: true,
+    };
+    let (_, rep) = train_and_test(&mut *model, ds, &tc, &KS);
+    let mut row = Vec::with_capacity(6);
+    for k in KS {
+        row.push(rep.recall(k));
+    }
+    for k in KS {
+        row.push(rep.ndcg(k));
+    }
+    row
+}
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = ExpConfig::parse(&args, 80);
+    let t_seeds: usize = args.get_parsed("tseeds", 0usize);
+    let models: Vec<ModelKind> = match args.get("models") {
+        Some(spec) => spec
+            .split(',')
+            .map(|m| ModelKind::parse(m).unwrap_or_else(|| panic!("unknown model {m:?}")))
+            .collect(),
+        None => ModelKind::all(),
+    };
+    println!("TABLE II: OVERALL PERFORMANCE COMPARISON");
+    println!(
+        "(synthetic replicas; scale {}, seed {}, max {} epochs, patience {})",
+        cfg.scale, cfg.seed, cfg.max_epochs, cfg.patience
+    );
+
+    for dataset in ExpConfig::datasets(&args) {
+        let ds = cfg.dataset(&dataset);
+        println!();
+        println!(
+            "== {} ({} users, {} items, {} train edges) ==",
+            dataset.to_uppercase(),
+            ds.n_users(),
+            ds.n_items(),
+            ds.train().n_edges()
+        );
+        rule(110);
+        println!(
+            "{:<14} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+            "Model", "R@10", "R@20", "R@50", "N@10", "N@20", "N@50"
+        );
+        rule(110);
+        let mut results: Vec<(ModelKind, Vec<f64>)> = Vec::new();
+        for &kind in &models {
+            let t = std::time::Instant::now();
+            let row = run_model(kind, &ds, &cfg, cfg.seed);
+            println!(
+                "{:<14} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}   ({:.1}s)",
+                kind.label(),
+                fmt4(row[0]),
+                fmt4(row[1]),
+                fmt4(row[2]),
+                fmt4(row[3]),
+                fmt4(row[4]),
+                fmt4(row[5]),
+                t.elapsed().as_secs_f64()
+            );
+            results.push((kind, row));
+        }
+        rule(110);
+
+        // Improvement of LayerGCN (Full) over the best baseline per metric.
+        let layer_full = results
+            .iter()
+            .find(|(k, _)| *k == ModelKind::LayerGcnFull)
+            .map(|(_, r)| r.clone());
+        let baselines: Vec<&(ModelKind, Vec<f64>)> = results
+            .iter()
+            .filter(|(k, _)| {
+                !matches!(k, ModelKind::LayerGcnFull | ModelKind::LayerGcnNoDrop)
+            })
+            .collect();
+        if let (Some(full), false) = (layer_full, baselines.is_empty()) {
+            let headers = ["R@10", "R@20", "R@50", "N@10", "N@20", "N@50"];
+            print!("{:<14} |", "best baseline");
+            let mut best_vals = Vec::new();
+            for m in 0..6 {
+                let (bk, bv) = baselines
+                    .iter()
+                    .map(|(k, r)| (k, r[m]))
+                    .fold((&ModelKind::Bpr, f64::MIN), |acc, (k, v)| {
+                        if v > acc.1 {
+                            (k, v)
+                        } else {
+                            acc
+                        }
+                    });
+                best_vals.push(bv);
+                print!(" {:>8}", format!("{}*", bk.label().chars().take(7).collect::<String>()));
+                if m == 2 {
+                    print!(" |");
+                }
+            }
+            println!();
+            print!("{:<14} |", "improv. (%)");
+            for (m, h) in headers.iter().enumerate() {
+                let _ = h;
+                let imp = (full[m] - best_vals[m]) * 100.0 / best_vals[m].max(1e-12);
+                print!(" {:>8}", format!("{imp:+.2}"));
+                if m == 2 {
+                    print!(" |");
+                }
+            }
+            println!();
+            rule(110);
+        }
+
+        // Optional multi-seed significance check (paper footnote, Table II).
+        if t_seeds >= 2 {
+            let best_kind = baselines
+                .iter()
+                .max_by(|a, b| a.1[1].partial_cmp(&b.1[1]).expect("finite"))
+                .map(|(k, _)| *k)
+                .expect("at least one baseline");
+            println!(
+                "paired t-test over {t_seeds} seeds: LayerGCN (Full) vs {} on R@20",
+                best_kind.label()
+            );
+            let mut ours = Vec::new();
+            let mut theirs = Vec::new();
+            for s in 0..t_seeds as u64 {
+                ours.push(run_model(ModelKind::LayerGcnFull, &ds, &cfg, cfg.seed + s)[1]);
+                theirs.push(run_model(best_kind, &ds, &cfg, cfg.seed + s)[1]);
+            }
+            let t = paired_t_test(&ours, &theirs);
+            println!(
+                "  mean diff {:+.4}, t = {:.3}, p = {:.4} ({})",
+                t.mean_difference,
+                t.t_statistic,
+                t.p_value,
+                if t.p_value < 0.05 && t.mean_difference > 0.0 {
+                    "significant at p < 0.05"
+                } else {
+                    "not significant"
+                }
+            );
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Table IV — DegreeDrop vs DropEdge at fixed epochs (20, 50) and at the
+//! best epoch, on all four datasets.
+//!
+//! ```text
+//! cargo run -p lrgcn-bench --release --bin exp_table4 -- \
+//!     [--datasets mooc,...] [--ratio 0.1] [--epochs N] [--scale F]
+//! ```
+
+use lrgcn::data::Dataset;
+use lrgcn::eval::{evaluate_ranking, Split};
+use lrgcn::graph::EdgePruner;
+use lrgcn::models::{LayerGcn, LayerGcnConfig, Recommender};
+use lrgcn_bench::{fmt4, rule, Args, ExpConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const KS: [usize; 2] = [20, 50];
+
+struct Snapshot {
+    r20: f64,
+    r50: f64,
+    n20: f64,
+    n50: f64,
+}
+
+fn snapshot(model: &mut LayerGcn, ds: &Dataset) -> Snapshot {
+    model.refresh(ds);
+    let rep = evaluate_ranking(ds, Split::Test, &KS, 256, &mut |u| model.score_users(ds, u));
+    Snapshot {
+        r20: rep.recall(20),
+        r50: rep.recall(50),
+        n20: rep.ndcg(20),
+        n50: rep.ndcg(50),
+    }
+}
+
+/// Trains and captures test metrics at fixed epochs and at the epoch with
+/// the best validation R@20. Returns (at20, at50, best, best_epoch).
+fn run(
+    ds: &Dataset,
+    pruner: EdgePruner,
+    max_epochs: usize,
+    seed: u64,
+) -> (Snapshot, Snapshot, Snapshot, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = LayerGcnConfig {
+        pruner,
+        ..LayerGcnConfig::default()
+    };
+    let mut m = LayerGcn::new(ds, cfg, &mut rng);
+    let mut at20 = None;
+    let mut at50 = None;
+    let mut best: Option<(f64, Snapshot, usize)> = None;
+    for epoch in 0..max_epochs {
+        m.train_epoch(ds, epoch, &mut rng);
+        let e1 = epoch + 1;
+        if e1 == 20 {
+            at20 = Some(snapshot(&mut m, ds));
+        }
+        if e1 == 50 {
+            at50 = Some(snapshot(&mut m, ds));
+        }
+        if e1 % 5 == 0 || e1 == max_epochs {
+            m.refresh(ds);
+            let val = evaluate_ranking(ds, Split::Val, &[20], 256, &mut |u| {
+                m.score_users(ds, u)
+            })
+            .recall(20);
+            if best.as_ref().map(|(bv, _, _)| val > *bv).unwrap_or(true) {
+                let snap = snapshot(&mut m, ds);
+                best = Some((val, snap, e1));
+            }
+        }
+    }
+    let final_snap = snapshot(&mut m, ds);
+    let (best_snap, best_epoch) = match best {
+        Some((_, s, e)) => (s, e),
+        None => (final_snap, max_epochs),
+    };
+    (
+        at20.unwrap_or_else(|| snapshot(&mut m, ds)),
+        at50.unwrap_or_else(|| snapshot(&mut m, ds)),
+        best_snap,
+        best_epoch,
+    )
+}
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = ExpConfig::parse(&args, 80);
+    let ratio: f32 = args.get_parsed("ratio", 0.1f32);
+    println!("TABLE IV: DEGREEDROP vs DROPEDGE ACROSS TRAINING EPOCHS (ratio {ratio})");
+    rule(86);
+    println!(
+        "{:<8} {:<11} {:>6} | {:>8} {:>8} {:>8} {:>8}",
+        "Dataset", "Variant", "Epoch", "R@20", "R@50", "N@20", "N@50"
+    );
+    rule(86);
+    for dataset in ExpConfig::datasets(&args) {
+        let ds = cfg.dataset(&dataset);
+        for (name, pruner) in [
+            ("DropEdge", EdgePruner::DropEdge { ratio }),
+            ("DegreeDrop", EdgePruner::DegreeDrop { ratio }),
+        ] {
+            let (a20, a50, best, be) = run(&ds, pruner, cfg.max_epochs, cfg.seed);
+            for (label, s) in [
+                ("20".to_string(), a20),
+                ("50".to_string(), a50),
+                (format!("Best({be})"), best),
+            ] {
+                println!(
+                    "{:<8} {:<11} {:>6} | {:>8} {:>8} {:>8} {:>8}",
+                    ds.name,
+                    name,
+                    label,
+                    fmt4(s.r20),
+                    fmt4(s.r50),
+                    fmt4(s.n20),
+                    fmt4(s.n50)
+                );
+            }
+        }
+        rule(86);
+    }
+    println!(
+        "Shape check: DegreeDrop should match or beat DropEdge at the best epoch on every\n\
+         dataset, with the clearest margin on the dense MOOC replica (§V-C2/C4)."
+    );
+}

@@ -1,0 +1,76 @@
+//! Table V — LayerGCN with Mixed (alternating DegreeDrop / DropEdge)
+//! pruning, compared against the pure policies.
+//!
+//! Expected ordering (paper, §V-C3): DegreeDrop ≥ Mixed ≥ DropEdge in most
+//! cases.
+//!
+//! ```text
+//! cargo run -p lrgcn-bench --release --bin exp_table5 -- \
+//!     [--datasets mooc,...] [--ratio 0.1] [--epochs N] [--scale F]
+//! ```
+
+use lrgcn::graph::EdgePruner;
+use lrgcn::models::{LayerGcn, LayerGcnConfig};
+use lrgcn::train::{train_and_test, TrainConfig};
+use lrgcn_bench::{fmt4, rule, Args, ExpConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = ExpConfig::parse(&args, 80);
+    let ratio: f32 = args.get_parsed("ratio", 0.1f32);
+    let tc = TrainConfig {
+        max_epochs: cfg.max_epochs,
+        patience: cfg.patience,
+        eval_every: 2,
+        criterion_k: 20,
+        seed: cfg.seed,
+        verbose: cfg.verbose,
+        restore_best: true,
+    };
+    println!("TABLE V: PERFORMANCE OF LAYERGCN WITH MIXED DEGREEDROP AND DROPEDGE (ratio {ratio})");
+    rule(84);
+    println!(
+        "{:<8} {:<12} | {:>8} {:>8} {:>8} {:>8}",
+        "Dataset", "DropoutType", "R@20", "R@50", "N@20", "N@50"
+    );
+    rule(84);
+    for dataset in ExpConfig::datasets(&args) {
+        let ds = cfg.dataset(&dataset);
+        let mut r20s = Vec::new();
+        for (name, pruner) in [
+            ("DropEdge", EdgePruner::DropEdge { ratio }),
+            ("Mixed", EdgePruner::Mixed { ratio }),
+            ("DegreeDrop", EdgePruner::DegreeDrop { ratio }),
+        ] {
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            let mcfg = LayerGcnConfig {
+                pruner,
+                ..LayerGcnConfig::default()
+            };
+            let mut m = LayerGcn::new(&ds, mcfg, &mut rng);
+            let (_, rep) = train_and_test(&mut m, &ds, &tc, &[20, 50]);
+            println!(
+                "{:<8} {:<12} | {:>8} {:>8} {:>8} {:>8}",
+                ds.name,
+                name,
+                fmt4(rep.recall(20)),
+                fmt4(rep.recall(50)),
+                fmt4(rep.ndcg(20)),
+                fmt4(rep.ndcg(50))
+            );
+            r20s.push(rep.recall(20));
+        }
+        rule(84);
+        let ok = r20s[2] >= r20s[0] - 1e-9;
+        println!(
+            "  {}: DegreeDrop ({:.4}) vs DropEdge ({:.4}); Mixed in between at {:.4}",
+            if ok { "shape holds" } else { "shape inverted on this seed" },
+            r20s[2],
+            r20s[0],
+            r20s[1]
+        );
+        rule(84);
+    }
+}

@@ -1,0 +1,326 @@
+//! # lrgcn-cli — command-line workflows for the LayerGCN recommender
+//!
+//! Four subcommands over `user item [timestamp]` text logs:
+//!
+//! ```text
+//! lrgcn stats     --input interactions.tsv [--kcore K]
+//! lrgcn train     --input interactions.tsv --save model.ckpt
+//!                 [--model layergcn|lightgcn|bpr|...] [--epochs N] [--kcore K]
+//!                 [--layers L] [--dropout R] [--lambda F] [--seed S]
+//! lrgcn evaluate  --input interactions.tsv --load model.ckpt [--ks 10,20,50]
+//! lrgcn recommend --input interactions.tsv --load model.ckpt --user ID [--k N]
+//! ```
+//!
+//! `train` currently checkpoints LayerGCN (the other models train and
+//! report, but only LayerGCN has a stable checkpoint format); `evaluate`
+//! and `recommend` rebuild the dataset with the same flags, so pass the
+//! same `--kcore`/`--seed` used at training time.
+
+use lrgcn::data::{kcore, loader, Dataset, InteractionLog, SplitRatios};
+use lrgcn::eval::{evaluate_ranking, Split};
+use lrgcn::models::{LayerGcn, LayerGcnConfig, ModelKind, Recommender};
+use lrgcn::graph::EdgePruner;
+use lrgcn::train::{train_with_early_stopping, TrainConfig};
+use lrgcn_bench::Args;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Exit-style result: user-facing message on failure.
+pub type CliResult = Result<(), String>;
+
+/// Dispatches a full command line (without argv[0]).
+pub fn run(tokens: Vec<String>) -> CliResult {
+    let Some((cmd, rest)) = tokens.split_first() else {
+        return Err(usage());
+    };
+    let args = Args::from_tokens(rest.to_vec());
+    match cmd.as_str() {
+        "stats" => cmd_stats(&args),
+        "train" => cmd_train(&args),
+        "evaluate" => cmd_evaluate(&args),
+        "recommend" => cmd_recommend(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: lrgcn <stats|train|evaluate|recommend> --input FILE [options]\n\
+     run `lrgcn help` or see the crate docs for the full option list"
+        .to_string()
+}
+
+/// Loads the interaction log with optional k-core filtering.
+pub fn load_log(args: &Args) -> Result<InteractionLog, String> {
+    let path = args.get("input").ok_or("missing --input FILE")?;
+    let log = loader::load_interactions(path).map_err(|e| format!("loading {path}: {e}"))?;
+    let k: u32 = args.get_parsed("kcore", 0u32);
+    Ok(if k > 1 { kcore::k_core(&log, k) } else { log })
+}
+
+/// Loads and chronologically splits the dataset.
+pub fn load_dataset(args: &Args) -> Result<Dataset, String> {
+    let log = load_log(args)?;
+    if log.is_empty() {
+        return Err("no interactions left after filtering".into());
+    }
+    Ok(Dataset::chronological_split(
+        args.get("input").unwrap_or("dataset"),
+        &log,
+        SplitRatios::default(),
+    ))
+}
+
+fn cmd_stats(args: &Args) -> CliResult {
+    let log = load_log(args)?;
+    let s = lrgcn::data::DatasetStats::of(args.get("input").unwrap_or("dataset"), &log);
+    println!("users         {:>12}", s.n_users);
+    println!("items         {:>12}", s.n_items);
+    println!("interactions  {:>12}", s.n_interactions);
+    println!("sparsity      {:>11.4}%", s.sparsity_pct);
+    println!("mean user deg {:>12.2}", s.mean_user_degree);
+    println!("mean item deg {:>12.2}", s.mean_item_degree);
+    let ds = Dataset::chronological_split("d", &log, SplitRatios::default());
+    let (v, t) = ds.heldout_sizes();
+    println!(
+        "70/10/20 split: {} train edges, {} val, {} test interactions",
+        ds.train().n_edges(),
+        v,
+        t
+    );
+    Ok(())
+}
+
+fn layergcn_config(args: &Args) -> LayerGcnConfig {
+    let ratio: f32 = args.get_parsed("dropout", 0.1f32);
+    LayerGcnConfig {
+        n_layers: args.get_parsed("layers", 4usize),
+        lambda: args.get_parsed("lambda", 1e-3f32),
+        learning_rate: args.get_parsed("lr", 1e-3f32),
+        pruner: if ratio > 0.0 {
+            EdgePruner::DegreeDrop { ratio }
+        } else {
+            EdgePruner::None
+        },
+        ..LayerGcnConfig::default()
+    }
+}
+
+fn train_config(args: &Args) -> TrainConfig {
+    TrainConfig {
+        max_epochs: args.get_parsed("epochs", 60usize),
+        patience: args.get_parsed("patience", 10usize),
+        eval_every: 2,
+        criterion_k: 20,
+        seed: args.get_parsed("seed", 2023u64),
+        verbose: args.has_flag("verbose"),
+        restore_best: true,
+    }
+}
+
+fn cmd_train(args: &Args) -> CliResult {
+    let ds = load_dataset(args)?;
+    let tc = train_config(args);
+    let model_name = args.get("model").unwrap_or("layergcn");
+    println!(
+        "training {model_name} on {} users / {} items / {} interactions",
+        ds.n_users(),
+        ds.n_items(),
+        ds.train().n_edges()
+    );
+    if model_name.eq_ignore_ascii_case("layergcn") {
+        let mut rng = StdRng::seed_from_u64(tc.seed);
+        let mut model = LayerGcn::new(&ds, layergcn_config(args), &mut rng);
+        let out = train_with_early_stopping(&mut model, &ds, &tc);
+        println!(
+            "done: {} epochs, best val R@20 {:.4} at epoch {}",
+            out.epochs_run, out.best_val_metric, out.best_epoch
+        );
+        if let Some(path) = args.get("save") {
+            model.save(path).map_err(|e| format!("saving {path}: {e}"))?;
+            println!("checkpoint written to {path}");
+        }
+    } else {
+        let kind = ModelKind::parse(model_name)
+            .ok_or_else(|| format!("unknown model {model_name:?}"))?;
+        let mut rng = StdRng::seed_from_u64(tc.seed);
+        let mut model = kind.build(&ds, &mut rng);
+        let out = train_with_early_stopping(&mut *model, &ds, &tc);
+        println!(
+            "done: {} epochs, best val R@20 {:.4} at epoch {}",
+            out.epochs_run, out.best_val_metric, out.best_epoch
+        );
+        if args.get("save").is_some() {
+            return Err("--save currently supports only --model layergcn".into());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(args: &Args) -> CliResult {
+    let ds = load_dataset(args)?;
+    let path = args.get("load").ok_or("missing --load CHECKPOINT")?;
+    let mut rng = StdRng::seed_from_u64(args.get_parsed("seed", 2023u64));
+    let mut model = LayerGcn::new(&ds, layergcn_config(args), &mut rng);
+    model.load(path).map_err(|e| format!("loading {path}: {e}"))?;
+    model.refresh(&ds);
+    let ks: Vec<usize> = args
+        .get("ks")
+        .unwrap_or("10,20,50")
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("bad K {s:?}")))
+        .collect::<Result<_, _>>()?;
+    let rep = evaluate_ranking(&ds, Split::Test, &ks, 256, &mut |u| model.score_users(&ds, u));
+    println!("test users: {}", rep.n_users);
+    println!("{}", rep.summary());
+    Ok(())
+}
+
+fn cmd_recommend(args: &Args) -> CliResult {
+    let ds = load_dataset(args)?;
+    let path = args.get("load").ok_or("missing --load CHECKPOINT")?;
+    let user: u32 = args
+        .get("user")
+        .ok_or("missing --user ID")?
+        .parse()
+        .map_err(|_| "bad --user id")?;
+    if user as usize >= ds.n_users() {
+        return Err(format!("user {user} out of range (0..{})", ds.n_users()));
+    }
+    let k: usize = args.get_parsed("k", 10usize);
+    let mut rng = StdRng::seed_from_u64(args.get_parsed("seed", 2023u64));
+    let mut model = LayerGcn::new(&ds, layergcn_config(args), &mut rng);
+    model.load(path).map_err(|e| format!("loading {path}: {e}"))?;
+    model.refresh(&ds);
+    let mut scores = model.score_users(&ds, &[user]);
+    let row = scores.row_mut(0);
+    for &it in ds.train_items(user) {
+        row[it as usize] = f32::NEG_INFINITY;
+    }
+    let top = lrgcn::eval::topk::top_k_indices(row, k);
+    println!("top-{k} items for user {user} (trained on {} items):", ds.train_items(user).len());
+    for (rank, item) in top.iter().enumerate() {
+        println!("{:>3}. item {}", rank + 1, item);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrgcn::data::SyntheticConfig;
+
+    fn write_fixture(dir: &std::path::Path) -> std::path::PathBuf {
+        std::fs::create_dir_all(dir).expect("mkdir");
+        let path = dir.join("interactions.tsv");
+        let log = SyntheticConfig::games().scaled(0.1).generate(13);
+        loader::save_interactions(&path, &log).expect("write tsv");
+        path
+    }
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn unknown_command_errors_with_usage() {
+        let err = run(argv("frobnicate")).expect_err("must fail");
+        assert!(err.contains("unknown command"));
+        assert!(run(vec![]).is_err());
+        assert!(run(argv("help")).is_ok());
+    }
+
+    #[test]
+    fn stats_runs_on_fixture() {
+        let dir = std::env::temp_dir().join("lrgcn_cli_stats");
+        let path = write_fixture(&dir);
+        run(argv(&format!("stats --input {}", path.display()))).expect("stats");
+        run(argv(&format!("stats --input {} --kcore 2", path.display()))).expect("stats kcore");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn train_evaluate_recommend_roundtrip() {
+        let dir = std::env::temp_dir().join("lrgcn_cli_roundtrip");
+        let path = write_fixture(&dir);
+        let ckpt = dir.join("model.ckpt");
+        run(argv(&format!(
+            "train --input {} --save {} --epochs 3 --seed 5",
+            path.display(),
+            ckpt.display()
+        )))
+        .expect("train");
+        assert!(ckpt.exists());
+        run(argv(&format!(
+            "evaluate --input {} --load {} --ks 10,20 --seed 5",
+            path.display(),
+            ckpt.display()
+        )))
+        .expect("evaluate");
+        run(argv(&format!(
+            "recommend --input {} --load {} --user 0 --k 5 --seed 5",
+            path.display(),
+            ckpt.display()
+        )))
+        .expect("recommend");
+        std::fs::remove_file(&ckpt).ok();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn train_other_models_without_save() {
+        let dir = std::env::temp_dir().join("lrgcn_cli_other");
+        let path = write_fixture(&dir);
+        run(argv(&format!(
+            "train --input {} --model lightgcn --epochs 2",
+            path.display()
+        )))
+        .expect("train lightgcn");
+        let err = run(argv(&format!(
+            "train --input {} --model lightgcn --epochs 1 --save /tmp/x.ckpt",
+            path.display()
+        )))
+        .expect_err("save unsupported");
+        assert!(err.contains("--save"));
+        let err2 = run(argv(&format!(
+            "train --input {} --model doesnotexist",
+            path.display()
+        )))
+        .expect_err("unknown model");
+        assert!(err2.contains("unknown model"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn recommend_validates_user_range() {
+        let dir = std::env::temp_dir().join("lrgcn_cli_range");
+        let path = write_fixture(&dir);
+        let ckpt = dir.join("m.ckpt");
+        run(argv(&format!(
+            "train --input {} --save {} --epochs 1",
+            path.display(),
+            ckpt.display()
+        )))
+        .expect("train");
+        let err = run(argv(&format!(
+            "recommend --input {} --load {} --user 999999",
+            path.display(),
+            ckpt.display()
+        )))
+        .expect_err("out of range");
+        assert!(err.contains("out of range"));
+        std::fs::remove_file(&ckpt).ok();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_input_is_a_clear_error() {
+        let err = run(argv("stats")).expect_err("must fail");
+        assert!(err.contains("--input"));
+        let err2 = run(argv("evaluate --input /nonexistent/file.tsv --load x")).expect_err("fail");
+        assert!(err2.contains("loading"));
+    }
+}

@@ -1,0 +1,10 @@
+//! `lrgcn` — train, evaluate and serve LayerGCN recommendations from the
+//! command line. See the crate docs (`lrgcn-cli`) for the full usage.
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(msg) = lrgcn_cli::run(tokens) {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}

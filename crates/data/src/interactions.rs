@@ -1,0 +1,203 @@
+//! Timestamped user–item interaction logs.
+//!
+//! The paper evaluates under a *chronological* split (§V-A), so the raw unit
+//! of data is an [`Interaction`] with a timestamp, collected in an
+//! [`InteractionLog`]. Graph construction happens later, after splitting
+//! (see [`crate::split`]).
+
+/// One observed user–item interaction (implicit feedback).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interaction {
+    pub user: u32,
+    pub item: u32,
+    /// Arbitrary monotone timestamp unit (seconds, ticks, …).
+    pub timestamp: i64,
+}
+
+/// A log of interactions with known user/item universes.
+#[derive(Clone, Debug)]
+pub struct InteractionLog {
+    n_users: usize,
+    n_items: usize,
+    interactions: Vec<Interaction>,
+}
+
+impl InteractionLog {
+    /// Builds a log, validating id ranges.
+    ///
+    /// # Panics
+    /// Panics if any interaction references an out-of-range user/item.
+    pub fn new(n_users: usize, n_items: usize, interactions: Vec<Interaction>) -> Self {
+        for it in &interactions {
+            assert!(
+                (it.user as usize) < n_users && (it.item as usize) < n_items,
+                "interaction ({}, {}) out of range",
+                it.user,
+                it.item
+            );
+        }
+        Self {
+            n_users,
+            n_items,
+            interactions,
+        }
+    }
+
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    pub fn len(&self) -> usize {
+        self.interactions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.interactions.is_empty()
+    }
+
+    pub fn interactions(&self) -> &[Interaction] {
+        &self.interactions
+    }
+
+    /// Sorts by timestamp (stable, so ties keep log order) — the first step
+    /// of the chronological splitting strategy.
+    pub fn sort_chronologically(&mut self) {
+        self.interactions.sort_by_key(|it| it.timestamp);
+    }
+
+    /// Removes duplicate `(user, item)` pairs, keeping the earliest
+    /// occurrence. Preserves chronological order of the survivors.
+    pub fn dedup_pairs(&mut self) {
+        self.sort_chronologically();
+        let mut seen = std::collections::HashSet::with_capacity(self.interactions.len());
+        self.interactions.retain(|it| seen.insert((it.user, it.item)));
+    }
+
+    /// Re-labels users and items densely so that every id in `0..n` occurs,
+    /// dropping nothing. Returns the (old → new) maps.
+    pub fn compact_ids(&mut self) -> (Vec<Option<u32>>, Vec<Option<u32>>) {
+        let mut umap: Vec<Option<u32>> = vec![None; self.n_users];
+        let mut imap: Vec<Option<u32>> = vec![None; self.n_items];
+        let mut nu = 0u32;
+        let mut ni = 0u32;
+        for it in &mut self.interactions {
+            let u = &mut umap[it.user as usize];
+            if u.is_none() {
+                *u = Some(nu);
+                nu += 1;
+            }
+            it.user = u.expect("just set");
+            let i = &mut imap[it.item as usize];
+            if i.is_none() {
+                *i = Some(ni);
+                ni += 1;
+            }
+            it.item = i.expect("just set");
+        }
+        self.n_users = nu as usize;
+        self.n_items = ni as usize;
+        (umap, imap)
+    }
+
+    /// Per-user interaction counts.
+    pub fn user_counts(&self) -> Vec<u32> {
+        let mut c = vec![0u32; self.n_users];
+        for it in &self.interactions {
+            c[it.user as usize] += 1;
+        }
+        c
+    }
+
+    /// Per-item interaction counts.
+    pub fn item_counts(&self) -> Vec<u32> {
+        let mut c = vec![0u32; self.n_items];
+        for it in &self.interactions {
+            c[it.item as usize] += 1;
+        }
+        c
+    }
+
+    /// Keeps only interactions satisfying `pred`, preserving order.
+    pub fn retain(&mut self, pred: impl FnMut(&Interaction) -> bool) {
+        self.interactions.retain(pred);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log() -> InteractionLog {
+        InteractionLog::new(
+            3,
+            3,
+            vec![
+                Interaction { user: 0, item: 1, timestamp: 30 },
+                Interaction { user: 1, item: 2, timestamp: 10 },
+                Interaction { user: 0, item: 1, timestamp: 20 },
+                Interaction { user: 2, item: 0, timestamp: 40 },
+            ],
+        )
+    }
+
+    #[test]
+    fn sort_orders_by_time() {
+        let mut l = log();
+        l.sort_chronologically();
+        let ts: Vec<i64> = l.interactions().iter().map(|i| i.timestamp).collect();
+        assert_eq!(ts, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn dedup_keeps_earliest() {
+        let mut l = log();
+        l.dedup_pairs();
+        assert_eq!(l.len(), 3);
+        let kept = l
+            .interactions()
+            .iter()
+            .find(|i| i.user == 0 && i.item == 1)
+            .expect("pair kept");
+        assert_eq!(kept.timestamp, 20);
+    }
+
+    #[test]
+    fn compact_relabels_densely() {
+        let mut l = InteractionLog::new(
+            10,
+            10,
+            vec![
+                Interaction { user: 7, item: 9, timestamp: 1 },
+                Interaction { user: 2, item: 9, timestamp: 2 },
+            ],
+        );
+        let (umap, imap) = l.compact_ids();
+        assert_eq!(l.n_users(), 2);
+        assert_eq!(l.n_items(), 1);
+        assert_eq!(umap[7], Some(0));
+        assert_eq!(umap[2], Some(1));
+        assert_eq!(imap[9], Some(0));
+        assert!(umap[0].is_none());
+    }
+
+    #[test]
+    fn counts() {
+        let l = log();
+        assert_eq!(l.user_counts(), vec![2, 1, 1]);
+        assert_eq!(l.item_counts(), vec![1, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let _ = InteractionLog::new(
+            1,
+            1,
+            vec![Interaction { user: 1, item: 0, timestamp: 0 }],
+        );
+    }
+}

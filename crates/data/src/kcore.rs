@@ -1,0 +1,101 @@
+//! Iterative k-core filtering.
+//!
+//! The paper preprocesses Games/Food with a 5-core setting and Yelp with a
+//! 10-core setting on both users and items (§V-A1): repeatedly remove every
+//! user and item with fewer than `k` interactions until the log stabilizes.
+
+use crate::interactions::InteractionLog;
+
+/// Applies iterative k-core filtering (same `k` for users and items),
+/// then compacts ids. Returns the filtered log.
+pub fn k_core(log: &InteractionLog, k: u32) -> InteractionLog {
+    k_core_asymmetric(log, k, k)
+}
+
+/// k-core with different thresholds for users and items.
+pub fn k_core_asymmetric(log: &InteractionLog, user_k: u32, item_k: u32) -> InteractionLog {
+    let mut current = log.clone();
+    loop {
+        let uc = current.user_counts();
+        let ic = current.item_counts();
+        let before = current.len();
+        current.retain(|it| uc[it.user as usize] >= user_k && ic[it.item as usize] >= item_k);
+        if current.len() == before {
+            break;
+        }
+    }
+    current.compact_ids();
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interactions::Interaction;
+
+    fn mk(user: u32, item: u32, t: i64) -> Interaction {
+        Interaction { user, item, timestamp: t }
+    }
+
+    #[test]
+    fn removes_low_degree_nodes_iteratively() {
+        // u0: items {0,1}; u1: items {0,1}; u2: item {2} only.
+        // 2-core: u2 and item 2 fall out; everything else has degree 2.
+        let log = InteractionLog::new(
+            3,
+            3,
+            vec![mk(0, 0, 0), mk(0, 1, 1), mk(1, 0, 2), mk(1, 1, 3), mk(2, 2, 4)],
+        );
+        let f = k_core(&log, 2);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.n_users(), 2);
+        assert_eq!(f.n_items(), 2);
+    }
+
+    #[test]
+    fn cascade_removal() {
+        // A chain: removing the tail user drops an item below threshold,
+        // which in turn drops another user.
+        // u0 - i0, i1;  u1 - i1;  (nothing else)
+        // 2-core: u1 has degree 1 -> removed; i1 then has degree 1 ->
+        // removed; u0 then has degree 1 -> removed; i0 degree 0 -> empty.
+        let log = InteractionLog::new(2, 2, vec![mk(0, 0, 0), mk(0, 1, 1), mk(1, 1, 2)]);
+        let f = k_core(&log, 2);
+        assert!(f.is_empty());
+        assert_eq!(f.n_users(), 0);
+    }
+
+    #[test]
+    fn one_core_is_identity_up_to_compaction() {
+        let log = InteractionLog::new(3, 3, vec![mk(0, 0, 0), mk(2, 2, 1)]);
+        let f = k_core(&log, 1);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.n_users(), 2);
+        assert_eq!(f.n_items(), 2);
+    }
+
+    #[test]
+    fn asymmetric_thresholds() {
+        // u0 has 2 interactions, items each have 1.
+        let log = InteractionLog::new(1, 2, vec![mk(0, 0, 0), mk(0, 1, 1)]);
+        assert_eq!(k_core_asymmetric(&log, 2, 1).len(), 2);
+        assert!(k_core_asymmetric(&log, 1, 2).is_empty());
+    }
+
+    #[test]
+    fn survivors_all_meet_threshold() {
+        // Random-ish structured log; verify the postcondition directly.
+        let mut v = Vec::new();
+        for u in 0..20u32 {
+            for i in 0..=(u % 7) {
+                v.push(mk(u, i, (u * 10 + i) as i64));
+            }
+        }
+        let log = InteractionLog::new(20, 7, v);
+        let f = k_core(&log, 3);
+        if !f.is_empty() {
+            assert!(f.user_counts().iter().all(|&c| c == 0 || c >= 3));
+            assert!(f.item_counts().iter().all(|&c| c == 0 || c >= 3));
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # lrgcn-data — dataset tooling for the LayerGCN reproduction
+//!
+//! Everything between raw interaction logs and model-ready batches:
+//!
+//! * [`interactions`] — timestamped interaction logs;
+//! * [`synthetic`] — calibrated generators replicating the *shape* of the
+//!   paper's four datasets (Table I) at laptop scale;
+//! * [`kcore`] — the 5-core / 10-core preprocessing of §V-A1;
+//! * [`split`] — chronological 70/10/20 splitting with cold-start removal
+//!   and the central [`split::Dataset`] container;
+//! * [`loader`] — `user item timestamp` text files, so real datasets can be
+//!   dropped in;
+//! * [`sampler`] — BPR triple sampling with uniform negatives;
+//! * [`stats`] — Table I statistics and the Fig. 4 degree CDF.
+
+pub mod interactions;
+pub mod kcore;
+pub mod loader;
+pub mod sampler;
+pub mod split;
+pub mod stats;
+pub mod synthetic;
+
+pub use interactions::{Interaction, InteractionLog};
+pub use sampler::{sample_negative, BprBatch, BprEpoch, NegativeSampler, NegativeSampling};
+pub use split::{Dataset, SplitRatios};
+pub use stats::DatasetStats;
+pub use synthetic::SyntheticConfig;

@@ -1,0 +1,310 @@
+//! Training batch sampling.
+//!
+//! The BPR loss (Eq. 11) trains on `(u, i, j)` triples where `(u, i)` is an
+//! observed interaction and `(u, j)` is an unobserved one sampled uniformly
+//! (§V-A: "we treat each observed user-item interaction ... as a positive
+//! instance and randomly sample its negative counterpart").
+
+use crate::split::Dataset;
+use crate::synthetic::AliasTable;
+use rand::{Rng, RngExt};
+
+/// How negative items are drawn.
+#[derive(Clone, Debug, Default)]
+pub enum NegativeSampling {
+    /// Uniform over non-interacted items (the paper's protocol, §V-A).
+    #[default]
+    Uniform,
+    /// Proportional to `popularity^alpha` (word2vec-style): harder
+    /// negatives for ranking losses. `alpha = 0` recovers uniform over
+    /// *interacted-at-least-once* items.
+    PopularityBiased {
+        alpha: f64,
+    },
+}
+
+/// A reusable negative sampler bound to a dataset.
+pub struct NegativeSampler {
+    strategy: NegativeSampling,
+    alias: Option<AliasTable>,
+}
+
+impl NegativeSampler {
+    pub fn new(ds: &Dataset, strategy: NegativeSampling) -> Self {
+        let alias = match &strategy {
+            NegativeSampling::Uniform => None,
+            NegativeSampling::PopularityBiased { alpha } => {
+                let weights: Vec<f64> = ds
+                    .train()
+                    .item_degrees()
+                    .into_iter()
+                    // +1 smoothing keeps never-seen items reachable.
+                    .map(|d| (d as f64 + 1.0).powf(*alpha))
+                    .collect();
+                Some(AliasTable::new(&weights))
+            }
+        };
+        Self { strategy, alias }
+    }
+
+    /// Draws one negative for `u` (never a training item of `u`).
+    pub fn sample<R: Rng + ?Sized>(&self, ds: &Dataset, u: u32, rng: &mut R) -> u32 {
+        match &self.strategy {
+            NegativeSampling::Uniform => sample_negative(ds, u, rng),
+            NegativeSampling::PopularityBiased { .. } => {
+                let alias = self.alias.as_ref().expect("alias built in new()");
+                assert!(
+                    ds.train_items(u).len() < ds.n_items(),
+                    "user {u} interacted with every item; no negative exists"
+                );
+                // Rejection on the popularity-biased proposal; bounded
+                // retries then fall back to the uniform path (handles users
+                // who own nearly all popular items).
+                for _ in 0..64 {
+                    let j = alias.sample(rng) as u32;
+                    if !ds.is_train_interaction(u, j) {
+                        return j;
+                    }
+                }
+                sample_negative(ds, u, rng)
+            }
+        }
+    }
+}
+
+/// A batch of BPR training triples (parallel arrays).
+#[derive(Clone, Debug, Default)]
+pub struct BprBatch {
+    pub users: Vec<u32>,
+    pub pos_items: Vec<u32>,
+    pub neg_items: Vec<u32>,
+}
+
+impl BprBatch {
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+}
+
+/// Samples one uniform negative item for `u` (an item with no training
+/// interaction). Rejection sampling; falls back to a linear scan if the
+/// user has interacted with almost the whole catalogue.
+pub fn sample_negative<R: Rng + ?Sized>(ds: &Dataset, u: u32, rng: &mut R) -> u32 {
+    let n_items = ds.n_items() as u32;
+    let known = ds.train_items(u).len() as u32;
+    assert!(
+        known < n_items,
+        "user {u} interacted with every item; no negative exists"
+    );
+    if known * 2 < n_items {
+        loop {
+            let j = rng.random_range(0..n_items);
+            if !ds.is_train_interaction(u, j) {
+                return j;
+            }
+        }
+    }
+    // Dense user: pick the k-th non-interacted item directly.
+    let k = rng.random_range(0..n_items - known);
+    let mut skipped = 0u32;
+    let mut pos = ds.train_items(u).iter().peekable();
+    for j in 0..n_items {
+        if pos.peek() == Some(&&j) {
+            pos.next();
+            continue;
+        }
+        if skipped == k {
+            return j;
+        }
+        skipped += 1;
+    }
+    unreachable!("negative must exist when known < n_items")
+}
+
+/// Epoch iterator over shuffled BPR batches: one triple per training edge.
+pub struct BprEpoch<'a, R: Rng> {
+    ds: &'a Dataset,
+    order: Vec<usize>,
+    cursor: usize,
+    batch_size: usize,
+    rng: &'a mut R,
+}
+
+impl<'a, R: Rng> BprEpoch<'a, R> {
+    /// Starts a new epoch with freshly shuffled interactions.
+    pub fn new(ds: &'a Dataset, batch_size: usize, rng: &'a mut R) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        let m = ds.train().n_edges();
+        let mut order: Vec<usize> = (0..m).collect();
+        for i in (1..m).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        Self {
+            ds,
+            order,
+            cursor: 0,
+            batch_size,
+            rng,
+        }
+    }
+
+    /// Number of batches this epoch will yield.
+    pub fn n_batches(&self) -> usize {
+        self.order.len().div_ceil(self.batch_size)
+    }
+}
+
+impl<R: Rng> Iterator for BprEpoch<'_, R> {
+    type Item = BprBatch;
+
+    fn next(&mut self) -> Option<BprBatch> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let edges = self.ds.train().edges();
+        let mut batch = BprBatch::default();
+        for &k in &self.order[self.cursor..end] {
+            let (u, i) = edges[k];
+            batch.users.push(u);
+            batch.pos_items.push(i);
+            batch.neg_items.push(sample_negative(self.ds, u, self.rng));
+        }
+        self.cursor = end;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::Dataset;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ds() -> Dataset {
+        Dataset::from_parts(
+            "s",
+            3,
+            5,
+            vec![(0, 0), (0, 1), (1, 2), (2, 3), (2, 4), (2, 0)],
+            vec![vec![]; 3],
+            vec![vec![]; 3],
+        )
+    }
+
+    #[test]
+    fn negatives_never_positive() {
+        let d = ds();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..500 {
+            for u in 0..3u32 {
+                let j = sample_negative(&d, u, &mut rng);
+                assert!(!d.is_train_interaction(u, j), "user {u} got positive {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_user_fallback_path() {
+        // User 0 interacted with 4 of 5 items: forces the linear-scan path.
+        let d = Dataset::from_parts(
+            "dense",
+            1,
+            5,
+            vec![(0, 0), (0, 1), (0, 2), (0, 4)],
+            vec![vec![]],
+            vec![vec![]],
+        );
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            assert_eq!(sample_negative(&d, 0, &mut rng), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no negative exists")]
+    fn full_user_panics() {
+        let d = Dataset::from_parts(
+            "full",
+            1,
+            2,
+            vec![(0, 0), (0, 1)],
+            vec![vec![]],
+            vec![vec![]],
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = sample_negative(&d, 0, &mut rng);
+    }
+
+    #[test]
+    fn epoch_covers_every_edge_once() {
+        let d = ds();
+        let mut rng = StdRng::seed_from_u64(2);
+        let epoch = BprEpoch::new(&d, 4, &mut rng);
+        assert_eq!(epoch.n_batches(), 2);
+        let mut seen: Vec<(u32, u32)> = Vec::new();
+        for b in epoch {
+            assert!(b.len() <= 4);
+            for k in 0..b.len() {
+                seen.push((b.users[k], b.pos_items[k]));
+            }
+        }
+        seen.sort_unstable();
+        let mut expected = d.train().edges().to_vec();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn popularity_biased_prefers_popular_negatives() {
+        // Item 0 has degree 4 (via other users), items 1..9 degree <= 1.
+        let mut pairs = vec![(0u32, 9u32)];
+        for u in 1..5u32 {
+            pairs.push((u, 0));
+        }
+        let d = Dataset::from_parts("pb", 5, 10, pairs, vec![vec![]; 5], vec![vec![]; 5]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let biased = NegativeSampler::new(&d, NegativeSampling::PopularityBiased { alpha: 1.0 });
+        let uniform = NegativeSampler::new(&d, NegativeSampling::Uniform);
+        let count_zero = |s: &NegativeSampler, rng: &mut StdRng| {
+            (0..2000)
+                .filter(|_| s.sample(&d, 0, rng) == 0)
+                .count()
+        };
+        let zb = count_zero(&biased, &mut rng);
+        let zu = count_zero(&uniform, &mut rng);
+        assert!(zb > 2 * zu, "biased {zb} vs uniform {zu}");
+    }
+
+    #[test]
+    fn popularity_biased_never_returns_positive() {
+        let d = ds();
+        let s = NegativeSampler::new(&d, NegativeSampling::PopularityBiased { alpha: 0.75 });
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..300 {
+            for u in 0..3u32 {
+                let j = s.sample(&d, u, &mut rng);
+                assert!(!d.is_train_interaction(u, j));
+            }
+        }
+    }
+
+    #[test]
+    fn epochs_are_shuffled() {
+        let d = ds();
+        let collect = |seed: u64| -> Vec<u32> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            BprEpoch::new(&d, 100, &mut rng)
+                .flat_map(|b| b.users)
+                .collect()
+        };
+        // Different seeds nearly always produce different orders for 6 edges.
+        assert_ne!(collect(1), collect(2));
+    }
+}

@@ -1,0 +1,542 @@
+//! Chronological splitting (§V-A) and the [`Dataset`] container used by all
+//! models and experiments.
+//!
+//! The paper sorts interactions by timestamp, takes the first 70% as
+//! training data, the next 10% as validation and the final 20% as test, then
+//! removes cold-start users/items (those absent from training) from the
+//! held-out portions.
+
+use crate::interactions::InteractionLog;
+use lrgcn_graph::BipartiteGraph;
+
+/// Split fractions; must sum to 1.
+#[derive(Clone, Copy, Debug)]
+pub struct SplitRatios {
+    pub train: f64,
+    pub val: f64,
+    pub test: f64,
+}
+
+impl Default for SplitRatios {
+    /// The paper's 70 / 10 / 20 split.
+    fn default() -> Self {
+        Self {
+            train: 0.7,
+            val: 0.1,
+            test: 0.2,
+        }
+    }
+}
+
+impl SplitRatios {
+    pub fn validate(&self) -> Result<(), String> {
+        let s = self.train + self.val + self.test;
+        if (s - 1.0).abs() > 1e-9 {
+            return Err(format!("split ratios sum to {s}, expected 1"));
+        }
+        if self.train <= 0.0 || self.val < 0.0 || self.test <= 0.0 {
+            return Err("train and test fractions must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// A fully prepared dataset: training graph plus per-user held-out ground
+/// truth, with cold-start users/items already removed from the held-out
+/// parts.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    pub name: String,
+    n_users: usize,
+    n_items: usize,
+    train: BipartiteGraph,
+    /// Sorted train items per user (membership tests, ranking masks).
+    train_items: Vec<Vec<u32>>,
+    /// Validation ground truth per user (sorted, possibly empty).
+    val: Vec<Vec<u32>>,
+    /// Test ground truth per user (sorted, possibly empty).
+    test: Vec<Vec<u32>>,
+}
+
+impl Dataset {
+    /// Splits a log chronologically with the paper's protocol.
+    pub fn chronological_split(name: &str, log: &InteractionLog, ratios: SplitRatios) -> Dataset {
+        ratios
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid split ratios: {e}"));
+        let mut sorted = log.clone();
+        sorted.sort_chronologically();
+        let n = sorted.len();
+        let train_end = ((n as f64) * ratios.train).round() as usize;
+        let val_end = ((n as f64) * (ratios.train + ratios.val)).round() as usize;
+        let ints = sorted.interactions();
+
+        let (n_users, n_items) = (log.n_users(), log.n_items());
+        let mut train_items: Vec<Vec<u32>> = vec![Vec::new(); n_users];
+        let mut item_seen = vec![false; n_items];
+        for it in &ints[..train_end] {
+            train_items[it.user as usize].push(it.item);
+            item_seen[it.item as usize] = true;
+        }
+        for v in &mut train_items {
+            v.sort_unstable();
+            v.dedup();
+        }
+
+        let collect_split = |range: &[crate::interactions::Interaction]| -> Vec<Vec<u32>> {
+            let mut out: Vec<Vec<u32>> = vec![Vec::new(); n_users];
+            for it in range {
+                // Cold-start removal: user and item must appear in training.
+                if train_items[it.user as usize].is_empty() || !item_seen[it.item as usize] {
+                    continue;
+                }
+                // The all-ranking protocol only ranks items the user has NOT
+                // interacted with in training; a held-out repeat of a train
+                // item can never be recommended, so drop it.
+                if train_items[it.user as usize].binary_search(&it.item).is_ok() {
+                    continue;
+                }
+                out[it.user as usize].push(it.item);
+            }
+            for v in &mut out {
+                v.sort_unstable();
+                v.dedup();
+            }
+            out
+        };
+        let val = collect_split(&ints[train_end..val_end]);
+        let test = collect_split(&ints[val_end..]);
+
+        let train = BipartiteGraph::new(
+            n_users,
+            n_items,
+            ints[..train_end].iter().map(|it| (it.user, it.item)),
+        );
+        Dataset {
+            name: name.to_string(),
+            n_users,
+            n_items,
+            train,
+            train_items,
+            val,
+            test,
+        }
+    }
+
+    /// Leave-one-out split: per user, the chronologically last interaction
+    /// becomes the test item and the second-to-last the validation item;
+    /// everything else trains. A common alternative protocol (He et al.,
+    /// NCF) provided for completeness — the paper itself uses the global
+    /// chronological split.
+    pub fn leave_one_out(name: &str, log: &InteractionLog) -> Dataset {
+        let mut sorted = log.clone();
+        sorted.sort_chronologically();
+        let (n_users, n_items) = (log.n_users(), log.n_items());
+        // Per-user interaction lists in time order.
+        let mut per_user: Vec<Vec<u32>> = vec![Vec::new(); n_users];
+        for it in sorted.interactions() {
+            per_user[it.user as usize].push(it.item);
+        }
+        let mut train_pairs = Vec::new();
+        let mut val: Vec<Vec<u32>> = vec![Vec::new(); n_users];
+        let mut test: Vec<Vec<u32>> = vec![Vec::new(); n_users];
+        let mut item_seen = vec![false; n_items];
+        for (u, items) in per_user.iter().enumerate() {
+            // Keep at least one training interaction; only users with >= 3
+            // interactions contribute to both held-out sets.
+            let n = items.len();
+            let (train_end, val_item, test_item) = match n {
+                0 => continue,
+                1 => (1, None, None),
+                2 => (1, None, Some(items[1])),
+                _ => (n - 2, Some(items[n - 2]), Some(items[n - 1])),
+            };
+            for &i in &items[..train_end] {
+                train_pairs.push((u as u32, i));
+                item_seen[i as usize] = true;
+            }
+            if let Some(i) = val_item {
+                val[u].push(i);
+            }
+            if let Some(i) = test_item {
+                test[u].push(i);
+            }
+        }
+        // Cold-start removal on the held-out items.
+        for v in val.iter_mut().chain(test.iter_mut()) {
+            v.retain(|&i| item_seen[i as usize]);
+        }
+        // Remove held-out items that duplicate a train pair for that user.
+        let ds = Dataset::from_parts(name, n_users, n_items, train_pairs, val, test);
+        let mut val2: Vec<Vec<u32>> = Vec::with_capacity(n_users);
+        let mut test2: Vec<Vec<u32>> = Vec::with_capacity(n_users);
+        for u in 0..n_users as u32 {
+            val2.push(
+                ds.val_items(u)
+                    .iter()
+                    .copied()
+                    .filter(|&i| !ds.is_train_interaction(u, i))
+                    .collect(),
+            );
+            test2.push(
+                ds.test_items(u)
+                    .iter()
+                    .copied()
+                    .filter(|&i| !ds.is_train_interaction(u, i))
+                    .collect(),
+            );
+        }
+        Dataset {
+            val: val2,
+            test: test2,
+            ..ds
+        }
+    }
+
+    /// Rolling temporal evaluation: the log is cut into `n_windows` equal
+    /// chronological windows; fold `i` trains on windows `0..=i` and tests
+    /// on window `i+1` (no validation split — the folds themselves serve
+    /// that role). Returns `n_windows - 1` datasets, oldest fold first.
+    /// Standard protocol for checking that offline gains persist over time.
+    pub fn rolling_splits(name: &str, log: &InteractionLog, n_windows: usize) -> Vec<Dataset> {
+        assert!(n_windows >= 2, "need at least two windows");
+        let mut sorted = log.clone();
+        sorted.sort_chronologically();
+        let ints = sorted.interactions();
+        let n = ints.len();
+        let bound = |w: usize| n * w / n_windows;
+        (1..n_windows)
+            .map(|i| {
+                let train_end = bound(i);
+                let test_end = bound(i + 1);
+                let (n_users, n_items) = (log.n_users(), log.n_items());
+                let mut train_items: Vec<Vec<u32>> = vec![Vec::new(); n_users];
+                let mut item_seen = vec![false; n_items];
+                for it in &ints[..train_end] {
+                    train_items[it.user as usize].push(it.item);
+                    item_seen[it.item as usize] = true;
+                }
+                for v in &mut train_items {
+                    v.sort_unstable();
+                    v.dedup();
+                }
+                let mut test: Vec<Vec<u32>> = vec![Vec::new(); n_users];
+                for it in &ints[train_end..test_end] {
+                    if train_items[it.user as usize].is_empty()
+                        || !item_seen[it.item as usize]
+                        || train_items[it.user as usize].binary_search(&it.item).is_ok()
+                    {
+                        continue;
+                    }
+                    test[it.user as usize].push(it.item);
+                }
+                Dataset::from_parts(
+                    &format!("{name}-fold{i}"),
+                    n_users,
+                    n_items,
+                    ints[..train_end].iter().map(|it| (it.user, it.item)).collect(),
+                    vec![Vec::new(); n_users],
+                    test,
+                )
+            })
+            .collect()
+    }
+
+    /// Builds a dataset directly from explicit parts (used by tests and by
+    /// loaders with precomputed splits).
+    pub fn from_parts(
+        name: &str,
+        n_users: usize,
+        n_items: usize,
+        train_pairs: Vec<(u32, u32)>,
+        val: Vec<Vec<u32>>,
+        test: Vec<Vec<u32>>,
+    ) -> Dataset {
+        assert_eq!(val.len(), n_users, "val must have one entry per user");
+        assert_eq!(test.len(), n_users, "test must have one entry per user");
+        let train = BipartiteGraph::new(n_users, n_items, train_pairs);
+        let mut train_items: Vec<Vec<u32>> = vec![Vec::new(); n_users];
+        for &(u, i) in train.edges() {
+            train_items[u as usize].push(i);
+        }
+        for v in &mut train_items {
+            v.sort_unstable();
+        }
+        let mut val = val;
+        let mut test = test;
+        for v in val.iter_mut().chain(test.iter_mut()) {
+            v.sort_unstable();
+            v.dedup();
+        }
+        Dataset {
+            name: name.to_string(),
+            n_users,
+            n_items,
+            train,
+            train_items,
+            val,
+            test,
+        }
+    }
+
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// The training interaction graph.
+    pub fn train(&self) -> &BipartiteGraph {
+        &self.train
+    }
+
+    /// Sorted training items of user `u`.
+    pub fn train_items(&self, u: u32) -> &[u32] {
+        &self.train_items[u as usize]
+    }
+
+    /// Whether `(u, i)` is a training interaction.
+    pub fn is_train_interaction(&self, u: u32, i: u32) -> bool {
+        self.train_items[u as usize].binary_search(&i).is_ok()
+    }
+
+    /// Validation ground-truth items of user `u`.
+    pub fn val_items(&self, u: u32) -> &[u32] {
+        &self.val[u as usize]
+    }
+
+    /// Test ground-truth items of user `u`.
+    pub fn test_items(&self, u: u32) -> &[u32] {
+        &self.test[u as usize]
+    }
+
+    /// Users with at least one validation item.
+    pub fn val_users(&self) -> Vec<u32> {
+        (0..self.n_users as u32)
+            .filter(|&u| !self.val[u as usize].is_empty())
+            .collect()
+    }
+
+    /// Users with at least one test item.
+    pub fn test_users(&self) -> Vec<u32> {
+        (0..self.n_users as u32)
+            .filter(|&u| !self.test[u as usize].is_empty())
+            .collect()
+    }
+
+    /// Total held-out interaction counts `(val, test)`.
+    pub fn heldout_sizes(&self) -> (usize, usize) {
+        (
+            self.val.iter().map(Vec::len).sum(),
+            self.test.iter().map(Vec::len).sum(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interactions::Interaction;
+
+    fn log() -> InteractionLog {
+        // Timestamps encode the intended split of 10 interactions:
+        // 7 train, 1 val, 2 test.
+        let mk = |user, item, timestamp| Interaction { user, item, timestamp };
+        InteractionLog::new(
+            4,
+            5,
+            vec![
+                mk(0, 0, 0),
+                mk(0, 1, 1),
+                mk(1, 0, 2),
+                mk(1, 2, 3),
+                mk(2, 3, 4),
+                mk(2, 0, 5),
+                mk(3, 1, 6),
+                // --- val (next 10%)
+                mk(0, 2, 7),
+                // --- test (last 20%)
+                mk(1, 3, 8),
+                mk(2, 4, 9), // item 4 is cold-start -> dropped
+            ],
+        )
+    }
+
+    #[test]
+    fn split_sizes_follow_ratios() {
+        let ds = Dataset::chronological_split("t", &log(), SplitRatios::default());
+        assert_eq!(ds.train().n_edges(), 7);
+        let (v, t) = ds.heldout_sizes();
+        assert_eq!(v, 1);
+        assert_eq!(t, 1); // cold item dropped
+    }
+
+    #[test]
+    fn cold_start_items_removed() {
+        let ds = Dataset::chronological_split("t", &log(), SplitRatios::default());
+        assert!(ds.test_items(2).is_empty(), "cold item 4 must be dropped");
+        assert_eq!(ds.test_items(1), &[3]);
+    }
+
+    #[test]
+    fn val_and_test_users() {
+        let ds = Dataset::chronological_split("t", &log(), SplitRatios::default());
+        assert_eq!(ds.val_users(), vec![0]);
+        assert_eq!(ds.test_users(), vec![1]);
+    }
+
+    #[test]
+    fn train_membership() {
+        let ds = Dataset::chronological_split("t", &log(), SplitRatios::default());
+        assert!(ds.is_train_interaction(0, 0));
+        assert!(ds.is_train_interaction(0, 1));
+        assert!(!ds.is_train_interaction(0, 2));
+        assert_eq!(ds.train_items(2), &[0, 3]);
+    }
+
+    #[test]
+    fn heldout_repeats_of_train_items_are_dropped() {
+        let mk = |user, item, timestamp| Interaction { user, item, timestamp };
+        // (0,0) appears in train; a later (0,0) event lands in test and must
+        // be dropped for the all-ranking protocol.
+        let log = InteractionLog::new(
+            2,
+            2,
+            vec![
+                mk(0, 0, 0),
+                mk(0, 1, 1),
+                mk(1, 0, 2),
+                mk(1, 1, 3),
+                mk(0, 0, 4),
+            ],
+        );
+        let ds = Dataset::chronological_split(
+            "t",
+            &log,
+            SplitRatios { train: 0.8, val: 0.0, test: 0.2 },
+        );
+        assert!(ds.test_items(0).is_empty());
+    }
+
+    #[test]
+    fn invalid_ratios_rejected() {
+        assert!(SplitRatios { train: 0.5, val: 0.2, test: 0.2 }.validate().is_err());
+        assert!(SplitRatios::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rolling_splits_grow_train_and_stay_chronological() {
+        let log = crate::synthetic::SyntheticConfig::games()
+            .scaled(0.08)
+            .generate(3);
+        let folds = Dataset::rolling_splits("r", &log, 4);
+        assert_eq!(folds.len(), 3);
+        // Train sets grow monotonically; each later fold contains all
+        // earlier training edges.
+        for w in folds.windows(2) {
+            assert!(w[0].train().n_edges() < w[1].train().n_edges());
+            let later: std::collections::HashSet<_> =
+                w[1].train().edges().iter().copied().collect();
+            for e in w[0].train().edges() {
+                assert!(later.contains(e), "training set must be a prefix");
+            }
+        }
+        // No test interaction may be a training interaction of its fold.
+        for f in &folds {
+            for u in f.test_users() {
+                for &i in f.test_items(u) {
+                    assert!(!f.is_train_interaction(u, i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two windows")]
+    fn rolling_needs_two_windows() {
+        let log = InteractionLog::new(1, 1, vec![]);
+        let _ = Dataset::rolling_splits("r", &log, 1);
+    }
+
+    #[test]
+    fn leave_one_out_basic() {
+        let mk = |user, item, timestamp| Interaction { user, item, timestamp };
+        // u0: 4 interactions; u1: 2; u2: 1.
+        let log = InteractionLog::new(
+            3,
+            5,
+            vec![
+                mk(0, 0, 0),
+                mk(0, 1, 1),
+                mk(0, 2, 2),
+                mk(0, 3, 3),
+                mk(1, 0, 4),
+                mk(1, 2, 5),
+                mk(2, 4, 6),
+            ],
+        );
+        let ds = Dataset::leave_one_out("loo", &log);
+        // u0 trains on {0,1}, validates on 2, tests on 3... item 3 is
+        // cold-start (never in train) -> dropped; item 2 is in train via
+        // u1? u1 trains only on item 0 (n=2 -> train_end 1), tests on 2 ->
+        // item 2 cold unless trained elsewhere. u0 trains {0,1}; u1 trains
+        // {0}; so items seen = {0,1,4(u2)}. val(u0)={2} dropped,
+        // test(u0)={3} dropped, test(u1)={2} dropped.
+        assert_eq!(ds.train_items(0), &[0, 1]);
+        assert_eq!(ds.train_items(1), &[0]);
+        assert_eq!(ds.train_items(2), &[4]);
+        assert!(ds.val_items(0).is_empty());
+        assert!(ds.test_items(1).is_empty());
+    }
+
+    #[test]
+    fn leave_one_out_with_warm_items() {
+        let mk = |user, item, timestamp| Interaction { user, item, timestamp };
+        // Three users whose first (training) items jointly cover the
+        // catalogue, so every held-out item stays warm.
+        let log = InteractionLog::new(
+            3,
+            3,
+            vec![
+                mk(0, 0, 0),
+                mk(0, 1, 1),
+                mk(0, 2, 2),
+                mk(1, 2, 3),
+                mk(1, 0, 4),
+                mk(1, 1, 5),
+                mk(2, 1, 6),
+                mk(2, 0, 7),
+                mk(2, 2, 8),
+            ],
+        );
+        let ds = Dataset::leave_one_out("loo", &log);
+        // Train items: u0 {0}, u1 {2}, u2 {1} — catalogue fully warm.
+        assert_eq!(ds.train_items(0), &[0]);
+        assert_eq!(ds.train_items(1), &[2]);
+        assert_eq!(ds.train_items(2), &[1]);
+        assert_eq!(ds.val_items(0), &[1]);
+        assert_eq!(ds.test_items(0), &[2]);
+        assert_eq!(ds.val_items(1), &[0]);
+        assert_eq!(ds.test_items(1), &[1]);
+        assert_eq!(ds.val_items(2), &[0]);
+        assert_eq!(ds.test_items(2), &[2]);
+        let (v, t) = ds.heldout_sizes();
+        assert_eq!((v, t), (3, 3));
+    }
+
+    #[test]
+    fn from_parts_sorts_ground_truth() {
+        let ds = Dataset::from_parts(
+            "p",
+            2,
+            4,
+            vec![(0, 0), (1, 1)],
+            vec![vec![3, 2, 3], vec![]],
+            vec![vec![], vec![0]],
+        );
+        assert_eq!(ds.val_items(0), &[2, 3]);
+        assert_eq!(ds.test_items(1), &[0]);
+    }
+}

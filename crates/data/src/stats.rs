@@ -1,0 +1,122 @@
+//! Dataset statistics (Table I) and degree-distribution summaries (Fig. 4).
+
+use crate::interactions::InteractionLog;
+
+/// The row format of the paper's Table I.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetStats {
+    pub name: String,
+    pub n_users: usize,
+    pub n_items: usize,
+    pub n_interactions: usize,
+    /// `1 - M / (N_U * N_I)`, in percent as the paper prints it.
+    pub sparsity_pct: f64,
+    pub mean_user_degree: f64,
+    pub mean_item_degree: f64,
+}
+
+impl DatasetStats {
+    pub fn of(name: &str, log: &InteractionLog) -> DatasetStats {
+        let m = log.len() as f64;
+        let nu = log.n_users() as f64;
+        let ni = log.n_items() as f64;
+        DatasetStats {
+            name: name.to_string(),
+            n_users: log.n_users(),
+            n_items: log.n_items(),
+            n_interactions: log.len(),
+            sparsity_pct: 100.0 * (1.0 - m / (nu * ni).max(1.0)),
+            mean_user_degree: if nu > 0.0 { m / nu } else { 0.0 },
+            mean_item_degree: if ni > 0.0 { m / ni } else { 0.0 },
+        }
+    }
+
+    /// A Table-I-style row: `name  users  items  interactions  sparsity%`.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<8} {:>8} {:>8} {:>12} {:>9.4}%",
+            self.name, self.n_users, self.n_items, self.n_interactions, self.sparsity_pct
+        )
+    }
+}
+
+/// The cumulative distribution of `sqrt(degree)` over items, as plotted in
+/// Fig. 4. Returns `(sqrt_degree, cumulative_fraction)` pairs at each
+/// distinct degree value.
+pub fn item_degree_cdf(log: &InteractionLog) -> Vec<(f64, f64)> {
+    let mut degrees: Vec<u32> = log.item_counts();
+    degrees.sort_unstable();
+    let n = degrees.len() as f64;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < degrees.len() {
+        let d = degrees[i];
+        let mut j = i;
+        while j < degrees.len() && degrees[j] == d {
+            j += 1;
+        }
+        out.push(((d as f64).sqrt(), j as f64 / n));
+        i = j;
+    }
+    out
+}
+
+/// Fraction of items whose `sqrt(degree)` is at most `threshold` (used to
+/// reproduce the Fig. 4 commentary, e.g. "~90% of Yelp items are below
+/// sqrt-degree 10").
+pub fn frac_items_below_sqrt_degree(log: &InteractionLog, threshold: f64) -> f64 {
+    let counts = log.item_counts();
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let below = counts
+        .iter()
+        .filter(|&&c| (c as f64).sqrt() <= threshold)
+        .count();
+    below as f64 / counts.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interactions::Interaction;
+
+    fn log() -> InteractionLog {
+        let mk = |u, i, t| Interaction { user: u, item: i, timestamp: t };
+        InteractionLog::new(2, 4, vec![mk(0, 0, 0), mk(0, 1, 1), mk(1, 0, 2), mk(1, 2, 3)])
+    }
+
+    #[test]
+    fn stats_fields() {
+        let s = DatasetStats::of("X", &log());
+        assert_eq!(s.n_interactions, 4);
+        assert!((s.sparsity_pct - 50.0).abs() < 1e-9);
+        assert!((s.mean_user_degree - 2.0).abs() < 1e-9);
+        assert!((s.mean_item_degree - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_monotone_and_ends_at_one() {
+        let cdf = item_degree_cdf(&log());
+        assert!(cdf.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        assert!((cdf.last().expect("non-empty").1 - 1.0).abs() < 1e-12);
+        // Degrees are 2,1,1,0 -> distinct sqrt values 0, 1, sqrt(2).
+        assert_eq!(cdf.len(), 3);
+        assert!((cdf[0].1 - 0.25).abs() < 1e-12); // one zero-degree item
+    }
+
+    #[test]
+    fn frac_below_threshold() {
+        let l = log();
+        assert!((frac_items_below_sqrt_degree(&l, 1.0) - 0.75).abs() < 1e-12);
+        assert!((frac_items_below_sqrt_degree(&l, 10.0) - 1.0).abs() < 1e-12);
+        assert!((frac_items_below_sqrt_degree(&l, -0.5) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_row_formats() {
+        let row = DatasetStats::of("MOOC", &log()).table_row();
+        assert!(row.starts_with("MOOC"));
+        assert!(row.contains('%'));
+    }
+}

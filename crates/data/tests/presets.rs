@@ -1,0 +1,100 @@
+//! Calibration tests for the four synthetic dataset presets: the Table-I
+//! *shape* relationships the whole experiment suite depends on must hold at
+//! generation time, for any seed.
+
+use lrgcn_data::stats::frac_items_below_sqrt_degree;
+use lrgcn_data::{DatasetStats, SyntheticConfig};
+
+fn stats(name: &str, seed: u64) -> (DatasetStats, f64) {
+    let cfg = SyntheticConfig::by_name(name).expect("preset").scaled(0.5);
+    let log = cfg.generate(seed);
+    let s = DatasetStats::of(cfg.name, &log);
+    let skew = 1.0 - frac_items_below_sqrt_degree(&log, 3.0);
+    (s, skew)
+}
+
+#[test]
+fn mooc_is_the_dense_few_items_regime() {
+    for seed in [1u64, 7, 42] {
+        let (mooc, _) = stats("mooc", seed);
+        let (yelp, _) = stats("yelp", seed);
+        let (games, _) = stats("games", seed);
+        // User/item ratio: MOOC has far more users per item (paper: ~63).
+        let ratio = |s: &DatasetStats| s.n_users as f64 / s.n_items as f64;
+        assert!(ratio(&mooc) > 4.0 * ratio(&games), "seed {seed}");
+        assert!(ratio(&mooc) > 4.0 * ratio(&yelp), "seed {seed}");
+        // Density: MOOC is the least sparse dataset.
+        assert!(mooc.sparsity_pct < games.sparsity_pct, "seed {seed}");
+        assert!(mooc.sparsity_pct < yelp.sparsity_pct, "seed {seed}");
+        // Item degree: MOOC items are the most popular.
+        assert!(
+            mooc.mean_item_degree > 2.0 * games.mean_item_degree,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn yelp_has_the_heaviest_user_activity() {
+    for seed in [1u64, 7, 42] {
+        let (yelp, _) = stats("yelp", seed);
+        let (games, _) = stats("games", seed);
+        let (food, _) = stats("food", seed);
+        assert!(
+            yelp.mean_user_degree > games.mean_user_degree,
+            "seed {seed}"
+        );
+        assert!(yelp.mean_user_degree > food.mean_user_degree, "seed {seed}");
+    }
+}
+
+#[test]
+fn games_and_food_share_the_amazon_regime() {
+    for seed in [1u64, 7] {
+        let (games, _) = stats("games", seed);
+        let (food, _) = stats("food", seed);
+        // Same genre: similar mean degrees (within 2x), food larger overall.
+        assert!(food.n_users > games.n_users);
+        assert!(food.n_items > games.n_items);
+        let r = games.mean_user_degree / food.mean_user_degree;
+        assert!((0.5..=2.0).contains(&r), "seed {seed}: ratio {r}");
+    }
+}
+
+#[test]
+fn all_presets_generate_nonempty_splittable_logs() {
+    use lrgcn_data::{Dataset, SplitRatios};
+    for cfg in SyntheticConfig::all_presets() {
+        let log = cfg.clone().scaled(0.25).generate(5);
+        assert!(log.len() > 500, "{}: only {} interactions", cfg.name, log.len());
+        let ds = Dataset::chronological_split(cfg.name, &log, SplitRatios::default());
+        assert!(
+            !ds.test_users().is_empty(),
+            "{}: no test users survive the split",
+            cfg.name
+        );
+        assert!(
+            !ds.val_users().is_empty(),
+            "{}: no validation users survive the split",
+            cfg.name
+        );
+    }
+}
+
+#[test]
+fn fig4_contrast_is_seed_stable() {
+    // The headline Fig. 4 relationship (Yelp item-degree CDF dominates
+    // MOOC's) must hold for several seeds, not just the default.
+    for seed in [2023u64, 1, 99] {
+        let mooc = SyntheticConfig::mooc().scaled(0.5).generate(seed);
+        let yelp = SyntheticConfig::yelp().scaled(0.5).generate(seed);
+        for threshold in [2.0, 5.0, 10.0] {
+            let m = frac_items_below_sqrt_degree(&mooc, threshold);
+            let y = frac_items_below_sqrt_degree(&yelp, threshold);
+            assert!(
+                y >= m,
+                "seed {seed}, sqrt-degree {threshold}: Yelp CDF {y:.3} below MOOC {m:.3}"
+            );
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the dataset tooling: split invariants, k-core
+//! postconditions, sampler guarantees and generator laws.
+
+use lrgcn_data::interactions::{Interaction, InteractionLog};
+use lrgcn_data::kcore::k_core;
+use lrgcn_data::sampler::sample_negative;
+use lrgcn_data::{Dataset, SplitRatios, SyntheticConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn log_strategy() -> impl Strategy<Value = InteractionLog> {
+    proptest::collection::vec((0u32..12, 0u32..12, -100i64..100), 1..80).prop_map(|v| {
+        let ints: Vec<Interaction> = v
+            .into_iter()
+            .map(|(user, item, timestamp)| Interaction { user, item, timestamp })
+            .collect();
+        let mut log = InteractionLog::new(12, 12, ints);
+        log.dedup_pairs();
+        log
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Chronological split: train edges + held-out ground truth never exceed
+    /// the log; held-out items are never cold-start or train repeats; every
+    /// training pair really is in the log.
+    #[test]
+    fn split_invariants(log in log_strategy()) {
+        let ds = Dataset::chronological_split("p", &log, SplitRatios::default());
+        let (v, t) = ds.heldout_sizes();
+        prop_assert!(ds.train().n_edges() + v + t <= log.len());
+
+        let all_pairs: std::collections::HashSet<(u32, u32)> =
+            log.interactions().iter().map(|i| (i.user, i.item)).collect();
+        for &(u, i) in ds.train().edges() {
+            prop_assert!(all_pairs.contains(&(u, i)));
+        }
+        let mut item_in_train = vec![false; ds.n_items()];
+        for &(_, i) in ds.train().edges() {
+            item_in_train[i as usize] = true;
+        }
+        for u in 0..ds.n_users() as u32 {
+            for &i in ds.val_items(u).iter().chain(ds.test_items(u)) {
+                prop_assert!(!ds.train_items(u).is_empty(), "cold user {u} in heldout");
+                prop_assert!(item_in_train[i as usize], "cold item {i} in heldout");
+                prop_assert!(
+                    !ds.is_train_interaction(u, i),
+                    "train pair ({u},{i}) leaked into heldout"
+                );
+                prop_assert!(all_pairs.contains(&(u, i)));
+            }
+        }
+    }
+
+    /// Split fractions respect the requested ratios up to rounding.
+    #[test]
+    fn split_fractions(log in log_strategy()) {
+        let ds = Dataset::chronological_split("p", &log, SplitRatios::default());
+        let n = log.len() as f64;
+        let train_frac = ds.train().n_edges() as f64 / n;
+        // Training takes the first 70% exactly (rounded), before dedup of
+        // the graph (dedup_pairs already ran, so edges == interactions).
+        prop_assert!((train_frac - 0.7).abs() <= 1.0 / n + 1e-9);
+    }
+
+    /// k-core: every surviving user and item meets the threshold, and the
+    /// result is a fixed point of another k-core pass.
+    #[test]
+    fn kcore_postcondition(log in log_strategy(), k in 1u32..5) {
+        let f = k_core(&log, k);
+        for (u, &c) in f.user_counts().iter().enumerate() {
+            prop_assert!(c >= k, "user {u} kept with degree {c} < {k}");
+        }
+        for (i, &c) in f.item_counts().iter().enumerate() {
+            prop_assert!(c >= k, "item {i} kept with degree {c} < {k}");
+        }
+        let again = k_core(&f, k);
+        prop_assert_eq!(again.len(), f.len(), "k-core not a fixed point");
+    }
+
+    /// Negative sampling never returns a training item, for any user with
+    /// spare items.
+    #[test]
+    fn negatives_valid(log in log_strategy(), seed in 0u64..50) {
+        let ds = Dataset::chronological_split("p", &log, SplitRatios::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for u in 0..ds.n_users() as u32 {
+            if ds.train_items(u).len() >= ds.n_items() {
+                continue;
+            }
+            for _ in 0..5 {
+                let j = sample_negative(&ds, u, &mut rng);
+                prop_assert!(!ds.is_train_interaction(u, j));
+                prop_assert!((j as usize) < ds.n_items());
+            }
+        }
+    }
+
+    /// The synthetic generator always respects its configured universe and
+    /// produces strictly increasing timestamps after dedup.
+    #[test]
+    fn generator_contract(seed in 0u64..200, scale in 0.05f64..0.2) {
+        let cfg = SyntheticConfig::food().scaled(scale);
+        let log = cfg.generate(seed);
+        prop_assert!(log.n_users() == cfg.n_users);
+        prop_assert!(log.n_items() == cfg.n_items);
+        prop_assert!(log.len() <= cfg.n_interactions);
+        for it in log.interactions() {
+            prop_assert!((it.user as usize) < cfg.n_users);
+            prop_assert!((it.item as usize) < cfg.n_items);
+        }
+        let ts: Vec<i64> = log.interactions().iter().map(|i| i.timestamp).collect();
+        prop_assert!(ts.windows(2).all(|w| w[0] < w[1]), "timestamps must be unique-increasing");
+    }
+}

@@ -1,0 +1,164 @@
+//! Beyond-accuracy metrics: catalogue coverage, recommendation concentration
+//! (Gini) and novelty.
+//!
+//! Not part of the paper's evaluation, but standard for judging whether a
+//! model's gains come from recommending the same few popular items to
+//! everyone — exactly the failure mode DegreeDrop's hub-pruning pushes
+//! against, which makes these useful companions to Tables II/IV.
+
+use std::collections::HashMap;
+
+/// Aggregates top-K recommendation lists across users.
+#[derive(Clone, Debug, Default)]
+pub struct RecAggregate {
+    counts: HashMap<u32, usize>,
+    n_lists: usize,
+    list_len: usize,
+}
+
+impl RecAggregate {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one user's recommendation list.
+    pub fn push(&mut self, ranked: &[u32]) {
+        self.n_lists += 1;
+        self.list_len = self.list_len.max(ranked.len());
+        for &i in ranked {
+            *self.counts.entry(i).or_insert(0) += 1;
+        }
+    }
+
+    pub fn n_lists(&self) -> usize {
+        self.n_lists
+    }
+
+    /// Fraction of the catalogue that appears in at least one list.
+    pub fn catalog_coverage(&self, n_items: usize) -> f64 {
+        if n_items == 0 {
+            return 0.0;
+        }
+        self.counts.len() as f64 / n_items as f64
+    }
+
+    /// Gini coefficient of recommendation exposure over the whole catalogue
+    /// (0 = perfectly even exposure, → 1 = all exposure on one item).
+    pub fn exposure_gini(&self, n_items: usize) -> f64 {
+        if n_items == 0 {
+            return 0.0;
+        }
+        let mut exposure: Vec<f64> = vec![0.0; n_items];
+        for (&i, &c) in &self.counts {
+            if (i as usize) < n_items {
+                exposure[i as usize] = c as f64;
+            }
+        }
+        gini(&mut exposure)
+    }
+
+    /// Mean self-information novelty: `-log2(popularity)` of recommended
+    /// items, where popularity is the training interaction share. Higher =
+    /// more novel recommendations.
+    pub fn mean_novelty(&self, item_degrees: &[u32]) -> f64 {
+        let total: f64 = item_degrees.iter().map(|&d| d as f64).sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (&i, &c) in &self.counts {
+            let d = item_degrees.get(i as usize).copied().unwrap_or(0) as f64;
+            // Laplace-smoothed so never-seen items stay finite.
+            let p = (d + 1.0) / (total + item_degrees.len() as f64);
+            sum += c as f64 * -(p.log2());
+            n += c;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+/// Gini coefficient of a non-negative vector (sorted in place).
+pub fn gini(values: &mut [f64]) -> f64 {
+    assert!(
+        values.iter().all(|&v| v >= 0.0),
+        "Gini requires non-negative values"
+    );
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let total: f64 = values.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mut weighted = 0.0;
+    for (i, &v) in values.iter().enumerate() {
+        weighted += (2.0 * (i as f64 + 1.0) - n as f64 - 1.0) * v;
+    }
+    weighted / (n as f64 * total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gini_extremes() {
+        let mut even = vec![1.0; 10];
+        assert!(gini(&mut even).abs() < 1e-12);
+        let mut one_hot = vec![0.0; 10];
+        one_hot[3] = 5.0;
+        let g = gini(&mut one_hot);
+        assert!((g - 0.9).abs() < 1e-12, "got {g}"); // (n-1)/n for point mass
+        let mut empty: Vec<f64> = vec![];
+        assert_eq!(gini(&mut empty), 0.0);
+    }
+
+    #[test]
+    fn coverage_counts_distinct_items() {
+        let mut agg = RecAggregate::new();
+        agg.push(&[0, 1, 2]);
+        agg.push(&[2, 3, 4]);
+        assert_eq!(agg.n_lists(), 2);
+        assert!((agg.catalog_coverage(10) - 0.5).abs() < 1e-12);
+        assert_eq!(agg.catalog_coverage(0), 0.0);
+    }
+
+    #[test]
+    fn exposure_gini_detects_concentration() {
+        let mut same = RecAggregate::new();
+        for _ in 0..5 {
+            same.push(&[7, 7, 7]); // everyone gets item 7
+        }
+        let mut diverse = RecAggregate::new();
+        for u in 0..5u32 {
+            diverse.push(&[u * 2, u * 2 + 1]);
+        }
+        assert!(same.exposure_gini(10) > diverse.exposure_gini(10));
+    }
+
+    #[test]
+    fn novelty_prefers_rare_items() {
+        let degrees = vec![1000u32, 1]; // item 0 popular, item 1 rare
+        let mut pop = RecAggregate::new();
+        pop.push(&[0]);
+        let mut rare = RecAggregate::new();
+        rare.push(&[1]);
+        assert!(rare.mean_novelty(&degrees) > pop.mean_novelty(&degrees));
+    }
+
+    #[test]
+    fn novelty_empty_is_zero() {
+        let agg = RecAggregate::new();
+        assert_eq!(agg.mean_novelty(&[1, 2, 3]), 0.0);
+        let mut agg2 = RecAggregate::new();
+        agg2.push(&[0]);
+        assert_eq!(agg2.mean_novelty(&[]), 0.0);
+    }
+}

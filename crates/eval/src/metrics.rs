@@ -1,0 +1,152 @@
+//! Ranking metrics: Recall@K (Eq. 26) and NDCG@K (Eq. 27), plus Precision,
+//! HitRate and AP used in ablations.
+//!
+//! All functions take the recommended ranking (best first) and the user's
+//! ground-truth item set (sorted ascending, for binary search).
+
+/// `|top-K ∩ ground truth| / |ground truth|` (Eq. 26).
+pub fn recall_at_k(ranked: &[u32], truth: &[u32], k: usize) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let hits = ranked
+        .iter()
+        .take(k)
+        .filter(|i| truth.binary_search(i).is_ok())
+        .count();
+    hits as f64 / truth.len() as f64
+}
+
+/// `|top-K ∩ ground truth| / K`.
+pub fn precision_at_k(ranked: &[u32], truth: &[u32], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = ranked
+        .iter()
+        .take(k)
+        .filter(|i| truth.binary_search(i).is_ok())
+        .count();
+    hits as f64 / k as f64
+}
+
+/// 1 if any of the top-K is relevant, else 0.
+pub fn hit_rate_at_k(ranked: &[u32], truth: &[u32], k: usize) -> f64 {
+    if ranked
+        .iter()
+        .take(k)
+        .any(|i| truth.binary_search(i).is_ok())
+    {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// DCG@K with the paper's exponential gain `(2^rel - 1) / log2(i + 1)`;
+/// for binary relevance the gain reduces to `1 / log2(i + 1)`.
+pub fn dcg_at_k(ranked: &[u32], truth: &[u32], k: usize) -> f64 {
+    ranked
+        .iter()
+        .take(k)
+        .enumerate()
+        .filter(|(_, i)| truth.binary_search(i).is_ok())
+        .map(|(pos, _)| 1.0 / ((pos + 2) as f64).log2())
+        .sum()
+}
+
+/// Ideal DCG@K: all `min(K, |truth|)` relevant items ranked first.
+pub fn idcg_at_k(n_truth: usize, k: usize) -> f64 {
+    (0..n_truth.min(k))
+        .map(|pos| 1.0 / ((pos + 2) as f64).log2())
+        .sum()
+}
+
+/// NDCG@K = DCG@K / IDCG@K (Eq. 27), in `[0, 1]`.
+pub fn ndcg_at_k(ranked: &[u32], truth: &[u32], k: usize) -> f64 {
+    if truth.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let idcg = idcg_at_k(truth.len(), k);
+    if idcg == 0.0 {
+        0.0
+    } else {
+        dcg_at_k(ranked, truth, k) / idcg
+    }
+}
+
+/// Average precision at K (used by MAP ablations).
+pub fn average_precision_at_k(ranked: &[u32], truth: &[u32], k: usize) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (pos, i) in ranked.iter().take(k).enumerate() {
+        if truth.binary_search(i).is_ok() {
+            hits += 1;
+            sum += hits as f64 / (pos + 1) as f64;
+        }
+    }
+    sum / truth.len().min(k) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // truth = {1, 3, 5}; ranking hits at positions 1 and 3 within top-4.
+    const RANKED: [u32; 6] = [1, 0, 3, 2, 5, 4];
+    const TRUTH: [u32; 3] = [1, 3, 5];
+
+    #[test]
+    fn recall_counts_hits() {
+        assert!((recall_at_k(&RANKED, &TRUTH, 1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((recall_at_k(&RANKED, &TRUTH, 4) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((recall_at_k(&RANKED, &TRUTH, 6) - 1.0).abs() < 1e-12);
+        assert_eq!(recall_at_k(&RANKED, &[], 4), 0.0);
+    }
+
+    #[test]
+    fn precision_and_hit_rate() {
+        assert!((precision_at_k(&RANKED, &TRUTH, 4) - 0.5).abs() < 1e-12);
+        assert_eq!(hit_rate_at_k(&RANKED, &TRUTH, 1), 1.0);
+        assert_eq!(hit_rate_at_k(&[0, 2], &TRUTH, 2), 0.0);
+        assert_eq!(precision_at_k(&RANKED, &TRUTH, 0), 0.0);
+    }
+
+    #[test]
+    fn dcg_positions_discounted() {
+        // Hits at ranks 1 and 3: 1/log2(2) + 1/log2(4) = 1 + 0.5.
+        assert!((dcg_at_k(&RANKED, &TRUTH, 4) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_perfect_ranking_is_one() {
+        let perfect: Vec<u32> = vec![1, 3, 5, 0, 2, 4];
+        assert!((ndcg_at_k(&perfect, &TRUTH, 3) - 1.0).abs() < 1e-12);
+        assert!((ndcg_at_k(&perfect, &TRUTH, 6) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_bounded_and_monotone_in_quality() {
+        let good = ndcg_at_k(&RANKED, &TRUTH, 4);
+        let bad = ndcg_at_k(&[0, 2, 4, 1], &TRUTH, 4);
+        assert!(good > bad);
+        assert!((0.0..=1.0).contains(&good));
+    }
+
+    #[test]
+    fn idcg_truncates_at_k() {
+        assert!((idcg_at_k(10, 2) - (1.0 + 1.0 / 3.0f64.log2())).abs() < 1e-12);
+        assert_eq!(idcg_at_k(0, 5), 0.0);
+    }
+
+    #[test]
+    fn average_precision_sane() {
+        // Hits at ranks 1 and 3 of 4: AP = (1/1 + 2/3)/3.
+        let expected = (1.0 + 2.0 / 3.0) / 3.0;
+        assert!((average_precision_at_k(&RANKED, &TRUTH, 4) - expected).abs() < 1e-12);
+        assert_eq!(average_precision_at_k(&RANKED, &[], 4), 0.0);
+    }
+}

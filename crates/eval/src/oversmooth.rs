@@ -1,0 +1,149 @@
+//! Over-smoothing diagnostics.
+//!
+//! Section IV of the paper quantifies over-smoothing via the distance between
+//! connected nodes (Eq. 15, `||x_i - x_j|| → 0` as depth grows in LightGCN)
+//! and the divergence of each layer from the ego layer (Eq. 17,
+//! `d^l = ||x^l - x^0||`). These diagnostics back the Fig. 1/Fig. 5
+//! experiments and the Proposition 2 regression tests.
+
+use lrgcn_graph::BipartiteGraph;
+use lrgcn_tensor::Matrix;
+
+/// Mean Euclidean distance between the embeddings of connected (user, item)
+/// pairs — the quantity driven to 0 by over-smoothing (Eq. 15).
+///
+/// `emb` holds all `N = n_users + n_items` node embeddings, users first.
+pub fn mean_edge_distance(graph: &BipartiteGraph, emb: &Matrix) -> f64 {
+    assert_eq!(emb.rows(), graph.n_nodes(), "embedding/node count mismatch");
+    if graph.n_edges() == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for &(u, i) in graph.edges() {
+        let a = emb.row(u as usize);
+        let b = emb.row(graph.item_node(i) as usize);
+        let d2: f32 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        total += (d2 as f64).sqrt();
+    }
+    total / graph.n_edges() as f64
+}
+
+/// Mean per-row distance `d^l = ||x^l - x^0||_2` between a layer and the ego
+/// layer (Eq. 17/18).
+pub fn mean_layer_divergence(layer: &Matrix, ego: &Matrix) -> f64 {
+    assert_eq!(layer.shape(), ego.shape(), "layer/ego shape mismatch");
+    if layer.rows() == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for r in 0..layer.rows() {
+        let d2: f32 = layer
+            .row(r)
+            .iter()
+            .zip(ego.row(r))
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum();
+        total += (d2 as f64).sqrt();
+    }
+    total / layer.rows() as f64
+}
+
+/// Mean per-row cosine similarity between a layer and the ego layer — the
+/// quantity LayerGCN logs per layer in Fig. 5.
+pub fn mean_layer_cosine(layer: &Matrix, ego: &Matrix, eps: f32) -> f64 {
+    assert_eq!(layer.shape(), ego.shape(), "layer/ego shape mismatch");
+    if layer.rows() == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for r in 0..layer.rows() {
+        let (a, b) = (layer.row(r), ego.row(r));
+        let d: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        total += (d / (na * nb).max(eps)) as f64;
+    }
+    total / layer.rows() as f64
+}
+
+/// Mean pairwise distance among a sample of node pairs; a global
+/// "distinguishability" measure used in the depth-sweep experiment (Fig. 6
+/// commentary). Deterministic stride-based sampling keeps it reproducible.
+pub fn mean_pairwise_distance(emb: &Matrix, max_pairs: usize) -> f64 {
+    let n = emb.rows();
+    if n < 2 || max_pairs == 0 {
+        return 0.0;
+    }
+    let stride = ((n * (n - 1) / 2) / max_pairs).max(1);
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    let mut k = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if k.is_multiple_of(stride) {
+                let d2: f32 = emb
+                    .row(i)
+                    .iter()
+                    .zip(emb.row(j))
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum();
+                total += (d2 as f64).sqrt();
+                count += 1;
+            }
+            k += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_distance_zero_for_identical_embeddings() {
+        let g = BipartiteGraph::new(2, 2, vec![(0, 0), (1, 1)]);
+        let emb = Matrix::full(4, 3, 0.7);
+        assert_eq!(mean_edge_distance(&g, &emb), 0.0);
+    }
+
+    #[test]
+    fn edge_distance_computes_euclidean() {
+        let g = BipartiteGraph::new(1, 1, vec![(0, 0)]);
+        // user 0 at (0,0), item 0 (node 1) at (3,4) -> distance 5.
+        let emb = Matrix::from_vec(2, 2, vec![0.0, 0.0, 3.0, 4.0]);
+        assert!((mean_edge_distance(&g, &emb) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn layer_divergence_and_cosine() {
+        let ego = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let same = ego.clone();
+        assert_eq!(mean_layer_divergence(&same, &ego), 0.0);
+        assert!((mean_layer_cosine(&same, &ego, 1e-8) - 1.0).abs() < 1e-6);
+
+        let orth = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        assert!((mean_layer_cosine(&orth, &ego, 1e-8)).abs() < 1e-6);
+        assert!((mean_layer_divergence(&orth, &ego) - 2.0f64.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pairwise_distance_shrinks_when_collapsed() {
+        let spread = Matrix::from_vec(4, 1, vec![0.0, 1.0, 2.0, 3.0]);
+        let collapsed = Matrix::from_vec(4, 1, vec![1.0, 1.0, 1.0, 1.01]);
+        assert!(
+            mean_pairwise_distance(&spread, 100) > 10.0 * mean_pairwise_distance(&collapsed, 100)
+        );
+    }
+
+    #[test]
+    fn pairwise_distance_sampling_bounds() {
+        let emb = Matrix::full(50, 2, 1.0);
+        assert_eq!(mean_pairwise_distance(&emb, 10), 0.0);
+        assert_eq!(mean_pairwise_distance(&emb, 0), 0.0);
+    }
+}

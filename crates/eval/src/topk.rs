@@ -1,0 +1,276 @@
+//! The all-ranking evaluation protocol (§V-A3).
+//!
+//! For every evaluation user, *all* items the user has not interacted with
+//! in training are candidates. The model provides a score row per user; we
+//! mask training items to `-inf`, select the top-K, and aggregate
+//! Recall@K / NDCG@K over users.
+
+use crate::metrics;
+use lrgcn_data::Dataset;
+use lrgcn_tensor::Matrix;
+
+/// Which held-out split to evaluate against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Split {
+    Val,
+    Test,
+}
+
+/// Aggregated ranking quality at one cutoff.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RankingMetrics {
+    pub k: usize,
+    pub recall: f64,
+    pub ndcg: f64,
+    pub precision: f64,
+    pub hit_rate: f64,
+}
+
+/// A full evaluation report (one entry per requested K).
+#[derive(Clone, Debug, Default)]
+pub struct EvalReport {
+    pub metrics: Vec<RankingMetrics>,
+    pub n_users: usize,
+}
+
+impl EvalReport {
+    /// Recall@K from the report; panics if K was not evaluated.
+    pub fn recall(&self, k: usize) -> f64 {
+        self.at(k).recall
+    }
+
+    /// NDCG@K from the report; panics if K was not evaluated.
+    pub fn ndcg(&self, k: usize) -> f64 {
+        self.at(k).ndcg
+    }
+
+    fn at(&self, k: usize) -> &RankingMetrics {
+        self.metrics
+            .iter()
+            .find(|m| m.k == k)
+            .unwrap_or_else(|| panic!("K={k} was not evaluated"))
+    }
+
+    /// A compact `R@10 0.1234 | N@10 0.0567 | ...` line for logs.
+    pub fn summary(&self) -> String {
+        self.metrics
+            .iter()
+            .map(|m| format!("R@{} {:.4} N@{} {:.4}", m.k, m.recall, m.k, m.ndcg))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+}
+
+/// Selects the indices of the `k` largest scores (ties broken toward lower
+/// index, deterministically). `O(n)` via partial selection, then sorts the
+/// winners by descending score.
+pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<u32> {
+    let k = k.min(scores.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+    let cmp = |&a: &u32, &b: &u32| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .expect("scores must not be NaN")
+            .then(a.cmp(&b))
+    };
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k - 1, cmp);
+        idx.truncate(k);
+    }
+    idx.sort_by(cmp);
+    idx
+}
+
+/// Evaluates a scoring function under the all-ranking protocol.
+///
+/// ```
+/// use lrgcn_eval::{evaluate_ranking, Split};
+/// use lrgcn_data::Dataset;
+/// use lrgcn_tensor::Matrix;
+/// let ds = Dataset::from_parts(
+///     "toy", 1, 3,
+///     vec![(0, 0)],                 // user 0 trained on item 0
+///     vec![vec![]], vec![vec![2]],  // tests on item 2
+/// );
+/// // Scorer that loves item 2: perfect recall.
+/// let rep = evaluate_ranking(&ds, Split::Test, &[1], 8, &mut |users| {
+///     let mut m = Matrix::zeros(users.len(), 3);
+///     for r in 0..users.len() { m[(r, 2)] = 1.0; }
+///     m
+/// });
+/// assert_eq!(rep.recall(1), 1.0);
+/// ```
+///
+/// `score_fn` receives a chunk of user ids and must return a
+/// `(chunk_len, n_items)` matrix of scores (higher = better). Training items
+/// are masked here; the model does not need to.
+pub fn evaluate_ranking(
+    ds: &Dataset,
+    split: Split,
+    ks: &[usize],
+    chunk_size: usize,
+    score_fn: &mut dyn FnMut(&[u32]) -> Matrix,
+) -> EvalReport {
+    assert!(!ks.is_empty(), "at least one cutoff required");
+    assert!(chunk_size > 0, "chunk size must be positive");
+    let users = match split {
+        Split::Val => ds.val_users(),
+        Split::Test => ds.test_users(),
+    };
+    let max_k = *ks.iter().max().expect("non-empty ks");
+    let mut sums: Vec<(f64, f64, f64, f64)> = vec![(0.0, 0.0, 0.0, 0.0); ks.len()];
+
+    for chunk in users.chunks(chunk_size) {
+        let mut scores = score_fn(chunk);
+        assert_eq!(
+            scores.shape(),
+            (chunk.len(), ds.n_items()),
+            "score_fn must return (chunk, n_items)"
+        );
+        for (row, &u) in chunk.iter().enumerate() {
+            let srow = &mut scores.row_mut(row);
+            for &it in ds.train_items(u) {
+                srow[it as usize] = f32::NEG_INFINITY;
+            }
+            let ranked = top_k_indices(srow, max_k);
+            let truth = match split {
+                Split::Val => ds.val_items(u),
+                Split::Test => ds.test_items(u),
+            };
+            for (ki, &k) in ks.iter().enumerate() {
+                sums[ki].0 += metrics::recall_at_k(&ranked, truth, k);
+                sums[ki].1 += metrics::ndcg_at_k(&ranked, truth, k);
+                sums[ki].2 += metrics::precision_at_k(&ranked, truth, k);
+                sums[ki].3 += metrics::hit_rate_at_k(&ranked, truth, k);
+            }
+        }
+    }
+
+    let n = users.len().max(1) as f64;
+    EvalReport {
+        metrics: ks
+            .iter()
+            .zip(sums)
+            .map(|(&k, (r, nd, p, h))| RankingMetrics {
+                k,
+                recall: r / n,
+                ndcg: nd / n,
+                precision: p / n,
+                hit_rate: h / n,
+            })
+            .collect(),
+        n_users: users.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_orders_descending_with_stable_ties() {
+        let scores = [0.5f32, 2.0, 2.0, -1.0, 3.0];
+        assert_eq!(top_k_indices(&scores, 3), vec![4, 1, 2]);
+        assert_eq!(top_k_indices(&scores, 10), vec![4, 1, 2, 0, 3]);
+        assert!(top_k_indices(&scores, 0).is_empty());
+    }
+
+    #[test]
+    fn top_k_neg_infinity_sinks() {
+        let scores = [f32::NEG_INFINITY, 1.0, f32::NEG_INFINITY, 0.5];
+        assert_eq!(top_k_indices(&scores, 2), vec![1, 3]);
+    }
+
+    fn toy_dataset() -> Dataset {
+        // 2 users, 4 items. u0 trained on {0}, tests {1}; u1 trained on {1},
+        // tests {2,3}.
+        Dataset::from_parts(
+            "toy",
+            2,
+            4,
+            vec![(0, 0), (1, 1)],
+            vec![vec![], vec![]],
+            vec![vec![1], vec![2, 3]],
+        )
+    }
+
+    #[test]
+    fn oracle_scorer_achieves_perfect_metrics() {
+        let ds = toy_dataset();
+        let mut oracle = |users: &[u32]| {
+            let mut m = Matrix::zeros(users.len(), 4);
+            for (r, &u) in users.iter().enumerate() {
+                for &i in ds.test_items(u) {
+                    m[(r, i as usize)] = 1.0;
+                }
+            }
+            m
+        };
+        let rep = evaluate_ranking(&ds, Split::Test, &[2], 8, &mut oracle);
+        assert_eq!(rep.n_users, 2);
+        assert!((rep.recall(2) - 1.0).abs() < 1e-12);
+        assert!((rep.ndcg(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn train_items_are_masked() {
+        let ds = toy_dataset();
+        // Adversarial scorer puts all mass on the training item.
+        let mut adversary = |users: &[u32]| {
+            let mut m = Matrix::zeros(users.len(), 4);
+            for (r, &u) in users.iter().enumerate() {
+                for &i in ds.train_items(u) {
+                    m[(r, i as usize)] = 100.0;
+                }
+            }
+            m
+        };
+        let rep = evaluate_ranking(&ds, Split::Test, &[1], 8, &mut adversary);
+        // Scores on candidates are all ties at 0; rank is by index. u0's
+        // top-1 candidate is item 1 (its truth!), u1's is item 0 (miss).
+        assert!((rep.recall(1) - 0.5 * (1.0 + 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chunking_does_not_change_results() {
+        let ds = toy_dataset();
+        let mk = |users: &[u32]| {
+            let mut m = Matrix::zeros(users.len(), 4);
+            for (r, &u) in users.iter().enumerate() {
+                for i in 0..4usize {
+                    m[(r, i)] = ((u as usize * 7 + i * 3) % 5) as f32;
+                }
+            }
+            m
+        };
+        let r1 = evaluate_ranking(&ds, Split::Test, &[1, 2], 1, &mut { mk });
+        let r2 = evaluate_ranking(&ds, Split::Test, &[1, 2], 64, &mut { mk });
+        assert_eq!(r1.metrics, r2.metrics);
+    }
+
+    #[test]
+    fn empty_split_yields_zero_users() {
+        let ds = toy_dataset();
+        let rep = evaluate_ranking(&ds, Split::Val, &[1], 8, &mut |u: &[u32]| {
+            Matrix::zeros(u.len(), 4)
+        });
+        assert_eq!(rep.n_users, 0);
+        assert_eq!(rep.recall(1), 0.0);
+    }
+
+    #[test]
+    fn summary_mentions_all_ks() {
+        let rep = EvalReport {
+            metrics: vec![
+                RankingMetrics { k: 10, recall: 0.1, ndcg: 0.2, precision: 0.0, hit_rate: 0.0 },
+                RankingMetrics { k: 20, recall: 0.3, ndcg: 0.4, precision: 0.0, hit_rate: 0.0 },
+            ],
+            n_users: 5,
+        };
+        let s = rep.summary();
+        assert!(s.contains("R@10") && s.contains("N@20"));
+    }
+}

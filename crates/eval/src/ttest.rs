@@ -1,0 +1,228 @@
+//! Paired two-sided t-test.
+//!
+//! Table II's footnote reports significance of LayerGCN over the best
+//! baseline across 5 seeds with a paired t-test at `p < 0.05`. This module
+//! implements the test from scratch: the t statistic on paired differences
+//! and the Student-t CDF via the regularized incomplete beta function
+//! (continued-fraction evaluation, Numerical Recipes style).
+
+/// Outcome of a paired t-test.
+#[derive(Clone, Copy, Debug)]
+pub struct TTestResult {
+    pub t_statistic: f64,
+    pub degrees_of_freedom: usize,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Mean of the paired differences `a - b`.
+    pub mean_difference: f64,
+}
+
+/// Runs a paired, two-sided t-test on equal-length samples.
+///
+/// # Panics
+/// Panics if lengths differ or fewer than 2 pairs are given.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> TTestResult {
+    assert_eq!(a.len(), b.len(), "paired test needs equal lengths");
+    let n = a.len();
+    assert!(n >= 2, "need at least two pairs");
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let mean = diffs.iter().sum::<f64>() / n as f64;
+    let var = diffs.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+    let se = (var / n as f64).sqrt();
+    let df = n - 1;
+    let t = if se > 0.0 {
+        mean / se
+    } else if mean == 0.0 {
+        0.0
+    } else {
+        f64::INFINITY * mean.signum()
+    };
+    TTestResult {
+        t_statistic: t,
+        degrees_of_freedom: df,
+        p_value: two_sided_p(t, df),
+        mean_difference: mean,
+    }
+}
+
+/// Two-sided p-value for a t statistic with `df` degrees of freedom:
+/// `p = I_{df/(df+t²)}(df/2, 1/2)`.
+pub fn two_sided_p(t: f64, df: usize) -> f64 {
+    if !t.is_finite() {
+        return if t == 0.0 { 1.0 } else { 0.0 };
+    }
+    let dff = df as f64;
+    let x = dff / (dff + t * t);
+    reg_inc_beta(dff / 2.0, 0.5, x).clamp(0.0, 1.0)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "x must be in [0,1], got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Lentz continued fraction for the incomplete beta.
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires positive argument");
+    const G: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_5e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for g in G {
+        y += 1.0;
+        ser += g / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(5) = 24, Γ(0.5) = sqrt(pi).
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inc_beta_symmetry_and_bounds() {
+        // I_x(a,b) = 1 - I_{1-x}(b,a).
+        for (a, b, x) in [(2.0, 3.0, 0.3), (0.5, 0.5, 0.7), (5.0, 1.0, 0.9)] {
+            let lhs = reg_inc_beta(a, b, x);
+            let rhs = 1.0 - reg_inc_beta(b, a, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-10, "a={a} b={b} x={x}");
+            assert!((0.0..=1.0).contains(&lhs));
+        }
+        assert_eq!(reg_inc_beta(2.0, 2.0, 0.0), 0.0);
+        assert_eq!(reg_inc_beta(2.0, 2.0, 1.0), 1.0);
+        // I_x(1,1) = x (uniform CDF).
+        assert!((reg_inc_beta(1.0, 1.0, 0.42) - 0.42).abs() < 1e-10);
+    }
+
+    #[test]
+    fn t_cdf_reference_values() {
+        // Classic quantiles: t = 2.776 at df = 4 is the 97.5th percentile,
+        // so the two-sided p is 0.05.
+        assert!((two_sided_p(2.776, 4) - 0.05).abs() < 2e-3);
+        // t = 12.706 at df = 1 -> p = 0.05.
+        assert!((two_sided_p(12.706, 1) - 0.05).abs() < 2e-3);
+        // t = 0 -> p = 1.
+        assert!((two_sided_p(0.0, 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paired_test_detects_consistent_improvement() {
+        let a = [0.281, 0.279, 0.283, 0.280, 0.282];
+        let b = [0.251, 0.250, 0.253, 0.252, 0.250];
+        let r = paired_t_test(&a, &b);
+        assert!(r.mean_difference > 0.0);
+        assert!(r.p_value < 0.001, "p = {}", r.p_value);
+        assert_eq!(r.degrees_of_freedom, 4);
+    }
+
+    #[test]
+    fn paired_test_of_noise_is_insignificant() {
+        let a = [0.30, 0.28, 0.31, 0.29, 0.30];
+        let b = [0.29, 0.31, 0.28, 0.30, 0.31];
+        let r = paired_t_test(&a, &b);
+        assert!(r.p_value > 0.05, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn identical_samples_give_p_one() {
+        let a = [0.5, 0.6, 0.7];
+        let r = paired_t_test(&a, &a);
+        assert_eq!(r.t_statistic, 0.0);
+        assert!((r.p_value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_nonzero_difference_is_certain() {
+        let a = [0.5, 0.6, 0.7];
+        let b = [0.4, 0.5, 0.6];
+        let r = paired_t_test(&a, &b);
+        assert!(r.t_statistic.is_infinite());
+        assert_eq!(r.p_value, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn mismatched_lengths_rejected() {
+        let _ = paired_t_test(&[1.0, 2.0], &[1.0]);
+    }
+}

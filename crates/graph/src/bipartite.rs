@@ -1,0 +1,305 @@
+//! User–item bipartite interaction graphs.
+//!
+//! The recommendation graph of the paper (§III-A) has `N = N_U + N_I` nodes:
+//! users occupy ids `0..n_users` and items occupy ids
+//! `n_users..n_users+n_items`. The symmetric adjacency of Eq. 4,
+//!
+//! ```text
+//! A = [ 0   R ]
+//!     [ R^T 0 ]
+//! ```
+//!
+//! is materialized in CSR form by [`BipartiteGraph::adjacency`], and the
+//! LightGCN/LayerGCN transition matrix `Â = D^{-1/2} A D^{-1/2}` by
+//! [`BipartiteGraph::norm_adjacency`].
+
+use crate::csr::Csr;
+
+/// An undirected user–item interaction graph.
+///
+/// ```
+/// use lrgcn_graph::BipartiteGraph;
+/// let g = BipartiteGraph::new(2, 3, vec![(0, 0), (0, 1), (1, 1)]);
+/// assert_eq!(g.n_nodes(), 5);
+/// let adj = g.norm_adjacency(); // D^{-1/2} A D^{-1/2}, Eq. 4 normalized
+/// assert!(adj.is_symmetric(1e-6));
+/// // Edge (u0, i1): both endpoints have degree 2 -> weight 1/2.
+/// assert!((adj.get(0, g.item_node(1)) - 0.5).abs() < 1e-6);
+/// ```
+///
+/// Edges are stored deduplicated as `(user, item)` pairs with item ids in the
+/// *item-local* space `0..n_items` (not offset by `n_users`).
+#[derive(Clone, Debug)]
+pub struct BipartiteGraph {
+    n_users: usize,
+    n_items: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl BipartiteGraph {
+    /// Builds a graph from raw interaction pairs, deduplicating repeats.
+    ///
+    /// # Panics
+    /// Panics if any id is out of range.
+    pub fn new(
+        n_users: usize,
+        n_items: usize,
+        pairs: impl IntoIterator<Item = (u32, u32)>,
+    ) -> Self {
+        let mut edges: Vec<(u32, u32)> = pairs.into_iter().collect();
+        for &(u, i) in &edges {
+            assert!(
+                (u as usize) < n_users && (i as usize) < n_items,
+                "interaction ({u},{i}) out of range ({n_users} users, {n_items} items)"
+            );
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        Self {
+            n_users,
+            n_items,
+            edges,
+        }
+    }
+
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Total node count `N = N_U + N_I`.
+    pub fn n_nodes(&self) -> usize {
+        self.n_users + self.n_items
+    }
+
+    /// Number of undirected user–item edges `M`.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The deduplicated `(user, item)` edge list (item ids item-local).
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Sparsity as reported in Table I: `1 - M / (N_U * N_I)`.
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.n_edges() as f64 / (self.n_users as f64 * self.n_items as f64)
+    }
+
+    /// Per-user interaction counts.
+    pub fn user_degrees(&self) -> Vec<u32> {
+        let mut d = vec![0u32; self.n_users];
+        for &(u, _) in &self.edges {
+            d[u as usize] += 1;
+        }
+        d
+    }
+
+    /// Per-item interaction counts.
+    pub fn item_degrees(&self) -> Vec<u32> {
+        let mut d = vec![0u32; self.n_items];
+        for &(_, i) in &self.edges {
+            d[i as usize] += 1;
+        }
+        d
+    }
+
+    /// Degree of each node in the unified `N`-node id space.
+    pub fn node_degrees(&self) -> Vec<u32> {
+        let mut d = vec![0u32; self.n_nodes()];
+        for &(u, i) in &self.edges {
+            d[u as usize] += 1;
+            d[self.n_users + i as usize] += 1;
+        }
+        d
+    }
+
+    /// The interaction matrix `R` (`n_users x n_items`) in CSR form.
+    pub fn interaction_matrix(&self) -> Csr {
+        Csr::from_coo(
+            self.n_users,
+            self.n_items,
+            self.edges.iter().map(|&(u, i)| (u, i, 1.0)),
+        )
+    }
+
+    /// The symmetric block adjacency `A` of Eq. 4 over all `N` nodes.
+    pub fn adjacency(&self) -> Csr {
+        self.adjacency_of_edges(&self.edges)
+    }
+
+    /// As [`BipartiteGraph::adjacency`], but restricted to a subset of edges
+    /// (used by the edge-pruning mechanisms of [`crate::dropout`]).
+    pub fn adjacency_of_edges(&self, edges: &[(u32, u32)]) -> Csr {
+        let off = self.n_users as u32;
+        let n = self.n_nodes();
+        Csr::from_coo(
+            n,
+            n,
+            edges.iter().flat_map(|&(u, i)| {
+                [(u, off + i, 1.0f32), (off + i, u, 1.0f32)]
+            }),
+        )
+    }
+
+    /// The LightGCN/LayerGCN transition matrix `Â = D^{-1/2} A D^{-1/2}`
+    /// (no self loops), used for propagation at inference time.
+    pub fn norm_adjacency(&self) -> Csr {
+        self.adjacency().sym_normalized()
+    }
+
+    /// The vanilla-GCN re-normalized adjacency
+    /// `Â = D̂^{-1/2}(A + I)D̂^{-1/2}` (with self loops).
+    pub fn renorm_adjacency_with_self_loops(&self) -> Csr {
+        self.adjacency().add_identity().sym_normalized()
+    }
+
+    /// Normalized adjacency of a pruned edge subset, per §III-B1: the pruned
+    /// graph is re-normalized using *its own* degree matrix.
+    pub fn norm_adjacency_of_edges(&self, edges: &[(u32, u32)]) -> Csr {
+        self.adjacency_of_edges(edges).sym_normalized()
+    }
+
+    /// The item–item co-occurrence matrix `G = RᵀR` with the diagonal
+    /// removed: `G[i][j]` counts users who interacted with both `i` and `j`.
+    /// Built sparsely via SpGEMM; feeds UltraGCN's item-item constraint
+    /// graph and ItemKNN's similarity neighbourhoods.
+    pub fn item_cooccurrence(&self) -> Csr {
+        let r = self.interaction_matrix();
+        r.transpose().matmul_sparse(&r).without_diagonal()
+    }
+
+    /// Splits a node id in the unified space back into `User(u)`/`Item(i)`.
+    pub fn node_kind(&self, node: u32) -> NodeKind {
+        if (node as usize) < self.n_users {
+            NodeKind::User(node)
+        } else {
+            NodeKind::Item(node - self.n_users as u32)
+        }
+    }
+
+    /// The global node id of item `i`.
+    pub fn item_node(&self, i: u32) -> u32 {
+        self.n_users as u32 + i
+    }
+}
+
+/// Discriminates the two node types of the bipartite graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    User(u32),
+    Item(u32),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BipartiteGraph {
+        // 2 users, 3 items; u0-{i0,i1}, u1-{i1,i2}
+        BipartiteGraph::new(2, 3, vec![(0, 0), (0, 1), (1, 1), (1, 2)])
+    }
+
+    #[test]
+    fn counts_and_sparsity() {
+        let g = tiny();
+        assert_eq!(g.n_nodes(), 5);
+        assert_eq!(g.n_edges(), 4);
+        assert!((g.sparsity() - (1.0 - 4.0 / 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dedup_on_construction() {
+        let g = BipartiteGraph::new(2, 2, vec![(0, 0), (0, 0), (1, 1)]);
+        assert_eq!(g.n_edges(), 2);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = tiny();
+        assert_eq!(g.user_degrees(), vec![2, 2]);
+        assert_eq!(g.item_degrees(), vec![1, 2, 1]);
+        assert_eq!(g.node_degrees(), vec![2, 2, 1, 2, 1]);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_block_matrix() {
+        let g = tiny();
+        let a = g.adjacency();
+        assert!(a.is_symmetric(0.0));
+        // User-user and item-item blocks must be empty.
+        for u in 0..2u32 {
+            for u2 in 0..2u32 {
+                assert_eq!(a.get(u as usize, u2), 0.0);
+            }
+        }
+        for i in 0..3u32 {
+            for i2 in 0..3u32 {
+                assert_eq!(a.get(2 + i as usize, 2 + i2), 0.0);
+            }
+        }
+        assert_eq!(a.get(0, 2), 1.0); // u0-i0
+        assert_eq!(a.get(3, 1), 1.0); // i1-u1
+        assert_eq!(a.nnz(), 2 * g.n_edges());
+    }
+
+    #[test]
+    fn norm_adjacency_entries_match_degree_formula() {
+        let g = tiny();
+        let n = g.norm_adjacency();
+        // Edge u0-i1: d(u0)=2, d(i1)=2 -> 1/2.
+        assert!((n.get(0, 3) - 0.5).abs() < 1e-6);
+        // Edge u0-i0: d(u0)=2, d(i0)=1 -> 1/sqrt(2).
+        assert!((n.get(0, 2) - 1.0 / 2.0f32.sqrt()).abs() < 1e-6);
+        assert!(n.is_symmetric(1e-6));
+    }
+
+    #[test]
+    fn renorm_with_self_loops_has_diagonal() {
+        let g = tiny();
+        let n = g.renorm_adjacency_with_self_loops();
+        for v in 0..g.n_nodes() {
+            assert!(n.get(v, v as u32) > 0.0);
+        }
+        assert!(n.is_symmetric(1e-6));
+    }
+
+    #[test]
+    fn pruned_adjacency_renormalizes_with_own_degrees() {
+        let g = tiny();
+        // Keep only u0-i0.
+        let n = g.norm_adjacency_of_edges(&[(0, 0)]);
+        // Both endpoints now have degree 1 -> entry is 1.
+        assert!((n.get(0, 2) - 1.0).abs() < 1e-6);
+        assert_eq!(n.nnz(), 2);
+    }
+
+    #[test]
+    fn item_cooccurrence_counts_shared_users() {
+        let g = tiny(); // u0-{i0,i1}, u1-{i1,i2}
+        let c = g.item_cooccurrence();
+        assert_eq!(c.get(0, 1), 1.0); // i0,i1 share u0
+        assert_eq!(c.get(1, 2), 1.0); // i1,i2 share u1
+        assert_eq!(c.get(0, 2), 0.0); // no shared user
+        assert_eq!(c.get(1, 1), 0.0); // diagonal removed
+        assert!(c.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn node_kind_roundtrip() {
+        let g = tiny();
+        assert_eq!(g.node_kind(1), NodeKind::User(1));
+        assert_eq!(g.node_kind(2), NodeKind::Item(0));
+        assert_eq!(g.item_node(2), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_items() {
+        let _ = BipartiteGraph::new(1, 1, vec![(0, 1)]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Connected components of the (pruned) interaction graph.
+//!
+//! The paper's Fig. 7 commentary attributes the performance drop at high
+//! edge-dropout ratios to the graph splitting into disconnected subgraphs,
+//! which blocks information propagation. This module quantifies that:
+//! count components of any edge subset and measure isolation.
+
+use crate::bipartite::BipartiteGraph;
+
+/// Union–find over `n` elements with path compression + union by size.
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `x`'s component.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the components of `a` and `b`; returns true if they were
+    /// previously disjoint.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Number of disjoint components (isolated nodes count individually).
+    pub fn n_components(&self) -> usize {
+        self.components
+    }
+
+    /// Size of the component containing `x`.
+    pub fn component_size(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize]
+    }
+}
+
+/// Summary of the component structure of an edge subset of a bipartite
+/// graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ComponentStats {
+    /// Total components over all `N` nodes (isolated nodes included).
+    pub n_components: usize,
+    /// Nodes with no incident edge in the subset.
+    pub n_isolated: usize,
+    /// Size of the largest component.
+    pub largest: usize,
+}
+
+/// Computes component statistics for a subset of a graph's edges.
+pub fn component_stats(graph: &BipartiteGraph, edges: &[(u32, u32)]) -> ComponentStats {
+    let n = graph.n_nodes();
+    let mut uf = UnionFind::new(n);
+    let mut touched = vec![false; n];
+    for &(u, i) in edges {
+        let iu = graph.item_node(i);
+        touched[u as usize] = true;
+        touched[iu as usize] = true;
+        uf.union(u, iu);
+    }
+    let n_isolated = touched.iter().filter(|&&t| !t).count();
+    let largest = (0..n as u32)
+        .map(|v| uf.component_size(v) as usize)
+        .max()
+        .unwrap_or(0);
+    ComponentStats {
+        n_components: uf.n_components(),
+        n_isolated,
+        largest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.n_components(), 4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.n_components(), 2);
+        assert!(uf.union(0, 3));
+        assert_eq!(uf.n_components(), 1);
+        assert_eq!(uf.component_size(2), 4);
+    }
+
+    #[test]
+    fn full_graph_single_component_when_connected() {
+        // u0-i0, u0-i1, u1-i1: one component of 4 nodes.
+        let g = BipartiteGraph::new(2, 2, vec![(0, 0), (0, 1), (1, 1)]);
+        let s = component_stats(&g, g.edges());
+        assert_eq!(s.n_components, 1);
+        assert_eq!(s.n_isolated, 0);
+        assert_eq!(s.largest, 4);
+    }
+
+    #[test]
+    fn pruning_splits_components() {
+        let g = BipartiteGraph::new(2, 2, vec![(0, 0), (0, 1), (1, 1)]);
+        // Keep only u0-i0: nodes u1 and i1 become isolated.
+        let s = component_stats(&g, &[(0, 0)]);
+        assert_eq!(s.n_isolated, 2);
+        assert_eq!(s.largest, 2);
+        assert_eq!(s.n_components, 3); // {u0,i0}, {u1}, {i1}
+    }
+
+    #[test]
+    fn empty_edge_set_all_isolated() {
+        let g = BipartiteGraph::new(3, 2, vec![(0, 0), (1, 1), (2, 0)]);
+        let s = component_stats(&g, &[]);
+        assert_eq!(s.n_components, 5);
+        assert_eq!(s.n_isolated, 5);
+        assert_eq!(s.largest, 1);
+    }
+
+    #[test]
+    fn heavier_pruning_never_reduces_components() {
+        use crate::dropout::EdgePruner;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut pairs = Vec::new();
+        for u in 0..30u32 {
+            for k in 0..3u32 {
+                pairs.push((u, (u + k * 7) % 20));
+            }
+        }
+        let g = BipartiteGraph::new(30, 20, pairs);
+        let mut prev = 0usize;
+        for ratio in [0.1f32, 0.5, 0.8] {
+            let mut rng = StdRng::seed_from_u64(1);
+            let kept = EdgePruner::DegreeDrop { ratio }
+                .sample_edges(&g, 0, &mut rng)
+                .expect("pruned");
+            let s = component_stats(&g, &kept);
+            assert!(
+                s.n_components >= prev,
+                "components decreased under heavier pruning"
+            );
+            prev = s.n_components;
+        }
+        assert!(prev > 1, "heavy pruning should fragment this sparse graph");
+    }
+}

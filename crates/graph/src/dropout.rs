@@ -1,0 +1,358 @@
+//! Edge-pruning mechanisms (§III-B1 of the paper).
+//!
+//! * [`EdgePruner::DegreeDrop`] — the paper's degree-sensitive pruning: edge
+//!   `e = (i, j)` is *kept* with probability proportional to
+//!   `p_e = 1 / (sqrt(d_i) * sqrt(d_j))` (Eq. 5), so edges between two
+//!   high-degree ("popular") nodes are the most likely to be removed.
+//! * [`EdgePruner::DropEdge`] — the uniform baseline of Rong et al. (ICLR'20).
+//! * [`EdgePruner::Mixed`] — alternates DegreeDrop and DropEdge across epochs
+//!   (§V-C3).
+//!
+//! The paper samples `M - m` surviving edges from a multinomial distribution
+//! parameterized by the keep probabilities. We implement the equivalent
+//! weighted sampling **without replacement** with the Efraimidis–Spirakis
+//! exponential-key one-pass algorithm: draw `u ~ U(0,1)` per edge, rank by
+//! `ln(u) / w`, keep the `M - m` largest keys. This is distributionally
+//! identical to sequential probability-proportional-to-size draws and costs
+//! `O(M log M)` regardless of the weight skew.
+//!
+//! Pruned graphs are re-sampled every epoch during training; inference always
+//! uses the full normalized adjacency (§III-B1).
+
+use crate::bipartite::BipartiteGraph;
+use crate::csr::Csr;
+use rand::{Rng, RngExt};
+
+/// An edge-pruning policy applied to the training graph each epoch.
+///
+/// ```
+/// use lrgcn_graph::{BipartiteGraph, EdgePruner};
+/// use rand::SeedableRng;
+/// let g = BipartiteGraph::new(4, 4, (0..4).flat_map(|u| [(u, u), (u, (u + 1) % 4)]));
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let kept = EdgePruner::DegreeDrop { ratio: 0.25 }
+///     .sample_edges(&g, /*epoch*/ 0, &mut rng)
+///     .unwrap();
+/// assert_eq!(kept.len(), 6); // 8 edges - 25%
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EdgePruner {
+    /// Keep every edge (the "LayerGCN w/o Dropout" variant of Table II).
+    None,
+    /// Degree-sensitive pruning with keep weight `1/sqrt(d_i d_j)` (Eq. 5).
+    DegreeDrop {
+        /// Fraction of edges removed, `m / M` in the paper; must be in `[0, 1)`.
+        ratio: f32,
+    },
+    /// Uniform pruning (DropEdge baseline).
+    DropEdge {
+        /// Fraction of edges removed; must be in `[0, 1)`.
+        ratio: f32,
+    },
+    /// DegreeDrop on even epochs, DropEdge on odd epochs (§V-C3).
+    Mixed {
+        /// Fraction of edges removed; must be in `[0, 1)`.
+        ratio: f32,
+    },
+}
+
+impl EdgePruner {
+    /// The dropout ratio of the policy (0 for [`EdgePruner::None`]).
+    pub fn ratio(&self) -> f32 {
+        match *self {
+            EdgePruner::None => 0.0,
+            EdgePruner::DegreeDrop { ratio }
+            | EdgePruner::DropEdge { ratio }
+            | EdgePruner::Mixed { ratio } => ratio,
+        }
+    }
+
+    /// Validates the ratio; `[0, 1)` is required so at least one edge can
+    /// survive.
+    pub fn validate(&self) -> Result<(), String> {
+        let r = self.ratio();
+        if !(0.0..1.0).contains(&r) {
+            return Err(format!("edge dropout ratio {r} must be in [0, 1)"));
+        }
+        Ok(())
+    }
+
+    /// Human-readable name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EdgePruner::None => "None",
+            EdgePruner::DegreeDrop { .. } => "DegreeDrop",
+            EdgePruner::DropEdge { .. } => "DropEdge",
+            EdgePruner::Mixed { .. } => "Mixed",
+        }
+    }
+
+    /// Samples the edges surviving this epoch, or `None` when the policy
+    /// keeps the graph intact (no pruning, or ratio 0).
+    pub fn sample_edges<R: Rng + ?Sized>(
+        &self,
+        graph: &BipartiteGraph,
+        epoch: usize,
+        rng: &mut R,
+    ) -> Option<Vec<(u32, u32)>> {
+        let ratio = self.ratio();
+        if matches!(self, EdgePruner::None) || ratio <= 0.0 {
+            return None;
+        }
+        debug_assert!(self.validate().is_ok());
+        let m_total = graph.n_edges();
+        let keep = m_total - ((m_total as f64 * ratio as f64).round() as usize).min(m_total - 1);
+        let effective = match self {
+            EdgePruner::Mixed { ratio } => {
+                if epoch.is_multiple_of(2) {
+                    EdgePruner::DegreeDrop { ratio: *ratio }
+                } else {
+                    EdgePruner::DropEdge { ratio: *ratio }
+                }
+            }
+            other => *other,
+        };
+        let kept_idx = match effective {
+            EdgePruner::DropEdge { .. } => sample_uniform(m_total, keep, rng),
+            EdgePruner::DegreeDrop { .. } => {
+                let w = degree_keep_weights(graph);
+                sample_weighted_without_replacement(&w, keep, rng)
+            }
+            _ => unreachable!("effective pruner is always DegreeDrop or DropEdge"),
+        };
+        let edges = graph.edges();
+        Some(kept_idx.into_iter().map(|k| edges[k]).collect())
+    }
+
+    /// The normalized adjacency `Â_p` to use for propagation this epoch:
+    /// either the pruned re-normalized matrix or the full one.
+    pub fn pruned_norm_adjacency<R: Rng + ?Sized>(
+        &self,
+        graph: &BipartiteGraph,
+        epoch: usize,
+        rng: &mut R,
+    ) -> Csr {
+        match self.sample_edges(graph, epoch, rng) {
+            Some(edges) => graph.norm_adjacency_of_edges(&edges),
+            None => graph.norm_adjacency(),
+        }
+    }
+}
+
+/// The unnormalized keep weights of Eq. 5: `p_e = 1 / sqrt(d_i * d_j)` for
+/// edge `e = (i, j)`, with degrees taken in the full training graph.
+pub fn degree_keep_weights(graph: &BipartiteGraph) -> Vec<f64> {
+    let ud = graph.user_degrees();
+    let id = graph.item_degrees();
+    graph
+        .edges()
+        .iter()
+        .map(|&(u, i)| {
+            let du = ud[u as usize].max(1) as f64;
+            let di = id[i as usize].max(1) as f64;
+            1.0 / (du.sqrt() * di.sqrt())
+        })
+        .collect()
+}
+
+/// Uniformly samples `k` distinct indices out of `0..n` (Fisher–Yates on a
+/// prefix), returned in increasing order.
+pub fn sample_uniform<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} of {n}");
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx.sort_unstable();
+    idx
+}
+
+/// Weighted sampling without replacement (Efraimidis–Spirakis): returns the
+/// indices of `k` items drawn with probability proportional to `weights`,
+/// in increasing index order.
+///
+/// # Panics
+/// Panics if `k > weights.len()` or any weight is non-positive/non-finite.
+pub fn sample_weighted_without_replacement<R: Rng + ?Sized>(
+    weights: &[f64],
+    k: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    assert!(k <= weights.len(), "cannot sample {k} of {}", weights.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut keyed: Vec<(f64, usize)> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            assert!(w.is_finite() && w > 0.0, "weight {w} at index {i} invalid");
+            // u in (0, 1]; ln(u)/w is the log of the Efraimidis-Spirakis key
+            // u^(1/w); larger is more likely to be kept.
+            let u: f64 = 1.0 - rng.random::<f64>();
+            (u.ln() / w, i)
+        })
+        .collect();
+    let pivot = (k - 1).min(keyed.len() - 1);
+    keyed.select_nth_unstable_by(pivot, |a, b| {
+        b.0.partial_cmp(&a.0).expect("keys are finite")
+    });
+    let mut out: Vec<usize> = keyed[..k].iter().map(|&(_, i)| i).collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn star_graph() -> BipartiteGraph {
+        // One hub item i0 connected to 8 users; plus 8 leaf items each
+        // connected to one user -> hub edges have much higher degree product.
+        let mut pairs = Vec::new();
+        for u in 0..8u32 {
+            pairs.push((u, 0));
+            pairs.push((u, 1 + u));
+        }
+        BipartiteGraph::new(8, 9, pairs)
+    }
+
+    #[test]
+    fn ratio_and_validation() {
+        assert_eq!(EdgePruner::None.ratio(), 0.0);
+        assert!(EdgePruner::DegreeDrop { ratio: 0.3 }.validate().is_ok());
+        assert!(EdgePruner::DropEdge { ratio: 1.0 }.validate().is_err());
+        assert!(EdgePruner::Mixed { ratio: -0.1 }.validate().is_err());
+    }
+
+    #[test]
+    fn none_and_zero_ratio_keep_graph() {
+        let g = star_graph();
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(EdgePruner::None.sample_edges(&g, 0, &mut rng).is_none());
+        assert!(EdgePruner::DegreeDrop { ratio: 0.0 }
+            .sample_edges(&g, 0, &mut rng)
+            .is_none());
+    }
+
+    #[test]
+    fn dropedge_keeps_expected_count() {
+        let g = star_graph();
+        let mut rng = StdRng::seed_from_u64(1);
+        let kept = EdgePruner::DropEdge { ratio: 0.25 }
+            .sample_edges(&g, 0, &mut rng)
+            .expect("pruned");
+        assert_eq!(kept.len(), g.n_edges() - (g.n_edges() as f64 * 0.25).round() as usize);
+        // All kept edges are real edges.
+        for e in &kept {
+            assert!(g.edges().contains(e));
+        }
+    }
+
+    #[test]
+    fn degreedrop_prefers_removing_hub_edges() {
+        let g = star_graph();
+        let hub_edges: usize = 8;
+        let mut hub_kept_deg = 0usize;
+        let mut hub_kept_uni = 0usize;
+        let trials = 400;
+        let mut rng = StdRng::seed_from_u64(42);
+        for t in 0..trials {
+            let kd = EdgePruner::DegreeDrop { ratio: 0.5 }
+                .sample_edges(&g, t, &mut rng)
+                .expect("pruned");
+            hub_kept_deg += kd.iter().filter(|&&(_, i)| i == 0).count();
+            let ku = EdgePruner::DropEdge { ratio: 0.5 }
+                .sample_edges(&g, t, &mut rng)
+                .expect("pruned");
+            hub_kept_uni += ku.iter().filter(|&&(_, i)| i == 0).count();
+        }
+        // Under uniform dropping the hub keeps about half its edges; under
+        // DegreeDrop distinctly fewer.
+        assert!(
+            hub_kept_deg * 10 < hub_kept_uni * 8,
+            "DegreeDrop kept {hub_kept_deg}/{} hub edges vs DropEdge {hub_kept_uni}",
+            hub_edges * trials
+        );
+    }
+
+    #[test]
+    fn mixed_alternates_between_policies() {
+        let g = star_graph();
+        // With a fixed seed per call, even epochs must reproduce DegreeDrop
+        // and odd epochs DropEdge exactly.
+        let mixed = EdgePruner::Mixed { ratio: 0.5 };
+        let kd = mixed.sample_edges(&g, 0, &mut StdRng::seed_from_u64(5));
+        let kd_ref = EdgePruner::DegreeDrop { ratio: 0.5 }
+            .sample_edges(&g, 0, &mut StdRng::seed_from_u64(5));
+        assert_eq!(kd, kd_ref);
+        let ku = mixed.sample_edges(&g, 1, &mut StdRng::seed_from_u64(5));
+        let ku_ref = EdgePruner::DropEdge { ratio: 0.5 }
+            .sample_edges(&g, 1, &mut StdRng::seed_from_u64(5));
+        assert_eq!(ku, ku_ref);
+    }
+
+    #[test]
+    fn weighted_sampling_respects_weights_statistically() {
+        // Two items, weight 9:1; sampling 1 of 2 should pick item 0 ~90%.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut zero = 0;
+        let n = 5000;
+        for _ in 0..n {
+            let s = sample_weighted_without_replacement(&[9.0, 1.0], 1, &mut rng);
+            if s == [0] {
+                zero += 1;
+            }
+        }
+        let frac = zero as f64 / n as f64;
+        assert!((frac - 0.9).abs() < 0.02, "observed {frac}");
+    }
+
+    #[test]
+    fn weighted_sampling_k_equals_n_returns_all() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = sample_weighted_without_replacement(&[1.0, 2.0, 3.0], 3, &mut rng);
+        assert_eq!(s, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn uniform_sampling_is_unbiased_enough() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut counts = [0usize; 4];
+        for _ in 0..8000 {
+            for i in sample_uniform(4, 2, &mut rng) {
+                counts[i] += 1;
+            }
+        }
+        for &c in &counts {
+            let frac = c as f64 / (8000.0 * 2.0);
+            assert!((frac - 0.25).abs() < 0.02, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn pruned_adjacency_shapes() {
+        let g = star_graph();
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = EdgePruner::DegreeDrop { ratio: 0.5 }.pruned_norm_adjacency(&g, 0, &mut rng);
+        assert_eq!(a.n_rows(), g.n_nodes());
+        assert!(a.is_symmetric(1e-6));
+        assert!(a.nnz() < 2 * g.n_edges());
+        let full = EdgePruner::None.pruned_norm_adjacency(&g, 0, &mut rng);
+        assert_eq!(full.nnz(), 2 * g.n_edges());
+    }
+
+    #[test]
+    fn keep_weights_match_eq5() {
+        let g = BipartiteGraph::new(2, 2, vec![(0, 0), (0, 1), (1, 1)]);
+        // degrees: u0=2, u1=1, i0=1, i1=2
+        let w = degree_keep_weights(&g);
+        assert!((w[0] - 1.0 / (2.0f64.sqrt() * 1.0)).abs() < 1e-12); // (u0,i0)
+        assert!((w[1] - 1.0 / (2.0f64.sqrt() * 2.0f64.sqrt())).abs() < 1e-12); // (u0,i1)
+        assert!((w[2] - 1.0 / (1.0 * 2.0f64.sqrt())).abs() < 1e-12); // (u1,i1)
+    }
+}

@@ -1,0 +1,34 @@
+//! # lrgcn-graph — sparse graph substrate for the LayerGCN reproduction
+//!
+//! This crate owns everything graph-shaped that the LayerGCN paper (Zhou et
+//! al., ICDE 2023) relies on:
+//!
+//! * [`csr::Csr`] — a compressed-sparse-row `f32` matrix with the propagation
+//!   kernel `Â·X` ([`csr::Csr::spmm_into`]) that every GCN layer runs on;
+//! * [`bipartite::BipartiteGraph`] — the user–item interaction graph, its
+//!   block adjacency (Eq. 4) and the symmetric normalization
+//!   `D^{-1/2} A D^{-1/2}` used by LightGCN and LayerGCN;
+//! * [`dropout::EdgePruner`] — the paper's degree-sensitive edge dropout
+//!   (DegreeDrop, Eq. 5), the uniform DropEdge baseline, and their Mixed
+//!   alternation (§V-C3);
+//! * [`components`] — union-find component analysis (the Fig. 7 commentary
+//!   on pruning-induced graph splits);
+//! * [`khop`] — receptive-field saturation analysis (the structural root
+//!   of over-smoothing at depth);
+//! * [`wl`] — 1-WL color refinement backing Proposition 1's expressiveness
+//!   claim.
+//!
+//! The crate has no opinion about embeddings or training; those live in
+//! `lrgcn-tensor` and `lrgcn-models`.
+
+pub mod bipartite;
+pub mod components;
+pub mod csr;
+pub mod dropout;
+pub mod khop;
+pub mod wl;
+
+pub use bipartite::{BipartiteGraph, NodeKind};
+pub use components::{component_stats, ComponentStats, UnionFind};
+pub use csr::Csr;
+pub use dropout::EdgePruner;

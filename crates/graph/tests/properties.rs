@@ -1,0 +1,231 @@
+//! Property-based tests for the sparse-graph substrate: CSR invariants,
+//! kernel correctness against dense references, sampling laws and WL
+//! permutation invariance.
+
+use lrgcn_graph::csr::Csr;
+use lrgcn_graph::dropout::{sample_uniform, sample_weighted_without_replacement};
+use lrgcn_graph::wl::{wl_colors, wl_distinguishes};
+use lrgcn_graph::{BipartiteGraph, EdgePruner};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random COO triplets within a bounded shape.
+fn coo_strategy() -> impl Strategy<Value = (usize, usize, Vec<(u32, u32, f32)>)> {
+    (1usize..8, 1usize..8).prop_flat_map(|(r, c)| {
+        let triplets = proptest::collection::vec(
+            (0..r as u32, 0..c as u32, -2.0f32..2.0),
+            0..24,
+        );
+        (Just(r), Just(c), triplets)
+    })
+}
+
+fn dense_of(triplets: &[(u32, u32, f32)], rows: usize, cols: usize) -> Vec<f32> {
+    let mut d = vec![0.0f32; rows * cols];
+    for &(r, c, v) in triplets {
+        d[r as usize * cols + c as usize] += v;
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// from_coo sums duplicates exactly like a dense accumulation.
+    #[test]
+    fn csr_matches_dense_reference((rows, cols, triplets) in coo_strategy()) {
+        let m = Csr::from_coo(rows, cols, triplets.clone());
+        prop_assert!(m.validate().is_ok());
+        let dense = dense_of(&triplets, rows, cols);
+        let got = m.to_dense();
+        for (a, b) in got.iter().zip(&dense) {
+            prop_assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    /// transpose is an involution and preserves nnz.
+    #[test]
+    fn transpose_involution((rows, cols, triplets) in coo_strategy()) {
+        let m = Csr::from_coo(rows, cols, triplets);
+        let t = m.transpose();
+        prop_assert_eq!(t.nnz(), m.nnz());
+        prop_assert_eq!(t.transpose(), m);
+    }
+
+    /// spmm agrees with the dense matmul reference.
+    #[test]
+    fn spmm_matches_dense(
+        (rows, cols, triplets) in coo_strategy(),
+        width in 1usize..4,
+        xvals in proptest::collection::vec(-2.0f32..2.0, 32),
+    ) {
+        let m = Csr::from_coo(rows, cols, triplets.clone());
+        let x: Vec<f32> = (0..cols * width).map(|i| xvals[i % xvals.len()]).collect();
+        let y = m.spmm(&x, width);
+        let dense = dense_of(&triplets, rows, cols);
+        for r in 0..rows {
+            for w in 0..width {
+                let expect: f32 = (0..cols)
+                    .map(|c| dense[r * cols + c] * x[c * width + w])
+                    .sum();
+                prop_assert!((y[r * width + w] - expect).abs() < 1e-3);
+            }
+        }
+    }
+
+    /// SpGEMM agrees with the dense matmul reference.
+    #[test]
+    fn spgemm_matches_dense(
+        (rows, inner, ta) in (1usize..6, 1usize..6).prop_flat_map(|(r, c)| {
+            (Just(r), Just(c), proptest::collection::vec((0..r as u32, 0..c as u32, -2.0f32..2.0), 0..16))
+        }).prop_map(|(r, c, t)| (r, c, t)),
+        (cols, tb_raw) in (1usize..6).prop_flat_map(|c| {
+            (Just(c), proptest::collection::vec((0u32..6, 0..c as u32, -2.0f32..2.0), 0..16))
+        }),
+    ) {
+        let a = Csr::from_coo(rows, inner, ta.clone());
+        let tb: Vec<(u32, u32, f32)> = tb_raw
+            .into_iter()
+            .map(|(r, c, v)| (r % inner as u32, c, v))
+            .collect();
+        let b = Csr::from_coo(inner, cols, tb.clone());
+        let c = a.matmul_sparse(&b);
+        prop_assert!(c.validate().is_ok());
+        let da = dense_of(&ta, rows, inner);
+        let db = dense_of(&tb, inner, cols);
+        for r in 0..rows {
+            for j in 0..cols {
+                let expect: f32 = (0..inner).map(|k| da[r * inner + k] * db[k * cols + j]).sum();
+                prop_assert!((c.get(r, j as u32) - expect).abs() < 1e-3);
+            }
+        }
+    }
+
+    /// Row sums of the transpose equal column sums of the original.
+    #[test]
+    fn row_col_sum_duality((rows, cols, triplets) in coo_strategy()) {
+        let m = Csr::from_coo(rows, cols, triplets);
+        let a = m.col_sums();
+        let b = m.transpose().row_sums();
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Symmetric normalization of a bipartite adjacency: every entry equals
+    /// 1/sqrt(d_u d_i) and symmetry is preserved.
+    #[test]
+    fn bipartite_normalization_formula(
+        edges in proptest::collection::vec((0u32..6, 0u32..6), 1..20),
+    ) {
+        let g = BipartiteGraph::new(6, 6, edges);
+        let n = g.norm_adjacency();
+        prop_assert!(n.is_symmetric(1e-6));
+        let ud = g.user_degrees();
+        let id = g.item_degrees();
+        for &(u, i) in g.edges() {
+            let expect = 1.0 / ((ud[u as usize] as f32).sqrt() * (id[i as usize] as f32).sqrt());
+            let got = n.get(u as usize, g.item_node(i));
+            prop_assert!((got - expect).abs() < 1e-5, "edge ({u},{i}): {got} vs {expect}");
+        }
+    }
+
+    /// Uniform sampling returns exactly k distinct in-range sorted indices.
+    #[test]
+    fn uniform_sample_contract(n in 1usize..200, kfrac in 0.0f64..1.0, seed in 0u64..1000) {
+        let k = ((n as f64) * kfrac) as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = sample_uniform(n, k, &mut rng);
+        prop_assert_eq!(s.len(), k);
+        prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(s.iter().all(|&i| i < n));
+    }
+
+    /// Weighted sampling: same contract, any positive weights.
+    #[test]
+    fn weighted_sample_contract(
+        weights in proptest::collection::vec(0.01f64..100.0, 1..100),
+        kfrac in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let k = ((weights.len() as f64) * kfrac) as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = sample_weighted_without_replacement(&weights, k, &mut rng);
+        prop_assert_eq!(s.len(), k);
+        prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(s.iter().all(|&i| i < weights.len()));
+    }
+
+    /// Edge pruners keep the requested number of edges, all real.
+    #[test]
+    fn pruner_keeps_requested_count(
+        edges in proptest::collection::vec((0u32..10, 0u32..10), 4..40),
+        ratio in 0.05f32..0.9,
+        seed in 0u64..100,
+    ) {
+        let g = BipartiteGraph::new(10, 10, edges);
+        let m = g.n_edges();
+        for pruner in [EdgePruner::DegreeDrop { ratio }, EdgePruner::DropEdge { ratio }] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let kept = pruner.sample_edges(&g, 0, &mut rng).expect("pruned");
+            let expected = m - ((m as f64 * ratio as f64).round() as usize).min(m - 1);
+            prop_assert_eq!(kept.len(), expected);
+            for e in &kept {
+                prop_assert!(g.edges().contains(e));
+            }
+            // Kept edges are distinct.
+            let mut k2 = kept.clone();
+            k2.sort_unstable();
+            k2.dedup();
+            prop_assert_eq!(k2.len(), kept.len());
+        }
+    }
+
+    /// WL colors are invariant under node relabeling (isomorphism).
+    #[test]
+    fn wl_permutation_invariance(
+        edges in proptest::collection::vec((0u32..7, 0u32..7), 1..15),
+        perm_seed in 0u64..50,
+    ) {
+        let n = 7usize;
+        let sym: Vec<(u32, u32, f32)> = edges
+            .iter()
+            .filter(|(a, b)| a != b)
+            .flat_map(|&(a, b)| [(a, b, 1.0), (b, a, 1.0)])
+            .collect();
+        if sym.is_empty() {
+            return Ok(());
+        }
+        let g1 = Csr::from_coo(n, n, sym.clone());
+        // Random permutation of node ids.
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let mut rng = StdRng::seed_from_u64(perm_seed);
+        for i in (1..n).rev() {
+            use rand::RngExt;
+            let j = rng.random_range(0..=i);
+            perm.swap(i, j);
+        }
+        let g2 = Csr::from_coo(
+            n,
+            n,
+            sym.iter().map(|&(a, b, v)| (perm[a as usize], perm[b as usize], v)),
+        );
+        prop_assert!(!wl_distinguishes(&g1, &g2, 6), "isomorphic graphs distinguished");
+        // Color class sizes must match too.
+        let mut h1: Vec<u64> = wl_colors(&g1, 6);
+        let mut h2: Vec<u64> = wl_colors(&g2, 6);
+        h1.sort_unstable();
+        h2.sort_unstable();
+        let classes = |h: &[u64]| {
+            let mut counts = std::collections::HashMap::new();
+            for &c in h {
+                *counts.entry(c).or_insert(0usize) += 1;
+            }
+            let mut v: Vec<usize> = counts.into_values().collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(classes(&h1), classes(&h2));
+    }
+}

@@ -1,0 +1,204 @@
+//! Classic non-embedding baselines: [`Popularity`] and [`ItemKnn`].
+//!
+//! The paper's related-work section (§II-A) grounds the model zoo in
+//! classic collaborative filtering; these two give the library sane
+//! non-learned floors: a global popularity ranker and an item-based KNN
+//! over cosine-normalized co-occurrence. Neither has trainable parameters —
+//! `train_epoch` is a no-op — but both implement [`Recommender`] so they
+//! slot into the same evaluation harness.
+
+use crate::traits::{EpochStats, Recommender};
+use lrgcn_data::Dataset;
+use lrgcn_tensor::Matrix;
+use rand::rngs::StdRng;
+
+/// Ranks every item by its global training interaction count.
+pub struct Popularity {
+    scores: Vec<f32>,
+}
+
+impl Popularity {
+    pub fn new(ds: &Dataset) -> Self {
+        Self {
+            scores: ds
+                .train()
+                .item_degrees()
+                .into_iter()
+                .map(|d| d as f32)
+                .collect(),
+        }
+    }
+}
+
+impl Recommender for Popularity {
+    fn name(&self) -> String {
+        "Popularity".into()
+    }
+
+    fn train_epoch(&mut self, _ds: &Dataset, _epoch: usize, _rng: &mut StdRng) -> EpochStats {
+        EpochStats { loss: 0.0, n_batches: 0 }
+    }
+
+    fn refresh(&mut self, ds: &Dataset) {
+        self.scores = ds
+            .train()
+            .item_degrees()
+            .into_iter()
+            .map(|d| d as f32)
+            .collect();
+    }
+
+    fn score_users(&self, _ds: &Dataset, users: &[u32]) -> Matrix {
+        let mut m = Matrix::zeros(users.len(), self.scores.len());
+        for r in 0..users.len() {
+            m.row_mut(r).copy_from_slice(&self.scores);
+        }
+        m
+    }
+
+    fn n_parameters(&self) -> usize {
+        0
+    }
+}
+
+/// Configuration for [`ItemKnn`].
+#[derive(Clone, Debug)]
+pub struct ItemKnnConfig {
+    /// Neighbours kept per item.
+    pub k: usize,
+    /// Shrinkage term in the cosine denominator (dampens similarities
+    /// supported by few co-occurrences).
+    pub shrinkage: f32,
+}
+
+impl Default for ItemKnnConfig {
+    fn default() -> Self {
+        Self { k: 50, shrinkage: 10.0 }
+    }
+}
+
+/// Item-based KNN: `score(u, j) = Σ_{i ∈ items(u)} sim(i, j)` with shrunk
+/// cosine similarity over the binary interaction matrix.
+pub struct ItemKnn {
+    cfg: ItemKnnConfig,
+    /// Top-K similar items per item: `(neighbour, similarity)`.
+    neighbors: Vec<Vec<(u32, f32)>>,
+}
+
+impl ItemKnn {
+    pub fn new(ds: &Dataset, cfg: ItemKnnConfig) -> Self {
+        assert!(cfg.k >= 1, "need at least one neighbour");
+        let mut model = Self { cfg, neighbors: Vec::new() };
+        model.rebuild(ds);
+        model
+    }
+
+    fn rebuild(&mut self, ds: &Dataset) {
+        let degrees = ds.train().item_degrees();
+        let cooc = ds.train().item_cooccurrence();
+        self.neighbors = (0..cooc.n_rows())
+            .map(|i| {
+                let di = degrees[i] as f32;
+                let mut sims: Vec<(u32, f32)> = cooc
+                    .row(i)
+                    .map(|(j, c)| {
+                        let dj = degrees[j as usize] as f32;
+                        let sim = c / ((di * dj).sqrt() + self.cfg.shrinkage);
+                        (j, sim)
+                    })
+                    .collect();
+                sims.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0))
+                });
+                sims.truncate(self.cfg.k);
+                sims
+            })
+            .collect();
+    }
+}
+
+impl Recommender for ItemKnn {
+    fn name(&self) -> String {
+        format!("ItemKNN-{}", self.cfg.k)
+    }
+
+    fn train_epoch(&mut self, _ds: &Dataset, _epoch: usize, _rng: &mut StdRng) -> EpochStats {
+        EpochStats { loss: 0.0, n_batches: 0 }
+    }
+
+    fn refresh(&mut self, ds: &Dataset) {
+        self.rebuild(ds);
+    }
+
+    fn score_users(&self, ds: &Dataset, users: &[u32]) -> Matrix {
+        let mut m = Matrix::zeros(users.len(), ds.n_items());
+        for (r, &u) in users.iter().enumerate() {
+            let row = m.row_mut(r);
+            for &i in ds.train_items(u) {
+                for &(j, s) in &self.neighbors[i as usize] {
+                    row[j as usize] += s;
+                }
+            }
+        }
+        m
+    }
+
+    fn n_parameters(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{eval_r20, random_r20, tiny_dataset};
+
+    #[test]
+    fn popularity_ranks_by_degree() {
+        let ds = tiny_dataset(4);
+        let mut m = Popularity::new(&ds);
+        let s = m.score_users(&ds, &[0, 1]);
+        let degrees = ds.train().item_degrees();
+        for (i, &d) in degrees.iter().enumerate() {
+            assert_eq!(s[(0, i)], d as f32);
+            assert_eq!(s[(1, i)], d as f32);
+        }
+        assert!(eval_r20(&mut m, &ds) > 0.0);
+    }
+
+    #[test]
+    fn itemknn_beats_random_and_popularity_beats_nothing() {
+        let ds = tiny_dataset(9);
+        let rand = random_r20(&ds, 77);
+        let mut knn = ItemKnn::new(&ds, ItemKnnConfig::default());
+        let knn_r = eval_r20(&mut knn, &ds);
+        assert!(knn_r > rand, "ItemKNN {knn_r} vs random {rand}");
+    }
+
+    #[test]
+    fn itemknn_neighbors_are_sane() {
+        let ds = tiny_dataset(4);
+        let knn = ItemKnn::new(&ds, ItemKnnConfig { k: 5, shrinkage: 0.0 });
+        for (i, ns) in knn.neighbors.iter().enumerate() {
+            assert!(ns.len() <= 5);
+            for &(j, s) in ns {
+                assert_ne!(j as usize, i);
+                assert!(s > 0.0 && s <= 1.0 + 1e-6, "cosine-like sim out of range: {s}");
+            }
+            assert!(ns.windows(2).all(|w| w[0].1 >= w[1].1));
+        }
+    }
+
+    #[test]
+    fn itemknn_scores_users_with_history_only() {
+        let ds = tiny_dataset(4);
+        let knn = ItemKnn::new(&ds, ItemKnnConfig::default());
+        // A user with no training items scores all-zero.
+        let empty_user = (0..ds.n_users() as u32)
+            .find(|&u| ds.train_items(u).is_empty());
+        if let Some(u) = empty_user {
+            let s = knn.score_users(&ds, &[u]);
+            assert!(s.data().iter().all(|&x| x == 0.0));
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! LayerGCN-SSL — the paper's future-work extension (§VI): augmenting
+//! LayerGCN's representation learning with self-supervised signals.
+//!
+//! Following the SGL recipe (Wu et al., SIGIR 2021) adapted to LayerGCN's
+//! machinery: each step builds **two stochastic views** of the graph by
+//! sampling two independent edge-pruned adjacencies (reusing DegreeDrop /
+//! DropEdge as the augmentation operator), propagates both with layer
+//! refinement, and adds an **InfoNCE contrastive loss** that pulls each
+//! node's two views together against in-batch negatives:
+//!
+//! ```text
+//! L = L_bpr(view1) + λ·‖X⁰‖² + w_ssl · InfoNCE(z₁, z₂; τ)
+//! InfoNCE = -mean_i log( exp(z₁ᵢ·z₂ᵢ/τ) / Σ_j exp(z₁ᵢ·z₂ⱼ/τ) )
+//! ```
+
+use crate::common::{bpr_loss, full_adjacency, score_from_final, sum_readout};
+use crate::layergcn::refined_chain;
+use crate::traits::{EpochStats, Recommender};
+use lrgcn_data::{BprEpoch, Dataset};
+use lrgcn_graph::EdgePruner;
+use lrgcn_tensor::tape::{SharedCsr, Tape};
+use lrgcn_tensor::{init, Adam, Matrix, Param};
+use rand::rngs::StdRng;
+use std::rc::Rc;
+
+/// Hyper-parameters for [`LayerGcnSsl`].
+#[derive(Clone, Debug)]
+pub struct LayerGcnSslConfig {
+    pub embedding_dim: usize,
+    pub n_layers: usize,
+    pub learning_rate: f32,
+    pub lambda: f32,
+    pub batch_size: usize,
+    /// Augmentation operator used to sample the two views each epoch.
+    pub pruner: EdgePruner,
+    /// Weight of the contrastive term.
+    pub ssl_weight: f32,
+    /// InfoNCE temperature τ.
+    pub temperature: f32,
+    /// Cap on the number of nodes entering each InfoNCE block (keeps the
+    /// `B x B` logits matrix small).
+    pub contrast_batch: usize,
+    /// Epochs of plain BPR training before the contrastive term switches
+    /// on. LayerGCN's refined sum-readout embeddings start with tiny norms
+    /// (each refinement multiplies by a cosine < 1), so the normalized
+    /// InfoNCE gradient is amplified by 1/||f|| early on and would drown
+    /// the ranking signal; the warm-up lets BPR grow the norms first.
+    pub warmup_epochs: usize,
+    pub epsilon: f32,
+    pub cosine_eps: f32,
+}
+
+impl Default for LayerGcnSslConfig {
+    fn default() -> Self {
+        Self {
+            embedding_dim: 64,
+            n_layers: 4,
+            learning_rate: 1e-3,
+            lambda: 1e-3,
+            batch_size: 2048,
+            pruner: EdgePruner::DegreeDrop { ratio: 0.1 },
+            ssl_weight: 0.05,
+            temperature: 0.2,
+            contrast_batch: 256,
+            warmup_epochs: 12,
+            epsilon: 1e-8,
+            cosine_eps: 1e-8,
+        }
+    }
+}
+
+/// LayerGCN augmented with a two-view contrastive objective.
+pub struct LayerGcnSsl {
+    cfg: LayerGcnSslConfig,
+    ego: Param,
+    adam: Adam,
+    adj_full: SharedCsr,
+    inference: Option<Matrix>,
+}
+
+impl LayerGcnSsl {
+    pub fn new(ds: &Dataset, cfg: LayerGcnSslConfig, rng: &mut StdRng) -> Self {
+        assert!(cfg.temperature > 0.0, "temperature must be positive");
+        assert!(cfg.contrast_batch >= 2, "need at least 2 nodes to contrast");
+        // SSL needs a stochastic augmentation; fall back to DegreeDrop 0.1
+        // if the pruner is None.
+        let cfg = if matches!(cfg.pruner, EdgePruner::None) || cfg.pruner.ratio() == 0.0 {
+            LayerGcnSslConfig {
+                pruner: EdgePruner::DegreeDrop { ratio: 0.1 },
+                ..cfg
+            }
+        } else {
+            cfg
+        };
+        let n = ds.n_users() + ds.n_items();
+        let ego = Param::new(init::xavier_uniform(n, cfg.embedding_dim, rng));
+        let adam = Adam::new(cfg.learning_rate);
+        let adj_full = full_adjacency(ds);
+        Self {
+            cfg,
+            ego,
+            adam,
+            adj_full,
+            inference: None,
+        }
+    }
+
+    pub fn config(&self) -> &LayerGcnSslConfig {
+        &self.cfg
+    }
+
+    fn final_embeddings(&self) -> Matrix {
+        let mut tape = Tape::new();
+        let x0 = tape.constant(self.ego.value().clone());
+        let (layers, _) = refined_chain(
+            &mut tape,
+            &self.adj_full,
+            x0,
+            self.cfg.n_layers,
+            self.cfg.epsilon,
+            self.cfg.cosine_eps,
+        );
+        let f = sum_readout(&mut tape, &layers);
+        tape.value(f).clone()
+    }
+}
+
+impl Recommender for LayerGcnSsl {
+    fn name(&self) -> String {
+        "LayerGCN-SSL".into()
+    }
+
+    fn train_epoch(&mut self, ds: &Dataset, epoch: usize, rng: &mut StdRng) -> EpochStats {
+        self.inference = None;
+        // Two independent views per epoch (plus the main pruned graph, which
+        // reuses view 1 — matching SGL's "ED" operator granularity).
+        let sample_view = |rng: &mut StdRng, epoch: usize| -> SharedCsr {
+            match self.cfg.pruner.sample_edges(ds.train(), epoch, rng) {
+                Some(edges) => SharedCsr::new(ds.train().norm_adjacency_of_edges(&edges)),
+                None => self.adj_full.clone(),
+            }
+        };
+        let view1 = sample_view(rng, epoch);
+        let view2 = sample_view(rng, epoch);
+        let tau = self.cfg.temperature;
+        let ssl_on = self.cfg.ssl_weight > 0.0 && epoch >= self.cfg.warmup_epochs;
+        let mut total = 0.0f64;
+        let mut n = 0usize;
+        let batches: Vec<_> = BprEpoch::new(ds, self.cfg.batch_size, rng).collect();
+        let off = ds.n_users() as u32;
+        for batch in batches {
+            let mut tape = Tape::new();
+            let x0 = tape.leaf(self.ego.value().clone());
+            let (l1, _) = refined_chain(
+                &mut tape,
+                &view1,
+                x0,
+                self.cfg.n_layers,
+                self.cfg.epsilon,
+                self.cfg.cosine_eps,
+            );
+            let f1 = sum_readout(&mut tape, &l1);
+            let mut loss = bpr_loss(&mut tape, f1, x0, ds.n_users(), &batch, self.cfg.lambda);
+            if ssl_on {
+                let (l2, _) = refined_chain(
+                    &mut tape,
+                    &view2,
+                    x0,
+                    self.cfg.n_layers,
+                    self.cfg.epsilon,
+                    self.cfg.cosine_eps,
+                );
+                let f2 = sum_readout(&mut tape, &l2);
+                // Contrast users with users and items with items in
+                // SEPARATE InfoNCE blocks (mixing node types would push
+                // users away from items, fighting the BPR objective).
+                let mut users: Vec<u32> = batch.users.clone();
+                users.sort_unstable();
+                users.dedup();
+                users.truncate(self.cfg.contrast_batch);
+                let mut items: Vec<u32> =
+                    batch.pos_items.iter().map(|&i| i + off).collect();
+                items.sort_unstable();
+                items.dedup();
+                items.truncate(self.cfg.contrast_batch);
+                for idx in [Rc::new(users), Rc::new(items)] {
+                    if idx.len() < 2 {
+                        continue;
+                    }
+                    let z1_raw = tape.gather(f1, Rc::clone(&idx));
+                    let z2_raw = tape.gather(f2, idx);
+                    let z1 = tape.row_l2_normalize(z1_raw, 1e-12);
+                    let z2 = tape.row_l2_normalize(z2_raw, 1e-12);
+                    let logits_raw = tape.matmul_nt(z1, z2);
+                    let logits = tape.mul_scalar(logits_raw, 1.0 / tau);
+                    let ls = tape.row_log_softmax(logits);
+                    let eye = tape.constant(Matrix::identity(tape.value(ls).rows()));
+                    let diag = tape.mul(ls, eye);
+                    let s = tape.sum(diag);
+                    let b = tape.value(ls).rows().max(1) as f32;
+                    let infonce = tape.mul_scalar(s, -self.cfg.ssl_weight / b);
+                    loss = tape.add(loss, infonce);
+                }
+            }
+            total += tape.scalar(loss) as f64;
+            n += 1;
+            tape.backward(loss);
+            self.adam.begin_step();
+            if let Some(g) = tape.take_grad(x0) {
+                self.adam.update(&mut self.ego, &g);
+            }
+        }
+        EpochStats {
+            loss: if n > 0 { total / n as f64 } else { 0.0 },
+            n_batches: n,
+        }
+    }
+
+    fn refresh(&mut self, _ds: &Dataset) {
+        self.inference = Some(self.final_embeddings());
+    }
+
+    fn score_users(&self, ds: &Dataset, users: &[u32]) -> Matrix {
+        let inference = self
+            .inference
+            .as_ref()
+            .expect("refresh() must be called before score_users");
+        score_from_final(inference, ds.n_users(), users)
+    }
+
+    fn n_parameters(&self) -> usize {
+        self.ego.value().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{tiny_dataset, train_and_eval};
+    use rand::SeedableRng;
+
+    #[test]
+    fn beats_random() {
+        let (r, rand_r) = train_and_eval(
+            |ds, rng| Box::new(LayerGcnSsl::new(ds, LayerGcnSslConfig::default(), rng)),
+            25,
+        );
+        assert!(r > 1.5 * rand_r, "LayerGCN-SSL R@20 {r} vs random {rand_r}");
+    }
+
+    #[test]
+    fn ssl_term_increases_loss_but_stays_finite() {
+        let ds = tiny_dataset(4);
+        let mk = |w: f32| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let cfg = LayerGcnSslConfig {
+                ssl_weight: w,
+                warmup_epochs: 0,
+                ..LayerGcnSslConfig::default()
+            };
+            let mut m = LayerGcnSsl::new(&ds, cfg, &mut rng);
+            m.train_epoch(&ds, 0, &mut rng).loss
+        };
+        let without = mk(0.0);
+        let with = mk(0.1);
+        assert!(with.is_finite() && without.is_finite());
+        assert!(
+            with > without,
+            "InfoNCE should add positive loss initially ({with} vs {without})"
+        );
+    }
+
+    #[test]
+    fn none_pruner_falls_back_to_augmentation() {
+        let ds = tiny_dataset(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = LayerGcnSslConfig {
+            pruner: lrgcn_graph::EdgePruner::None,
+            ..LayerGcnSslConfig::default()
+        };
+        let m = LayerGcnSsl::new(&ds, cfg, &mut rng);
+        assert!(m.config().pruner.ratio() > 0.0, "SSL needs stochastic views");
+    }
+
+    #[test]
+    fn warmup_suppresses_ssl_term() {
+        // During warm-up the loss must equal plain LayerGCN-style BPR: the
+        // contrastive term contributes nothing before `warmup_epochs`.
+        let ds = tiny_dataset(4);
+        let loss_at_epoch0 = |w: f32| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let cfg = LayerGcnSslConfig {
+                ssl_weight: w,
+                warmup_epochs: 5,
+                ..LayerGcnSslConfig::default()
+            };
+            let mut m = LayerGcnSsl::new(&ds, cfg, &mut rng);
+            m.train_epoch(&ds, 0, &mut rng).loss
+        };
+        assert_eq!(loss_at_epoch0(0.0), loss_at_epoch0(0.5));
+    }
+
+    #[test]
+    fn trains_several_epochs_stably() {
+        let ds = tiny_dataset(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = LayerGcnSsl::new(&ds, LayerGcnSslConfig::default(), &mut rng);
+        let first = m.train_epoch(&ds, 0, &mut rng).loss;
+        for e in 1..8 {
+            let s = m.train_epoch(&ds, e, &mut rng);
+            assert!(s.loss.is_finite());
+        }
+        let last = m.train_epoch(&ds, 8, &mut rng).loss;
+        assert!(last < first, "{first} -> {last}");
+    }
+}

@@ -1,0 +1,59 @@
+//! # lrgcn-models — LayerGCN and the paper's nine baselines
+//!
+//! Every model from Table II of "Layer-refined Graph Convolutional Networks
+//! for Recommendation" (Zhou et al., ICDE 2023), each implemented from
+//! scratch on `lrgcn-tensor`'s autodiff tape:
+//!
+//! | Module | Model | Paper ref |
+//! |---|---|---|
+//! | [`layergcn`] | **LayerGCN** (the contribution; Full / w/o Dropout / DropEdge / Mixed) | §III-B |
+//! | [`bpr`] | BPR matrix factorization | Rendle'09 |
+//! | [`lightgcn`] | LightGCN + learnable-layer-weight variant (Fig. 1) | He'20 |
+//! | [`ngcf`] | Neural Graph CF | Wang'19 |
+//! | [`lrgccf`] | Linear-residual graph CF | Chen'20 |
+//! | [`multivae`] | Variational autoencoder CF | Liang'18 |
+//! | [`ehcf`] | Efficient non-sampling CF | Chen'20 |
+//! | [`buir`] | Bootstrapped (negative-free) CF, LightGCN backbone | Lee'21 |
+//! | [`ultragcn`] | Infinite-layer constraint CF | Mao'21 |
+//! | [`impgcn`] | Interest-aware subgraph GCN | Liu'21 |
+//! | [`classic`] | Popularity + ItemKNN (non-learned floors) | §II-A |
+//! | [`residual`] | Vanilla GCN / residual GCN / GCNII-style initial residual | §IV-B |
+//! | [`layergcn_ssl`] | LayerGCN + contrastive SSL (extension, §VI) | future work |
+//!
+//! All models implement [`traits::Recommender`].
+
+pub mod bpr;
+pub mod buir;
+pub mod classic;
+pub mod ehcf;
+pub mod common;
+pub mod impgcn;
+pub mod layergcn;
+pub mod layergcn_ssl;
+pub mod lightgcn;
+pub mod lrgccf;
+pub mod multivae;
+pub mod ngcf;
+pub mod registry;
+pub mod residual;
+pub mod traits;
+pub mod ultragcn;
+
+#[cfg(test)]
+pub(crate) mod test_util;
+
+pub use bpr::{BprMf, BprMfConfig};
+pub use classic::{ItemKnn, ItemKnnConfig, Popularity};
+pub use buir::{Buir, BuirConfig};
+pub use ehcf::{Ehcf, EhcfConfig};
+pub use impgcn::{ImpGcn, ImpGcnConfig};
+pub use layergcn::{LayerGcn, LayerGcnConfig};
+pub use layergcn_ssl::{LayerGcnSsl, LayerGcnSslConfig};
+pub use lightgcn::{LightGcn, LightGcnConfig, WeightedLightGcn};
+pub use lrgccf::{LrGccf, LrGccfConfig};
+pub use multivae::{MultiVae, MultiVaeConfig};
+pub use ngcf::{Ngcf, NgcfConfig};
+pub use ultragcn::{UltraGcn, UltraGcnConfig};
+pub use registry::ModelKind;
+pub use residual::{ResidualFamilyGcn, ResidualGcnConfig, ResidualKind};
+pub use traits::{EpochStats, Recommender};

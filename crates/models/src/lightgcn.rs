@@ -1,0 +1,343 @@
+//! LightGCN (He et al., SIGIR 2020) — Eq. 2 of the paper — plus the
+//! learnable-layer-weight variant used to demonstrate the "solution
+//! collapsing" half of the paper's recommendation dilemma (Fig. 1).
+
+use crate::common::{
+    bpr_loss, full_adjacency, mean_readout, propagate_chain, propagate_matrix, score_from_final,
+};
+use crate::traits::{EpochStats, Recommender};
+use lrgcn_data::{BprEpoch, Dataset};
+use lrgcn_tensor::tape::SharedCsr;
+use lrgcn_tensor::{init, Adam, Matrix, Param, Tape};
+use rand::rngs::StdRng;
+use std::rc::Rc;
+
+/// Hyper-parameters for [`LightGcn`] / [`WeightedLightGcn`].
+#[derive(Clone, Debug)]
+pub struct LightGcnConfig {
+    pub embedding_dim: usize,
+    pub n_layers: usize,
+    pub learning_rate: f32,
+    pub lambda: f32,
+    pub batch_size: usize,
+}
+
+impl Default for LightGcnConfig {
+    fn default() -> Self {
+        Self {
+            embedding_dim: 64,
+            n_layers: 4,
+            learning_rate: 1e-3,
+            lambda: 1e-4,
+            batch_size: 2048,
+        }
+    }
+}
+
+/// LightGCN: linear propagation `X^{l+1} = Â X^l` with mean readout over
+/// layers `0..=L`.
+pub struct LightGcn {
+    cfg: LightGcnConfig,
+    ego: Param,
+    adam: Adam,
+    adj: SharedCsr,
+    /// Cached inference embeddings (users first), refreshed by `refresh`.
+    inference: Option<Matrix>,
+}
+
+impl LightGcn {
+    pub fn new(ds: &Dataset, cfg: LightGcnConfig, rng: &mut StdRng) -> Self {
+        let n = ds.n_users() + ds.n_items();
+        let ego = Param::new(init::xavier_uniform(n, cfg.embedding_dim, rng));
+        let adam = Adam::new(cfg.learning_rate);
+        let adj = full_adjacency(ds);
+        Self {
+            cfg,
+            ego,
+            adam,
+            adj,
+            inference: None,
+        }
+    }
+
+    /// The final node embeddings under the full adjacency (mean of layers).
+    pub fn final_embeddings(&self) -> Matrix {
+        let layers = propagate_matrix(self.adj.matrix(), self.ego.value(), self.cfg.n_layers);
+        let mut acc = layers[0].clone();
+        for l in &layers[1..] {
+            acc.add_assign(l);
+        }
+        acc.scale(1.0 / layers.len() as f32);
+        acc
+    }
+
+    /// All propagated layers (for over-smoothing diagnostics).
+    pub fn propagated_layers(&self) -> Vec<Matrix> {
+        propagate_matrix(self.adj.matrix(), self.ego.value(), self.cfg.n_layers)
+    }
+
+    pub fn config(&self) -> &LightGcnConfig {
+        &self.cfg
+    }
+}
+
+impl Recommender for LightGcn {
+    fn name(&self) -> String {
+        format!("LightGCN-{}L", self.cfg.n_layers)
+    }
+
+    fn train_epoch(&mut self, ds: &Dataset, _epoch: usize, rng: &mut StdRng) -> EpochStats {
+        self.inference = None;
+        let mut total = 0.0f64;
+        let mut n = 0usize;
+        let batches: Vec<_> = BprEpoch::new(ds, self.cfg.batch_size, rng).collect();
+        for batch in batches {
+            let mut tape = Tape::new();
+            let x0 = tape.leaf(self.ego.value().clone());
+            let layers = propagate_chain(&mut tape, &self.adj, x0, self.cfg.n_layers);
+            let final_x = mean_readout(&mut tape, &layers);
+            let loss = bpr_loss(&mut tape, final_x, x0, ds.n_users(), &batch, self.cfg.lambda);
+            total += tape.scalar(loss) as f64;
+            n += 1;
+            tape.backward(loss);
+            self.adam.begin_step();
+            if let Some(g) = tape.take_grad(x0) {
+                self.adam.update(&mut self.ego, &g);
+            }
+        }
+        EpochStats {
+            loss: if n > 0 { total / n as f64 } else { 0.0 },
+            n_batches: n,
+        }
+    }
+
+    fn refresh(&mut self, _ds: &Dataset) {
+        self.inference = Some(self.final_embeddings());
+    }
+
+    fn score_users(&self, ds: &Dataset, users: &[u32]) -> Matrix {
+        let inference = self
+            .inference
+            .as_ref()
+            .expect("refresh() must be called before score_users");
+        score_from_final(inference, ds.n_users(), users)
+    }
+
+    fn n_parameters(&self) -> usize {
+        self.ego.value().len()
+    }
+
+    fn snapshot(&self) -> Option<Vec<Matrix>> {
+        Some(vec![self.ego.value().clone()])
+    }
+
+    fn restore(&mut self, mut params: Vec<Matrix>) {
+        assert_eq!(params.len(), 1, "LightGCN snapshot holds one table");
+        let ego = params.pop().expect("checked len");
+        assert_eq!(ego.shape(), self.ego.value().shape(), "snapshot shape mismatch");
+        self.ego.set_value(ego);
+        self.inference = None;
+    }
+}
+
+/// LightGCN with *learnable* softmax weights over layer embeddings.
+///
+/// This is the variant the paper uses to expose "solution collapsing":
+/// training drives nearly all readout weight onto the ego layer (Fig. 1).
+/// [`WeightedLightGcn::layer_weights`] exposes the current softmax weights so
+/// the experiment can log them per epoch.
+pub struct WeightedLightGcn {
+    cfg: LightGcnConfig,
+    ego: Param,
+    /// Raw logits, shape `(L+1, 1)`; readout weights are their softmax.
+    layer_logits: Param,
+    adam: Adam,
+    adj: SharedCsr,
+    inference: Option<Matrix>,
+}
+
+impl WeightedLightGcn {
+    pub fn new(ds: &Dataset, cfg: LightGcnConfig, rng: &mut StdRng) -> Self {
+        let n = ds.n_users() + ds.n_items();
+        let ego = Param::new(init::xavier_uniform(n, cfg.embedding_dim, rng));
+        let layer_logits = Param::new(Matrix::zeros(cfg.n_layers + 1, 1));
+        let adam = Adam::new(cfg.learning_rate);
+        let adj = full_adjacency(ds);
+        Self {
+            cfg,
+            ego,
+            layer_logits,
+            adam,
+            adj,
+            inference: None,
+        }
+    }
+
+    /// Current softmax weights over layers `0..=L` (ego layer first).
+    pub fn layer_weights(&self) -> Vec<f32> {
+        let logits = self.layer_logits.value().data();
+        let mx = logits.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        let exp: Vec<f32> = logits.iter().map(|&x| (x - mx).exp()).collect();
+        let z: f32 = exp.iter().sum();
+        exp.into_iter().map(|e| e / z).collect()
+    }
+
+    fn weighted_final(&self) -> Matrix {
+        let layers = propagate_matrix(self.adj.matrix(), self.ego.value(), self.cfg.n_layers);
+        let w = self.layer_weights();
+        let mut acc = Matrix::zeros(layers[0].rows(), layers[0].cols());
+        for (l, wl) in layers.iter().zip(w) {
+            acc.add_scaled(l, wl);
+        }
+        acc
+    }
+}
+
+impl Recommender for WeightedLightGcn {
+    fn name(&self) -> String {
+        format!("LightGCN-{}L-learnable", self.cfg.n_layers)
+    }
+
+    fn train_epoch(&mut self, ds: &Dataset, _epoch: usize, rng: &mut StdRng) -> EpochStats {
+        self.inference = None;
+        let mut total = 0.0f64;
+        let mut n = 0usize;
+        let batches: Vec<_> = BprEpoch::new(ds, self.cfg.batch_size, rng).collect();
+        for batch in batches {
+            let mut tape = Tape::new();
+            let x0 = tape.leaf(self.ego.value().clone());
+            let logits = tape.leaf(self.layer_logits.value().clone());
+            let layers = propagate_chain(&mut tape, &self.adj, x0, self.cfg.n_layers);
+            // softmax over the (L+1, 1) logits column.
+            let e = tape.exp(logits);
+            let z = tape.sum(e);
+            let zr = tape.recip(z, 1e-30);
+            let sm = tape.mul_scalar_var(e, zr);
+            // final = sum_l sm[l] * X^l.
+            let mut final_x = None;
+            for (l, &layer) in layers.iter().enumerate() {
+                let wl = tape.gather(sm, Rc::new(vec![l as u32]));
+                let term = tape.mul_scalar_var(layer, wl);
+                final_x = Some(match final_x {
+                    None => term,
+                    Some(acc) => tape.add(acc, term),
+                });
+            }
+            let final_x = final_x.expect("at least one layer");
+            let loss = bpr_loss(&mut tape, final_x, x0, ds.n_users(), &batch, self.cfg.lambda);
+            total += tape.scalar(loss) as f64;
+            n += 1;
+            tape.backward(loss);
+            self.adam.begin_step();
+            if let Some(g) = tape.take_grad(x0) {
+                self.adam.update(&mut self.ego, &g);
+            }
+            if let Some(g) = tape.take_grad(logits) {
+                self.adam.update(&mut self.layer_logits, &g);
+            }
+        }
+        EpochStats {
+            loss: if n > 0 { total / n as f64 } else { 0.0 },
+            n_batches: n,
+        }
+    }
+
+    fn refresh(&mut self, _ds: &Dataset) {
+        self.inference = Some(self.weighted_final());
+    }
+
+    fn score_users(&self, ds: &Dataset, users: &[u32]) -> Matrix {
+        let inference = self
+            .inference
+            .as_ref()
+            .expect("refresh() must be called before score_users");
+        score_from_final(inference, ds.n_users(), users)
+    }
+
+    fn n_parameters(&self) -> usize {
+        self.ego.value().len() + self.layer_logits.value().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{tiny_dataset, train_and_eval};
+    use rand::SeedableRng;
+
+    #[test]
+    fn beats_random() {
+        let (r, rand_r) = train_and_eval(
+            |ds, rng| Box::new(LightGcn::new(ds, LightGcnConfig::default(), rng)),
+            25,
+        );
+        assert!(r > 1.5 * rand_r, "LightGCN R@20 {r} vs random {rand_r}");
+    }
+
+    #[test]
+    fn loss_decreases() {
+        let ds = tiny_dataset(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = LightGcn::new(&ds, LightGcnConfig::default(), &mut rng);
+        let first = m.train_epoch(&ds, 0, &mut rng).loss;
+        for e in 1..15 {
+            m.train_epoch(&ds, e, &mut rng);
+        }
+        let last = m.train_epoch(&ds, 15, &mut rng).loss;
+        assert!(last < first);
+    }
+
+    #[test]
+    fn final_embeddings_shape_and_finite() {
+        let ds = tiny_dataset(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = LightGcn::new(&ds, LightGcnConfig::default(), &mut rng);
+        let f = m.final_embeddings();
+        assert_eq!(f.shape(), (ds.n_users() + ds.n_items(), 64));
+        assert!(!f.has_non_finite());
+    }
+
+    #[test]
+    fn weighted_variant_weights_are_simplex() {
+        let ds = tiny_dataset(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = WeightedLightGcn::new(&ds, LightGcnConfig::default(), &mut rng);
+        let w = m.layer_weights();
+        assert_eq!(w.len(), 5);
+        assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        // Zero logits -> uniform.
+        assert!(w.iter().all(|&x| (x - 0.2).abs() < 1e-5));
+    }
+
+    #[test]
+    fn weighted_variant_trains_and_moves_weights() {
+        let ds = tiny_dataset(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = WeightedLightGcn::new(&ds, LightGcnConfig::default(), &mut rng);
+        let w0 = m.layer_weights();
+        for e in 0..10 {
+            let s = m.train_epoch(&ds, e, &mut rng);
+            assert!(s.loss.is_finite());
+        }
+        let w1 = m.layer_weights();
+        assert_ne!(w0, w1, "layer weights never moved");
+        assert!((w1.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    /// The paper's Fig. 1 claim, in miniature: with learnable layer weights
+    /// the ego layer's weight grows to dominate during training.
+    #[test]
+    fn ego_layer_weight_grows() {
+        let ds = tiny_dataset(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = WeightedLightGcn::new(&ds, LightGcnConfig::default(), &mut rng);
+        for e in 0..30 {
+            m.train_epoch(&ds, e, &mut rng);
+        }
+        let w = m.layer_weights();
+        assert!(
+            w[0] > 0.2,
+            "ego weight should grow above uniform 0.2, got {w:?}"
+        );
+    }
+}

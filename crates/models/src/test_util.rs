@@ -1,0 +1,54 @@
+//! Shared fixtures for the model unit tests (compiled only under `cfg(test)`).
+
+use crate::traits::Recommender;
+use lrgcn_data::{Dataset, SplitRatios, SyntheticConfig};
+use lrgcn_eval::{evaluate_ranking, Split};
+use lrgcn_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A small but non-trivial dataset (a scaled Games preset) that trains in
+/// well under a second per epoch.
+pub fn tiny_dataset(seed: u64) -> Dataset {
+    let log = SyntheticConfig::games().scaled(0.12).generate(seed);
+    Dataset::chronological_split("tiny", &log, SplitRatios::default())
+}
+
+/// Test-split Recall@20 of a (refreshed) model.
+pub fn eval_r20(model: &mut dyn Recommender, ds: &Dataset) -> f64 {
+    model.refresh(ds);
+    evaluate_ranking(ds, Split::Test, &[20], 128, &mut |users| {
+        model.score_users(ds, users)
+    })
+    .recall(20)
+}
+
+/// Test-split Recall@20 of uniformly random scores — the floor any learning
+/// model must clear.
+pub fn random_r20(ds: &Dataset, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    evaluate_ranking(ds, Split::Test, &[20], 128, &mut |users| {
+        let mut m = Matrix::zeros(users.len(), ds.n_items());
+        for x in m.data_mut() {
+            *x = rng.random::<f32>();
+        }
+        m
+    })
+    .recall(20)
+}
+
+/// Trains a freshly constructed model for `epochs` on the shared tiny
+/// dataset and returns `(model R@20, random R@20)`.
+pub fn train_and_eval(
+    factory: impl FnOnce(&Dataset, &mut StdRng) -> Box<dyn Recommender>,
+    epochs: usize,
+) -> (f64, f64) {
+    let ds = tiny_dataset(9);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut model = factory(&ds, &mut rng);
+    for e in 0..epochs {
+        let stats = model.train_epoch(&ds, e, &mut rng);
+        assert!(stats.loss.is_finite(), "loss diverged at epoch {e}");
+    }
+    (eval_r20(&mut *model, &ds), random_r20(&ds, 1234))
+}

@@ -1,0 +1,55 @@
+//! The common interface every recommendation model implements.
+
+use lrgcn_data::Dataset;
+use lrgcn_tensor::Matrix;
+use rand::rngs::StdRng;
+
+/// Statistics reported by one training epoch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EpochStats {
+    /// Mean training loss over the epoch's batches.
+    pub loss: f64,
+    pub n_batches: usize,
+}
+
+/// A trainable top-K recommender.
+///
+/// Protocol: the trainer alternates [`Recommender::train_epoch`] calls with
+/// evaluation rounds; before each evaluation round it calls
+/// [`Recommender::refresh`] exactly once so models can (re)compute their
+/// inference-time representations (e.g. propagation over the *full*
+/// normalized adjacency, per §III-B1), after which
+/// [`Recommender::score_users`] must be cheap and side-effect free.
+pub trait Recommender {
+    /// Model name as used in the paper's tables.
+    fn name(&self) -> String;
+
+    /// Runs one epoch of training and returns the mean batch loss.
+    fn train_epoch(&mut self, ds: &Dataset, epoch: usize, rng: &mut StdRng) -> EpochStats;
+
+    /// Recomputes any cached inference state from current parameters.
+    fn refresh(&mut self, ds: &Dataset);
+
+    /// Scores all items for each user: returns `(users.len(), n_items)`.
+    /// Training items need not be masked (the evaluator masks them).
+    fn score_users(&self, ds: &Dataset, users: &[u32]) -> Matrix;
+
+    /// Total number of learnable scalars (for reporting).
+    fn n_parameters(&self) -> usize;
+
+    /// Copies the learnable parameters out, if the model supports in-memory
+    /// snapshots (used by the trainer's best-epoch restoration). The default
+    /// is unsupported (`None`).
+    fn snapshot(&self) -> Option<Vec<Matrix>> {
+        None
+    }
+
+    /// Restores parameters captured by [`Recommender::snapshot`].
+    ///
+    /// # Panics
+    /// Implementations panic on a shape/arity mismatch; the default panics
+    /// unconditionally (snapshots unsupported).
+    fn restore(&mut self, _params: Vec<Matrix>) {
+        panic!("{} does not support parameter snapshots", self.name());
+    }
+}

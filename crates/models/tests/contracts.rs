@@ -1,0 +1,121 @@
+//! Contract tests every `Recommender` implementation must satisfy,
+//! exercised across the full model registry plus the SSL extension.
+
+use lrgcn_data::{Dataset, SplitRatios, SyntheticConfig};
+use lrgcn_models::layergcn_ssl::{LayerGcnSsl, LayerGcnSslConfig};
+use lrgcn_models::{ModelKind, Recommender};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset() -> Dataset {
+    let log = SyntheticConfig::games().scaled(0.12).generate(21);
+    Dataset::chronological_split("contract", &log, SplitRatios::default())
+}
+
+fn all_models(ds: &Dataset) -> Vec<Box<dyn Recommender>> {
+    let mut out: Vec<Box<dyn Recommender>> = Vec::new();
+    for kind in ModelKind::all() {
+        let mut rng = StdRng::seed_from_u64(17);
+        out.push(kind.build(ds, &mut rng));
+    }
+    let mut rng = StdRng::seed_from_u64(17);
+    out.push(Box::new(LayerGcnSsl::new(
+        ds,
+        LayerGcnSslConfig::default(),
+        &mut rng,
+    )));
+    out
+}
+
+#[test]
+fn names_are_unique_and_nonempty() {
+    let ds = dataset();
+    let models = all_models(&ds);
+    let mut names: Vec<String> = models.iter().map(|m| m.name()).collect();
+    assert!(names.iter().all(|n| !n.is_empty()));
+    names.sort();
+    let before = names.len();
+    names.dedup();
+    assert_eq!(names.len(), before, "duplicate model names");
+}
+
+#[test]
+fn scores_are_deterministic_between_refreshes() {
+    let ds = dataset();
+    for mut m in all_models(&ds) {
+        let mut rng = StdRng::seed_from_u64(5);
+        m.train_epoch(&ds, 0, &mut rng);
+        m.refresh(&ds);
+        let a = m.score_users(&ds, &[0, 1, 2]);
+        let b = m.score_users(&ds, &[0, 1, 2]);
+        assert!(a.approx_eq(&b, 0.0), "{} non-deterministic scoring", m.name());
+        m.refresh(&ds);
+        let c = m.score_users(&ds, &[0, 1, 2]);
+        assert!(
+            a.approx_eq(&c, 0.0),
+            "{} refresh changed scores without training",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn scores_finite_after_training_burst() {
+    let ds = dataset();
+    for mut m in all_models(&ds) {
+        let mut rng = StdRng::seed_from_u64(5);
+        for e in 0..3 {
+            let s = m.train_epoch(&ds, e, &mut rng);
+            assert!(s.loss.is_finite(), "{} loss not finite", m.name());
+            assert!(s.n_batches > 0, "{} ran zero batches", m.name());
+        }
+        m.refresh(&ds);
+        let users: Vec<u32> = (0..ds.n_users() as u32).collect();
+        let s = m.score_users(&ds, &users);
+        assert_eq!(s.shape(), (ds.n_users(), ds.n_items()), "{}", m.name());
+        assert!(!s.has_non_finite(), "{} produced NaN/inf scores", m.name());
+    }
+}
+
+#[test]
+fn score_chunking_is_consistent() {
+    // Scoring users one-by-one must match scoring them in a block.
+    let ds = dataset();
+    for mut m in all_models(&ds) {
+        let mut rng = StdRng::seed_from_u64(5);
+        m.train_epoch(&ds, 0, &mut rng);
+        m.refresh(&ds);
+        let block = m.score_users(&ds, &[3, 4, 5]);
+        for (r, u) in [3u32, 4, 5].into_iter().enumerate() {
+            let single = m.score_users(&ds, &[u]);
+            for c in 0..ds.n_items() {
+                assert_eq!(
+                    block[(r, c)],
+                    single[(0, c)],
+                    "{}: chunked score differs for user {u}",
+                    m.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parameter_counts_are_sane() {
+    let ds = dataset();
+    let n = ds.n_users() + ds.n_items();
+    for m in all_models(&ds) {
+        let p = m.n_parameters();
+        // Every model carries at least one 64-dim table over users or items.
+        assert!(
+            p >= 64 * ds.n_users().min(ds.n_items()),
+            "{}: {p} parameters is implausibly small",
+            m.name()
+        );
+        assert!(
+            p <= 64 * n * 40,
+            "{}: {p} parameters is implausibly large",
+            m.name()
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Hand-computed verification of the paper's core equations as implemented
+//! by `refined_chain` — the layer refinement (Eq. 6), the cosine similarity
+//! (Eq. 8) and the ego-dropping sum readout (Eq. 9) — on a graph small
+//! enough to work out on paper.
+
+use lrgcn_graph::Csr;
+use lrgcn_models::common::sum_readout;
+use lrgcn_models::layergcn::refined_chain;
+use lrgcn_tensor::tape::SharedCsr;
+use lrgcn_tensor::{Matrix, Tape};
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// One manual refinement step per Eq. 6–8.
+fn manual_refine(adj: &Csr, h: &Matrix, x0: &Matrix, eps: f32, cos_eps: f32) -> Matrix {
+    let width = h.cols();
+    let prop_raw = adj.spmm(h.data(), width);
+    let mut out = Matrix::from_vec(h.rows(), width, prop_raw);
+    for r in 0..out.rows() {
+        let sim = {
+            let a = out.row(r);
+            let b = x0.row(r);
+            dot(a, b) / (norm(a) * norm(b)).max(cos_eps)
+        };
+        let f = sim + eps;
+        for v in out.row_mut(r) {
+            *v *= f;
+        }
+    }
+    out
+}
+
+#[test]
+fn refined_chain_matches_manual_computation() {
+    // 2 users, 2 items: u0-i0, u0-i1, u1-i1 (degrees: u0=2, u1=1, i0=1, i1=2).
+    let adj_raw = Csr::from_coo(
+        4,
+        4,
+        vec![
+            // user rows (items at ids 2,3)
+            (0u32, 2u32, 1.0f32),
+            (0, 3, 1.0),
+            (1, 3, 1.0),
+            // symmetric item rows
+            (2, 0, 1.0),
+            (3, 0, 1.0),
+            (3, 1, 1.0),
+        ],
+    )
+    .sym_normalized();
+    let x0 = Matrix::from_vec(
+        4,
+        2,
+        vec![0.8, -0.2, 0.1, 0.9, -0.5, 0.4, 0.3, 0.7],
+    );
+    let eps = 1e-8f32;
+    let cos_eps = 1e-8f32;
+    let n_layers = 3;
+
+    // Implementation under test.
+    let shared = SharedCsr::new(adj_raw.clone());
+    let mut tape = Tape::new();
+    let x0v = tape.constant(x0.clone());
+    let (layers, sims) = refined_chain(&mut tape, &shared, x0v, n_layers, eps, cos_eps);
+    assert_eq!(layers.len(), n_layers);
+    assert_eq!(sims.len(), n_layers);
+
+    // Manual chain.
+    let mut h = x0.clone();
+    let mut manual_layers = Vec::new();
+    for _ in 0..n_layers {
+        h = manual_refine(&adj_raw, &h, &x0, eps, cos_eps);
+        manual_layers.push(h.clone());
+    }
+    for (l, (&v, manual)) in layers.iter().zip(&manual_layers).enumerate() {
+        assert!(
+            tape.value(v).approx_eq(manual, 1e-5),
+            "layer {l} diverges from the hand computation"
+        );
+    }
+
+    // Eq. 9 readout: sum of refined layers 1..=L, ego excluded.
+    let f = sum_readout(&mut tape, &layers);
+    let mut manual_final = manual_layers[0].clone();
+    for m in &manual_layers[1..] {
+        manual_final.add_assign(m);
+    }
+    assert!(tape.value(f).approx_eq(&manual_final, 1e-5));
+    // The ego layer must NOT be inside the readout: subtracting it changes
+    // the result.
+    let mut with_ego = manual_final.clone();
+    with_ego.add_assign(&x0);
+    assert!(!tape.value(f).approx_eq(&with_ego, 1e-5));
+}
+
+#[test]
+fn similarity_values_are_the_eq8_cosines() {
+    let adj = SharedCsr::new(
+        Csr::from_coo(2, 2, vec![(0, 1, 1.0), (1, 0, 1.0)]).sym_normalized(),
+    );
+    let x0 = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.6, 0.8]);
+    let mut tape = Tape::new();
+    let x0v = tape.constant(x0.clone());
+    let (_, sims) = refined_chain(&mut tape, &adj, x0v, 1, 0.0, 1e-8);
+    // Propagation swaps the rows (normalized swap matrix = plain swap).
+    // sim(row0) = cos(x0_row1, x0_row0) = 0.6; likewise for row 1.
+    let s = tape.value(sims[0]);
+    assert!((s[(0, 0)] - 0.6).abs() < 1e-5, "{}", s[(0, 0)]);
+    assert!((s[(1, 0)] - 0.6).abs() < 1e-5, "{}", s[(1, 0)]);
+}
+
+#[test]
+fn epsilon_relaxation_keeps_zero_similarity_layers_alive() {
+    // Orthogonal ego/propagated rows: cosine 0. With ε = 0 the refined layer
+    // dies; with the paper's ε > 0 it survives scaled by ε (Eq. 6's purpose).
+    let adj = SharedCsr::new(
+        Csr::from_coo(2, 2, vec![(0, 1, 1.0), (1, 0, 1.0)]).sym_normalized(),
+    );
+    let x0 = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+    let run = |eps: f32| {
+        let mut tape = Tape::new();
+        let x0v = tape.constant(x0.clone());
+        let (layers, _) = refined_chain(&mut tape, &adj, x0v, 1, eps, 1e-8);
+        tape.value(layers[0]).clone()
+    };
+    let dead = run(0.0);
+    assert!(dead.max_abs() < 1e-6, "ε=0 should zero orthogonal layers");
+    let alive = run(0.5);
+    assert!((alive.max_abs() - 0.5).abs() < 1e-5, "ε should rescue the layer");
+}

@@ -1,0 +1,102 @@
+//! Finite-difference gradient checking.
+//!
+//! [`check_gradients`] rebuilds a user-supplied computation around perturbed
+//! copies of each input and compares the analytic tape gradient against the
+//! central difference `(f(x+h) - f(x-h)) / 2h`. Every op in
+//! [`crate::tape::Tape`] is validated this way — see `tests/grad_check.rs`
+//! in this crate and the proptest suites.
+
+use crate::matrix::Matrix;
+use crate::tape::{Tape, Var};
+
+/// Result of a gradient check for one input.
+#[derive(Debug)]
+pub struct GradCheckReport {
+    /// Index of the input that was checked.
+    pub input: usize,
+    /// Largest absolute difference between analytic and numeric gradient.
+    pub max_abs_err: f32,
+    /// Largest relative difference (normalized by the gradient magnitude).
+    pub max_rel_err: f32,
+}
+
+/// Checks the analytic gradients of `build` with central finite differences.
+///
+/// `build` must construct the computation from leaves created for `inputs`
+/// (in order) and return the scalar loss node. It is invoked `2 * Σ len + 1`
+/// times, so keep inputs small.
+///
+/// Returns a report per input, or an error message naming the first
+/// offending element if any mismatch exceeds the tolerances
+/// (`abs_tol` OR `rel_tol` must hold elementwise).
+pub fn check_gradients(
+    build: &dyn Fn(&mut Tape, &[Var]) -> Var,
+    inputs: &[Matrix],
+    h: f32,
+    abs_tol: f32,
+    rel_tol: f32,
+) -> Result<Vec<GradCheckReport>, String> {
+    // Analytic pass.
+    let mut tape = Tape::new();
+    let vars: Vec<Var> = inputs.iter().map(|m| tape.leaf(m.clone())).collect();
+    let loss = build(&mut tape, &vars);
+    assert_eq!(
+        tape.value(loss).shape(),
+        (1, 1),
+        "gradient check requires a scalar loss"
+    );
+    tape.backward(loss);
+    let analytic: Vec<Matrix> = vars
+        .iter()
+        .zip(inputs)
+        .map(|(&v, m)| {
+            tape.grad(v)
+                .cloned()
+                .unwrap_or_else(|| Matrix::zeros(m.rows(), m.cols()))
+        })
+        .collect();
+
+    let eval = |perturbed: &[Matrix]| -> f32 {
+        let mut t = Tape::new();
+        let vs: Vec<Var> = perturbed.iter().map(|m| t.leaf(m.clone())).collect();
+        let l = build(&mut t, &vs);
+        t.scalar(l)
+    };
+
+    let mut reports = Vec::new();
+    for (i, input) in inputs.iter().enumerate() {
+        let mut max_abs = 0.0f32;
+        let mut max_rel = 0.0f32;
+        for e in 0..input.len() {
+            let mut plus = inputs.to_vec();
+            plus[i].data_mut()[e] += h;
+            let mut minus = inputs.to_vec();
+            minus[i].data_mut()[e] -= h;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * h);
+            let a = analytic[i].data()[e];
+            let abs_err = (a - numeric).abs();
+            let rel_err = abs_err / a.abs().max(numeric.abs()).max(1e-6);
+            max_abs = max_abs.max(abs_err);
+            max_rel = max_rel.max(rel_err);
+            if abs_err > abs_tol && rel_err > rel_tol {
+                return Err(format!(
+                    "input {i} element {e}: analytic {a} vs numeric {numeric} \
+                     (abs {abs_err:.3e}, rel {rel_err:.3e})"
+                ));
+            }
+        }
+        reports.push(GradCheckReport {
+            input: i,
+            max_abs_err: max_abs,
+            max_rel_err: max_rel,
+        });
+    }
+    Ok(reports)
+}
+
+/// Convenience wrapper with tolerances suited to `f32` central differences.
+pub fn assert_grads_close(build: &dyn Fn(&mut Tape, &[Var]) -> Var, inputs: &[Matrix]) {
+    if let Err(msg) = check_gradients(build, inputs, 1e-3, 2e-2, 2e-2) {
+        panic!("gradient check failed: {msg}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Parameter initializers.
+//!
+//! The paper initializes all embedding tables with the Xavier method
+//! (Glorot & Bengio, 2010) — §V-A4. Both the uniform and normal variants are
+//! provided, plus small helpers used across the models.
+
+use crate::matrix::Matrix;
+use rand::{Rng, RngExt};
+
+/// Xavier/Glorot *uniform* init: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    let data = (0..rows * cols)
+        .map(|_| rng.random_range(-a..a))
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Xavier/Glorot *normal* init: `N(0, 2 / (fan_in + fan_out))`, sampled via
+/// Box–Muller.
+pub fn xavier_normal<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    let std = (2.0 / (rows + cols) as f32).sqrt();
+    let data = (0..rows * cols).map(|_| std * standard_normal(rng)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Uniform init on an explicit interval.
+pub fn uniform<R: Rng + ?Sized>(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut R) -> Matrix {
+    assert!(lo < hi, "empty interval [{lo}, {hi})");
+    let data = (0..rows * cols).map(|_| rng.random_range(lo..hi)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// One standard-normal draw via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u1: f32 = (1.0 - rng.random::<f32>()).max(f32::MIN_POSITIVE);
+    let u2: f32 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_uniform_bounds_and_spread() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = xavier_uniform(64, 64, &mut rng);
+        let a = (6.0 / 128.0f32).sqrt();
+        assert!(m.data().iter().all(|&x| x > -a && x < a));
+        assert!(m.max_abs() > 0.5 * a, "suspiciously concentrated");
+        assert!(m.mean().abs() < 0.05 * a);
+    }
+
+    #[test]
+    fn xavier_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = xavier_normal(100, 100, &mut rng);
+        let std = (2.0 / 200.0f32).sqrt();
+        let emp_var = m.sq_frobenius() / m.len() as f32 - m.mean().powi(2);
+        assert!((emp_var.sqrt() - std).abs() < 0.01 * std.max(1.0));
+        assert!(m.mean().abs() < 0.01);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(7));
+        let b = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn standard_normal_tail_sanity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let within: usize = (0..n)
+            .filter(|_| standard_normal(&mut rng).abs() < 1.96)
+            .count();
+        let frac = within as f64 / n as f64;
+        assert!((frac - 0.95).abs() < 0.01, "got {frac}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Binary (de)serialization of matrices and named parameter sets.
+//!
+//! A deliberately tiny format (no serde dependency): little-endian, with a
+//! magic header and explicit shapes, so trained models can be checkpointed
+//! to disk and reloaded — e.g. train LayerGCN once, then serve
+//! recommendations from the saved embedding table.
+//!
+//! ```text
+//! file   := MAGIC u32(version) u32(n_entries) entry*
+//! entry  := u32(name_len) name_bytes u64(rows) u64(cols) f32_le*
+//! ```
+
+use crate::matrix::Matrix;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"LRGCNv1\0";
+
+/// Errors raised by the checkpoint reader.
+#[derive(Debug)]
+pub enum IoError {
+    Io(io::Error),
+    /// Not a checkpoint file, or an unsupported version.
+    BadHeader,
+    /// Structurally invalid contents.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::BadHeader => write!(f, "not an LRGCN checkpoint (bad magic/version)"),
+            IoError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Writes named matrices as a checkpoint.
+pub fn write_checkpoint<W: Write>(
+    mut w: W,
+    entries: &[(&str, &Matrix)],
+) -> Result<(), IoError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&1u32.to_le_bytes())?;
+    w.write_all(&(entries.len() as u32).to_le_bytes())?;
+    for (name, m) in entries {
+        let nb = name.as_bytes();
+        w.write_all(&(nb.len() as u32).to_le_bytes())?;
+        w.write_all(nb)?;
+        w.write_all(&(m.rows() as u64).to_le_bytes())?;
+        w.write_all(&(m.cols() as u64).to_le_bytes())?;
+        for &v in m.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a checkpoint back as `(name, matrix)` pairs, in file order.
+pub fn read_checkpoint<R: Read>(mut r: R) -> Result<Vec<(String, Matrix)>, IoError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(IoError::BadHeader);
+    }
+    let version = read_u32(&mut r)?;
+    if version != 1 {
+        return Err(IoError::BadHeader);
+    }
+    let n = read_u32(&mut r)? as usize;
+    if n > 1_000_000 {
+        return Err(IoError::Corrupt(format!("implausible entry count {n}")));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name_len = read_u32(&mut r)? as usize;
+        if name_len > 4096 {
+            return Err(IoError::Corrupt(format!("implausible name length {name_len}")));
+        }
+        let mut nb = vec![0u8; name_len];
+        r.read_exact(&mut nb)?;
+        let name = String::from_utf8(nb)
+            .map_err(|_| IoError::Corrupt("non-UTF8 entry name".into()))?;
+        let rows = read_u64(&mut r)? as usize;
+        let cols = read_u64(&mut r)? as usize;
+        let len = rows
+            .checked_mul(cols)
+            .ok_or_else(|| IoError::Corrupt("shape overflow".into()))?;
+        if len > 1 << 30 {
+            return Err(IoError::Corrupt(format!("implausible matrix size {rows}x{cols}")));
+        }
+        let mut data = vec![0f32; len];
+        let mut buf = [0u8; 4];
+        for v in &mut data {
+            r.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        out.push((name, Matrix::from_vec(rows, cols, data)));
+    }
+    Ok(out)
+}
+
+/// File-path helpers.
+pub fn save_checkpoint(
+    path: impl AsRef<std::path::Path>,
+    entries: &[(&str, &Matrix)],
+) -> Result<(), IoError> {
+    let f = std::fs::File::create(path)?;
+    write_checkpoint(io::BufWriter::new(f), entries)
+}
+
+/// Loads a checkpoint from a file path.
+pub fn load_checkpoint(
+    path: impl AsRef<std::path::Path>,
+) -> Result<Vec<(String, Matrix)>, IoError> {
+    let f = std::fs::File::open(path)?;
+    read_checkpoint(io::BufReader::new(f))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, IoError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, IoError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, -2.5, 3.25, f32::MIN_POSITIVE, 0.0, 1e30]);
+        let b = Matrix::zeros(0, 5);
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &[("ego", &a), ("empty", &b)]).expect("write");
+        let back = read_checkpoint(buf.as_slice()).expect("read");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].0, "ego");
+        assert_eq!(back[0].1, a);
+        assert_eq!(back[1].0, "empty");
+        assert_eq!(back[1].1.shape(), (0, 5));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_checkpoint(&b"NOTLRGCN\x01\0\0\0\0\0\0\0"[..]).expect_err("must fail");
+        assert!(matches!(err, IoError::BadHeader));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let a = Matrix::full(3, 3, 1.0);
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &[("w", &a)]).expect("write");
+        buf.truncate(buf.len() - 5);
+        assert!(read_checkpoint(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_implausible_shapes() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(b'x');
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            read_checkpoint(buf.as_slice()),
+            Err(IoError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn file_helpers_roundtrip() {
+        let dir = std::env::temp_dir().join("lrgcn_io_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("ckpt.bin");
+        let a = Matrix::from_vec(1, 4, vec![9.0, 8.0, 7.0, 6.0]);
+        save_checkpoint(&path, &[("a", &a)]).expect("save");
+        let back = load_checkpoint(&path).expect("load");
+        assert_eq!(back[0].1, a);
+        std::fs::remove_file(path).ok();
+    }
+}

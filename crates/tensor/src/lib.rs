@@ -1,0 +1,47 @@
+//! # lrgcn-tensor — dense linear algebra and autodiff for the LayerGCN reproduction
+//!
+//! A deliberately small deep-learning substrate, sized for the models of the
+//! LayerGCN paper (Zhou et al., ICDE 2023):
+//!
+//! * [`matrix::Matrix`] — row-major dense `f32` matrices;
+//! * [`tape::Tape`] — tape-based reverse-mode autodiff whose op set covers
+//!   every model in `lrgcn-models` (sparse propagation, embedding gathers,
+//!   LayerGCN's row-wise cosine refinement, MLP layers, BPR/VAE losses);
+//! * [`optim`] — Adam / SGD and BUIR's EMA target update;
+//! * [`init`] — Xavier initializers (§V-A4 of the paper);
+//! * [`grad_check`] — finite-difference validation used heavily in tests.
+//!
+//! ## Example: one BPR step on raw embeddings
+//! ```
+//! use lrgcn_tensor::{Matrix, Tape, optim::{Adam, Param}};
+//! use std::rc::Rc;
+//!
+//! let mut emb = Param::new(Matrix::from_vec(4, 2, vec![0.1; 8]));
+//! let mut adam = Adam::new(0.01);
+//!
+//! let mut tape = Tape::new();
+//! let e = tape.leaf(emb.value().clone());
+//! let u = tape.gather(e, Rc::new(vec![0, 1]));
+//! let pos = tape.gather(e, Rc::new(vec![2, 3]));
+//! let neg = tape.gather(e, Rc::new(vec![3, 2]));
+//! let ps = tape.row_dot(u, pos);
+//! let ns = tape.row_dot(u, neg);
+//! let diff = tape.sub(ns, ps);
+//! let sp = tape.softplus(diff);
+//! let loss = tape.mean_all(sp);
+//! tape.backward(loss);
+//! let g = tape.take_grad(e).unwrap();
+//! adam.begin_step();
+//! adam.update(&mut emb, &g);
+//! ```
+
+pub mod grad_check;
+pub mod init;
+pub mod io;
+pub mod matrix;
+pub mod optim;
+pub mod tape;
+
+pub use matrix::Matrix;
+pub use optim::{Adam, Param, Sgd};
+pub use tape::{SharedCsr, Tape, Var};

@@ -1,0 +1,486 @@
+//! Dense row-major `f32` matrices.
+//!
+//! [`Matrix`] is the only dense container in the workspace: embedding tables,
+//! propagated layer representations, MLP weights and gradients are all
+//! `Matrix` values. Operations are deliberately BLAS-free — loops are ordered
+//! for cache locality (`i-k-j` matmul) which is plenty for the embedding
+//! sizes the paper uses (`T = 64`).
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense `rows x cols` matrix of `f32` in row-major layout.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// All-`v` matrix.
+    pub fn full(rows: usize, cols: usize, v: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
+    }
+
+    /// Builds from a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Builds a single-row matrix.
+    pub fn row_vector(data: Vec<f32>) -> Self {
+        Self::from_vec(1, data.len(), data)
+    }
+
+    /// Builds a single-column matrix.
+    pub fn col_vector(data: Vec<f32>) -> Self {
+        Self::from_vec(data.len(), 1, data)
+    }
+
+    /// The `n x n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the raw buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrow of row `r`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self * other` — plain dense matmul, `i-k-j` loop order.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            let orow = out.row_mut(i);
+            for (k, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = other.row(k);
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T * other` without materializing the transpose.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn shape mismatch: {:?}^T x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let arow = self.row(k);
+            let brow = other.row(k);
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = out.row_mut(i);
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * other^T` without materializing the transpose.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: {:?} x {:?}^T",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            let orow = out.row_mut(i);
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = other.row(j);
+                *o = dot(arow, brow);
+            }
+        }
+        out
+    }
+
+    /// The materialized transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Elementwise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// In-place elementwise map.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += s * other` (axpy).
+    pub fn add_scaled(&mut self, other: &Matrix, s: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+    }
+
+    /// `self -= other`.
+    pub fn sub_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "sub_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a -= b;
+        }
+    }
+
+    /// `self *= s`.
+    pub fn scale(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// New matrix `self + other`.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_assign(other);
+        out
+    }
+
+    /// New matrix `self - other`.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.sub_assign(other);
+        out
+    }
+
+    /// New matrix with rows `indices` of `self`, in order (may repeat).
+    pub fn gather_rows(&self, indices: &[u32]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (o, &i) in indices.iter().enumerate() {
+            out.row_mut(o).copy_from_slice(self.row(i as usize));
+        }
+        out
+    }
+
+    /// New matrix holding rows `start..end`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.rows, "row slice out of bounds");
+        Matrix::from_vec(
+            end - start,
+            self.cols,
+            self.data[start * self.cols..end * self.cols].to_vec(),
+        )
+    }
+
+    /// Per-row maximum values as a column vector.
+    pub fn row_max(&self) -> Matrix {
+        let data = (0..self.rows)
+            .map(|r| self.row(r).iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x)))
+            .collect();
+        Matrix::col_vector(data)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Sum of squares of all elements (squared Frobenius norm).
+    pub fn sq_frobenius(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f32 {
+        self.sq_frobenius().sqrt()
+    }
+
+    /// Largest absolute element (0 for an empty matrix).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, x| m.max(x.abs()))
+    }
+
+    /// Euclidean norm of row `r`.
+    pub fn row_norm(&self, r: usize) -> f32 {
+        dot(self.row(r), self.row(r)).sqrt()
+    }
+
+    /// Whether any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Approximate equality within absolute tolerance `tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Horizontal concatenation of matrices with equal row counts.
+    pub fn concat_cols(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "concat of zero matrices");
+        let rows = parts[0].rows;
+        assert!(
+            parts.iter().all(|p| p.rows == rows),
+            "concat_cols: row count mismatch"
+        );
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let orow = out.row_mut(r);
+            let mut off = 0;
+            for p in parts {
+                orow[off..off + p.cols].copy_from_slice(p.row(r));
+                off += p.cols;
+            }
+        }
+        out
+    }
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> Matrix {
+        Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    fn b() -> Matrix {
+        Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0])
+    }
+
+    #[test]
+    fn matmul_reference() {
+        let c = a().matmul(&b());
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let at = a().transpose();
+        assert!(a().matmul_tn(&a()).approx_eq(&at.matmul(&a()), 1e-5));
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let bt = b().transpose();
+        assert!(a().matmul_nt(&bt).approx_eq(&a().matmul(&b()), 1e-5));
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let m = a();
+        assert!(Matrix::identity(2).matmul(&m).approx_eq(&m, 0.0));
+        assert!(m.matmul(&Matrix::identity(3)).approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let _ = a().matmul(&a());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        assert_eq!(a().transpose().transpose(), a());
+    }
+
+    #[test]
+    fn elementwise_and_axpy() {
+        let mut m = a();
+        m.add_scaled(&a(), 2.0);
+        assert_eq!(m.data()[0], 3.0);
+        m.scale(0.5);
+        assert_eq!(m.data()[5], 9.0);
+        let d = a().sub(&a());
+        assert_eq!(d.sum(), 0.0);
+    }
+
+    #[test]
+    fn gather_rows_repeats_and_orders() {
+        let g = a().gather_rows(&[1, 0, 1]);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.row(0), &[4.0, 5.0, 6.0]);
+        assert_eq!(g.row(1), &[1.0, 2.0, 3.0]);
+        assert_eq!(g.row(2), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let m = a();
+        assert_eq!(m.sum(), 21.0);
+        assert_eq!(m.mean(), 3.5);
+        assert_eq!(m.sq_frobenius(), 91.0);
+        assert_eq!(m.max_abs(), 6.0);
+        assert!((m.row_norm(0) - 14.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concat_cols_layout() {
+        let c = Matrix::concat_cols(&[&a(), &a()]);
+        assert_eq!(c.shape(), (2, 6));
+        assert_eq!(c.row(0), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut m = a();
+        assert!(!m.has_non_finite());
+        m[(0, 0)] = f32::NAN;
+        assert!(m.has_non_finite());
+    }
+
+    #[test]
+    fn map_and_inplace_agree() {
+        let m = a();
+        let doubled = m.map(|x| 2.0 * x);
+        let mut m2 = m.clone();
+        m2.map_inplace(|x| 2.0 * x);
+        assert_eq!(doubled, m2);
+    }
+}

@@ -1,0 +1,226 @@
+//! Optimizers.
+//!
+//! The paper trains every model with Adam (§V-A4); [`Adam`] follows Kingma &
+//! Ba (2015) with bias correction. [`Sgd`] exists for tests and ablations,
+//! and [`ema_update`] implements the momentum (exponential-moving-average)
+//! target-network update that BUIR requires.
+
+use crate::matrix::Matrix;
+
+/// A trainable parameter: its value plus per-element Adam moments.
+#[derive(Clone, Debug)]
+pub struct Param {
+    value: Matrix,
+    m: Matrix,
+    v: Matrix,
+}
+
+impl Param {
+    /// Wraps an initialized value with zeroed optimizer state.
+    pub fn new(value: Matrix) -> Self {
+        let (r, c) = value.shape();
+        Self {
+            value,
+            m: Matrix::zeros(r, c),
+            v: Matrix::zeros(r, c),
+        }
+    }
+
+    pub fn value(&self) -> &Matrix {
+        &self.value
+    }
+
+    pub fn value_mut(&mut self) -> &mut Matrix {
+        &mut self.value
+    }
+
+    /// Replaces the value, resetting optimizer state if the shape changed.
+    pub fn set_value(&mut self, value: Matrix) {
+        if value.shape() != self.value.shape() {
+            let (r, c) = value.shape();
+            self.m = Matrix::zeros(r, c);
+            self.v = Matrix::zeros(r, c);
+        }
+        self.value = value;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba, ICLR 2015) with bias-corrected moments.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    t: u64,
+}
+
+impl Adam {
+    /// Default hyper-parameters (`β1 = 0.9`, `β2 = 0.999`, `ε = 1e-8`).
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
+    }
+
+    /// Number of completed steps.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Starts a new optimization step (increments the shared timestep). Call
+    /// once per batch, before updating the batch's parameters.
+    pub fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    /// Applies one Adam update to `param` given gradient `grad`.
+    ///
+    /// # Panics
+    /// Panics if shapes mismatch or `begin_step` was never called.
+    pub fn update(&self, param: &mut Param, grad: &Matrix) {
+        assert!(self.t > 0, "call begin_step() before update()");
+        assert_eq!(param.value.shape(), grad.shape(), "gradient shape mismatch");
+        let (b1, b2) = (self.beta1, self.beta2);
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        let vd = param.value.data_mut();
+        let md = param.m.data_mut();
+        let sd = param.v.data_mut();
+        for i in 0..vd.len() {
+            let g = grad.data()[i];
+            md[i] = b1 * md[i] + (1.0 - b1) * g;
+            sd[i] = b2 * sd[i] + (1.0 - b2) * g * g;
+            let mhat = md[i] / bc1;
+            let vhat = sd[i] / bc2;
+            vd[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    pub lr: f32,
+}
+
+impl Sgd {
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self { lr }
+    }
+
+    pub fn update(&self, param: &mut Param, grad: &Matrix) {
+        param.value.add_scaled(grad, -self.lr);
+    }
+}
+
+/// Rescales `grad` in place so its global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm. Standard stabilizer for losses with
+/// occasionally exploding gradients (e.g. contrastive terms on
+/// small-magnitude embeddings).
+pub fn clip_grad_norm(grad: &mut Matrix, max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let norm = grad.frobenius();
+    if norm > max_norm {
+        grad.scale(max_norm / norm);
+    }
+    norm
+}
+
+/// Exponential-moving-average update used for BUIR's target network:
+/// `target = momentum * target + (1 - momentum) * online`.
+pub fn ema_update(target: &mut Matrix, online: &Matrix, momentum: f32) {
+    assert!((0.0..=1.0).contains(&momentum), "momentum must be in [0,1]");
+    assert_eq!(target.shape(), online.shape(), "ema shape mismatch");
+    for (t, &o) in target.data_mut().iter_mut().zip(online.data()) {
+        *t = momentum * *t + (1.0 - momentum) * o;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = (x - 3)^2 and check convergence to 3.
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut p = Param::new(Matrix::from_vec(1, 1, vec![0.0]));
+        let mut adam = Adam::new(0.1);
+        for _ in 0..500 {
+            let x = p.value().data()[0];
+            let grad = Matrix::from_vec(1, 1, vec![2.0 * (x - 3.0)]);
+            adam.begin_step();
+            adam.update(&mut p, &grad);
+        }
+        assert!((p.value().data()[0] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_first_step_size_is_lr() {
+        // With bias correction, |Δx| of the very first step equals lr
+        // (for any nonzero gradient, up to eps).
+        let mut p = Param::new(Matrix::from_vec(1, 1, vec![1.0]));
+        let mut adam = Adam::new(0.05);
+        adam.begin_step();
+        adam.update(&mut p, &Matrix::from_vec(1, 1, vec![123.0]));
+        assert!((p.value().data()[0] - (1.0 - 0.05)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sgd_step_is_linear() {
+        let mut p = Param::new(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        Sgd::new(0.5).update(&mut p, &Matrix::from_vec(1, 2, vec![2.0, -4.0]));
+        assert_eq!(p.value().data(), &[0.0, 4.0]);
+    }
+
+    #[test]
+    fn ema_blends() {
+        let mut t = Matrix::from_vec(1, 2, vec![0.0, 10.0]);
+        let o = Matrix::from_vec(1, 2, vec![10.0, 0.0]);
+        ema_update(&mut t, &o, 0.9);
+        assert!(t.approx_eq(&Matrix::from_vec(1, 2, vec![1.0, 9.0]), 1e-6));
+        // momentum = 1 freezes the target.
+        let before = t.clone();
+        ema_update(&mut t, &o, 1.0);
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn set_value_resets_state_on_reshape() {
+        let mut p = Param::new(Matrix::zeros(2, 2));
+        let mut adam = Adam::new(0.1);
+        adam.begin_step();
+        adam.update(&mut p, &Matrix::full(2, 2, 1.0));
+        p.set_value(Matrix::zeros(3, 3));
+        assert_eq!(p.value().shape(), (3, 3));
+        adam.begin_step();
+        adam.update(&mut p, &Matrix::full(3, 3, 1.0));
+        assert!(!p.value().has_non_finite());
+    }
+
+    #[test]
+    fn clipping_preserves_direction_and_caps_norm() {
+        let mut g = Matrix::from_vec(1, 2, vec![3.0, 4.0]); // norm 5
+        let pre = clip_grad_norm(&mut g, 1.0);
+        assert_eq!(pre, 5.0);
+        assert!((g.frobenius() - 1.0).abs() < 1e-6);
+        assert!((g.data()[0] / g.data()[1] - 0.75).abs() < 1e-6);
+        // Below the cap: untouched.
+        let mut small = Matrix::from_vec(1, 2, vec![0.3, 0.4]);
+        clip_grad_norm(&mut small, 1.0);
+        assert_eq!(small.data(), &[0.3, 0.4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_step")]
+    fn update_requires_begin_step() {
+        let mut p = Param::new(Matrix::zeros(1, 1));
+        Adam::new(0.1).update(&mut p, &Matrix::zeros(1, 1));
+    }
+}

@@ -1,0 +1,457 @@
+//! Finite-difference validation of every backward rule on the tape,
+//! including proptest-randomized inputs for the numerically delicate ops
+//! (row-wise cosine, L2 normalization) that LayerGCN's refinement relies on.
+
+use lrgcn_graph::Csr;
+use lrgcn_tensor::grad_check::assert_grads_close;
+use lrgcn_tensor::tape::{SharedCsr, Tape, Var};
+use lrgcn_tensor::Matrix;
+use proptest::prelude::*;
+use std::rc::Rc;
+
+fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+    Matrix::from_vec(rows, cols, v.to_vec())
+}
+
+#[test]
+fn grad_add_sub_mul() {
+    let a = m(2, 3, &[0.5, -1.2, 2.0, 0.3, 1.1, -0.7]);
+    let b = m(2, 3, &[1.5, 0.2, -1.0, 0.9, -0.4, 0.6]);
+    assert_grads_close(
+        &|t: &mut Tape, v: &[Var]| {
+            let s = t.add(v[0], v[1]);
+            let d = t.sub(s, v[1]);
+            let p = t.mul(d, v[1]);
+            t.sum(p)
+        },
+        &[a, b],
+    );
+}
+
+#[test]
+fn grad_scalar_ops() {
+    let a = m(2, 2, &[0.5, -1.2, 2.0, 0.3]);
+    assert_grads_close(
+        &|t, v| {
+            let x = t.mul_scalar(v[0], -1.7);
+            let y = t.add_scalar(x, 0.3);
+            let z = t.mul(y, y);
+            t.mean_all(z)
+        },
+        &[a],
+    );
+}
+
+#[test]
+fn grad_matmul() {
+    let a = m(2, 3, &[0.5, -1.2, 2.0, 0.3, 1.1, -0.7]);
+    let b = m(3, 2, &[1.5, 0.2, -1.0, 0.9, -0.4, 0.6]);
+    assert_grads_close(
+        &|t, v| {
+            let c = t.matmul(v[0], v[1]);
+            let sq = t.mul(c, c);
+            t.sum(sq)
+        },
+        &[a, b],
+    );
+}
+
+#[test]
+fn grad_matmul_tn_nt() {
+    let a = m(3, 2, &[0.5, -1.2, 2.0, 0.3, 1.1, -0.7]);
+    let b = m(3, 2, &[1.5, 0.2, -1.0, 0.9, -0.4, 0.6]);
+    assert_grads_close(
+        &|t, v| {
+            let c = t.matmul_tn(v[0], v[1]); // 2x2
+            let d = t.matmul_nt(v[0], v[1]); // 3x3
+            let sc = t.sum(c);
+            let sd = t.sum(d);
+            let both = t.add(sc, sd);
+            let sq = t.mul(both, both);
+            t.sum(sq)
+        },
+        &[a, b],
+    );
+}
+
+#[test]
+fn grad_spmm_symmetric_and_asymmetric() {
+    let sym = SharedCsr::new(Csr::from_coo(
+        3,
+        3,
+        vec![(0, 1, 0.5), (1, 0, 0.5), (1, 2, 1.5), (2, 1, 1.5)],
+    ));
+    let asym = SharedCsr::new(Csr::from_coo(2, 3, vec![(0, 0, 1.0), (0, 2, -2.0), (1, 1, 0.7)]));
+    let x = m(3, 2, &[0.5, -1.2, 2.0, 0.3, 1.1, -0.7]);
+    assert_grads_close(
+        &move |t, v| {
+            let y = t.spmm(&sym, v[0]);
+            let z = t.spmm(&asym, y);
+            let sq = t.mul(z, z);
+            t.sum(sq)
+        },
+        &[x],
+    );
+}
+
+#[test]
+fn grad_gather_with_repeats() {
+    let e = m(4, 2, &[0.5, -1.2, 2.0, 0.3, 1.1, -0.7, 0.2, 0.9]);
+    assert_grads_close(
+        &|t, v| {
+            let g = t.gather(v[0], Rc::new(vec![3, 1, 3, 0]));
+            let sq = t.mul(g, g);
+            t.sum(sq)
+        },
+        &[e],
+    );
+}
+
+#[test]
+fn grad_concat() {
+    let a = m(2, 2, &[0.5, -1.2, 2.0, 0.3]);
+    let b = m(2, 1, &[1.4, -0.6]);
+    assert_grads_close(
+        &|t, v| {
+            let c = t.concat_cols(&[v[0], v[1], v[0]]);
+            let sq = t.mul(c, c);
+            t.mean_all(sq)
+        },
+        &[a, b],
+    );
+}
+
+#[test]
+fn grad_activations() {
+    let a = m(2, 3, &[0.5, -1.2, 2.0, 0.3, 1.1, -0.7]);
+    assert_grads_close(
+        &|t, v| {
+            let s = t.sigmoid(v[0]);
+            let sp = t.softplus(s);
+            let th = t.tanh(sp);
+            let lr = t.leaky_relu(th, 0.2);
+            t.sum(lr)
+        },
+        std::slice::from_ref(&a),
+    );
+    // ReLU checked away from the kink.
+    let b = m(1, 4, &[0.8, -0.9, 1.7, -2.2]);
+    assert_grads_close(
+        &|t, v| {
+            let r = t.relu(v[0]);
+            let sq = t.mul(r, r);
+            t.sum(sq)
+        },
+        &[b],
+    );
+}
+
+#[test]
+fn grad_exp_ln() {
+    let a = m(1, 3, &[0.5, 1.2, 2.0]);
+    assert_grads_close(
+        &|t, v| {
+            let e = t.exp(v[0]);
+            let l = t.ln(e, 1e-12);
+            let sq = t.mul(l, e);
+            t.sum(sq)
+        },
+        &[a],
+    );
+}
+
+#[test]
+fn grad_row_dot() {
+    let a = m(3, 2, &[0.5, -1.2, 2.0, 0.3, 1.1, -0.7]);
+    let b = m(3, 2, &[1.5, 0.2, -1.0, 0.9, -0.4, 0.6]);
+    assert_grads_close(
+        &|t, v| {
+            let d = t.row_dot(v[0], v[1]);
+            let sq = t.mul(d, d);
+            t.sum(sq)
+        },
+        &[a, b],
+    );
+}
+
+#[test]
+fn grad_row_cosine() {
+    let a = m(3, 3, &[0.5, -1.2, 2.0, 0.3, 1.1, -0.7, 0.9, 0.8, -0.3]);
+    let b = m(3, 3, &[1.5, 0.2, -1.0, 0.9, -0.4, 0.6, -0.2, 1.3, 0.4]);
+    assert_grads_close(
+        &|t, v| {
+            let c = t.row_cosine(v[0], v[1], 1e-8);
+            let sq = t.mul(c, c);
+            t.sum(sq)
+        },
+        &[a, b],
+    );
+}
+
+#[test]
+fn grad_layer_refinement_composite() {
+    // The exact composite LayerGCN uses per layer:
+    // X' = (cos(ÂX, X0) + eps) ⊙_rows (ÂX).
+    let adj = SharedCsr::new(Csr::from_coo(
+        3,
+        3,
+        vec![(0, 1, 0.7), (1, 0, 0.7), (1, 2, 0.7), (2, 1, 0.7)],
+    ));
+    let x0 = m(3, 2, &[0.5, -1.2, 2.0, 0.3, 1.1, -0.7]);
+    assert_grads_close(
+        &move |t, v| {
+            let prop = t.spmm(&adj, v[0]);
+            let sim = t.row_cosine(prop, v[0], 1e-8);
+            let sim_eps = t.add_scalar(sim, 1e-4);
+            let refined = t.mul_row_broadcast(prop, sim_eps);
+            let sq = t.mul(refined, refined);
+            t.sum(sq)
+        },
+        &[x0],
+    );
+}
+
+#[test]
+fn grad_row_l2_normalize() {
+    let a = m(2, 3, &[0.5, -1.2, 2.0, 0.3, 1.1, -0.7]);
+    assert_grads_close(
+        &|t, v| {
+            let n = t.row_l2_normalize(v[0], 1e-10);
+            let sq = t.mul(n, n);
+            t.mean_all(sq)
+        },
+        std::slice::from_ref(&a),
+    );
+    // Also through a dot with a second operand (asymmetric flow).
+    let b = m(2, 3, &[1.5, 0.2, -1.0, 0.9, -0.4, 0.6]);
+    assert_grads_close(
+        &|t, v| {
+            let n = t.row_l2_normalize(v[0], 1e-10);
+            let d = t.row_dot(n, v[1]);
+            let sq = t.mul(d, d);
+            t.sum(sq)
+        },
+        &[a, b],
+    );
+}
+
+#[test]
+fn grad_broadcasts() {
+    let a = m(3, 2, &[0.5, -1.2, 2.0, 0.3, 1.1, -0.7]);
+    let s = m(3, 1, &[0.4, -1.5, 0.8]);
+    let bias = m(1, 2, &[0.25, -0.75]);
+    assert_grads_close(
+        &|t, v| {
+            let x = t.mul_row_broadcast(v[0], v[1]);
+            let y = t.add_col_broadcast(x, v[2]);
+            let sq = t.mul(y, y);
+            t.sum(sq)
+        },
+        &[a, s, bias],
+    );
+}
+
+#[test]
+fn grad_dropout_mask_is_constant_scale() {
+    let a = m(2, 2, &[0.5, -1.2, 2.0, 0.3]);
+    let mask = Rc::new(vec![2.0, 0.0, 2.0, 2.0]);
+    assert_grads_close(
+        &move |t, v| {
+            let d = t.dropout(v[0], Rc::clone(&mask));
+            let sq = t.mul(d, d);
+            t.sum(sq)
+        },
+        &[a],
+    );
+}
+
+#[test]
+fn grad_reductions() {
+    let a = m(2, 3, &[0.5, -1.2, 2.0, 0.3, 1.1, -0.7]);
+    assert_grads_close(
+        &|t, v| {
+            let rs = t.row_sum(v[0]);
+            let sq = t.mul(rs, rs);
+            t.sum(sq)
+        },
+        std::slice::from_ref(&a),
+    );
+    assert_grads_close(&|t, v| t.sq_frobenius(v[0]), &[a]);
+}
+
+#[test]
+fn grad_bpr_loss_full_pipeline() {
+    // Embedding table -> gather u/i/j -> scores -> softplus BPR + L2 reg.
+    let e = m(
+        5,
+        2,
+        &[0.5, -1.2, 2.0, 0.3, 1.1, -0.7, 0.2, 0.9, -0.8, 0.4],
+    );
+    assert_grads_close(
+        &|t, v| {
+            let u = t.gather(v[0], Rc::new(vec![0, 1]));
+            let i = t.gather(v[0], Rc::new(vec![2, 3]));
+            let j = t.gather(v[0], Rc::new(vec![4, 2]));
+            let ps = t.row_dot(u, i);
+            let ns = t.row_dot(u, j);
+            let diff = t.sub(ns, ps);
+            let sp = t.softplus(diff);
+            let bpr = t.mean_all(sp);
+            let reg = t.sq_frobenius(v[0]);
+            let reg_scaled = t.mul_scalar(reg, 1e-3);
+            t.add(bpr, reg_scaled)
+        },
+        &[e],
+    );
+}
+
+#[test]
+fn grad_sub_row_broadcast_and_recip() {
+    let a = m(2, 3, &[0.5, -1.2, 2.0, 0.3, 1.1, -0.7]);
+    let s = m(2, 1, &[0.4, -0.9]);
+    assert_grads_close(
+        &|t, v| {
+            let x = t.sub_row_broadcast(v[0], v[1]);
+            let sq = t.mul(x, x);
+            t.sum(sq)
+        },
+        &[a.clone(), s],
+    );
+    let pos = m(1, 3, &[0.8, 1.5, 2.2]);
+    assert_grads_close(
+        &|t, v| {
+            let r = t.recip(v[0], 1e-6);
+            let sq = t.mul(r, r);
+            t.sum(sq)
+        },
+        &[pos],
+    );
+}
+
+#[test]
+fn grad_mul_scalar_var() {
+    let a = m(2, 2, &[0.5, -1.2, 2.0, 0.3]);
+    let s = m(1, 1, &[0.7]);
+    assert_grads_close(
+        &|t, v| {
+            let x = t.mul_scalar_var(v[0], v[1]);
+            let sq = t.mul(x, x);
+            t.sum(sq)
+        },
+        &[a, s],
+    );
+}
+
+#[test]
+fn grad_row_softmax_and_log_softmax() {
+    let a = m(2, 3, &[0.5, -1.2, 2.0, 0.3, 1.1, -0.7]);
+    assert_grads_close(
+        &|t, v| {
+            let sm = t.row_softmax(v[0]);
+            let sq = t.mul(sm, sm);
+            t.sum(sq)
+        },
+        std::slice::from_ref(&a),
+    );
+    // Cross-entropy shape: -(mask ⊙ log_softmax).sum()
+    let mask = Rc::new(Matrix::from_vec(2, 3, vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0]));
+    assert_grads_close(
+        &move |t, v| {
+            let ls = t.row_log_softmax(v[0]);
+            let mk = t.constant((*mask).clone());
+            let picked = t.mul(ls, mk);
+            let s = t.sum(picked);
+            t.neg(s)
+        },
+        &[a],
+    );
+}
+
+#[test]
+fn softmax_rows_sum_to_one() {
+    let mut t = Tape::new();
+    let a = t.leaf(m(2, 4, &[10.0, 10.5, -3.0, 0.0, 100.0, 99.0, 98.0, 97.0]));
+    let sm = t.row_softmax(a);
+    let v = t.value(sm);
+    for r in 0..2 {
+        let s: f32 = v.row(r).iter().sum();
+        assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+        assert!(v.row(r).iter().all(|&x| x >= 0.0));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random well-conditioned inputs through the cosine refinement: the
+    /// analytic gradient must match finite differences.
+    #[test]
+    fn prop_row_cosine_grads(
+        vals in proptest::collection::vec(0.2f32..2.0, 12),
+        signs in proptest::collection::vec(prop::bool::ANY, 12),
+    ) {
+        let data: Vec<f32> = vals
+            .iter()
+            .zip(&signs)
+            .map(|(&v, &s)| if s { v } else { -v })
+            .collect();
+        let a = Matrix::from_vec(2, 3, data[..6].to_vec());
+        let b = Matrix::from_vec(2, 3, data[6..].to_vec());
+        assert_grads_close(
+            &|t, v| {
+                let c = t.row_cosine(v[0], v[1], 1e-8);
+                let sq = t.mul(c, c);
+                t.sum(sq)
+            },
+            &[a, b],
+        );
+    }
+
+    /// Matmul gradients hold for random shapes and values.
+    #[test]
+    fn prop_matmul_grads(
+        rows in 1usize..4,
+        inner in 1usize..4,
+        cols in 1usize..4,
+        seedvals in proptest::collection::vec(-1.5f32..1.5, 32),
+    ) {
+        let a = Matrix::from_vec(rows, inner, seedvals[..rows * inner].to_vec());
+        let b = Matrix::from_vec(
+            inner,
+            cols,
+            seedvals[rows * inner..rows * inner + inner * cols].to_vec(),
+        );
+        assert_grads_close(
+            &|t, v| {
+                let c = t.matmul(v[0], v[1]);
+                let sq = t.mul(c, c);
+                t.sum(sq)
+            },
+            &[a, b],
+        );
+    }
+
+    /// row_l2_normalize produces unit rows and exact gradients for
+    /// non-degenerate inputs.
+    #[test]
+    fn prop_row_normalize_grads(
+        vals in proptest::collection::vec(0.3f32..2.0, 6),
+        signs in proptest::collection::vec(prop::bool::ANY, 6),
+    ) {
+        let data: Vec<f32> = vals
+            .iter()
+            .zip(&signs)
+            .map(|(&v, &s)| if s { v } else { -v })
+            .collect();
+        let a = Matrix::from_vec(2, 3, data);
+        assert_grads_close(
+            &|t, v| {
+                let n = t.row_l2_normalize(v[0], 1e-10);
+                let s = t.sum(n);
+                let sq = t.mul(s, s);
+                t.sum(sq)
+            },
+            &[a],
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Algebraic property tests for the dense matrix type: the laws the models
+//! silently rely on (distributivity for gradient accumulation, transpose
+//! duality for the backward rules, concat/slice inverses).
+
+use lrgcn_tensor::Matrix;
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (A + B) C = AC + BC within f32 tolerance.
+    #[test]
+    fn matmul_right_distributive(
+        a in matrix(3, 4),
+        b in matrix(3, 4),
+        c in matrix(4, 2),
+    ) {
+        let lhs = a.add(&b).matmul(&c);
+        let rhs = a.matmul(&c).add(&b.matmul(&c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    /// (AB)C = A(BC) within f32 tolerance.
+    #[test]
+    fn matmul_associative(
+        a in matrix(2, 3),
+        b in matrix(3, 2),
+        c in matrix(2, 3),
+    ) {
+        let lhs = a.matmul(&b).matmul(&c);
+        let rhs = a.matmul(&b.matmul(&c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-2));
+    }
+
+    /// (AB)^T = B^T A^T.
+    #[test]
+    fn transpose_antidistributes(a in matrix(3, 4), b in matrix(4, 2)) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    /// matmul_tn and matmul_nt agree with their explicit-transpose forms.
+    #[test]
+    fn fused_transpose_matmuls(a in matrix(4, 3), b in matrix(4, 2), d in matrix(5, 3)) {
+        prop_assert!(a.matmul_tn(&b).approx_eq(&a.transpose().matmul(&b), 1e-3));
+        prop_assert!(a.matmul_nt(&d).approx_eq(&a.matmul(&d.transpose()), 1e-3));
+    }
+
+    /// concat_cols then slice-by-row reconstructs both parts.
+    #[test]
+    fn concat_slice_roundtrip(a in matrix(3, 2), b in matrix(3, 4)) {
+        let c = Matrix::concat_cols(&[&a, &b]);
+        prop_assert_eq!(c.shape(), (3, 6));
+        for r in 0..3 {
+            prop_assert_eq!(&c.row(r)[..2], a.row(r));
+            prop_assert_eq!(&c.row(r)[2..], b.row(r));
+        }
+    }
+
+    /// slice_rows inverts vertical composition via gather.
+    #[test]
+    fn slice_rows_consistent_with_gather(a in matrix(5, 3)) {
+        let top = a.slice_rows(0, 2);
+        let bottom = a.slice_rows(2, 5);
+        prop_assert_eq!(top.rows() + bottom.rows(), 5);
+        let regathered = a.gather_rows(&[0, 1]);
+        prop_assert!(top.approx_eq(&regathered, 0.0));
+        let last = a.gather_rows(&[2, 3, 4]);
+        prop_assert!(bottom.approx_eq(&last, 0.0));
+    }
+
+    /// Frobenius norm is subadditive (triangle inequality).
+    #[test]
+    fn frobenius_triangle(a in matrix(3, 3), b in matrix(3, 3)) {
+        let sum = a.add(&b);
+        prop_assert!(sum.frobenius() <= a.frobenius() + b.frobenius() + 1e-4);
+    }
+
+    /// row_max really is the per-row maximum.
+    #[test]
+    fn row_max_law(a in matrix(4, 5)) {
+        let m = a.row_max();
+        for r in 0..4 {
+            let expect = a.row(r).iter().fold(f32::NEG_INFINITY, |x, &y| x.max(y));
+            prop_assert_eq!(m[(r, 0)], expect);
+        }
+    }
+
+    /// add_scaled is the affine combination it claims to be.
+    #[test]
+    fn add_scaled_law(a in matrix(2, 3), b in matrix(2, 3), s in -2.0f32..2.0) {
+        let mut lhs = a.clone();
+        lhs.add_scaled(&b, s);
+        let mut scaled_b = b.clone();
+        scaled_b.scale(s);
+        let rhs = a.add(&scaled_b);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-5));
+    }
+}

@@ -1,0 +1,109 @@
+//! Per-epoch training records.
+//!
+//! The convergence experiments (Fig. 3, Table IV) need the loss curve, the
+//! validation-metric curve and the best epoch; Figs. 1 and 5 additionally
+//! log per-layer weights. [`History`] collects all of it.
+
+/// One epoch's record.
+#[derive(Clone, Debug)]
+pub struct EpochRecord {
+    pub epoch: usize,
+    /// Mean training batch loss.
+    pub train_loss: f64,
+    /// Validation metric (the early-stopping criterion), if evaluated.
+    pub val_metric: Option<f64>,
+    /// Optional per-layer values (Fig. 1 weights / Fig. 5 similarities).
+    pub layer_values: Option<Vec<f64>>,
+}
+
+/// The full training trajectory of one run.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    records: Vec<EpochRecord>,
+}
+
+impl History {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, rec: EpochRecord) {
+        self.records.push(rec);
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub fn records(&self) -> &[EpochRecord] {
+        &self.records
+    }
+
+    /// The training-loss series.
+    pub fn losses(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.train_loss).collect()
+    }
+
+    /// `(epoch, metric)` points where validation ran.
+    pub fn val_curve(&self) -> Vec<(usize, f64)> {
+        self.records
+            .iter()
+            .filter_map(|r| r.val_metric.map(|m| (r.epoch, m)))
+            .collect()
+    }
+
+    /// The epoch with the best (largest) validation metric, if any.
+    pub fn best_epoch(&self) -> Option<(usize, f64)> {
+        self.val_curve()
+            .into_iter()
+            .fold(None, |best, (e, m)| match best {
+                Some((_, bm)) if bm >= m => best,
+                _ => Some((e, m)),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(epoch: usize, loss: f64, val: Option<f64>) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            train_loss: loss,
+            val_metric: val,
+            layer_values: None,
+        }
+    }
+
+    #[test]
+    fn best_epoch_is_argmax() {
+        let mut h = History::new();
+        h.push(rec(0, 1.0, Some(0.10)));
+        h.push(rec(1, 0.8, None));
+        h.push(rec(2, 0.6, Some(0.25)));
+        h.push(rec(3, 0.5, Some(0.20)));
+        assert_eq!(h.best_epoch(), Some((2, 0.25)));
+        assert_eq!(h.val_curve().len(), 3);
+        assert_eq!(h.losses(), vec![1.0, 0.8, 0.6, 0.5]);
+    }
+
+    #[test]
+    fn empty_history() {
+        let h = History::new();
+        assert!(h.is_empty());
+        assert!(h.best_epoch().is_none());
+    }
+
+    #[test]
+    fn ties_keep_earliest_epoch() {
+        let mut h = History::new();
+        h.push(rec(0, 1.0, Some(0.5)));
+        h.push(rec(1, 1.0, Some(0.5)));
+        assert_eq!(h.best_epoch(), Some((0, 0.5)));
+    }
+}

@@ -1,0 +1,16 @@
+//! # lrgcn-train — training harness for the LayerGCN reproduction
+//!
+//! * [`trainer`] — the epoch loop with periodic validation, early stopping
+//!   on Recall@K and best-epoch tracking (§V-A4 of the paper);
+//! * [`history`] — per-epoch records backing the convergence experiments
+//!   (Fig. 3, Table IV) and the layer-weight logs (Figs. 1 and 5);
+//! * [`sweep`] — hyper-parameter grids (Fig. 7) and multi-seed summaries
+//!   (Table II's significance protocol).
+
+pub mod history;
+pub mod sweep;
+pub mod trainer;
+
+pub use history::{EpochRecord, History};
+pub use sweep::{grid2, multi_seed, SeedSummary, SweepResult};
+pub use trainer::{train_and_test, train_with_early_stopping, TrainConfig, TrainOutcome};

@@ -1,0 +1,119 @@
+//! Hyper-parameter sweeps and multi-seed runs.
+//!
+//! Backs the paper's Fig. 7 (λ × dropout grid), the layer sweep of Fig. 6
+//! and the 5-seed significance protocol of Table II.
+
+/// Result of evaluating a grid of parameter points.
+#[derive(Clone, Debug)]
+pub struct SweepResult<P> {
+    /// `(point, score)` in evaluation order.
+    pub cells: Vec<(P, f64)>,
+}
+
+impl<P: Clone> SweepResult<P> {
+    /// The best-scoring cell (largest score).
+    ///
+    /// # Panics
+    /// Panics on an empty sweep.
+    pub fn best(&self) -> &(P, f64) {
+        self.cells
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("scores must be finite"))
+            .expect("empty sweep")
+    }
+
+    /// The worst-scoring cell.
+    pub fn worst(&self) -> &(P, f64) {
+        self.cells
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("scores must be finite"))
+            .expect("empty sweep")
+    }
+}
+
+/// Evaluates `eval` at every point, collecting scores.
+pub fn sweep<P: Clone>(points: &[P], mut eval: impl FnMut(&P) -> f64) -> SweepResult<P> {
+    SweepResult {
+        cells: points.iter().map(|p| (p.clone(), eval(p))).collect(),
+    }
+}
+
+/// Cartesian product of two axes, row-major (`a` outer).
+pub fn grid2<A: Clone, B: Clone>(a: &[A], b: &[B]) -> Vec<(A, B)> {
+    a.iter()
+        .flat_map(|x| b.iter().map(move |y| (x.clone(), y.clone())))
+        .collect()
+}
+
+/// Summary statistics of a multi-seed run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeedSummary {
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator); 0 for a single seed.
+    pub std: f64,
+    pub min: f64,
+    pub max: f64,
+    pub n: usize,
+}
+
+/// Runs `run` once per seed and summarizes the scores.
+pub fn multi_seed(seeds: &[u64], mut run: impl FnMut(u64) -> f64) -> (Vec<f64>, SeedSummary) {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let scores: Vec<f64> = seeds.iter().map(|&s| run(s)).collect();
+    let n = scores.len();
+    let mean = scores.iter().sum::<f64>() / n as f64;
+    let std = if n > 1 {
+        (scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+    } else {
+        0.0
+    };
+    let min = scores.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    (scores, SeedSummary { mean, std, min, max, n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid2_row_major() {
+        let g = grid2(&[1, 2], &['a', 'b', 'c']);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g[0], (1, 'a'));
+        assert_eq!(g[2], (1, 'c'));
+        assert_eq!(g[3], (2, 'a'));
+    }
+
+    #[test]
+    fn sweep_finds_best_and_worst() {
+        let points = vec![0.0f64, 1.0, 2.0, 3.0];
+        let r = sweep(&points, |&x| -(x - 2.0) * (x - 2.0));
+        assert_eq!(r.best().0, 2.0);
+        assert_eq!(r.worst().0, 0.0);
+        assert_eq!(r.cells.len(), 4);
+    }
+
+    #[test]
+    fn multi_seed_summary() {
+        let (scores, s) = multi_seed(&[1, 2, 3, 4], |seed| seed as f64);
+        assert_eq!(scores, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.n, 4);
+    }
+
+    #[test]
+    fn single_seed_zero_std() {
+        let (_, s) = multi_seed(&[9], |x| x as f64);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seeds_panic() {
+        let _ = multi_seed(&[], |x| x as f64);
+    }
+}

@@ -1,0 +1,102 @@
+//! Integration tests for the training harness: sweeps, multi-seed runs and
+//! the early-stopping/restoration protocol on a real model.
+
+use lrgcn_data::{Dataset, SplitRatios, SyntheticConfig};
+use lrgcn_models::{LayerGcn, LayerGcnConfig, Recommender};
+use lrgcn_train::sweep::sweep;
+use lrgcn_train::{grid2, multi_seed, train_and_test, train_with_early_stopping, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset() -> Dataset {
+    let log = SyntheticConfig::games().scaled(0.1).generate(8);
+    Dataset::chronological_split("harness", &log, SplitRatios::default())
+}
+
+#[test]
+fn sweep_over_lambda_finds_a_best_cell() {
+    let ds = dataset();
+    let lambdas = [1e-4f32, 1e-2, 0.5];
+    let result = sweep(&lambdas, |&lambda| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = LayerGcnConfig {
+            lambda,
+            ..LayerGcnConfig::without_dropout()
+        };
+        let mut m = LayerGcn::new(&ds, cfg, &mut rng);
+        let tc = TrainConfig {
+            max_epochs: 8,
+            patience: 100,
+            ..Default::default()
+        };
+        let (_, rep) = train_and_test(&mut m, &ds, &tc, &[20]);
+        rep.recall(20)
+    });
+    assert_eq!(result.cells.len(), 3);
+    let (best_lambda, best_score) = *result.best();
+    assert!(best_score >= result.worst().1);
+    // An absurd λ = 0.5 should never be the winner.
+    assert!(best_lambda < 0.5, "λ=0.5 won with {best_score}");
+}
+
+#[test]
+fn grid2_drives_two_axis_sweeps() {
+    let grid = grid2(&[1usize, 2], &[0.0f32, 0.1]);
+    let r = sweep(&grid, |&(layers, _ratio)| layers as f64);
+    assert_eq!(r.cells.len(), 4);
+    assert_eq!(r.best().0 .0, 2);
+}
+
+#[test]
+fn multi_seed_measures_variance_of_real_runs() {
+    let ds = dataset();
+    let (scores, summary) = multi_seed(&[1, 2, 3], |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = LayerGcn::new(&ds, LayerGcnConfig::without_dropout(), &mut rng);
+        let tc = TrainConfig {
+            max_epochs: 6,
+            patience: 100,
+            seed,
+            ..Default::default()
+        };
+        let (_, rep) = train_and_test(&mut m, &ds, &tc, &[20]);
+        rep.recall(20)
+    });
+    assert_eq!(scores.len(), 3);
+    assert!(summary.mean > 0.0);
+    assert!(summary.min <= summary.mean && summary.mean <= summary.max);
+    // Different seeds should produce at least slightly different scores.
+    assert!(summary.std > 0.0, "suspiciously identical runs: {scores:?}");
+}
+
+#[test]
+fn restoration_never_hurts_validation() {
+    let ds = dataset();
+    let run = |restore: bool| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut m = LayerGcn::new(&ds, LayerGcnConfig::without_dropout(), &mut rng);
+        let tc = TrainConfig {
+            max_epochs: 14,
+            patience: 100,
+            eval_every: 1,
+            restore_best: restore,
+            ..Default::default()
+        };
+        let out = train_with_early_stopping(&mut m, &ds, &tc);
+        m.refresh(&ds);
+        let val = lrgcn_eval::evaluate_ranking(
+            &ds,
+            lrgcn_eval::Split::Val,
+            &[20],
+            256,
+            &mut |u| m.score_users(&ds, u),
+        )
+        .recall(20);
+        (val, out.best_val_metric)
+    };
+    let (restored_val, best) = run(true);
+    let (final_val, best2) = run(false);
+    assert_eq!(best, best2, "training trajectory must not depend on restore");
+    assert!((restored_val - best).abs() < 1e-12);
+    assert!(restored_val + 1e-12 >= final_val, "restoration made validation worse");
+}

@@ -1,0 +1,69 @@
+//! Noise-robustness ablation: how much does degree-sensitive edge pruning
+//! (DegreeDrop, Eq. 5) help when the interaction graph carries natural
+//! noise?
+//!
+//! The synthetic generator injects a configurable fraction of cross-cluster
+//! "noise" interactions (§III-B1's motivation). This example sweeps the
+//! noise level and compares LayerGCN with {no pruning, DropEdge,
+//! DegreeDrop} at a fixed dropout ratio.
+//!
+//! ```text
+//! cargo run --release --example denoise_ablation
+//! ```
+
+use lrgcn::graph::EdgePruner;
+use lrgcn::models::{LayerGcn, LayerGcnConfig};
+use lrgcn::prelude::*;
+use lrgcn::train::{train_and_test, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("noise-robustness ablation (LayerGCN, Games-like graph, ratio 0.1)\n");
+    println!(
+        "{:>7} | {:>12} | {:>12} | {:>12}",
+        "noise", "No pruning", "DropEdge", "DegreeDrop"
+    );
+    println!("{}", "-".repeat(56));
+    for noise in [0.05, 0.15, 0.30] {
+        let mut cfg = SyntheticConfig::games().scaled(0.4);
+        cfg.noise_frac = noise;
+        let log = cfg.generate(11);
+        let ds = Dataset::chronological_split("games", &log, SplitRatios::default());
+        let tc = TrainConfig {
+            max_epochs: 30,
+            patience: 5,
+            eval_every: 2,
+            criterion_k: 20,
+            seed: 11,
+            verbose: false,
+            restore_best: true,
+        };
+        let mut row = Vec::new();
+        for pruner in [
+            EdgePruner::None,
+            EdgePruner::DropEdge { ratio: 0.1 },
+            EdgePruner::DegreeDrop { ratio: 0.1 },
+        ] {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mcfg = LayerGcnConfig {
+                pruner,
+                ..LayerGcnConfig::default()
+            };
+            let mut m = LayerGcn::new(&ds, mcfg, &mut rng);
+            let (_, rep) = train_and_test(&mut m, &ds, &tc, &[20]);
+            row.push(rep.recall(20));
+        }
+        println!(
+            "{:>6.0}% | {:>12.4} | {:>12.4} | {:>12.4}",
+            noise * 100.0,
+            row[0],
+            row[1],
+            row[2]
+        );
+    }
+    println!("{}", "-".repeat(56));
+    println!("\nDegreeDrop removes edges between popular node pairs first — exactly where");
+    println!("cross-cluster noise concentrates under a Zipf popularity model — so its");
+    println!("advantage grows with the injected noise level (§V-C of the paper).");
+}

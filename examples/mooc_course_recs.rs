@@ -1,0 +1,79 @@
+//! Course recommendation on a dense MOOC-style platform — the scenario the
+//! paper's introduction motivates (Fig. 1): many users, few items, heavy
+//! item degrees, where over-smoothing is at its worst.
+//!
+//! Trains LightGCN and LayerGCN side by side at 4 layers and reports both
+//! ranking quality and the over-smoothing diagnostics of §IV: the mean
+//! embedding distance between connected nodes (Eq. 15 — collapses toward 0
+//! under over-smoothing) and the per-layer divergence from the ego layer
+//! (Eq. 17).
+//!
+//! ```text
+//! cargo run --release --example mooc_course_recs
+//! ```
+
+use lrgcn::eval::oversmooth::{mean_edge_distance, mean_layer_divergence};
+use lrgcn::models::{LayerGcn, LayerGcnConfig, LightGcn, LightGcnConfig};
+use lrgcn::prelude::*;
+use lrgcn::train::{train_and_test, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let log = SyntheticConfig::mooc().generate(7);
+    let ds = Dataset::chronological_split("mooc", &log, SplitRatios::default());
+    println!(
+        "MOOC-like platform: {} learners, {} courses, {} enrollments (dense: {:.1} per course)",
+        ds.n_users(),
+        ds.n_items(),
+        ds.train().n_edges(),
+        ds.train().n_edges() as f64 / ds.n_items() as f64
+    );
+
+    let tc = TrainConfig {
+        max_epochs: 70,
+        patience: 8,
+        eval_every: 2,
+        criterion_k: 20,
+        seed: 7,
+        verbose: false,
+        restore_best: true,
+    };
+
+    // LightGCN at 4 layers (the depth where the paper shows it degrades).
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut light = LightGcn::new(&ds, LightGcnConfig::default(), &mut rng);
+    let (_, light_rep) = train_and_test(&mut light, &ds, &tc, &[10, 20]);
+
+    // LayerGCN at the same depth, with degree-sensitive pruning.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut layer = LayerGcn::new(&ds, LayerGcnConfig::default(), &mut rng);
+    let (_, layer_rep) = train_and_test(&mut layer, &ds, &tc, &[10, 20]);
+
+    println!("\nranking quality (test split, all-ranking):");
+    println!("  LightGCN-4L : {}", light_rep.summary());
+    println!("  LayerGCN-4L : {}", layer_rep.summary());
+
+    // Over-smoothing diagnostics.
+    println!("\nover-smoothing diagnostics:");
+    let d_light = mean_edge_distance(ds.train(), &light.final_embeddings());
+    let d_layer = mean_edge_distance(ds.train(), &layer.final_embeddings());
+    println!("  mean distance between connected nodes (Eq. 15): LightGCN {d_light:.4}, LayerGCN {d_layer:.4}");
+
+    let light_layers = light.propagated_layers();
+    let ego = &light_layers[0];
+    print!("  LightGCN layer divergence from ego (Eq. 17):");
+    for l in &light_layers[1..] {
+        print!(" {:.3}", mean_layer_divergence(l, ego));
+    }
+    println!();
+    let layer_layers = layer.refined_layers();
+    let ego_l = layer.ego_embeddings();
+    print!("  LayerGCN refined-layer divergence from ego: ");
+    for l in &layer_layers {
+        print!(" {:.3}", mean_layer_divergence(l, ego_l));
+    }
+    println!();
+    println!("\nLayerGCN's refinement keeps deep layers anchored to the ego representation");
+    println!("(Proposition 2) while still integrating high-order signals (Fig. 5).");
+}

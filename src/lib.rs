@@ -1,0 +1,6 @@
+//! Root package of the LayerGCN reproduction workspace.
+//!
+//! This crate only hosts the runnable `examples/` and the cross-crate
+//! integration tests in `tests/`. The actual library lives in the
+//! [`lrgcn`] facade crate, re-exported here for convenience.
+pub use lrgcn::*;

@@ -1,0 +1,127 @@
+//! Integration tests for the analysis toolbox: k-hop receptive fields,
+//! component statistics, stratified/beyond-accuracy metrics and rolling
+//! splits — wired together the way the extension experiments use them.
+
+use lrgcn::data::{Dataset, SplitRatios, SyntheticConfig};
+use lrgcn::eval::beyond::RecAggregate;
+use lrgcn::eval::stratified::{head_item_mask, stratified_recall};
+use lrgcn::eval::Split;
+use lrgcn::graph::khop::{mean_receptive_fraction, saturation_depth};
+use lrgcn::graph::{component_stats, EdgePruner};
+use lrgcn::tensor::Matrix;
+
+fn dataset() -> Dataset {
+    let log = SyntheticConfig::mooc().scaled(0.2).generate(42);
+    Dataset::chronological_split("mooc-mini", &log, SplitRatios::default())
+}
+
+/// The over-smoothing mechanism, structurally: a dense interaction graph's
+/// receptive field saturates within the paper's default depth of 4.
+#[test]
+fn dense_graph_receptive_field_saturates_by_depth_4() {
+    let ds = dataset();
+    let adj = ds.train().adjacency();
+    let frac = mean_receptive_fraction(&adj, 6, 32);
+    assert!(
+        frac[4] > 0.8,
+        "4-hop receptive field covers only {:.1}% of the dense graph",
+        frac[4] * 100.0
+    );
+    let depth = saturation_depth(&adj, 0.8, 8, 32);
+    assert!(depth.is_some() && depth.expect("checked") <= 4, "{depth:?}");
+}
+
+/// DegreeDrop preserves connectivity better than uniform DropEdge — the
+/// empirical finding of exp_analysis, pinned as a regression test.
+#[test]
+fn degreedrop_fragments_less_than_dropedge() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let ds = dataset();
+    let g = ds.train();
+    let mut dd_total = 0usize;
+    let mut de_total = 0usize;
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dd = EdgePruner::DegreeDrop { ratio: 0.4 }
+            .sample_edges(g, 0, &mut rng)
+            .expect("pruned");
+        let de = EdgePruner::DropEdge { ratio: 0.4 }
+            .sample_edges(g, 0, &mut rng)
+            .expect("pruned");
+        dd_total += component_stats(g, &dd).n_components;
+        de_total += component_stats(g, &de).n_components;
+    }
+    assert!(
+        dd_total < de_total,
+        "DegreeDrop components {dd_total} not below DropEdge {de_total}"
+    );
+}
+
+#[test]
+fn stratified_recall_agrees_with_oracle() {
+    let ds = dataset();
+    // An oracle over the full test truth scores 1.0 on both strata.
+    let s = stratified_recall(&ds, Split::Test, 20, 0.5, &mut |users| {
+        let mut m = Matrix::zeros(users.len(), ds.n_items());
+        for (r, &u) in users.iter().enumerate() {
+            for (rank, &i) in ds.test_items(u).iter().enumerate() {
+                m[(r, i as usize)] = 100.0 - rank as f32;
+            }
+        }
+        m
+    });
+    assert!(s.head_users + s.tail_users > 0, "no users evaluated");
+    if s.head_users > 0 {
+        assert!(s.head > 0.95, "oracle head recall {}", s.head);
+    }
+    if s.tail_users > 0 {
+        assert!(s.tail > 0.95, "oracle tail recall {}", s.tail);
+    }
+    // Head mask covers at least half of the interactions by construction.
+    let mask = head_item_mask(&ds, 0.5);
+    let deg = ds.train().item_degrees();
+    let covered: u64 = deg
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask[*i])
+        .map(|(_, &d)| d as u64)
+        .sum();
+    let total: u64 = deg.iter().map(|&d| d as u64).sum();
+    assert!(covered * 2 >= total);
+}
+
+#[test]
+fn beyond_metrics_separate_popularity_from_personalization() {
+    let ds = dataset();
+    let users = ds.test_users();
+    // Everyone gets the same list vs everyone gets their own items.
+    let mut same = RecAggregate::new();
+    let mut personal = RecAggregate::new();
+    for (k, &u) in users.iter().enumerate() {
+        same.push(&[0, 1, 2, 3, 4]);
+        let off = (k as u32 * 5) % ds.n_items() as u32;
+        let list: Vec<u32> = (0..5).map(|j| (off + j) % ds.n_items() as u32).collect();
+        personal.push(&list);
+        let _ = u;
+    }
+    assert!(personal.catalog_coverage(ds.n_items()) > same.catalog_coverage(ds.n_items()));
+    assert!(personal.exposure_gini(ds.n_items()) < same.exposure_gini(ds.n_items()));
+}
+
+#[test]
+fn rolling_splits_integrate_with_evaluation() {
+    let log = SyntheticConfig::games().scaled(0.15).generate(3);
+    let folds = Dataset::rolling_splits("r", &log, 4);
+    for ds in &folds {
+        if ds.test_users().is_empty() {
+            continue;
+        }
+        // Any scorer can be evaluated on a fold.
+        let rep = lrgcn::eval::evaluate_ranking(ds, Split::Test, &[10], 128, &mut |users| {
+            Matrix::zeros(users.len(), ds.n_items())
+        });
+        assert!(rep.recall(10) >= 0.0);
+        assert_eq!(rep.n_users, ds.test_users().len());
+    }
+}

@@ -1,0 +1,167 @@
+//! Cross-crate integration tests: the full public pipeline from synthetic
+//! data through training to ranked recommendations.
+
+use lrgcn::prelude::*;
+
+fn dataset() -> Dataset {
+    let log = SyntheticConfig::games().scaled(0.15).generate(99);
+    Dataset::chronological_split("games-it", &log, SplitRatios::default())
+}
+
+#[test]
+fn builder_trains_and_recommends() {
+    let ds = dataset();
+    let mut rec = LayerGcnRecommender::builder()
+        .n_layers(3)
+        .dropout_ratio(0.1)
+        .max_epochs(10)
+        .patience(50)
+        .seed(7)
+        .build(&ds);
+    let out = rec.fit(&ds);
+    assert!(out.epochs_run == 10);
+    assert!(out.best_val_metric > 0.0, "validation metric never positive");
+
+    for user in 0..5u32 {
+        let top = rec.recommend(&ds, user, 10);
+        assert_eq!(top.len(), 10);
+        for &it in &top {
+            assert!((it as usize) < ds.n_items());
+            assert!(
+                !ds.is_train_interaction(user, it),
+                "user {user} was recommended a training item {it}"
+            );
+        }
+    }
+}
+
+#[test]
+fn layergcn_beats_unpersonalized_popularity() {
+    let ds = dataset();
+    let mut rec = LayerGcnRecommender::builder()
+        .max_epochs(30)
+        .patience(50)
+        .seed(3)
+        .build(&ds);
+    rec.fit(&ds);
+    let model = rec.model_mut();
+    model.refresh(&ds);
+    let ours = evaluate_ranking(&ds, Split::Test, &[20], 128, &mut |users| {
+        model.score_users(&ds, users)
+    })
+    .recall(20);
+
+    // Popularity baseline: every user gets the globally most-interacted
+    // items.
+    let degrees = ds.train().item_degrees();
+    let pop = evaluate_ranking(&ds, Split::Test, &[20], 128, &mut |users| {
+        let mut m = lrgcn::tensor::Matrix::zeros(users.len(), ds.n_items());
+        for r in 0..users.len() {
+            for (i, &d) in degrees.iter().enumerate() {
+                m[(r, i)] = d as f32;
+            }
+        }
+        m
+    })
+    .recall(20);
+    assert!(
+        ours > pop,
+        "LayerGCN R@20 {ours:.4} failed to beat popularity {pop:.4}"
+    );
+}
+
+#[test]
+fn all_models_improve_over_their_own_init() {
+    use lrgcn::models::ModelKind;
+    use lrgcn::train::{train_and_test, TrainConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let ds = dataset();
+    // Enough epochs for the slowest learner (pure MF) to clear its init.
+    // `restore_best` stays off: early validation readings are noisy on this
+    // tiny fixture, and the point here is that *training* moves the model.
+    let tc = TrainConfig {
+        max_epochs: 25,
+        patience: 100,
+        eval_every: 2,
+        criterion_k: 20,
+        seed: 5,
+        verbose: false,
+        restore_best: false,
+    };
+    // A fast, representative subset (full zoo is covered in model unit
+    // tests and the model_zoo example).
+    for kind in [
+        ModelKind::Bpr,
+        ModelKind::LightGcn,
+        ModelKind::LayerGcnFull,
+        ModelKind::UltraGcn,
+    ] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut fresh = kind.build(&ds, &mut rng);
+        fresh.refresh(&ds);
+        let initial = evaluate_ranking(&ds, Split::Test, &[20], 128, &mut |u| {
+            fresh.score_users(&ds, u)
+        })
+        .recall(20);
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut model = kind.build(&ds, &mut rng);
+        let (_, rep) = train_and_test(&mut *model, &ds, &tc, &[20]);
+        assert!(
+            rep.recall(20) > initial,
+            "{}: trained R@20 {:.4} <= untrained {:.4}",
+            kind.label(),
+            rep.recall(20),
+            initial
+        );
+    }
+}
+
+#[test]
+fn loader_roundtrip_through_training() {
+    // Write a TSV, load it, k-core it, split it, train briefly.
+    let mut tsv = String::new();
+    let log = SyntheticConfig::games().scaled(0.12).generate(42);
+    for it in log.interactions() {
+        tsv.push_str(&format!("u{} i{} {}\n", it.user, it.item, it.timestamp));
+    }
+    let loaded = lrgcn::data::loader::parse_interactions(tsv.as_bytes()).expect("parse");
+    assert_eq!(loaded.len(), log.len());
+    let cored = lrgcn::data::kcore::k_core(&loaded, 2);
+    assert!(!cored.is_empty(), "2-core emptied the log");
+    let ds = Dataset::chronological_split("tsv", &cored, SplitRatios::default());
+    let mut rec = LayerGcnRecommender::builder()
+        .max_epochs(3)
+        .seed(1)
+        .build(&ds);
+    let out = rec.fit(&ds);
+    assert_eq!(out.epochs_run, 3);
+}
+
+#[test]
+fn eval_report_metric_relationships() {
+    let ds = dataset();
+    let mut rec = LayerGcnRecommender::builder()
+        .max_epochs(10)
+        .patience(50)
+        .seed(2)
+        .build(&ds);
+    rec.fit(&ds);
+    let model = rec.model_mut();
+    model.refresh(&ds);
+    let rep = evaluate_ranking(&ds, Split::Test, &[10, 20, 50], 128, &mut |users| {
+        model.score_users(&ds, users)
+    });
+    // Recall is monotone in K; all metrics bounded in [0, 1].
+    assert!(rep.recall(10) <= rep.recall(20));
+    assert!(rep.recall(20) <= rep.recall(50));
+    for m in &rep.metrics {
+        assert!((0.0..=1.0).contains(&m.recall));
+        assert!((0.0..=1.0).contains(&m.ndcg));
+        assert!((0.0..=1.0).contains(&m.precision));
+        assert!((0.0..=1.0).contains(&m.hit_rate));
+        assert!(m.hit_rate >= m.recall, "hit rate can't be below recall");
+    }
+}

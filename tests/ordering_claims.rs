@@ -1,0 +1,88 @@
+//! Cross-model ordering invariants — the coarse Table II relationships that
+//! must hold even on miniature data, for more than one dataset shape.
+
+use lrgcn::data::{Dataset, SplitRatios, SyntheticConfig};
+use lrgcn::eval::{evaluate_ranking, Split};
+use lrgcn::models::ModelKind;
+use lrgcn::train::{train_and_test, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn r20(kind: ModelKind, ds: &Dataset, epochs: usize) -> f64 {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut m = kind.build(ds, &mut rng);
+    let tc = TrainConfig {
+        max_epochs: epochs,
+        patience: 100,
+        eval_every: 2,
+        criterion_k: 20,
+        seed: 11,
+        verbose: false,
+        restore_best: false,
+    };
+    let (_, rep) = train_and_test(&mut *m, ds, &tc, &[20]);
+    rep.recall(20)
+}
+
+fn popularity_r20(ds: &Dataset) -> f64 {
+    let degrees = ds.train().item_degrees();
+    evaluate_ranking(ds, Split::Test, &[20], 256, &mut |users| {
+        let mut m = lrgcn::tensor::Matrix::zeros(users.len(), ds.n_items());
+        for r in 0..users.len() {
+            for (i, &d) in degrees.iter().enumerate() {
+                m[(r, i)] = d as f32;
+            }
+        }
+        m
+    })
+    .recall(20)
+}
+
+/// On a dense MOOC-shaped graph, the propagation models must beat the
+/// unpersonalized popularity floor, and LayerGCN must match-or-beat
+/// LightGCN — the paper's central comparison.
+#[test]
+fn dense_graph_ordering() {
+    // Scale matters here: on a degenerate 32-item micro-graph everything
+    // saturates and the ordering is noise; at half scale (~64 items) the
+    // paper's ordering emerges once LayerGCN's slower-starting sum readout
+    // has an adequate epoch budget (see EXPERIMENTS.md for full scale).
+    let log = SyntheticConfig::mooc().scaled(0.5).generate(6);
+    let ds = Dataset::chronological_split("mooc-mini", &log, SplitRatios::default());
+    let pop = popularity_r20(&ds);
+    let light = r20(ModelKind::LightGcn, &ds, 60);
+    let layer = r20(ModelKind::LayerGcnFull, &ds, 60);
+    assert!(light > pop, "LightGCN {light:.4} <= popularity {pop:.4}");
+    assert!(layer > pop, "LayerGCN {layer:.4} <= popularity {pop:.4}");
+    assert!(
+        layer >= 0.97 * light,
+        "LayerGCN {layer:.4} fell behind LightGCN {light:.4}"
+    );
+}
+
+/// On a sparse Games-shaped graph, the same floor holds and BPR (no graph
+/// signal) trails the propagation models at matched budgets.
+#[test]
+fn sparse_graph_ordering() {
+    let log = SyntheticConfig::games().scaled(0.2).generate(6);
+    let ds = Dataset::chronological_split("games-mini", &log, SplitRatios::default());
+    let bpr = r20(ModelKind::Bpr, &ds, 20);
+    let light = r20(ModelKind::LightGcn, &ds, 20);
+    let layer = r20(ModelKind::LayerGcnFull, &ds, 20);
+    assert!(
+        light > bpr && layer > bpr,
+        "graph models (light {light:.4}, layer {layer:.4}) must beat MF ({bpr:.4}) at matched budget"
+    );
+}
+
+/// The "w/o Dropout" variant stays within a few percent of the Full model —
+/// the paper's finding that refinement carries most of the gain.
+#[test]
+fn dropout_variant_is_close_to_full() {
+    let log = SyntheticConfig::games().scaled(0.2).generate(6);
+    let ds = Dataset::chronological_split("games-mini", &log, SplitRatios::default());
+    let full = r20(ModelKind::LayerGcnFull, &ds, 20);
+    let wo = r20(ModelKind::LayerGcnNoDrop, &ds, 20);
+    let rel = (full - wo).abs() / full.max(1e-9);
+    assert!(rel < 0.10, "variants diverged: full {full:.4} vs w/o {wo:.4}");
+}

@@ -1,0 +1,227 @@
+//! Regression tests for the paper's analytical claims (§IV) at miniature
+//! scale — each test pins one *shape* the full experiments reproduce.
+
+use lrgcn::data::{Dataset, SplitRatios, SyntheticConfig};
+use lrgcn::eval::oversmooth::{mean_edge_distance, mean_layer_divergence};
+use lrgcn::graph::wl::wl_distinguishes;
+use lrgcn::graph::{BipartiteGraph, Csr, EdgePruner};
+use lrgcn::models::common::propagate_matrix;
+use lrgcn::models::{LayerGcn, LayerGcnConfig, LightGcn, LightGcnConfig, Recommender};
+use lrgcn::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset() -> Dataset {
+    let log = SyntheticConfig::mooc().scaled(0.2).generate(13);
+    Dataset::chronological_split("mooc-mini", &log, SplitRatios::default())
+}
+
+/// Eq. 15: in LightGCN, connected nodes' representations converge as depth
+/// grows — the mean edge distance shrinks monotonically with depth on the
+/// normalized adjacency.
+#[test]
+fn lightgcn_oversmooths_with_depth() {
+    let ds = dataset();
+    let adj = ds.train().norm_adjacency();
+    let mut rng = StdRng::seed_from_u64(1);
+    let x0 = lrgcn::tensor::init::xavier_uniform(ds.train().n_nodes(), 16, &mut rng);
+    let layers = propagate_matrix(&adj, &x0, 8);
+    let d: Vec<f64> = layers
+        .iter()
+        .map(|l| mean_edge_distance(ds.train(), l))
+        .collect();
+    // Distance at depth 8 must be a small fraction of depth 0.
+    assert!(
+        d[8] < 0.25 * d[0],
+        "edge distance failed to collapse: {d:?}"
+    );
+    // And broadly decreasing (allow small non-monotonic jitter).
+    assert!(d[1] < d[0] && d[4] < d[1] && d[8] <= d[4] * 1.05, "{d:?}");
+}
+
+/// Proposition 2: the cosine refinement never pushes a layer *further* from
+/// the ego representation than the unrefined propagation.
+#[test]
+fn refinement_bounds_divergence() {
+    let ds = dataset();
+    let adj = ds.train().norm_adjacency();
+    let mut rng = StdRng::seed_from_u64(2);
+    let x0 = lrgcn::tensor::init::xavier_uniform(ds.train().n_nodes(), 16, &mut rng);
+    let raw = propagate_matrix(&adj, &x0, 1);
+    // Apply Eq. 6 by hand to the first hop.
+    let prop = &raw[1];
+    let mut refined = prop.clone();
+    for r in 0..refined.rows() {
+        let a = prop.row(r);
+        let b = x0.row(r);
+        let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let cos = dot / (na * nb).max(1e-8);
+        for v in refined.row_mut(r) {
+            *v *= cos;
+        }
+    }
+    let d_raw = mean_layer_divergence(prop, &x0);
+    let d_ref = mean_layer_divergence(&refined, &x0);
+    assert!(
+        d_ref <= d_raw + 1e-6,
+        "refined divergence {d_ref} exceeds raw {d_raw}"
+    );
+}
+
+/// Proposition 1 backdrop: sum aggregation distinguishes neighborhoods that
+/// mean aggregation conflates (GIN Lemma 5's classic counterexample), and
+/// the WL test agrees.
+#[test]
+fn sum_aggregation_more_expressive_than_mean() {
+    // Node with neighbors {a} vs node with neighbors {a, a} (a duplicated
+    // item embedding): sum differs, mean is identical.
+    let a = [1.0f32, -2.0];
+    let sum1: Vec<f32> = a.to_vec();
+    let sum2: Vec<f32> = a.iter().map(|x| 2.0 * x).collect();
+    let mean1: Vec<f32> = a.to_vec();
+    let mean2: Vec<f32> = a.to_vec();
+    assert_ne!(sum1, sum2, "sum must distinguish multiset sizes");
+    assert_eq!(mean1, mean2, "mean conflates them");
+
+    // WL view: a path P3 vs a star S3 are non-isomorphic and WL-separable;
+    // LayerGCN's machinery (sum aggregation) can separate what WL separates.
+    let path = Csr::from_coo(
+        4,
+        4,
+        [(0u32, 1u32), (1, 2), (2, 3)]
+            .into_iter()
+            .flat_map(|(x, y)| [(x, y, 1.0), (y, x, 1.0)]),
+    );
+    let star = Csr::from_coo(
+        4,
+        4,
+        [(0u32, 1u32), (0, 2), (0, 3)]
+            .into_iter()
+            .flat_map(|(x, y)| [(x, y, 1.0), (y, x, 1.0)]),
+    );
+    assert!(wl_distinguishes(&path, &star, 5));
+    // Unnormalized sum propagation of all-ones separates them too (degree
+    // multisets differ), while mean (normalized row-stochastic) of all-ones
+    // is all-ones for both.
+    let ones = Matrix::full(4, 1, 1.0);
+    let sum_sig = |g: &Csr| {
+        let mut v = g.spmm(ones.data(), 1);
+        v.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+        v
+    };
+    assert_ne!(sum_sig(&path), sum_sig(&star));
+}
+
+/// The Fig. 1 "solution collapsing" and the Fig. 5 contrast, in miniature:
+/// the learnable-weight LightGCN concentrates readout weight on the ego
+/// layer, while LayerGCN's similarity weights stay spread across layers.
+#[test]
+fn dilemma_weights_collapse_but_similarities_do_not() {
+    let ds = dataset();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut weighted = lrgcn::models::WeightedLightGcn::new(
+        &ds,
+        LightGcnConfig::default(),
+        &mut rng,
+    );
+    for e in 0..25 {
+        weighted.train_epoch(&ds, e, &mut rng);
+    }
+    let w = weighted.layer_weights();
+    let max_hidden = w[1..].iter().cloned().fold(f32::MIN, f32::max);
+    assert!(
+        w[0] >= max_hidden,
+        "ego weight {w:?} should be the largest after training"
+    );
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut layer = LayerGcn::new(&ds, LayerGcnConfig::without_dropout(), &mut rng);
+    for e in 0..25 {
+        layer.train_epoch(&ds, e, &mut rng);
+    }
+    let sims = layer.layer_similarities();
+    let smax = sims.iter().cloned().fold(f64::MIN, f64::max);
+    let smin = sims.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        smax < 0.9,
+        "LayerGCN similarities collapsed to one layer: {sims:?}"
+    );
+    assert!(smin > -0.5, "similarities degenerated: {sims:?}");
+}
+
+/// §III-B1: DegreeDrop removes hub-hub edges preferentially; the surviving
+/// graph's maximum node degree drops faster than under uniform DropEdge.
+#[test]
+fn degreedrop_trims_hubs_harder_than_dropedge() {
+    let ds = dataset();
+    let g = ds.train();
+    let max_deg = |edges: &[(u32, u32)], g: &BipartiteGraph| -> u32 {
+        let gg = BipartiteGraph::new(g.n_users(), g.n_items(), edges.iter().copied());
+        gg.item_degrees().into_iter().max().unwrap_or(0)
+    };
+    let mut dd_sum = 0u64;
+    let mut de_sum = 0u64;
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dd = EdgePruner::DegreeDrop { ratio: 0.5 }
+            .sample_edges(g, 0, &mut rng)
+            .expect("pruned");
+        let de = EdgePruner::DropEdge { ratio: 0.5 }
+            .sample_edges(g, 0, &mut rng)
+            .expect("pruned");
+        dd_sum += max_deg(&dd, g) as u64;
+        de_sum += max_deg(&de, g) as u64;
+    }
+    assert!(
+        dd_sum < de_sum,
+        "DegreeDrop max-degree {dd_sum} not below DropEdge {de_sum}"
+    );
+}
+
+/// Depth robustness (Fig. 6's shape): at 6 layers, LayerGCN's ranking
+/// quality holds up better than LightGCN's relative to their own 2-layer
+/// versions.
+#[test]
+fn layergcn_degrades_less_with_depth() {
+    let ds = dataset();
+    let r20 = |deep: bool, layer_model: bool| -> f64 {
+        let layers = if deep { 6 } else { 2 };
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut model: Box<dyn Recommender> = if layer_model {
+            Box::new(LayerGcn::new(
+                &ds,
+                LayerGcnConfig {
+                    n_layers: layers,
+                    pruner: EdgePruner::None,
+                    ..LayerGcnConfig::default()
+                },
+                &mut rng,
+            ))
+        } else {
+            Box::new(LightGcn::new(
+                &ds,
+                LightGcnConfig {
+                    n_layers: layers,
+                    ..LightGcnConfig::default()
+                },
+                &mut rng,
+            ))
+        };
+        for e in 0..20 {
+            model.train_epoch(&ds, e, &mut rng);
+        }
+        model.refresh(&ds);
+        lrgcn::eval::evaluate_ranking(&ds, lrgcn::eval::Split::Test, &[20], 128, &mut |u| {
+            model.score_users(&ds, u)
+        })
+        .recall(20)
+    };
+    let layer_ratio = r20(true, true) / r20(false, true).max(1e-9);
+    let light_ratio = r20(true, false) / r20(false, false).max(1e-9);
+    assert!(
+        layer_ratio >= light_ratio * 0.98,
+        "deep/shallow ratio: LayerGCN {layer_ratio:.4} vs LightGCN {light_ratio:.4}"
+    );
+}

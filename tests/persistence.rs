@@ -1,0 +1,73 @@
+//! Train → save → reload → serve: the production checkpoint workflow
+//! through the public facade.
+
+use lrgcn::prelude::*;
+
+#[test]
+fn save_and_reload_serves_identical_recommendations() {
+    let log = SyntheticConfig::games().scaled(0.12).generate(31);
+    let ds = Dataset::chronological_split("persist", &log, SplitRatios::default());
+    let dir = std::env::temp_dir().join("lrgcn_persistence_test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("model.ckpt");
+
+    // Train and snapshot recommendations.
+    let mut trained = LayerGcnRecommender::builder()
+        .max_epochs(8)
+        .patience(100)
+        .seed(77)
+        .build(&ds);
+    trained.fit(&ds);
+    trained.save(&path).expect("save");
+    let expected: Vec<Vec<u32>> = (0..6u32).map(|u| trained.recommend(&ds, u, 10)).collect();
+
+    // A fresh process would rebuild the recommender and load the checkpoint.
+    let mut served = LayerGcnRecommender::builder().seed(1234).build(&ds);
+    served.load(&ds, &path).expect("load");
+    for (u, exp) in expected.iter().enumerate() {
+        assert_eq!(&served.recommend(&ds, u as u32, 10), exp, "user {u}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn load_rejects_mismatched_model_shape() {
+    let log = SyntheticConfig::games().scaled(0.12).generate(31);
+    let ds = Dataset::chronological_split("persist", &log, SplitRatios::default());
+    let dir = std::env::temp_dir().join("lrgcn_persistence_test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("model_dim32.ckpt");
+
+    let mut trained = LayerGcnRecommender::builder()
+        .embedding_dim(32)
+        .max_epochs(1)
+        .seed(1)
+        .build(&ds);
+    trained.fit(&ds);
+    trained.save(&path).expect("save");
+
+    let mut other = LayerGcnRecommender::builder()
+        .embedding_dim(64)
+        .build(&ds);
+    assert!(
+        other.load(&ds, &path).is_err(),
+        "loading a 32-dim checkpoint into a 64-dim model must fail"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn dataset_tsv_roundtrip_preserves_splits() {
+    let log = SyntheticConfig::food().scaled(0.08).generate(5);
+    let dir = std::env::temp_dir().join("lrgcn_persistence_test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("interactions.tsv");
+    lrgcn::data::loader::save_interactions(&path, &log).expect("save tsv");
+    let back = lrgcn::data::loader::load_interactions(&path).expect("load tsv");
+    let a = Dataset::chronological_split("a", &log, SplitRatios::default());
+    let b = Dataset::chronological_split("b", &back, SplitRatios::default());
+    // Identical split sizes and per-user degree distribution.
+    assert_eq!(a.train().n_edges(), b.train().n_edges());
+    assert_eq!(a.heldout_sizes(), b.heldout_sizes());
+    std::fs::remove_file(&path).ok();
+}
