@@ -3,83 +3,102 @@
 //! re-normalization both pay afterwards. Ablation for the DESIGN.md choice
 //! of one-pass weighted sampling over sequential multinomial draws.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use lrgcn::data::{Dataset, SplitRatios, SyntheticConfig};
-use lrgcn::graph::dropout::{
-    degree_keep_weights, sample_uniform, sample_weighted_without_replacement,
-};
-use lrgcn::graph::EdgePruner;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::hint::black_box;
+// Criterion cannot be fetched in the offline build environment; without the
+// `criterion-benches` feature this target compiles to a stub main.
 
-fn bench_edge_dropout(c: &mut Criterion) {
-    let log = SyntheticConfig::yelp().scaled(0.5).generate(1);
-    let ds = Dataset::chronological_split("yelp", &log, SplitRatios::default());
-    let g = ds.train();
-    let m = g.n_edges();
-    let keep = m - m / 10;
-    let weights = degree_keep_weights(g);
-    let mut group = c.benchmark_group("edge_dropout");
+#[cfg(feature = "criterion-benches")]
+mod imp {
+    use criterion::{criterion_group, criterion_main, Criterion};
+    use lrgcn::data::{Dataset, SplitRatios, SyntheticConfig};
+    use lrgcn::graph::dropout::{
+        degree_keep_weights, sample_uniform, sample_weighted_without_replacement,
+    };
+    use lrgcn::graph::EdgePruner;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::hint::black_box;
 
-    group.bench_function("uniform_sample", |b| {
-        let mut rng = StdRng::seed_from_u64(1);
-        b.iter(|| black_box(sample_uniform(m, keep, &mut rng)))
-    });
+    fn bench_edge_dropout(c: &mut Criterion) {
+        let log = SyntheticConfig::yelp().scaled(0.5).generate(1);
+        let ds = Dataset::chronological_split("yelp", &log, SplitRatios::default());
+        let g = ds.train();
+        let m = g.n_edges();
+        let keep = m - m / 10;
+        let weights = degree_keep_weights(g);
+        let mut group = c.benchmark_group("edge_dropout");
 
-    group.bench_function("weighted_sample_es", |b| {
-        let mut rng = StdRng::seed_from_u64(1);
-        b.iter(|| black_box(sample_weighted_without_replacement(&weights, keep, &mut rng)))
-    });
+        group.bench_function("uniform_sample", |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(sample_uniform(m, keep, &mut rng)))
+        });
 
-    // Naive sequential multinomial draws (what the paper's formula implies
-    // literally) for comparison — O(M·k) worst case, implemented with a
-    // simple cumulative re-scan.
-    group.bench_function("weighted_sample_naive_1pct", |b| {
-        // Only 1% of the draw count to keep the benchmark finite; scale the
-        // reading accordingly.
-        let small_keep = keep / 100;
-        let mut rng = StdRng::seed_from_u64(1);
-        b.iter(|| {
-            let mut taken = vec![false; m];
-            let mut out = Vec::with_capacity(small_keep);
-            let mut total: f64 = weights.iter().sum();
-            use rand::RngExt;
-            for _ in 0..small_keep {
-                let mut target = rng.random::<f64>() * total;
-                let mut pick = 0;
-                for (i, &w) in weights.iter().enumerate() {
-                    if taken[i] {
-                        continue;
+        group.bench_function("weighted_sample_es", |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(sample_weighted_without_replacement(&weights, keep, &mut rng)))
+        });
+
+        // Naive sequential multinomial draws (what the paper's formula implies
+        // literally) for comparison — O(M·k) worst case, implemented with a
+        // simple cumulative re-scan.
+        group.bench_function("weighted_sample_naive_1pct", |b| {
+            // Only 1% of the draw count to keep the benchmark finite; scale the
+            // reading accordingly.
+            let small_keep = keep / 100;
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut taken = vec![false; m];
+                let mut out = Vec::with_capacity(small_keep);
+                let mut total: f64 = weights.iter().sum();
+                use rand::RngExt;
+                for _ in 0..small_keep {
+                    let mut target = rng.random::<f64>() * total;
+                    let mut pick = 0;
+                    for (i, &w) in weights.iter().enumerate() {
+                        if taken[i] {
+                            continue;
+                        }
+                        target -= w;
+                        if target <= 0.0 {
+                            pick = i;
+                            break;
+                        }
                     }
-                    target -= w;
-                    if target <= 0.0 {
-                        pick = i;
-                        break;
-                    }
+                    taken[pick] = true;
+                    total -= weights[pick];
+                    out.push(pick);
                 }
-                taken[pick] = true;
-                total -= weights[pick];
-                out.push(pick);
-            }
-            black_box(out)
-        })
-    });
+                black_box(out)
+            })
+        });
 
-    group.bench_function("full_epoch_degreedrop", |b| {
-        let mut rng = StdRng::seed_from_u64(1);
-        let pruner = EdgePruner::DegreeDrop { ratio: 0.1 };
-        b.iter(|| black_box(pruner.pruned_norm_adjacency(g, 0, &mut rng)))
-    });
+        group.bench_function("full_epoch_degreedrop", |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let pruner = EdgePruner::DegreeDrop { ratio: 0.1 };
+            b.iter(|| black_box(pruner.pruned_norm_adjacency(g, 0, &mut rng)))
+        });
 
-    group.bench_function("full_epoch_dropedge", |b| {
-        let mut rng = StdRng::seed_from_u64(1);
-        let pruner = EdgePruner::DropEdge { ratio: 0.1 };
-        b.iter(|| black_box(pruner.pruned_norm_adjacency(g, 0, &mut rng)))
-    });
+        group.bench_function("full_epoch_dropedge", |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let pruner = EdgePruner::DropEdge { ratio: 0.1 };
+            b.iter(|| black_box(pruner.pruned_norm_adjacency(g, 0, &mut rng)))
+        });
 
-    group.finish();
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_edge_dropout);
+
 }
 
-criterion_group!(benches, bench_edge_dropout);
-criterion_main!(benches);
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    imp::benches();
+}
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    eprintln!(
+        "criterion benches are disabled: restore the `criterion` dev-dependency \
+         and build with --features criterion-benches (network required)"
+    );
+}

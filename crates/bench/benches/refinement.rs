@@ -3,70 +3,89 @@
 //! `O(N·T)` per layer on top of `O(M·T)` propagation, so the totals stay in
 //! the same ballpark.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use lrgcn::data::{Dataset, SplitRatios, SyntheticConfig};
-use lrgcn::tensor::tape::SharedCsr;
-use lrgcn::tensor::{Matrix, Tape};
-use std::hint::black_box;
+// Criterion cannot be fetched in the offline build environment; without the
+// `criterion-benches` feature this target compiles to a stub main.
 
-fn setup() -> (SharedCsr, Matrix) {
-    let log = SyntheticConfig::games().scaled(0.5).generate(1);
-    let ds = Dataset::chronological_split("games", &log, SplitRatios::default());
-    let adj = SharedCsr::new(ds.train().norm_adjacency());
-    let n = adj.matrix().n_rows();
-    let x0 = Matrix::full(n, 64, 0.1);
-    (adj, x0)
-}
+#[cfg(feature = "criterion-benches")]
+mod imp {
+    use criterion::{criterion_group, criterion_main, Criterion};
+    use lrgcn::data::{Dataset, SplitRatios, SyntheticConfig};
+    use lrgcn::tensor::tape::SharedCsr;
+    use lrgcn::tensor::{Matrix, Tape};
+    use std::hint::black_box;
 
-fn bench_refinement(c: &mut Criterion) {
-    let (adj, x0) = setup();
-    let mut group = c.benchmark_group("layer_step");
+    fn setup() -> (SharedCsr, Matrix) {
+        let log = SyntheticConfig::games().scaled(0.5).generate(1);
+        let ds = Dataset::chronological_split("games", &log, SplitRatios::default());
+        let adj = SharedCsr::new(ds.train().norm_adjacency());
+        let n = adj.matrix().n_rows();
+        let x0 = Matrix::full(n, 64, 0.1);
+        (adj, x0)
+    }
 
-    group.bench_function("lightgcn_propagate_4l", |b| {
-        b.iter(|| {
+    fn bench_refinement(c: &mut Criterion) {
+        let (adj, x0) = setup();
+        let mut group = c.benchmark_group("layer_step");
+
+        group.bench_function("lightgcn_propagate_4l", |b| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let x = tape.constant(x0.clone());
+                let mut h = x;
+                for _ in 0..4 {
+                    h = tape.spmm(&adj, h);
+                }
+                black_box(tape.value(h).data()[0]);
+            })
+        });
+
+        group.bench_function("layergcn_refined_4l", |b| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let x = tape.constant(x0.clone());
+                let mut h = x;
+                for _ in 0..4 {
+                    let p = tape.spmm(&adj, h);
+                    let sim = tape.row_cosine(p, x, 1e-8);
+                    let sim_eps = tape.add_scalar(sim, 1e-8);
+                    h = tape.mul_row_broadcast(p, sim_eps);
+                }
+                black_box(tape.value(h).data()[0]);
+            })
+        });
+
+        group.bench_function("refinement_only", |b| {
             let mut tape = Tape::new();
             let x = tape.constant(x0.clone());
-            let mut h = x;
-            for _ in 0..4 {
-                h = tape.spmm(&adj, h);
-            }
-            black_box(tape.value(h).data()[0]);
-        })
-    });
+            let p = tape.spmm(&adj, x);
+            let pv = tape.value(p).clone();
+            b.iter(|| {
+                let mut t = Tape::new();
+                let xv = t.constant(x0.clone());
+                let prop = t.constant(pv.clone());
+                let sim = t.row_cosine(prop, xv, 1e-8);
+                let sim_eps = t.add_scalar(sim, 1e-8);
+                let r = t.mul_row_broadcast(prop, sim_eps);
+                black_box(t.value(r).data()[0]);
+            })
+        });
 
-    group.bench_function("layergcn_refined_4l", |b| {
-        b.iter(|| {
-            let mut tape = Tape::new();
-            let x = tape.constant(x0.clone());
-            let mut h = x;
-            for _ in 0..4 {
-                let p = tape.spmm(&adj, h);
-                let sim = tape.row_cosine(p, x, 1e-8);
-                let sim_eps = tape.add_scalar(sim, 1e-8);
-                h = tape.mul_row_broadcast(p, sim_eps);
-            }
-            black_box(tape.value(h).data()[0]);
-        })
-    });
+        group.finish();
+    }
 
-    group.bench_function("refinement_only", |b| {
-        let mut tape = Tape::new();
-        let x = tape.constant(x0.clone());
-        let p = tape.spmm(&adj, x);
-        let pv = tape.value(p).clone();
-        b.iter(|| {
-            let mut t = Tape::new();
-            let xv = t.constant(x0.clone());
-            let prop = t.constant(pv.clone());
-            let sim = t.row_cosine(prop, xv, 1e-8);
-            let sim_eps = t.add_scalar(sim, 1e-8);
-            let r = t.mul_row_broadcast(prop, sim_eps);
-            black_box(t.value(r).data()[0]);
-        })
-    });
+    criterion_group!(benches, bench_refinement);
 
-    group.finish();
 }
 
-criterion_group!(benches, bench_refinement);
-criterion_main!(benches);
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    imp::benches();
+}
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    eprintln!(
+        "criterion benches are disabled: restore the `criterion` dev-dependency \
+         and build with --features criterion-benches (network required)"
+    );
+}

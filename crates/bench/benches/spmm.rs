@@ -2,39 +2,58 @@
 //! GCN layer. Measured on the normalized adjacency of each dataset preset
 //! at the paper's embedding width (64) and a narrow width for comparison.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use lrgcn::data::{Dataset, SplitRatios, SyntheticConfig};
-use lrgcn::tensor::Matrix;
-use std::hint::black_box;
+// Criterion cannot be fetched in the offline build environment; without the
+// `criterion-benches` feature this target compiles to a stub main.
 
-fn bench_spmm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spmm");
-    for preset in ["mooc", "games", "yelp"] {
-        let log = SyntheticConfig::by_name(preset)
-            .expect("preset")
-            .scaled(0.5)
-            .generate(1);
-        let ds = Dataset::chronological_split(preset, &log, SplitRatios::default());
-        let adj = ds.train().norm_adjacency();
-        let n = adj.n_rows();
-        for width in [16usize, 64] {
-            let x = Matrix::full(n, width, 0.5);
-            let mut out = vec![0.0f32; n * width];
-            group.throughput(Throughput::Elements((adj.nnz() * width) as u64));
-            group.bench_with_input(
-                BenchmarkId::new(format!("{preset}-w{width}"), adj.nnz()),
-                &width,
-                |b, _| {
-                    b.iter(|| {
-                        adj.spmm_into(black_box(x.data()), width, &mut out);
-                        black_box(&out);
-                    })
-                },
-            );
+#[cfg(feature = "criterion-benches")]
+mod imp {
+    use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+    use lrgcn::data::{Dataset, SplitRatios, SyntheticConfig};
+    use lrgcn::tensor::Matrix;
+    use std::hint::black_box;
+
+    fn bench_spmm(c: &mut Criterion) {
+        let mut group = c.benchmark_group("spmm");
+        for preset in ["mooc", "games", "yelp"] {
+            let log = SyntheticConfig::by_name(preset)
+                .expect("preset")
+                .scaled(0.5)
+                .generate(1);
+            let ds = Dataset::chronological_split(preset, &log, SplitRatios::default());
+            let adj = ds.train().norm_adjacency();
+            let n = adj.n_rows();
+            for width in [16usize, 64] {
+                let x = Matrix::full(n, width, 0.5);
+                let mut out = vec![0.0f32; n * width];
+                group.throughput(Throughput::Elements((adj.nnz() * width) as u64));
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{preset}-w{width}"), adj.nnz()),
+                    &width,
+                    |b, _| {
+                        b.iter(|| {
+                            adj.spmm_into(black_box(x.data()), width, &mut out);
+                            black_box(&out);
+                        })
+                    },
+                );
+            }
         }
+        group.finish();
     }
-    group.finish();
+
+    criterion_group!(benches, bench_spmm);
+
 }
 
-criterion_group!(benches, bench_spmm);
-criterion_main!(benches);
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    imp::benches();
+}
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    eprintln!(
+        "criterion benches are disabled: restore the `criterion` dev-dependency \
+         and build with --features criterion-benches (network required)"
+    );
+}

@@ -1,0 +1,99 @@
+//! PR 1 benchmark: epoch + full-ranking evaluation wall time at 1 vs N
+//! worker threads, on a MOOC-like synthetic dataset.
+//!
+//! Emits `BENCH_PR1.json` (override with `--out PATH`). The parallel
+//! kernels are bitwise identical to serial, so the report also records the
+//! evaluation metric at both thread counts as a cross-check — they must
+//! match exactly.
+//!
+//! ```text
+//! cargo run -p lrgcn-bench --release --bin bench_pr1 -- \
+//!     [--scale F] [--threads N] [--reps R] [--out PATH]
+//! ```
+
+use lrgcn::data::{Dataset, SplitRatios, SyntheticConfig};
+use lrgcn::eval::{evaluate_ranking_parallel, Split};
+use lrgcn::models::{LayerGcn, LayerGcnConfig, Recommender};
+use lrgcn::tensor::par;
+use lrgcn_bench::Args;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+struct Timings {
+    epoch_s: f64,
+    eval_s: f64,
+    recall20: f64,
+}
+
+/// Best-of-`reps` wall time for one training epoch and one full-ranking
+/// test evaluation at the given thread count.
+fn measure(ds: &Dataset, threads: usize, reps: usize, seed: u64) -> Timings {
+    par::set_threads(threads);
+    let mut epoch_s = f64::INFINITY;
+    let mut eval_s = f64::INFINITY;
+    let mut recall20 = 0.0;
+    for _ in 0..reps {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = LayerGcn::new(ds, LayerGcnConfig::default(), &mut rng);
+        let t0 = Instant::now();
+        m.train_epoch(ds, 0, &mut rng);
+        epoch_s = epoch_s.min(t0.elapsed().as_secs_f64());
+
+        m.refresh(ds);
+        let scorer = |u: &[u32]| m.score_users(ds, u);
+        let t1 = Instant::now();
+        let rep = evaluate_ranking_parallel(ds, Split::Test, &[20], 256, &scorer);
+        eval_s = eval_s.min(t1.elapsed().as_secs_f64());
+        recall20 = rep.recall(20);
+    }
+    Timings {
+        epoch_s,
+        eval_s,
+        recall20,
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.get_parsed("scale", 0.25f64);
+    let reps: usize = args.get_parsed("reps", 3usize);
+    let seed: u64 = args.get_parsed("seed", 2023u64);
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads: usize = args.get_parsed("threads", cpus.max(4));
+    let out_path = args.get("out").unwrap_or("BENCH_PR1.json").to_string();
+
+    let log = SyntheticConfig::mooc().scaled(scale).generate(seed);
+    let ds = Dataset::chronological_split("mooc-like", &log, SplitRatios::default());
+    eprintln!(
+        "bench_pr1: {} users / {} items / {} train edges, cpus={cpus}, comparing 1 vs {threads} threads",
+        ds.n_users(),
+        ds.n_items(),
+        ds.train().n_edges()
+    );
+
+    let serial = measure(&ds, 1, reps, seed);
+    let parallel = measure(&ds, threads, reps, seed);
+    par::set_threads(1);
+    assert_eq!(
+        serial.recall20.to_bits(),
+        parallel.recall20.to_bits(),
+        "parallel evaluation must be bitwise identical to serial"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr1_parallel_execution\",\n  \"dataset\": \"mooc-like (synthetic, scale {scale})\",\n  \"n_users\": {},\n  \"n_items\": {},\n  \"train_edges\": {},\n  \"cpus_available\": {cpus},\n  \"reps\": {reps},\n  \"threads_compared\": [1, {threads}],\n  \"epoch_seconds\": {{\"t1\": {:.6}, \"t{threads}\": {:.6}}},\n  \"eval_seconds\": {{\"t1\": {:.6}, \"t{threads}\": {:.6}}},\n  \"epoch_speedup\": {:.3},\n  \"eval_speedup\": {:.3},\n  \"recall20_identical\": true,\n  \"note\": \"speedups are bounded by cpus_available; on a single-CPU host threading cannot beat serial\"\n}}\n",
+        ds.n_users(),
+        ds.n_items(),
+        ds.train().n_edges(),
+        serial.epoch_s,
+        parallel.epoch_s,
+        serial.eval_s,
+        parallel.eval_s,
+        serial.epoch_s / parallel.epoch_s,
+        serial.eval_s / parallel.eval_s,
+    );
+    std::fs::write(&out_path, &json).expect("writing benchmark report");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

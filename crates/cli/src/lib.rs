@@ -11,13 +11,18 @@
 //! lrgcn recommend --input interactions.tsv --load model.ckpt --user ID [--k N]
 //! ```
 //!
+//! Every subcommand also accepts `--threads N` to pin the worker-thread
+//! count of the parallel kernels (default: `LRGCN_THREADS` env var, then
+//! the machine's available parallelism). Results are bitwise identical for
+//! any thread count.
+//!
 //! `train` currently checkpoints LayerGCN (the other models train and
 //! report, but only LayerGCN has a stable checkpoint format); `evaluate`
 //! and `recommend` rebuild the dataset with the same flags, so pass the
 //! same `--kcore`/`--seed` used at training time.
 
 use lrgcn::data::{kcore, loader, Dataset, InteractionLog, SplitRatios};
-use lrgcn::eval::{evaluate_ranking, Split};
+use lrgcn::eval::{evaluate_ranking_parallel, Split};
 use lrgcn::models::{LayerGcn, LayerGcnConfig, ModelKind, Recommender};
 use lrgcn::graph::EdgePruner;
 use lrgcn::train::{train_with_early_stopping, TrainConfig};
@@ -34,6 +39,14 @@ pub fn run(tokens: Vec<String>) -> CliResult {
         return Err(usage());
     };
     let args = Args::from_tokens(rest.to_vec());
+    if let Some(t) = args.get("threads") {
+        let n: usize = t
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("--threads wants a positive integer, got {t:?}"))?;
+        lrgcn::tensor::par::set_threads(n);
+    }
     match cmd.as_str() {
         "stats" => cmd_stats(&args),
         "train" => cmd_train(&args),
@@ -173,7 +186,8 @@ fn cmd_evaluate(args: &Args) -> CliResult {
         .split(',')
         .map(|s| s.trim().parse().map_err(|_| format!("bad K {s:?}")))
         .collect::<Result<_, _>>()?;
-    let rep = evaluate_ranking(&ds, Split::Test, &ks, 256, &mut |u| model.score_users(&ds, u));
+    let scorer = |u: &[u32]| model.score_users(&ds, u);
+    let rep = evaluate_ranking_parallel(&ds, Split::Test, &ks, 256, &scorer);
     println!("test users: {}", rep.n_users);
     println!("{}", rep.summary());
     Ok(())

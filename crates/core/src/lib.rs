@@ -58,7 +58,7 @@ use rand::SeedableRng;
 pub mod prelude {
     pub use crate::{LayerGcnBuilder, LayerGcnRecommender};
     pub use lrgcn_data::{Dataset, InteractionLog, SplitRatios, SyntheticConfig};
-    pub use lrgcn_eval::{evaluate_ranking, EvalReport, Split};
+    pub use lrgcn_eval::{evaluate_ranking, evaluate_ranking_parallel, EvalReport, Split};
     pub use lrgcn_graph::{BipartiteGraph, EdgePruner};
     pub use lrgcn_models::{
         BprMf, LayerGcn, LayerGcnConfig, LightGcn, LightGcnConfig, ModelKind, Recommender,

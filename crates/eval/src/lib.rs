@@ -16,5 +16,8 @@ pub mod stratified;
 pub mod topk;
 pub mod ttest;
 
-pub use topk::{evaluate_ranking, EvalReport, RankingMetrics, Split};
+pub use topk::{
+    evaluate_ranking, evaluate_ranking_parallel, top_k_indices, top_k_indices_into, EvalReport,
+    RankingMetrics, Split,
+};
 pub use ttest::{paired_t_test, TTestResult};

@@ -4,10 +4,16 @@
 //! in training are candidates. The model provides a score row per user; we
 //! mask training items to `-inf`, select the top-K, and aggregate
 //! Recall@K / NDCG@K over users.
+//!
+//! Masking and ranking fan out across users via [`lrgcn_tensor::par`];
+//! per-user metric tuples are folded into the report serially in user
+//! order, so the report is bitwise identical for any thread count *and*
+//! any chunk size. [`evaluate_ranking_parallel`] additionally fans the
+//! scoring itself out across threads when the scorer is `Sync`.
 
 use crate::metrics;
 use lrgcn_data::Dataset;
-use lrgcn_tensor::Matrix;
+use lrgcn_tensor::{par, Matrix};
 
 /// Which held-out split to evaluate against.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,11 +71,22 @@ impl EvalReport {
 /// index, deterministically). `O(n)` via partial selection, then sorts the
 /// winners by descending score.
 pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<u32> {
+    let mut idx = Vec::new();
+    top_k_indices_into(scores, k, &mut idx);
+    idx
+}
+
+/// Scratch-buffer variant of [`top_k_indices`]: leaves the selected indices
+/// in `idx`, reusing its allocation. Evaluation loops call this once per
+/// user with a per-thread scratch vector, turning `n_users` candidate-index
+/// allocations into one per thread.
+pub fn top_k_indices_into(scores: &[f32], k: usize, idx: &mut Vec<u32>) {
+    idx.clear();
     let k = k.min(scores.len());
     if k == 0 {
-        return Vec::new();
+        return;
     }
-    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+    idx.extend(0..scores.len() as u32);
     let cmp = |&a: &u32, &b: &u32| {
         scores[b as usize]
             .partial_cmp(&scores[a as usize])
@@ -81,7 +98,58 @@ pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<u32> {
         idx.truncate(k);
     }
     idx.sort_by(cmp);
-    idx
+}
+
+/// Masks each user's training items to `-inf` and ranks the chunk, writing
+/// the per-user, per-K metric tuples `[recall, ndcg, precision, hit_rate]`
+/// into `out` (user-major: `out[r * ks.len() + ki]`). Both passes are
+/// row-parallel; every tuple is a pure function of one user's score row, so
+/// the output is bitwise identical for any thread count.
+fn chunk_metric_tuples(
+    ds: &Dataset,
+    split: Split,
+    ks: &[usize],
+    chunk: &[u32],
+    scores: &mut Matrix,
+    threads: usize,
+    out: &mut [[f64; 4]],
+) {
+    let max_k = *ks.iter().max().expect("non-empty ks");
+    let n_items = ds.n_items();
+    if chunk.is_empty() || n_items == 0 {
+        return;
+    }
+    // Pass 1: mask training items, row-parallel over score rows.
+    par::par_row_chunks_mut(scores.data_mut(), n_items, threads, |start_row, block| {
+        for (r, srow) in block.chunks_exact_mut(n_items).enumerate() {
+            for &it in ds.train_items(chunk[start_row + r]) {
+                srow[it as usize] = f32::NEG_INFINITY;
+            }
+        }
+    });
+    // Pass 2: rank and score metrics, row-parallel over users, one ranking
+    // scratch buffer per thread.
+    let kw = ks.len();
+    let scores = &*scores;
+    par::par_row_chunks_mut(out, kw, threads, |start_row, block| {
+        let mut scratch: Vec<u32> = Vec::new();
+        for (r, trow) in block.chunks_exact_mut(kw).enumerate() {
+            let u = chunk[start_row + r];
+            top_k_indices_into(scores.row(start_row + r), max_k, &mut scratch);
+            let truth = match split {
+                Split::Val => ds.val_items(u),
+                Split::Test => ds.test_items(u),
+            };
+            for (ki, &k) in ks.iter().enumerate() {
+                trow[ki] = [
+                    metrics::recall_at_k(&scratch, truth, k),
+                    metrics::ndcg_at_k(&scratch, truth, k),
+                    metrics::precision_at_k(&scratch, truth, k),
+                    metrics::hit_rate_at_k(&scratch, truth, k),
+                ];
+            }
+        }
+    });
 }
 
 /// Evaluates a scoring function under the all-ranking protocol.
@@ -120,8 +188,10 @@ pub fn evaluate_ranking(
         Split::Val => ds.val_users(),
         Split::Test => ds.test_users(),
     };
-    let max_k = *ks.iter().max().expect("non-empty ks");
-    let mut sums: Vec<(f64, f64, f64, f64)> = vec![(0.0, 0.0, 0.0, 0.0); ks.len()];
+    let threads = par::effective_threads();
+    let kw = ks.len();
+    let mut tuples: Vec<[f64; 4]> = Vec::new();
+    let mut all_tuples: Vec<[f64; 4]> = Vec::with_capacity(users.len() * kw);
 
     for chunk in users.chunks(chunk_size) {
         let mut scores = score_fn(chunk);
@@ -130,26 +200,89 @@ pub fn evaluate_ranking(
             (chunk.len(), ds.n_items()),
             "score_fn must return (chunk, n_items)"
         );
-        for (row, &u) in chunk.iter().enumerate() {
-            let srow = &mut scores.row_mut(row);
-            for &it in ds.train_items(u) {
-                srow[it as usize] = f32::NEG_INFINITY;
-            }
-            let ranked = top_k_indices(srow, max_k);
-            let truth = match split {
-                Split::Val => ds.val_items(u),
-                Split::Test => ds.test_items(u),
-            };
-            for (ki, &k) in ks.iter().enumerate() {
-                sums[ki].0 += metrics::recall_at_k(&ranked, truth, k);
-                sums[ki].1 += metrics::ndcg_at_k(&ranked, truth, k);
-                sums[ki].2 += metrics::precision_at_k(&ranked, truth, k);
-                sums[ki].3 += metrics::hit_rate_at_k(&ranked, truth, k);
-            }
-        }
+        tuples.clear();
+        tuples.resize(chunk.len() * kw, [0.0; 4]);
+        chunk_metric_tuples(ds, split, ks, chunk, &mut scores, threads, &mut tuples);
+        all_tuples.extend_from_slice(&tuples);
     }
 
-    let n = users.len().max(1) as f64;
+    report_from_tuples(ks, &all_tuples, users.len())
+}
+
+/// [`evaluate_ranking`] with the scoring itself fanned out: evaluation
+/// users are split into contiguous blocks, each worker scores and ranks its
+/// block chunk-by-chunk, and the per-user metric tuples are folded into the
+/// report serially in user order. The report is bitwise identical to
+/// [`evaluate_ranking`] with the same scorer, for any thread count and
+/// chunk size.
+///
+/// The scorer must be `Fn + Sync` (called concurrently from worker
+/// threads); models satisfy this through `Recommender::score_users(&self)`.
+/// Nested kernels (the model's matmuls) detect the surrounding parallel
+/// region and run serially instead of over-spawning.
+pub fn evaluate_ranking_parallel(
+    ds: &Dataset,
+    split: Split,
+    ks: &[usize],
+    chunk_size: usize,
+    score_fn: &(dyn Fn(&[u32]) -> Matrix + Sync),
+) -> EvalReport {
+    assert!(!ks.is_empty(), "at least one cutoff required");
+    assert!(chunk_size > 0, "chunk size must be positive");
+    let users = match split {
+        Split::Val => ds.val_users(),
+        Split::Test => ds.test_users(),
+    };
+    let kw = ks.len();
+    let mut tuples: Vec<[f64; 4]> = vec![[0.0; 4]; users.len() * kw];
+
+    par::par_row_chunks_mut(
+        &mut tuples,
+        kw,
+        par::effective_threads(),
+        |start_row, block| {
+            let n = block.len() / kw;
+            let mut done = 0;
+            for chunk in users[start_row..start_row + n].chunks(chunk_size) {
+                let mut scores = score_fn(chunk);
+                assert_eq!(
+                    scores.shape(),
+                    (chunk.len(), ds.n_items()),
+                    "score_fn must return (chunk, n_items)"
+                );
+                let out = &mut block[done * kw..(done + chunk.len()) * kw];
+                chunk_metric_tuples(
+                    ds,
+                    split,
+                    ks,
+                    chunk,
+                    &mut scores,
+                    par::effective_threads(),
+                    out,
+                );
+                done += chunk.len();
+            }
+        },
+    );
+
+    report_from_tuples(ks, &tuples, users.len())
+}
+
+/// Folds user-major metric tuples into an [`EvalReport`], strictly in user
+/// order — the exact summation order of the historical serial evaluator,
+/// independent of how the tuples were produced.
+fn report_from_tuples(ks: &[usize], tuples: &[[f64; 4]], n_users: usize) -> EvalReport {
+    let kw = ks.len();
+    let mut sums: Vec<(f64, f64, f64, f64)> = vec![(0.0, 0.0, 0.0, 0.0); kw];
+    for urow in tuples.chunks_exact(kw) {
+        for (ki, t) in urow.iter().enumerate() {
+            sums[ki].0 += t[0];
+            sums[ki].1 += t[1];
+            sums[ki].2 += t[2];
+            sums[ki].3 += t[3];
+        }
+    }
+    let n = n_users.max(1) as f64;
     EvalReport {
         metrics: ks
             .iter()
@@ -162,7 +295,7 @@ pub fn evaluate_ranking(
                 hit_rate: h / n,
             })
             .collect(),
-        n_users: users.len(),
+        n_users,
     }
 }
 

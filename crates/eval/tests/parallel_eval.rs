@@ -1,0 +1,101 @@
+//! Thread-count invariance of the ranking evaluator: `evaluate_ranking`
+//! and `evaluate_ranking_parallel` must produce *identical* reports (exact
+//! f64 equality, not approximate) for every thread count and chunk size.
+
+use lrgcn_data::Dataset;
+use lrgcn_eval::{evaluate_ranking, evaluate_ranking_parallel, Split};
+use lrgcn_tensor::{par, Matrix};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+/// A dataset with enough evaluation users that parallel fan-out actually
+/// splits the work: 60 users, 40 items, pseudo-random interactions.
+fn dataset() -> Dataset {
+    let n_users = 60u32;
+    let n_items = 40u32;
+    let mut train = Vec::new();
+    let mut val = Vec::new();
+    let mut test = Vec::new();
+    for u in 0..n_users {
+        let mut val_u = Vec::new();
+        let mut test_u = Vec::new();
+        for j in 0..8u32 {
+            let item = (u * 13 + j * 7 + 3) % n_items;
+            match j % 4 {
+                0 | 1 => train.push((u, item)),
+                2 => {
+                    if !val_u.contains(&item) {
+                        val_u.push(item);
+                    }
+                }
+                _ => {
+                    if !test_u.contains(&item) {
+                        test_u.push(item);
+                    }
+                }
+            }
+        }
+        val.push(val_u);
+        test.push(test_u);
+    }
+    Dataset::from_parts("par-eval", n_users as usize, n_items as usize, train, val, test)
+}
+
+/// Deterministic scorer: each user's scores depend only on the user id.
+fn score(users: &[u32], n_items: usize) -> Matrix {
+    let mut m = Matrix::zeros(users.len(), n_items);
+    for (r, &u) in users.iter().enumerate() {
+        for i in 0..n_items {
+            let mut z = (u as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i as u64);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            m[(r, i)] = (z >> 40) as f32 / (1u64 << 24) as f32;
+        }
+    }
+    m
+}
+
+#[test]
+fn reports_identical_across_thread_counts_and_chunk_sizes() {
+    let ds = dataset();
+    let ks = [5usize, 10, 20];
+    let n_items = ds.n_items();
+
+    par::set_threads(1);
+    let baseline = evaluate_ranking(&ds, Split::Test, &ks, 256, &mut |u| score(u, n_items));
+    assert!(baseline.recall(20) > 0.0, "fixture must produce signal");
+
+    for &t in &THREAD_COUNTS {
+        for chunk in [1usize, 7, 256] {
+            par::set_threads(t);
+            let serial_api =
+                evaluate_ranking(&ds, Split::Test, &ks, chunk, &mut |u| score(u, n_items));
+            let scorer = |u: &[u32]| score(u, n_items);
+            let parallel_api = evaluate_ranking_parallel(&ds, Split::Test, &ks, chunk, &scorer);
+            assert_eq!(
+                serial_api.metrics, baseline.metrics,
+                "evaluate_ranking threads={t} chunk={chunk}"
+            );
+            assert_eq!(
+                parallel_api.metrics, baseline.metrics,
+                "evaluate_ranking_parallel threads={t} chunk={chunk}"
+            );
+            assert_eq!(parallel_api.n_users, baseline.n_users);
+        }
+    }
+    par::set_threads(1);
+}
+
+#[test]
+fn val_split_also_invariant() {
+    let ds = dataset();
+    let n_items = ds.n_items();
+    par::set_threads(1);
+    let baseline = evaluate_ranking(&ds, Split::Val, &[10], 64, &mut |u| score(u, n_items));
+    for &t in &THREAD_COUNTS {
+        par::set_threads(t);
+        let scorer = |u: &[u32]| score(u, n_items);
+        let rep = evaluate_ranking_parallel(&ds, Split::Val, &[10], 64, &scorer);
+        assert_eq!(rep.metrics, baseline.metrics, "val split threads={t}");
+    }
+    par::set_threads(1);
+}

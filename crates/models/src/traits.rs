@@ -20,7 +20,11 @@ pub struct EpochStats {
 /// inference-time representations (e.g. propagation over the *full*
 /// normalized adjacency, per §III-B1), after which
 /// [`Recommender::score_users`] must be cheap and side-effect free.
-pub trait Recommender {
+///
+/// `Sync` is a supertrait so the ranking evaluator can call
+/// [`Recommender::score_users`] (which takes `&self`) concurrently from its
+/// worker threads.
+pub trait Recommender: Sync {
     /// Model name as used in the paper's tables.
     fn name(&self) -> String;
 

@@ -40,6 +40,7 @@ pub mod init;
 pub mod io;
 pub mod matrix;
 pub mod optim;
+pub mod par;
 pub mod tape;
 
 pub use matrix::Matrix;

@@ -5,7 +5,14 @@
 //! `Matrix` values. Operations are deliberately BLAS-free — loops are ordered
 //! for cache locality (`i-k-j` matmul) which is plenty for the embedding
 //! sizes the paper uses (`T = 64`).
+//!
+//! The three matmul kernels and the elementwise maps fan out across rows via
+//! [`crate::par`]; results are bitwise identical to serial execution for any
+//! thread count (each output row is produced by one thread running the same
+//! scalar loop as the serial kernel). The `*_with_threads` variants take an
+//! explicit thread count; the plain methods use the globally configured one.
 
+use crate::par;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -118,11 +125,18 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// `self * other` — plain dense matmul, `i-k-j` loop order.
+    /// `self * other` — plain dense matmul, `i-k-j` loop order, row-parallel.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        self.matmul_with_threads(other, par::effective_threads())
+    }
+
+    /// [`Self::matmul`] with an explicit thread count. Bitwise identical for
+    /// any `threads` ≥ 1: output rows are partitioned across threads and
+    /// each row runs the exact serial `k-j` inner loops.
+    pub fn matmul_with_threads(&self, other: &Matrix, threads: usize) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {:?} x {:?}",
@@ -130,24 +144,37 @@ impl Matrix {
             other.shape()
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            let orow = out.row_mut(i);
-            for (k, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = other.row(k);
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
+        let ocols = other.cols;
+        if ocols == 0 {
+            return out;
+        }
+        par::par_row_chunks_mut(&mut out.data, ocols, threads, |start_row, block| {
+            for (bi, orow) in block.chunks_exact_mut(ocols).enumerate() {
+                let arow = self.row(start_row + bi);
+                for (k, &a) in arow.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = other.row(k);
+                    for (o, &b) in orow.iter_mut().zip(brow) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
-    /// `self^T * other` without materializing the transpose.
+    /// `self^T * other` without materializing the transpose; row-parallel.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        self.matmul_tn_with_threads(other, par::effective_threads())
+    }
+
+    /// [`Self::matmul_tn`] with an explicit thread count. Parallel over
+    /// *output* rows `i`: every thread scans all `k` in ascending order and
+    /// accumulates only into its own rows, so each output cell sees the
+    /// exact serial accumulation order.
+    pub fn matmul_tn_with_threads(&self, other: &Matrix, threads: usize) -> Matrix {
         assert_eq!(
             self.rows, other.rows,
             "matmul_tn shape mismatch: {:?}^T x {:?}",
@@ -155,24 +182,37 @@ impl Matrix {
             other.shape()
         );
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let arow = self.row(k);
-            let brow = other.row(k);
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = out.row_mut(i);
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
+        let ocols = other.cols;
+        if ocols == 0 {
+            return out;
+        }
+        par::par_row_chunks_mut(&mut out.data, ocols, threads, |start_row, block| {
+            for k in 0..self.rows {
+                let arow = self.row(k);
+                let brow = other.row(k);
+                for (bi, orow) in block.chunks_exact_mut(ocols).enumerate() {
+                    let a = arow[start_row + bi];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    for (o, &b) in orow.iter_mut().zip(brow) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
-    /// `self * other^T` without materializing the transpose.
+    /// `self * other^T` without materializing the transpose; row-parallel.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        self.matmul_nt_with_threads(other, par::effective_threads())
+    }
+
+    /// [`Self::matmul_nt`] with an explicit thread count. Each output cell
+    /// is a single [`dot`], so any row partitioning is trivially bitwise
+    /// identical to serial.
+    pub fn matmul_nt_with_threads(&self, other: &Matrix, threads: usize) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
             "matmul_nt shape mismatch: {:?} x {:?}^T",
@@ -180,14 +220,18 @@ impl Matrix {
             other.shape()
         );
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            let orow = out.row_mut(i);
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = other.row(j);
-                *o = dot(arow, brow);
-            }
+        let ocols = other.rows;
+        if ocols == 0 {
+            return out;
         }
+        par::par_row_chunks_mut(&mut out.data, ocols, threads, |start_row, block| {
+            for (bi, orow) in block.chunks_exact_mut(ocols).enumerate() {
+                let arow = self.row(start_row + bi);
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o = dot(arow, other.row(j));
+                }
+            }
+        });
         out
     }
 
@@ -202,20 +246,44 @@ impl Matrix {
         out
     }
 
-    /// Elementwise map into a new matrix.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
+    /// Elementwise map into a new matrix; row-parallel (each element is
+    /// independent, so the result is bitwise identical for any thread
+    /// count).
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        if self.cols == 0 {
+            return out;
         }
+        par::par_row_chunks_mut(
+            &mut out.data,
+            self.cols,
+            par::effective_threads(),
+            |start_row, block| {
+                let off = start_row * self.cols;
+                let src = &self.data[off..off + block.len()];
+                for (o, &x) in block.iter_mut().zip(src) {
+                    *o = f(x);
+                }
+            },
+        );
+        out
     }
 
-    /// In-place elementwise map.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
-            *x = f(*x);
+    /// In-place elementwise map; row-parallel like [`Self::map`].
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        if self.cols == 0 {
+            return;
         }
+        par::par_row_chunks_mut(
+            &mut self.data,
+            self.cols,
+            par::effective_threads(),
+            |_start_row, block| {
+                for x in block.iter_mut() {
+                    *x = f(*x);
+                }
+            },
+        );
     }
 
     /// `self += other`.

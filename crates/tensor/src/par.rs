@@ -1,0 +1,264 @@
+//! Zero-dependency parallel execution layer on [`std::thread::scope`].
+//!
+//! Every data-parallel kernel in the workspace (dense matmul, tape SpMM,
+//! ranking evaluation, batch scoring) fans out through the helpers in this
+//! module. Three invariants keep parallel execution **bitwise identical**
+//! to serial execution:
+//!
+//! 1. Work is split by *rows* into contiguous blocks with a fixed
+//!    partitioning scheme ([`partition`]) — a pure function of
+//!    `(n_rows, threads)`.
+//! 2. Each output row is written by exactly one thread; threads never share
+//!    a reduction.
+//! 3. Within a row, the arithmetic (loop order, accumulation order) is the
+//!    same code path as the serial kernel.
+//!
+//! Since every row's value is computed by identical scalar code regardless
+//! of which thread runs it, the result cannot depend on the thread count.
+//!
+//! ## Thread-count resolution
+//!
+//! The global thread count is resolved once, in priority order:
+//! `LRGCN_THREADS` environment variable → [`set_threads`] override (e.g.
+//! from the CLI `--threads` flag) → [`std::thread::available_parallelism`].
+//! Kernels take an explicit `threads` argument in their `*_with_threads`
+//! variants (used by the equality tests); the plain variants use
+//! [`effective_threads`].
+//!
+//! ## Nested parallelism
+//!
+//! Worker closures run with a thread-local "inside a parallel region" flag
+//! set, and [`effective_threads`] reports `1` while the flag is active, so
+//! a kernel invoked from inside another parallel region (e.g. a model's
+//! `matmul_nt` called from a parallel ranking-evaluation worker) runs
+//! serially instead of oversubscribing the machine with nested spawns.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global thread count; `0` means "not resolved yet".
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The resolved global thread count (≥ 1).
+///
+/// First call reads `LRGCN_THREADS` (a positive integer) and falls back to
+/// [`std::thread::available_parallelism`]; the result is cached. A later
+/// [`set_threads`] call replaces it.
+pub fn configured_threads() -> usize {
+    let cur = THREADS.load(Ordering::Relaxed);
+    if cur != 0 {
+        return cur;
+    }
+    let resolved = resolve_default();
+    // Racing first calls resolve to the same value, so which store wins
+    // does not matter.
+    THREADS.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+fn resolve_default() -> usize {
+    if let Ok(s) = std::env::var("LRGCN_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+        eprintln!("warning: ignoring invalid LRGCN_THREADS={s:?} (want a positive integer)");
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Overrides the global thread count (clamped to ≥ 1). Used by the CLI
+/// `--threads` flag; takes precedence over everything resolved before it.
+pub fn set_threads(n: usize) {
+    THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Whether the current thread is executing inside one of this module's
+/// parallel regions.
+pub fn in_parallel_region() -> bool {
+    IN_PARALLEL_REGION.with(|c| c.get())
+}
+
+/// The thread count kernels should use *right now*: `1` inside a parallel
+/// region (no nested spawning), [`configured_threads`] otherwise.
+pub fn effective_threads() -> usize {
+    if in_parallel_region() {
+        1
+    } else {
+        configured_threads()
+    }
+}
+
+fn with_region_flag<R>(f: impl FnOnce() -> R) -> R {
+    IN_PARALLEL_REGION.with(|c| c.set(true));
+    let out = f();
+    IN_PARALLEL_REGION.with(|c| c.set(false));
+    out
+}
+
+/// Fixed row partitioning: splits `0..n` into at most `parts` contiguous
+/// ranges of `ceil(n / parts)` rows each (the last may be shorter). Pure in
+/// `(n, parts)` — the same inputs always produce the same split.
+pub fn partition(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1);
+    let per = n.div_ceil(parts).max(1);
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    while start < n {
+        let end = (start + per).min(n);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// How many threads a kernel over `n_rows` rows should actually spawn:
+/// `requested`, clamped so tiny workloads (fewer than two rows per thread)
+/// stay serial. Only affects *where* rows run, never their values.
+fn clamp_threads(requested: usize, n_rows: usize) -> usize {
+    let requested = requested.max(1);
+    if requested == 1 || n_rows < 2 * requested {
+        1
+    } else {
+        requested
+    }
+}
+
+/// Runs `f` on contiguous row ranges of `0..n_rows`, fanning out across up
+/// to `threads` scoped threads. `f` must only touch state it owns per-range
+/// (use [`par_row_chunks_mut`] when ranges need disjoint mutable output).
+pub fn par_ranges(n_rows: usize, threads: usize, f: impl Fn(Range<usize>) + Sync) {
+    let threads = clamp_threads(threads, n_rows);
+    if threads <= 1 {
+        if n_rows > 0 {
+            f(0..n_rows);
+        }
+        return;
+    }
+    let ranges = partition(n_rows, threads);
+    std::thread::scope(|scope| {
+        for r in ranges {
+            let f = &f;
+            scope.spawn(move || with_region_flag(|| f(r)));
+        }
+    });
+}
+
+/// Splits `data` (a row-major buffer of `row_width`-element rows) into
+/// contiguous row blocks and runs `f(start_row, block)` on each, fanning
+/// out across up to `threads` scoped threads. Blocks are disjoint `&mut`
+/// slices, so each row is written by exactly one thread.
+///
+/// # Panics
+/// Panics if `row_width` is zero or does not divide `data.len()`.
+pub fn par_row_chunks_mut<T: Send>(
+    data: &mut [T],
+    row_width: usize,
+    threads: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(row_width > 0, "row_width must be positive");
+    assert_eq!(data.len() % row_width, 0, "buffer is not whole rows");
+    let n_rows = data.len() / row_width;
+    let threads = clamp_threads(threads, n_rows);
+    if threads <= 1 {
+        if !data.is_empty() {
+            f(0, data);
+        }
+        return;
+    }
+    let ranges = partition(n_rows, threads);
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        for r in ranges {
+            let (chunk, tail) = rest.split_at_mut((r.end - r.start) * row_width);
+            rest = tail;
+            let f = &f;
+            let start_row = r.start;
+            scope.spawn(move || with_region_flag(|| f(start_row, chunk)));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_contiguous_and_complete() {
+        for n in [0usize, 1, 2, 3, 7, 64, 1000] {
+            for parts in [1usize, 2, 3, 8, 64] {
+                let ranges = partition(n, parts);
+                assert!(ranges.len() <= parts);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    assert!(r.end > r.start);
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        assert_eq!(partition(10, 3), partition(10, 3));
+        assert_eq!(partition(10, 3), vec![0..4, 4..8, 8..10]);
+    }
+
+    #[test]
+    fn row_chunks_cover_all_rows_once() {
+        for threads in [1usize, 2, 3, 8] {
+            let mut buf = vec![0u32; 40 * 3];
+            par_row_chunks_mut(&mut buf, 3, threads, |start_row, chunk| {
+                for (i, row) in chunk.chunks_exact_mut(3).enumerate() {
+                    for x in row.iter_mut() {
+                        *x += (start_row + i) as u32;
+                    }
+                }
+            });
+            let want: Vec<u32> = (0..40u32).flat_map(|r| [r, r, r]).collect();
+            assert_eq!(buf, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn nested_regions_run_serial() {
+        let flags = std::sync::Mutex::new(Vec::new());
+        par_ranges(8, 2, |_r| {
+            // Inside a region: effective_threads must report 1 so nested
+            // kernels do not spawn again.
+            flags.lock().unwrap().push(effective_threads());
+        });
+        let flags = flags.into_inner().unwrap();
+        assert!(!flags.is_empty());
+        assert!(flags.iter().all(|&t| t == 1), "{flags:?}");
+        // Back outside: the flag is cleared.
+        assert!(!in_parallel_region());
+    }
+
+    #[test]
+    fn set_threads_overrides() {
+        // Other tests share the global, so only check the set->get contract.
+        let before = configured_threads();
+        set_threads(5);
+        assert_eq!(configured_threads(), 5);
+        set_threads(0); // clamped
+        assert_eq!(configured_threads(), 1);
+        set_threads(before);
+    }
+
+    #[test]
+    fn tiny_workloads_stay_serial() {
+        assert_eq!(clamp_threads(8, 15), 1);
+        assert_eq!(clamp_threads(8, 16), 8);
+        assert_eq!(clamp_threads(1, 1_000_000), 1);
+    }
+}

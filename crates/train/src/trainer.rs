@@ -4,7 +4,7 @@
 
 use crate::history::{EpochRecord, History};
 use lrgcn_data::Dataset;
-use lrgcn_eval::{evaluate_ranking, EvalReport, Split};
+use lrgcn_eval::{evaluate_ranking_parallel, EvalReport, Split};
 use lrgcn_models::Recommender;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -97,9 +97,10 @@ pub fn train_with_early_stopping(
         if has_val && (epoch % cfg.eval_every == cfg.eval_every - 1 || epoch + 1 == cfg.max_epochs)
         {
             model.refresh(ds);
-            let rep = evaluate_ranking(ds, Split::Val, &[cfg.criterion_k], 256, &mut |users| {
-                model.score_users(ds, users)
-            });
+            // `Recommender: Sync` + `score_users(&self)` lets validation fan
+            // user chunks out across threads (bitwise identical to serial).
+            let scorer = |users: &[u32]| model.score_users(ds, users);
+            let rep = evaluate_ranking_parallel(ds, Split::Val, &[cfg.criterion_k], 256, &scorer);
             let m = rep.recall(cfg.criterion_k);
             val_metric = Some(m);
             if cfg.verbose {
@@ -157,9 +158,8 @@ pub fn train_and_test(
 ) -> (TrainOutcome, EvalReport) {
     let outcome = train_with_early_stopping(model, ds, cfg);
     model.refresh(ds);
-    let report = evaluate_ranking(ds, Split::Test, ks, 256, &mut |users| {
-        model.score_users(ds, users)
-    });
+    let scorer = |users: &[u32]| model.score_users(ds, users);
+    let report = evaluate_ranking_parallel(ds, Split::Test, ks, 256, &scorer);
     (outcome, report)
 }
 

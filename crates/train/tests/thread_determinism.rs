@@ -1,0 +1,44 @@
+//! `LRGCN_THREADS` is a pure performance knob: training trajectories
+//! (per-epoch losses and validation metrics) must be identical — exact f64
+//! equality — no matter how many worker threads the kernels fan out to.
+
+use lrgcn_data::{Dataset, SplitRatios, SyntheticConfig};
+use lrgcn_models::{LayerGcn, LayerGcnConfig};
+use lrgcn_tensor::par;
+use lrgcn_train::{train_with_early_stopping, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ds() -> Dataset {
+    let log = SyntheticConfig::games().scaled(0.1).generate(3);
+    Dataset::chronological_split("t", &log, SplitRatios::default())
+}
+
+fn run_trajectory(d: &Dataset) -> (Vec<f64>, Vec<(usize, f64)>) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut m = LayerGcn::new(d, LayerGcnConfig::default(), &mut rng);
+    let cfg = TrainConfig {
+        max_epochs: 4,
+        patience: 100,
+        eval_every: 1,
+        seed: 7,
+        ..Default::default()
+    };
+    let out = train_with_early_stopping(&mut m, d, &cfg);
+    (out.history.losses(), out.history.val_curve())
+}
+
+#[test]
+fn training_trajectory_is_thread_count_invariant() {
+    let d = ds();
+    par::set_threads(1);
+    let (losses_1, vals_1) = run_trajectory(&d);
+    assert_eq!(losses_1.len(), 4);
+    for t in [2usize, 3, 8] {
+        par::set_threads(t);
+        let (losses_t, vals_t) = run_trajectory(&d);
+        assert_eq!(losses_t, losses_1, "losses differ at threads={t}");
+        assert_eq!(vals_t, vals_1, "val metrics differ at threads={t}");
+    }
+    par::set_threads(1);
+}

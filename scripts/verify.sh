@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Repo verification gate:
+#   1. tier-1: release build + root-package tests (the seed acceptance bar)
+#   2. full workspace tests
+#   3. clippy with warnings denied
+#   4. the PR-1 parallel-execution benchmark (writes BENCH_PR1.json)
+#
+# Usage: scripts/verify.sh [--skip-bench]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> workspace tests"
+cargo test --workspace -q
+
+echo "==> clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" != "--skip-bench" ]]; then
+    echo "==> bench: epoch + eval wall time at 1 vs N threads -> BENCH_PR1.json"
+    cargo run --release -p lrgcn-bench --bin bench_pr1 -- --scale 1.0 --reps 3
+fi
+
+echo "verify: OK"
