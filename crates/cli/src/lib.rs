@@ -16,6 +16,12 @@
 //! the machine's available parallelism). Results are bitwise identical for
 //! any thread count.
 //!
+//! Every subcommand also accepts `--log-json PATH` (or the `LRGCN_LOG_JSON`
+//! environment variable) to append structured JSONL run logs: one record
+//! per training epoch (loss, per-phase timings, kernel counters, thread
+//! count, peak matrix bytes) plus `run_start` / `run_summary` records. See
+//! `lrgcn_obs::event` for the schema.
+//!
 //! `train` currently checkpoints LayerGCN (the other models train and
 //! report, but only LayerGCN has a stable checkpoint format); `evaluate`
 //! and `recommend` rebuild the dataset with the same flags, so pass the
@@ -46,6 +52,16 @@ pub fn run(tokens: Vec<String>) -> CliResult {
             .filter(|&n| n >= 1)
             .ok_or_else(|| format!("--threads wants a positive integer, got {t:?}"))?;
         lrgcn::tensor::par::set_threads(n);
+    }
+    // --log-json wins over the environment; either installs the global
+    // JSONL sink for the duration of the process.
+    let log_json = args
+        .get("log-json")
+        .map(String::from)
+        .or_else(|| std::env::var("LRGCN_LOG_JSON").ok().filter(|p| !p.is_empty()));
+    if let Some(path) = log_json {
+        lrgcn::obs::sink::install_file(&path)
+            .map_err(|e| format!("opening --log-json {path}: {e}"))?;
     }
     match cmd.as_str() {
         "stats" => cmd_stats(&args),
@@ -327,6 +343,55 @@ mod tests {
         .expect_err("out of range");
         assert!(err.contains("out of range"));
         std::fs::remove_file(&ckpt).ok();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn log_json_produces_parseable_epoch_records() {
+        use lrgcn::obs::{json, sink};
+        let dir = std::env::temp_dir().join("lrgcn_cli_logjson");
+        let path = write_fixture(&dir);
+        let log_path = dir.join("run.jsonl");
+        std::fs::remove_file(&log_path).ok();
+        run(argv(&format!(
+            "train --input {} --epochs 3 --seed 5 --log-json {}",
+            path.display(),
+            log_path.display()
+        )))
+        .expect("train with --log-json");
+        // Other tests in this process may train concurrently while the
+        // global sink is installed; uninstall before reading so the file is
+        // complete and flushed.
+        sink::uninstall();
+
+        let text = std::fs::read_to_string(&log_path).expect("log file written");
+        let mut epochs = 0;
+        let mut saw_start = false;
+        let mut saw_summary = false;
+        for line in text.lines() {
+            let v = json::parse(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+            match v.get("event").and_then(|e| e.as_str()) {
+                Some("run_start") => saw_start = true,
+                Some("run_summary") => saw_summary = true,
+                Some("epoch") => {
+                    epochs += 1;
+                    assert!(v.get("loss").and_then(|l| l.as_f64()).is_some());
+                    let t = v.get("timings_s").expect("timings");
+                    assert!(t.get("train").and_then(|x| x.as_f64()).unwrap() >= 0.0);
+                    let c = v.get("counters").expect("counters");
+                    assert!(
+                        c.get("tensor.spmm.calls").and_then(|x| x.as_f64()).unwrap() > 0.0,
+                        "layergcn epoch must run SpMM kernels"
+                    );
+                    assert!(v.get("threads").and_then(|x| x.as_f64()).unwrap() >= 1.0);
+                    assert!(v.get("matrix_bytes_peak").and_then(|x| x.as_f64()).unwrap() > 0.0);
+                }
+                other => panic!("unknown event {other:?} in {line:?}"),
+            }
+        }
+        assert!(saw_start && saw_summary, "missing run_start/run_summary");
+        assert!(epochs >= 3, "expected >= 3 epoch records, got {epochs}");
+        std::fs::remove_file(&log_path).ok();
         std::fs::remove_file(path).ok();
     }
 

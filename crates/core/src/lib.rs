@@ -37,11 +37,13 @@
 //! * [`eval`] — Recall/NDCG under all-ranking, paired t-test
 //! * [`models`] — LayerGCN + the nine baselines of Table II
 //! * [`train`] — epoch loop with early stopping
+//! * [`obs`] — metrics registry, scoped timers and the JSONL run-log sink
 
 pub use lrgcn_data as data;
 pub use lrgcn_eval as eval;
 pub use lrgcn_graph as graph;
 pub use lrgcn_models as models;
+pub use lrgcn_obs as obs;
 pub use lrgcn_tensor as tensor;
 pub use lrgcn_train as train;
 

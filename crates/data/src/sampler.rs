@@ -166,6 +166,7 @@ impl<R: Rng> Iterator for BprEpoch<'_, R> {
         if self.cursor >= self.order.len() {
             return None;
         }
+        let _t = lrgcn_obs::timer::scoped(lrgcn_obs::Hist::SamplerBatch);
         let end = (self.cursor + self.batch_size).min(self.order.len());
         let edges = self.ds.train().edges();
         let mut batch = BprBatch::default();
@@ -175,6 +176,7 @@ impl<R: Rng> Iterator for BprEpoch<'_, R> {
             batch.pos_items.push(i);
             batch.neg_items.push(sample_negative(self.ds, u, self.rng));
         }
+        lrgcn_obs::registry::add(lrgcn_obs::Counter::SamplerTriples, batch.len() as u64);
         self.cursor = end;
         Some(batch)
     }

@@ -188,6 +188,9 @@ pub fn evaluate_ranking(
         Split::Val => ds.val_users(),
         Split::Test => ds.test_users(),
     };
+    lrgcn_obs::registry::add(lrgcn_obs::Counter::EvalRankCalls, 1);
+    lrgcn_obs::registry::add(lrgcn_obs::Counter::EvalRankUsers, users.len() as u64);
+    let _t = lrgcn_obs::timer::scoped(lrgcn_obs::Hist::EvalRank);
     let threads = par::effective_threads();
     let kw = ks.len();
     let mut tuples: Vec<[f64; 4]> = Vec::new();
@@ -233,6 +236,9 @@ pub fn evaluate_ranking_parallel(
         Split::Val => ds.val_users(),
         Split::Test => ds.test_users(),
     };
+    lrgcn_obs::registry::add(lrgcn_obs::Counter::EvalRankCalls, 1);
+    lrgcn_obs::registry::add(lrgcn_obs::Counter::EvalRankUsers, users.len() as u64);
+    let _t = lrgcn_obs::timer::scoped(lrgcn_obs::Hist::EvalRank);
     let kw = ks.len();
     let mut tuples: Vec<[f64; 4]> = vec![[0.0; 4]; users.len() * kw];
 

@@ -60,6 +60,8 @@ impl Csr {
         n_cols: usize,
         triplets: impl IntoIterator<Item = (u32, u32, f32)>,
     ) -> Self {
+        lrgcn_obs::registry::add(lrgcn_obs::Counter::CsrBuilds, 1);
+        let _t = lrgcn_obs::timer::scoped(lrgcn_obs::Hist::CsrBuild);
         let mut entries: Vec<(u32, u32, f32)> = triplets.into_iter().collect();
         for &(r, c, _) in &entries {
             assert!(

@@ -100,6 +100,8 @@ impl EdgePruner {
             return None;
         }
         debug_assert!(self.validate().is_ok());
+        lrgcn_obs::registry::add(lrgcn_obs::Counter::DropoutSamples, 1);
+        let _t = lrgcn_obs::timer::scoped(lrgcn_obs::Hist::DropoutSample);
         let m_total = graph.n_edges();
         let keep = m_total - ((m_total as f64 * ratio as f64).round() as usize).min(m_total - 1);
         let effective = match self {
@@ -121,6 +123,7 @@ impl EdgePruner {
             _ => unreachable!("effective pruner is always DegreeDrop or DropEdge"),
         };
         let edges = graph.edges();
+        lrgcn_obs::registry::add(lrgcn_obs::Counter::DropoutEdgesKept, kept_idx.len() as u64);
         Some(kept_idx.into_iter().map(|k| edges[k]).collect())
     }
 

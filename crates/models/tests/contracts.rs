@@ -101,6 +101,79 @@ fn score_chunking_is_consistent() {
 }
 
 #[test]
+fn every_registry_model_trains_one_clean_instrumented_epoch() {
+    // Cross-model smoke test: each model in the registry runs one epoch on
+    // the tiny dataset, finishes with finite loss and finite embeddings,
+    // and demonstrably went through the instrumented kernels (counters are
+    // process-global and other tests run concurrently, so assert only
+    // non-zero *deltas*, never exact values).
+    use lrgcn_obs::registry::{get, Counter};
+    let ds = dataset();
+    for kind in ModelKind::all() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut m = kind.build(&ds, &mut rng);
+        let before: u64 = [
+            Counter::SpmmCalls,
+            Counter::MatmulCalls,
+            Counter::GatherCalls,
+            Counter::MapCalls,
+        ]
+        .iter()
+        .map(|&c| get(c))
+        .sum();
+        let stats = m.train_epoch(&ds, 0, &mut rng);
+        assert!(
+            stats.loss.is_finite(),
+            "{}: NaN/inf loss after one epoch",
+            m.name()
+        );
+        m.refresh(&ds);
+        let users: Vec<u32> = (0..ds.n_users() as u32).collect();
+        let scores = m.score_users(&ds, &users);
+        assert!(
+            !scores.has_non_finite(),
+            "{}: NaN/inf in refreshed embeddings/scores",
+            m.name()
+        );
+        let after: u64 = [
+            Counter::SpmmCalls,
+            Counter::MatmulCalls,
+            Counter::GatherCalls,
+            Counter::MapCalls,
+        ]
+        .iter()
+        .map(|&c| get(c))
+        .sum();
+        // Graph models go through SpMM, factorization models through
+        // gather/matmul/map — every model must tick at least one kernel.
+        assert!(
+            after > before,
+            "{}: no instrumented kernel invocations recorded",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn graph_models_tick_spmm_counters() {
+    // The propagation-based models specifically must exercise the SpMM
+    // path — a silent fall-back to dense matmul would hide here otherwise.
+    use lrgcn_obs::registry::{get, Counter};
+    let ds = dataset();
+    for name in ["layergcn", "lightgcn", "ngcf", "lrgccf"] {
+        let kind = ModelKind::parse(name).expect("registry name");
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut m = kind.build(&ds, &mut rng);
+        let before = get(Counter::SpmmCalls);
+        m.train_epoch(&ds, 0, &mut rng);
+        assert!(
+            get(Counter::SpmmCalls) > before,
+            "{name}: trained an epoch without a single SpMM"
+        );
+    }
+}
+
+#[test]
 fn parameter_counts_are_sane() {
     let ds = dataset();
     let n = ds.n_users() + ds.n_items();

@@ -1,0 +1,176 @@
+//! Structured event schema for the JSONL run log.
+//!
+//! Every record is a single-line JSON object with at least:
+//!
+//! | field   | type   | meaning                                            |
+//! |---------|--------|----------------------------------------------------|
+//! | `event` | string | `"run_start"`, `"epoch"` or `"run_summary"`        |
+//! | `run`   | number | process-unique run id ([`crate::sink::next_run_id`]) |
+//!
+//! `epoch` records add `epoch` (0-based), `loss`, a `timings_s` object with
+//! per-phase wall seconds (`train`, `refresh`, `val`), a `counters` object
+//! with per-epoch kernel-counter deltas, `threads`, and
+//! `matrix_bytes_peak`; when the trainer validated that epoch they also
+//! carry a `val` object of ranking metrics. `run_summary` records add
+//! `epochs`, `wall_s`, and optionally a `test` metrics object.
+//!
+//! Builders here only assemble [`Value`]s; callers should skip calling them
+//! entirely when [`crate::sink::enabled`] is false.
+
+use crate::json::Value;
+
+/// One training epoch, ready to serialise.
+#[derive(Clone, Debug)]
+pub struct EpochRecord {
+    pub run: u64,
+    /// 0-based epoch index.
+    pub epoch: u64,
+    /// Mean training loss over the epoch.
+    pub loss: f64,
+    /// Wall seconds spent in `train_epoch`.
+    pub train_s: f64,
+    /// Wall seconds spent recomputing inference embeddings.
+    pub refresh_s: f64,
+    /// Wall seconds spent in validation ranking (0 when skipped).
+    pub val_s: f64,
+    /// Configured worker thread count.
+    pub threads: u64,
+    /// High-water mark of resident dense-matrix bytes so far.
+    pub matrix_bytes_peak: u64,
+    /// Kernel-counter deltas for this epoch, `(metric name, delta)`.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Ranking metrics, when this epoch was validated.
+    pub val_metrics: Option<Value>,
+}
+
+impl EpochRecord {
+    pub fn to_value(&self) -> Value {
+        let counters = Value::Obj(
+            self.counters
+                .iter()
+                .map(|&(name, delta)| (name.to_string(), Value::u64(delta)))
+                .collect(),
+        );
+        let timings = Value::obj([
+            ("train", Value::num(self.train_s)),
+            ("refresh", Value::num(self.refresh_s)),
+            ("val", Value::num(self.val_s)),
+        ]);
+        let mut fields = vec![
+            ("event", Value::str("epoch")),
+            ("run", Value::u64(self.run)),
+            ("epoch", Value::u64(self.epoch)),
+            ("loss", Value::num(self.loss)),
+            ("timings_s", timings),
+            ("counters", counters),
+            ("threads", Value::u64(self.threads)),
+            ("matrix_bytes_peak", Value::u64(self.matrix_bytes_peak)),
+        ];
+        if let Some(val) = &self.val_metrics {
+            fields.push(("val", val.clone()));
+        }
+        Value::obj(fields)
+    }
+}
+
+/// Start-of-run record: model/dataset identification plus thread count.
+pub fn run_start(run: u64, model: &str, dataset: &str, threads: u64) -> Value {
+    Value::obj([
+        ("event", Value::str("run_start")),
+        ("run", Value::u64(run)),
+        ("model", Value::str(model)),
+        ("dataset", Value::str(dataset)),
+        ("threads", Value::u64(threads)),
+    ])
+}
+
+/// End-of-run record: epoch count, total wall seconds, and (when the run
+/// ended with a test evaluation) a `test` metrics object.
+pub fn run_summary(run: u64, epochs: u64, wall_s: f64, test: Option<Value>) -> Value {
+    let mut fields = vec![
+        ("event", Value::str("run_summary")),
+        ("run", Value::u64(run)),
+        ("epochs", Value::u64(epochs)),
+        ("wall_s", Value::num(wall_s)),
+    ];
+    if let Some(test) = test {
+        fields.push(("test", test));
+    }
+    Value::obj(fields)
+}
+
+/// Converts `(name, value)` metric pairs (e.g. `("recall@20", 0.12)`) into a
+/// metrics object for `val` / `test` fields.
+pub fn metrics_obj(pairs: &[(String, f64)]) -> Value {
+    Value::Obj(
+        pairs
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::num(*v)))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn epoch_record_renders_required_fields() {
+        let rec = EpochRecord {
+            run: 9,
+            epoch: 2,
+            loss: 0.42,
+            train_s: 1.5,
+            refresh_s: 0.1,
+            val_s: 0.0,
+            threads: 4,
+            matrix_bytes_peak: 1 << 20,
+            counters: vec![("tensor.spmm.calls", 12), ("tensor.matmul.calls", 0)],
+            val_metrics: None,
+        };
+        let v = rec.to_value();
+        let parsed = json::parse(&v.render()).unwrap();
+        assert_eq!(parsed.get("event").unwrap().as_str(), Some("epoch"));
+        assert_eq!(parsed.get("epoch").unwrap().as_f64(), Some(2.0));
+        assert_eq!(parsed.get("loss").unwrap().as_f64(), Some(0.42));
+        let t = parsed.get("timings_s").unwrap();
+        assert_eq!(t.get("train").unwrap().as_f64(), Some(1.5));
+        let c = parsed.get("counters").unwrap();
+        assert_eq!(c.get("tensor.spmm.calls").unwrap().as_f64(), Some(12.0));
+        assert!(parsed.get("val").is_none());
+    }
+
+    #[test]
+    fn epoch_record_includes_val_metrics_when_present() {
+        let rec = EpochRecord {
+            run: 1,
+            epoch: 0,
+            loss: 0.7,
+            train_s: 0.2,
+            refresh_s: 0.01,
+            val_s: 0.05,
+            threads: 1,
+            matrix_bytes_peak: 0,
+            counters: vec![],
+            val_metrics: Some(metrics_obj(&[("recall@20".to_string(), 0.123)])),
+        };
+        let parsed = json::parse(&rec.to_value().render()).unwrap();
+        let val = parsed.get("val").unwrap();
+        assert_eq!(val.get("recall@20").unwrap().as_f64(), Some(0.123));
+    }
+
+    #[test]
+    fn run_records_roundtrip() {
+        let start = run_start(5, "layergcn", "mooc", 8);
+        let parsed = json::parse(&start.render()).unwrap();
+        assert_eq!(parsed.get("event").unwrap().as_str(), Some("run_start"));
+        assert_eq!(parsed.get("model").unwrap().as_str(), Some("layergcn"));
+
+        let end = run_summary(5, 3, 12.5, Some(metrics_obj(&[("ndcg@20".into(), 0.08)])));
+        let parsed = json::parse(&end.render()).unwrap();
+        assert_eq!(parsed.get("event").unwrap().as_str(), Some("run_summary"));
+        assert_eq!(parsed.get("wall_s").unwrap().as_f64(), Some(12.5));
+        assert!(parsed.get("test").is_some());
+    }
+}

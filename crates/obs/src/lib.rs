@@ -1,0 +1,56 @@
+//! # lrgcn-obs — zero-dependency observability for the LayerGCN workspace
+//!
+//! Production GCN training systems (PinSage-scale and up) treat metrics and
+//! structured run logs as table stakes; this crate gives the workspace the
+//! same discipline without pulling in a single external dependency.
+//!
+//! Three layers, from cheapest to richest:
+//!
+//! 1. **[`registry`]** — a fixed global registry of atomic
+//!    [counters](registry::Counter) (kernel invocations, element counts),
+//!    [gauges](registry::Gauge) (current/peak resident matrix bytes) and
+//!    [wall-clock histograms](registry::Hist). Recording is one relaxed
+//!    atomic RMW — the instrumentation woven through the tensor/graph/eval
+//!    hot paths costs nanoseconds per *kernel call* (never per element), so
+//!    it is always on.
+//! 2. **[`timer`]** — RAII scoped timers feeding the histograms. Used at
+//!    coarse granularity only (per epoch phase, per CSR build, per dropout
+//!    resample, per evaluation round).
+//! 3. **[`sink`]** — an optional global JSONL event sink (`--log-json
+//!    <path>` on the CLI, or the `LRGCN_LOG_JSON` environment variable).
+//!    When no sink is installed, [`sink::enabled`] is a single atomic load
+//!    and event construction is skipped entirely; when installed, the
+//!    trainer emits one structured record per epoch and a run summary (see
+//!    [`event`] for the schema).
+//!
+//! ## Overhead contract
+//!
+//! With no sink installed the only costs are: one relaxed `fetch_add` per
+//! instrumented kernel call, two `Instant::now` calls per scoped timer, and
+//! one atomic load per suppressed event. The guard tests in
+//! `tests/overhead.rs` pin these costs; `crates/train` additionally checks
+//! that the per-epoch instrumentation budget stays under 5% of epoch wall
+//! time.
+//!
+//! ## Example
+//!
+//! ```
+//! use lrgcn_obs::{registry, timer};
+//!
+//! registry::add(registry::Counter::MatmulCalls, 1);
+//! {
+//!     let _t = timer::scoped(registry::Hist::CsrBuild);
+//!     // ... timed work ...
+//! }
+//! let snap = registry::snapshot();
+//! assert!(snap.counter(registry::Counter::MatmulCalls) >= 1);
+//! ```
+
+pub mod event;
+pub mod json;
+pub mod registry;
+pub mod sink;
+pub mod timer;
+
+pub use registry::{Counter, Gauge, Hist};
+pub use timer::scoped;

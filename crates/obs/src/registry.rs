@@ -1,0 +1,413 @@
+//! The global metrics registry.
+//!
+//! All metrics are process-global, cumulative and monotone (counters /
+//! histograms) or tracked as current-plus-peak (gauges). Identifiers are
+//! closed enums rather than string interning: a recording site compiles to
+//! an array index plus one relaxed atomic RMW, with no locks, hashing or
+//! allocation anywhere on the hot path.
+//!
+//! Consumers read metrics through [`snapshot`] and compute deltas between
+//! snapshots (the trainer does this once per epoch); absolute values are
+//! only meaningful within one process.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// Every counter the workspace records. `*Calls` count kernel invocations;
+/// the paired size counters accumulate the work each invocation performed,
+/// so `size / calls` is the mean kernel granularity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Dense matmul invocations (all three transpose variants).
+    MatmulCalls,
+    /// Output cells produced by dense matmuls (`rows x cols` per call).
+    MatmulCells,
+    /// Sparse-dense (SpMM) invocations, forward and backward.
+    SpmmCalls,
+    /// Multiply-accumulates performed by SpMM calls (`nnz x width`).
+    SpmmMacs,
+    /// Elementwise map invocations (`Matrix::map` / `map_inplace`).
+    MapCalls,
+    /// Elements visited by elementwise maps.
+    MapElems,
+    /// Embedding row-gather invocations.
+    GatherCalls,
+    /// Rows copied by gathers.
+    GatherRows,
+    /// Dense matrices allocated (constructors and clones).
+    MatrixAllocs,
+    /// CSR matrices assembled from COO triples.
+    CsrBuilds,
+    /// Edge-dropout resampling rounds.
+    DropoutSamples,
+    /// Edges surviving dropout rounds.
+    DropoutEdgesKept,
+    /// BPR `(u, i, j)` triples sampled.
+    SamplerTriples,
+    /// Ranking-evaluation rounds.
+    EvalRankCalls,
+    /// Users ranked under the all-ranking protocol.
+    EvalRankUsers,
+    /// Training epochs completed by the trainer.
+    TrainEpochs,
+}
+
+impl Counter {
+    /// All counters, in stable declaration order.
+    pub const ALL: [Counter; 16] = [
+        Counter::MatmulCalls,
+        Counter::MatmulCells,
+        Counter::SpmmCalls,
+        Counter::SpmmMacs,
+        Counter::MapCalls,
+        Counter::MapElems,
+        Counter::GatherCalls,
+        Counter::GatherRows,
+        Counter::MatrixAllocs,
+        Counter::CsrBuilds,
+        Counter::DropoutSamples,
+        Counter::DropoutEdgesKept,
+        Counter::SamplerTriples,
+        Counter::EvalRankCalls,
+        Counter::EvalRankUsers,
+        Counter::TrainEpochs,
+    ];
+
+    /// Dotted metric name used in JSONL records and snapshots.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::MatmulCalls => "tensor.matmul.calls",
+            Counter::MatmulCells => "tensor.matmul.cells",
+            Counter::SpmmCalls => "tensor.spmm.calls",
+            Counter::SpmmMacs => "tensor.spmm.macs",
+            Counter::MapCalls => "tensor.map.calls",
+            Counter::MapElems => "tensor.map.elems",
+            Counter::GatherCalls => "tensor.gather.calls",
+            Counter::GatherRows => "tensor.gather.rows",
+            Counter::MatrixAllocs => "tensor.matrix.allocs",
+            Counter::CsrBuilds => "graph.csr.builds",
+            Counter::DropoutSamples => "graph.dropout.samples",
+            Counter::DropoutEdgesKept => "graph.dropout.edges_kept",
+            Counter::SamplerTriples => "data.sampler.triples",
+            Counter::EvalRankCalls => "eval.rank.calls",
+            Counter::EvalRankUsers => "eval.rank.users",
+            Counter::TrainEpochs => "train.epochs",
+        }
+    }
+}
+
+const N_COUNTERS: usize = Counter::ALL.len();
+
+static COUNTERS: [AtomicU64; N_COUNTERS] = [const { AtomicU64::new(0) }; N_COUNTERS];
+
+/// Adds `v` to a counter. One relaxed `fetch_add`; safe from any thread,
+/// including inside parallel kernel regions.
+#[inline]
+pub fn add(c: Counter, v: u64) {
+    COUNTERS[c as usize].fetch_add(v, Ordering::Relaxed);
+}
+
+/// Current cumulative value of a counter.
+#[inline]
+pub fn get(c: Counter) -> u64 {
+    COUNTERS[c as usize].load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Gauges
+// ---------------------------------------------------------------------------
+
+/// Instantaneous quantities tracked with a current value and a
+/// high-water mark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Bytes currently held by live dense [`Matrix`] buffers
+    /// (`lrgcn-tensor` maintains this from constructors, clones and drops).
+    MatrixBytes,
+}
+
+impl Gauge {
+    pub const ALL: [Gauge; 1] = [Gauge::MatrixBytes];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::MatrixBytes => "tensor.matrix.bytes",
+        }
+    }
+}
+
+const N_GAUGES: usize = Gauge::ALL.len();
+
+static GAUGE_CUR: [AtomicI64; N_GAUGES] = [const { AtomicI64::new(0) }; N_GAUGES];
+static GAUGE_PEAK: [AtomicI64; N_GAUGES] = [const { AtomicI64::new(0) }; N_GAUGES];
+
+/// Raises a gauge by `v`, updating its peak.
+#[inline]
+pub fn gauge_add(g: Gauge, v: u64) {
+    let now = GAUGE_CUR[g as usize].fetch_add(v as i64, Ordering::Relaxed) + v as i64;
+    GAUGE_PEAK[g as usize].fetch_max(now, Ordering::Relaxed);
+}
+
+/// Lowers a gauge by `v`.
+#[inline]
+pub fn gauge_sub(g: Gauge, v: u64) {
+    GAUGE_CUR[g as usize].fetch_sub(v as i64, Ordering::Relaxed);
+}
+
+/// Current gauge value (clamped at zero for display).
+#[inline]
+pub fn gauge_current(g: Gauge) -> u64 {
+    GAUGE_CUR[g as usize].load(Ordering::Relaxed).max(0) as u64
+}
+
+/// High-water mark of a gauge since process start.
+#[inline]
+pub fn gauge_peak(g: Gauge) -> u64 {
+    GAUGE_PEAK[g as usize].load(Ordering::Relaxed).max(0) as u64
+}
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+/// Wall-clock histograms (nanosecond samples in log2 buckets), fed by
+/// [`crate::timer::scoped`]. All are coarse-grained phases, never
+/// per-element work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Hist {
+    /// One `train_epoch` call (forward+backward over all batches).
+    EpochTrain,
+    /// One validation evaluation round inside the trainer.
+    EpochVal,
+    /// One `refresh` (inference-embedding recomputation).
+    EpochRefresh,
+    /// One full ranking evaluation (any split).
+    EvalRank,
+    /// One CSR assembly from COO triples.
+    CsrBuild,
+    /// One edge-dropout resampling round.
+    DropoutSample,
+    /// One BPR batch construction (shuffled positives + negatives).
+    SamplerBatch,
+}
+
+impl Hist {
+    pub const ALL: [Hist; 7] = [
+        Hist::EpochTrain,
+        Hist::EpochVal,
+        Hist::EpochRefresh,
+        Hist::EvalRank,
+        Hist::CsrBuild,
+        Hist::DropoutSample,
+        Hist::SamplerBatch,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::EpochTrain => "train.epoch_ns",
+            Hist::EpochVal => "train.val_ns",
+            Hist::EpochRefresh => "train.refresh_ns",
+            Hist::EvalRank => "eval.rank_ns",
+            Hist::CsrBuild => "graph.csr.build_ns",
+            Hist::DropoutSample => "graph.dropout.sample_ns",
+            Hist::SamplerBatch => "data.sampler.batch_ns",
+        }
+    }
+}
+
+const N_HISTS: usize = Hist::ALL.len();
+/// log2 nanosecond buckets: bucket `b` counts samples in `[2^b, 2^(b+1))`
+/// (bucket 0 additionally holds 0ns); 2^39 ns ≈ 9 minutes, far beyond any
+/// single phase.
+pub const HIST_BUCKETS: usize = 40;
+
+struct HistCell {
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const HIST_ZERO: HistCell = HistCell {
+    count: AtomicU64::new(0),
+    sum_ns: AtomicU64::new(0),
+    max_ns: AtomicU64::new(0),
+    buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+};
+
+static HISTS: [HistCell; N_HISTS] = [HIST_ZERO; N_HISTS];
+
+/// Bucket index of a nanosecond sample: `floor(log2(ns))`, clamped.
+#[inline]
+fn bucket_of(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        ((63 - ns.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Records one wall-clock sample into a histogram.
+#[inline]
+pub fn record_ns(h: Hist, ns: u64) {
+    let cell = &HISTS[h as usize];
+    cell.count.fetch_add(1, Ordering::Relaxed);
+    cell.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    cell.max_ns.fetch_max(ns, Ordering::Relaxed);
+    cell.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Aggregate view of one histogram at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    pub count: u64,
+    pub sum_ns: u64,
+    pub max_ns: u64,
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl HistSnapshot {
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// A coherent-enough point-in-time copy of the whole registry. Individual
+/// metrics are read with relaxed loads, so a snapshot taken while other
+/// threads record is not a single atomic cut — but every metric is
+/// monotone, which makes snapshot *deltas* well defined lower bounds.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    pub counters: [u64; N_COUNTERS],
+    pub gauges_current: [u64; N_GAUGES],
+    pub gauges_peak: [u64; N_GAUGES],
+    pub hists: Vec<HistSnapshot>,
+}
+
+impl Snapshot {
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    pub fn hist(&self, h: Hist) -> &HistSnapshot {
+        &self.hists[h as usize]
+    }
+
+    /// Per-counter increase from `earlier` to `self`, as `(name, delta)`
+    /// pairs (zero deltas included, so the schema is stable).
+    pub fn counter_deltas_since(&self, earlier: &Snapshot) -> Vec<(&'static str, u64)> {
+        Counter::ALL
+            .iter()
+            .map(|&c| {
+                (
+                    c.name(),
+                    self.counters[c as usize].saturating_sub(earlier.counters[c as usize]),
+                )
+            })
+            .collect()
+    }
+
+    /// Histogram time accumulated from `earlier` to `self`, in seconds.
+    pub fn hist_seconds_since(&self, earlier: &Snapshot, h: Hist) -> f64 {
+        self.hists[h as usize]
+            .sum_ns
+            .saturating_sub(earlier.hists[h as usize].sum_ns) as f64
+            / 1e9
+    }
+}
+
+/// Copies the current state of every counter, gauge and histogram.
+pub fn snapshot() -> Snapshot {
+    Snapshot {
+        counters: std::array::from_fn(|i| COUNTERS[i].load(Ordering::Relaxed)),
+        gauges_current: std::array::from_fn(|i| GAUGE_CUR[i].load(Ordering::Relaxed).max(0) as u64),
+        gauges_peak: std::array::from_fn(|i| GAUGE_PEAK[i].load(Ordering::Relaxed).max(0) as u64),
+        hists: HISTS
+            .iter()
+            .map(|c| HistSnapshot {
+                count: c.count.load(Ordering::Relaxed),
+                sum_ns: c.sum_ns.load(Ordering::Relaxed),
+                max_ns: c.max_ns.load(Ordering::Relaxed),
+                buckets: std::array::from_fn(|b| c.buckets[b].load(Ordering::Relaxed)),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_deltas() {
+        let before = snapshot();
+        add(Counter::CsrBuilds, 3);
+        add(Counter::CsrBuilds, 2);
+        let after = snapshot();
+        assert!(after.counter(Counter::CsrBuilds) >= before.counter(Counter::CsrBuilds) + 5);
+        let deltas = after.counter_deltas_since(&before);
+        let (_, d) = deltas
+            .iter()
+            .find(|(n, _)| *n == Counter::CsrBuilds.name())
+            .expect("counter present");
+        assert!(*d >= 5);
+        assert_eq!(deltas.len(), Counter::ALL.len());
+    }
+
+    #[test]
+    fn gauge_tracks_peak() {
+        // Other tests may touch the gauge concurrently; only monotone
+        // claims are safe.
+        gauge_add(Gauge::MatrixBytes, 1000);
+        let peak = gauge_peak(Gauge::MatrixBytes);
+        assert!(peak >= 1000);
+        gauge_sub(Gauge::MatrixBytes, 1000);
+        assert!(gauge_peak(Gauge::MatrixBytes) >= peak);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_magnitudes() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_records_count_sum_max() {
+        let before = snapshot();
+        record_ns(Hist::CsrBuild, 100);
+        record_ns(Hist::CsrBuild, 300);
+        let after = snapshot();
+        let (b, a) = (before.hist(Hist::CsrBuild), after.hist(Hist::CsrBuild));
+        assert!(a.count >= b.count + 2);
+        assert!(a.sum_ns >= b.sum_ns + 400);
+        assert!(a.max_ns >= 300);
+        assert!(after.hist_seconds_since(&before, Hist::CsrBuild) >= 400e-9);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.extend(Gauge::ALL.iter().map(|g| g.name()));
+        names.extend(Hist::ALL.iter().map(|h| h.name()));
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

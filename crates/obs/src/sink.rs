@@ -1,0 +1,149 @@
+//! The global JSONL event sink.
+//!
+//! At most one sink is installed per process (the CLI installs one when
+//! `--log-json <path>` or `LRGCN_LOG_JSON` is given). Emitters must guard
+//! event *construction* behind [`enabled`] — a single relaxed atomic load —
+//! so an uninstrumented run pays nothing beyond that load:
+//!
+//! ```
+//! use lrgcn_obs::{event, sink};
+//!
+//! if sink::enabled() {
+//!     sink::emit(&event::run_summary(7, 3, 12.5, None));
+//! }
+//! ```
+//!
+//! Each emitted [`Value`](crate::json::Value) is rendered to one line and
+//! flushed immediately, so a crashed run still leaves a readable log and
+//! `tail -f` works during training.
+
+use crate::json::Value;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+static NEXT_RUN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// True when a sink is installed. The one-load fast path every emitter
+/// checks before building an event.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `w` as the global sink, replacing any previous one (the old
+/// writer is flushed and dropped).
+pub fn install(w: Box<dyn Write + Send>) {
+    let mut guard = SINK.lock().unwrap();
+    if let Some(old) = guard.as_mut() {
+        let _ = old.flush();
+    }
+    *guard = Some(w);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Opens `path` in append mode and installs it as the sink. Append (rather
+/// than truncate) keeps multi-run experiment logs in one file; records carry
+/// a `run` id so runs stay separable.
+pub fn install_file(path: &str) -> std::io::Result<()> {
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    install(Box::new(file));
+    Ok(())
+}
+
+/// Removes the sink, flushing buffered output. Emission reverts to the
+/// suppressed fast path.
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::Relaxed);
+    let mut guard = SINK.lock().unwrap();
+    if let Some(old) = guard.as_mut() {
+        let _ = old.flush();
+    }
+    *guard = None;
+}
+
+/// Renders `event` as one JSON line and writes it to the sink. A no-op when
+/// no sink is installed; callers on hot paths should still check
+/// [`enabled`] first to skip building the event at all. Write errors are
+/// swallowed: observability must never take down training.
+pub fn emit(event: &Value) {
+    if !enabled() {
+        return;
+    }
+    let mut line = event.render();
+    line.push('\n');
+    let mut guard = SINK.lock().unwrap();
+    if let Some(w) = guard.as_mut() {
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.flush();
+    }
+}
+
+/// Allocates a process-unique run id. The trainer stamps every event of one
+/// training run with the same id so interleaved or appended runs in a single
+/// JSONL file remain separable.
+pub fn next_run_id() -> u64 {
+    NEXT_RUN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, Value};
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// Shared buffer writer for capturing sink output in tests.
+    #[derive(Clone)]
+    pub struct SharedBuf(pub Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    // Tests that install the global sink must not interleave.
+    static SINK_TEST_LOCK: StdMutex<()> = StdMutex::new(());
+
+    #[test]
+    fn emit_writes_one_parseable_line_per_event() {
+        let _serial = SINK_TEST_LOCK.lock().unwrap();
+        let buf = Arc::new(StdMutex::new(Vec::new()));
+        install(Box::new(SharedBuf(buf.clone())));
+        assert!(enabled());
+        emit(&Value::obj([("event", Value::str("a")), ("n", Value::u64(1))]));
+        emit(&Value::obj([("event", Value::str("b")), ("n", Value::u64(2))]));
+        uninstall();
+        assert!(!enabled());
+
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            json::parse(line).expect("every emitted line parses");
+        }
+    }
+
+    #[test]
+    fn emit_without_sink_is_a_noop() {
+        let _serial = SINK_TEST_LOCK.lock().unwrap();
+        uninstall();
+        emit(&Value::str("dropped"));
+    }
+
+    #[test]
+    fn run_ids_are_unique_and_increasing() {
+        let a = next_run_id();
+        let b = next_run_id();
+        assert!(b > a);
+    }
+}

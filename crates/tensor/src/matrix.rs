@@ -13,15 +13,33 @@
 //! explicit thread count; the plain methods use the globally configured one.
 
 use crate::par;
+use lrgcn_obs::registry::{self, Counter, Gauge};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
 /// A dense `rows x cols` matrix of `f32` in row-major layout.
-#[derive(Clone, PartialEq)]
+///
+/// Every construction (including clones) and every drop updates the
+/// `tensor.matrix.bytes` gauge in [`lrgcn_obs`], so the peak resident
+/// dense-matrix footprint of a run is observable; `Clone` and `Drop` are
+/// therefore implemented by hand rather than derived.
+#[derive(PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        Self::from_vec(self.rows, self.cols, self.data.clone())
+    }
+}
+
+impl Drop for Matrix {
+    fn drop(&mut self) {
+        registry::gauge_sub(Gauge::MatrixBytes, (self.data.len() * 4) as u64);
+    }
 }
 
 impl fmt::Debug for Matrix {
@@ -37,28 +55,24 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// All-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self {
-            rows,
-            cols,
-            data: vec![0.0; rows * cols],
-        }
+        Self::from_vec(rows, cols, vec![0.0; rows * cols])
     }
 
     /// All-`v` matrix.
     pub fn full(rows: usize, cols: usize, v: f32) -> Self {
-        Self {
-            rows,
-            cols,
-            data: vec![v; rows * cols],
-        }
+        Self::from_vec(rows, cols, vec![v; rows * cols])
     }
 
-    /// Builds from a row-major buffer.
+    /// Builds from a row-major buffer. Every `Matrix` is created through
+    /// here (or a constructor delegating here), which is what keeps the
+    /// alloc counter and byte gauge exact.
     ///
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
         assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        registry::add(Counter::MatrixAllocs, 1);
+        registry::gauge_add(Gauge::MatrixBytes, (data.len() * 4) as u64);
         Self { rows, cols, data }
     }
 
@@ -110,9 +124,13 @@ impl Matrix {
         &mut self.data
     }
 
-    /// Consumes the matrix, returning the raw buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Consumes the matrix, returning the raw buffer. The buffer leaves the
+    /// byte gauge here; `Drop` then sees an empty matrix and subtracts
+    /// nothing.
+    pub fn into_vec(mut self) -> Vec<f32> {
+        let data = std::mem::take(&mut self.data);
+        registry::gauge_sub(Gauge::MatrixBytes, (data.len() * 4) as u64);
+        data
     }
 
     /// Borrow of row `r`.
@@ -143,6 +161,8 @@ impl Matrix {
             self.shape(),
             other.shape()
         );
+        registry::add(Counter::MatmulCalls, 1);
+        registry::add(Counter::MatmulCells, (self.rows * other.cols) as u64);
         let mut out = Matrix::zeros(self.rows, other.cols);
         let ocols = other.cols;
         if ocols == 0 {
@@ -181,6 +201,8 @@ impl Matrix {
             self.shape(),
             other.shape()
         );
+        registry::add(Counter::MatmulCalls, 1);
+        registry::add(Counter::MatmulCells, (self.cols * other.cols) as u64);
         let mut out = Matrix::zeros(self.cols, other.cols);
         let ocols = other.cols;
         if ocols == 0 {
@@ -219,6 +241,8 @@ impl Matrix {
             self.shape(),
             other.shape()
         );
+        registry::add(Counter::MatmulCalls, 1);
+        registry::add(Counter::MatmulCells, (self.rows * other.rows) as u64);
         let mut out = Matrix::zeros(self.rows, other.rows);
         let ocols = other.rows;
         if ocols == 0 {
@@ -250,6 +274,8 @@ impl Matrix {
     /// independent, so the result is bitwise identical for any thread
     /// count).
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        registry::add(Counter::MapCalls, 1);
+        registry::add(Counter::MapElems, self.data.len() as u64);
         let mut out = Matrix::zeros(self.rows, self.cols);
         if self.cols == 0 {
             return out;
@@ -271,6 +297,8 @@ impl Matrix {
 
     /// In-place elementwise map; row-parallel like [`Self::map`].
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        registry::add(Counter::MapCalls, 1);
+        registry::add(Counter::MapElems, self.data.len() as u64);
         if self.cols == 0 {
             return;
         }
@@ -333,6 +361,8 @@ impl Matrix {
 
     /// New matrix with rows `indices` of `self`, in order (may repeat).
     pub fn gather_rows(&self, indices: &[u32]) -> Matrix {
+        registry::add(Counter::GatherCalls, 1);
+        registry::add(Counter::GatherRows, indices.len() as u64);
         let mut out = Matrix::zeros(indices.len(), self.cols);
         for (o, &i) in indices.iter().enumerate() {
             out.row_mut(o).copy_from_slice(self.row(i as usize));
@@ -541,6 +571,51 @@ mod tests {
         assert!(!m.has_non_finite());
         m[(0, 0)] = f32::NAN;
         assert!(m.has_non_finite());
+    }
+
+    #[test]
+    fn byte_gauge_balances_alloc_and_drop() {
+        use lrgcn_obs::registry::{gauge_current, Gauge};
+        // Other tests allocate concurrently, so assert on the *net* effect
+        // of a large allocation that dwarfs their noise.
+        let big = 1 << 22; // 4M elements = 16 MiB
+        let before = gauge_current(Gauge::MatrixBytes);
+        let m = Matrix::zeros(big, 1);
+        let held = gauge_current(Gauge::MatrixBytes);
+        assert!(held >= before + (big * 4 - (1 << 20)) as u64);
+        let v = m.into_vec();
+        assert_eq!(v.len(), big);
+        drop(v);
+        // into_vec released the bytes; dropping the Vec is invisible to the
+        // gauge, and the Matrix's Drop must not double-subtract.
+        let after = gauge_current(Gauge::MatrixBytes);
+        assert!(after + (1 << 20) < held);
+    }
+
+    #[test]
+    fn clone_accounts_like_a_fresh_allocation() {
+        use lrgcn_obs::registry::{get, Counter};
+        let m = Matrix::zeros(8, 8);
+        let allocs_before = get(Counter::MatrixAllocs);
+        let c = m.clone();
+        assert!(get(Counter::MatrixAllocs) > allocs_before);
+        assert_eq!(c, m);
+    }
+
+    #[test]
+    fn kernel_counters_advance() {
+        use lrgcn_obs::registry::{get, Counter};
+        let (mm0, gc0, mp0) = (
+            get(Counter::MatmulCalls),
+            get(Counter::GatherCalls),
+            get(Counter::MapCalls),
+        );
+        let _ = a().matmul(&b());
+        let _ = a().gather_rows(&[0, 1]);
+        let _ = a().map(|x| x + 1.0);
+        assert!(get(Counter::MatmulCalls) > mm0);
+        assert!(get(Counter::GatherCalls) > gc0);
+        assert!(get(Counter::MapCalls) > mp0);
     }
 
     #[test]

@@ -257,6 +257,11 @@ impl Tape {
     pub fn spmm(&mut self, s: &SharedCsr, a: Var) -> Var {
         let va = self.value(a);
         let width = va.cols();
+        lrgcn_obs::registry::add(lrgcn_obs::Counter::SpmmCalls, 1);
+        lrgcn_obs::registry::add(
+            lrgcn_obs::Counter::SpmmMacs,
+            (s.matrix().nnz() * width) as u64,
+        );
         let mut out = vec![0.0; s.matrix().n_rows() * width];
         s.matrix()
             .spmm_into_parallel(va.data(), width, &mut out, par::effective_threads());
@@ -597,6 +602,11 @@ impl Tape {
             Op::SpMM(s, a) => {
                 // C = S A: dA = S^T dC. Row-parallel like the forward.
                 let width = g.cols();
+                lrgcn_obs::registry::add(lrgcn_obs::Counter::SpmmCalls, 1);
+                lrgcn_obs::registry::add(
+                    lrgcn_obs::Counter::SpmmMacs,
+                    (s.transpose().nnz() * width) as u64,
+                );
                 let mut da = vec![0.0; s.transpose().n_rows() * width];
                 s.transpose()
                     .spmm_into_parallel(g.data(), width, &mut da, par::effective_threads());

@@ -366,6 +366,97 @@ fn grad_row_softmax_and_log_softmax() {
     );
 }
 
+/// Restores the globally configured thread count on drop, so a failing
+/// assertion inside the thread-sweep test cannot leak a pinned count into
+/// concurrently running tests.
+struct ThreadGuard(usize);
+
+impl Drop for ThreadGuard {
+    fn drop(&mut self) {
+        lrgcn_tensor::par::set_threads(self.0);
+    }
+}
+
+#[test]
+fn grads_check_out_at_one_and_four_threads() {
+    // The numerically delicate ops LayerGCN leans on (row-cosine, the
+    // row/col broadcasts, embedding gather) re-checked under pinned thread
+    // counts: the analytic gradient must match finite differences whether
+    // the kernels run serial or fanned out. The global kernel contract says
+    // results are bitwise identical for any thread count — this test is
+    // where that contract meets the backward pass.
+    use lrgcn_tensor::par;
+    let _restore = ThreadGuard(par::configured_threads());
+
+    let a = m(3, 3, &[0.5, -1.2, 2.0, 0.3, 1.1, -0.7, 0.9, 0.8, -0.3]);
+    let b = m(3, 3, &[1.5, 0.2, -1.0, 0.9, -0.4, 0.6, -0.2, 1.3, 0.4]);
+    let s = m(3, 1, &[0.4, -1.5, 0.8]);
+    let bias = m(1, 3, &[0.25, -0.75, 0.5]);
+    let e = m(4, 2, &[0.5, -1.2, 2.0, 0.3, 1.1, -0.7, 0.2, 0.9]);
+
+    for threads in [1usize, 4] {
+        par::set_threads(threads);
+        assert_eq!(par::configured_threads(), threads);
+        assert_grads_close(
+            &|t, v| {
+                let c = t.row_cosine(v[0], v[1], 1e-8);
+                let sq = t.mul(c, c);
+                t.sum(sq)
+            },
+            &[a.clone(), b.clone()],
+        );
+        assert_grads_close(
+            &|t, v| {
+                let x = t.mul_row_broadcast(v[0], v[1]);
+                let y = t.add_col_broadcast(x, v[2]);
+                let sq = t.mul(y, y);
+                t.sum(sq)
+            },
+            &[a.clone(), s.clone(), bias.clone()],
+        );
+        assert_grads_close(
+            &|t, v| {
+                let g = t.gather(v[0], Rc::new(vec![3, 1, 3, 0]));
+                let sq = t.mul(g, g);
+                t.sum(sq)
+            },
+            std::slice::from_ref(&e),
+        );
+    }
+}
+
+#[test]
+fn gradients_are_bitwise_identical_across_thread_counts() {
+    // Stronger than the finite-difference check: the backward pass itself
+    // (spmm + cosine + broadcast composite, the per-layer refinement) must
+    // produce the exact same bits at 1 and 4 threads.
+    use lrgcn_tensor::par;
+    let _restore = ThreadGuard(par::configured_threads());
+
+    let grad_at = |threads: usize| -> Vec<f32> {
+        par::set_threads(threads);
+        let adj = SharedCsr::new(Csr::from_coo(
+            3,
+            3,
+            vec![(0, 1, 0.7), (1, 0, 0.7), (1, 2, 0.7), (2, 1, 0.7)],
+        ));
+        let mut t = Tape::new();
+        let x0 = t.leaf(m(3, 2, &[0.5, -1.2, 2.0, 0.3, 1.1, -0.7]));
+        let prop = t.spmm(&adj, x0);
+        let sim = t.row_cosine(prop, x0, 1e-8);
+        let sim_eps = t.add_scalar(sim, 1e-4);
+        let refined = t.mul_row_broadcast(prop, sim_eps);
+        let sq = t.mul(refined, refined);
+        let loss = t.sum(sq);
+        t.backward(loss);
+        t.grad(x0).expect("leaf grad").data().to_vec()
+    };
+
+    let g1 = grad_at(1);
+    let g4 = grad_at(4);
+    assert_eq!(g1, g4, "backward pass diverges across thread counts");
+}
+
 #[test]
 fn softmax_rows_sum_to_one() {
     let mut t = Tape::new();

@@ -1,13 +1,22 @@
 //! The training loop: epochs, periodic validation, early stopping and
 //! best-parameter selection (§V-A4: early stopping 50, total epochs 1000,
 //! validation on R@20 of the held-out 10%).
+//!
+//! When a JSONL sink is installed (see [`lrgcn_obs::sink`]), each run emits
+//! a `run_start` record, one `epoch` record per epoch (loss, per-phase wall
+//! timings, kernel-counter deltas, thread count, peak resident matrix
+//! bytes, validation metrics when computed) and a `run_summary`; with no
+//! sink the only overhead is the always-on counters and the per-phase
+//! scoped timers.
 
 use crate::history::{EpochRecord, History};
 use lrgcn_data::Dataset;
 use lrgcn_eval::{evaluate_ranking_parallel, EvalReport, Split};
 use lrgcn_models::Recommender;
+use lrgcn_obs::{event, registry, sink, timer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
 
 /// Training-loop configuration.
 #[derive(Clone, Debug)]
@@ -68,6 +77,8 @@ pub struct TrainOutcome {
     pub epochs_run: usize,
     /// Per-epoch records.
     pub history: History,
+    /// Observability run id stamped on this run's JSONL records.
+    pub run_id: u64,
 }
 
 /// Trains `model` with early stopping on validation Recall@K.
@@ -81,6 +92,75 @@ pub fn train_with_early_stopping(
     ds: &Dataset,
     cfg: &TrainConfig,
 ) -> TrainOutcome {
+    let run_id = start_run(model, ds);
+    let started = Instant::now();
+    let outcome = train_inner(model, ds, cfg, run_id);
+    if sink::enabled() {
+        sink::emit(&event::run_summary(
+            run_id,
+            outcome.epochs_run as u64,
+            started.elapsed().as_secs_f64(),
+            None,
+        ));
+    }
+    outcome
+}
+
+/// Trains and then evaluates on the test split at the given cutoffs. The
+/// run summary carries the test metrics when a JSONL sink is installed.
+pub fn train_and_test(
+    model: &mut dyn Recommender,
+    ds: &Dataset,
+    cfg: &TrainConfig,
+    ks: &[usize],
+) -> (TrainOutcome, EvalReport) {
+    let run_id = start_run(model, ds);
+    let started = Instant::now();
+    let outcome = train_inner(model, ds, cfg, run_id);
+    model.refresh(ds);
+    let scorer = |users: &[u32]| model.score_users(ds, users);
+    let report = evaluate_ranking_parallel(ds, Split::Test, ks, 256, &scorer);
+    if sink::enabled() {
+        let pairs: Vec<(String, f64)> = report
+            .metrics
+            .iter()
+            .flat_map(|m| {
+                [
+                    (format!("recall@{}", m.k), m.recall),
+                    (format!("ndcg@{}", m.k), m.ndcg),
+                ]
+            })
+            .collect();
+        sink::emit(&event::run_summary(
+            run_id,
+            outcome.epochs_run as u64,
+            started.elapsed().as_secs_f64(),
+            Some(event::metrics_obj(&pairs)),
+        ));
+    }
+    (outcome, report)
+}
+
+/// Allocates a run id and emits the `run_start` record.
+fn start_run(model: &dyn Recommender, ds: &Dataset) -> u64 {
+    let run_id = sink::next_run_id();
+    if sink::enabled() {
+        sink::emit(&event::run_start(
+            run_id,
+            &model.name(),
+            &ds.name,
+            lrgcn_tensor::par::configured_threads() as u64,
+        ));
+    }
+    run_id
+}
+
+fn train_inner(
+    model: &mut dyn Recommender,
+    ds: &Dataset,
+    cfg: &TrainConfig,
+    run_id: u64,
+) -> TrainOutcome {
     assert!(cfg.eval_every >= 1, "eval_every must be >= 1");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut history = History::new();
@@ -91,16 +171,26 @@ pub fn train_with_early_stopping(
     let has_val = !ds.val_users().is_empty();
 
     for epoch in 0..cfg.max_epochs {
+        let at_epoch_start = registry::snapshot();
+        let train_timer = timer::scoped(lrgcn_obs::Hist::EpochTrain);
         let stats = model.train_epoch(ds, epoch, &mut rng);
+        let train_ns = train_timer.stop();
+        registry::add(lrgcn_obs::Counter::TrainEpochs, 1);
         epochs_run = epoch + 1;
         let mut val_metric = None;
+        let mut refresh_ns = 0u64;
+        let mut val_ns = 0u64;
         if has_val && (epoch % cfg.eval_every == cfg.eval_every - 1 || epoch + 1 == cfg.max_epochs)
         {
+            let refresh_timer = timer::scoped(lrgcn_obs::Hist::EpochRefresh);
             model.refresh(ds);
+            refresh_ns = refresh_timer.stop();
             // `Recommender: Sync` + `score_users(&self)` lets validation fan
             // user chunks out across threads (bitwise identical to serial).
             let scorer = |users: &[u32]| model.score_users(ds, users);
+            let val_timer = timer::scoped(lrgcn_obs::Hist::EpochVal);
             let rep = evaluate_ranking_parallel(ds, Split::Val, &[cfg.criterion_k], 256, &scorer);
+            val_ns = val_timer.stop();
             let m = rep.recall(cfg.criterion_k);
             val_metric = Some(m);
             if cfg.verbose {
@@ -126,6 +216,26 @@ pub fn train_with_early_stopping(
                 }
             }
         }
+        if sink::enabled() {
+            let now = registry::snapshot();
+            sink::emit(
+                &event::EpochRecord {
+                    run: run_id,
+                    epoch: epoch as u64,
+                    loss: stats.loss,
+                    train_s: train_ns as f64 / 1e9,
+                    refresh_s: refresh_ns as f64 / 1e9,
+                    val_s: val_ns as f64 / 1e9,
+                    threads: lrgcn_tensor::par::configured_threads() as u64,
+                    matrix_bytes_peak: registry::gauge_peak(lrgcn_obs::Gauge::MatrixBytes),
+                    counters: now.counter_deltas_since(&at_epoch_start),
+                    val_metrics: val_metric.map(|m| {
+                        event::metrics_obj(&[(format!("recall@{}", cfg.criterion_k), m)])
+                    }),
+                }
+                .to_value(),
+            );
+        }
         history.push(EpochRecord {
             epoch,
             train_loss: stats.loss,
@@ -146,21 +256,8 @@ pub fn train_with_early_stopping(
         best_val_metric,
         epochs_run,
         history,
+        run_id,
     }
-}
-
-/// Trains and then evaluates on the test split at the given cutoffs.
-pub fn train_and_test(
-    model: &mut dyn Recommender,
-    ds: &Dataset,
-    cfg: &TrainConfig,
-    ks: &[usize],
-) -> (TrainOutcome, EvalReport) {
-    let outcome = train_with_early_stopping(model, ds, cfg);
-    model.refresh(ds);
-    let scorer = |users: &[u32]| model.score_users(ds, users);
-    let report = evaluate_ranking_parallel(ds, Split::Test, ks, 256, &scorer);
-    (outcome, report)
 }
 
 #[cfg(test)]

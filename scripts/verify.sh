@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Repo verification gate:
 #   1. tier-1: release build + root-package tests (the seed acceptance bar)
-#   2. full workspace tests
+#   2. full workspace tests, swept at LRGCN_THREADS=1 and LRGCN_THREADS=8 —
+#      kernels are contractually bitwise identical across thread counts, so
+#      the golden-trajectory and determinism suites must pass at both; any
+#      numeric divergence prints "numeric drift detected" and fails the grep
 #   3. clippy with warnings denied
 #   4. the PR-1 parallel-execution benchmark (writes BENCH_PR1.json)
 #
@@ -15,8 +18,19 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
-echo "==> workspace tests"
-cargo test --workspace -q
+for threads in 1 8; do
+    echo "==> workspace tests (LRGCN_THREADS=$threads)"
+    out=$(LRGCN_THREADS=$threads cargo test --workspace -q 2>&1) || {
+        echo "$out"
+        echo "verify: workspace tests FAILED at LRGCN_THREADS=$threads"
+        exit 1
+    }
+    if grep -qi "drift" <<<"$out"; then
+        echo "$out"
+        echo "verify: numeric drift reported at LRGCN_THREADS=$threads"
+        exit 1
+    fi
+done
 
 echo "==> clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
