@@ -75,6 +75,7 @@ fn main() {
         seed: cfg.seed,
         verbose: cfg.verbose,
         restore_best: true,
+        record_diagnostics: false,
     };
     for (name, pruner) in [
         ("None", EdgePruner::None),

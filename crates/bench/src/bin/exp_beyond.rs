@@ -58,6 +58,7 @@ fn main() {
         seed: cfg.seed,
         verbose: cfg.verbose,
         restore_best: true,
+        record_diagnostics: false,
     };
     println!("EXTENSION: BEYOND-ACCURACY PROFILE OF TOP-{K} RECOMMENDATIONS ({})", ds.name);
     rule(70);

@@ -30,6 +30,7 @@ fn main() {
         seed: cfg.seed,
         verbose: cfg.verbose,
         restore_best: true,
+        record_diagnostics: false,
     };
     println!("FIG. 6: EFFECT OF THE NUMBER OF LAYERS ON LAYERGCN AND LIGHTGCN (MOOC)");
     rule(96);

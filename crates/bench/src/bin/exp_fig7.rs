@@ -34,6 +34,7 @@ fn main() {
         seed: cfg.seed,
         verbose: cfg.verbose,
         restore_best: true,
+        record_diagnostics: false,
     };
     println!("FIG. 7: R@20 OF LAYERGCN w.r.t. REGULARIZATION λ AND DROPOUT RATIO");
     for dataset in datasets {

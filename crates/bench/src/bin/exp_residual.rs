@@ -29,6 +29,7 @@ fn main() {
         seed: cfg.seed,
         verbose: cfg.verbose,
         restore_best: true,
+        record_diagnostics: false,
     };
     println!("ABLATION (§IV-B): DYNAMIC LAYER REFINEMENT vs FIXED RESIDUAL SCHEMES ({})", ds.name);
     rule(74);

@@ -31,6 +31,7 @@ fn main() {
         seed: cfg.seed,
         verbose: cfg.verbose,
         restore_best: true,
+        record_diagnostics: false,
     };
     println!("EXTENSION: SELF-SUPERVISED SIGNALS ON LAYERGCN (paper §VI future work)");
     rule(76);

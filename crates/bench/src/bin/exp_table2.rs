@@ -37,6 +37,7 @@ fn run_model(
         seed,
         verbose: cfg.verbose,
         restore_best: true,
+        record_diagnostics: false,
     };
     let (_, rep) = train_and_test(&mut *model, ds, &tc, &KS);
     let mut row = Vec::with_capacity(6);

@@ -26,6 +26,7 @@ fn main() {
         seed: cfg.seed,
         verbose: cfg.verbose,
         restore_best: true,
+        record_diagnostics: false,
     };
     let ks = [20, 50];
     println!("TABLE III: LAYERGCN vs LIGHTGCN w.r.t. DIFFERENT LAYERS ON THE MOOC DATASET");

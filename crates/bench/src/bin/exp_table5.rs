@@ -28,6 +28,7 @@ fn main() {
         seed: cfg.seed,
         verbose: cfg.verbose,
         restore_best: true,
+        record_diagnostics: false,
     };
     println!("TABLE V: PERFORMANCE OF LAYERGCN WITH MIXED DEGREEDROP AND DROPEDGE (ratio {ratio})");
     rule(84);

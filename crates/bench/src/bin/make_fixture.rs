@@ -1,0 +1,32 @@
+//! Writes a small deterministic synthetic interaction TSV for smoke tests
+//! and CLI demos — the same generator the benchmarks and integration tests
+//! use, exposed as a standalone tool so shell scripts (`scripts/verify.sh`)
+//! don't have to synthesize data themselves.
+//!
+//! ```text
+//! cargo run -p lrgcn-bench --bin make_fixture -- \
+//!     --out interactions.tsv [--preset games|mooc|yelp|amazon] \
+//!     [--scale F] [--seed S]
+//! ```
+
+use lrgcn::data::{loader, SyntheticConfig};
+use lrgcn_bench::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let out = args.get("out").unwrap_or("interactions.tsv").to_string();
+    let preset = args.get("preset").unwrap_or("games");
+    let scale: f64 = args.get_parsed("scale", 0.1f64);
+    let seed: u64 = args.get_parsed("seed", 13u64);
+    let cfg = SyntheticConfig::by_name(preset)
+        .unwrap_or_else(|| panic!("unknown preset {preset:?}"))
+        .scaled(scale);
+    let log = cfg.generate(seed);
+    loader::save_interactions(&out, &log).expect("writing fixture");
+    println!(
+        "wrote {} interactions ({} users, {} items) to {out}",
+        log.len(),
+        log.n_users(),
+        log.n_items()
+    );
+}

@@ -1,6 +1,7 @@
 //! # lrgcn-cli — command-line workflows for the LayerGCN recommender
 //!
-//! Four subcommands over `user item [timestamp]` text logs:
+//! Five subcommands — four over `user item [timestamp]` text logs, plus an
+//! offline reporter over the JSONL run logs:
 //!
 //! ```text
 //! lrgcn stats     --input interactions.tsv [--kcore K]
@@ -9,6 +10,7 @@
 //!                 [--layers L] [--dropout R] [--lambda F] [--seed S]
 //! lrgcn evaluate  --input interactions.tsv --load model.ckpt [--ks 10,20,50]
 //! lrgcn recommend --input interactions.tsv --load model.ckpt --user ID [--k N]
+//! lrgcn report    LOG.jsonl            # or: report --diff A.jsonl B.jsonl
 //! ```
 //!
 //! Every subcommand also accepts `--threads N` to pin the worker-thread
@@ -16,11 +18,22 @@
 //! the machine's available parallelism). Results are bitwise identical for
 //! any thread count.
 //!
-//! Every subcommand also accepts `--log-json PATH` (or the `LRGCN_LOG_JSON`
-//! environment variable) to append structured JSONL run logs: one record
-//! per training epoch (loss, per-phase timings, kernel counters, thread
-//! count, peak matrix bytes) plus `run_start` / `run_summary` records. See
-//! `lrgcn_obs::event` for the schema.
+//! ## Observability flags
+//!
+//! Two sinks can be armed on any subcommand; for both, the command-line
+//! flag wins over the environment variable, and either installs the sink
+//! for the duration of the process:
+//!
+//! * `--log-json PATH` (env `LRGCN_LOG_JSON`) appends structured JSONL run
+//!   logs: one record per training epoch (loss, per-phase timings, kernel
+//!   counters, thread count, peak matrix bytes), one `diag` record per
+//!   validated epoch (per-layer smoothness, gradient norms, embedding L2,
+//!   refined-layer weights), plus `run_start` / `run_summary` records. See
+//!   `lrgcn_obs::event` and `lrgcn_obs::diag` for the schema, and
+//!   `lrgcn report` to render the file.
+//! * `--trace PATH` (env `LRGCN_TRACE`) writes a Chrome `trace_event` JSON
+//!   array of hierarchical wall-clock spans (run → epoch → phase → kernel)
+//!   loadable in `chrome://tracing` / Perfetto. See `lrgcn_obs::trace`.
 //!
 //! `train` currently checkpoints LayerGCN (the other models train and
 //! report, but only LayerGCN has a stable checkpoint format); `evaluate`
@@ -29,12 +42,14 @@
 
 use lrgcn::data::{kcore, loader, Dataset, InteractionLog, SplitRatios};
 use lrgcn::eval::{evaluate_ranking_parallel, Split};
-use lrgcn::models::{LayerGcn, LayerGcnConfig, ModelKind, Recommender};
 use lrgcn::graph::EdgePruner;
+use lrgcn::models::{LayerGcn, LayerGcnConfig, ModelKind, Recommender};
 use lrgcn::train::{train_with_early_stopping, TrainConfig};
 use lrgcn_bench::Args;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+pub mod report;
 
 /// Exit-style result: user-facing message on failure.
 pub type CliResult = Result<(), String>;
@@ -55,29 +70,45 @@ pub fn run(tokens: Vec<String>) -> CliResult {
     }
     // --log-json wins over the environment; either installs the global
     // JSONL sink for the duration of the process.
-    let log_json = args
-        .get("log-json")
-        .map(String::from)
-        .or_else(|| std::env::var("LRGCN_LOG_JSON").ok().filter(|p| !p.is_empty()));
+    let log_json = args.get("log-json").map(String::from).or_else(|| {
+        std::env::var("LRGCN_LOG_JSON")
+            .ok()
+            .filter(|p| !p.is_empty())
+    });
     if let Some(path) = log_json {
         lrgcn::obs::sink::install_file(&path)
             .map_err(|e| format!("opening --log-json {path}: {e}"))?;
     }
-    match cmd.as_str() {
+    // --trace wins over the environment, mirroring --log-json.
+    let trace_path = args
+        .get("trace")
+        .map(String::from)
+        .or_else(|| std::env::var("LRGCN_TRACE").ok().filter(|p| !p.is_empty()));
+    if let Some(path) = trace_path {
+        lrgcn::obs::trace::install_file(&path)
+            .map_err(|e| format!("opening --trace {path}: {e}"))?;
+    }
+    let result = match cmd.as_str() {
         "stats" => cmd_stats(&args),
         "train" => cmd_train(&args),
         "evaluate" => cmd_evaluate(&args),
         "recommend" => cmd_recommend(&args),
+        "report" => report::cmd_report(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
         }
         other => Err(format!("unknown command {other:?}\n{}", usage())),
-    }
+    };
+    // Close the trace JSON array (no-op when tracing is not armed) so the
+    // file is loadable even when the command failed.
+    lrgcn::obs::trace::finish();
+    result
 }
 
 fn usage() -> String {
     "usage: lrgcn <stats|train|evaluate|recommend> --input FILE [options]\n\
+     \x20      lrgcn report LOG.jsonl | report --diff A.jsonl B.jsonl\n\
      run `lrgcn help` or see the crate docs for the full option list"
         .to_string()
 }
@@ -147,6 +178,9 @@ fn train_config(args: &Args) -> TrainConfig {
         seed: args.get_parsed("seed", 2023u64),
         verbose: args.has_flag("verbose"),
         restore_best: true,
+        // Diagnostics are also computed whenever a JSONL sink is armed;
+        // this only forces them for plain console runs.
+        record_diagnostics: false,
     }
 }
 
@@ -169,12 +203,14 @@ fn cmd_train(args: &Args) -> CliResult {
             out.epochs_run, out.best_val_metric, out.best_epoch
         );
         if let Some(path) = args.get("save") {
-            model.save(path).map_err(|e| format!("saving {path}: {e}"))?;
+            model
+                .save(path)
+                .map_err(|e| format!("saving {path}: {e}"))?;
             println!("checkpoint written to {path}");
         }
     } else {
-        let kind = ModelKind::parse(model_name)
-            .ok_or_else(|| format!("unknown model {model_name:?}"))?;
+        let kind =
+            ModelKind::parse(model_name).ok_or_else(|| format!("unknown model {model_name:?}"))?;
         let mut rng = StdRng::seed_from_u64(tc.seed);
         let mut model = kind.build(&ds, &mut rng);
         let out = train_with_early_stopping(&mut *model, &ds, &tc);
@@ -194,7 +230,9 @@ fn cmd_evaluate(args: &Args) -> CliResult {
     let path = args.get("load").ok_or("missing --load CHECKPOINT")?;
     let mut rng = StdRng::seed_from_u64(args.get_parsed("seed", 2023u64));
     let mut model = LayerGcn::new(&ds, layergcn_config(args), &mut rng);
-    model.load(path).map_err(|e| format!("loading {path}: {e}"))?;
+    model
+        .load(path)
+        .map_err(|e| format!("loading {path}: {e}"))?;
     model.refresh(&ds);
     let ks: Vec<usize> = args
         .get("ks")
@@ -223,7 +261,9 @@ fn cmd_recommend(args: &Args) -> CliResult {
     let k: usize = args.get_parsed("k", 10usize);
     let mut rng = StdRng::seed_from_u64(args.get_parsed("seed", 2023u64));
     let mut model = LayerGcn::new(&ds, layergcn_config(args), &mut rng);
-    model.load(path).map_err(|e| format!("loading {path}: {e}"))?;
+    model
+        .load(path)
+        .map_err(|e| format!("loading {path}: {e}"))?;
     model.refresh(&ds);
     let mut scores = model.score_users(&ds, &[user]);
     let row = scores.row_mut(0);
@@ -231,7 +271,10 @@ fn cmd_recommend(args: &Args) -> CliResult {
         row[it as usize] = f32::NEG_INFINITY;
     }
     let top = lrgcn::eval::topk::top_k_indices(row, k);
-    println!("top-{k} items for user {user} (trained on {} items):", ds.train_items(user).len());
+    println!(
+        "top-{k} items for user {user} (trained on {} items):",
+        ds.train_items(user).len()
+    );
     for (rank, item) in top.iter().enumerate() {
         println!("{:>3}. item {}", rank + 1, item);
     }
@@ -366,6 +409,7 @@ mod tests {
 
         let text = std::fs::read_to_string(&log_path).expect("log file written");
         let mut epochs = 0;
+        let mut diags = 0;
         let mut saw_start = false;
         let mut saw_summary = false;
         for line in text.lines() {
@@ -373,6 +417,14 @@ mod tests {
             match v.get("event").and_then(|e| e.as_str()) {
                 Some("run_start") => saw_start = true,
                 Some("run_summary") => saw_summary = true,
+                Some("diag") => {
+                    diags += 1;
+                    let model = v.get("model").and_then(|m| m.as_str()).expect("model name");
+                    assert!(model.starts_with("LayerGCN"), "unexpected model {model:?}");
+                    for key in ["smoothness", "embedding_l2", "grad_norm", "layer_weights"] {
+                        assert!(v.get(key).is_some(), "diag record missing {key}: {line}");
+                    }
+                }
                 Some("epoch") => {
                     epochs += 1;
                     assert!(v.get("loss").and_then(|l| l.as_f64()).is_some());
@@ -391,6 +443,7 @@ mod tests {
         }
         assert!(saw_start && saw_summary, "missing run_start/run_summary");
         assert!(epochs >= 3, "expected >= 3 epoch records, got {epochs}");
+        assert!(diags >= 1, "expected diag records for validated epochs");
         std::fs::remove_file(&log_path).ok();
         std::fs::remove_file(path).ok();
     }

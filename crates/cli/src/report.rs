@@ -1,0 +1,702 @@
+//! `lrgcn report` — offline terminal reports over the JSONL run logs.
+//!
+//! Parses the records emitted by `--log-json` (see `lrgcn_obs::event` and
+//! `lrgcn_obs::diag` for the schema) and renders:
+//!
+//! * the loss / validation-metric trajectory with an ASCII sparkline,
+//! * the per-phase wall-time breakdown (train / refresh / val),
+//! * per-epoch kernel-counter deltas for the busiest counters,
+//! * the model-health section: smoothness by layer, layer weights,
+//!   gradient-norm trajectory (when `diag` records are present),
+//! * the run-summary timer percentiles.
+//!
+//! `lrgcn report --diff A.jsonl B.jsonl` compares two runs side by side:
+//! trajectory endpoints, wall time and total kernel counters.
+//!
+//! When a file holds several runs the report covers the **last** one,
+//! matching "tail the log of the latest experiment". Runs are segmented
+//! by `run_start` boundaries, not run id alone: the id counter is only
+//! process-unique, so appended logs from separate processes may reuse it.
+
+use lrgcn::obs::json::{self, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One `epoch` record, flattened.
+struct EpochRow {
+    epoch: u64,
+    loss: f64,
+    val: Option<(String, f64)>,
+    train_s: f64,
+    refresh_s: f64,
+    val_s: f64,
+    counters: BTreeMap<String, f64>,
+}
+
+/// One `diag` record, flattened.
+struct DiagRow {
+    epoch: u64,
+    smoothness: Vec<f64>,
+    layer_weights: Vec<f64>,
+    grad_norm: Option<f64>,
+    embedding_l2: f64,
+}
+
+/// Run-summary timers: name -> (count, p50_ns, p95_ns, p99_ns).
+struct Summary {
+    wall_s: f64,
+    counters_total: BTreeMap<String, f64>,
+    timers: BTreeMap<String, (f64, f64, f64, f64)>,
+}
+
+/// Everything the report needs from one JSONL file.
+struct RunLog {
+    path: String,
+    run: u64,
+    model: String,
+    dataset: String,
+    threads: u64,
+    epochs: Vec<EpochRow>,
+    diags: Vec<DiagRow>,
+    summary: Option<Summary>,
+}
+
+pub fn cmd_report(tokens: &[String]) -> Result<(), String> {
+    let mut diff = false;
+    let mut paths: Vec<&String> = Vec::new();
+    for t in tokens {
+        match t.as_str() {
+            "--diff" => diff = true,
+            s if s.starts_with("--") => return Err(format!("unknown report option {s:?}")),
+            _ => paths.push(t),
+        }
+    }
+    let text = if diff {
+        let [a, b] = paths[..] else {
+            return Err("usage: lrgcn report --diff A.jsonl B.jsonl".into());
+        };
+        render_diff(&parse_log(a)?, &parse_log(b)?)
+    } else {
+        let [path] = paths[..] else {
+            return Err(
+                "usage: lrgcn report LOG.jsonl  (or: report --diff A.jsonl B.jsonl)".into(),
+            );
+        };
+        render_report(&parse_log(path)?)
+    };
+    // write_all instead of println!: piping into `head` must not panic on
+    // the broken pipe when the reader exits early.
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(text.as_bytes());
+    Ok(())
+}
+
+fn num(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(Value::as_f64)
+}
+
+fn num_vec(v: Option<&Value>) -> Vec<f64> {
+    match v {
+        Some(Value::Arr(items)) => items.iter().filter_map(Value::as_f64).collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn obj_nums(v: Option<&Value>) -> BTreeMap<String, f64> {
+    match v {
+        Some(Value::Obj(m)) => m
+            .iter()
+            .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+            .collect(),
+        _ => BTreeMap::new(),
+    }
+}
+
+fn parse_log(path: &str) -> Result<RunLog, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("{path}:{}: bad JSONL line: {e}", i + 1))?;
+        records.push(v);
+    }
+    if records.is_empty() {
+        return Err(format!("{path}: no records"));
+    }
+    // Segment the stream: each `run_start` opens a new run; every other
+    // record belongs to the most recent segment with the same run id.
+    // (The sink appends, and run ids restart per process, so id-only
+    // demux would merge runs from different invocations.)
+    let fresh = |run: u64| RunLog {
+        path: path.to_string(),
+        run,
+        model: "?".into(),
+        dataset: "?".into(),
+        threads: 0,
+        epochs: Vec::new(),
+        diags: Vec::new(),
+        summary: None,
+    };
+    let mut segments: Vec<RunLog> = Vec::new();
+    for v in &records {
+        let run = num(v, "run").unwrap_or(0.0) as u64;
+        match v.get("event").and_then(Value::as_str) {
+            Some("run_start") => {
+                let mut seg = fresh(run);
+                if let Some(m) = v.get("model").and_then(Value::as_str) {
+                    seg.model = m.to_string();
+                }
+                if let Some(d) = v.get("dataset").and_then(Value::as_str) {
+                    seg.dataset = d.to_string();
+                }
+                seg.threads = num(v, "threads").unwrap_or(0.0) as u64;
+                segments.push(seg);
+                continue;
+            }
+            Some("epoch") | Some("diag") | Some("run_summary") => {}
+            _ => continue,
+        }
+        let log = match segments.iter_mut().rev().find(|s| s.run == run) {
+            Some(seg) => seg,
+            None => {
+                // Headerless record (truncated file): open an implicit run.
+                segments.push(fresh(run));
+                segments.last_mut().expect("just pushed")
+            }
+        };
+        match v.get("event").and_then(Value::as_str) {
+            Some("epoch") => {
+                let t = v.get("timings_s");
+                // Prefer the early-stopping criterion metric when several
+                // validation metrics are present.
+                let val = v.get("val").and_then(|m| match m {
+                    Value::Obj(pairs) => pairs
+                        .iter()
+                        .find(|(k, _)| k.starts_with("recall"))
+                        .or_else(|| pairs.iter().next())
+                        .and_then(|(k, x)| x.as_f64().map(|f| (k.clone(), f))),
+                    _ => None,
+                });
+                log.epochs.push(EpochRow {
+                    epoch: num(v, "epoch").unwrap_or(0.0) as u64,
+                    loss: num(v, "loss").unwrap_or(f64::NAN),
+                    val,
+                    train_s: t.and_then(|t| num(t, "train")).unwrap_or(0.0),
+                    refresh_s: t.and_then(|t| num(t, "refresh")).unwrap_or(0.0),
+                    val_s: t.and_then(|t| num(t, "val")).unwrap_or(0.0),
+                    counters: obj_nums(v.get("counters")),
+                });
+            }
+            Some("diag") => log.diags.push(DiagRow {
+                epoch: num(v, "epoch").unwrap_or(0.0) as u64,
+                smoothness: num_vec(v.get("smoothness")),
+                layer_weights: num_vec(v.get("layer_weights")),
+                grad_norm: num(v, "grad_norm"),
+                embedding_l2: num(v, "embedding_l2").unwrap_or(f64::NAN),
+            }),
+            Some("run_summary") => {
+                let timers = match v.get("timers") {
+                    Some(Value::Obj(m)) => m
+                        .iter()
+                        .map(|(k, t)| {
+                            (
+                                k.clone(),
+                                (
+                                    num(t, "count").unwrap_or(0.0),
+                                    num(t, "p50_ns").unwrap_or(0.0),
+                                    num(t, "p95_ns").unwrap_or(0.0),
+                                    num(t, "p99_ns").unwrap_or(0.0),
+                                ),
+                            )
+                        })
+                        .collect(),
+                    _ => BTreeMap::new(),
+                };
+                log.summary = Some(Summary {
+                    wall_s: num(v, "wall_s").unwrap_or(0.0),
+                    counters_total: obj_nums(v.get("counters_total")),
+                    timers,
+                });
+            }
+            _ => {}
+        }
+    }
+    let mut log = segments
+        .into_iter()
+        .rev()
+        .find(|s| !s.epochs.is_empty())
+        .ok_or_else(|| format!("{path}: no run with epoch records"))?;
+    log.epochs.sort_by_key(|e| e.epoch);
+    log.diags.sort_by_key(|d| d.epoch);
+    Ok(log)
+}
+
+/// 8-level ASCII sparkline; constant series render as a flat middle band.
+fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let finite: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if finite.is_empty() {
+        return String::new();
+    }
+    let (lo, hi) = finite
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &x| {
+            (l.min(x), h.max(x))
+        });
+    values
+        .iter()
+        .map(|&x| {
+            if !x.is_finite() {
+                return '·';
+            }
+            if hi == lo {
+                return LEVELS[3];
+            }
+            let t = (x - lo) / (hi - lo);
+            LEVELS[((t * 7.0).round() as usize).min(7)]
+        })
+        .collect()
+}
+
+fn fmt_si(x: f64) -> String {
+    let ax = x.abs();
+    if ax >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if ax >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if ax >= 1e3 {
+        format!("{:.1}k", x / 1e3)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// The busiest counters across the run, biggest first (table columns).
+fn top_counters(epochs: &[EpochRow], k: usize) -> Vec<String> {
+    let mut totals: BTreeMap<&str, f64> = BTreeMap::new();
+    for e in epochs {
+        for (name, v) in &e.counters {
+            *totals.entry(name).or_default() += v;
+        }
+    }
+    let mut by_total: Vec<(&str, f64)> = totals.into_iter().collect();
+    by_total.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
+    by_total
+        .into_iter()
+        .take(k)
+        .map(|(n, _)| n.to_string())
+        .collect()
+}
+
+/// Shortens `tensor.spmm.calls` to `spmm.calls` for column headers.
+fn short(name: &str) -> &str {
+    name.split_once('.').map_or(name, |(_, rest)| rest)
+}
+
+fn render_report(log: &RunLog) -> String {
+    let mut o = String::new();
+    let _ = writeln!(
+        o,
+        "run {} — {} on {} ({} thread{}) — {} epochs — {}",
+        log.run,
+        log.model,
+        log.dataset,
+        log.threads,
+        if log.threads == 1 { "" } else { "s" },
+        log.epochs.len(),
+        log.path
+    );
+    let _ = writeln!(o);
+
+    // Trajectory.
+    let losses: Vec<f64> = log.epochs.iter().map(|e| e.loss).collect();
+    let _ = writeln!(o, "trajectory");
+    let _ = writeln!(
+        o,
+        "  loss        {:>12.6} → {:>12.6}   {}",
+        losses.first().copied().unwrap_or(f64::NAN),
+        losses.last().copied().unwrap_or(f64::NAN),
+        sparkline(&losses)
+    );
+    let vals: Vec<(u64, String, f64)> = log
+        .epochs
+        .iter()
+        .filter_map(|e| e.val.as_ref().map(|(k, v)| (e.epoch, k.clone(), *v)))
+        .collect();
+    if let (Some(first), Some(last)) = (vals.first(), vals.last()) {
+        let curve: Vec<f64> = vals.iter().map(|(_, _, v)| *v).collect();
+        let best = vals
+            .iter()
+            .max_by(|a, b| a.2.total_cmp(&b.2))
+            .expect("non-empty");
+        let _ = writeln!(
+            o,
+            "  {:<10}  {:>12.6} → {:>12.6}   {}   best {:.6} @ epoch {}",
+            first.1,
+            first.2,
+            last.2,
+            sparkline(&curve),
+            best.2,
+            best.0
+        );
+    }
+    let _ = writeln!(o);
+
+    // Phase breakdown.
+    let (t, r, v) = log.epochs.iter().fold((0.0, 0.0, 0.0), |(t, r, v), e| {
+        (t + e.train_s, r + e.refresh_s, v + e.val_s)
+    });
+    let total = (t + r + v).max(1e-12);
+    let _ = writeln!(o, "phase breakdown");
+    for (name, secs) in [("train", t), ("refresh", r), ("val", v)] {
+        let share = secs / total;
+        let bar = "█".repeat((share * 24.0).round() as usize);
+        let _ = writeln!(
+            o,
+            "  {name:<8} {secs:>9.3}s  {:>5.1}%  {bar}",
+            share * 100.0
+        );
+    }
+    if let Some(s) = &log.summary {
+        let _ = writeln!(o, "  wall     {:>9.3}s  (run total incl. setup)", s.wall_s);
+    }
+    let _ = writeln!(o);
+
+    // Per-epoch kernel-counter deltas.
+    let cols = top_counters(&log.epochs, 5);
+    if !cols.is_empty() {
+        let _ = writeln!(o, "kernel counters (per-epoch deltas)");
+        let _ = write!(o, "  {:>6}", "epoch");
+        for c in &cols {
+            let _ = write!(o, "  {:>14}", short(c));
+        }
+        let _ = writeln!(o);
+        // Cap the table at 12 rows: first 6, ellipsis, last 5.
+        let n = log.epochs.len();
+        let rows: Vec<usize> = if n <= 12 {
+            (0..n).collect()
+        } else {
+            (0..6).chain(n - 5..n).collect()
+        };
+        let mut prev_printed: Option<usize> = None;
+        for i in rows {
+            if let Some(p) = prev_printed {
+                if i > p + 1 {
+                    let _ = writeln!(o, "  {:>6}", "⋮");
+                }
+            }
+            let e = &log.epochs[i];
+            let _ = write!(o, "  {:>6}", e.epoch);
+            for c in &cols {
+                let _ = write!(
+                    o,
+                    "  {:>14}",
+                    fmt_si(e.counters.get(c).copied().unwrap_or(0.0))
+                );
+            }
+            let _ = writeln!(o);
+            prev_printed = Some(i);
+        }
+        let _ = writeln!(o);
+    }
+
+    // Model health (diag records).
+    if let Some(last) = log.diags.last() {
+        let _ = writeln!(o, "model health (diag @ epoch {})", last.epoch);
+        if !last.smoothness.is_empty() {
+            let _ = writeln!(
+                o,
+                "  smoothness by layer (mean row-cosine to previous layer)"
+            );
+            for (l, s) in last.smoothness.iter().enumerate() {
+                let w = last.layer_weights.get(l);
+                let bar = "▪".repeat(((s.clamp(0.0, 1.0)) * 24.0).round() as usize);
+                let _ = match w {
+                    Some(w) => writeln!(
+                        o,
+                        "    layer {:<2} {s:>9.5}  {bar:<24}  weight {w:>9.5}",
+                        l + 1
+                    ),
+                    None => writeln!(o, "    layer {:<2} {s:>9.5}  {bar}", l + 1),
+                };
+            }
+        }
+        let grads: Vec<f64> = log.diags.iter().filter_map(|d| d.grad_norm).collect();
+        if !grads.is_empty() {
+            let _ = writeln!(
+                o,
+                "  grad norm   {:>12.6} → {:>12.6}   {}",
+                grads.first().copied().unwrap_or(f64::NAN),
+                grads.last().copied().unwrap_or(f64::NAN),
+                sparkline(&grads)
+            );
+        }
+        let l2s: Vec<f64> = log.diags.iter().map(|d| d.embedding_l2).collect();
+        let _ = writeln!(
+            o,
+            "  ego emb L2  {:>12.6} → {:>12.6}   {}",
+            l2s.first().copied().unwrap_or(f64::NAN),
+            l2s.last().copied().unwrap_or(f64::NAN),
+            sparkline(&l2s)
+        );
+        let _ = writeln!(o);
+    }
+
+    // Summary timer percentiles.
+    if let Some(s) = &log.summary {
+        if !s.timers.is_empty() {
+            let _ = writeln!(o, "timer percentiles (run summary)");
+            let _ = writeln!(
+                o,
+                "  {:<26} {:>8} {:>10} {:>10} {:>10}",
+                "timer", "count", "p50", "p95", "p99"
+            );
+            for (name, (count, p50, p95, p99)) in &s.timers {
+                if *count == 0.0 {
+                    continue;
+                }
+                let _ = writeln!(
+                    o,
+                    "  {:<26} {:>8} {:>10} {:>10} {:>10}",
+                    name,
+                    fmt_si(*count),
+                    fmt_ns(*p50),
+                    fmt_ns(*p95),
+                    fmt_ns(*p99)
+                );
+            }
+        }
+    }
+    o
+}
+
+fn render_diff(a: &RunLog, b: &RunLog) -> String {
+    let mut o = String::new();
+    let _ = writeln!(
+        o,
+        "A: run {} — {} on {} — {}",
+        a.run, a.model, a.dataset, a.path
+    );
+    let _ = writeln!(
+        o,
+        "B: run {} — {} on {} — {}",
+        b.run, b.model, b.dataset, b.path
+    );
+    let _ = writeln!(o);
+    let last_loss = |l: &RunLog| l.epochs.last().map_or(f64::NAN, |e| e.loss);
+    let best_val = |l: &RunLog| {
+        l.epochs
+            .iter()
+            .filter_map(|e| e.val.as_ref().map(|(_, v)| *v))
+            .fold(f64::NAN, f64::max)
+    };
+    let wall = |l: &RunLog| l.summary.as_ref().map_or(f64::NAN, |s| s.wall_s);
+    let _ = writeln!(
+        o,
+        "  {:<24} {:>14} {:>14} {:>12}",
+        "metric", "A", "B", "Δ (B−A)"
+    );
+    for (name, fa, fb) in [
+        ("epochs", a.epochs.len() as f64, b.epochs.len() as f64),
+        ("final loss", last_loss(a), last_loss(b)),
+        ("best val metric", best_val(a), best_val(b)),
+        ("wall s", wall(a), wall(b)),
+    ] {
+        let _ = writeln!(o, "  {name:<24} {fa:>14.6} {fb:>14.6} {:>+12.6}", fb - fa);
+    }
+    let _ = writeln!(o);
+    // Total kernel counters, union of both summaries (epoch sums as
+    // fallback when a summary record is missing).
+    let totals = |l: &RunLog| -> BTreeMap<String, f64> {
+        match &l.summary {
+            Some(s) if !s.counters_total.is_empty() => s.counters_total.clone(),
+            _ => {
+                let mut m = BTreeMap::new();
+                for e in &l.epochs {
+                    for (k, v) in &e.counters {
+                        *m.entry(k.clone()).or_default() += v;
+                    }
+                }
+                m
+            }
+        }
+    };
+    let ta = totals(a);
+    let tb = totals(b);
+    let mut keys: Vec<&String> = ta.keys().chain(tb.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    let _ = writeln!(
+        o,
+        "  {:<26} {:>12} {:>12} {:>10}",
+        "counter (run totals)", "A", "B", "B/A"
+    );
+    for k in keys {
+        let va = ta.get(k).copied().unwrap_or(0.0);
+        let vb = tb.get(k).copied().unwrap_or(0.0);
+        if va == 0.0 && vb == 0.0 {
+            continue;
+        }
+        let ratio = if va > 0.0 {
+            format!("{:>9.3}x", vb / va)
+        } else {
+            "      new".to_string()
+        };
+        let _ = writeln!(
+            o,
+            "  {:<26} {:>12} {:>12} {ratio}",
+            k,
+            fmt_si(va),
+            fmt_si(vb)
+        );
+    }
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_spans_levels() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+        // Constant series stays flat; NaN renders as a dot among finite
+        // points, and an all-NaN series collapses to nothing.
+        assert_eq!(sparkline(&[2.0, 2.0]), "▄▄");
+        assert_eq!(sparkline(&[1.0, f64::NAN, 3.0]), "▁·█");
+        assert_eq!(sparkline(&[f64::NAN]), "");
+    }
+
+    #[test]
+    fn si_and_ns_formatting() {
+        assert_eq!(fmt_si(950.0), "950");
+        assert_eq!(fmt_si(1500.0), "1.5k");
+        assert_eq!(fmt_si(2_500_000.0), "2.50M");
+        assert_eq!(fmt_ns(1_500.0), "1.50µs");
+        assert_eq!(fmt_ns(2_000_000.0), "2.00ms");
+        assert_eq!(fmt_ns(3_100_000_000.0), "3.10s");
+    }
+
+    #[test]
+    fn report_rejects_missing_and_empty_inputs() {
+        assert!(cmd_report(&[]).is_err());
+        assert!(cmd_report(&["/nonexistent/x.jsonl".to_string()]).is_err());
+        let dir = std::env::temp_dir().join("lrgcn_report_empty");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let p = dir.join("empty.jsonl");
+        std::fs::write(&p, "").expect("write");
+        let err = cmd_report(&[p.display().to_string()]).expect_err("empty log");
+        assert!(err.contains("no records"), "{err}");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn report_renders_synthetic_log_end_to_end() {
+        let dir = std::env::temp_dir().join("lrgcn_report_synth");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let p = dir.join("run.jsonl");
+        let mut lines = vec![
+            r#"{"dataset":"mooc","event":"run_start","model":"LayerGCN","run":1,"threads":2}"#
+                .to_string(),
+        ];
+        for e in 0..3 {
+            lines.push(format!(
+                concat!(
+                    r#"{{"counters":{{"tensor.spmm.calls":{c}}},"epoch":{e},"event":"epoch","#,
+                    r#""loss":{l},"matrix_bytes_peak":1024,"run":1,"threads":2,"#,
+                    r#""timings_s":{{"refresh":0.1,"train":1.0,"val":0.2}},"#,
+                    r#""val":{{"recall@20":{v}}}}}"#
+                ),
+                c = 40 + e,
+                e = e,
+                l = 0.7 - 0.01 * e as f64,
+                v = 0.5 + 0.01 * e as f64,
+            ));
+            lines.push(format!(
+                concat!(
+                    r#"{{"embedding_l2":0.9,"epoch":{e},"event":"diag","grad_groups":{{"ego":0.5}},"#,
+                    r#""grad_norm":0.5,"layer_weights":[0.1,0.2],"model":"LayerGCN","run":1,"#,
+                    r#""smoothness":[0.8,0.9]}}"#
+                ),
+                e = e
+            ));
+        }
+        lines.push(
+            r#"{"counters_total":{"tensor.spmm.calls":123},"epochs":3,"event":"run_summary","run":1,"timers":{"train.epoch_ns":{"count":3,"p50_ns":1000,"p95_ns":2000,"p99_ns":2000}},"wall_s":4.2}"#
+                .to_string(),
+        );
+        std::fs::write(&p, lines.join("\n")).expect("write");
+        let path = p.display().to_string();
+        let log = parse_log(&path).expect("parse");
+        assert_eq!(log.epochs.len(), 3);
+        assert_eq!(log.epochs[0].val, Some(("recall@20".to_string(), 0.5)));
+        let text = render_report(&log);
+        for needle in ["trajectory", "recall@20", "phase breakdown", "model health"] {
+            assert!(text.contains(needle), "missing {needle:?}:\n{text}");
+        }
+        cmd_report(std::slice::from_ref(&path)).expect("report");
+        cmd_report(&["--diff".to_string(), path.clone(), path]).expect("diff");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn last_run_wins_when_file_holds_several() {
+        let dir = std::env::temp_dir().join("lrgcn_report_multi");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let p = dir.join("multi.jsonl");
+        let lines = [
+            r#"{"dataset":"a","event":"run_start","model":"m1","run":1,"threads":1}"#,
+            r#"{"counters":{},"epoch":0,"event":"epoch","loss":0.5,"matrix_bytes_peak":0,"run":1,"threads":1,"timings_s":{"refresh":0,"train":1,"val":0}}"#,
+            r#"{"dataset":"b","event":"run_start","model":"m2","run":2,"threads":1}"#,
+            r#"{"counters":{},"epoch":0,"event":"epoch","loss":0.4,"matrix_bytes_peak":0,"run":2,"threads":1,"timings_s":{"refresh":0,"train":1,"val":0}}"#,
+        ];
+        std::fs::write(&p, lines.join("\n")).expect("write");
+        let log = parse_log(&p.display().to_string()).expect("parse");
+        assert_eq!(log.run, 2);
+        assert_eq!(log.model, "m2");
+        assert_eq!(log.epochs.len(), 1);
+        assert_eq!(log.epochs[0].loss, 0.4);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn appended_runs_with_colliding_ids_split_at_run_start() {
+        // Run ids are process-unique counters, so two invocations that
+        // append to one file both write run=1: the later run_start must
+        // open a new segment rather than merge the epoch streams.
+        let dir = std::env::temp_dir().join("lrgcn_report_collide");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let p = dir.join("collide.jsonl");
+        let lines = [
+            r#"{"dataset":"old","event":"run_start","model":"m1","run":1,"threads":1}"#,
+            r#"{"counters":{},"epoch":0,"event":"epoch","loss":0.9,"matrix_bytes_peak":0,"run":1,"threads":1,"timings_s":{"refresh":0,"train":1,"val":0}}"#,
+            r#"{"counters":{},"epoch":1,"event":"epoch","loss":0.8,"matrix_bytes_peak":0,"run":1,"threads":1,"timings_s":{"refresh":0,"train":1,"val":0}}"#,
+            r#"{"dataset":"new","event":"run_start","model":"m2","run":1,"threads":1}"#,
+            r#"{"counters":{},"epoch":0,"event":"epoch","loss":0.7,"matrix_bytes_peak":0,"run":1,"threads":1,"timings_s":{"refresh":0,"train":1,"val":0}}"#,
+        ];
+        std::fs::write(&p, lines.join("\n")).expect("write");
+        let log = parse_log(&p.display().to_string()).expect("parse");
+        assert_eq!(log.model, "m2");
+        assert_eq!(log.dataset, "new");
+        assert_eq!(log.epochs.len(), 1, "segments must not merge");
+        assert_eq!(log.epochs[0].loss, 0.7);
+        std::fs::remove_file(&p).ok();
+    }
+}

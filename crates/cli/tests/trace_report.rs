@@ -1,0 +1,191 @@
+//! End-to-end checks for `--trace` and `lrgcn report` through the real
+//! binary: a short seeded training run must leave a well-formed Chrome
+//! trace file (valid JSON array, balanced B/E events, per-thread monotone
+//! timestamps) and a JSONL log the report subcommand can render.
+
+use lrgcn::data::{loader, SyntheticConfig};
+use lrgcn::obs::json::{self, Value};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(dir: &Path) -> PathBuf {
+    std::fs::create_dir_all(dir).expect("mkdir");
+    let path = dir.join("interactions.tsv");
+    let log = SyntheticConfig::games().scaled(0.1).generate(13);
+    loader::save_interactions(&path, &log).expect("write tsv");
+    path
+}
+
+fn lrgcn() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lrgcn"))
+}
+
+/// Asserts `events` is a balanced, per-thread ts-monotone span stream and
+/// returns the distinct span names.
+fn check_events(events: &[Value]) -> Vec<String> {
+    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut names: Vec<String> = Vec::new();
+    for ev in events {
+        for key in ["name", "cat", "ph", "ts", "pid", "tid"] {
+            assert!(ev.get(key).is_some(), "event missing {key}: {ev:?}");
+        }
+        let name = ev.get("name").unwrap().as_str().unwrap().to_string();
+        let ph = ev.get("ph").unwrap().as_str().unwrap();
+        let ts = ev.get("ts").unwrap().as_f64().unwrap();
+        let tid = ev.get("tid").unwrap().as_f64().unwrap() as u64;
+        assert!(ts.is_finite() && ts >= 0.0, "bad ts {ts}");
+        if let Some(prev) = last_ts.insert(tid, ts) {
+            assert!(ts >= prev, "tid {tid}: ts regressed {ts} < {prev}");
+        }
+        let stack = stacks.entry(tid).or_default();
+        match ph {
+            "B" => {
+                stack.push(name.clone());
+                names.push(name);
+            }
+            "E" => {
+                let open = stack
+                    .pop()
+                    .unwrap_or_else(|| panic!("tid {tid}: E({name}) without matching B"));
+                assert_eq!(open, name, "tid {tid}: spans closed out of order");
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "tid {tid}: unclosed spans {stack:?}");
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+#[test]
+fn train_writes_valid_chrome_trace_and_report_renders_the_log() {
+    let dir = std::env::temp_dir().join("lrgcn_trace_report_e2e");
+    let input = fixture(&dir);
+    let trace_path = dir.join("trace.json");
+    let log_path = dir.join("run.jsonl");
+    std::fs::remove_file(&trace_path).ok();
+    std::fs::remove_file(&log_path).ok();
+
+    let out = lrgcn()
+        .args([
+            "train",
+            "--input",
+            &input.display().to_string(),
+            "--epochs",
+            "2",
+            "--seed",
+            "5",
+            "--threads",
+            "2",
+            "--trace",
+            &trace_path.display().to_string(),
+            "--log-json",
+            &log_path.display().to_string(),
+        ])
+        .output()
+        .expect("spawn lrgcn train");
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The trace must be one self-contained JSON array of span events.
+    let text = std::fs::read_to_string(&trace_path).expect("trace written");
+    let root = json::parse(text.trim()).expect("trace parses as JSON");
+    let Value::Arr(events) = &root else {
+        panic!("trace root is not an array");
+    };
+    assert!(!events.is_empty(), "trace has no events");
+    let names = check_events(events);
+    for expected in ["run", "epoch", "train", "spmm"] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "trace missing span {expected:?}; saw {names:?}"
+        );
+    }
+
+    // `report` renders the JSONL log with a non-trivial terminal summary.
+    let rep = lrgcn()
+        .args(["report", &log_path.display().to_string()])
+        .output()
+        .expect("spawn lrgcn report");
+    assert!(
+        rep.status.success(),
+        "report failed: {}",
+        String::from_utf8_lossy(&rep.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&rep.stdout);
+    for needle in ["trajectory", "loss", "phase breakdown", "train"] {
+        assert!(
+            stdout.contains(needle),
+            "report output missing {needle:?}:\n{stdout}"
+        );
+    }
+
+    // Self-diff exits 0 with a table whose delta column is zero.
+    let diff = lrgcn()
+        .args([
+            "report",
+            "--diff",
+            &log_path.display().to_string(),
+            &log_path.display().to_string(),
+        ])
+        .output()
+        .expect("spawn lrgcn report --diff");
+    assert!(diff.status.success());
+    let dtext = String::from_utf8_lossy(&diff.stdout);
+    assert!(dtext.contains("final loss"), "diff output:\n{dtext}");
+
+    std::fs::remove_file(&trace_path).ok();
+    std::fs::remove_file(&log_path).ok();
+    std::fs::remove_file(&input).ok();
+}
+
+#[test]
+fn trace_env_var_is_honoured_and_flag_wins_over_it() {
+    let dir = std::env::temp_dir().join("lrgcn_trace_env_parity");
+    let input = fixture(&dir);
+    let env_trace = dir.join("env.json");
+    let flag_trace = dir.join("flag.json");
+    std::fs::remove_file(&env_trace).ok();
+    std::fs::remove_file(&flag_trace).ok();
+
+    // Env var alone arms tracing (stats is cheap and still opens the run).
+    let out = lrgcn()
+        .env("LRGCN_TRACE", env_trace.display().to_string())
+        .args(["stats", "--input", &input.display().to_string()])
+        .output()
+        .expect("spawn lrgcn stats");
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&env_trace).expect("env trace written");
+    assert!(
+        json::parse(text.trim()).is_ok(),
+        "env trace must be valid JSON"
+    );
+
+    // With both set, the flag path receives the trace.
+    std::fs::remove_file(&env_trace).ok();
+    let out = lrgcn()
+        .env("LRGCN_TRACE", env_trace.display().to_string())
+        .args([
+            "stats",
+            "--input",
+            &input.display().to_string(),
+            "--trace",
+            &flag_trace.display().to_string(),
+        ])
+        .output()
+        .expect("spawn lrgcn stats with flag");
+    assert!(out.status.success());
+    assert!(flag_trace.exists(), "--trace path must be written");
+    assert!(!env_trace.exists(), "flag must win over LRGCN_TRACE");
+
+    std::fs::remove_file(&flag_trace).ok();
+    std::fs::remove_file(&input).ok();
+}

@@ -167,6 +167,7 @@ impl<R: Rng> Iterator for BprEpoch<'_, R> {
             return None;
         }
         let _t = lrgcn_obs::timer::scoped(lrgcn_obs::Hist::SamplerBatch);
+        let _span = lrgcn_obs::trace::span("sampler_batch", "kernel");
         let end = (self.cursor + self.batch_size).min(self.order.len());
         let edges = self.ds.train().edges();
         let mut batch = BprBatch::default();

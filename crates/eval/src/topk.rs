@@ -191,6 +191,7 @@ pub fn evaluate_ranking(
     lrgcn_obs::registry::add(lrgcn_obs::Counter::EvalRankCalls, 1);
     lrgcn_obs::registry::add(lrgcn_obs::Counter::EvalRankUsers, users.len() as u64);
     let _t = lrgcn_obs::timer::scoped(lrgcn_obs::Hist::EvalRank);
+    let _span = lrgcn_obs::trace::span("eval_rank", "kernel");
     let threads = par::effective_threads();
     let kw = ks.len();
     let mut tuples: Vec<[f64; 4]> = Vec::new();
@@ -239,6 +240,7 @@ pub fn evaluate_ranking_parallel(
     lrgcn_obs::registry::add(lrgcn_obs::Counter::EvalRankCalls, 1);
     lrgcn_obs::registry::add(lrgcn_obs::Counter::EvalRankUsers, users.len() as u64);
     let _t = lrgcn_obs::timer::scoped(lrgcn_obs::Hist::EvalRank);
+    let _span = lrgcn_obs::trace::span("eval_rank", "kernel");
     let kw = ks.len();
     let mut tuples: Vec<[f64; 4]> = vec![[0.0; 4]; users.len() * kw];
 

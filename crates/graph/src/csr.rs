@@ -62,6 +62,7 @@ impl Csr {
     ) -> Self {
         lrgcn_obs::registry::add(lrgcn_obs::Counter::CsrBuilds, 1);
         let _t = lrgcn_obs::timer::scoped(lrgcn_obs::Hist::CsrBuild);
+        let _span = lrgcn_obs::trace::span("csr_build", "kernel");
         let mut entries: Vec<(u32, u32, f32)> = triplets.into_iter().collect();
         for &(r, c, _) in &entries {
             assert!(

@@ -102,6 +102,7 @@ impl EdgePruner {
         debug_assert!(self.validate().is_ok());
         lrgcn_obs::registry::add(lrgcn_obs::Counter::DropoutSamples, 1);
         let _t = lrgcn_obs::timer::scoped(lrgcn_obs::Hist::DropoutSample);
+        let _span = lrgcn_obs::trace::span("dropout_sample", "kernel");
         let m_total = graph.n_edges();
         let keep = m_total - ((m_total as f64 * ratio as f64).round() as usize).min(m_total - 1);
         let effective = match self {

@@ -129,6 +129,73 @@ pub fn full_adjacency(ds: &Dataset) -> SharedCsr {
     SharedCsr::new(ds.train().norm_adjacency())
 }
 
+// ---------------------------------------------------------------------------
+// Diagnostics helpers (read-only, serial, f64-accumulated)
+// ---------------------------------------------------------------------------
+//
+// These feed `Recommender::diagnostics`. They deliberately run serially over
+// rows with f64 accumulators: the matrices involved are one embedding table
+// per layer, so the cost is a few passes over N x T floats — negligible next
+// to an epoch — and the result is bitwise identical at every thread count.
+
+/// Mean row-cosine between two equal-shaped matrices.
+pub fn mean_row_cosine(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "cosine of mismatched shapes");
+    if a.rows() == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for r in 0..a.rows() {
+        let (ra, rb) = (a.row(r), b.row(r));
+        let mut dot = 0.0f64;
+        let mut na = 0.0f64;
+        let mut nb = 0.0f64;
+        for (&x, &y) in ra.iter().zip(rb) {
+            dot += x as f64 * y as f64;
+            na += x as f64 * x as f64;
+            nb += y as f64 * y as f64;
+        }
+        total += dot / (na.sqrt() * nb.sqrt() + 1e-12);
+    }
+    total / a.rows() as f64
+}
+
+/// The over-smoothing probe shared by the GCN-family models: mean
+/// row-cosine between each consecutive pair in a layer chain
+/// `[X^0, X^1, ..., X^L]`. A chain collapsing toward indistinguishable
+/// embeddings (the paper's Figs. 1/5 pathology) shows values rising
+/// toward 1 with depth.
+pub fn consecutive_smoothness(chain: &[Matrix]) -> Vec<f64> {
+    chain
+        .windows(2)
+        .map(|w| mean_row_cosine(&w[0], &w[1]))
+        .collect()
+}
+
+/// Mean L2 norm over the rows of a matrix (embedding-drift probe).
+pub fn mean_row_l2(m: &Matrix) -> f64 {
+    if m.rows() == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for r in 0..m.rows() {
+        total += m
+            .row(r)
+            .iter()
+            .map(|&x| x as f64 * x as f64)
+            .sum::<f64>()
+            .sqrt();
+    }
+    total / m.rows() as f64
+}
+
+/// Squared Frobenius norm of a gradient matrix, accumulated in f64.
+/// Per-batch squared norms sum across an epoch; the square root of the
+/// total is the epoch's gradient norm for that parameter group.
+pub fn grad_sq_norm(g: &Matrix) -> f64 {
+    g.data().iter().map(|&x| x as f64 * x as f64).sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,6 +262,31 @@ mod tests {
             t.scalar(l)
         };
         assert!(mk(3.0) < mk(0.5));
+    }
+
+    #[test]
+    fn smoothness_of_identical_layers_is_one() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let sims = consecutive_smoothness(&[a.clone(), a.clone(), a]);
+        assert_eq!(sims.len(), 2);
+        for s in sims {
+            assert!((s - 1.0).abs() < 1e-9, "self-cosine {s} != 1");
+        }
+    }
+
+    #[test]
+    fn smoothness_of_orthogonal_rows_is_zero() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let b = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let sims = consecutive_smoothness(&[a, b]);
+        assert!(sims[0].abs() < 1e-9, "orthogonal cosine {} != 0", sims[0]);
+    }
+
+    #[test]
+    fn row_l2_and_grad_norm_match_hand_computation() {
+        let m = Matrix::from_vec(2, 2, vec![3.0, 4.0, 0.0, 0.0]);
+        assert!((mean_row_l2(&m) - 2.5).abs() < 1e-9); // (5 + 0) / 2
+        assert!((grad_sq_norm(&m) - 25.0).abs() < 1e-9);
     }
 
     #[test]

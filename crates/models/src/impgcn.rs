@@ -17,8 +17,11 @@
 //! layer (`Â_s (E¹ ⊙ softmax-prob_s)`), while routing itself uses the hard
 //! argmax; the original trains the MLP through its own gating construction.
 
-use crate::common::{bpr_loss, full_adjacency, mean_readout, score_from_final};
-use crate::traits::{EpochStats, Recommender};
+use crate::common::{
+    bpr_loss, consecutive_smoothness, full_adjacency, grad_sq_norm, mean_readout, mean_row_l2,
+    score_from_final,
+};
+use crate::traits::{EpochStats, ModelDiagnostics, Recommender};
 use lrgcn_data::{BprEpoch, Dataset};
 use lrgcn_tensor::tape::{SharedCsr, Tape, Var};
 use lrgcn_tensor::{init, Adam, Matrix, Param};
@@ -62,6 +65,8 @@ pub struct ImpGcn {
     group_adj: Vec<SharedCsr>,
     group_probs: Matrix,
     inference: Option<Matrix>,
+    /// Per-group gradient norms from the most recent epoch (diagnostics).
+    last_grad_groups: Vec<(String, f64)>,
 }
 
 impl ImpGcn {
@@ -85,6 +90,7 @@ impl ImpGcn {
             group_adj: Vec::new(),
             group_probs: Matrix::zeros(0, 0),
             inference: None,
+            last_grad_groups: Vec::new(),
         };
         m.reassign_groups(ds);
         m
@@ -169,10 +175,12 @@ impl ImpGcn {
             .collect()
     }
 
-    /// Builds the IMP-GCN forward pass on a tape. Returns `(final, x0)`.
+    /// Builds the IMP-GCN forward pass on a tape. Returns
+    /// `(final, x0, layer_embs)` where `layer_embs` is the per-depth chain
+    /// the mean readout averages (ego first).
     /// The soft group probabilities enter as constants; the grouping MLP is
     /// trained separately by [`ImpGcn::update_grouping_mlp`].
-    fn forward(&self, tape: &mut Tape, ds: &Dataset) -> (Var, Var) {
+    fn forward(&self, tape: &mut Tape, ds: &Dataset) -> (Var, Var, Vec<Var>) {
         let x0 = tape.leaf(self.ego.value().clone());
         let e1 = tape.spmm(&self.adj, x0);
         let mut layer_embs = vec![x0, e1];
@@ -206,8 +214,9 @@ impl ImpGcn {
             layer_embs.push(le);
             prev = next;
         }
-        let final_x = mean_readout(tape, &layer_embs[..=self.cfg.n_layers.min(layer_embs.len() - 1)]);
-        (final_x, x0)
+        layer_embs.truncate(self.cfg.n_layers.min(layer_embs.len() - 1) + 1);
+        let final_x = mean_readout(tape, &layer_embs);
+        (final_x, x0, layer_embs)
     }
 }
 
@@ -221,23 +230,30 @@ impl Recommender for ImpGcn {
         self.reassign_groups(ds);
         let mut total = 0.0f64;
         let mut n = 0usize;
+        let mut ego_grad_sq = 0.0f64;
         let batches: Vec<_> = BprEpoch::new(ds, self.cfg.batch_size, rng).collect();
         for batch in batches {
             let mut tape = Tape::new();
-            let (final_x, x0) = self.forward(&mut tape, ds);
+            let (final_x, x0, _) = self.forward(&mut tape, ds);
             let loss = bpr_loss(&mut tape, final_x, x0, ds.n_users(), &batch, self.cfg.lambda);
             total += tape.scalar(loss) as f64;
             n += 1;
             tape.backward(loss);
             self.adam.begin_step();
             if let Some(g) = tape.take_grad(x0) {
+                ego_grad_sq += grad_sq_norm(&g);
                 self.adam.update(&mut self.ego, &g);
             }
         }
         // Update the grouping MLP once per epoch with a lightweight
         // objective: make the soft assignment consistent with the hard
         // routing that produced this epoch's subgraphs (self-distillation).
-        self.update_grouping_mlp(ds);
+        let (w_grad, b_grad) = self.update_grouping_mlp(ds);
+        self.last_grad_groups = vec![
+            ("ego".into(), ego_grad_sq.sqrt()),
+            ("w_group".into(), w_grad),
+            ("b_group".into(), b_grad),
+        ];
         EpochStats {
             loss: if n > 0 { total / n as f64 } else { 0.0 },
             n_batches: n,
@@ -246,7 +262,7 @@ impl Recommender for ImpGcn {
 
     fn refresh(&mut self, ds: &Dataset) {
         let mut tape = Tape::new();
-        let (final_x, _) = self.forward(&mut tape, ds);
+        let (final_x, _, _) = self.forward(&mut tape, ds);
         self.inference = Some(tape.value(final_x).clone());
     }
 
@@ -261,12 +277,30 @@ impl Recommender for ImpGcn {
     fn n_parameters(&self) -> usize {
         self.ego.value().len() + self.w_group.value().len() + self.b_group.value().len()
     }
+
+    fn diagnostics(&self, ds: &Dataset) -> Option<ModelDiagnostics> {
+        // The forward pass is deterministic given the current parameters and
+        // group assignment, so a fresh tape reproduces the readout chain.
+        let mut tape = Tape::new();
+        let (_, _, layer_embs) = self.forward(&mut tape, ds);
+        let chain: Vec<Matrix> = layer_embs.iter().map(|&v| tape.value(v).clone()).collect();
+        let k = chain.len();
+        Some(ModelDiagnostics {
+            smoothness: consecutive_smoothness(&chain),
+            embedding_l2: mean_row_l2(self.ego.value()),
+            grad_norm: ModelDiagnostics::grad_norm_of(&self.last_grad_groups),
+            grad_groups: self.last_grad_groups.clone(),
+            // Mean readout: uniform weight over the layer chain.
+            layer_weights: vec![1.0 / k as f64; k],
+        })
+    }
 }
 
 impl ImpGcn {
     /// Sharpens the grouping MLP toward its own hard assignment (one step of
     /// cross-entropy self-distillation), giving the MLP a training signal.
-    fn update_grouping_mlp(&mut self, ds: &Dataset) {
+    /// Returns the `(w_group, b_group)` gradient norms for diagnostics.
+    fn update_grouping_mlp(&mut self, ds: &Dataset) -> (f64, f64) {
         let hard: Vec<u32> = {
             let logits = self.group_logits(ds);
             (0..logits.rows() as u32)
@@ -305,12 +339,17 @@ impl ImpGcn {
         let loss = tape.mul_scalar(s, -1.0 / ds.n_users().max(1) as f32);
         tape.backward(loss);
         self.adam.begin_step();
+        let mut w_grad = 0.0f64;
+        let mut b_grad = 0.0f64;
         if let Some(g) = tape.take_grad(w) {
+            w_grad = grad_sq_norm(&g).sqrt();
             self.adam.update(&mut self.w_group, &g);
         }
         if let Some(g) = tape.take_grad(b) {
+            b_grad = grad_sq_norm(&g).sqrt();
             self.adam.update(&mut self.b_group, &g);
         }
+        (w_grad, b_grad)
     }
 }
 

@@ -12,8 +12,11 @@
 //!    propagates over a pruned adjacency `Â_p` sampled by
 //!    [`lrgcn_graph::EdgePruner`]; inference uses the full `Â`.
 
-use crate::common::{bpr_loss, full_adjacency, score_from_final, sum_readout};
-use crate::traits::{EpochStats, Recommender};
+use crate::common::{
+    bpr_loss, consecutive_smoothness, full_adjacency, grad_sq_norm, mean_row_l2,
+    score_from_final, sum_readout,
+};
+use crate::traits::{EpochStats, ModelDiagnostics, Recommender};
 use lrgcn_data::{BprEpoch, Dataset};
 use lrgcn_graph::EdgePruner;
 use lrgcn_tensor::tape::{SharedCsr, Tape, Var};
@@ -71,6 +74,8 @@ pub struct LayerGcn {
     /// Full normalized adjacency (inference).
     adj_full: SharedCsr,
     inference: Option<Matrix>,
+    /// Per-group gradient norms from the most recent epoch (diagnostics).
+    last_grad_groups: Vec<(String, f64)>,
 }
 
 /// Builds the refined layer chain on a tape; returns the refined layers
@@ -113,6 +118,7 @@ impl LayerGcn {
             adam,
             adj_full,
             inference: None,
+            last_grad_groups: Vec::new(),
         }
     }
 
@@ -220,6 +226,7 @@ impl Recommender for LayerGcn {
         };
         let mut total = 0.0f64;
         let mut n = 0usize;
+        let mut ego_grad_sq = 0.0f64;
         let batches: Vec<_> = BprEpoch::new(ds, self.cfg.batch_size, rng).collect();
         for batch in batches {
             let mut tape = Tape::new();
@@ -239,9 +246,11 @@ impl Recommender for LayerGcn {
             tape.backward(loss);
             self.adam.begin_step();
             if let Some(g) = tape.take_grad(x0) {
+                ego_grad_sq += grad_sq_norm(&g);
                 self.adam.update(&mut self.ego, &g);
             }
         }
+        self.last_grad_groups = vec![("ego".into(), ego_grad_sq.sqrt())];
         EpochStats {
             loss: if n > 0 { total / n as f64 } else { 0.0 },
             n_batches: n,
@@ -274,6 +283,21 @@ impl Recommender for LayerGcn {
         assert_eq!(ego.shape(), self.ego.value().shape(), "snapshot shape mismatch");
         self.ego.set_value(ego);
         self.inference = None;
+    }
+
+    fn diagnostics(&self, _ds: &Dataset) -> Option<ModelDiagnostics> {
+        // Chain [X^0, X^1', ..., X^L'] under the full adjacency; smoothness
+        // probes consecutive refined layers, layer_weights reports each
+        // layer's mean cosine-to-ego — the exact quantity of Fig. 5.
+        let mut chain = vec![self.ego.value().clone()];
+        chain.extend(self.refined_layers());
+        Some(ModelDiagnostics {
+            smoothness: consecutive_smoothness(&chain),
+            embedding_l2: mean_row_l2(self.ego.value()),
+            grad_norm: ModelDiagnostics::grad_norm_of(&self.last_grad_groups),
+            grad_groups: self.last_grad_groups.clone(),
+            layer_weights: self.layer_similarities(),
+        })
     }
 }
 

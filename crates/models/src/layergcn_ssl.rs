@@ -13,9 +13,12 @@
 //! InfoNCE = -mean_i log( exp(z₁ᵢ·z₂ᵢ/τ) / Σ_j exp(z₁ᵢ·z₂ⱼ/τ) )
 //! ```
 
-use crate::common::{bpr_loss, full_adjacency, score_from_final, sum_readout};
+use crate::common::{
+    bpr_loss, consecutive_smoothness, full_adjacency, grad_sq_norm, mean_row_l2,
+    score_from_final, sum_readout,
+};
 use crate::layergcn::refined_chain;
-use crate::traits::{EpochStats, Recommender};
+use crate::traits::{EpochStats, ModelDiagnostics, Recommender};
 use lrgcn_data::{BprEpoch, Dataset};
 use lrgcn_graph::EdgePruner;
 use lrgcn_tensor::tape::{SharedCsr, Tape};
@@ -76,6 +79,8 @@ pub struct LayerGcnSsl {
     adam: Adam,
     adj_full: SharedCsr,
     inference: Option<Matrix>,
+    /// Per-group gradient norms from the most recent epoch (diagnostics).
+    last_grad_groups: Vec<(String, f64)>,
 }
 
 impl LayerGcnSsl {
@@ -102,6 +107,7 @@ impl LayerGcnSsl {
             adam,
             adj_full,
             inference: None,
+            last_grad_groups: Vec::new(),
         }
     }
 
@@ -146,6 +152,7 @@ impl Recommender for LayerGcnSsl {
         let ssl_on = self.cfg.ssl_weight > 0.0 && epoch >= self.cfg.warmup_epochs;
         let mut total = 0.0f64;
         let mut n = 0usize;
+        let mut ego_grad_sq = 0.0f64;
         let batches: Vec<_> = BprEpoch::new(ds, self.cfg.batch_size, rng).collect();
         let off = ds.n_users() as u32;
         for batch in batches {
@@ -207,9 +214,11 @@ impl Recommender for LayerGcnSsl {
             tape.backward(loss);
             self.adam.begin_step();
             if let Some(g) = tape.take_grad(x0) {
+                ego_grad_sq += grad_sq_norm(&g);
                 self.adam.update(&mut self.ego, &g);
             }
         }
+        self.last_grad_groups = vec![("ego".into(), ego_grad_sq.sqrt())];
         EpochStats {
             loss: if n > 0 { total / n as f64 } else { 0.0 },
             n_batches: n,
@@ -230,6 +239,35 @@ impl Recommender for LayerGcnSsl {
 
     fn n_parameters(&self) -> usize {
         self.ego.value().len()
+    }
+
+    fn diagnostics(&self, _ds: &Dataset) -> Option<ModelDiagnostics> {
+        // Probe under the FULL adjacency (inference view), like LayerGCN:
+        // the stochastic training views vary per epoch, the full graph is
+        // the stable object worth tracking.
+        let mut tape = Tape::new();
+        let x0 = tape.constant(self.ego.value().clone());
+        let (layers, sims) = refined_chain(
+            &mut tape,
+            &self.adj_full,
+            x0,
+            self.cfg.n_layers,
+            self.cfg.epsilon,
+            self.cfg.cosine_eps,
+        );
+        let mut chain = vec![self.ego.value().clone()];
+        chain.extend(layers.iter().map(|&l| tape.value(l).clone()));
+        let layer_weights = sims
+            .iter()
+            .map(|&s| tape.value(s).mean() as f64)
+            .collect();
+        Some(ModelDiagnostics {
+            smoothness: consecutive_smoothness(&chain),
+            embedding_l2: mean_row_l2(self.ego.value()),
+            grad_norm: ModelDiagnostics::grad_norm_of(&self.last_grad_groups),
+            grad_groups: self.last_grad_groups.clone(),
+            layer_weights,
+        })
     }
 }
 

@@ -3,9 +3,10 @@
 //! collapsing" half of the paper's recommendation dilemma (Fig. 1).
 
 use crate::common::{
-    bpr_loss, full_adjacency, mean_readout, propagate_chain, propagate_matrix, score_from_final,
+    bpr_loss, consecutive_smoothness, full_adjacency, grad_sq_norm, mean_readout, mean_row_l2,
+    propagate_chain, propagate_matrix, score_from_final,
 };
-use crate::traits::{EpochStats, Recommender};
+use crate::traits::{EpochStats, ModelDiagnostics, Recommender};
 use lrgcn_data::{BprEpoch, Dataset};
 use lrgcn_tensor::tape::SharedCsr;
 use lrgcn_tensor::{init, Adam, Matrix, Param, Tape};
@@ -43,6 +44,8 @@ pub struct LightGcn {
     adj: SharedCsr,
     /// Cached inference embeddings (users first), refreshed by `refresh`.
     inference: Option<Matrix>,
+    /// Per-group gradient norms from the most recent epoch (diagnostics).
+    last_grad_groups: Vec<(String, f64)>,
 }
 
 impl LightGcn {
@@ -57,6 +60,7 @@ impl LightGcn {
             adam,
             adj,
             inference: None,
+            last_grad_groups: Vec::new(),
         }
     }
 
@@ -90,6 +94,7 @@ impl Recommender for LightGcn {
         self.inference = None;
         let mut total = 0.0f64;
         let mut n = 0usize;
+        let mut ego_grad_sq = 0.0f64;
         let batches: Vec<_> = BprEpoch::new(ds, self.cfg.batch_size, rng).collect();
         for batch in batches {
             let mut tape = Tape::new();
@@ -102,9 +107,11 @@ impl Recommender for LightGcn {
             tape.backward(loss);
             self.adam.begin_step();
             if let Some(g) = tape.take_grad(x0) {
+                ego_grad_sq += grad_sq_norm(&g);
                 self.adam.update(&mut self.ego, &g);
             }
         }
+        self.last_grad_groups = vec![("ego".into(), ego_grad_sq.sqrt())];
         EpochStats {
             loss: if n > 0 { total / n as f64 } else { 0.0 },
             n_batches: n,
@@ -138,6 +145,18 @@ impl Recommender for LightGcn {
         self.ego.set_value(ego);
         self.inference = None;
     }
+
+    fn diagnostics(&self, _ds: &Dataset) -> Option<ModelDiagnostics> {
+        let chain = self.propagated_layers();
+        Some(ModelDiagnostics {
+            smoothness: consecutive_smoothness(&chain),
+            embedding_l2: mean_row_l2(self.ego.value()),
+            grad_norm: ModelDiagnostics::grad_norm_of(&self.last_grad_groups),
+            grad_groups: self.last_grad_groups.clone(),
+            // Mean readout: every layer carries the same weight.
+            layer_weights: vec![1.0 / (self.cfg.n_layers + 1) as f64; self.cfg.n_layers + 1],
+        })
+    }
 }
 
 /// LightGCN with *learnable* softmax weights over layer embeddings.
@@ -154,6 +173,8 @@ pub struct WeightedLightGcn {
     adam: Adam,
     adj: SharedCsr,
     inference: Option<Matrix>,
+    /// Per-group gradient norms from the most recent epoch (diagnostics).
+    last_grad_groups: Vec<(String, f64)>,
 }
 
 impl WeightedLightGcn {
@@ -170,6 +191,7 @@ impl WeightedLightGcn {
             adam,
             adj,
             inference: None,
+            last_grad_groups: Vec::new(),
         }
     }
 
@@ -202,6 +224,8 @@ impl Recommender for WeightedLightGcn {
         self.inference = None;
         let mut total = 0.0f64;
         let mut n = 0usize;
+        let mut ego_grad_sq = 0.0f64;
+        let mut logits_grad_sq = 0.0f64;
         let batches: Vec<_> = BprEpoch::new(ds, self.cfg.batch_size, rng).collect();
         for batch in batches {
             let mut tape = Tape::new();
@@ -230,12 +254,18 @@ impl Recommender for WeightedLightGcn {
             tape.backward(loss);
             self.adam.begin_step();
             if let Some(g) = tape.take_grad(x0) {
+                ego_grad_sq += grad_sq_norm(&g);
                 self.adam.update(&mut self.ego, &g);
             }
             if let Some(g) = tape.take_grad(logits) {
+                logits_grad_sq += grad_sq_norm(&g);
                 self.adam.update(&mut self.layer_logits, &g);
             }
         }
+        self.last_grad_groups = vec![
+            ("ego".into(), ego_grad_sq.sqrt()),
+            ("layer_logits".into(), logits_grad_sq.sqrt()),
+        ];
         EpochStats {
             loss: if n > 0 { total / n as f64 } else { 0.0 },
             n_batches: n,
@@ -256,6 +286,19 @@ impl Recommender for WeightedLightGcn {
 
     fn n_parameters(&self) -> usize {
         self.ego.value().len() + self.layer_logits.value().len()
+    }
+
+    fn diagnostics(&self, _ds: &Dataset) -> Option<ModelDiagnostics> {
+        let chain = propagate_matrix(self.adj.matrix(), self.ego.value(), self.cfg.n_layers);
+        Some(ModelDiagnostics {
+            smoothness: consecutive_smoothness(&chain),
+            embedding_l2: mean_row_l2(self.ego.value()),
+            grad_norm: ModelDiagnostics::grad_norm_of(&self.last_grad_groups),
+            grad_groups: self.last_grad_groups.clone(),
+            // The learned softmax readout weights — the Fig. 1 "solution
+            // collapsing" trajectory when logged across epochs.
+            layer_weights: self.layer_weights().iter().map(|&w| w as f64).collect(),
+        })
     }
 }
 

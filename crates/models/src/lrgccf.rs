@@ -6,8 +6,11 @@
 //! preference learning), and the score is the inner product in the
 //! concatenated space.
 
-use crate::common::{bpr_loss, full_adjacency, score_from_final};
-use crate::traits::{EpochStats, Recommender};
+use crate::common::{
+    bpr_loss, consecutive_smoothness, full_adjacency, grad_sq_norm, mean_row_l2,
+    score_from_final,
+};
+use crate::traits::{EpochStats, ModelDiagnostics, Recommender};
 use lrgcn_data::{BprEpoch, Dataset};
 use lrgcn_tensor::tape::{SharedCsr, Tape, Var};
 use lrgcn_tensor::{init, Adam, Matrix, Param};
@@ -42,6 +45,8 @@ pub struct LrGccf {
     adam: Adam,
     adj: SharedCsr,
     inference: Option<Matrix>,
+    /// Per-group gradient norms from the most recent epoch (diagnostics).
+    last_grad_groups: Vec<(String, f64)>,
 }
 
 impl LrGccf {
@@ -56,7 +61,24 @@ impl LrGccf {
             adam,
             adj,
             inference: None,
+            last_grad_groups: Vec::new(),
         }
+    }
+
+    /// The residual layer chain `[X^0, X^1, ..., X^L]` with
+    /// `X^{l+1} = Â X^l + X^l`, computed without gradients (diagnostics).
+    fn layer_chain(&self) -> Vec<Matrix> {
+        let adj = self.adj.matrix();
+        let mut chain = vec![self.ego.value().clone()];
+        let mut h = self.ego.value().clone();
+        for _ in 0..self.cfg.n_layers {
+            let prop = adj.spmm(h.data(), h.cols());
+            let mut next = Matrix::from_vec(h.rows(), h.cols(), prop);
+            next.add_assign(&h);
+            chain.push(next.clone());
+            h = next;
+        }
+        chain
     }
 
     fn forward(&self, tape: &mut Tape) -> (Var, Var) {
@@ -82,6 +104,7 @@ impl Recommender for LrGccf {
         self.inference = None;
         let mut total = 0.0f64;
         let mut n = 0usize;
+        let mut ego_grad_sq = 0.0f64;
         let batches: Vec<_> = BprEpoch::new(ds, self.cfg.batch_size, rng).collect();
         for batch in batches {
             let mut tape = Tape::new();
@@ -92,9 +115,11 @@ impl Recommender for LrGccf {
             tape.backward(loss);
             self.adam.begin_step();
             if let Some(g) = tape.take_grad(x0) {
+                ego_grad_sq += grad_sq_norm(&g);
                 self.adam.update(&mut self.ego, &g);
             }
         }
+        self.last_grad_groups = vec![("ego".into(), ego_grad_sq.sqrt())];
         EpochStats {
             loss: if n > 0 { total / n as f64 } else { 0.0 },
             n_batches: n,
@@ -117,6 +142,17 @@ impl Recommender for LrGccf {
 
     fn n_parameters(&self) -> usize {
         self.ego.value().len()
+    }
+
+    fn diagnostics(&self, _ds: &Dataset) -> Option<ModelDiagnostics> {
+        Some(ModelDiagnostics {
+            smoothness: consecutive_smoothness(&self.layer_chain()),
+            embedding_l2: mean_row_l2(self.ego.value()),
+            grad_norm: ModelDiagnostics::grad_norm_of(&self.last_grad_groups),
+            grad_groups: self.last_grad_groups.clone(),
+            // Concatenation readout: no per-layer weighting.
+            layer_weights: Vec::new(),
+        })
     }
 }
 

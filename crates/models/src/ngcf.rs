@@ -5,8 +5,10 @@
 //! concatenates all (normalized) layers including the ego layer, and scores
 //! by inner product in the concatenated space.
 
-use crate::common::{batch_node_indices, full_adjacency};
-use crate::traits::{EpochStats, Recommender};
+use crate::common::{
+    batch_node_indices, consecutive_smoothness, full_adjacency, grad_sq_norm, mean_row_l2,
+};
+use crate::traits::{EpochStats, ModelDiagnostics, Recommender};
 use lrgcn_data::{BprEpoch, Dataset};
 use lrgcn_tensor::tape::{SharedCsr, Tape, Var};
 use lrgcn_tensor::{init, Adam, Matrix, Param};
@@ -50,6 +52,19 @@ pub struct Ngcf {
     adam: Adam,
     adj: SharedCsr,
     inference: Option<Matrix>,
+    /// Per-group gradient norms from the most recent epoch (diagnostics).
+    last_grad_groups: Vec<(String, f64)>,
+}
+
+/// Tape nodes produced by one NGCF forward pass.
+struct NgcfForward {
+    final_x: Var,
+    x0: Var,
+    w1v: Vec<Var>,
+    w2v: Vec<Var>,
+    /// The per-layer normalized embeddings the readout concatenates
+    /// (ego first) — the layer chain for smoothness diagnostics.
+    parts: Vec<Var>,
 }
 
 impl Ngcf {
@@ -73,12 +88,13 @@ impl Ngcf {
             adam,
             adj,
             inference: None,
+            last_grad_groups: Vec::new(),
         }
     }
 
     /// Builds the concatenated-layer representation. `dropout_rng` enables
     /// message dropout (training); `None` disables it (inference).
-    fn forward(&self, tape: &mut Tape, dropout_rng: Option<&mut StdRng>) -> (Var, Var, Vec<Var>, Vec<Var>) {
+    fn forward(&self, tape: &mut Tape, dropout_rng: Option<&mut StdRng>) -> NgcfForward {
         let x0 = tape.leaf(self.ego.value().clone());
         let w1v: Vec<Var> = self.w1.iter().map(|p| tape.leaf(p.value().clone())).collect();
         let w2v: Vec<Var> = self.w2.iter().map(|p| tape.leaf(p.value().clone())).collect();
@@ -110,7 +126,13 @@ impl Ngcf {
             h = act;
         }
         let final_x = tape.concat_cols(&parts);
-        (final_x, x0, w1v, w2v)
+        NgcfForward {
+            final_x,
+            x0,
+            w1v,
+            w2v,
+            parts,
+        }
     }
 }
 
@@ -123,10 +145,17 @@ impl Recommender for Ngcf {
         self.inference = None;
         let mut total = 0.0f64;
         let mut n = 0usize;
+        let mut grad_sq = [0.0f64; 3]; // ego, w1, w2
         let batches: Vec<_> = BprEpoch::new(ds, self.cfg.batch_size, rng).collect();
         for batch in batches {
             let mut tape = Tape::new();
-            let (final_x, x0, w1v, w2v) = self.forward(&mut tape, Some(rng));
+            let NgcfForward {
+                final_x,
+                x0,
+                w1v,
+                w2v,
+                ..
+            } = self.forward(&mut tape, Some(rng));
             let (u_idx, i_idx, j_idx) = batch_node_indices(&batch, ds.n_users());
             let eu = tape.gather(final_x, Rc::clone(&u_idx));
             let ei = tape.gather(final_x, Rc::clone(&i_idx));
@@ -151,19 +180,27 @@ impl Recommender for Ngcf {
             tape.backward(loss);
             self.adam.begin_step();
             if let Some(g) = tape.take_grad(x0) {
+                grad_sq[0] += grad_sq_norm(&g);
                 self.adam.update(&mut self.ego, &g);
             }
             for (p, v) in self.w1.iter_mut().zip(&w1v) {
                 if let Some(g) = tape.take_grad(*v) {
+                    grad_sq[1] += grad_sq_norm(&g);
                     self.adam.update(p, &g);
                 }
             }
             for (p, v) in self.w2.iter_mut().zip(&w2v) {
                 if let Some(g) = tape.take_grad(*v) {
+                    grad_sq[2] += grad_sq_norm(&g);
                     self.adam.update(p, &g);
                 }
             }
         }
+        self.last_grad_groups = vec![
+            ("ego".into(), grad_sq[0].sqrt()),
+            ("w1".into(), grad_sq[1].sqrt()),
+            ("w2".into(), grad_sq[2].sqrt()),
+        ];
         EpochStats {
             loss: if n > 0 { total / n as f64 } else { 0.0 },
             n_batches: n,
@@ -172,8 +209,8 @@ impl Recommender for Ngcf {
 
     fn refresh(&mut self, _ds: &Dataset) {
         let mut tape = Tape::new();
-        let (final_x, _, _, _) = self.forward(&mut tape, None);
-        self.inference = Some(tape.value(final_x).clone());
+        let fwd = self.forward(&mut tape, None);
+        self.inference = Some(tape.value(fwd.final_x).clone());
     }
 
     fn score_users(&self, ds: &Dataset, users: &[u32]) -> Matrix {
@@ -188,6 +225,22 @@ impl Recommender for Ngcf {
         self.ego.value().len()
             + self.w1.iter().map(|p| p.value().len()).sum::<usize>()
             + self.w2.iter().map(|p| p.value().len()).sum::<usize>()
+    }
+
+    fn diagnostics(&self, _ds: &Dataset) -> Option<ModelDiagnostics> {
+        // Dropout-free forward; the chain is the normalized per-layer
+        // embeddings the concat readout sees (ego first).
+        let mut tape = Tape::new();
+        let fwd = self.forward(&mut tape, None);
+        let chain: Vec<Matrix> = fwd.parts.iter().map(|&p| tape.value(p).clone()).collect();
+        Some(ModelDiagnostics {
+            smoothness: consecutive_smoothness(&chain),
+            embedding_l2: mean_row_l2(self.ego.value()),
+            grad_norm: ModelDiagnostics::grad_norm_of(&self.last_grad_groups),
+            grad_groups: self.last_grad_groups.clone(),
+            // Concatenation readout: no per-layer weighting.
+            layer_weights: Vec::new(),
+        })
     }
 }
 

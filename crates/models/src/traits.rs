@@ -12,6 +12,48 @@ pub struct EpochStats {
     pub n_batches: usize,
 }
 
+/// Per-epoch model-health diagnostics exposed through
+/// [`Recommender::diagnostics`].
+///
+/// These are the quantities behind the paper's over-smoothing analysis
+/// (Figs. 1 and 5): consecutive-layer smoothness rising toward 1 means the
+/// propagation is collapsing node embeddings, while gradient and embedding
+/// norms catch ordinary training sickness. All values are computed
+/// read-only — calling `diagnostics` never perturbs training state — and
+/// serially, so they are bitwise identical across thread counts.
+#[derive(Clone, Debug, Default)]
+pub struct ModelDiagnostics {
+    /// Mean row-cosine between consecutive propagation layers
+    /// (`cos(X^l, X^{l+1})` for `l = 0..L-1`); empty for non-layered models.
+    pub smoothness: Vec<f64>,
+    /// Mean L2 norm over the rows of the primary embedding table.
+    pub embedding_l2: f64,
+    /// Global gradient L2 norm accumulated over the most recent
+    /// `train_epoch` (the L2 norm of all per-batch gradients concatenated);
+    /// `None` before the first epoch or for gradient-free models.
+    pub grad_norm: Option<f64>,
+    /// Per-parameter-group gradient norms, `(group name, norm)`, same
+    /// accumulation as `grad_norm`.
+    pub grad_groups: Vec<(String, f64)>,
+    /// Model-specific per-layer weighting: LayerGCN reports each refined
+    /// layer's mean cosine-to-ego (the Fig. 5 quantity), the learnable
+    /// LightGCN variant its softmax readout weights, mean-readout models a
+    /// uniform vector. Empty when the readout has no per-layer weighting.
+    pub layer_weights: Vec<f64>,
+}
+
+impl ModelDiagnostics {
+    /// Global gradient norm from per-group norms: `sqrt(Σ g²)`, `None`
+    /// when `groups` is empty (no gradient information yet).
+    pub fn grad_norm_of(groups: &[(String, f64)]) -> Option<f64> {
+        if groups.is_empty() {
+            None
+        } else {
+            Some(groups.iter().map(|(_, g)| g * g).sum::<f64>().sqrt())
+        }
+    }
+}
+
 /// A trainable top-K recommender.
 ///
 /// Protocol: the trainer alternates [`Recommender::train_epoch`] calls with
@@ -55,5 +97,16 @@ pub trait Recommender: Sync {
     /// unconditionally (snapshots unsupported).
     fn restore(&mut self, _params: Vec<Matrix>) {
         panic!("{} does not support parameter snapshots", self.name());
+    }
+
+    /// Model-health diagnostics for the current parameters (see
+    /// [`ModelDiagnostics`]). The default is `None`: models without a
+    /// layered propagation structure (or where the probes would be
+    /// meaningless) opt out, and the trainer emits a schema-complete empty
+    /// record in their place. Implementations must be read-only and cheap
+    /// relative to an epoch — the trainer calls this once per validated
+    /// epoch.
+    fn diagnostics(&self, _ds: &Dataset) -> Option<ModelDiagnostics> {
+        None
     }
 }

@@ -174,6 +174,120 @@ fn graph_models_tick_spmm_counters() {
 }
 
 #[test]
+fn diagnostics_are_finite_and_schema_complete() {
+    // Every registry model either opts out of diagnostics (None) or returns
+    // a fully finite probe whose JSONL rendering is schema-complete. The
+    // propagation models must all opt in — over-smoothing is the paper's
+    // core subject and losing the probe silently would gut the diagnosis.
+    let ds = dataset();
+    for kind in ModelKind::all() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut m = kind.build(&ds, &mut rng);
+        m.train_epoch(&ds, 0, &mut rng);
+        let Some(d) = m.diagnostics(&ds) else {
+            assert!(
+                !matches!(
+                    kind,
+                    ModelKind::Ngcf
+                        | ModelKind::LrGccf
+                        | ModelKind::LightGcn
+                        | ModelKind::ImpGcn
+                        | ModelKind::LayerGcnNoDrop
+                        | ModelKind::LayerGcnFull
+                ),
+                "{}: propagation model must implement diagnostics",
+                m.name()
+            );
+            continue;
+        };
+        assert!(
+            !d.smoothness.is_empty(),
+            "{}: diagnostics without a smoothness chain",
+            m.name()
+        );
+        for (l, s) in d.smoothness.iter().enumerate() {
+            assert!(
+                s.is_finite() && (-1.0..=1.0).contains(s),
+                "{}: smoothness[{l}] = {s} out of cosine range",
+                m.name()
+            );
+        }
+        assert!(
+            d.embedding_l2.is_finite() && d.embedding_l2 > 0.0,
+            "{}: embedding L2 {} not positive-finite",
+            m.name(),
+            d.embedding_l2
+        );
+        let gn = d.grad_norm.expect("trained epoch must record gradients");
+        assert!(gn.is_finite() && gn > 0.0, "{}: grad norm {gn}", m.name());
+        for (g, v) in &d.grad_groups {
+            assert!(!g.is_empty() && v.is_finite(), "{}: group {g}={v}", m.name());
+        }
+        for w in &d.layer_weights {
+            assert!(w.is_finite(), "{}: layer weight {w}", m.name());
+        }
+        // The JSONL rendering must carry every schema key, round-trip
+        // through the parser, and stay free of nulls (all values finite).
+        let rec = lrgcn_obs::diag::DiagRecord {
+            run: 1,
+            epoch: 0,
+            model: m.name(),
+            smoothness: d.smoothness.clone(),
+            embedding_l2: d.embedding_l2,
+            grad_norm: d.grad_norm,
+            grad_groups: d.grad_groups.clone(),
+            layer_weights: d.layer_weights.clone(),
+        };
+        let line = rec.to_value().render();
+        let v = lrgcn_obs::json::parse(&line).expect("diag record parses");
+        for key in [
+            "event",
+            "run",
+            "epoch",
+            "model",
+            "smoothness",
+            "embedding_l2",
+            "grad_norm",
+            "grad_groups",
+            "layer_weights",
+        ] {
+            assert!(
+                v.get(key).is_some(),
+                "{}: diag record missing key {key}: {line}",
+                m.name()
+            );
+        }
+        assert!(
+            !line.contains("null"),
+            "{}: finite diagnostics rendered a null: {line}",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn layergcn_diagnostics_show_refinement_weights() {
+    // LayerGCN's layer_weights are the per-layer mean cosine similarities
+    // (paper Fig. 5); after a few epochs they must sit inside [-1, 1] and
+    // have exactly n_layers entries.
+    let ds = dataset();
+    let kind = ModelKind::parse("layernodrop").expect("registry name");
+    let mut rng = StdRng::seed_from_u64(37);
+    let mut m = kind.build(&ds, &mut rng);
+    for e in 0..3 {
+        m.train_epoch(&ds, e, &mut rng);
+    }
+    let d = m.diagnostics(&ds).expect("layergcn implements diagnostics");
+    assert_eq!(d.layer_weights.len(), 4, "default LayerGCN depth");
+    for w in &d.layer_weights {
+        assert!((-1.0..=1.0).contains(w), "similarity weight {w}");
+    }
+    // Sum readout over refined layers: smoothness chain covers ego + L
+    // layers, i.e. L consecutive pairs.
+    assert_eq!(d.smoothness.len(), 4);
+}
+
+#[test]
 fn parameter_counts_are_sane() {
     let ds = dataset();
     let n = ds.n_users() + ds.n_items();

@@ -1,0 +1,129 @@
+//! Model-health diagnostic records for the JSONL run log.
+//!
+//! The paper's central pathology is over-smoothing: as GCN layers stack,
+//! node embeddings collapse toward indistinguishable vectors (Zhou et al.,
+//! ICDE 2023, Figs. 1 and 5). A [`DiagRecord`] captures the per-epoch
+//! quantities that make that pathology — and ordinary training sickness
+//! like exploding gradients — visible offline:
+//!
+//! | field              | meaning                                                    |
+//! |--------------------|------------------------------------------------------------|
+//! | `smoothness`       | per-layer mean row-cosine between consecutive layer outputs (→1 means collapse) |
+//! | `embedding_l2`     | mean L2 norm of the ego-embedding rows (drift detector)    |
+//! | `grad_norm`        | global gradient L2 norm for the epoch's last step (`null` when the model does not expose it) |
+//! | `grad_groups`      | per-parameter-group gradient norms (`ego`, `w1`, ...)      |
+//! | `layer_weights`    | model-specific per-layer weighting (LayerGCN: mean cosine-to-ego, the Fig. 5 quantity; weighted LightGCN: softmax weights) |
+//!
+//! The schema is *complete*: every key is present in every record (empty
+//! arrays / `null` rather than omission), so offline consumers never need
+//! per-model branching.
+
+use crate::json::Value;
+
+/// One per-epoch model-health record, ready to serialise.
+#[derive(Clone, Debug)]
+pub struct DiagRecord {
+    pub run: u64,
+    /// 0-based epoch index, matching the surrounding `epoch` records.
+    pub epoch: u64,
+    /// Model registry name.
+    pub model: String,
+    /// Mean row-cosine between consecutive propagation layers, one entry
+    /// per layer transition (empty for non-layered models).
+    pub smoothness: Vec<f64>,
+    /// Mean L2 norm over embedding rows.
+    pub embedding_l2: f64,
+    /// Global gradient L2 norm from the most recent optimisation step.
+    pub grad_norm: Option<f64>,
+    /// Per-parameter-group gradient L2 norms, `(group name, norm)`.
+    pub grad_groups: Vec<(String, f64)>,
+    /// Model-specific per-layer weights (see module docs).
+    pub layer_weights: Vec<f64>,
+}
+
+fn num_arr(xs: &[f64]) -> Value {
+    Value::Arr(xs.iter().map(|&x| Value::num(x)).collect())
+}
+
+impl DiagRecord {
+    pub fn to_value(&self) -> Value {
+        Value::obj([
+            ("event", Value::str("diag")),
+            ("run", Value::u64(self.run)),
+            ("epoch", Value::u64(self.epoch)),
+            ("model", Value::str(self.model.clone())),
+            ("smoothness", num_arr(&self.smoothness)),
+            ("embedding_l2", Value::num(self.embedding_l2)),
+            (
+                "grad_norm",
+                match self.grad_norm {
+                    Some(g) => Value::num(g),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "grad_groups",
+                Value::Obj(
+                    self.grad_groups
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::num(*v)))
+                        .collect(),
+                ),
+            ),
+            ("layer_weights", num_arr(&self.layer_weights)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn diag_record_is_schema_complete() {
+        let rec = DiagRecord {
+            run: 3,
+            epoch: 1,
+            model: "layergcn".into(),
+            smoothness: vec![0.9, 0.95, 0.99],
+            embedding_l2: 0.11,
+            grad_norm: Some(0.02),
+            grad_groups: vec![("ego".into(), 0.02)],
+            layer_weights: vec![0.5, 0.3, 0.2],
+        };
+        let parsed = json::parse(&rec.to_value().render()).unwrap();
+        for key in [
+            "event",
+            "run",
+            "epoch",
+            "model",
+            "smoothness",
+            "embedding_l2",
+            "grad_norm",
+            "grad_groups",
+            "layer_weights",
+        ] {
+            assert!(parsed.get(key).is_some(), "missing key {key}");
+        }
+        assert_eq!(parsed.get("event").unwrap().as_str(), Some("diag"));
+        assert_eq!(parsed.get("grad_norm").unwrap().as_f64(), Some(0.02));
+    }
+
+    #[test]
+    fn absent_grad_norm_renders_as_null_not_omission() {
+        let rec = DiagRecord {
+            run: 1,
+            epoch: 0,
+            model: "itemknn".into(),
+            smoothness: vec![],
+            embedding_l2: 0.0,
+            grad_norm: None,
+            grad_groups: vec![],
+            layer_weights: vec![],
+        };
+        let parsed = json::parse(&rec.to_value().render()).unwrap();
+        assert_eq!(parsed.get("grad_norm"), Some(&Value::Null));
+        assert!(matches!(parsed.get("smoothness"), Some(Value::Arr(a)) if a.is_empty()));
+    }
+}

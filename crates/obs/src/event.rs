@@ -4,7 +4,7 @@
 //!
 //! | field   | type   | meaning                                            |
 //! |---------|--------|----------------------------------------------------|
-//! | `event` | string | `"run_start"`, `"epoch"` or `"run_summary"`        |
+//! | `event` | string | `"run_start"`, `"epoch"`, `"diag"` or `"run_summary"` |
 //! | `run`   | number | process-unique run id ([`crate::sink::next_run_id`]) |
 //!
 //! `epoch` records add `epoch` (0-based), `loss`, a `timings_s` object with
@@ -12,7 +12,11 @@
 //! with per-epoch kernel-counter deltas, `threads`, and
 //! `matrix_bytes_peak`; when the trainer validated that epoch they also
 //! carry a `val` object of ranking metrics. `run_summary` records add
-//! `epochs`, `wall_s`, and optionally a `test` metrics object.
+//! `epochs`, `wall_s`, `matrix_bytes_peak`, a `counters_total` object of
+//! run-cumulative kernel-counter totals, a `timers` object mapping each
+//! wall-clock histogram to `{count, p50_ns, p95_ns, p99_ns}`, and
+//! optionally a `test` metrics object. `diag` model-health records are
+//! documented in [`crate::diag`].
 //!
 //! Builders here only assemble [`Value`]s; callers should skip calling them
 //! entirely when [`crate::sink::enabled`] is false.
@@ -84,19 +88,102 @@ pub fn run_start(run: u64, model: &str, dataset: &str, threads: u64) -> Value {
     ])
 }
 
-/// End-of-run record: epoch count, total wall seconds, and (when the run
-/// ended with a test evaluation) a `test` metrics object.
-pub fn run_summary(run: u64, epochs: u64, wall_s: f64, test: Option<Value>) -> Value {
-    let mut fields = vec![
-        ("event", Value::str("run_summary")),
-        ("run", Value::u64(run)),
-        ("epochs", Value::u64(epochs)),
-        ("wall_s", Value::num(wall_s)),
-    ];
-    if let Some(test) = test {
-        fields.push(("test", test));
+/// End-of-run record: epoch count, total wall seconds, run-cumulative
+/// kernel-counter totals, the peak resident-matrix gauge, per-timer
+/// latency percentiles, and (when the run ended with a test evaluation) a
+/// `test` metrics object.
+#[derive(Clone, Debug)]
+pub struct RunSummaryRecord {
+    pub run: u64,
+    /// Epochs actually run.
+    pub epochs: u64,
+    /// Total wall seconds for the run.
+    pub wall_s: f64,
+    /// High-water mark of resident dense-matrix bytes.
+    pub matrix_bytes_peak: u64,
+    /// Kernel-counter totals accumulated over the whole run,
+    /// `(metric name, total)`.
+    pub counters_total: Vec<(&'static str, u64)>,
+    /// Per-timer latency summary over the run:
+    /// `(timer name, count, p50_ns, p95_ns, p99_ns)`.
+    pub timer_percentiles: Vec<(&'static str, u64, u64, u64, u64)>,
+    /// Test-split ranking metrics, when the run ended with one.
+    pub test_metrics: Option<Value>,
+}
+
+impl RunSummaryRecord {
+    pub fn to_value(&self) -> Value {
+        let counters = Value::Obj(
+            self.counters_total
+                .iter()
+                .map(|&(name, total)| (name.to_string(), Value::u64(total)))
+                .collect(),
+        );
+        let timers = Value::Obj(
+            self.timer_percentiles
+                .iter()
+                .map(|&(name, count, p50, p95, p99)| {
+                    (
+                        name.to_string(),
+                        Value::obj([
+                            ("count", Value::u64(count)),
+                            ("p50_ns", Value::u64(p50)),
+                            ("p95_ns", Value::u64(p95)),
+                            ("p99_ns", Value::u64(p99)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let mut fields = vec![
+            ("event", Value::str("run_summary")),
+            ("run", Value::u64(self.run)),
+            ("epochs", Value::u64(self.epochs)),
+            ("wall_s", Value::num(self.wall_s)),
+            ("matrix_bytes_peak", Value::u64(self.matrix_bytes_peak)),
+            ("counters_total", counters),
+            ("timers", timers),
+        ];
+        if let Some(test) = &self.test_metrics {
+            fields.push(("test", test.clone()));
+        }
+        Value::obj(fields)
     }
-    Value::obj(fields)
+}
+
+/// Builds a [`RunSummaryRecord`] from two registry snapshots bracketing the
+/// run, so counter totals and timer percentiles cover exactly this run even
+/// when several runs share one process.
+pub fn run_summary_between(
+    run: u64,
+    epochs: u64,
+    wall_s: f64,
+    at_start: &crate::registry::Snapshot,
+    at_end: &crate::registry::Snapshot,
+    test_metrics: Option<Value>,
+) -> RunSummaryRecord {
+    use crate::registry::{gauge_peak, Gauge, Hist};
+    RunSummaryRecord {
+        run,
+        epochs,
+        wall_s,
+        matrix_bytes_peak: gauge_peak(Gauge::MatrixBytes),
+        counters_total: at_end.counter_deltas_since(at_start),
+        timer_percentiles: Hist::ALL
+            .iter()
+            .map(|&h| {
+                let d = at_end.hist(h).delta_since(at_start.hist(h));
+                (
+                    h.name(),
+                    d.count,
+                    d.quantile_ns(0.50),
+                    d.quantile_ns(0.95),
+                    d.quantile_ns(0.99),
+                )
+            })
+            .collect(),
+        test_metrics,
+    }
 }
 
 /// Converts `(name, value)` metric pairs (e.g. `("recall@20", 0.12)`) into a
@@ -167,10 +254,52 @@ mod tests {
         assert_eq!(parsed.get("event").unwrap().as_str(), Some("run_start"));
         assert_eq!(parsed.get("model").unwrap().as_str(), Some("layergcn"));
 
-        let end = run_summary(5, 3, 12.5, Some(metrics_obj(&[("ndcg@20".into(), 0.08)])));
-        let parsed = json::parse(&end.render()).unwrap();
+        let end = RunSummaryRecord {
+            run: 5,
+            epochs: 3,
+            wall_s: 12.5,
+            matrix_bytes_peak: 1 << 22,
+            counters_total: vec![("tensor.spmm.calls", 120)],
+            timer_percentiles: vec![("train.epoch_ns", 3, 1 << 20, 1 << 21, 1 << 21)],
+            test_metrics: Some(metrics_obj(&[("ndcg@20".into(), 0.08)])),
+        };
+        let parsed = json::parse(&end.to_value().render()).unwrap();
         assert_eq!(parsed.get("event").unwrap().as_str(), Some("run_summary"));
         assert_eq!(parsed.get("wall_s").unwrap().as_f64(), Some(12.5));
         assert!(parsed.get("test").is_some());
+        let ct = parsed.get("counters_total").unwrap();
+        assert_eq!(ct.get("tensor.spmm.calls").unwrap().as_f64(), Some(120.0));
+        let timers = parsed.get("timers").unwrap();
+        let t = timers.get("train.epoch_ns").unwrap();
+        assert_eq!(t.get("count").unwrap().as_f64(), Some(3.0));
+        assert!(t.get("p50_ns").unwrap().as_f64().unwrap() <= t.get("p95_ns").unwrap().as_f64().unwrap());
+        assert_eq!(
+            parsed.get("matrix_bytes_peak").unwrap().as_f64(),
+            Some((1u64 << 22) as f64)
+        );
+    }
+
+    #[test]
+    fn run_summary_between_covers_only_the_bracketed_interval() {
+        use crate::registry::{self, Counter, Hist};
+        let before = registry::snapshot();
+        registry::add(Counter::EvalRankUsers, 7);
+        registry::record_ns(Hist::EvalRank, 1_000);
+        let after = registry::snapshot();
+        let rec = run_summary_between(1, 2, 0.5, &before, &after, None);
+        let (_, d) = rec
+            .counters_total
+            .iter()
+            .find(|(n, _)| *n == Counter::EvalRankUsers.name())
+            .unwrap();
+        assert!(*d >= 7);
+        let &(_, count, p50, p95, p99) = rec
+            .timer_percentiles
+            .iter()
+            .find(|(n, ..)| *n == Hist::EvalRank.name())
+            .unwrap();
+        assert!(count >= 1);
+        assert!(p50 >= 1_000 && p50 <= p95 && p95 <= p99);
+        assert_eq!(rec.timer_percentiles.len(), Hist::ALL.len());
     }
 }

@@ -20,17 +20,22 @@
 //!    <path>` on the CLI, or the `LRGCN_LOG_JSON` environment variable).
 //!    When no sink is installed, [`sink::enabled`] is a single atomic load
 //!    and event construction is skipped entirely; when installed, the
-//!    trainer emits one structured record per epoch and a run summary (see
+//!    trainer emits one structured record per epoch, a model-health
+//!    [`diag`] record per validated epoch, and a run summary (see
 //!    [`event`] for the schema).
+//! 4. **[`trace`]** — optional hierarchical span tracing (`--trace <path>`
+//!    on the CLI, or `LRGCN_TRACE`), writing the Chrome `trace_event`
+//!    JSON-array format loadable in Perfetto / `chrome://tracing`. Span
+//!    sites follow the same suppressed-fast-path contract as the sink.
 //!
 //! ## Overhead contract
 //!
 //! With no sink installed the only costs are: one relaxed `fetch_add` per
-//! instrumented kernel call, two `Instant::now` calls per scoped timer, and
-//! one atomic load per suppressed event. The guard tests in
-//! `tests/overhead.rs` pin these costs; `crates/train` additionally checks
-//! that the per-epoch instrumentation budget stays under 5% of epoch wall
-//! time.
+//! instrumented kernel call, two `Instant::now` calls per scoped timer, one
+//! atomic load per suppressed event, and one atomic load per suppressed
+//! trace span. The guard tests in `tests/overhead.rs` pin these costs;
+//! `crates/train` additionally checks that the per-epoch instrumentation
+//! budget stays under 5% of epoch wall time.
 //!
 //! ## Example
 //!
@@ -46,11 +51,13 @@
 //! assert!(snap.counter(registry::Counter::MatmulCalls) >= 1);
 //! ```
 
+pub mod diag;
 pub mod event;
 pub mod json;
 pub mod registry;
 pub mod sink;
 pub mod timer;
+pub mod trace;
 
 pub use registry::{Counter, Gauge, Hist};
 pub use timer::scoped;

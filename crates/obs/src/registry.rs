@@ -278,6 +278,44 @@ impl HistSnapshot {
     pub fn mean_ns(&self) -> u64 {
         self.sum_ns.checked_div(self.count).unwrap_or(0)
     }
+
+    /// Approximate quantile `q` in `[0, 1]` from the log2 buckets: the
+    /// inclusive upper bound of the bucket holding the rank-`ceil(q*count)`
+    /// sample, clamped by the observed maximum. Resolution is therefore one
+    /// power of two — plenty for a p50/p95/p99 time breakdown. Returns 0
+    /// when the histogram is empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if b + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << (b + 1)) - 1
+                };
+                return upper.min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Samples recorded between `earlier` and `self`, as a histogram.
+    /// `max_ns` keeps the later absolute maximum — an upper bound on the
+    /// interval's true maximum, which is the safe direction for the
+    /// clamp in [`HistSnapshot::quantile_ns`].
+    pub fn delta_since(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum_ns: self.sum_ns.saturating_sub(earlier.sum_ns),
+            max_ns: self.max_ns,
+            buckets: std::array::from_fn(|b| self.buckets[b].saturating_sub(earlier.buckets[b])),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -398,6 +436,43 @@ mod tests {
         assert!(a.sum_ns >= b.sum_ns + 400);
         assert!(a.max_ns >= 300);
         assert!(after.hist_seconds_since(&before, Hist::CsrBuild) >= 400e-9);
+    }
+
+    #[test]
+    fn quantiles_track_bucket_upper_bounds() {
+        let mut h = HistSnapshot {
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            buckets: [0; HIST_BUCKETS],
+        };
+        assert_eq!(h.quantile_ns(0.5), 0, "empty histogram");
+        // 90 samples at ~100ns (bucket 6: [64,128)), 10 at ~1µs (bucket 9).
+        h.buckets[6] = 90;
+        h.buckets[9] = 10;
+        h.count = 100;
+        h.sum_ns = 90 * 100 + 10 * 1000;
+        h.max_ns = 1000;
+        assert_eq!(h.quantile_ns(0.50), 127);
+        assert_eq!(h.quantile_ns(0.90), 127);
+        assert_eq!(h.quantile_ns(0.95), 1000, "clamped by max_ns below 1023");
+        assert_eq!(h.quantile_ns(0.99), 1000);
+        assert_eq!(h.quantile_ns(1.0), 1000);
+    }
+
+    #[test]
+    fn hist_delta_subtracts_counts_and_buckets() {
+        let before = snapshot();
+        record_ns(Hist::DropoutSample, 100);
+        record_ns(Hist::DropoutSample, 100);
+        let after = snapshot();
+        let d = after
+            .hist(Hist::DropoutSample)
+            .delta_since(before.hist(Hist::DropoutSample));
+        assert!(d.count >= 2);
+        assert!(d.sum_ns >= 200);
+        assert!(d.buckets[bucket_of(100)] >= 2);
+        assert!(d.quantile_ns(0.5) >= 100);
     }
 
     #[test]

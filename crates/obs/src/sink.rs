@@ -9,7 +9,7 @@
 //! use lrgcn_obs::{event, sink};
 //!
 //! if sink::enabled() {
-//!     sink::emit(&event::run_summary(7, 3, 12.5, None));
+//!     sink::emit(&event::run_start(7, "layergcn", "mooc", 8));
 //! }
 //! ```
 //!

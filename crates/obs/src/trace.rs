@@ -1,0 +1,262 @@
+//! Hierarchical span tracing in the Chrome `trace_event` format.
+//!
+//! A [`Span`] is an RAII guard: creating one emits a `"B"` (begin) event,
+//! dropping it emits the matching `"E"` (end). The output is a JSON *array*
+//! of events — the format `chrome://tracing` and Perfetto load directly —
+//! written incrementally so a crashed run still leaves a mostly-loadable
+//! trace (both viewers tolerate a missing `]`).
+//!
+//! The same overhead contract as [`crate::sink`] applies: with no trace
+//! writer installed, [`span`] is one relaxed atomic load returning a
+//! disarmed guard, and its drop is a branch on a bool. Span sites can
+//! therefore live at kernel boundaries (SpMM, matmul) and stay compiled in.
+//!
+//! Timestamps (`ts`, microseconds as f64) are measured against one
+//! process-global monotonic epoch, *before* the writer lock is taken, so
+//! within a single thread (`tid`) events appear in the file in
+//! non-decreasing `ts` order. Thread ids are small dense integers handed
+//! out on each thread's first span — stable for the thread's lifetime.
+//!
+//! ```
+//! use lrgcn_obs::trace;
+//!
+//! {
+//!     let _run = trace::span("epoch", "train");
+//!     let _inner = trace::span("spmm", "tensor");
+//!     // ... traced work ...
+//! } // spans close innermost-first: E("spmm"), then E("epoch")
+//! trace::finish(); // writes the closing `]` (no-op when never installed)
+//! ```
+
+use crate::json::Value;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+struct TraceWriter {
+    out: Box<dyn Write + Send>,
+    /// Whether any event has been written yet (controls comma placement).
+    wrote_any: bool,
+}
+
+static WRITER: Mutex<Option<TraceWriter>> = Mutex::new(None);
+
+/// Monotonic zero point for all `ts` values in this process. Shared across
+/// installs so appending traces from one process stay comparable.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Dense per-thread id, allocated on the thread's first traced span.
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// True when a trace writer is installed — the one-load fast path every
+/// span site checks.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `w` as the trace writer and emits the array opener. Replaces
+/// (and finalises) any previous writer.
+pub fn install(w: Box<dyn Write + Send>) {
+    let _ = EPOCH.set(Instant::now()); // first install wins; later ones share it
+    let mut guard = WRITER.lock().unwrap();
+    if let Some(old) = guard.as_mut() {
+        let _ = old.out.write_all(b"\n]\n");
+        let _ = old.out.flush();
+    }
+    let mut tw = TraceWriter {
+        out: w,
+        wrote_any: false,
+    };
+    let _ = tw.out.write_all(b"[");
+    *guard = Some(tw);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Creates (truncating) `path` and installs it as the trace writer. Unlike
+/// the JSONL sink, traces do not append: one file is one self-contained
+/// JSON array.
+pub fn install_file(path: &str) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    install(Box::new(file));
+    Ok(())
+}
+
+/// Closes the JSON array, flushes and removes the writer. Safe to call when
+/// no writer is installed. Spans still alive at this point will drop their
+/// end events silently — call `finish` only after all spans have closed.
+pub fn finish() {
+    ENABLED.store(false, Ordering::Relaxed);
+    let mut guard = WRITER.lock().unwrap();
+    if let Some(mut tw) = guard.take() {
+        let _ = tw.out.write_all(b"\n]\n");
+        let _ = tw.out.flush();
+    }
+}
+
+/// Microseconds since the process trace epoch.
+#[inline]
+fn now_us() -> f64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as f64 / 1e3
+}
+
+/// Emits one duration event. `ph` is `"B"` or `"E"`. The timestamp is taken
+/// before the lock so per-thread file order is `ts`-monotone.
+fn emit(name: &'static str, cat: &'static str, ph: &'static str) {
+    let ts = now_us();
+    let tid = TID.with(|t| *t);
+    let ev = Value::obj([
+        ("name", Value::str(name)),
+        ("cat", Value::str(cat)),
+        ("ph", Value::str(ph)),
+        ("ts", Value::num(ts)),
+        ("pid", Value::u64(1)),
+        ("tid", Value::u64(tid)),
+    ]);
+    let mut guard = WRITER.lock().unwrap();
+    if let Some(tw) = guard.as_mut() {
+        let sep: &[u8] = if tw.wrote_any { b",\n" } else { b"\n" };
+        tw.wrote_any = true;
+        let _ = tw.out.write_all(sep);
+        let _ = tw.out.write_all(ev.render().as_bytes());
+    }
+}
+
+/// RAII span guard: emits `"E"` for its `"B"` when dropped. Disarmed (a
+/// pure no-op) when tracing was disabled at creation time.
+#[must_use = "a span ends when dropped; binding it to `_` ends it immediately"]
+pub struct Span {
+    name: &'static str,
+    cat: &'static str,
+    armed: bool,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.armed {
+            emit(self.name, self.cat, "E");
+        }
+    }
+}
+
+/// Opens a span named `name` in category `cat` (the trace viewer groups by
+/// category). Returns a disarmed guard when tracing is disabled.
+#[inline]
+pub fn span(name: &'static str, cat: &'static str) -> Span {
+    if !enabled() {
+        return Span {
+            name,
+            cat,
+            armed: false,
+        };
+    }
+    emit(name, cat, "B");
+    Span {
+        name,
+        cat,
+        armed: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    #[derive(Clone)]
+    struct SharedBuf(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    // Tests that install the global trace writer must not interleave.
+    static TRACE_TEST_LOCK: StdMutex<()> = StdMutex::new(());
+
+    fn capture<F: FnOnce()>(f: F) -> Value {
+        let buf = Arc::new(StdMutex::new(Vec::new()));
+        install(Box::new(SharedBuf(buf.clone())));
+        f();
+        finish();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        json::parse(&text).expect("trace output parses as JSON")
+    }
+
+    fn events(v: &Value) -> &[Value] {
+        match v {
+            Value::Arr(evs) => evs,
+            other => panic!("trace root is not an array: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_spans_emit_balanced_events() {
+        let _serial = TRACE_TEST_LOCK.lock().unwrap();
+        let root = capture(|| {
+            let _outer = span("outer", "test");
+            {
+                let _inner = span("inner", "test");
+            }
+        });
+        let evs = events(&root);
+        assert_eq!(evs.len(), 4);
+        let phases: Vec<&str> = evs.iter().map(|e| e.get("ph").unwrap().as_str().unwrap()).collect();
+        assert_eq!(phases, ["B", "B", "E", "E"]);
+        let names: Vec<&str> = evs.iter().map(|e| e.get("name").unwrap().as_str().unwrap()).collect();
+        assert_eq!(names, ["outer", "inner", "inner", "outer"]);
+    }
+
+    #[test]
+    fn timestamps_are_monotone_and_fields_complete() {
+        let _serial = TRACE_TEST_LOCK.lock().unwrap();
+        let root = capture(|| {
+            for _ in 0..5 {
+                let _s = span("tick", "test");
+            }
+        });
+        let mut prev = f64::NEG_INFINITY;
+        for ev in events(&root) {
+            for key in ["name", "cat", "ph", "ts", "pid", "tid"] {
+                assert!(ev.get(key).is_some(), "event missing {key}");
+            }
+            let ts = ev.get("ts").unwrap().as_f64().unwrap();
+            assert!(ts >= prev, "single-thread ts regressed: {ts} < {prev}");
+            prev = ts;
+        }
+    }
+
+    #[test]
+    fn disabled_spans_write_nothing() {
+        let _serial = TRACE_TEST_LOCK.lock().unwrap();
+        finish(); // ensure disabled
+        assert!(!enabled());
+        let _s = span("silent", "test");
+        drop(_s);
+        // Installing afterwards starts a fresh, empty array.
+        let root = capture(|| {});
+        assert_eq!(events(&root).len(), 0);
+    }
+
+    #[test]
+    fn finish_without_install_is_a_noop() {
+        let _serial = TRACE_TEST_LOCK.lock().unwrap();
+        finish();
+        finish();
+        assert!(!enabled());
+    }
+}

@@ -13,7 +13,7 @@
 //! which would blow past them by orders of magnitude.
 
 use lrgcn_obs::registry::{self, Counter, Gauge, Hist};
-use lrgcn_obs::{sink, timer};
+use lrgcn_obs::{sink, timer, trace};
 use std::time::Instant;
 
 /// Measures `f` over `iters` iterations and returns mean ns/op.
@@ -67,6 +67,23 @@ fn suppressed_sink_check_is_one_atomic_load() {
 }
 
 #[test]
+fn disarmed_trace_span_stays_under_budget() {
+    // With no trace writer installed, span() is one relaxed load returning
+    // a guard whose drop is a branch on a bool — span sites sit at kernel
+    // boundaries (SpMM, matmul), so this must stay in the same class as a
+    // suppressed sink check.
+    trace::finish();
+    let per_op = ns_per_op(1_000_000, || {
+        let s = trace::span("overhead", "test");
+        drop(s);
+    });
+    assert!(
+        per_op < 250.0,
+        "disarmed trace span costs {per_op:.1} ns — emitting while disabled?"
+    );
+}
+
+#[test]
 fn scoped_timer_stays_under_budget() {
     // Two `Instant::now` calls plus three relaxed atomics per timer. Scoped
     // timers wrap *phases* (epochs, CSR builds, eval passes), never inner
@@ -102,6 +119,10 @@ fn per_epoch_instrumentation_budget_is_under_five_percent() {
     }
     for _ in 0..50 {
         drop(timer::scoped(Hist::SamplerBatch));
+    }
+    for _ in 0..2_000 {
+        // Kernel-boundary trace spans, disarmed (no writer installed).
+        drop(trace::span("kernel", "tensor"));
     }
     let _ = registry::snapshot(); // the per-epoch delta snapshot
     let spent = start.elapsed();

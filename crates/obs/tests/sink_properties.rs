@@ -125,7 +125,11 @@ fn emit_random_run(rng: &mut Rng) -> ExpectedRun {
         });
         sink::emit(&rec.to_value());
     }
-    sink::emit(&event::run_summary(run, n_epochs, rng.f64() * 100.0, None));
+    let snap = lrgcn_obs::registry::snapshot();
+    sink::emit(
+        &event::run_summary_between(run, n_epochs, rng.f64() * 100.0, &snap, &snap, None)
+            .to_value(),
+    );
     ExpectedRun {
         run,
         model,
@@ -280,8 +284,9 @@ fn interleaved_runs_remain_separable() {
             );
         }
     }
-    sink::emit(&event::run_summary(b, 3, 1.0, None));
-    sink::emit(&event::run_summary(a, 3, 1.5, None));
+    let snap = lrgcn_obs::registry::snapshot();
+    sink::emit(&event::run_summary_between(b, 3, 1.0, &snap, &snap, None).to_value());
+    sink::emit(&event::run_summary_between(a, 3, 1.5, &snap, &snap, None).to_value());
     sink::uninstall();
 
     let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();

@@ -163,6 +163,7 @@ impl Matrix {
         );
         registry::add(Counter::MatmulCalls, 1);
         registry::add(Counter::MatmulCells, (self.rows * other.cols) as u64);
+        let _span = lrgcn_obs::trace::span("matmul", "kernel");
         let mut out = Matrix::zeros(self.rows, other.cols);
         let ocols = other.cols;
         if ocols == 0 {
@@ -203,6 +204,7 @@ impl Matrix {
         );
         registry::add(Counter::MatmulCalls, 1);
         registry::add(Counter::MatmulCells, (self.cols * other.cols) as u64);
+        let _span = lrgcn_obs::trace::span("matmul_tn", "kernel");
         let mut out = Matrix::zeros(self.cols, other.cols);
         let ocols = other.cols;
         if ocols == 0 {
@@ -243,6 +245,7 @@ impl Matrix {
         );
         registry::add(Counter::MatmulCalls, 1);
         registry::add(Counter::MatmulCells, (self.rows * other.rows) as u64);
+        let _span = lrgcn_obs::trace::span("matmul_nt", "kernel");
         let mut out = Matrix::zeros(self.rows, other.rows);
         let ocols = other.rows;
         if ocols == 0 {
@@ -363,6 +366,7 @@ impl Matrix {
     pub fn gather_rows(&self, indices: &[u32]) -> Matrix {
         registry::add(Counter::GatherCalls, 1);
         registry::add(Counter::GatherRows, indices.len() as u64);
+        let _span = lrgcn_obs::trace::span("gather", "kernel");
         let mut out = Matrix::zeros(indices.len(), self.cols);
         for (o, &i) in indices.iter().enumerate() {
             out.row_mut(o).copy_from_slice(self.row(i as usize));

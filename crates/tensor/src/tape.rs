@@ -262,6 +262,7 @@ impl Tape {
             lrgcn_obs::Counter::SpmmMacs,
             (s.matrix().nnz() * width) as u64,
         );
+        let _span = lrgcn_obs::trace::span("spmm", "kernel");
         let mut out = vec![0.0; s.matrix().n_rows() * width];
         s.matrix()
             .spmm_into_parallel(va.data(), width, &mut out, par::effective_threads());
@@ -607,6 +608,7 @@ impl Tape {
                     lrgcn_obs::Counter::SpmmMacs,
                     (s.transpose().nnz() * width) as u64,
                 );
+                let _span = lrgcn_obs::trace::span("spmm_bwd", "kernel");
                 let mut da = vec![0.0; s.transpose().n_rows() * width];
                 s.transpose()
                     .spmm_into_parallel(g.data(), width, &mut da, par::effective_threads());

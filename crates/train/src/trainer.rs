@@ -5,15 +5,21 @@
 //! When a JSONL sink is installed (see [`lrgcn_obs::sink`]), each run emits
 //! a `run_start` record, one `epoch` record per epoch (loss, per-phase wall
 //! timings, kernel-counter deltas, thread count, peak resident matrix
-//! bytes, validation metrics when computed) and a `run_summary`; with no
-//! sink the only overhead is the always-on counters and the per-phase
-//! scoped timers.
+//! bytes, validation metrics when computed), one `diag` record per
+//! validated epoch (model-health probes: per-layer smoothness, gradient
+//! norms, embedding drift — see [`lrgcn_obs::diag`]) and a `run_summary`;
+//! with no sink the only overhead is the always-on counters and the
+//! per-phase scoped timers.
+//!
+//! When a trace writer is installed (see [`lrgcn_obs::trace`]) the loop
+//! additionally emits hierarchical `run` → `epoch` → phase wall-clock
+//! spans into the Chrome `trace_event` stream.
 
 use crate::history::{EpochRecord, History};
 use lrgcn_data::Dataset;
 use lrgcn_eval::{evaluate_ranking_parallel, EvalReport, Split};
 use lrgcn_models::Recommender;
-use lrgcn_obs::{event, registry, sink, timer};
+use lrgcn_obs::{diag, event, registry, sink, timer, trace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -39,6 +45,11 @@ pub struct TrainConfig {
     /// epoch" protocol. Models without snapshot support keep their final
     /// state.
     pub restore_best: bool,
+    /// Compute model-health diagnostics on every validated epoch even when
+    /// no JSONL sink is installed, storing the per-layer values into the
+    /// in-memory [`History`] (`layer_values`). With a sink installed the
+    /// diagnostics are computed and emitted regardless of this flag.
+    pub record_diagnostics: bool,
 }
 
 impl Default for TrainConfig {
@@ -51,6 +62,7 @@ impl Default for TrainConfig {
             seed: 2023,
             verbose: false,
             restore_best: false,
+            record_diagnostics: false,
         }
     }
 }
@@ -92,16 +104,24 @@ pub fn train_with_early_stopping(
     ds: &Dataset,
     cfg: &TrainConfig,
 ) -> TrainOutcome {
+    let _run_span = trace::span("run", "run");
+    let at_start = registry::snapshot();
     let run_id = start_run(model, ds);
     let started = Instant::now();
     let outcome = train_inner(model, ds, cfg, run_id);
     if sink::enabled() {
-        sink::emit(&event::run_summary(
-            run_id,
-            outcome.epochs_run as u64,
-            started.elapsed().as_secs_f64(),
-            None,
-        ));
+        let at_end = registry::snapshot();
+        sink::emit(
+            &event::run_summary_between(
+                run_id,
+                outcome.epochs_run as u64,
+                started.elapsed().as_secs_f64(),
+                &at_start,
+                &at_end,
+                None,
+            )
+            .to_value(),
+        );
     }
     outcome
 }
@@ -114,12 +134,17 @@ pub fn train_and_test(
     cfg: &TrainConfig,
     ks: &[usize],
 ) -> (TrainOutcome, EvalReport) {
+    let _run_span = trace::span("run", "run");
+    let at_start = registry::snapshot();
     let run_id = start_run(model, ds);
     let started = Instant::now();
     let outcome = train_inner(model, ds, cfg, run_id);
-    model.refresh(ds);
-    let scorer = |users: &[u32]| model.score_users(ds, users);
-    let report = evaluate_ranking_parallel(ds, Split::Test, ks, 256, &scorer);
+    let report = {
+        let _test_span = trace::span("test", "phase");
+        model.refresh(ds);
+        let scorer = |users: &[u32]| model.score_users(ds, users);
+        evaluate_ranking_parallel(ds, Split::Test, ks, 256, &scorer)
+    };
     if sink::enabled() {
         let pairs: Vec<(String, f64)> = report
             .metrics
@@ -131,12 +156,18 @@ pub fn train_and_test(
                 ]
             })
             .collect();
-        sink::emit(&event::run_summary(
-            run_id,
-            outcome.epochs_run as u64,
-            started.elapsed().as_secs_f64(),
-            Some(event::metrics_obj(&pairs)),
-        ));
+        let at_end = registry::snapshot();
+        sink::emit(
+            &event::run_summary_between(
+                run_id,
+                outcome.epochs_run as u64,
+                started.elapsed().as_secs_f64(),
+                &at_start,
+                &at_end,
+                Some(event::metrics_obj(&pairs)),
+            )
+            .to_value(),
+        );
     }
     (outcome, report)
 }
@@ -171,28 +202,47 @@ fn train_inner(
     let has_val = !ds.val_users().is_empty();
 
     for epoch in 0..cfg.max_epochs {
+        let _epoch_span = trace::span("epoch", "run");
         let at_epoch_start = registry::snapshot();
-        let train_timer = timer::scoped(lrgcn_obs::Hist::EpochTrain);
-        let stats = model.train_epoch(ds, epoch, &mut rng);
-        let train_ns = train_timer.stop();
+        let (stats, train_ns) = {
+            let _span = trace::span("train", "phase");
+            let train_timer = timer::scoped(lrgcn_obs::Hist::EpochTrain);
+            let stats = model.train_epoch(ds, epoch, &mut rng);
+            let ns = train_timer.stop();
+            (stats, ns)
+        };
         registry::add(lrgcn_obs::Counter::TrainEpochs, 1);
         epochs_run = epoch + 1;
         let mut val_metric = None;
+        let mut diagnostics = None;
         let mut refresh_ns = 0u64;
         let mut val_ns = 0u64;
         if has_val && (epoch % cfg.eval_every == cfg.eval_every - 1 || epoch + 1 == cfg.max_epochs)
         {
-            let refresh_timer = timer::scoped(lrgcn_obs::Hist::EpochRefresh);
-            model.refresh(ds);
-            refresh_ns = refresh_timer.stop();
+            let refresh_ns_inner = {
+                let _span = trace::span("refresh", "phase");
+                let refresh_timer = timer::scoped(lrgcn_obs::Hist::EpochRefresh);
+                model.refresh(ds);
+                refresh_timer.stop()
+            };
+            refresh_ns = refresh_ns_inner;
             // `Recommender: Sync` + `score_users(&self)` lets validation fan
             // user chunks out across threads (bitwise identical to serial).
             let scorer = |users: &[u32]| model.score_users(ds, users);
-            let val_timer = timer::scoped(lrgcn_obs::Hist::EpochVal);
-            let rep = evaluate_ranking_parallel(ds, Split::Val, &[cfg.criterion_k], 256, &scorer);
-            val_ns = val_timer.stop();
+            let rep = {
+                let _span = trace::span("val", "phase");
+                let val_timer = timer::scoped(lrgcn_obs::Hist::EpochVal);
+                let rep =
+                    evaluate_ranking_parallel(ds, Split::Val, &[cfg.criterion_k], 256, &scorer);
+                val_ns = val_timer.stop();
+                rep
+            };
             let m = rep.recall(cfg.criterion_k);
             val_metric = Some(m);
+            if sink::enabled() || cfg.record_diagnostics {
+                let _span = trace::span("diag", "phase");
+                diagnostics = model.diagnostics(ds);
+            }
             if cfg.verbose {
                 eprintln!(
                     "[{}] epoch {:>4} loss {:>10.5} val R@{} {:.4}",
@@ -235,12 +285,37 @@ fn train_inner(
                 }
                 .to_value(),
             );
+            if let Some(d) = &diagnostics {
+                sink::emit(
+                    &diag::DiagRecord {
+                        run: run_id,
+                        epoch: epoch as u64,
+                        model: model.name(),
+                        smoothness: d.smoothness.clone(),
+                        embedding_l2: d.embedding_l2,
+                        grad_norm: d.grad_norm,
+                        grad_groups: d.grad_groups.clone(),
+                        layer_weights: d.layer_weights.clone(),
+                    }
+                    .to_value(),
+                );
+            }
         }
+        // Fig. 1 / Fig. 5 per-layer values: the model's layer weights when
+        // the readout has them (LayerGCN: refinement similarities), else the
+        // smoothness chain.
+        let layer_values = diagnostics.as_ref().map(|d| {
+            if d.layer_weights.is_empty() {
+                d.smoothness.clone()
+            } else {
+                d.layer_weights.clone()
+            }
+        });
         history.push(EpochRecord {
             epoch,
             train_loss: stats.loss,
             val_metric,
-            layer_values: None,
+            layer_values,
         });
         if strikes >= cfg.patience {
             break;

@@ -41,8 +41,33 @@ const GOLDEN_RECALL: [f64; EPOCHS] = [
     0.66463414634146345,
     0.68191056910569103,
 ];
+/// Per-epoch LayerGCN layer similarities (the Fig. 5 refinement weights,
+/// recorded into `History::layer_values` by `record_diagnostics`). The
+/// diagnostics probe accumulates serially in f64, so these too are
+/// thread-invariant and pinned to the same tolerance.
+#[allow(clippy::excessive_precision)]
+const GOLDEN_SIMS: [[f64; 4]; EPOCHS] = [
+    [
+        0.01855245605111122,
+        0.08845362812280655,
+        0.01677223108708858,
+        0.06840750575065613,
+    ],
+    [
+        0.03228902444243431,
+        0.15920068323612213,
+        0.03093312866985798,
+        0.12100542336702347,
+    ],
+    [
+        0.04605074599385262,
+        0.19458585977554321,
+        0.04709725454449654,
+        0.13851954042911530,
+    ],
+];
 
-fn run_trajectory() -> (Vec<f64>, Vec<f64>) {
+fn run_trajectory() -> (Vec<f64>, Vec<f64>, Vec<Vec<f64>>) {
     let log = SyntheticConfig::mooc().scaled(0.25).generate(11);
     let ds = Dataset::chronological_split("mooc-golden", &log, SplitRatios::default());
     let mut rng = StdRng::seed_from_u64(2023);
@@ -55,22 +80,31 @@ fn run_trajectory() -> (Vec<f64>, Vec<f64>) {
         seed: 7,
         verbose: false,
         restore_best: false,
+        record_diagnostics: true,
     };
     let out = train_with_early_stopping(&mut model, &ds, &cfg);
     let recalls: Vec<f64> = out.history.val_curve().iter().map(|&(_, r)| r).collect();
-    (out.history.losses(), recalls)
+    let sims: Vec<Vec<f64>> = out
+        .history
+        .records()
+        .iter()
+        .filter_map(|r| r.layer_values.clone())
+        .collect();
+    (out.history.losses(), recalls, sims)
 }
 
 #[test]
 fn layergcn_mooc_trajectory_matches_golden_values() {
-    let (losses, recalls) = run_trajectory();
+    let (losses, recalls, sims) = run_trajectory();
     if std::env::var("LRGCN_GOLDEN_PRINT").is_ok() {
         println!("GOLDEN_LOSS: {losses:.17?}");
         println!("GOLDEN_RECALL: {recalls:.17?}");
+        println!("GOLDEN_SIMS: {sims:.17?}");
         return;
     }
     assert_eq!(losses.len(), EPOCHS);
     assert_eq!(recalls.len(), EPOCHS);
+    assert_eq!(sims.len(), EPOCHS, "every epoch validates, so every epoch probes");
     let mut failures = Vec::new();
     for e in 0..EPOCHS {
         if (losses[e] - GOLDEN_LOSS[e]).abs() > TOL {
@@ -85,6 +119,14 @@ fn layergcn_mooc_trajectory_matches_golden_values() {
                 recalls[e], GOLDEN_RECALL[e]
             ));
         }
+        assert_eq!(sims[e].len(), GOLDEN_SIMS[e].len(), "layer count changed");
+        for (l, (&got, &want)) in sims[e].iter().zip(&GOLDEN_SIMS[e]).enumerate() {
+            if (got - want).abs() > TOL {
+                failures.push(format!(
+                    "epoch {e} layer {l} similarity {got:.9} != golden {want:.9}"
+                ));
+            }
+        }
     }
     if !failures.is_empty() {
         // The word below is the tripwire scripts/verify.sh greps for; it
@@ -98,8 +140,9 @@ fn layergcn_mooc_trajectory_matches_golden_values() {
 fn trajectory_is_reproducible_within_one_build() {
     // Guards the *premise* of the golden test: two in-process runs with the
     // same seeds must agree bitwise, otherwise pinned constants would flake.
-    let (l1, r1) = run_trajectory();
-    let (l2, r2) = run_trajectory();
+    let (l1, r1, s1) = run_trajectory();
+    let (l2, r2, s2) = run_trajectory();
     assert_eq!(l1, l2, "losses varied across identical runs");
     assert_eq!(r1, r2, "recalls varied across identical runs");
+    assert_eq!(s1, s2, "layer similarities varied across identical runs");
 }

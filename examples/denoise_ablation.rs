@@ -38,6 +38,7 @@ fn main() {
             seed: 11,
             verbose: false,
             restore_best: true,
+            record_diagnostics: false,
         };
         let mut row = Vec::new();
         for pruner in [

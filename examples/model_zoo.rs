@@ -33,6 +33,7 @@ fn main() {
         seed: 5,
         verbose: false,
         restore_best: true,
+        record_diagnostics: false,
     };
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
     // The paper's Table II column set, then the extra library baselines

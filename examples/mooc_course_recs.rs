@@ -38,6 +38,7 @@ fn main() {
         seed: 7,
         verbose: false,
         restore_best: true,
+        record_diagnostics: false,
     };
 
     // LightGCN at 4 layers (the depth where the paper shows it degrades).

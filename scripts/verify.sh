@@ -6,7 +6,10 @@
 #      the golden-trajectory and determinism suites must pass at both; any
 #      numeric divergence prints "numeric drift detected" and fails the grep
 #   3. clippy with warnings denied
-#   4. the PR-1 parallel-execution benchmark (writes BENCH_PR1.json)
+#   4. observability smoke: a seeded 2-epoch CLI run with --log-json and
+#      --trace must leave a parseable JSONL log and Chrome trace, and
+#      `lrgcn report` / `report --diff` must render them (exit 0, non-empty)
+#   5. the PR-1 parallel-execution benchmark (writes BENCH_PR1.json)
 #
 # Usage: scripts/verify.sh [--skip-bench]
 set -euo pipefail
@@ -34,6 +37,21 @@ done
 
 echo "==> clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> observability smoke: train --log-json --trace, then report"
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+cargo run --release -q -p lrgcn-bench --bin make_fixture -- \
+    --out "$smoke/interactions.tsv" --preset games --scale 0.1 --seed 13
+./target/release/lrgcn train --input "$smoke/interactions.tsv" \
+    --epochs 2 --seed 5 --log-json "$smoke/run.jsonl" --trace "$smoke/trace.json"
+[[ -s "$smoke/run.jsonl" ]] || { echo "verify: --log-json wrote nothing"; exit 1; }
+[[ -s "$smoke/trace.json" ]] || { echo "verify: --trace wrote nothing"; exit 1; }
+rep=$(./target/release/lrgcn report "$smoke/run.jsonl")
+[[ -n "$rep" ]] || { echo "verify: report produced no output"; exit 1; }
+diffout=$(./target/release/lrgcn report --diff "$smoke/run.jsonl" "$smoke/run.jsonl")
+[[ -n "$diffout" ]] || { echo "verify: report --diff produced no output"; exit 1; }
+echo "observability smoke: OK"
 
 if [[ "${1:-}" != "--skip-bench" ]]; then
     echo "==> bench: epoch + eval wall time at 1 vs N threads -> BENCH_PR1.json"

@@ -89,6 +89,7 @@ fn all_models_improve_over_their_own_init() {
         seed: 5,
         verbose: false,
         restore_best: false,
+        record_diagnostics: false,
     };
     // A fast, representative subset (full zoo is covered in model unit
     // tests and the model_zoo example).
