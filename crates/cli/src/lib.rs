@@ -1,6 +1,6 @@
 //! # lrgcn-cli — command-line workflows for the LayerGCN recommender
 //!
-//! Five subcommands — four over `user item [timestamp]` text logs, plus an
+//! Six subcommands — five over `user item [timestamp]` text logs, plus an
 //! offline reporter over the JSONL run logs:
 //!
 //! ```text
@@ -10,6 +10,9 @@
 //!                 [--layers L] [--dropout R] [--lambda F] [--seed S]
 //! lrgcn evaluate  --input interactions.tsv --load model.ckpt [--ks 10,20,50]
 //! lrgcn recommend --input interactions.tsv --load model.ckpt --user ID [--k N]
+//!                 [--exclude-seen true|false]       # default true
+//! lrgcn serve     model.ckpt --input interactions.tsv [--port P] [--host H]
+//!                 [--workers N] [--cache N]         # online HTTP serving
 //! lrgcn report    LOG.jsonl            # or: report --diff A.jsonl B.jsonl
 //! ```
 //!
@@ -35,15 +38,30 @@
 //!   array of hierarchical wall-clock spans (run → epoch → phase → kernel)
 //!   loadable in `chrome://tracing` / Perfetto. See `lrgcn_obs::trace`.
 //!
-//! `train` currently checkpoints LayerGCN (the other models train and
-//! report, but only LayerGCN has a stable checkpoint format); `evaluate`
-//! and `recommend` rebuild the dataset with the same flags, so pass the
-//! same `--kcore`/`--seed` used at training time.
+//! `train --save` checkpoints LayerGCN and LightGCN (tagged with the model
+//! family, see `lrgcn::models::checkpoint`; the remaining baselines train
+//! and report but have no stable checkpoint format). `evaluate`,
+//! `recommend` and `serve` rebuild the dataset with the same flags, so pass
+//! the same `--input`/`--kcore`/`--layers` used at training time; the
+//! embedding dimension is inferred from the checkpoint itself.
+//!
+//! `recommend` masks items the user already interacted with in training by
+//! default; pass `--exclude-seen false` to rank the full catalogue.
+//!
+//! ## Serving
+//!
+//! `serve` loads the checkpoint once into an `lrgcn_serve::Engine` and
+//! answers HTTP on a fixed worker pool (`--workers`, default: the
+//! `LRGCN_THREADS` convention): `GET /recs/{user}?k=N`,
+//! `GET /similar/{item}?k=N`, `POST /score`, `GET /healthz`,
+//! `GET /metrics`, `POST /admin/reload` (hot checkpoint swap) and
+//! `POST /admin/shutdown` (graceful drain). Served rankings are
+//! byte-identical to the offline evaluator's top-K for any thread count.
 
 use lrgcn::data::{kcore, loader, Dataset, InteractionLog, SplitRatios};
 use lrgcn::eval::{evaluate_ranking_parallel, Split};
 use lrgcn::graph::EdgePruner;
-use lrgcn::models::{LayerGcn, LayerGcnConfig, ModelKind, Recommender};
+use lrgcn::models::{LayerGcn, LayerGcnConfig, ModelKind};
 use lrgcn::train::{train_with_early_stopping, TrainConfig};
 use lrgcn_bench::Args;
 use rand::rngs::StdRng;
@@ -93,6 +111,7 @@ pub fn run(tokens: Vec<String>) -> CliResult {
         "train" => cmd_train(&args),
         "evaluate" => cmd_evaluate(&args),
         "recommend" => cmd_recommend(&args),
+        "serve" => cmd_serve(&args, rest),
         "report" => report::cmd_report(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -108,6 +127,7 @@ pub fn run(tokens: Vec<String>) -> CliResult {
 
 fn usage() -> String {
     "usage: lrgcn <stats|train|evaluate|recommend> --input FILE [options]\n\
+     \x20      lrgcn serve CKPT --input FILE [--port P]\n\
      \x20      lrgcn report LOG.jsonl | report --diff A.jsonl B.jsonl\n\
      run `lrgcn help` or see the crate docs for the full option list"
         .to_string()
@@ -218,66 +238,123 @@ fn cmd_train(args: &Args) -> CliResult {
             "done: {} epochs, best val R@20 {:.4} at epoch {}",
             out.epochs_run, out.best_val_metric, out.best_epoch
         );
-        if args.get("save").is_some() {
-            return Err("--save currently supports only --model layergcn".into());
+        if let Some(path) = args.get("save") {
+            lrgcn::models::checkpoint::save_model(path, checkpoint_tag(kind), &*model)
+                .map_err(|e| format!("--save: {e}"))?;
+            println!("checkpoint written to {path}");
         }
     }
     Ok(())
 }
 
+/// Checkpoint family tag for a model kind. Only families implementing
+/// `Recommender::checkpoint_entries` ever reach the writer; the fallback
+/// string is only seen inside the resulting error message.
+fn checkpoint_tag(kind: ModelKind) -> &'static str {
+    match kind {
+        ModelKind::LightGcn => "lightgcn",
+        ModelKind::LayerGcnFull | ModelKind::LayerGcnNoDrop => "layergcn",
+        _ => "unsupported",
+    }
+}
+
+/// Engine options mirroring `layergcn_config`: the checkpoint carries the
+/// embedding dimension, everything else comes from the flags.
+fn engine_options(args: &Args) -> lrgcn_serve::EngineOptions {
+    lrgcn_serve::EngineOptions {
+        n_layers: args.get_parsed("layers", 4usize),
+        dropout: args.get_parsed("dropout", 0.1f32),
+        seed: args.get_parsed("seed", 2023u64),
+    }
+}
+
 fn cmd_evaluate(args: &Args) -> CliResult {
-    let ds = load_dataset(args)?;
+    let ds = std::sync::Arc::new(load_dataset(args)?);
     let path = args.get("load").ok_or("missing --load CHECKPOINT")?;
-    let mut rng = StdRng::seed_from_u64(args.get_parsed("seed", 2023u64));
-    let mut model = LayerGcn::new(&ds, layergcn_config(args), &mut rng);
-    model
-        .load(path)
-        .map_err(|e| format!("loading {path}: {e}"))?;
-    model.refresh(&ds);
+    let engine = lrgcn_serve::Engine::open(path, ds.clone(), engine_options(args))?;
+    let st = engine.state();
     let ks: Vec<usize> = args
         .get("ks")
         .unwrap_or("10,20,50")
         .split(',')
         .map(|s| s.trim().parse().map_err(|_| format!("bad K {s:?}")))
         .collect::<Result<_, _>>()?;
-    let scorer = |u: &[u32]| model.score_users(&ds, u);
+    let scorer = |u: &[u32]| st.score_users(u);
     let rep = evaluate_ranking_parallel(&ds, Split::Test, &ks, 256, &scorer);
+    println!("model: {} (dim {})", st.model_name, st.dim);
     println!("test users: {}", rep.n_users);
     println!("{}", rep.summary());
     Ok(())
 }
 
+/// Parses `--exclude-seen true|false` (absent or bare flag means true).
+fn exclude_seen_flag(args: &Args) -> Result<bool, String> {
+    match args.get("exclude-seen") {
+        None => Ok(true),
+        Some("true") | Some("1") => Ok(true),
+        Some("false") | Some("0") => Ok(false),
+        Some(other) => Err(format!("--exclude-seen wants true or false, got {other:?}")),
+    }
+}
+
 fn cmd_recommend(args: &Args) -> CliResult {
-    let ds = load_dataset(args)?;
+    let ds = std::sync::Arc::new(load_dataset(args)?);
     let path = args.get("load").ok_or("missing --load CHECKPOINT")?;
     let user: u32 = args
         .get("user")
         .ok_or("missing --user ID")?
         .parse()
         .map_err(|_| "bad --user id")?;
-    if user as usize >= ds.n_users() {
-        return Err(format!("user {user} out of range (0..{})", ds.n_users()));
-    }
     let k: usize = args.get_parsed("k", 10usize);
-    let mut rng = StdRng::seed_from_u64(args.get_parsed("seed", 2023u64));
-    let mut model = LayerGcn::new(&ds, layergcn_config(args), &mut rng);
-    model
-        .load(path)
-        .map_err(|e| format!("loading {path}: {e}"))?;
-    model.refresh(&ds);
-    let mut scores = model.score_users(&ds, &[user]);
-    let row = scores.row_mut(0);
-    for &it in ds.train_items(user) {
-        row[it as usize] = f32::NEG_INFINITY;
-    }
-    let top = lrgcn::eval::topk::top_k_indices(row, k);
+    let exclude_seen = exclude_seen_flag(args)?;
+    let engine = lrgcn_serve::Engine::open(path, ds.clone(), engine_options(args))?;
+    let st = engine.state();
+    let top = st.top_k(&ds, user, k, exclude_seen)?;
     println!(
-        "top-{k} items for user {user} (trained on {} items):",
-        ds.train_items(user).len()
+        "top-{k} items for user {user} ({}, trained on {} items{}):",
+        st.model_name,
+        ds.train_items(user).len(),
+        if exclude_seen { ", seen items masked" } else { "" }
     );
-    for (rank, item) in top.iter().enumerate() {
-        println!("{:>3}. item {}", rank + 1, item);
+    for (rank, (item, score)) in top.iter().enumerate() {
+        println!("{:>3}. item {:<8} score {score:.6}", rank + 1, item);
     }
+    Ok(())
+}
+
+fn cmd_serve(args: &Args, rest: &[String]) -> CliResult {
+    let ckpt = rest
+        .first()
+        .filter(|t| !t.starts_with("--"))
+        .map(String::as_str)
+        .or_else(|| args.get("load"))
+        .ok_or("missing checkpoint: lrgcn serve CKPT --input FILE (or --load CKPT)")?;
+    let ds = std::sync::Arc::new(load_dataset(args)?);
+    let engine = std::sync::Arc::new(lrgcn_serve::Engine::open(
+        ckpt,
+        ds,
+        engine_options(args),
+    )?);
+    let st = engine.state();
+    let cfg = lrgcn_serve::ServerConfig {
+        addr: format!(
+            "{}:{}",
+            args.get("host").unwrap_or("127.0.0.1"),
+            args.get_parsed("port", 8642u16)
+        ),
+        workers: args.get_parsed("workers", 0usize),
+        cache_capacity: args.get_parsed("cache", 4096usize),
+        ..lrgcn_serve::ServerConfig::default()
+    };
+    let handle = lrgcn_serve::serve(engine, cfg)?;
+    println!(
+        "serving {} — {} users x {} items, dim {}, {} parameters",
+        st.model_name, st.n_users, st.n_items, st.dim, st.n_parameters
+    );
+    println!("listening on http://{}", handle.addr());
+    println!("POST /admin/shutdown to stop");
+    handle.wait();
+    println!("shutdown complete");
     Ok(())
 }
 
@@ -344,7 +421,7 @@ mod tests {
     }
 
     #[test]
-    fn train_other_models_without_save() {
+    fn train_other_models_and_save_support() {
         let dir = std::env::temp_dir().join("lrgcn_cli_other");
         let path = write_fixture(&dir);
         run(argv(&format!(
@@ -352,18 +429,62 @@ mod tests {
             path.display()
         )))
         .expect("train lightgcn");
+        // Models without a stable checkpoint format still reject --save.
         let err = run(argv(&format!(
-            "train --input {} --model lightgcn --epochs 1 --save /tmp/x.ckpt",
+            "train --input {} --model bpr --epochs 1 --save /tmp/x.ckpt",
             path.display()
         )))
         .expect_err("save unsupported");
-        assert!(err.contains("--save"));
+        assert!(err.contains("--save"), "{err}");
         let err2 = run(argv(&format!(
             "train --input {} --model doesnotexist",
             path.display()
         )))
         .expect_err("unknown model");
         assert!(err2.contains("unknown model"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn lightgcn_save_evaluate_recommend_roundtrip() {
+        let dir = std::env::temp_dir().join("lrgcn_cli_lightgcn_ckpt");
+        let path = write_fixture(&dir);
+        let ckpt = dir.join("lightgcn.ckpt");
+        run(argv(&format!(
+            "train --input {} --model lightgcn --epochs 2 --seed 5 --save {}",
+            path.display(),
+            ckpt.display()
+        )))
+        .expect("train lightgcn with --save");
+        assert!(ckpt.exists());
+        // evaluate/recommend pick the model family up from the tag.
+        run(argv(&format!(
+            "evaluate --input {} --load {} --ks 10 --seed 5",
+            path.display(),
+            ckpt.display()
+        )))
+        .expect("evaluate lightgcn checkpoint");
+        run(argv(&format!(
+            "recommend --input {} --load {} --user 0 --k 5 --seed 5",
+            path.display(),
+            ckpt.display()
+        )))
+        .expect("recommend lightgcn checkpoint");
+        // --exclude-seen is validated.
+        run(argv(&format!(
+            "recommend --input {} --load {} --user 0 --exclude-seen false",
+            path.display(),
+            ckpt.display()
+        )))
+        .expect("recommend unmasked");
+        let err = run(argv(&format!(
+            "recommend --input {} --load {} --user 0 --exclude-seen maybe",
+            path.display(),
+            ckpt.display()
+        )))
+        .expect_err("bad flag value");
+        assert!(err.contains("exclude-seen"), "{err}");
+        std::fs::remove_file(&ckpt).ok();
         std::fs::remove_file(path).ok();
     }
 

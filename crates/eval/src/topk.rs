@@ -100,6 +100,18 @@ pub fn top_k_indices_into(scores: &[f32], k: usize, idx: &mut Vec<u32>) {
     idx.sort_by(cmp);
 }
 
+/// [`top_k_indices`] paired with the winning scores — the shape a serving
+/// response needs. `-inf` entries (masked training items) are dropped from
+/// the result rather than returned as recommendations.
+pub fn top_k_with_scores(scores: &[f32], k: usize) -> Vec<(u32, f32)> {
+    let mut idx = Vec::new();
+    top_k_indices_into(scores, k, &mut idx);
+    idx.into_iter()
+        .map(|i| (i, scores[i as usize]))
+        .filter(|(_, s)| *s != f32::NEG_INFINITY)
+        .collect()
+}
+
 /// Masks each user's training items to `-inf` and ranks the chunk, writing
 /// the per-user, per-K metric tuples `[recall, ndcg, precision, hit_rate]`
 /// into `out` (user-major: `out[r * ks.len() + ki]`). Both passes are
@@ -323,6 +335,18 @@ mod tests {
     fn top_k_neg_infinity_sinks() {
         let scores = [f32::NEG_INFINITY, 1.0, f32::NEG_INFINITY, 0.5];
         assert_eq!(top_k_indices(&scores, 2), vec![1, 3]);
+    }
+
+    #[test]
+    fn top_k_with_scores_matches_indices_and_drops_masked() {
+        let scores = [0.5f32, 2.0, f32::NEG_INFINITY, -1.0, 3.0];
+        assert_eq!(
+            top_k_with_scores(&scores, 3),
+            vec![(4, 3.0), (1, 2.0), (0, 0.5)]
+        );
+        // Asking for more than the unmasked candidates truncates cleanly.
+        assert_eq!(top_k_with_scores(&scores, 5).len(), 4);
+        assert!(top_k_with_scores(&scores, 0).is_empty());
     }
 
     fn toy_dataset() -> Dataset {

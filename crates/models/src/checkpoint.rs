@@ -1,0 +1,153 @@
+//! Model-tagged checkpoints over `lrgcn_tensor::io`.
+//!
+//! The binary checkpoint format stores anonymous `(name, matrix)` entries;
+//! this module layers a convention on top so a file is self-describing:
+//!
+//! * a zero-sized marker entry named `__model__:<tag>` records which model
+//!   family wrote the file (`layergcn`, `lightgcn`, ...),
+//! * the remaining entries are exactly what the model's
+//!   [`Recommender::checkpoint_entries`] returned.
+//!
+//! Readers that predate the tag (or per-model `load` methods) simply see an
+//! extra empty entry and ignore it, so tagged files stay loadable by the
+//! original LayerGCN-only code path, and untagged legacy files default to
+//! the `layergcn` family.
+
+use crate::traits::Recommender;
+use lrgcn_tensor::io::{self, IoError};
+use lrgcn_tensor::Matrix;
+
+/// Entry-name prefix of the model-family marker.
+pub const MODEL_TAG_PREFIX: &str = "__model__:";
+
+/// Canonical family tags with a stable checkpoint format, i.e. the values
+/// [`save_model`] writes and the serving engine knows how to rebuild.
+pub const SERVABLE_TAGS: [&str; 2] = ["layergcn", "lightgcn"];
+
+/// Saves `model` to `path` as a tagged checkpoint.
+///
+/// Fails with a user-facing message when the model has no stable checkpoint
+/// format (its [`Recommender::checkpoint_entries`] returns `None`).
+pub fn save_model(
+    path: impl AsRef<std::path::Path>,
+    tag: &str,
+    model: &dyn Recommender,
+) -> Result<(), String> {
+    let entries = model.checkpoint_entries().ok_or_else(|| {
+        format!(
+            "{} has no stable checkpoint format (supported: {})",
+            model.name(),
+            SERVABLE_TAGS.join(", ")
+        )
+    })?;
+    let marker_name = format!("{MODEL_TAG_PREFIX}{tag}");
+    let marker = Matrix::zeros(0, 0);
+    let mut refs: Vec<(&str, &Matrix)> = vec![(marker_name.as_str(), &marker)];
+    refs.extend(entries.iter().map(|(n, m)| (n.as_str(), m)));
+    io::save_checkpoint(path, &refs).map_err(|e| e.to_string())
+}
+
+/// The model-family tag recorded in checkpoint entries, if any.
+pub fn model_tag(entries: &[(String, Matrix)]) -> Option<&str> {
+    entries
+        .iter()
+        .find_map(|(n, _)| n.strip_prefix(MODEL_TAG_PREFIX))
+}
+
+/// Loads a tagged checkpoint into an already-constructed model, delegating
+/// shape validation to the model's
+/// [`Recommender::load_checkpoint_entries`].
+pub fn load_into(
+    path: impl AsRef<std::path::Path>,
+    model: &mut dyn Recommender,
+) -> Result<(), String> {
+    let entries = io::load_checkpoint(path).map_err(|e| e.to_string())?;
+    model.load_checkpoint_entries(&entries)
+}
+
+/// Finds the named entry, with a [`IoError::Corrupt`]-style message.
+pub fn require_entry<'a>(
+    entries: &'a [(String, Matrix)],
+    name: &str,
+) -> Result<&'a Matrix, String> {
+    entries
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, m)| m)
+        .ok_or_else(|| IoError::Corrupt(format!("missing {name:?} entry")).to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lightgcn::{LightGcn, LightGcnConfig};
+    use crate::test_util::tiny_dataset;
+    use crate::{LayerGcn, LayerGcnConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tagged_roundtrip_lightgcn() {
+        let ds = tiny_dataset(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = LightGcn::new(&ds, LightGcnConfig::default(), &mut rng);
+        m.train_epoch(&ds, 0, &mut rng);
+        m.refresh(&ds);
+        let before = m.score_users(&ds, &[0, 1]);
+
+        let path = std::env::temp_dir().join("lrgcn_ckpt_tag_lightgcn.bin");
+        save_model(&path, "lightgcn", &m).expect("save");
+        let entries = lrgcn_tensor::io::load_checkpoint(&path).expect("load");
+        assert_eq!(model_tag(&entries), Some("lightgcn"));
+
+        let mut rng2 = StdRng::seed_from_u64(999);
+        let mut fresh = LightGcn::new(&ds, LightGcnConfig::default(), &mut rng2);
+        fresh.load_checkpoint_entries(&entries).expect("restore");
+        fresh.refresh(&ds);
+        assert!(fresh.score_users(&ds, &[0, 1]).approx_eq(&before, 0.0));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn layergcn_save_is_tagged_and_legacy_loadable() {
+        let ds = tiny_dataset(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = LayerGcn::new(&ds, LayerGcnConfig::default(), &mut rng);
+        let path = std::env::temp_dir().join("lrgcn_ckpt_tag_layergcn.bin");
+        m.save(&path).expect("save");
+        let entries = lrgcn_tensor::io::load_checkpoint(&path).expect("load");
+        assert_eq!(model_tag(&entries), Some("layergcn"));
+        // The pre-tag loader (find the "ego" entry) still works.
+        let mut rng2 = StdRng::seed_from_u64(4);
+        let mut m2 = LayerGcn::new(&ds, LayerGcnConfig::default(), &mut rng2);
+        m2.load(&path).expect("legacy-style load");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn untagged_files_have_no_tag() {
+        let m = Matrix::zeros(2, 2);
+        let entries = vec![("ego".to_string(), m)];
+        assert_eq!(model_tag(&entries), None);
+    }
+
+    #[test]
+    fn unsupported_models_refuse_to_save() {
+        let ds = tiny_dataset(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = crate::BprMf::new(&ds, crate::BprMfConfig::default(), &mut rng);
+        let err = save_model(std::env::temp_dir().join("x"), "bpr", &m).expect_err("no format");
+        assert!(err.contains("no stable checkpoint format"), "{err}");
+    }
+
+    #[test]
+    fn wrong_shape_entries_are_rejected() {
+        let ds = tiny_dataset(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = LightGcn::new(&ds, LightGcnConfig::default(), &mut rng);
+        let entries = vec![("ego".to_string(), Matrix::zeros(1, 1))];
+        assert!(m.load_checkpoint_entries(&entries).is_err());
+        let missing: Vec<(String, Matrix)> = vec![];
+        assert!(m.load_checkpoint_entries(&missing).is_err());
+    }
+}

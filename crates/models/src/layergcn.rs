@@ -181,9 +181,15 @@ impl LayerGcn {
         self.ego.value()
     }
 
-    /// Checkpoints the learned parameters (the ego table) to a file.
+    /// Checkpoints the learned parameters (the ego table) to a file,
+    /// tagged with the `layergcn` model family (see `crate::checkpoint`).
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), lrgcn_tensor::io::IoError> {
-        lrgcn_tensor::io::save_checkpoint(path, &[("ego", self.ego.value())])
+        let tag = format!("{}layergcn", crate::checkpoint::MODEL_TAG_PREFIX);
+        let marker = Matrix::zeros(0, 0);
+        lrgcn_tensor::io::save_checkpoint(
+            path,
+            &[(tag.as_str(), &marker), ("ego", self.ego.value())],
+        )
     }
 
     /// Restores parameters saved by [`LayerGcn::save`]. The checkpoint's
@@ -283,6 +289,24 @@ impl Recommender for LayerGcn {
         assert_eq!(ego.shape(), self.ego.value().shape(), "snapshot shape mismatch");
         self.ego.set_value(ego);
         self.inference = None;
+    }
+
+    fn checkpoint_entries(&self) -> Option<Vec<(String, Matrix)>> {
+        Some(vec![("ego".into(), self.ego.value().clone())])
+    }
+
+    fn load_checkpoint_entries(&mut self, entries: &[(String, Matrix)]) -> Result<(), String> {
+        let ego = crate::checkpoint::require_entry(entries, "ego")?;
+        if ego.shape() != self.ego.value().shape() {
+            return Err(format!(
+                "ego shape {:?} does not match model {:?}",
+                ego.shape(),
+                self.ego.value().shape()
+            ));
+        }
+        self.ego.set_value(ego.clone());
+        self.inference = None;
+        Ok(())
     }
 
     fn diagnostics(&self, _ds: &Dataset) -> Option<ModelDiagnostics> {

@@ -24,6 +24,7 @@
 
 pub mod bpr;
 pub mod buir;
+pub mod checkpoint;
 pub mod classic;
 pub mod ehcf;
 pub mod common;
@@ -43,6 +44,7 @@ pub mod ultragcn;
 pub(crate) mod test_util;
 
 pub use bpr::{BprMf, BprMfConfig};
+pub use checkpoint::{model_tag, save_model, MODEL_TAG_PREFIX, SERVABLE_TAGS};
 pub use classic::{ItemKnn, ItemKnnConfig, Popularity};
 pub use buir::{Buir, BuirConfig};
 pub use ehcf::{Ehcf, EhcfConfig};

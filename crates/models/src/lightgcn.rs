@@ -146,6 +146,24 @@ impl Recommender for LightGcn {
         self.inference = None;
     }
 
+    fn checkpoint_entries(&self) -> Option<Vec<(String, Matrix)>> {
+        Some(vec![("ego".into(), self.ego.value().clone())])
+    }
+
+    fn load_checkpoint_entries(&mut self, entries: &[(String, Matrix)]) -> Result<(), String> {
+        let ego = crate::checkpoint::require_entry(entries, "ego")?;
+        if ego.shape() != self.ego.value().shape() {
+            return Err(format!(
+                "ego shape {:?} does not match model {:?}",
+                ego.shape(),
+                self.ego.value().shape()
+            ));
+        }
+        self.ego.set_value(ego.clone());
+        self.inference = None;
+        Ok(())
+    }
+
     fn diagnostics(&self, _ds: &Dataset) -> Option<ModelDiagnostics> {
         let chain = self.propagated_layers();
         Some(ModelDiagnostics {

@@ -99,6 +99,24 @@ pub trait Recommender: Sync {
         panic!("{} does not support parameter snapshots", self.name());
     }
 
+    /// The learnable parameters as named entries of the stable on-disk
+    /// checkpoint format (see `lrgcn_tensor::io`), or `None` for models
+    /// without a stable format. Entry names are part of the format: they
+    /// must stay readable by [`Recommender::load_checkpoint_entries`]
+    /// across versions.
+    fn checkpoint_entries(&self) -> Option<Vec<(String, Matrix)>> {
+        None
+    }
+
+    /// Restores parameters from entries produced by
+    /// [`Recommender::checkpoint_entries`] (extra entries, e.g. the
+    /// `__model__:` tag, are ignored). Implementations must validate
+    /// shapes and invalidate any cached inference state. The default
+    /// rejects: the model has no stable checkpoint format.
+    fn load_checkpoint_entries(&mut self, _entries: &[(String, Matrix)]) -> Result<(), String> {
+        Err(format!("{} has no stable checkpoint format", self.name()))
+    }
+
     /// Model-health diagnostics for the current parameters (see
     /// [`ModelDiagnostics`]). The default is `None`: models without a
     /// layered propagation structure (or where the probes would be

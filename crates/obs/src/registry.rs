@@ -54,11 +54,25 @@ pub enum Counter {
     EvalRankUsers,
     /// Training epochs completed by the trainer.
     TrainEpochs,
+    /// HTTP requests accepted by the serving subsystem.
+    ServeRequests,
+    /// HTTP requests answered with a 4xx/5xx status.
+    ServeErrors,
+    /// Per-user top-K responses served from the response cache.
+    ServeCacheHits,
+    /// Per-user top-K responses computed because the cache missed.
+    ServeCacheMisses,
+    /// Micro-batched scoring ticks (one coalesced matmul each).
+    ServeScoreBatches,
+    /// User/item pairs scored through the micro-batcher.
+    ServeScorePairs,
+    /// Hot checkpoint reloads that swapped the serving engine.
+    ServeReloads,
 }
 
 impl Counter {
     /// All counters, in stable declaration order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 23] = [
         Counter::MatmulCalls,
         Counter::MatmulCells,
         Counter::SpmmCalls,
@@ -75,6 +89,13 @@ impl Counter {
         Counter::EvalRankCalls,
         Counter::EvalRankUsers,
         Counter::TrainEpochs,
+        Counter::ServeRequests,
+        Counter::ServeErrors,
+        Counter::ServeCacheHits,
+        Counter::ServeCacheMisses,
+        Counter::ServeScoreBatches,
+        Counter::ServeScorePairs,
+        Counter::ServeReloads,
     ];
 
     /// Dotted metric name used in JSONL records and snapshots.
@@ -96,6 +117,13 @@ impl Counter {
             Counter::EvalRankCalls => "eval.rank.calls",
             Counter::EvalRankUsers => "eval.rank.users",
             Counter::TrainEpochs => "train.epochs",
+            Counter::ServeRequests => "serve.http.requests",
+            Counter::ServeErrors => "serve.http.errors",
+            Counter::ServeCacheHits => "serve.cache.hits",
+            Counter::ServeCacheMisses => "serve.cache.misses",
+            Counter::ServeScoreBatches => "serve.score.batches",
+            Counter::ServeScorePairs => "serve.score.pairs",
+            Counter::ServeReloads => "serve.reloads",
         }
     }
 }
@@ -195,10 +223,14 @@ pub enum Hist {
     DropoutSample,
     /// One BPR batch construction (shuffled positives + negatives).
     SamplerBatch,
+    /// One HTTP request handled end to end (parse → route → respond).
+    ServeRequest,
+    /// One micro-batched scoring tick (coalesced pairs → one matmul).
+    ServeScoreBatch,
 }
 
 impl Hist {
-    pub const ALL: [Hist; 7] = [
+    pub const ALL: [Hist; 9] = [
         Hist::EpochTrain,
         Hist::EpochVal,
         Hist::EpochRefresh,
@@ -206,6 +238,8 @@ impl Hist {
         Hist::CsrBuild,
         Hist::DropoutSample,
         Hist::SamplerBatch,
+        Hist::ServeRequest,
+        Hist::ServeScoreBatch,
     ];
 
     pub fn name(self) -> &'static str {
@@ -217,6 +251,8 @@ impl Hist {
             Hist::CsrBuild => "graph.csr.build_ns",
             Hist::DropoutSample => "graph.dropout.sample_ns",
             Hist::SamplerBatch => "data.sampler.batch_ns",
+            Hist::ServeRequest => "serve.request_ns",
+            Hist::ServeScoreBatch => "serve.score.batch_ns",
         }
     }
 }

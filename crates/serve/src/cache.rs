@@ -1,0 +1,156 @@
+//! Sharded LRU cache of per-user top-K responses.
+//!
+//! Keys carry the engine *generation*, so a hot reload invalidates every
+//! cached response without touching the cache: old-generation keys simply
+//! stop being requested and age out. Sharding by user id keeps lock
+//! contention off the request path — concurrent requests for different
+//! users almost never share a shard mutex.
+//!
+//! Recency is tracked with a monotone per-shard tick (updated on hit);
+//! eviction scans the full shard for the minimum tick. That is `O(capacity)`
+//! per eviction, which for serving-cache sizes (hundreds to a few thousand
+//! entries per shard) is cheaper and simpler than an intrusive list — and
+//! never wrong about which entry is coldest.
+
+use lrgcn_obs::{registry, Counter};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// What makes a cached response reusable: same engine generation, user,
+/// cutoff and masking mode.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Key {
+    pub generation: u64,
+    pub user: u32,
+    pub k: usize,
+    pub exclude_seen: bool,
+}
+
+struct Shard {
+    map: HashMap<Key, (u64, Vec<(u32, f32)>)>,
+    tick: u64,
+}
+
+/// The cache. `get`/`insert` record obs hit/miss counters.
+pub struct TopKCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+}
+
+impl TopKCache {
+    /// `capacity` is the total entry budget, split evenly over `shards`
+    /// (both are rounded up to at least 1).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard_capacity = capacity.div_ceil(shards).max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            per_shard_capacity,
+        }
+    }
+
+    fn shard(&self, key: &Key) -> &Mutex<Shard> {
+        &self.shards[key.user as usize % self.shards.len()]
+    }
+
+    pub fn get(&self, key: &Key) -> Option<Vec<(u32, f32)>> {
+        let mut s = self.shard(key).lock().expect("cache shard poisoned");
+        s.tick += 1;
+        let tick = s.tick;
+        match s.map.get_mut(key) {
+            Some((last_used, items)) => {
+                *last_used = tick;
+                registry::add(Counter::ServeCacheHits, 1);
+                Some(items.clone())
+            }
+            None => {
+                registry::add(Counter::ServeCacheMisses, 1);
+                None
+            }
+        }
+    }
+
+    pub fn insert(&self, key: Key, items: Vec<(u32, f32)>) {
+        let mut s = self.shard(&key).lock().expect("cache shard poisoned");
+        s.tick += 1;
+        let tick = s.tick;
+        if s.map.len() >= self.per_shard_capacity && !s.map.contains_key(&key) {
+            if let Some(coldest) = s
+                .map
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| *k)
+            {
+                s.map.remove(&coldest);
+            }
+        }
+        s.map.insert(key, (tick, items));
+    }
+
+    /// Live entries across all shards (test/diagnostic aid).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(user: u32, generation: u64) -> Key {
+        Key {
+            generation,
+            user,
+            k: 10,
+            exclude_seen: true,
+        }
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let c = TopKCache::new(8, 2);
+        assert!(c.get(&key(1, 0)).is_none());
+        c.insert(key(1, 0), vec![(7, 0.5)]);
+        assert_eq!(c.get(&key(1, 0)), Some(vec![(7, 0.5)]));
+        // A different generation is a different key: reload invalidates.
+        assert!(c.get(&key(1, 1)).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        // One shard of capacity 2 — deterministic eviction order.
+        let c = TopKCache::new(2, 1);
+        c.insert(key(1, 0), vec![(1, 1.0)]);
+        c.insert(key(2, 0), vec![(2, 1.0)]);
+        c.get(&key(1, 0)); // touch 1: now 2 is coldest
+        c.insert(key(3, 0), vec![(3, 1.0)]);
+        assert!(c.get(&key(1, 0)).is_some());
+        assert!(c.get(&key(2, 0)).is_none());
+        assert!(c.get(&key(3, 0)).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let c = TopKCache::new(2, 1);
+        c.insert(key(1, 0), vec![(1, 1.0)]);
+        c.insert(key(2, 0), vec![(2, 1.0)]);
+        c.insert(key(2, 0), vec![(2, 2.0)]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&key(2, 0)), Some(vec![(2, 2.0)]));
+    }
+}

@@ -1,0 +1,509 @@
+//! The serving engine: checkpoint + dataset → an immutable scoring state
+//! with atomic hot reload.
+//!
+//! [`Engine::open`] reads a tagged checkpoint (see
+//! `lrgcn_models::checkpoint`), rebuilds the matching model family around
+//! it, runs the inference propagation once and keeps only the **final node
+//! embedding matrix** — the `(n_users + n_items) × d` table the offline
+//! evaluator scores from. Request handling then reuses the *same* kernels
+//! as the evaluator ([`lrgcn_models::common::score_from_final`], the same
+//! `-inf` masking of training items, [`lrgcn_eval::top_k_with_scores`]), so
+//! a served top-K list is byte-identical to the offline ranking — for any
+//! `LRGCN_THREADS`, by the parallel layer's bitwise-identity contract.
+//!
+//! Reload builds a fresh [`EngineState`] off to the side and swaps it in
+//! with one `RwLock<Arc<_>>` write: requests in flight keep scoring against
+//! the `Arc` snapshot they already cloned, so zero requests fail or observe
+//! a torn state during a reload. The generation counter feeds the response
+//! cache keys, which is what invalidates cached answers.
+
+use lrgcn_data::Dataset;
+use lrgcn_eval::top_k_with_scores;
+use lrgcn_graph::EdgePruner;
+use lrgcn_models::checkpoint::{model_tag, require_entry};
+use lrgcn_models::common::score_from_final;
+use lrgcn_models::{
+    LayerGcn, LayerGcnConfig, LightGcn, LightGcnConfig, Recommender,
+};
+use lrgcn_obs::{registry, Counter};
+use lrgcn_tensor::matrix::dot;
+use lrgcn_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Model hyper-parameters the checkpoint does not record. They must match
+/// the training invocation (same contract as `lrgcn evaluate`); the
+/// embedding dimension itself is inferred from the checkpoint.
+#[derive(Clone, Debug)]
+pub struct EngineOptions {
+    pub n_layers: usize,
+    /// Degree-sensitive dropout ratio used to *construct* LayerGCN (only
+    /// training uses it; inference propagates over the full adjacency).
+    pub dropout: f32,
+    pub seed: u64,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            n_layers: 4,
+            dropout: 0.1,
+            seed: 2023,
+        }
+    }
+}
+
+/// One immutable, fully-materialized serving snapshot.
+pub struct EngineState {
+    /// Human-readable model name (`Recommender::name`).
+    pub model_name: String,
+    /// Checkpoint family tag (`layergcn` / `lightgcn`).
+    pub tag: String,
+    /// Monotone reload counter; part of every cache key.
+    pub generation: u64,
+    /// Learnable scalar count, for /healthz.
+    pub n_parameters: usize,
+    pub n_users: usize,
+    pub n_items: usize,
+    pub dim: usize,
+    /// Final node embeddings, users first: `(n_users + n_items) × dim`.
+    final_emb: Matrix,
+    /// Per-item L2 norms of the item block (cosine for /similar).
+    item_norms: Vec<f32>,
+}
+
+impl EngineState {
+    fn new(
+        model_name: String,
+        tag: String,
+        generation: u64,
+        n_parameters: usize,
+        n_users: usize,
+        n_items: usize,
+        final_emb: Matrix,
+    ) -> Self {
+        let dim = final_emb.cols();
+        let item_norms = (n_users..n_users + n_items)
+            .map(|r| {
+                let row = final_emb.row(r);
+                dot(row, row).sqrt()
+            })
+            .collect();
+        Self {
+            model_name,
+            tag,
+            generation,
+            n_parameters,
+            n_users,
+            n_items,
+            dim,
+            final_emb,
+            item_norms,
+        }
+    }
+
+    /// The raw score matrix for a chunk of users — the exact evaluator
+    /// scoring path (`score_from_final`: gather user rows, `U · Iᵀ`).
+    pub fn score_users(&self, users: &[u32]) -> Matrix {
+        score_from_final(&self.final_emb, self.n_users, users)
+    }
+
+    /// Top-K recommendations for one user, optionally masking the items the
+    /// user interacted with in training — the same masking and the same
+    /// tie-break as the offline evaluator.
+    pub fn top_k(
+        &self,
+        ds: &Dataset,
+        user: u32,
+        k: usize,
+        exclude_seen: bool,
+    ) -> Result<Vec<(u32, f32)>, String> {
+        if user as usize >= self.n_users {
+            return Err(format!("user {user} out of range (0..{})", self.n_users));
+        }
+        let mut scores = self.score_users(&[user]);
+        let row = scores.row_mut(0);
+        if exclude_seen {
+            for &it in ds.train_items(user) {
+                row[it as usize] = f32::NEG_INFINITY;
+            }
+        }
+        Ok(top_k_with_scores(row, k))
+    }
+
+    /// Top-K most similar items by embedding cosine (the query item itself
+    /// excluded). Zero-norm embeddings score 0 rather than NaN.
+    pub fn similar_items(&self, item: u32, k: usize) -> Result<Vec<(u32, f32)>, String> {
+        if item as usize >= self.n_items {
+            return Err(format!("item {item} out of range (0..{})", self.n_items));
+        }
+        let q = self.final_emb.row(self.n_users + item as usize);
+        let qn = self.item_norms[item as usize];
+        let mut scores = vec![0.0f32; self.n_items];
+        for (i, s) in scores.iter_mut().enumerate() {
+            let n = qn * self.item_norms[i];
+            if n > 0.0 {
+                *s = dot(q, self.final_emb.row(self.n_users + i)) / n;
+            }
+        }
+        scores[item as usize] = f32::NEG_INFINITY;
+        Ok(top_k_with_scores(&scores, k))
+    }
+
+    /// Dot-product scores for explicit `(user, item)` pairs — the
+    /// micro-batcher's coalesced kernel. Out-of-range ids are an error (the
+    /// whole batch is rejected so the caller can 400 it).
+    pub fn score_pairs(&self, pairs: &[(u32, u32)]) -> Result<Vec<f32>, String> {
+        for &(u, i) in pairs {
+            if u as usize >= self.n_users {
+                return Err(format!("user {u} out of range (0..{})", self.n_users));
+            }
+            if i as usize >= self.n_items {
+                return Err(format!("item {i} out of range (0..{})", self.n_items));
+            }
+        }
+        Ok(pairs
+            .iter()
+            .map(|&(u, i)| {
+                dot(
+                    self.final_emb.row(u as usize),
+                    self.final_emb.row(self.n_users + i as usize),
+                )
+            })
+            .collect())
+    }
+}
+
+/// Loads a tagged checkpoint and materializes an [`EngineState`].
+fn build_state(
+    ds: &Dataset,
+    opts: &EngineOptions,
+    ckpt: &Path,
+    generation: u64,
+) -> Result<EngineState, String> {
+    let entries = lrgcn_tensor::io::load_checkpoint(ckpt)
+        .map_err(|e| format!("loading {}: {e}", ckpt.display()))?;
+    // Untagged files predate the marker and were always LayerGCN.
+    let tag = model_tag(&entries).unwrap_or("layergcn").to_string();
+    let ego = require_entry(&entries, "ego")?;
+    let n_nodes = ds.n_users() + ds.n_items();
+    if ego.rows() != n_nodes {
+        return Err(format!(
+            "checkpoint has {} node embeddings but the dataset has {} users + {} items — \
+             pass the same --input/--kcore used at training time",
+            ego.rows(),
+            ds.n_users(),
+            ds.n_items()
+        ));
+    }
+    let dim = ego.cols();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let (model_name, n_parameters, final_emb) = match tag.as_str() {
+        "layergcn" => {
+            let cfg = LayerGcnConfig {
+                embedding_dim: dim,
+                n_layers: opts.n_layers,
+                pruner: if opts.dropout > 0.0 {
+                    EdgePruner::DegreeDrop {
+                        ratio: opts.dropout,
+                    }
+                } else {
+                    EdgePruner::None
+                },
+                ..LayerGcnConfig::default()
+            };
+            let mut m = LayerGcn::new(ds, cfg, &mut rng);
+            m.load_checkpoint_entries(&entries)?;
+            (m.name(), m.n_parameters(), m.final_embeddings())
+        }
+        "lightgcn" => {
+            let cfg = LightGcnConfig {
+                embedding_dim: dim,
+                n_layers: opts.n_layers,
+                ..LightGcnConfig::default()
+            };
+            let mut m = LightGcn::new(ds, cfg, &mut rng);
+            m.load_checkpoint_entries(&entries)?;
+            (m.name(), m.n_parameters(), m.final_embeddings())
+        }
+        other => {
+            return Err(format!(
+                "checkpoint is tagged {other:?}, which this server cannot rebuild \
+                 (supported: layergcn, lightgcn)"
+            ))
+        }
+    };
+    Ok(EngineState::new(
+        model_name,
+        tag,
+        generation,
+        n_parameters,
+        ds.n_users(),
+        ds.n_items(),
+        final_emb,
+    ))
+}
+
+/// The live engine: dataset + current [`EngineState`] behind a
+/// `RwLock<Arc<_>>` for lock-free-after-clone reads and atomic reloads.
+pub struct Engine {
+    ds: Arc<Dataset>,
+    opts: EngineOptions,
+    ckpt_path: Mutex<PathBuf>,
+    state: RwLock<Arc<EngineState>>,
+    generation: AtomicU64,
+}
+
+impl Engine {
+    /// Loads the checkpoint once and propagates the final embeddings.
+    pub fn open(
+        ckpt: impl AsRef<Path>,
+        ds: Arc<Dataset>,
+        opts: EngineOptions,
+    ) -> Result<Engine, String> {
+        let ckpt = ckpt.as_ref().to_path_buf();
+        let state = build_state(&ds, &opts, &ckpt, 0)?;
+        Ok(Engine {
+            ds,
+            opts,
+            ckpt_path: Mutex::new(ckpt),
+            state: RwLock::new(Arc::new(state)),
+            generation: AtomicU64::new(0),
+        })
+    }
+
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        &self.ds
+    }
+
+    /// The current snapshot. Cloning the `Arc` means the caller keeps a
+    /// consistent state for its whole request even across a reload.
+    pub fn state(&self) -> Arc<EngineState> {
+        self.state.read().expect("engine state poisoned").clone()
+    }
+
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Re-reads the checkpoint file (which may have been replaced on disk)
+    /// and atomically swaps the serving state. On any error the old state
+    /// stays live. Returns the new state.
+    pub fn reload(&self) -> Result<Arc<EngineState>, String> {
+        let path = self.ckpt_path.lock().expect("ckpt path poisoned").clone();
+        self.reload_from(&path)
+    }
+
+    /// [`Engine::reload`] from an explicit path, which becomes the new
+    /// checkpoint path on success.
+    pub fn reload_from(&self, path: &Path) -> Result<Arc<EngineState>, String> {
+        let generation = self.generation.load(Ordering::SeqCst) + 1;
+        let state = Arc::new(build_state(&self.ds, &self.opts, path, generation)?);
+        *self.ckpt_path.lock().expect("ckpt path poisoned") = path.to_path_buf();
+        *self.state.write().expect("engine state poisoned") = state.clone();
+        self.generation.store(generation, Ordering::SeqCst);
+        registry::add(Counter::ServeReloads, 1);
+        Ok(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrgcn_models::checkpoint::save_model;
+
+    /// 4 users × 6 items, every user trained on `{u, u+1, u+2} mod 6`.
+    fn tiny_dataset() -> Arc<Dataset> {
+        let mut train = Vec::new();
+        for u in 0..4u32 {
+            for o in 0..3u32 {
+                train.push((u, (u + o) % 6));
+            }
+        }
+        Arc::new(Dataset::from_parts(
+            "tiny",
+            4,
+            6,
+            train,
+            vec![vec![]; 4],
+            vec![vec![4], vec![5], vec![0], vec![1]],
+        ))
+    }
+
+    fn save_lightgcn(ds: &Dataset, path: &Path) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut m = LightGcn::new(
+            ds,
+            LightGcnConfig {
+                embedding_dim: 8,
+                n_layers: 2,
+                ..LightGcnConfig::default()
+            },
+            &mut rng,
+        );
+        m.train_epoch(ds, 0, &mut rng);
+        save_model(path, "lightgcn", &m).expect("save");
+    }
+
+    #[test]
+    fn open_infers_dim_and_scores_match_the_model() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join("lrgcn_engine_open");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let ckpt = dir.join("m.ckpt");
+        save_lightgcn(&ds, &ckpt);
+
+        let eng = Engine::open(&ckpt, ds.clone(), EngineOptions {
+            n_layers: 2,
+            ..EngineOptions::default()
+        })
+        .expect("open");
+        let st = eng.state();
+        assert_eq!(st.tag, "lightgcn");
+        assert_eq!(st.dim, 8);
+        assert_eq!((st.n_users, st.n_items), (4, 6));
+
+        // Engine scores == the model's own refresh+score path.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut m = LightGcn::new(
+            &ds,
+            LightGcnConfig {
+                embedding_dim: 8,
+                n_layers: 2,
+                ..LightGcnConfig::default()
+            },
+            &mut rng,
+        );
+        let entries = lrgcn_tensor::io::load_checkpoint(&ckpt).expect("entries");
+        m.load_checkpoint_entries(&entries).expect("restore");
+        m.refresh(&ds);
+        let expect = m.score_users(&ds, &[0, 1, 2, 3]);
+        assert!(st.score_users(&[0, 1, 2, 3]).approx_eq(&expect, 0.0));
+        std::fs::remove_file(ckpt).ok();
+    }
+
+    #[test]
+    fn top_k_masks_training_items_only_when_asked() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join("lrgcn_engine_mask");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let ckpt = dir.join("m.ckpt");
+        save_lightgcn(&ds, &ckpt);
+        let eng = Engine::open(&ckpt, ds.clone(), EngineOptions {
+            n_layers: 2,
+            ..EngineOptions::default()
+        })
+        .expect("open");
+        let st = eng.state();
+
+        let masked = st.top_k(&ds, 0, 6, true).expect("top_k");
+        for &(it, _) in &masked {
+            assert!(!ds.train_items(0).contains(&it), "seen item {it} leaked");
+        }
+        assert_eq!(masked.len(), 3); // 6 items - 3 seen
+        let unmasked = st.top_k(&ds, 0, 6, false).expect("top_k");
+        assert_eq!(unmasked.len(), 6);
+        assert!(st.top_k(&ds, 99, 5, true).is_err());
+        std::fs::remove_file(ckpt).ok();
+    }
+
+    #[test]
+    fn similar_items_excludes_self_and_orders_by_cosine() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join("lrgcn_engine_sim");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let ckpt = dir.join("m.ckpt");
+        save_lightgcn(&ds, &ckpt);
+        let eng = Engine::open(&ckpt, ds, EngineOptions {
+            n_layers: 2,
+            ..EngineOptions::default()
+        })
+        .expect("open");
+        let st = eng.state();
+        let sims = st.similar_items(2, 3).expect("similar");
+        assert_eq!(sims.len(), 3);
+        assert!(sims.iter().all(|&(it, _)| it != 2), "query item in results");
+        assert!(sims.windows(2).all(|w| w[0].1 >= w[1].1), "not sorted");
+        assert!(sims.iter().all(|&(_, s)| (-1.01..=1.01).contains(&s)));
+        assert!(st.similar_items(99, 3).is_err());
+        std::fs::remove_file(std::env::temp_dir().join("lrgcn_engine_sim/m.ckpt")).ok();
+    }
+
+    #[test]
+    fn score_pairs_matches_row_dots_and_validates_range() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join("lrgcn_engine_pairs");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let ckpt = dir.join("m.ckpt");
+        save_lightgcn(&ds, &ckpt);
+        let eng = Engine::open(&ckpt, ds, EngineOptions {
+            n_layers: 2,
+            ..EngineOptions::default()
+        })
+        .expect("open");
+        let st = eng.state();
+        let got = st.score_pairs(&[(0, 0), (3, 5)]).expect("score");
+        let all = st.score_users(&[0, 3]);
+        assert_eq!(got[0], all[(0, 0)]);
+        assert_eq!(got[1], all[(1, 5)]);
+        assert!(st.score_pairs(&[(0, 6)]).is_err());
+        assert!(st.score_pairs(&[(4, 0)]).is_err());
+        std::fs::remove_file(ckpt).ok();
+    }
+
+    #[test]
+    fn reload_swaps_generation_and_survives_bad_files() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join("lrgcn_engine_reload");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let ckpt = dir.join("m.ckpt");
+        save_lightgcn(&ds, &ckpt);
+        let eng = Engine::open(&ckpt, ds.clone(), EngineOptions {
+            n_layers: 2,
+            ..EngineOptions::default()
+        })
+        .expect("open");
+        let before = eng.state();
+        assert_eq!(eng.generation(), 0);
+
+        // A held snapshot stays valid across the swap.
+        let new = eng.reload().expect("reload");
+        assert_eq!(new.generation, 1);
+        assert_eq!(eng.generation(), 1);
+        assert_eq!(before.generation, 0);
+        assert!(before.score_users(&[0]).approx_eq(&new.score_users(&[0]), 0.0));
+
+        // A corrupt file leaves the old state serving.
+        std::fs::write(&ckpt, b"garbage").expect("clobber");
+        assert!(eng.reload().is_err());
+        assert_eq!(eng.generation(), 1);
+        assert_eq!(eng.state().generation, 1);
+        std::fs::remove_file(ckpt).ok();
+    }
+
+    #[test]
+    fn mismatched_dataset_is_a_clear_error() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join("lrgcn_engine_mismatch");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let ckpt = dir.join("m.ckpt");
+        save_lightgcn(&ds, &ckpt);
+        let other = Arc::new(Dataset::from_parts(
+            "other",
+            2,
+            2,
+            vec![(0, 0), (1, 1)],
+            vec![vec![]; 2],
+            vec![vec![1], vec![0]],
+        ));
+        let err = match Engine::open(&ckpt, other, EngineOptions::default()) {
+            Err(e) => e,
+            Ok(_) => panic!("mismatched dataset must fail"),
+        };
+        assert!(err.contains("users"), "{err}");
+        std::fs::remove_file(ckpt).ok();
+    }
+}

@@ -1,0 +1,196 @@
+//! A deliberately small HTTP/1.1 layer over `std::net::TcpStream`.
+//!
+//! One request per connection (`Connection: close` on every response) keeps
+//! the server loop trivial and makes graceful shutdown exact: a worker that
+//! finished writing its response holds no half-open protocol state. Headers
+//! are capped at 16 KiB and bodies at 1 MiB, so a hostile peer cannot make
+//! a worker allocate unboundedly; reads carry a socket timeout installed by
+//! the caller.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Maximum bytes of request line + headers.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Maximum bytes of request body (`POST /score` batches).
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request: method, decoded path, query map and raw body.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Percent-decoded path, query string stripped.
+    pub path: String,
+    /// Percent-decoded `key=value` pairs; later duplicates win.
+    pub query: HashMap<String, String>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    pub fn query_get(&self, key: &str) -> Option<&str> {
+        self.query.get(key).map(String::as_str)
+    }
+}
+
+/// Reads and parses one request. Errors are user-facing strings; the caller
+/// maps them to a 400.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err("request headers exceed 16KiB".into());
+        }
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-request".into());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| "non-UTF8 request head".to_string())?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or("empty request")?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().ok_or("missing method")?.to_string();
+    let target = parts.next().ok_or("missing request target")?;
+    let version = parts.next().ok_or("missing HTTP version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported version {version:?}"));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((k, v)) = line.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                content_length = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length {v:?}"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err("request body exceeds 1MiB".into());
+    }
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|e| format!("read body: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-body".into());
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut query = HashMap::new();
+    for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        query.insert(percent_decode(k), percent_decode(v));
+    }
+    Ok(Request {
+        method,
+        path: percent_decode(raw_path),
+        query,
+        body,
+    })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// `%XX` and `+` decoding; malformed escapes pass through literally.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Writes a complete response and flushes. Always `Connection: close`.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding_covers_escapes_plus_and_garbage() {
+        assert_eq!(percent_decode("/recs/42"), "/recs/42");
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn header_end_detection() {
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn status_reasons_are_stable() {
+        assert_eq!(status_reason(200), "OK");
+        assert_eq!(status_reason(404), "Not Found");
+        assert_eq!(status_reason(599), "Unknown");
+    }
+}

@@ -1,0 +1,35 @@
+//! # lrgcn-serve — zero-dependency online recommendation serving
+//!
+//! Turns a trained checkpoint (see `lrgcn_models::checkpoint`) into an HTTP
+//! service on `std::net` alone — no tokio, no hyper, no serde:
+//!
+//! * [`engine`] — loads the checkpoint once, materializes the final node
+//!   embedding table, and answers `top_k` / `similar_items` /
+//!   `score_pairs` through the *same* kernels as the offline evaluator, so
+//!   served rankings are byte-identical to `evaluate_ranking` output for
+//!   any `LRGCN_THREADS`. Hot reload swaps an `Arc<EngineState>` under a
+//!   `RwLock`; requests in flight keep their snapshot.
+//! * [`server`] — a fixed worker pool sharing one nonblocking listener;
+//!   routes for recommendations, item similarity, batch scoring, health,
+//!   Prometheus-rendered obs metrics, reload and graceful shutdown.
+//! * [`batch`] — concurrent `POST /score` requests coalesce into one
+//!   scoring kernel per tick through a condvar queue.
+//! * [`cache`] — a sharded LRU of per-user top-K responses, keyed by
+//!   engine generation so reloads invalidate implicitly.
+//! * [`http`] — the minimal HTTP/1.1 request/response layer.
+//!
+//! Every request path is instrumented with `lrgcn_obs` counters
+//! (`serve.http.requests`, `serve.cache.hits`, ...), histograms
+//! (`serve.request_ns`, `serve.score.batch_ns`) and trace spans, all
+//! exposed at `GET /metrics`.
+
+pub mod batch;
+pub mod cache;
+pub mod engine;
+pub mod http;
+pub mod server;
+
+pub use batch::Batcher;
+pub use cache::TopKCache;
+pub use engine::{Engine, EngineOptions, EngineState};
+pub use server::{render_metrics, serve, ServerConfig, ServerHandle};

@@ -1,0 +1,492 @@
+//! The HTTP front-end: worker pool, routing, metrics rendering, graceful
+//! shutdown.
+//!
+//! ```text
+//! GET  /healthz                     liveness + model/generation info
+//! GET  /metrics                     Prometheus text of the obs registry
+//! GET  /recs/{user}?k=N[&exclude_seen=bool]   cached top-K for a user
+//! GET  /similar/{item}?k=N          item-item cosine neighbours
+//! POST /score                       {"pairs": [[u,i],...]} micro-batched
+//! POST /admin/reload                re-read the checkpoint, swap, bump gen
+//! POST /admin/shutdown              begin graceful shutdown
+//! ```
+//!
+//! Concurrency model: `workers` threads share one nonblocking listener via
+//! `try_clone` and sleep-poll `accept`. A request in flight always runs to
+//! completion — shutdown only flips an `AtomicBool` the workers check
+//! *between* connections — and reloads swap an `Arc` snapshot, so neither
+//! ever fails an accepted request.
+
+use crate::batch::Batcher;
+use crate::cache::{Key, TopKCache};
+use crate::engine::Engine;
+use crate::http::{read_request, write_response, Request};
+use lrgcn_obs::json::Value;
+use lrgcn_obs::{registry, timer, Counter, Gauge, Hist};
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server knobs. `Default` binds an ephemeral localhost port.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8642`; port 0 picks one.
+    pub addr: String,
+    /// Worker threads; 0 means the parallel layer's effective thread count
+    /// (the `LRGCN_THREADS` convention).
+    pub workers: usize,
+    /// Total response-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Micro-batch coalescing window.
+    pub batch_tick: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            cache_capacity: 4096,
+            batch_tick: Duration::from_millis(1),
+        }
+    }
+}
+
+/// A running server. Dropping the handle does NOT stop it; call
+/// [`ServerHandle::shutdown`] + [`ServerHandle::wait`] (or POST
+/// /admin/shutdown) for a graceful stop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    batcher: Arc<Batcher>,
+    workers: Vec<JoinHandle<()>>,
+    scorer: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begins graceful shutdown: workers finish their in-flight request,
+    /// the scorer drains the queue.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.batcher.shutdown();
+    }
+
+    /// True once shutdown has been requested (by this handle or over HTTP).
+    pub fn is_shutting_down(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until every worker and the scorer have exited.
+    pub fn wait(mut self) {
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(s) = self.scorer.take() {
+            let _ = s.join();
+        }
+    }
+}
+
+/// How often idle workers re-check the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// Per-connection socket timeout: a stalled peer cannot pin a worker.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Binds, spawns the worker pool and the batch scorer, returns immediately.
+pub fn serve(engine: Arc<Engine>, cfg: ServerConfig) -> Result<ServerHandle, String> {
+    let listener =
+        TcpListener::bind(&cfg.addr).map_err(|e| format!("binding {}: {e}", cfg.addr))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("nonblocking listener: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+
+    let n_workers = if cfg.workers == 0 {
+        lrgcn_tensor::par::effective_threads()
+    } else {
+        cfg.workers
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let cache = Arc::new(TopKCache::new(cfg.cache_capacity, n_workers.max(1)));
+    let batcher = Batcher::new(cfg.batch_tick);
+
+    let scorer = {
+        let b = batcher.clone();
+        let e = engine.clone();
+        std::thread::Builder::new()
+            .name("lrgcn-serve-scorer".into())
+            .spawn(move || b.run_scorer(e))
+            .map_err(|e| format!("spawning scorer: {e}"))?
+    };
+
+    let mut workers = Vec::with_capacity(n_workers);
+    for w in 0..n_workers {
+        let listener = listener
+            .try_clone()
+            .map_err(|e| format!("cloning listener: {e}"))?;
+        let ctx = Ctx {
+            engine: engine.clone(),
+            cache: cache.clone(),
+            batcher: batcher.clone(),
+            stop: stop.clone(),
+            cache_enabled: cfg.cache_capacity > 0,
+        };
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("lrgcn-serve-{w}"))
+                .spawn(move || worker_loop(listener, ctx))
+                .map_err(|e| format!("spawning worker: {e}"))?,
+        );
+    }
+
+    if lrgcn_obs::sink::enabled() {
+        let run = lrgcn_obs::sink::next_run_id();
+        lrgcn_obs::sink::emit(&lrgcn_obs::event::run_start(
+            run,
+            &engine.state().model_name,
+            "serve",
+            n_workers as u64,
+        ));
+    }
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        batcher,
+        workers,
+        scorer: Some(scorer),
+    })
+}
+
+/// Everything a worker needs, cloned per thread.
+struct Ctx {
+    engine: Arc<Engine>,
+    cache: Arc<TopKCache>,
+    batcher: Arc<Batcher>,
+    stop: Arc<AtomicBool>,
+    cache_enabled: bool,
+}
+
+fn worker_loop(listener: TcpListener, ctx: Ctx) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => handle_connection(stream, &ctx),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if ctx.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => {
+                if ctx.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_nonblocking(false);
+    registry::add(Counter::ServeRequests, 1);
+    let _t = timer::scoped(Hist::ServeRequest);
+    let _span = lrgcn_obs::trace::span("serve_request", "serve");
+
+    let (status, content_type, body) = match read_request(&mut stream) {
+        Ok(req) => route(&req, ctx),
+        Err(msg) => error_response(400, &msg),
+    };
+    if status >= 400 {
+        registry::add(Counter::ServeErrors, 1);
+    }
+    let _ = write_response(&mut stream, status, content_type, &body);
+}
+
+type Reply = (u16, &'static str, Vec<u8>);
+
+const JSON: &str = "application/json";
+const TEXT: &str = "text/plain; version=0.0.4";
+
+fn error_response(status: u16, msg: &str) -> Reply {
+    let body = Value::obj([("error", Value::str(msg))]).render();
+    (status, JSON, body.into_bytes())
+}
+
+fn json_response(v: &Value) -> Reply {
+    (200, JSON, v.render().into_bytes())
+}
+
+fn route(req: &Request, ctx: &Ctx) -> Reply {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(ctx),
+        ("GET", "/metrics") => (200, TEXT, render_metrics().into_bytes()),
+        ("POST", "/score") => score(req, ctx),
+        ("POST", "/admin/reload") => reload(ctx),
+        ("POST", "/admin/shutdown") => {
+            ctx.stop.store(true, Ordering::SeqCst);
+            ctx.batcher.shutdown();
+            json_response(&Value::obj([("status", Value::str("shutting down"))]))
+        }
+        ("GET", path) if path.starts_with("/recs/") => recs(req, ctx),
+        ("GET", path) if path.starts_with("/similar/") => similar(req, ctx),
+        ("GET" | "POST", _) => error_response(404, &format!("no route for {}", req.path)),
+        _ => error_response(405, &format!("method {} not allowed", req.method)),
+    }
+}
+
+fn healthz(ctx: &Ctx) -> Reply {
+    let st = ctx.engine.state();
+    json_response(&Value::obj([
+        ("status", Value::str("ok")),
+        ("model", Value::str(st.model_name.clone())),
+        ("tag", Value::str(st.tag.clone())),
+        ("generation", Value::u64(st.generation)),
+        ("n_users", Value::u64(st.n_users as u64)),
+        ("n_items", Value::u64(st.n_items as u64)),
+        ("dim", Value::u64(st.dim as u64)),
+        ("n_parameters", Value::u64(st.n_parameters as u64)),
+    ]))
+}
+
+fn reload(ctx: &Ctx) -> Reply {
+    match ctx.engine.reload() {
+        Ok(st) => json_response(&Value::obj([
+            ("status", Value::str("reloaded")),
+            ("generation", Value::u64(st.generation)),
+            ("model", Value::str(st.model_name.clone())),
+        ])),
+        Err(e) => error_response(500, &e),
+    }
+}
+
+/// Parses the `{id}` tail of `/recs/{id}` / `/similar/{id}`.
+fn parse_id(path: &str, prefix: &str) -> Result<u32, Reply> {
+    let tail = &path[prefix.len()..];
+    if tail.is_empty() || tail.contains('/') {
+        return Err(error_response(404, &format!("no route for {path}")));
+    }
+    tail.parse()
+        .map_err(|_| error_response(400, &format!("{tail:?} is not a numeric id")))
+}
+
+fn parse_k(req: &Request) -> Result<usize, Reply> {
+    match req.query_get("k") {
+        None => Ok(10),
+        Some(raw) => raw
+            .parse::<usize>()
+            .ok()
+            .filter(|k| (1..=1000).contains(k))
+            .ok_or_else(|| error_response(400, &format!("k must be 1..=1000, got {raw:?}"))),
+    }
+}
+
+fn items_json(items: &[(u32, f32)]) -> Value {
+    Value::Arr(
+        items
+            .iter()
+            .map(|&(it, s)| {
+                Value::obj([("item", Value::u64(it as u64)), ("score", Value::num(s))])
+            })
+            .collect(),
+    )
+}
+
+fn recs(req: &Request, ctx: &Ctx) -> Reply {
+    let user = match parse_id(&req.path, "/recs/") {
+        Ok(u) => u,
+        Err(r) => return r,
+    };
+    let k = match parse_k(req) {
+        Ok(k) => k,
+        Err(r) => return r,
+    };
+    let exclude_seen = match req.query_get("exclude_seen") {
+        None => true,
+        Some("true") | Some("1") => true,
+        Some("false") | Some("0") => false,
+        Some(other) => {
+            return error_response(400, &format!("exclude_seen must be true/false, got {other:?}"))
+        }
+    };
+    let st = ctx.engine.state();
+    if user as usize >= st.n_users {
+        return error_response(404, &format!("user {user} out of range (0..{})", st.n_users));
+    }
+    let key = Key {
+        generation: st.generation,
+        user,
+        k,
+        exclude_seen,
+    };
+    let (items, cached) = if ctx.cache_enabled {
+        match ctx.cache.get(&key) {
+            Some(hit) => (hit, true),
+            None => {
+                let fresh = match st.top_k(ctx.engine.dataset(), user, k, exclude_seen) {
+                    Ok(v) => v,
+                    Err(e) => return error_response(404, &e),
+                };
+                ctx.cache.insert(key, fresh.clone());
+                (fresh, false)
+            }
+        }
+    } else {
+        match st.top_k(ctx.engine.dataset(), user, k, exclude_seen) {
+            Ok(v) => (v, false),
+            Err(e) => return error_response(404, &e),
+        }
+    };
+    json_response(&Value::obj([
+        ("user", Value::u64(user as u64)),
+        ("k", Value::u64(k as u64)),
+        ("generation", Value::u64(st.generation)),
+        ("cached", Value::Bool(cached)),
+        ("items", items_json(&items)),
+    ]))
+}
+
+fn similar(req: &Request, ctx: &Ctx) -> Reply {
+    let item = match parse_id(&req.path, "/similar/") {
+        Ok(i) => i,
+        Err(r) => return r,
+    };
+    let k = match parse_k(req) {
+        Ok(k) => k,
+        Err(r) => return r,
+    };
+    let st = ctx.engine.state();
+    if item as usize >= st.n_items {
+        return error_response(404, &format!("item {item} out of range (0..{})", st.n_items));
+    }
+    match st.similar_items(item, k) {
+        Ok(items) => json_response(&Value::obj([
+            ("item", Value::u64(item as u64)),
+            ("k", Value::u64(k as u64)),
+            ("generation", Value::u64(st.generation)),
+            ("items", items_json(&items)),
+        ])),
+        Err(e) => error_response(404, &e),
+    }
+}
+
+fn score(req: &Request, ctx: &Ctx) -> Reply {
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return error_response(400, "body is not UTF-8"),
+    };
+    let parsed = match lrgcn_obs::json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return error_response(400, &format!("bad JSON body: {e}")),
+    };
+    let Some(Value::Arr(raw_pairs)) = parsed.get("pairs") else {
+        return error_response(400, "body must be {\"pairs\": [[user, item], ...]}");
+    };
+    let mut pairs = Vec::with_capacity(raw_pairs.len());
+    for p in raw_pairs {
+        let Value::Arr(uv) = p else {
+            return error_response(400, "each pair must be a [user, item] array");
+        };
+        let ids: Option<(u32, u32)> = match uv.as_slice() {
+            [u, i] => match (u.as_f64(), i.as_f64()) {
+                (Some(u), Some(i))
+                    if u >= 0.0 && i >= 0.0 && u.fract() == 0.0 && i.fract() == 0.0 =>
+                {
+                    Some((u as u32, i as u32))
+                }
+                _ => None,
+            },
+            _ => None,
+        };
+        match ids {
+            Some(pair) => pairs.push(pair),
+            None => return error_response(400, "each pair must be two non-negative integers"),
+        }
+    }
+    if pairs.is_empty() {
+        return error_response(400, "pairs must be non-empty");
+    }
+    let generation = ctx.engine.generation();
+    match ctx.batcher.submit(pairs) {
+        Ok(scores) => json_response(&Value::obj([
+            ("generation", Value::u64(generation)),
+            (
+                "scores",
+                Value::Arr(scores.into_iter().map(Value::num).collect()),
+            ),
+        ])),
+        Err(e) => error_response(400, &e),
+    }
+}
+
+/// Renders every obs counter, gauge and histogram as Prometheus text.
+/// Dotted metric names become `lrgcn_`-prefixed snake_case
+/// (`serve.cache.hits` → `lrgcn_serve_cache_hits_total`).
+pub fn render_metrics() -> String {
+    let snap = registry::snapshot();
+    let mut out = String::new();
+    for c in Counter::ALL {
+        out.push_str(&format!(
+            "lrgcn_{}_total {}\n",
+            sanitize(c.name()),
+            snap.counter(c)
+        ));
+    }
+    for g in Gauge::ALL {
+        let name = sanitize(g.name());
+        out.push_str(&format!(
+            "lrgcn_{name} {}\nlrgcn_{name}_peak {}\n",
+            registry::gauge_current(g),
+            registry::gauge_peak(g)
+        ));
+    }
+    for h in Hist::ALL {
+        let hs = snap.hist(h);
+        let name = sanitize(h.name());
+        out.push_str(&format!(
+            "lrgcn_{name}_count {}\nlrgcn_{name}_sum {}\nlrgcn_{name}_max {}\nlrgcn_{name}_p95 {}\n",
+            hs.count,
+            hs.sum_ns,
+            hs.max_ns,
+            hs.quantile_ns(0.95)
+        ));
+    }
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_names_are_prometheus_safe() {
+        let text = render_metrics();
+        assert!(text.contains("lrgcn_serve_http_requests_total "));
+        assert!(text.contains("lrgcn_serve_cache_hits_total "));
+        assert!(text.contains("lrgcn_serve_request_ns_count "));
+        assert!(text.contains("lrgcn_tensor_matrix_bytes "));
+        for line in text.lines() {
+            let (name, value) = line.split_once(' ').expect("name value");
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "unsafe metric name {name:?}"
+            );
+            value.parse::<u64>().unwrap_or_else(|_| panic!("bad value in {line:?}"));
+        }
+    }
+}

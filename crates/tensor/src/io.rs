@@ -65,7 +65,27 @@ pub fn write_checkpoint<W: Write>(
 }
 
 /// Reads a checkpoint back as `(name, matrix)` pairs, in file order.
-pub fn read_checkpoint<R: Read>(mut r: R) -> Result<Vec<(String, Matrix)>, IoError> {
+///
+/// Hostile-input posture: entry counts, name lengths, shapes and payload
+/// values are all validated — a truncated, bit-flipped or adversarial file
+/// yields an [`IoError`], never a panic, an unbounded allocation or a
+/// non-finite parameter. When the total input size is known up front,
+/// prefer [`read_checkpoint_bounded`] (which [`load_checkpoint`] uses) so
+/// shape headers larger than the file itself are rejected *before* any
+/// allocation.
+pub fn read_checkpoint<R: Read>(r: R) -> Result<Vec<(String, Matrix)>, IoError> {
+    read_checkpoint_bounded(r, None)
+}
+
+/// [`read_checkpoint`] with an optional byte budget: when `total_bytes` is
+/// `Some`, every declared name/payload length is checked against the bytes
+/// that can still remain in the stream, so a corrupted shape header
+/// (`rows*cols` beyond the file size) fails with [`IoError::Corrupt`]
+/// instead of a slow EOF after allocating the declared buffer.
+pub fn read_checkpoint_bounded<R: Read>(
+    mut r: R,
+    total_bytes: Option<u64>,
+) -> Result<Vec<(String, Matrix)>, IoError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -79,12 +99,26 @@ pub fn read_checkpoint<R: Read>(mut r: R) -> Result<Vec<(String, Matrix)>, IoErr
     if n > 1_000_000 {
         return Err(IoError::Corrupt(format!("implausible entry count {n}")));
     }
+    // Bytes that may still legitimately follow the 16-byte header.
+    let mut remaining = total_bytes.map(|t| t.saturating_sub(16));
+    let mut budget = |need: u64| -> Result<(), IoError> {
+        if let Some(rem) = remaining.as_mut() {
+            if need > *rem {
+                return Err(IoError::Corrupt(format!(
+                    "declared {need} bytes but only {rem} remain in the file"
+                )));
+            }
+            *rem -= need;
+        }
+        Ok(())
+    };
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         let name_len = read_u32(&mut r)? as usize;
         if name_len > 4096 {
             return Err(IoError::Corrupt(format!("implausible name length {name_len}")));
         }
+        budget(4 + name_len as u64)?;
         let mut nb = vec![0u8; name_len];
         r.read_exact(&mut nb)?;
         let name = String::from_utf8(nb)
@@ -97,11 +131,17 @@ pub fn read_checkpoint<R: Read>(mut r: R) -> Result<Vec<(String, Matrix)>, IoErr
         if len > 1 << 30 {
             return Err(IoError::Corrupt(format!("implausible matrix size {rows}x{cols}")));
         }
+        budget(16 + 4 * len as u64)?;
         let mut data = vec![0f32; len];
         let mut buf = [0u8; 4];
         for v in &mut data {
             r.read_exact(&mut buf)?;
             *v = f32::from_le_bytes(buf);
+            if !v.is_finite() {
+                return Err(IoError::Corrupt(format!(
+                    "non-finite value {v} in entry {name:?}"
+                )));
+            }
         }
         out.push((name, Matrix::from_vec(rows, cols, data)));
     }
@@ -117,12 +157,15 @@ pub fn save_checkpoint(
     write_checkpoint(io::BufWriter::new(f), entries)
 }
 
-/// Loads a checkpoint from a file path.
+/// Loads a checkpoint from a file path. The file size bounds every declared
+/// entry length, so hostile shape headers are rejected up front (see
+/// [`read_checkpoint_bounded`]).
 pub fn load_checkpoint(
     path: impl AsRef<std::path::Path>,
 ) -> Result<Vec<(String, Matrix)>, IoError> {
     let f = std::fs::File::open(path)?;
-    read_checkpoint(io::BufReader::new(f))
+    let size = f.metadata()?.len();
+    read_checkpoint_bounded(io::BufReader::new(f), Some(size))
 }
 
 fn read_u32<R: Read>(r: &mut R) -> Result<u32, IoError> {
@@ -184,6 +227,43 @@ mod tests {
             read_checkpoint(buf.as_slice()),
             Err(IoError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut buf = Vec::new();
+            // Hand-assemble so the writer's own state cannot mask the check.
+            buf.extend_from_slice(MAGIC);
+            buf.extend_from_slice(&1u32.to_le_bytes());
+            buf.extend_from_slice(&1u32.to_le_bytes());
+            buf.extend_from_slice(&1u32.to_le_bytes());
+            buf.push(b'w');
+            buf.extend_from_slice(&1u64.to_le_bytes());
+            buf.extend_from_slice(&2u64.to_le_bytes());
+            buf.extend_from_slice(&1.0f32.to_le_bytes());
+            buf.extend_from_slice(&bad.to_le_bytes());
+            let err = read_checkpoint(buf.as_slice()).expect_err("must reject");
+            assert!(matches!(err, IoError::Corrupt(_)), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn bounded_reader_rejects_shapes_beyond_file_size() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(b'w');
+        // Declares a 1M x 64 payload that plainly cannot fit in the file.
+        buf.extend_from_slice(&1_000_000u64.to_le_bytes());
+        buf.extend_from_slice(&64u64.to_le_bytes());
+        let err = read_checkpoint_bounded(buf.as_slice(), Some(buf.len() as u64))
+            .expect_err("must reject");
+        assert!(matches!(err, IoError::Corrupt(_)), "{err}");
+        // The unbounded reader only discovers the truncation at EOF.
+        assert!(read_checkpoint(buf.as_slice()).is_err());
     }
 
     #[test]

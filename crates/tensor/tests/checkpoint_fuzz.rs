@@ -1,0 +1,138 @@
+//! Property test hardening `tensor::io` against hostile checkpoint files.
+//!
+//! A valid multi-entry checkpoint is perturbed hundreds of ways — truncated
+//! at every prefix length class and bit-flipped at random offsets — and fed
+//! back through both the bounded (file-backed) and unbounded readers. The
+//! contract under attack is:
+//!
+//! 1. the reader never panics and never allocates unboundedly,
+//! 2. every accepted result contains only finite values with consistent
+//!    shapes,
+//! 3. a *truncated* file is always rejected (some declared payload is
+//!    missing by construction).
+//!
+//! The crate is dependency-free, so randomness comes from an inline
+//! splitmix64 (same idiom as the obs sink property tests).
+
+use lrgcn_tensor::io::{
+    load_checkpoint, read_checkpoint, read_checkpoint_bounded, save_checkpoint, write_checkpoint,
+};
+use lrgcn_tensor::Matrix;
+
+/// splitmix64 — deterministic, seedable. Reference constants from Vigna.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A well-formed three-entry checkpoint to perturb.
+fn valid_checkpoint() -> Vec<u8> {
+    let a = Matrix::from_vec(4, 3, (0..12).map(|i| i as f32 * 0.25 - 1.0).collect());
+    let b = Matrix::full(2, 8, 0.5);
+    let c = Matrix::zeros(0, 5);
+    let mut buf = Vec::new();
+    write_checkpoint(&mut buf, &[("ego", &a), ("weights", &b), ("empty", &c)]).expect("write");
+    buf
+}
+
+/// The acceptance half of the contract: whatever the reader returns must be
+/// structurally sound.
+fn assert_sound(entries: &[(String, Matrix)]) {
+    for (name, m) in entries {
+        assert!(name.len() <= 4096);
+        assert_eq!(m.data().len(), m.rows() * m.cols(), "{name}: shape lies");
+        assert!(
+            m.data().iter().all(|v| v.is_finite()),
+            "{name}: accepted a non-finite value"
+        );
+    }
+}
+
+#[test]
+fn truncated_checkpoints_never_parse_and_never_panic() {
+    let full = valid_checkpoint();
+    // Every strictly-shorter prefix is missing bytes some header declared.
+    for cut in 0..full.len() {
+        let prefix = &full[..cut];
+        let res = read_checkpoint_bounded(prefix, Some(cut as u64));
+        assert!(res.is_err(), "accepted a {cut}-byte truncation of {} bytes", full.len());
+        assert!(read_checkpoint(prefix).is_err(), "unbounded reader accepted cut={cut}");
+    }
+    // The untruncated file still parses.
+    let back = read_checkpoint_bounded(&full[..], Some(full.len() as u64)).expect("valid file");
+    assert_eq!(back.len(), 3);
+    assert_sound(&back);
+}
+
+#[test]
+fn bit_flipped_checkpoints_parse_soundly_or_fail_cleanly() {
+    let full = valid_checkpoint();
+    let mut rng = Rng(0xC0FFEE);
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    for _ in 0..400 {
+        let mut mutant = full.clone();
+        // 1..=3 random single-bit flips anywhere in the file.
+        for _ in 0..=rng.below(2) {
+            let byte = rng.below(mutant.len() as u64) as usize;
+            let bit = rng.below(8) as u32;
+            mutant[byte] ^= 1 << bit;
+        }
+        match read_checkpoint_bounded(&mutant[..], Some(mutant.len() as u64)) {
+            Ok(entries) => {
+                accepted += 1;
+                assert_sound(&entries);
+            }
+            Err(_) => rejected += 1,
+        }
+    }
+    // Both branches must actually be exercised: flips in the f32 payload
+    // usually survive as a different finite float, flips in headers or
+    // exponent bits must be caught.
+    assert!(accepted > 0, "no mutant parsed — the generator is too hot");
+    assert!(rejected > 0, "no mutant rejected — validation is not firing");
+}
+
+#[test]
+fn file_backed_loader_applies_the_size_bound() {
+    let dir = std::env::temp_dir().join("lrgcn_ckpt_fuzz");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("mutant.ckpt");
+
+    // A shape header inflated far beyond the file size must be rejected by
+    // the budget check, not by an EOF after allocating the declared buffer.
+    let m = Matrix::full(3, 3, 1.0);
+    save_checkpoint(&path, &[("w", &m)]).expect("save");
+    let mut bytes = std::fs::read(&path).expect("read back");
+    // rows field of the first entry sits after MAGIC(8)+ver(4)+n(4)+len(4)+"w"(1).
+    let rows_off = 8 + 4 + 4 + 4 + 1;
+    bytes[rows_off..rows_off + 8].copy_from_slice(&(1u64 << 20).to_le_bytes());
+    std::fs::write(&path, &bytes).expect("write mutant");
+    let err = load_checkpoint(&path).expect_err("must reject");
+    assert!(
+        matches!(err, lrgcn_tensor::io::IoError::Corrupt(_)),
+        "wanted Corrupt, got {err}"
+    );
+
+    // And random truncations of the valid file fail through the same path.
+    save_checkpoint(&path, &[("w", &m)]).expect("save");
+    let bytes = std::fs::read(&path).expect("read back");
+    let mut rng = Rng(7);
+    for _ in 0..32 {
+        let cut = rng.below(bytes.len() as u64) as usize;
+        std::fs::write(&path, &bytes[..cut]).expect("write truncation");
+        assert!(load_checkpoint(&path).is_err(), "accepted cut={cut}");
+    }
+    std::fs::remove_file(&path).ok();
+}

@@ -9,7 +9,11 @@
 #   4. observability smoke: a seeded 2-epoch CLI run with --log-json and
 #      --trace must leave a parseable JSONL log and Chrome trace, and
 #      `lrgcn report` / `report --diff` must render them (exit 0, non-empty)
-#   5. the PR-1 parallel-execution benchmark (writes BENCH_PR1.json)
+#   5. serving smoke: train --save a checkpoint, start `lrgcn serve` on an
+#      ephemeral port, query /healthz and /recs over /dev/tcp, then stop it
+#      gracefully via POST /admin/shutdown
+#   6. the PR-1 parallel-execution benchmark (writes BENCH_PR1.json) and
+#      the PR-4 serving-throughput benchmark (writes BENCH_PR4.json)
 #
 # Usage: scripts/verify.sh [--skip-bench]
 set -euo pipefail
@@ -38,6 +42,9 @@ done
 echo "==> clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> building the CLI for the smoke stages"
+cargo build --release -q -p lrgcn-cli
+
 echo "==> observability smoke: train --log-json --trace, then report"
 smoke=$(mktemp -d)
 trap 'rm -rf "$smoke"' EXIT
@@ -53,9 +60,41 @@ diffout=$(./target/release/lrgcn report --diff "$smoke/run.jsonl" "$smoke/run.js
 [[ -n "$diffout" ]] || { echo "verify: report --diff produced no output"; exit 1; }
 echo "observability smoke: OK"
 
+echo "==> serving smoke: train --save, serve, query, graceful shutdown"
+./target/release/lrgcn train --input "$smoke/interactions.tsv" \
+    --epochs 2 --seed 5 --save "$smoke/model.ckpt"
+./target/release/lrgcn serve "$smoke/model.ckpt" \
+    --input "$smoke/interactions.tsv" --port 0 >"$smoke/serve.log" 2>&1 &
+serve_pid=$!
+port=""
+for _ in $(seq 1 50); do
+    port=$(sed -n 's#.*listening on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' "$smoke/serve.log")
+    [[ -n "$port" ]] && break
+    sleep 0.2
+done
+[[ -n "$port" ]] || { echo "verify: serve never reported its port"; cat "$smoke/serve.log"; exit 1; }
+http_req() { # method path -> full response on stdout
+    exec 3<>"/dev/tcp/127.0.0.1/$port"
+    printf '%s %s HTTP/1.1\r\nHost: verify\r\nContent-Length: 0\r\n\r\n' "$1" "$2" >&3
+    cat <&3
+    exec 3<&-
+}
+health=$(http_req GET /healthz)
+grep -q '"status":"ok"' <<<"$health" || { echo "verify: /healthz not ok: $health"; exit 1; }
+recs=$(http_req GET "/recs/0?k=5")
+grep -q '"items":\[' <<<"$recs" || { echo "verify: /recs returned no items: $recs"; exit 1; }
+metrics=$(http_req GET /metrics)
+grep -q 'lrgcn_serve_http_requests_total' <<<"$metrics" || {
+    echo "verify: /metrics missing serve counters"; exit 1; }
+http_req POST /admin/shutdown >/dev/null
+wait "$serve_pid" || { echo "verify: serve exited non-zero"; exit 1; }
+echo "serving smoke: OK"
+
 if [[ "${1:-}" != "--skip-bench" ]]; then
     echo "==> bench: epoch + eval wall time at 1 vs N threads -> BENCH_PR1.json"
     cargo run --release -p lrgcn-bench --bin bench_pr1 -- --scale 1.0 --reps 3
+    echo "==> bench: serving throughput, single vs pooled -> BENCH_PR4.json"
+    cargo run --release -p lrgcn-serve --bin bench_pr4 -- --requests 400
 fi
 
 echo "verify: OK"
