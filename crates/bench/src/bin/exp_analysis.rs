@@ -76,6 +76,7 @@ fn main() {
         verbose: cfg.verbose,
         restore_best: true,
         record_diagnostics: false,
+        ..Default::default()
     };
     for (name, pruner) in [
         ("None", EdgePruner::None),

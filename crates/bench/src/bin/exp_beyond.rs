@@ -59,6 +59,7 @@ fn main() {
         verbose: cfg.verbose,
         restore_best: true,
         record_diagnostics: false,
+        ..Default::default()
     };
     println!("EXTENSION: BEYOND-ACCURACY PROFILE OF TOP-{K} RECOMMENDATIONS ({})", ds.name);
     rule(70);

@@ -31,6 +31,7 @@ fn main() {
         verbose: cfg.verbose,
         restore_best: true,
         record_diagnostics: false,
+        ..Default::default()
     };
     println!("FIG. 6: EFFECT OF THE NUMBER OF LAYERS ON LAYERGCN AND LIGHTGCN (MOOC)");
     rule(96);

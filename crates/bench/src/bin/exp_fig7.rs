@@ -35,6 +35,7 @@ fn main() {
         verbose: cfg.verbose,
         restore_best: true,
         record_diagnostics: false,
+        ..Default::default()
     };
     println!("FIG. 7: R@20 OF LAYERGCN w.r.t. REGULARIZATION λ AND DROPOUT RATIO");
     for dataset in datasets {

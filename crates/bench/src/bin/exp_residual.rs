@@ -30,6 +30,7 @@ fn main() {
         verbose: cfg.verbose,
         restore_best: true,
         record_diagnostics: false,
+        ..Default::default()
     };
     println!("ABLATION (§IV-B): DYNAMIC LAYER REFINEMENT vs FIXED RESIDUAL SCHEMES ({})", ds.name);
     rule(74);

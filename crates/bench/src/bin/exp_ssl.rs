@@ -32,6 +32,7 @@ fn main() {
         verbose: cfg.verbose,
         restore_best: true,
         record_diagnostics: false,
+        ..Default::default()
     };
     println!("EXTENSION: SELF-SUPERVISED SIGNALS ON LAYERGCN (paper §VI future work)");
     rule(76);

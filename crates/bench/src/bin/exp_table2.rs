@@ -38,6 +38,7 @@ fn run_model(
         verbose: cfg.verbose,
         restore_best: true,
         record_diagnostics: false,
+        ..Default::default()
     };
     let (_, rep) = train_and_test(&mut *model, ds, &tc, &KS);
     let mut row = Vec::with_capacity(6);

@@ -27,6 +27,7 @@ fn main() {
         verbose: cfg.verbose,
         restore_best: true,
         record_diagnostics: false,
+        ..Default::default()
     };
     let ks = [20, 50];
     println!("TABLE III: LAYERGCN vs LIGHTGCN w.r.t. DIFFERENT LAYERS ON THE MOOC DATASET");

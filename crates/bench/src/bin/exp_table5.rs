@@ -29,6 +29,7 @@ fn main() {
         verbose: cfg.verbose,
         restore_best: true,
         record_diagnostics: false,
+        ..Default::default()
     };
     println!("TABLE V: PERFORMANCE OF LAYERGCN WITH MIXED DEGREEDROP AND DROPEDGE (ratio {ratio})");
     rule(84);

@@ -8,6 +8,7 @@
 //! lrgcn train     --input interactions.tsv --save model.ckpt
 //!                 [--model layergcn|lightgcn|bpr|...] [--epochs N] [--kcore K]
 //!                 [--layers L] [--dropout R] [--lambda F] [--seed S]
+//!                 [--checkpoint BASE [--checkpoint-every N]] [--resume BASE]
 //! lrgcn evaluate  --input interactions.tsv --load model.ckpt [--ks 10,20,50]
 //! lrgcn recommend --input interactions.tsv --load model.ckpt --user ID [--k N]
 //!                 [--exclude-seen true|false]       # default true
@@ -48,6 +49,22 @@
 //! `recommend` masks items the user already interacted with in training by
 //! default; pass `--exclude-seen false` to rank the full catalogue.
 //!
+//! ## Fault tolerance
+//!
+//! `train --checkpoint BASE` writes resumable training-state checkpoints to
+//! `BASE.e<NNNNNN>` (atomic tmp+fsync+rename, newest two generations kept)
+//! every `--checkpoint-every N` epochs (default 1 when `--checkpoint` is
+//! given). `train --resume BASE` continues from the newest *valid*
+//! generation — corrupt or torn files are skipped — and reproduces the
+//! uninterrupted run's loss/metric trajectory bitwise, at any `--threads`.
+//! The trainer also survives divergence (non-finite loss, exploding
+//! gradients) by rolling back to the last good generation and halving the
+//! learning rate, and a process panic is stamped into the JSONL log as a
+//! terminal `run_abort` record so `lrgcn report` can tell a crashed run
+//! from a finished one. Set `LRGCN_FAULT` (e.g. `io_error:0.1`,
+//! `torn_write:save`, `kill:3`) to inject I/O faults for drills; see
+//! `lrgcn_tensor::faultfs`.
+//!
 //! ## Serving
 //!
 //! `serve` loads the checkpoint once into an `lrgcn_serve::Engine` and
@@ -71,6 +88,32 @@ pub mod report;
 
 /// Exit-style result: user-facing message on failure.
 pub type CliResult = Result<(), String>;
+
+/// Installs a panic hook that stamps the crash into the JSONL run log (when
+/// one is armed) as a terminal `run_abort` record — run id and epoch from
+/// the trainer's last progress note, plus the panic message — then flushes
+/// the sink and delegates to the default hook. This is what lets
+/// `lrgcn report` distinguish a crashed run from one that merely stopped.
+pub fn install_panic_hook() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if lrgcn::obs::sink::enabled() {
+            let (run, epoch) = lrgcn::obs::sink::last_progress().unwrap_or((0, 0));
+            let msg = if let Some(s) = info.payload().downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = info.payload().downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "panic".to_string()
+            };
+            lrgcn::obs::sink::emit(&lrgcn::obs::event::run_abort(run, epoch, &msg));
+            // Uninstall to flush and drop the writer before the process
+            // unwinds away.
+            lrgcn::obs::sink::uninstall();
+        }
+        default_hook(info);
+    }));
+}
 
 /// Dispatches a full command line (without argv[0]).
 pub fn run(tokens: Vec<String>) -> CliResult {
@@ -201,12 +244,29 @@ fn train_config(args: &Args) -> TrainConfig {
         // Diagnostics are also computed whenever a JSONL sink is armed;
         // this only forces them for plain console runs.
         record_diagnostics: false,
+        ..Default::default()
     }
 }
 
 fn cmd_train(args: &Args) -> CliResult {
     let ds = load_dataset(args)?;
-    let tc = train_config(args);
+    let mut tc = train_config(args);
+    tc.checkpoint_every = args.get_parsed("checkpoint-every", 0usize);
+    tc.checkpoint = args.get("checkpoint").map(std::path::PathBuf::from);
+    tc.resume = args.get("resume").map(std::path::PathBuf::from);
+    // --checkpoint (and --resume, which reuses its base) imply per-epoch
+    // checkpointing unless --checkpoint-every overrides the cadence; a
+    // resumed run keeps writing generations to the base it resumed from.
+    if (tc.checkpoint.is_some() || tc.resume.is_some()) && tc.checkpoint_every == 0 {
+        tc.checkpoint_every = 1;
+    }
+    if tc.checkpoint_every > 0 && tc.checkpoint.is_none() && tc.resume.is_none() {
+        return Err(
+            "--checkpoint-every needs a generation base: add --checkpoint BASE \
+             (or --resume BASE)"
+                .into(),
+        );
+    }
     let model_name = args.get("model").unwrap_or("layergcn");
     println!(
         "training {model_name} on {} users / {} items / {} interactions",
@@ -215,6 +275,7 @@ fn cmd_train(args: &Args) -> CliResult {
         ds.train().n_edges()
     );
     if model_name.eq_ignore_ascii_case("layergcn") {
+        tc.checkpoint_tag = Some("layergcn".to_string());
         let mut rng = StdRng::seed_from_u64(tc.seed);
         let mut model = LayerGcn::new(&ds, layergcn_config(args), &mut rng);
         let out = train_with_early_stopping(&mut model, &ds, &tc);
@@ -231,6 +292,10 @@ fn cmd_train(args: &Args) -> CliResult {
     } else {
         let kind =
             ModelKind::parse(model_name).ok_or_else(|| format!("unknown model {model_name:?}"))?;
+        // `ModelKind::checkpoint_tag` is the single source of truth for
+        // which families have a stable format; `save_model` produces the
+        // user-facing SERVABLE_TAGS error for the rest.
+        tc.checkpoint_tag = kind.checkpoint_tag().map(String::from);
         let mut rng = StdRng::seed_from_u64(tc.seed);
         let mut model = kind.build(&ds, &mut rng);
         let out = train_with_early_stopping(&mut *model, &ds, &tc);
@@ -239,23 +304,13 @@ fn cmd_train(args: &Args) -> CliResult {
             out.epochs_run, out.best_val_metric, out.best_epoch
         );
         if let Some(path) = args.get("save") {
-            lrgcn::models::checkpoint::save_model(path, checkpoint_tag(kind), &*model)
+            let tag = kind.checkpoint_tag().unwrap_or("unsupported");
+            lrgcn::models::checkpoint::save_model(path, tag, &*model)
                 .map_err(|e| format!("--save: {e}"))?;
             println!("checkpoint written to {path}");
         }
     }
     Ok(())
-}
-
-/// Checkpoint family tag for a model kind. Only families implementing
-/// `Recommender::checkpoint_entries` ever reach the writer; the fallback
-/// string is only seen inside the resulting error message.
-fn checkpoint_tag(kind: ModelKind) -> &'static str {
-    match kind {
-        ModelKind::LightGcn => "lightgcn",
-        ModelKind::LayerGcnFull | ModelKind::LayerGcnNoDrop => "layergcn",
-        _ => "unsupported",
-    }
 }
 
 /// Engine options mirroring `layergcn_config`: the checkpoint carries the
@@ -486,6 +541,76 @@ mod tests {
         assert!(err.contains("exclude-seen"), "{err}");
         std::fs::remove_file(&ckpt).ok();
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn lrgccf_save_evaluate_roundtrip() {
+        let dir = std::env::temp_dir().join("lrgcn_cli_lrgccf_ckpt");
+        let path = write_fixture(&dir);
+        let ckpt = dir.join("lrgccf.ckpt");
+        run(argv(&format!(
+            "train --input {} --model lrgccf --epochs 2 --seed 5 --save {}",
+            path.display(),
+            ckpt.display()
+        )))
+        .expect("train lrgccf with --save");
+        assert!(ckpt.exists());
+        let entries = lrgcn::tensor::io::load_checkpoint(&ckpt).expect("load");
+        assert_eq!(lrgcn::models::model_tag(&entries), Some("lrgccf"));
+        run(argv(&format!(
+            "evaluate --input {} --load {} --ks 10 --seed 5 --layers 3",
+            path.display(),
+            ckpt.display()
+        )))
+        .expect("evaluate lrgccf checkpoint");
+        std::fs::remove_file(&ckpt).ok();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn checkpoint_and_resume_flags_roundtrip() {
+        let dir = std::env::temp_dir().join("lrgcn_cli_ckpt_resume");
+        std::fs::remove_dir_all(&dir).ok();
+        let path = write_fixture(&dir);
+        let base = dir.join("train.ckpt");
+        run(argv(&format!(
+            "train --input {} --epochs 4 --seed 5 --checkpoint {} --checkpoint-every 2",
+            path.display(),
+            base.display()
+        )))
+        .expect("train with checkpointing");
+        let gens = lrgcn::train::resume::list_generations(&base);
+        assert!(!gens.is_empty(), "no generations written");
+        assert!(gens.len() <= 2, "pruning keeps at most two generations");
+        // A generation doubles as a servable model checkpoint.
+        run(argv(&format!(
+            "evaluate --input {} --load {} --ks 10 --seed 5",
+            path.display(),
+            gens[0].1.display()
+        )))
+        .expect("evaluate a training-state generation");
+        // Resume continues past the checkpointed epoch.
+        run(argv(&format!(
+            "train --input {} --epochs 6 --seed 5 --resume {}",
+            path.display(),
+            base.display()
+        )))
+        .expect("resume");
+        let after = lrgcn::train::resume::list_generations(&base);
+        assert!(
+            after[0].0 > gens[0].0,
+            "resume did not advance the newest generation ({} -> {})",
+            gens[0].0,
+            after[0].0
+        );
+        // --checkpoint-every without any base path is a user error.
+        let err = run(argv(&format!(
+            "train --input {} --epochs 1 --checkpoint-every 2",
+            path.display()
+        )))
+        .expect_err("missing base");
+        assert!(err.contains("--checkpoint"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! command line. See the crate docs (`lrgcn-cli`) for the full usage.
 
 fn main() {
+    lrgcn_cli::install_panic_hook();
     let tokens: Vec<String> = std::env::args().skip(1).collect();
     if let Err(msg) = lrgcn_cli::run(tokens) {
         eprintln!("error: {msg}");

@@ -59,6 +59,10 @@ struct RunLog {
     epochs: Vec<EpochRow>,
     diags: Vec<DiagRow>,
     summary: Option<Summary>,
+    /// Divergence/fault recoveries: `(epoch, reason)`.
+    recoveries: Vec<(u64, String)>,
+    /// Terminal crash record, if the process panicked: `(epoch, message)`.
+    abort: Option<(u64, String)>,
 }
 
 pub fn cmd_report(tokens: &[String]) -> Result<(), String> {
@@ -138,6 +142,8 @@ fn parse_log(path: &str) -> Result<RunLog, String> {
         epochs: Vec::new(),
         diags: Vec::new(),
         summary: None,
+        recoveries: Vec::new(),
+        abort: None,
     };
     let mut segments: Vec<RunLog> = Vec::new();
     for v in &records {
@@ -155,7 +161,8 @@ fn parse_log(path: &str) -> Result<RunLog, String> {
                 segments.push(seg);
                 continue;
             }
-            Some("epoch") | Some("diag") | Some("run_summary") => {}
+            Some("epoch") | Some("diag") | Some("run_summary") | Some("recovery")
+            | Some("run_abort") => {}
             _ => continue,
         }
         let log = match segments.iter_mut().rev().find(|s| s.run == run) {
@@ -219,6 +226,22 @@ fn parse_log(path: &str) -> Result<RunLog, String> {
                     counters_total: obj_nums(v.get("counters_total")),
                     timers,
                 });
+            }
+            Some("recovery") => log.recoveries.push((
+                num(v, "epoch").unwrap_or(0.0) as u64,
+                v.get("reason")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+            )),
+            Some("run_abort") => {
+                log.abort = Some((
+                    num(v, "epoch").unwrap_or(0.0) as u64,
+                    v.get("message")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string(),
+                ))
             }
             _ => {}
         }
@@ -320,6 +343,22 @@ fn render_report(log: &RunLog) -> String {
         log.epochs.len(),
         log.path
     );
+    if let Some((epoch, msg)) = &log.abort {
+        let _ = writeln!(o, "  ABORTED at epoch {epoch}: {msg}");
+    }
+    if !log.recoveries.is_empty() {
+        let list: Vec<String> = log
+            .recoveries
+            .iter()
+            .map(|(e, r)| format!("{r} @ epoch {e}"))
+            .collect();
+        let _ = writeln!(
+            o,
+            "  recoveries: {} ({})",
+            log.recoveries.len(),
+            list.join(", ")
+        );
+    }
     let _ = writeln!(o);
 
     // Trajectory.
@@ -653,6 +692,32 @@ mod tests {
         }
         cmd_report(std::slice::from_ref(&path)).expect("report");
         cmd_report(&["--diff".to_string(), path.clone(), path]).expect("diff");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn recovery_and_abort_records_surface_in_the_report() {
+        let dir = std::env::temp_dir().join("lrgcn_report_recovery");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let p = dir.join("faulty.jsonl");
+        let lines = [
+            r#"{"dataset":"mooc","event":"run_start","model":"LayerGCN","run":1,"threads":1}"#,
+            r#"{"counters":{},"epoch":0,"event":"epoch","loss":0.9,"matrix_bytes_peak":0,"run":1,"threads":1,"timings_s":{"refresh":0,"train":1,"val":0}}"#,
+            r#"{"epoch":1,"event":"recovery","lr":0.0005,"reason":"non_finite_loss","rolled_back_to":0,"run":1}"#,
+            r#"{"counters":{},"epoch":1,"event":"epoch","loss":0.8,"matrix_bytes_peak":0,"run":1,"threads":1,"timings_s":{"refresh":0,"train":1,"val":0}}"#,
+            r#"{"epoch":2,"event":"run_abort","message":"boom","run":1}"#,
+        ];
+        std::fs::write(&p, lines.join("\n")).expect("write");
+        let log = parse_log(&p.display().to_string()).expect("parse");
+        assert_eq!(log.recoveries, vec![(1, "non_finite_loss".to_string())]);
+        assert_eq!(log.abort, Some((2, "boom".to_string())));
+        assert_eq!(log.epochs.len(), 2, "recovery records must not eat epochs");
+        let text = render_report(&log);
+        assert!(text.contains("ABORTED at epoch 2: boom"), "{text}");
+        assert!(
+            text.contains("recoveries: 1 (non_finite_loss @ epoch 1)"),
+            "{text}"
+        );
         std::fs::remove_file(&p).ok();
     }
 

@@ -1,0 +1,225 @@
+//! End-to-end fault-tolerance tests against the real `lrgcn` binary:
+//! kill a checkpointed training run mid-flight (both with a raw SIGKILL
+//! and with a deterministic fault injected mid-checkpoint-write), resume
+//! it, and require the stitched JSONL trajectory to be byte-identical to
+//! an uninterrupted run — across different `--threads` settings.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn fixture(dir: &Path) -> PathBuf {
+    std::fs::create_dir_all(dir).expect("mkdir");
+    let path = dir.join("interactions.tsv");
+    let log = lrgcn::data::SyntheticConfig::games().scaled(0.1).generate(13);
+    lrgcn::data::loader::save_interactions(&path, &log).expect("write tsv");
+    path
+}
+
+fn lrgcn_cmd(dir: &Path) -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_lrgcn"));
+    c.current_dir(dir).stdout(Stdio::null()).stderr(Stdio::null());
+    c
+}
+
+/// The raw token after `key` up to the next `,` or `}` — compared as text
+/// so the bitwise-trajectory assertions are immune to float re-parsing.
+fn raw_field(line: &str, key: &str) -> Option<String> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].to_string())
+}
+
+/// epoch -> "loss-token + val-object" for every *complete* epoch record in
+/// the JSONL files. A line torn by a kill mid-write is skipped; the resumed
+/// run re-emits that epoch (the checkpoint for an epoch is only written
+/// after its record), so the overlay still covers it.
+fn epoch_signatures(path: &Path) -> BTreeMap<u64, String> {
+    let text = std::fs::read_to_string(path).unwrap_or_default();
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        if !line.contains("\"event\":\"epoch\"") || !line.ends_with('}') {
+            continue;
+        }
+        let (Some(epoch), Some(loss)) =
+            (raw_field(line, "\"epoch\":"), raw_field(line, "\"loss\":"))
+        else {
+            continue;
+        };
+        let Ok(epoch) = epoch.parse::<u64>() else { continue };
+        // The metric is the *object* `"val":{...}` (the scalar `"val":`
+        // inside `timings_s` is wall time — nondeterministic); it sorts
+        // last in the record, so it runs to end-of-line.
+        let val = line
+            .find("\"val\":{")
+            .map(|i| line[i..].to_string())
+            .unwrap_or_default();
+        out.insert(epoch, format!("{loss} {val}"));
+    }
+    out
+}
+
+fn count_epoch_records(path: &Path) -> usize {
+    std::fs::read_to_string(path)
+        .unwrap_or_default()
+        .lines()
+        .filter(|l| l.contains("\"event\":\"epoch\"") && l.ends_with('}'))
+        .count()
+}
+
+fn wait_for_epochs(path: &Path, n: usize, timeout: Duration) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < timeout {
+        if count_epoch_records(path) >= n {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+/// Stitches interrupted + resumed logs (later run wins per epoch) and
+/// requires the result to match the uninterrupted trajectory exactly.
+fn assert_stitched_matches(uninterrupted: &Path, interrupted: &Path, resumed: &Path) {
+    let want = epoch_signatures(uninterrupted);
+    let before = epoch_signatures(interrupted);
+    let after = epoch_signatures(resumed);
+    assert!(
+        !after.is_empty(),
+        "resumed run must re-execute at least the rolled-back epoch"
+    );
+    let mut got = before;
+    got.extend(after);
+    assert_eq!(
+        got, want,
+        "stitched (kill + resume) trajectory must be byte-identical to the \
+         uninterrupted run"
+    );
+}
+
+#[test]
+fn sigkill_and_resume_reproduce_the_uninterrupted_trajectory() {
+    let dir = std::env::temp_dir().join("lrgcn_cli_sigkill_resume");
+    let _ = std::fs::remove_dir_all(&dir);
+    let input = fixture(&dir);
+    let input = input.display().to_string();
+
+    // A: uninterrupted reference run on a single thread.
+    let status = lrgcn_cmd(&dir)
+        .args(["train", "--input", &input, "--epochs", "12", "--seed", "5"])
+        .args(["--threads", "1", "--log-json", "a.jsonl"])
+        .status()
+        .expect("spawn reference run");
+    assert!(status.success(), "reference run failed");
+    assert_eq!(epoch_signatures(&dir.join("a.jsonl")).len(), 12);
+
+    // B: same run with per-epoch checkpoints, SIGKILLed mid-flight.
+    let mut child = lrgcn_cmd(&dir)
+        .args(["train", "--input", &input, "--epochs", "12", "--seed", "5"])
+        .args(["--threads", "2", "--checkpoint", "ckpt", "--log-json", "b.jsonl"])
+        .spawn()
+        .expect("spawn checkpointed run");
+    assert!(
+        wait_for_epochs(&dir.join("b.jsonl"), 3, Duration::from_secs(180)),
+        "checkpointed run produced no epochs to kill"
+    );
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reap");
+
+    // C: resume from the newest surviving generation on four threads.
+    let status = lrgcn_cmd(&dir)
+        .args(["train", "--input", &input, "--epochs", "12", "--seed", "5"])
+        .args(["--threads", "4", "--resume", "ckpt", "--log-json", "c.jsonl"])
+        .status()
+        .expect("spawn resumed run");
+    assert!(status.success(), "resume after SIGKILL failed");
+
+    assert_stitched_matches(&dir.join("a.jsonl"), &dir.join("b.jsonl"), &dir.join("c.jsonl"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_mid_checkpoint_write_leaves_a_resumable_base() {
+    let dir = std::env::temp_dir().join("lrgcn_cli_midsave_kill");
+    let _ = std::fs::remove_dir_all(&dir);
+    let input = fixture(&dir);
+    let input = input.display().to_string();
+
+    let status = lrgcn_cmd(&dir)
+        .args(["train", "--input", &input, "--epochs", "8", "--seed", "5"])
+        .args(["--threads", "1", "--log-json", "a.jsonl"])
+        .status()
+        .expect("spawn reference run");
+    assert!(status.success(), "reference run failed");
+
+    // Deterministic crash mid-way through the 3rd checkpoint write (the
+    // generation for epoch 2): the final file must never appear, only a
+    // torn .tmp, and the two earlier generations stay loadable.
+    let status = lrgcn_cmd(&dir)
+        .args(["train", "--input", &input, "--epochs", "8", "--seed", "5"])
+        .args(["--threads", "2", "--checkpoint", "ckpt", "--log-json", "b.jsonl"])
+        .env("LRGCN_FAULT", "kill:3")
+        .status()
+        .expect("spawn faulted run");
+    assert!(!status.success(), "kill:3 must abort the process");
+    assert_eq!(
+        count_epoch_records(&dir.join("b.jsonl")),
+        3,
+        "run must die saving epoch 2's checkpoint, after its epoch record"
+    );
+    assert!(
+        !dir.join("ckpt.e000003").exists(),
+        "a killed save must never produce the final generation file"
+    );
+    assert!(
+        dir.join("ckpt.e000003.tmp").exists(),
+        "the killed save leaves a torn .tmp behind"
+    );
+
+    let status = lrgcn_cmd(&dir)
+        .args(["train", "--input", &input, "--epochs", "8", "--seed", "5"])
+        .args(["--threads", "4", "--resume", "ckpt", "--log-json", "c.jsonl"])
+        .status()
+        .expect("spawn resumed run");
+    assert!(status.success(), "resume past a torn generation failed");
+    let resumed = epoch_signatures(&dir.join("c.jsonl"));
+    assert_eq!(
+        resumed.keys().next(),
+        Some(&2),
+        "resume must restart at the epoch whose checkpoint was torn"
+    );
+
+    assert_stitched_matches(&dir.join("a.jsonl"), &dir.join("b.jsonl"), &dir.join("c.jsonl"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn panic_mid_save_flushes_a_run_abort_record() {
+    let dir = std::env::temp_dir().join("lrgcn_cli_panic_abort");
+    let _ = std::fs::remove_dir_all(&dir);
+    let input = fixture(&dir);
+    let input = input.display().to_string();
+
+    let status = lrgcn_cmd(&dir)
+        .args(["train", "--input", &input, "--epochs", "4", "--seed", "5"])
+        .args(["--checkpoint", "ckpt", "--log-json", "p.jsonl"])
+        .env("LRGCN_FAULT", "panic:1")
+        .status()
+        .expect("spawn panicking run");
+    assert!(!status.success(), "panic:1 must take the process down");
+
+    let text = std::fs::read_to_string(dir.join("p.jsonl")).expect("log survives the panic");
+    let abort: Vec<&str> = text
+        .lines()
+        .filter(|l| l.contains("\"event\":\"run_abort\""))
+        .collect();
+    assert_eq!(abort.len(), 1, "panic hook emits exactly one run_abort:\n{text}");
+    assert!(
+        abort[0].contains("injected fault"),
+        "run_abort carries the panic message: {}",
+        abort[0]
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

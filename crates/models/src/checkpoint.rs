@@ -21,8 +21,11 @@ use lrgcn_tensor::Matrix;
 pub const MODEL_TAG_PREFIX: &str = "__model__:";
 
 /// Canonical family tags with a stable checkpoint format, i.e. the values
-/// [`save_model`] writes and the serving engine knows how to rebuild.
-pub const SERVABLE_TAGS: [&str; 2] = ["layergcn", "lightgcn"];
+/// [`save_model`] writes and the serving engine knows how to rebuild. This
+/// is the single source of truth: the CLI's `--save` error message and the
+/// serve engine's unsupported-tag error both derive from it, and
+/// `ModelKind::checkpoint_tag` must only ever return values listed here.
+pub const SERVABLE_TAGS: [&str; 3] = ["layergcn", "lightgcn", "lrgccf"];
 
 /// Saves `model` to `path` as a tagged checkpoint.
 ///

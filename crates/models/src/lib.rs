@@ -58,4 +58,4 @@ pub use ngcf::{Ngcf, NgcfConfig};
 pub use ultragcn::{UltraGcn, UltraGcnConfig};
 pub use registry::ModelKind;
 pub use residual::{ResidualFamilyGcn, ResidualGcnConfig, ResidualKind};
-pub use traits::{EpochStats, Recommender};
+pub use traits::{EpochStats, OptimState, Recommender};

@@ -6,7 +6,7 @@ use crate::common::{
     bpr_loss, consecutive_smoothness, full_adjacency, grad_sq_norm, mean_readout, mean_row_l2,
     propagate_chain, propagate_matrix, score_from_final,
 };
-use crate::traits::{EpochStats, ModelDiagnostics, Recommender};
+use crate::traits::{EpochStats, ModelDiagnostics, OptimState, Recommender};
 use lrgcn_data::{BprEpoch, Dataset};
 use lrgcn_tensor::tape::SharedCsr;
 use lrgcn_tensor::{init, Adam, Matrix, Param, Tape};
@@ -162,6 +162,35 @@ impl Recommender for LightGcn {
         self.ego.set_value(ego.clone());
         self.inference = None;
         Ok(())
+    }
+
+    fn optim_state(&self) -> Option<OptimState> {
+        Some(OptimState {
+            step: self.adam.steps(),
+            lr: self.adam.lr,
+            moments: vec![(
+                "ego".into(),
+                self.ego.adam_m().clone(),
+                self.ego.adam_v().clone(),
+            )],
+        })
+    }
+
+    fn load_optim_state(&mut self, state: &OptimState) -> Result<(), String> {
+        let (_, m, v) = state
+            .moments
+            .iter()
+            .find(|(n, _, _)| n == "ego")
+            .ok_or_else(|| "optimizer state missing \"ego\" moments".to_string())?;
+        self.ego.set_adam_state(m.clone(), v.clone())?;
+        self.adam.set_steps(state.step);
+        self.adam.lr = state.lr;
+        Ok(())
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) -> bool {
+        self.adam.lr = lr;
+        true
     }
 
     fn diagnostics(&self, _ds: &Dataset) -> Option<ModelDiagnostics> {

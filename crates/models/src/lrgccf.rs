@@ -10,7 +10,7 @@ use crate::common::{
     bpr_loss, consecutive_smoothness, full_adjacency, grad_sq_norm, mean_row_l2,
     score_from_final,
 };
-use crate::traits::{EpochStats, ModelDiagnostics, Recommender};
+use crate::traits::{EpochStats, ModelDiagnostics, OptimState, Recommender};
 use lrgcn_data::{BprEpoch, Dataset};
 use lrgcn_tensor::tape::{SharedCsr, Tape, Var};
 use lrgcn_tensor::{init, Adam, Matrix, Param};
@@ -81,6 +81,14 @@ impl LrGccf {
         chain
     }
 
+    /// The inference-time representation (residual layers concatenated),
+    /// as served by the online engine.
+    pub fn final_embeddings(&self) -> Matrix {
+        let mut tape = Tape::new();
+        let (final_x, _) = self.forward(&mut tape);
+        tape.value(final_x).clone()
+    }
+
     fn forward(&self, tape: &mut Tape) -> (Var, Var) {
         let x0 = tape.leaf(self.ego.value().clone());
         let mut parts = vec![x0];
@@ -142,6 +150,65 @@ impl Recommender for LrGccf {
 
     fn n_parameters(&self) -> usize {
         self.ego.value().len()
+    }
+
+    fn snapshot(&self) -> Option<Vec<Matrix>> {
+        Some(vec![self.ego.value().clone()])
+    }
+
+    fn restore(&mut self, mut params: Vec<Matrix>) {
+        assert_eq!(params.len(), 1, "LR-GCCF snapshot holds one table");
+        let ego = params.pop().expect("checked len");
+        assert_eq!(ego.shape(), self.ego.value().shape(), "snapshot shape mismatch");
+        self.ego.set_value(ego);
+        self.inference = None;
+    }
+
+    fn checkpoint_entries(&self) -> Option<Vec<(String, Matrix)>> {
+        Some(vec![("ego".into(), self.ego.value().clone())])
+    }
+
+    fn load_checkpoint_entries(&mut self, entries: &[(String, Matrix)]) -> Result<(), String> {
+        let ego = crate::checkpoint::require_entry(entries, "ego")?;
+        if ego.shape() != self.ego.value().shape() {
+            return Err(format!(
+                "ego shape {:?} does not match model {:?}",
+                ego.shape(),
+                self.ego.value().shape()
+            ));
+        }
+        self.ego.set_value(ego.clone());
+        self.inference = None;
+        Ok(())
+    }
+
+    fn optim_state(&self) -> Option<OptimState> {
+        Some(OptimState {
+            step: self.adam.steps(),
+            lr: self.adam.lr,
+            moments: vec![(
+                "ego".into(),
+                self.ego.adam_m().clone(),
+                self.ego.adam_v().clone(),
+            )],
+        })
+    }
+
+    fn load_optim_state(&mut self, state: &OptimState) -> Result<(), String> {
+        let (_, m, v) = state
+            .moments
+            .iter()
+            .find(|(n, _, _)| n == "ego")
+            .ok_or_else(|| "optimizer state missing \"ego\" moments".to_string())?;
+        self.ego.set_adam_state(m.clone(), v.clone())?;
+        self.adam.set_steps(state.step);
+        self.adam.lr = state.lr;
+        Ok(())
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) -> bool {
+        self.adam.lr = lr;
+        true
     }
 
     fn diagnostics(&self, _ds: &Dataset) -> Option<ModelDiagnostics> {

@@ -89,6 +89,20 @@ impl ModelKind {
         Some(m)
     }
 
+    /// The model-family tag this kind writes into tagged checkpoints, or
+    /// `None` when the family has no stable checkpoint format. Every
+    /// returned value is listed in [`crate::checkpoint::SERVABLE_TAGS`]
+    /// (enforced by a test), so "this kind saves" and "serve can load it"
+    /// stay the same statement.
+    pub fn checkpoint_tag(&self) -> Option<&'static str> {
+        match self {
+            ModelKind::LayerGcnNoDrop | ModelKind::LayerGcnFull => Some("layergcn"),
+            ModelKind::LightGcn => Some("lightgcn"),
+            ModelKind::LrGccf => Some("lrgccf"),
+            _ => None,
+        }
+    }
+
     /// Builds the model with its default hyper-parameters.
     pub fn build(&self, ds: &Dataset, rng: &mut StdRng) -> Box<dyn Recommender> {
         match self {
@@ -127,6 +141,45 @@ mod tests {
         assert_eq!(ModelKind::parse("LightGCN"), Some(ModelKind::LightGcn));
         assert_eq!(ModelKind::parse("layer-gcn"), Some(ModelKind::LayerGcnFull));
         assert!(ModelKind::parse("nope").is_none());
+    }
+
+    #[test]
+    fn checkpoint_tags_are_servable_and_backed_by_entries() {
+        let ds = tiny_dataset(4);
+        for kind in ModelKind::all() {
+            let mut rng = StdRng::seed_from_u64(7);
+            let m = kind.build(&ds, &mut rng);
+            match kind.checkpoint_tag() {
+                Some(tag) => {
+                    assert!(
+                        crate::checkpoint::SERVABLE_TAGS.contains(&tag),
+                        "{tag:?} not in SERVABLE_TAGS"
+                    );
+                    assert!(
+                        m.checkpoint_entries().is_some(),
+                        "{} declares tag {tag:?} but has no checkpoint entries",
+                        kind.label()
+                    );
+                    assert!(
+                        m.optim_state().is_some(),
+                        "{} declares tag {tag:?} but has no optimizer state for resume",
+                        kind.label()
+                    );
+                }
+                None => assert!(
+                    m.checkpoint_entries().is_none(),
+                    "{} has checkpoint entries but no tag",
+                    kind.label()
+                ),
+            }
+        }
+        // Conversely, every servable tag is writable by some ModelKind.
+        for tag in crate::checkpoint::SERVABLE_TAGS {
+            assert!(
+                ModelKind::all().iter().any(|k| k.checkpoint_tag() == Some(tag)),
+                "no ModelKind writes tag {tag:?}"
+            );
+        }
     }
 
     #[test]

@@ -54,6 +54,22 @@ impl ModelDiagnostics {
     }
 }
 
+/// Optimizer state captured for exact training resume: together with the
+/// parameter values ([`Recommender::checkpoint_entries`]) and the trainer's
+/// own RNG/epoch bookkeeping, this is everything needed to continue a run
+/// bitwise-identically to one that was never interrupted.
+#[derive(Clone, Debug)]
+pub struct OptimState {
+    /// Completed optimizer steps (Adam's bias-correction timestep `t`).
+    pub step: u64,
+    /// Current learning rate (may differ from the configured one after
+    /// divergence recovery halved it).
+    pub lr: f32,
+    /// Per-parameter Adam moments, `(group name, m, v)`. Group names match
+    /// the model's checkpoint entry names.
+    pub moments: Vec<(String, Matrix, Matrix)>,
+}
+
 /// A trainable top-K recommender.
 ///
 /// Protocol: the trainer alternates [`Recommender::train_epoch`] calls with
@@ -115,6 +131,31 @@ pub trait Recommender: Sync {
     /// rejects: the model has no stable checkpoint format.
     fn load_checkpoint_entries(&mut self, _entries: &[(String, Matrix)]) -> Result<(), String> {
         Err(format!("{} has no stable checkpoint format", self.name()))
+    }
+
+    /// Copies out the optimizer state (Adam step counter, learning rate,
+    /// per-parameter moments) for a training-resume checkpoint, or `None`
+    /// when the model cannot support exact resume. Models that implement
+    /// [`Recommender::checkpoint_entries`] should implement this too —
+    /// without the moments a resumed run diverges from the uninterrupted
+    /// trajectory on the first post-resume step.
+    fn optim_state(&self) -> Option<OptimState> {
+        None
+    }
+
+    /// Restores optimizer state captured by [`Recommender::optim_state`].
+    /// Call *after* [`Recommender::load_checkpoint_entries`]: restoring
+    /// parameter values may reset moments, and moment shapes are validated
+    /// against the current parameters. The default rejects.
+    fn load_optim_state(&mut self, _state: &OptimState) -> Result<(), String> {
+        Err(format!("{} does not support optimizer-state resume", self.name()))
+    }
+
+    /// Overrides the learning rate for subsequent epochs (used by the
+    /// trainer's divergence recovery to halve it after a rollback). Returns
+    /// `false` when the model does not support it.
+    fn set_learning_rate(&mut self, _lr: f32) -> bool {
+        false
     }
 
     /// Model-health diagnostics for the current parameters (see

@@ -4,7 +4,7 @@
 //!
 //! | field   | type   | meaning                                            |
 //! |---------|--------|----------------------------------------------------|
-//! | `event` | string | `"run_start"`, `"epoch"`, `"diag"` or `"run_summary"` |
+//! | `event` | string | `"run_start"`, `"epoch"`, `"diag"`, `"run_summary"`, `"recovery"` or `"run_abort"` |
 //! | `run`   | number | process-unique run id ([`crate::sink::next_run_id`]) |
 //!
 //! `epoch` records add `epoch` (0-based), `loss`, a `timings_s` object with
@@ -186,6 +186,42 @@ pub fn run_summary_between(
     }
 }
 
+/// Divergence-recovery record: the trainer hit non-finite loss or an
+/// exploding gradient norm at `epoch`, rolled back to the checkpointed
+/// epoch (`rolled_back_to`, absent when no checkpoint existed and only the
+/// learning rate was cut), and continues with learning rate `lr`.
+pub fn recovery(
+    run: u64,
+    epoch: u64,
+    reason: &str,
+    rolled_back_to: Option<u64>,
+    lr: f64,
+) -> Value {
+    let mut fields = vec![
+        ("event", Value::str("recovery")),
+        ("run", Value::u64(run)),
+        ("epoch", Value::u64(epoch)),
+        ("reason", Value::str(reason)),
+    ];
+    if let Some(to) = rolled_back_to {
+        fields.push(("rolled_back_to", Value::u64(to)));
+    }
+    fields.push(("lr", Value::num(lr)));
+    Value::obj(fields)
+}
+
+/// Terminal abort record emitted by the CLI's panic hook, so a crashed run
+/// is distinguishable from a truncated log. `epoch` is the last epoch the
+/// trainer reported progress for (0 when the panic predates epoch 0).
+pub fn run_abort(run: u64, epoch: u64, message: &str) -> Value {
+    Value::obj([
+        ("event", Value::str("run_abort")),
+        ("run", Value::u64(run)),
+        ("epoch", Value::u64(epoch)),
+        ("message", Value::str(message)),
+    ])
+}
+
 /// Converts `(name, value)` metric pairs (e.g. `("recall@20", 0.12)`) into a
 /// metrics object for `val` / `test` fields.
 pub fn metrics_obj(pairs: &[(String, f64)]) -> Value {
@@ -277,6 +313,30 @@ mod tests {
             parsed.get("matrix_bytes_peak").unwrap().as_f64(),
             Some((1u64 << 22) as f64)
         );
+    }
+
+    #[test]
+    fn recovery_and_abort_records_render() {
+        let rec = recovery(3, 7, "non_finite_loss", Some(4), 5e-4);
+        let parsed = json::parse(&rec.render()).unwrap();
+        assert_eq!(parsed.get("event").unwrap().as_str(), Some("recovery"));
+        assert_eq!(parsed.get("rolled_back_to").unwrap().as_f64(), Some(4.0));
+        assert_eq!(parsed.get("lr").unwrap().as_f64(), Some(5e-4));
+
+        let no_ckpt = recovery(3, 7, "grad_norm_exploded", None, 5e-4);
+        let parsed = json::parse(&no_ckpt.render()).unwrap();
+        assert!(parsed.get("rolled_back_to").is_none());
+
+        let abort = run_abort(3, 9, "injected fault: panic mid-save");
+        let parsed = json::parse(&abort.render()).unwrap();
+        assert_eq!(parsed.get("event").unwrap().as_str(), Some("run_abort"));
+        assert_eq!(parsed.get("epoch").unwrap().as_f64(), Some(9.0));
+        assert!(parsed
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("panic"));
     }
 
     #[test]

@@ -68,11 +68,20 @@ pub enum Counter {
     ServeScorePairs,
     /// Hot checkpoint reloads that swapped the serving engine.
     ServeReloads,
+    /// Training-state checkpoints written successfully by the trainer.
+    TrainCheckpoints,
+    /// Training-state checkpoint saves that failed (IO errors, injected
+    /// faults); training continues, so this counts survived faults.
+    TrainCheckpointErrors,
+    /// Divergence recoveries: rollbacks to the last good checkpoint (or
+    /// LR halvings without one) after a non-finite loss or exploding
+    /// gradient norm.
+    TrainRecoveries,
 }
 
 impl Counter {
     /// All counters, in stable declaration order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 26] = [
         Counter::MatmulCalls,
         Counter::MatmulCells,
         Counter::SpmmCalls,
@@ -96,6 +105,9 @@ impl Counter {
         Counter::ServeScoreBatches,
         Counter::ServeScorePairs,
         Counter::ServeReloads,
+        Counter::TrainCheckpoints,
+        Counter::TrainCheckpointErrors,
+        Counter::TrainRecoveries,
     ];
 
     /// Dotted metric name used in JSONL records and snapshots.
@@ -124,6 +136,9 @@ impl Counter {
             Counter::ServeScoreBatches => "serve.score.batches",
             Counter::ServeScorePairs => "serve.score.pairs",
             Counter::ServeReloads => "serve.reloads",
+            Counter::TrainCheckpoints => "train.checkpoints",
+            Counter::TrainCheckpointErrors => "train.checkpoint_errors",
+            Counter::TrainRecoveries => "train.recoveries",
         }
     }
 }

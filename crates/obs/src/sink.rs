@@ -91,6 +91,31 @@ pub fn next_run_id() -> u64 {
     NEXT_RUN_ID.fetch_add(1, Ordering::Relaxed)
 }
 
+// Last (run, epoch) the trainer reported, read by the CLI's panic hook to
+// stamp its terminal `run_abort` record. Run ids start at 1, so run 0 means
+// "no progress noted yet".
+static PROGRESS_RUN: AtomicU64 = AtomicU64::new(0);
+static PROGRESS_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Records the trainer's current position (called once per epoch; cheap
+/// enough to call unconditionally). A panic hook can then attribute the
+/// crash to a run and epoch without any access to trainer internals.
+#[inline]
+pub fn note_progress(run: u64, epoch: u64) {
+    PROGRESS_RUN.store(run, Ordering::Relaxed);
+    PROGRESS_EPOCH.store(epoch, Ordering::Relaxed);
+}
+
+/// The last `(run, epoch)` recorded by [`note_progress`], or `None` when no
+/// trainer has reported progress in this process.
+pub fn last_progress() -> Option<(u64, u64)> {
+    let run = PROGRESS_RUN.load(Ordering::Relaxed);
+    if run == 0 {
+        return None;
+    }
+    Some((run, PROGRESS_EPOCH.load(Ordering::Relaxed)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,10 +20,10 @@
 use lrgcn_data::Dataset;
 use lrgcn_eval::top_k_with_scores;
 use lrgcn_graph::EdgePruner;
-use lrgcn_models::checkpoint::{model_tag, require_entry};
+use lrgcn_models::checkpoint::{model_tag, require_entry, SERVABLE_TAGS};
 use lrgcn_models::common::score_from_final;
 use lrgcn_models::{
-    LayerGcn, LayerGcnConfig, LightGcn, LightGcnConfig, Recommender,
+    LayerGcn, LayerGcnConfig, LightGcn, LightGcnConfig, LrGccf, LrGccfConfig, Recommender,
 };
 use lrgcn_obs::{registry, Counter};
 use lrgcn_tensor::matrix::dot;
@@ -60,7 +60,7 @@ impl Default for EngineOptions {
 pub struct EngineState {
     /// Human-readable model name (`Recommender::name`).
     pub model_name: String,
-    /// Checkpoint family tag (`layergcn` / `lightgcn`).
+    /// Checkpoint family tag (see `lrgcn_models::checkpoint::SERVABLE_TAGS`).
     pub tag: String,
     /// Monotone reload counter; part of every cache key.
     pub generation: u64,
@@ -229,10 +229,21 @@ fn build_state(
             m.load_checkpoint_entries(&entries)?;
             (m.name(), m.n_parameters(), m.final_embeddings())
         }
+        "lrgccf" => {
+            let cfg = LrGccfConfig {
+                embedding_dim: dim,
+                n_layers: opts.n_layers,
+                ..LrGccfConfig::default()
+            };
+            let mut m = LrGccf::new(ds, cfg, &mut rng);
+            m.load_checkpoint_entries(&entries)?;
+            (m.name(), m.n_parameters(), m.final_embeddings())
+        }
         other => {
             return Err(format!(
                 "checkpoint is tagged {other:?}, which this server cannot rebuild \
-                 (supported: layergcn, lightgcn)"
+                 (supported: {})",
+                SERVABLE_TAGS.join(", ")
             ))
         }
     };
@@ -346,6 +357,60 @@ mod tests {
         );
         m.train_epoch(ds, 0, &mut rng);
         save_model(path, "lightgcn", &m).expect("save");
+    }
+
+    #[test]
+    fn open_rebuilds_lrgccf_checkpoints() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join("lrgcn_engine_lrgccf");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let ckpt = dir.join("m.ckpt");
+        let cfg = LrGccfConfig {
+            embedding_dim: 8,
+            n_layers: 2,
+            ..LrGccfConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut m = LrGccf::new(&ds, cfg.clone(), &mut rng);
+        m.train_epoch(&ds, 0, &mut rng);
+        save_model(&ckpt, "lrgccf", &m).expect("save");
+
+        let eng = Engine::open(&ckpt, ds.clone(), EngineOptions {
+            n_layers: 2,
+            ..EngineOptions::default()
+        })
+        .expect("open");
+        let st = eng.state();
+        assert_eq!(st.tag, "lrgccf");
+        // LR-GCCF serves the concatenated residual layers: (L+1) * d wide.
+        assert_eq!(st.dim, 8 * 3);
+        m.refresh(&ds);
+        let expect = m.score_users(&ds, &[0, 1, 2, 3]);
+        assert!(st.score_users(&[0, 1, 2, 3]).approx_eq(&expect, 0.0));
+        std::fs::remove_file(ckpt).ok();
+    }
+
+    #[test]
+    fn unknown_tags_name_every_servable_family() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join("lrgcn_engine_badtag");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let ckpt = dir.join("m.ckpt");
+        let marker = Matrix::zeros(0, 0);
+        let ego = Matrix::zeros(10, 4);
+        lrgcn_tensor::io::save_checkpoint(
+            &ckpt,
+            &[("__model__:mystery", &marker), ("ego", &ego)],
+        )
+        .expect("save");
+        let err = match Engine::open(&ckpt, ds, EngineOptions::default()) {
+            Ok(_) => panic!("unknown tag must not open"),
+            Err(e) => e,
+        };
+        for tag in SERVABLE_TAGS {
+            assert!(err.contains(tag), "error {err:?} does not mention {tag}");
+        }
+        std::fs::remove_file(ckpt).ok();
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! Deterministic IO fault injection for checkpoint save/load paths.
+//!
+//! Enabled by the `LRGCN_FAULT` environment variable, a comma-separated
+//! list of clauses:
+//!
+//! ```text
+//! io_error:<p>     probabilistic write failure during save (torn .tmp left)
+//! short_read:<p>   probabilistic truncated read during load
+//! torn_write:save  every save fails after a partial write (deterministic)
+//! kill:<n>         abort the process mid-way through the n-th save (1-based)
+//! panic:<n>        panic mid-way through the n-th save (1-based)
+//! ```
+//!
+//! Probabilistic clauses draw from a splitmix64 keyed by `LRGCN_FAULT_SEED`
+//! (default `0x5eed`) and a per-operation counter, so a given spec + seed
+//! injects the same faults at the same operations on every run — fault
+//! scenarios are replayable. Clauses are checked in spec order; the first
+//! that fires wins.
+//!
+//! A fault during save always leaves a *torn* temporary file (the first half
+//! of the serialized bytes) and never the final path, which is what the
+//! crash-consistency tests rely on: the newest complete generation stays
+//! loadable no matter where the fault lands.
+//!
+//! Tests that need injection without touching the process environment can
+//! install a thread-local plan with [`set_thread_override`]; it shadows the
+//! env-derived plan on that thread only, so parallel tests don't interfere.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// One parsed clause of a fault spec.
+#[derive(Clone, Debug, PartialEq)]
+enum Clause {
+    IoError(f64),
+    ShortRead(f64),
+    TornWriteSave,
+    Kill(u64),
+    Panic(u64),
+}
+
+/// A parsed `LRGCN_FAULT` spec plus its draw seed.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    clauses: Vec<Clause>,
+    seed: u64,
+}
+
+impl Plan {
+    /// Parses a spec like `io_error:0.1,torn_write:save`. Unknown clause
+    /// kinds or malformed arguments are errors — a fault plan that silently
+    /// does nothing would make the injection tests vacuous.
+    pub fn parse(spec: &str, seed: u64) -> Result<Plan, String> {
+        let mut clauses = Vec::new();
+        for raw in spec.split(',') {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            let (kind, arg) = raw
+                .split_once(':')
+                .ok_or_else(|| format!("clause {raw:?} missing ':<arg>'"))?;
+            let prob = |a: &str| -> Result<f64, String> {
+                let p: f64 = a
+                    .parse()
+                    .map_err(|_| format!("clause {raw:?}: bad probability {a:?}"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("clause {raw:?}: probability {p} out of [0,1]"));
+                }
+                Ok(p)
+            };
+            let count = |a: &str| -> Result<u64, String> {
+                a.parse()
+                    .map_err(|_| format!("clause {raw:?}: bad count {a:?}"))
+            };
+            clauses.push(match kind {
+                "io_error" => Clause::IoError(prob(arg)?),
+                "short_read" => Clause::ShortRead(prob(arg)?),
+                "torn_write" if arg == "save" => Clause::TornWriteSave,
+                "kill" => Clause::Kill(count(arg)?),
+                "panic" => Clause::Panic(count(arg)?),
+                _ => return Err(format!("unknown fault clause {raw:?}")),
+            });
+        }
+        Ok(Plan { clauses, seed })
+    }
+}
+
+/// The injected outcome for a save operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum SaveFault {
+    /// Leave a torn `.tmp` and return an IO error.
+    Error,
+    /// Leave a torn `.tmp` and abort the process (simulated SIGKILL).
+    Kill,
+    /// Leave a torn `.tmp` and panic (exercises the panic hook).
+    Panic,
+}
+
+struct ThreadState {
+    plan: Plan,
+    save_ops: u64,
+    read_ops: u64,
+}
+
+thread_local! {
+    static OVERRIDE: RefCell<Option<ThreadState>> = const { RefCell::new(None) };
+}
+
+static SAVE_OPS: AtomicU64 = AtomicU64::new(0);
+static READ_OPS: AtomicU64 = AtomicU64::new(0);
+
+fn env_plan() -> Option<&'static Plan> {
+    static PLAN: OnceLock<Option<Plan>> = OnceLock::new();
+    PLAN.get_or_init(|| {
+        let spec = std::env::var("LRGCN_FAULT").ok()?;
+        if spec.trim().is_empty() {
+            return None;
+        }
+        let seed = std::env::var("LRGCN_FAULT_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5eed);
+        match Plan::parse(&spec, seed) {
+            Ok(plan) => Some(plan),
+            Err(err) => {
+                eprintln!("lrgcn: ignoring invalid LRGCN_FAULT: {err}");
+                None
+            }
+        }
+    })
+    .as_ref()
+}
+
+/// Installs (or with `None`, removes) a thread-local fault plan that shadows
+/// the `LRGCN_FAULT` environment variable on the current thread. Intended
+/// for tests; operation counters restart at zero on each install.
+pub fn set_thread_override(spec: Option<&str>) -> Result<(), String> {
+    let state = match spec {
+        Some(s) => Some(ThreadState {
+            plan: Plan::parse(s, 0x5eed)?,
+            save_ops: 0,
+            read_ops: 0,
+        }),
+        None => None,
+    };
+    OVERRIDE.with(|o| *o.borrow_mut() = state);
+    Ok(())
+}
+
+/// splitmix64-finalized uniform draw in `[0,1)`, keyed by (seed, clause
+/// index, operation index) so every clause sees an independent stream.
+fn unit(seed: u64, stream: u64, op: u64) -> f64 {
+    let mut z = seed
+        ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ op.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn decide_save(plan: &Plan, op: u64) -> Option<SaveFault> {
+    for (i, clause) in plan.clauses.iter().enumerate() {
+        match clause {
+            Clause::TornWriteSave => return Some(SaveFault::Error),
+            Clause::IoError(p) if unit(plan.seed, i as u64, op) < *p => {
+                return Some(SaveFault::Error)
+            }
+            Clause::Kill(n) if op == *n => return Some(SaveFault::Kill),
+            Clause::Panic(n) if op == *n => return Some(SaveFault::Panic),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn decide_read(plan: &Plan, op: u64) -> bool {
+    plan.clauses.iter().enumerate().any(|(i, clause)| {
+        matches!(clause, Clause::ShortRead(p) if unit(plan.seed, i as u64, op) < *p)
+    })
+}
+
+/// Consulted once per [`crate::io::save_checkpoint`] call.
+pub(crate) fn save_fault() -> Option<SaveFault> {
+    OVERRIDE.with(|o| {
+        if let Some(st) = o.borrow_mut().as_mut() {
+            st.save_ops += 1;
+            return decide_save(&st.plan, st.save_ops);
+        }
+        let plan = env_plan()?;
+        let op = SAVE_OPS.fetch_add(1, Ordering::SeqCst) + 1;
+        decide_save(plan, op)
+    })
+}
+
+/// Consulted once per [`crate::io::load_checkpoint`] call; `true` means the
+/// read must be truncated.
+pub(crate) fn read_fault() -> bool {
+    OVERRIDE.with(|o| {
+        if let Some(st) = o.borrow_mut().as_mut() {
+            st.read_ops += 1;
+            return decide_read(&st.plan, st.read_ops);
+        }
+        match env_plan() {
+            Some(plan) => {
+                let op = READ_OPS.fetch_add(1, Ordering::SeqCst) + 1;
+                decide_read(plan, op)
+            }
+            None => false,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_clause_kind() {
+        let plan =
+            Plan::parse("io_error:0.25, short_read:1.0,torn_write:save,kill:3,panic:1", 7)
+                .expect("valid spec");
+        assert_eq!(
+            plan.clauses,
+            vec![
+                Clause::IoError(0.25),
+                Clause::ShortRead(1.0),
+                Clause::TornWriteSave,
+                Clause::Kill(3),
+                Clause::Panic(1),
+            ]
+        );
+        assert!(Plan::parse("", 0).expect("empty ok").clauses.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "io_error",
+            "io_error:nan_is_fine_no",
+            "io_error:1.5",
+            "torn_write:load",
+            "kill:-1",
+            "flip_bits:0.1",
+        ] {
+            assert!(Plan::parse(bad, 0).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_respect_probability() {
+        let plan = Plan::parse("io_error:0.3", 42).unwrap();
+        let hits: Vec<bool> = (1..=10_000)
+            .map(|op| decide_save(&plan, op).is_some())
+            .collect();
+        let again: Vec<bool> = (1..=10_000)
+            .map(|op| decide_save(&plan, op).is_some())
+            .collect();
+        assert_eq!(hits, again, "same plan + op must draw identically");
+        let frac = hits.iter().filter(|&&h| h).count() as f64 / hits.len() as f64;
+        assert!((frac - 0.3).abs() < 0.02, "hit fraction {frac}");
+    }
+
+    #[test]
+    fn kill_and_panic_target_exact_ops() {
+        let plan = Plan::parse("kill:3,panic:5", 0).unwrap();
+        assert_eq!(decide_save(&plan, 1), None);
+        assert_eq!(decide_save(&plan, 3), Some(SaveFault::Kill));
+        assert_eq!(decide_save(&plan, 5), Some(SaveFault::Panic));
+        assert_eq!(decide_save(&plan, 6), None);
+    }
+
+    #[test]
+    fn torn_write_fires_every_save_but_not_reads() {
+        let plan = Plan::parse("torn_write:save", 0).unwrap();
+        for op in 1..=5 {
+            assert_eq!(decide_save(&plan, op), Some(SaveFault::Error));
+            assert!(!decide_read(&plan, op));
+        }
+    }
+
+    #[test]
+    fn thread_override_shadows_env_and_counts_ops() {
+        set_thread_override(Some("kill:2")).unwrap();
+        assert_eq!(save_fault(), None, "op 1 clean");
+        assert_eq!(save_fault(), Some(SaveFault::Kill), "op 2 killed");
+        set_thread_override(None).unwrap();
+        assert_eq!(save_fault(), None, "override removed");
+    }
+}

@@ -148,24 +148,84 @@ pub fn read_checkpoint_bounded<R: Read>(
     Ok(out)
 }
 
-/// File-path helpers.
+/// The temporary sibling `save_checkpoint` stages into before renaming.
+pub fn tmp_path(path: &std::path::Path) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    std::path::PathBuf::from(os)
+}
+
+/// Atomically writes named matrices as a checkpoint file.
+///
+/// The bytes are staged into `<path>.tmp`, fsynced, and renamed over the
+/// final path, so no reader (`--resume`, serve's `/admin/reload`, a
+/// concurrent `lrgcn evaluate --load`) can ever observe a half-written
+/// checkpoint: either the old file survives intact or the new one is
+/// complete. A failed save leaves at most a torn `.tmp` behind — which the
+/// reader rejects by magic/bounds checks — never a damaged final file.
+///
+/// This is also the injection point for [`crate::faultfs`]: with
+/// `LRGCN_FAULT` active, a save may deliberately stop after half the bytes
+/// (torn write), abort the process (simulated SIGKILL), or panic.
 pub fn save_checkpoint(
     path: impl AsRef<std::path::Path>,
     entries: &[(&str, &Matrix)],
 ) -> Result<(), IoError> {
-    let f = std::fs::File::create(path)?;
-    write_checkpoint(io::BufWriter::new(f), entries)
+    let path = path.as_ref();
+    let mut bytes = Vec::new();
+    write_checkpoint(&mut bytes, entries)?;
+    let tmp = tmp_path(path);
+    let mut f = std::fs::File::create(&tmp)?;
+    if let Some(fault) = crate::faultfs::save_fault() {
+        // Every injected save fault is a torn write: half the serialized
+        // bytes reach the tmp file, the rename never happens.
+        f.write_all(&bytes[..bytes.len() / 2])?;
+        let _ = f.sync_all();
+        match fault {
+            crate::faultfs::SaveFault::Error => {
+                return Err(IoError::Io(io::Error::other(
+                    "injected fault: torn write during checkpoint save",
+                )));
+            }
+            crate::faultfs::SaveFault::Kill => {
+                eprintln!("lrgcn: injected fault: killing process mid-save of {path:?}");
+                std::process::abort();
+            }
+            crate::faultfs::SaveFault::Panic => {
+                panic!("injected fault: panic mid-save of {path:?}");
+            }
+        }
+    }
+    f.write_all(&bytes)?;
+    f.sync_all()?;
+    std::fs::rename(&tmp, path)?;
+    // Persist the rename itself (POSIX: directory metadata needs its own
+    // fsync). Best-effort — some filesystems refuse O_RDONLY dir syncs.
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Loads a checkpoint from a file path. The file size bounds every declared
 /// entry length, so hostile shape headers are rejected up front (see
-/// [`read_checkpoint_bounded`]).
+/// [`read_checkpoint_bounded`]). With `LRGCN_FAULT=short_read:<p>` active,
+/// a load may deliberately see only a truncated prefix of the file — which
+/// the bounded reader then rejects like any other torn file.
 pub fn load_checkpoint(
     path: impl AsRef<std::path::Path>,
 ) -> Result<Vec<(String, Matrix)>, IoError> {
-    let f = std::fs::File::open(path)?;
-    let size = f.metadata()?.len();
-    read_checkpoint_bounded(io::BufReader::new(f), Some(size))
+    let bytes = std::fs::read(path)?;
+    let visible = if crate::faultfs::read_fault() {
+        &bytes[..bytes.len() / 2]
+    } else {
+        &bytes[..]
+    };
+    read_checkpoint_bounded(visible, Some(visible.len() as u64))
 }
 
 fn read_u32<R: Read>(r: &mut R) -> Result<u32, IoError> {
@@ -275,6 +335,80 @@ mod tests {
         save_checkpoint(&path, &[("a", &a)]).expect("save");
         let back = load_checkpoint(&path).expect("load");
         assert_eq!(back[0].1, a);
+        assert!(!tmp_path(&path).exists(), "tmp staging file must be renamed away");
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn injected_torn_write_leaves_old_file_intact_and_tmp_rejected() {
+        let dir = std::env::temp_dir().join("lrgcn_io_fault_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("ckpt.bin");
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        save_checkpoint(&path, &[("a", &a)]).expect("clean save");
+
+        crate::faultfs::set_thread_override(Some("torn_write:save")).unwrap();
+        let b = Matrix::from_vec(2, 2, vec![9.0, 9.0, 9.0, 9.0]);
+        let err = save_checkpoint(&path, &[("a", &b)]).expect_err("save must fail");
+        crate::faultfs::set_thread_override(None).unwrap();
+        assert!(err.to_string().contains("injected"), "{err}");
+
+        // The final path still holds the previous generation, bit for bit.
+        let back = load_checkpoint(&path).expect("old file must survive");
+        assert_eq!(back[0].1, a);
+        // The torn leftover exists and is rejected by the corrupt-file checks.
+        let tmp = tmp_path(&path);
+        assert!(tmp.exists(), "torn .tmp must be left behind");
+        assert!(load_checkpoint(&tmp).is_err(), "torn .tmp must not load");
+        std::fs::remove_file(&tmp).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_short_read_is_rejected_not_mangled() {
+        let dir = std::env::temp_dir().join("lrgcn_io_short_read_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("ckpt.bin");
+        let a = Matrix::from_vec(4, 4, vec![0.5; 16]);
+        save_checkpoint(&path, &[("a", &a)]).expect("save");
+
+        crate::faultfs::set_thread_override(Some("short_read:1.0")).unwrap();
+        let res = load_checkpoint(&path);
+        crate::faultfs::set_thread_override(None).unwrap();
+        assert!(res.is_err(), "truncated read must be rejected");
+        // Without the fault the same file loads fine.
+        assert_eq!(load_checkpoint(&path).expect("clean load")[0].1, a);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn probabilistic_io_error_never_corrupts_final_path() {
+        let dir = std::env::temp_dir().join("lrgcn_io_prob_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("ckpt.bin");
+        crate::faultfs::set_thread_override(Some("io_error:0.5")).unwrap();
+        let mut failures = 0;
+        for i in 0..20 {
+            let m = Matrix::full(3, 3, i as f32);
+            match save_checkpoint(&path, &[("w", &m)]) {
+                // Every successful save must leave a loadable file with the
+                // value it claimed to write.
+                Ok(()) => {
+                    let back = load_checkpoint(&path).expect("must load after ok save");
+                    assert_eq!(back[0].1, m);
+                }
+                // Every failed save must leave the previous contents valid.
+                Err(_) => {
+                    failures += 1;
+                    if path.exists() {
+                        load_checkpoint(&path).expect("old file must stay loadable");
+                    }
+                }
+            }
+        }
+        crate::faultfs::set_thread_override(None).unwrap();
+        assert!(failures > 0, "with p=0.5 over 20 saves some must fail");
+        std::fs::remove_file(tmp_path(&path)).ok();
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -35,6 +35,7 @@
 //! adam.update(&mut emb, &g);
 //! ```
 
+pub mod faultfs;
 pub mod grad_check;
 pub mod init;
 pub mod io;

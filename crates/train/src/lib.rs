@@ -8,9 +8,11 @@
 //!   (Table II's significance protocol).
 
 pub mod history;
+pub mod resume;
 pub mod sweep;
 pub mod trainer;
 
 pub use history::{EpochRecord, History};
+pub use resume::TrainState;
 pub use sweep::{grid2, multi_seed, SeedSummary, SweepResult};
 pub use trainer::{train_and_test, train_with_early_stopping, TrainConfig, TrainOutcome};

@@ -1,0 +1,624 @@
+//! Resumable training-state checkpoints.
+//!
+//! A *training-state* checkpoint is a superset of a model checkpoint: it
+//! reuses the binary entry format of `lrgcn_tensor::io` and layers extra
+//! reserved-name entries on top, so one file is simultaneously
+//!
+//! * loadable by `evaluate --load` and the serving engine (the model-tag
+//!   marker plus the model's own `checkpoint_entries` are present
+//!   verbatim), and
+//! * sufficient to continue `train_inner` bitwise-identically: Adam
+//!   moments and step counter, the RNG stream position, the epoch cursor,
+//!   early-stopping state (strikes, best epoch/metric, best-params
+//!   snapshot), the loss/metric history so far, and the recovery count.
+//!
+//! The entry format only carries finite `f32` payloads (the reader rejects
+//! NaN/Inf as corruption), so integer and `f64` metadata is packed
+//! losslessly as u16 chunks: each `u64` becomes four `f32`s, each holding
+//! one 16-bit limb exactly.
+//!
+//! # Generations
+//!
+//! [`save_generation`] writes `<base>.e<NNNNNN>` (epoch-stamped, atomic
+//! via the tmp+fsync+rename path in `tensor::io`) and prunes all but the
+//! newest [`KEEP_GENERATIONS`]. [`load_latest_valid`] walks generations
+//! newest-first and skips any that fail validation, so a torn write or a
+//! kill mid-save can only ever cost the most recent generation, never the
+//! run.
+
+use crate::history::{EpochRecord, History};
+use lrgcn_models::{OptimState, Recommender, MODEL_TAG_PREFIX};
+use lrgcn_tensor::{io, Matrix};
+use std::path::{Path, PathBuf};
+
+/// Bumped when the reserved-entry layout changes incompatibly.
+pub const FORMAT_VERSION: u64 = 1;
+/// How many epoch-stamped generations [`save_generation`] retains.
+pub const KEEP_GENERATIONS: usize = 2;
+
+/// Reserved entry holding the packed scalar metadata.
+pub const META_ENTRY: &str = "__train__:meta";
+/// Reserved entry holding the per-epoch history rows.
+pub const HISTORY_ENTRY: &str = "__train__:history";
+/// Prefix of per-epoch layer-value rows (`__train__:layers:<epoch>`).
+pub const LAYERS_PREFIX: &str = "__train__:layers:";
+/// Prefix of Adam first-moment entries (`__adam_m__:<param>`).
+pub const ADAM_M_PREFIX: &str = "__adam_m__:";
+/// Prefix of Adam second-moment entries (`__adam_v__:<param>`).
+pub const ADAM_V_PREFIX: &str = "__adam_v__:";
+/// Prefix of best-epoch parameter-snapshot entries (`__best__:<i>`).
+pub const BEST_PREFIX: &str = "__best__:";
+
+/// Number of `u64` slots in the meta entry (see [`TrainState::to_meta`]).
+const META_SLOTS: usize = 14;
+
+/// Everything `train_inner` needs besides the model parameters themselves.
+#[derive(Clone, Debug)]
+pub struct TrainState {
+    /// First epoch index the resumed run should execute.
+    pub epoch_next: usize,
+    /// Early-stopping strike count at the checkpoint.
+    pub strikes: usize,
+    /// Best `(epoch, metric)` seen so far, if validation has run.
+    pub best: Option<(usize, f64)>,
+    /// Snapshot of the best epoch's parameters (when `restore_best`).
+    pub best_params: Option<Vec<Matrix>>,
+    /// Raw xoshiro256++ words of the training RNG, mid-stream.
+    pub rng_state: [u64; 4],
+    /// Optimizer step counter, learning rate and per-param moments.
+    pub optim: OptimState,
+    /// The per-epoch trajectory up to (excluding) `epoch_next`.
+    pub history: History,
+    /// Divergence recoveries consumed so far.
+    pub recoveries: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Lossless scalar packing: u64 <-> four f32 limbs of 16 bits each.
+// ---------------------------------------------------------------------------
+
+/// Packs each `u64` as four `f32`s holding its u16 limbs, low first. Every
+/// limb is an integer in `[0, 65535]`, exactly representable in `f32` and
+/// always finite, so the checkpoint reader's corruption checks pass.
+fn pack_u64s(vals: &[u64]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(vals.len() * 4);
+    for &v in vals {
+        for limb in 0..4 {
+            out.push(((v >> (16 * limb)) & 0xFFFF) as f32);
+        }
+    }
+    out
+}
+
+/// Inverse of [`pack_u64s`]; rejects limbs that are not exact u16 values.
+fn unpack_u64s(data: &[f32]) -> Result<Vec<u64>, String> {
+    if !data.len().is_multiple_of(4) {
+        return Err(format!("packed u64 data has {} limbs (not / 4)", data.len()));
+    }
+    let mut out = Vec::with_capacity(data.len() / 4);
+    for chunk in data.chunks_exact(4) {
+        let mut v: u64 = 0;
+        for (limb, &f) in chunk.iter().enumerate() {
+            if !(0.0..=65535.0).contains(&f) || f.fract() != 0.0 {
+                return Err(format!("packed u64 limb {f} is not an exact u16"));
+            }
+            v |= (f as u64) << (16 * limb);
+        }
+        out.push(v);
+    }
+    Ok(out)
+}
+
+fn pack_f64s(vals: &[f64]) -> Vec<f32> {
+    pack_u64s(&vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>())
+}
+
+fn unpack_f64s(data: &[f32]) -> Result<Vec<f64>, String> {
+    Ok(unpack_u64s(data)?.into_iter().map(f64::from_bits).collect())
+}
+
+// ---------------------------------------------------------------------------
+// TrainState <-> entries
+// ---------------------------------------------------------------------------
+
+impl TrainState {
+    /// The meta entry: `META_SLOTS` u64 slots, packed. Slot order is part
+    /// of the on-disk format (guarded by `FORMAT_VERSION`).
+    fn to_meta(&self) -> Matrix {
+        let (best_flag, best_epoch, best_metric) = match self.best {
+            Some((e, m)) => (1u64, e as u64, m.to_bits()),
+            None => (0, 0, 0),
+        };
+        let slots = [
+            FORMAT_VERSION,
+            self.epoch_next as u64,
+            self.strikes as u64,
+            best_flag,
+            best_epoch,
+            best_metric,
+            self.optim.step,
+            u64::from(self.optim.lr.to_bits()),
+            self.rng_state[0],
+            self.rng_state[1],
+            self.rng_state[2],
+            self.rng_state[3],
+            self.recoveries as u64,
+            self.best_params.as_ref().map_or(0, |p| p.len()) as u64,
+        ];
+        debug_assert_eq!(slots.len(), META_SLOTS);
+        Matrix::from_vec(1, META_SLOTS * 4, pack_u64s(&slots))
+    }
+
+    /// History rows: one row per record, 4 packed u64 columns
+    /// `[epoch, loss_bits, val_flag, val_bits]`. Layer values (variable
+    /// length) live in separate `__train__:layers:<epoch>` entries.
+    fn to_history_rows(&self) -> Matrix {
+        let recs = self.history.records();
+        let mut data = Vec::with_capacity(recs.len() * 16);
+        for r in recs {
+            let (val_flag, val_bits) = match r.val_metric {
+                Some(m) => (1u64, m.to_bits()),
+                None => (0, 0),
+            };
+            data.extend(pack_u64s(&[
+                r.epoch as u64,
+                r.train_loss.to_bits(),
+                val_flag,
+                val_bits,
+            ]));
+        }
+        Matrix::from_vec(recs.len(), 16, data)
+    }
+}
+
+/// Serializes `state` plus the model's own checkpoint entries to `path`
+/// (atomically, via `tensor::io`). When `tag` is given a `__model__:<tag>`
+/// marker is included so the file doubles as a servable model checkpoint.
+pub fn save_train_state(
+    path: impl AsRef<Path>,
+    tag: Option<&str>,
+    model: &dyn Recommender,
+    state: &TrainState,
+) -> Result<(), String> {
+    let model_entries = model.checkpoint_entries().ok_or_else(|| {
+        format!(
+            "{} has no stable checkpoint format; cannot write a training-state checkpoint",
+            model.name()
+        )
+    })?;
+
+    let marker_name = tag.map(|t| format!("{MODEL_TAG_PREFIX}{t}"));
+    let marker = Matrix::zeros(0, 0);
+    let meta = state.to_meta();
+    let history = state.to_history_rows();
+    let layer_rows: Vec<(String, Matrix)> = state
+        .history
+        .records()
+        .iter()
+        .filter_map(|r| {
+            r.layer_values.as_ref().map(|vals| {
+                let m = Matrix::from_vec(1, vals.len() * 4, pack_f64s(vals));
+                (format!("{LAYERS_PREFIX}{}", r.epoch), m)
+            })
+        })
+        .collect();
+    let moment_names: Vec<(String, String)> = state
+        .optim
+        .moments
+        .iter()
+        .map(|(n, _, _)| (format!("{ADAM_M_PREFIX}{n}"), format!("{ADAM_V_PREFIX}{n}")))
+        .collect();
+    let best_names: Vec<String> = state
+        .best_params
+        .iter()
+        .flatten()
+        .enumerate()
+        .map(|(i, _)| format!("{BEST_PREFIX}{i}"))
+        .collect();
+
+    let mut refs: Vec<(&str, &Matrix)> = Vec::new();
+    if let Some(name) = &marker_name {
+        refs.push((name.as_str(), &marker));
+    }
+    for (n, m) in &model_entries {
+        refs.push((n.as_str(), m));
+    }
+    refs.push((META_ENTRY, &meta));
+    refs.push((HISTORY_ENTRY, &history));
+    for (n, m) in &layer_rows {
+        refs.push((n.as_str(), m));
+    }
+    for ((mn, vn), (_, m, v)) in moment_names.iter().zip(state.optim.moments.iter()) {
+        refs.push((mn.as_str(), m));
+        refs.push((vn.as_str(), v));
+    }
+    for (n, m) in best_names.iter().zip(state.best_params.iter().flatten()) {
+        refs.push((n.as_str(), m));
+    }
+
+    io::save_checkpoint(path, &refs).map_err(|e| e.to_string())
+}
+
+/// Parses a training-state checkpoint. Returns the raw entries (for
+/// [`Recommender::load_checkpoint_entries`], which ignores the reserved
+/// names) alongside the reconstructed [`TrainState`].
+pub fn load_train_state(
+    path: impl AsRef<Path>,
+) -> Result<(Vec<(String, Matrix)>, TrainState), String> {
+    let entries = io::load_checkpoint(path).map_err(|e| e.to_string())?;
+    let state = state_from_entries(&entries)?;
+    Ok((entries, state))
+}
+
+fn find<'a>(entries: &'a [(String, Matrix)], name: &str) -> Option<&'a Matrix> {
+    entries.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+}
+
+fn state_from_entries(entries: &[(String, Matrix)]) -> Result<TrainState, String> {
+    let meta = find(entries, META_ENTRY)
+        .ok_or_else(|| format!("not a training-state checkpoint (missing {META_ENTRY:?})"))?;
+    let slots = unpack_u64s(meta.data())?;
+    if slots.len() != META_SLOTS {
+        return Err(format!(
+            "meta entry has {} slots, expected {META_SLOTS}",
+            slots.len()
+        ));
+    }
+    if slots[0] != FORMAT_VERSION {
+        return Err(format!(
+            "training-state format version {} (this build reads {FORMAT_VERSION})",
+            slots[0]
+        ));
+    }
+    let best = if slots[3] == 1 {
+        let metric = f64::from_bits(slots[5]);
+        if !metric.is_finite() {
+            return Err("best metric is non-finite".into());
+        }
+        Some((slots[4] as usize, metric))
+    } else {
+        None
+    };
+    let lr_bits = u32::try_from(slots[7]).map_err(|_| "lr bits exceed u32".to_string())?;
+    let lr = f32::from_bits(lr_bits);
+    if !lr.is_finite() {
+        return Err("learning rate is non-finite".into());
+    }
+    let n_best = slots[13] as usize;
+
+    // History rows (+ optional per-epoch layer values).
+    let hist_rows = find(entries, HISTORY_ENTRY)
+        .ok_or_else(|| format!("missing {HISTORY_ENTRY:?} entry"))?;
+    if hist_rows.rows() > 0 && hist_rows.cols() != 16 {
+        return Err(format!("history rows have {} cols, expected 16", hist_rows.cols()));
+    }
+    let mut history = History::new();
+    for row in 0..hist_rows.rows() {
+        let vals = unpack_u64s(hist_rows.row(row))?;
+        let epoch = vals[0] as usize;
+        let train_loss = f64::from_bits(vals[1]);
+        let val_metric = if vals[2] == 1 {
+            Some(f64::from_bits(vals[3]))
+        } else {
+            None
+        };
+        let layer_values = match find(entries, &format!("{LAYERS_PREFIX}{epoch}")) {
+            Some(m) => Some(unpack_f64s(m.data())?),
+            None => None,
+        };
+        history.push(EpochRecord {
+            epoch,
+            train_loss,
+            val_metric,
+            layer_values,
+        });
+    }
+
+    // Adam moments, paired by parameter name.
+    let mut moments: Vec<(String, Matrix, Matrix)> = Vec::new();
+    for (name, m) in entries {
+        if let Some(param) = name.strip_prefix(ADAM_M_PREFIX) {
+            let v = find(entries, &format!("{ADAM_V_PREFIX}{param}"))
+                .ok_or_else(|| format!("moment entry {name:?} has no matching v entry"))?;
+            moments.push((param.to_string(), m.clone(), v.clone()));
+        }
+    }
+    let optim = OptimState {
+        step: slots[6],
+        lr,
+        moments,
+    };
+
+    let best_params = if n_best > 0 {
+        let mut params = Vec::with_capacity(n_best);
+        for i in 0..n_best {
+            let m = find(entries, &format!("{BEST_PREFIX}{i}"))
+                .ok_or_else(|| format!("missing best-params entry {BEST_PREFIX}{i}"))?;
+            params.push(m.clone());
+        }
+        Some(params)
+    } else {
+        None
+    };
+
+    Ok(TrainState {
+        epoch_next: slots[1] as usize,
+        strikes: slots[2] as usize,
+        best,
+        best_params,
+        rng_state: [slots[8], slots[9], slots[10], slots[11]],
+        optim,
+        history,
+        recoveries: slots[12] as usize,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Generation management
+// ---------------------------------------------------------------------------
+
+/// The epoch-stamped path of one checkpoint generation.
+pub fn generation_path(base: &Path, epoch_next: usize) -> PathBuf {
+    let mut name = base
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    name.push_str(&format!(".e{epoch_next:06}"));
+    base.with_file_name(name)
+}
+
+/// All on-disk generations of `base`, newest (highest epoch) first.
+pub fn list_generations(base: &Path) -> Vec<(usize, PathBuf)> {
+    // A bare relative base like "ckpt" has parent Some("") — not readable.
+    let dir = match base.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let stem = match base.file_name() {
+        Some(n) => format!("{}.e", n.to_string_lossy()),
+        None => return Vec::new(),
+    };
+    let mut found = Vec::new();
+    let Ok(rd) = std::fs::read_dir(&dir) else {
+        return Vec::new();
+    };
+    for entry in rd.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(suffix) = name.strip_prefix(&stem) {
+            if !suffix.is_empty() && suffix.bytes().all(|b| b.is_ascii_digit()) {
+                if let Ok(epoch) = suffix.parse::<usize>() {
+                    found.push((epoch, entry.path()));
+                }
+            }
+        }
+    }
+    found.sort_by_key(|g| std::cmp::Reverse(g.0));
+    found
+}
+
+/// Writes the generation for `state.epoch_next` atomically, then prunes all
+/// but the newest [`KEEP_GENERATIONS`] generations (prune errors are
+/// ignored: stale files are harmless, the loader skips past them).
+pub fn save_generation(
+    base: &Path,
+    tag: Option<&str>,
+    model: &dyn Recommender,
+    state: &TrainState,
+) -> Result<PathBuf, String> {
+    let path = generation_path(base, state.epoch_next);
+    save_train_state(&path, tag, model, state)?;
+    for (_, old) in list_generations(base).into_iter().skip(KEEP_GENERATIONS) {
+        let _ = std::fs::remove_file(old);
+    }
+    Ok(path)
+}
+
+/// Loads the newest generation of `base` that validates, skipping corrupt
+/// ones. `Ok(None)` when no generation exists at all; `Err` when
+/// generations exist but none is loadable (every candidate's failure is
+/// listed).
+#[allow(clippy::type_complexity)]
+pub fn load_latest_valid(
+    base: &Path,
+) -> Result<Option<(PathBuf, Vec<(String, Matrix)>, TrainState)>, String> {
+    let candidates = list_generations(base);
+    if candidates.is_empty() {
+        return Ok(None);
+    }
+    let mut failures = Vec::new();
+    for (_, path) in candidates {
+        match load_train_state(&path) {
+            Ok((entries, state)) => return Ok(Some((path, entries, state))),
+            Err(e) => failures.push(format!("{}: {e}", path.display())),
+        }
+    }
+    Err(format!(
+        "no loadable checkpoint generation:\n  {}",
+        failures.join("\n  ")
+    ))
+}
+
+/// Resolves a `--resume PATH` argument: an exact training-state file is
+/// used directly; otherwise `PATH` is treated as a generation base and the
+/// newest valid generation wins.
+#[allow(clippy::type_complexity)]
+pub fn load_for_resume(
+    path: &Path,
+) -> Result<(PathBuf, Vec<(String, Matrix)>, TrainState), String> {
+    if path.is_file() {
+        let (entries, state) = load_train_state(path)?;
+        return Ok((path.to_path_buf(), entries, state));
+    }
+    match load_latest_valid(path)? {
+        Some(hit) => Ok(hit),
+        None => Err(format!(
+            "{}: no training-state checkpoint or generation found",
+            path.display()
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrgcn_data::synthetic::SyntheticConfig;
+    use lrgcn_data::{Dataset, SplitRatios};
+    use lrgcn_models::{LayerGcn, LayerGcnConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_ds() -> Dataset {
+        let log = SyntheticConfig::games().scaled(0.05).generate(3);
+        Dataset::chronological_split("t", &log, SplitRatios::default())
+    }
+
+    fn sample_state(model: &LayerGcn, epoch_next: usize) -> TrainState {
+        let mut history = History::new();
+        history.push(EpochRecord {
+            epoch: 0,
+            train_loss: std::f64::consts::LN_2,
+            val_metric: None,
+            layer_values: None,
+        });
+        history.push(EpochRecord {
+            epoch: 1,
+            train_loss: 0.5123,
+            val_metric: Some(0.25),
+            layer_values: Some(vec![0.1, 0.2, 0.7]),
+        });
+        TrainState {
+            epoch_next,
+            strikes: 1,
+            best: Some((1, 0.25)),
+            best_params: model.snapshot(),
+            rng_state: [0xDEAD_BEEF, 42, u64::MAX, 7],
+            optim: model.optim_state().expect("layergcn has optim state"),
+            history,
+            recoveries: 1,
+        }
+    }
+
+    #[test]
+    fn u64_packing_roundtrips_extremes() {
+        let vals = [0, 1, 0xFFFF, 0x1_0000, u64::MAX, 0x0123_4567_89AB_CDEF];
+        assert_eq!(unpack_u64s(&pack_u64s(&vals)).unwrap(), vals);
+        let f64s = [0.0, -0.0, 1.5, f64::MIN_POSITIVE, -123.456e300];
+        let back = unpack_f64s(&pack_f64s(&f64s)).unwrap();
+        for (a, b) in f64s.iter().zip(back.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(unpack_u64s(&[0.5, 0.0, 0.0, 0.0]).is_err());
+        assert!(unpack_u64s(&[70000.0, 0.0, 0.0, 0.0]).is_err());
+        assert!(unpack_u64s(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn train_state_roundtrips_bitwise() {
+        let ds = tiny_ds();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = LayerGcn::new(&ds, LayerGcnConfig::default(), &mut rng);
+        model.train_epoch(&ds, 0, &mut rng);
+        let state = sample_state(&model, 2);
+
+        let dir = std::env::temp_dir().join("lrgcn_resume_roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.bin");
+        save_train_state(&path, Some("layergcn"), &model, &state).expect("save");
+
+        let (entries, back) = load_train_state(&path).expect("load");
+        // The file is simultaneously a tagged model checkpoint.
+        assert_eq!(lrgcn_models::model_tag(&entries), Some("layergcn"));
+        let mut rng2 = StdRng::seed_from_u64(99);
+        let mut fresh = LayerGcn::new(&ds, LayerGcnConfig::default(), &mut rng2);
+        fresh.load_checkpoint_entries(&entries).expect("model load");
+
+        assert_eq!(back.epoch_next, 2);
+        assert_eq!(back.strikes, 1);
+        assert_eq!(back.recoveries, 1);
+        assert_eq!(back.rng_state, state.rng_state);
+        assert_eq!(back.best.unwrap().0, 1);
+        assert_eq!(back.best.unwrap().1.to_bits(), 0.25f64.to_bits());
+        assert_eq!(back.optim.step, state.optim.step);
+        assert_eq!(back.optim.lr.to_bits(), state.optim.lr.to_bits());
+        assert_eq!(back.optim.moments.len(), 1);
+        let (name, m, v) = &back.optim.moments[0];
+        assert_eq!(name, "ego");
+        assert_eq!(m.data(), state.optim.moments[0].1.data());
+        assert_eq!(v.data(), state.optim.moments[0].2.data());
+        assert_eq!(back.history.len(), 2);
+        let r = &back.history.records()[1];
+        assert_eq!(r.train_loss.to_bits(), 0.5123f64.to_bits());
+        assert_eq!(r.val_metric.unwrap().to_bits(), 0.25f64.to_bits());
+        assert_eq!(r.layer_values.as_deref(), Some(&[0.1, 0.2, 0.7][..]));
+        assert!(back.history.records()[0].layer_values.is_none());
+        let bp = back.best_params.expect("best params");
+        assert_eq!(bp.len(), 1);
+        assert_eq!(bp[0].data(), state.best_params.as_ref().unwrap()[0].data());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generations_prune_and_fall_back_past_corruption() {
+        let ds = tiny_ds();
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = LayerGcn::new(&ds, LayerGcnConfig::default(), &mut rng);
+
+        let dir = std::env::temp_dir().join("lrgcn_resume_generations");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("ckpt");
+
+        for epoch_next in [2usize, 4, 6] {
+            let state = sample_state(&model, epoch_next);
+            save_generation(&base, Some("layergcn"), &model, &state).expect("save gen");
+        }
+        // Keep-2 pruning: only e000004 and e000006 remain.
+        let gens = list_generations(&base);
+        assert_eq!(
+            gens.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
+            vec![6, 4]
+        );
+
+        // Corrupt the newest; the loader must fall back to epoch 4.
+        std::fs::write(&gens[0].1, b"torn").unwrap();
+        let (path, _, state) = load_latest_valid(&base).expect("load").expect("some");
+        assert_eq!(state.epoch_next, 4);
+        assert_eq!(path, generation_path(&base, 4));
+
+        // Corrupt every generation: hard error, not silent fresh start.
+        std::fs::write(&gens[1].1, b"also torn").unwrap();
+        let err = load_latest_valid(&base).expect_err("all corrupt");
+        assert!(err.contains("no loadable checkpoint generation"), "{err}");
+
+        // No generations at all: Ok(None).
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(load_latest_valid(&base).expect("empty").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_for_resume_accepts_exact_file_or_base() {
+        let ds = tiny_ds();
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = LayerGcn::new(&ds, LayerGcnConfig::default(), &mut rng);
+        let dir = std::env::temp_dir().join("lrgcn_resume_resolve");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("ckpt");
+        let state = sample_state(&model, 2);
+        let written = save_generation(&base, None, &model, &state).expect("save");
+
+        let (p1, _, s1) = load_for_resume(&base).expect("resolve base");
+        assert_eq!(p1, written);
+        assert_eq!(s1.epoch_next, 2);
+        let (p2, _, s2) = load_for_resume(&written).expect("resolve exact");
+        assert_eq!(p2, written);
+        assert_eq!(s2.epoch_next, 2);
+
+        let missing = dir.join("nope");
+        let err = load_for_resume(&missing).expect_err("missing");
+        assert!(err.contains("no training-state checkpoint"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

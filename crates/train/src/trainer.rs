@@ -16,12 +16,14 @@
 //! spans into the Chrome `trace_event` stream.
 
 use crate::history::{EpochRecord, History};
+use crate::resume::{self, TrainState};
 use lrgcn_data::Dataset;
 use lrgcn_eval::{evaluate_ranking_parallel, EvalReport, Split};
 use lrgcn_models::Recommender;
 use lrgcn_obs::{diag, event, registry, sink, timer, trace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Training-loop configuration.
@@ -50,6 +52,28 @@ pub struct TrainConfig {
     /// in-memory [`History`] (`layer_values`). With a sink installed the
     /// diagnostics are computed and emitted regardless of this flag.
     pub record_diagnostics: bool,
+    /// Write a resumable training-state checkpoint generation every this
+    /// many epochs (`0` disables checkpointing). Requires a base path via
+    /// `checkpoint` (or `resume`, which doubles as the base).
+    pub checkpoint_every: usize,
+    /// Base path for checkpoint generations (`<base>.e<NNNNNN>`, newest
+    /// two kept). Falls back to `resume` when unset.
+    pub checkpoint: Option<PathBuf>,
+    /// Resume from this training-state checkpoint: an exact generation
+    /// file, or a base path whose newest *valid* generation is used. The
+    /// resumed trajectory is bitwise-identical to the uninterrupted run.
+    pub resume: Option<PathBuf>,
+    /// Model-family tag stamped into checkpoints (`__model__:<tag>`) so
+    /// they double as servable model checkpoints. `None` writes untagged
+    /// files that still resume fine.
+    pub checkpoint_tag: Option<String>,
+    /// Divergence sentinel budget: after this many rollback/LR-halving
+    /// recoveries in one run, the run stops instead of thrashing.
+    pub max_recoveries: usize,
+    /// Divergence sentinel threshold on the diagnostics gradient norm
+    /// (checked on validated epochs when diagnostics are computed; a
+    /// non-finite training loss always trips the sentinel).
+    pub grad_norm_limit: f64,
 }
 
 impl Default for TrainConfig {
@@ -63,6 +87,12 @@ impl Default for TrainConfig {
             verbose: false,
             restore_best: false,
             record_diagnostics: false,
+            checkpoint_every: 0,
+            checkpoint: None,
+            resume: None,
+            checkpoint_tag: None,
+            max_recoveries: 4,
+            grad_norm_limit: 1e6,
         }
     }
 }
@@ -199,9 +229,39 @@ fn train_inner(
     let mut best_params: Option<Vec<lrgcn_tensor::Matrix>> = None;
     let mut strikes = 0usize;
     let mut epochs_run = 0usize;
+    let mut epoch = 0usize;
+    let mut recoveries = 0usize;
     let has_val = !ds.val_users().is_empty();
+    // `--resume PATH` without an explicit checkpoint base keeps writing new
+    // generations next to the ones it resumed from.
+    let ckpt_base = cfg.checkpoint.clone().or_else(|| cfg.resume.clone());
 
-    for epoch in 0..cfg.max_epochs {
+    if let Some(rp) = &cfg.resume {
+        let (path, entries, st) = resume::load_for_resume(rp)
+            .unwrap_or_else(|e| panic!("resume failed: {e}"));
+        let mut applied = model.load_checkpoint_entries(&entries);
+        if applied.is_ok() {
+            applied = model.load_optim_state(&st.optim);
+        }
+        applied.unwrap_or_else(|e| panic!("resume from {} failed: {e}", path.display()));
+        rng = StdRng::from_state(st.rng_state);
+        history = st.history;
+        best = st.best;
+        best_params = st.best_params;
+        strikes = st.strikes;
+        recoveries = st.recoveries;
+        epoch = st.epoch_next;
+        epochs_run = st.epoch_next;
+        if cfg.verbose {
+            eprintln!(
+                "[{}] resumed from {} at epoch {epoch}",
+                model.name(),
+                path.display()
+            );
+        }
+    }
+
+    while epoch < cfg.max_epochs {
         let _epoch_span = trace::span("epoch", "run");
         let at_epoch_start = registry::snapshot();
         let (stats, train_ns) = {
@@ -212,6 +272,7 @@ fn train_inner(
             (stats, ns)
         };
         registry::add(lrgcn_obs::Counter::TrainEpochs, 1);
+        sink::note_progress(run_id, epoch as u64);
         epochs_run = epoch + 1;
         let mut val_metric = None;
         let mut diagnostics = None;
@@ -253,18 +314,6 @@ fn train_inner(
                     m
                 );
             }
-            match best {
-                Some((_, bm)) if m <= bm => {
-                    strikes += 1;
-                }
-                _ => {
-                    best = Some((epoch, m));
-                    strikes = 0;
-                    if cfg.restore_best {
-                        best_params = model.snapshot();
-                    }
-                }
-            }
         }
         if sink::enabled() {
             let now = registry::snapshot();
@@ -301,6 +350,105 @@ fn train_inner(
                 );
             }
         }
+        // --- Divergence sentinel -----------------------------------------
+        // A non-finite loss (any epoch) or an exploding gradient norm (on
+        // validated epochs, where diagnostics run) means the epoch's update
+        // is poison: don't record it, don't checkpoint it. Roll back to the
+        // newest valid checkpoint generation when one exists, halve the
+        // learning rate either way, and keep training instead of dying.
+        let diverged: Option<&str> = if !stats.loss.is_finite() {
+            Some("non_finite_loss")
+        } else {
+            match diagnostics.as_ref().and_then(|d| d.grad_norm) {
+                Some(g) if !g.is_finite() || g > cfg.grad_norm_limit => {
+                    Some("grad_norm_exploded")
+                }
+                _ => None,
+            }
+        };
+        if let Some(reason) = diverged {
+            recoveries += 1;
+            registry::add(lrgcn_obs::Counter::TrainRecoveries, 1);
+            let mut rolled_back_to: Option<usize> = None;
+            if let Some(base) = &ckpt_base {
+                match resume::load_latest_valid(base) {
+                    Ok(Some((path, entries, st))) => {
+                        let mut applied = model.load_checkpoint_entries(&entries);
+                        if applied.is_ok() {
+                            applied = model.load_optim_state(&st.optim);
+                        }
+                        match applied {
+                            Ok(()) => {
+                                rng = StdRng::from_state(st.rng_state);
+                                history = st.history;
+                                best = st.best;
+                                best_params = st.best_params;
+                                strikes = st.strikes;
+                                rolled_back_to = Some(st.epoch_next);
+                                if cfg.verbose {
+                                    eprintln!(
+                                        "[{}] rolled back to {} (epoch {})",
+                                        model.name(),
+                                        path.display(),
+                                        st.epoch_next
+                                    );
+                                }
+                            }
+                            Err(e) => eprintln!("[lrgcn-train] rollback failed: {e}"),
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(e) => eprintln!("[lrgcn-train] rollback failed: {e}"),
+                }
+            }
+            // Halve the LR *after* any restore so the halving survives it.
+            let new_lr = model.optim_state().map(|s| s.lr * 0.5);
+            if let Some(lr) = new_lr {
+                model.set_learning_rate(lr);
+            }
+            if sink::enabled() {
+                sink::emit(&event::recovery(
+                    run_id,
+                    epoch as u64,
+                    reason,
+                    rolled_back_to.map(|e| e as u64),
+                    f64::from(new_lr.unwrap_or(0.0)),
+                ));
+            }
+            if cfg.verbose {
+                eprintln!(
+                    "[{}] divergence at epoch {epoch} ({reason}); recovery {recoveries}/{}",
+                    model.name(),
+                    cfg.max_recoveries
+                );
+            }
+            if recoveries > cfg.max_recoveries {
+                eprintln!(
+                    "[lrgcn-train] giving up after {recoveries} divergence recoveries"
+                );
+                break;
+            }
+            match rolled_back_to {
+                Some(e) => epoch = e,
+                None => epoch += 1,
+            }
+            continue;
+        }
+
+        if let Some(m) = val_metric {
+            match best {
+                Some((_, bm)) if m <= bm => {
+                    strikes += 1;
+                }
+                _ => {
+                    best = Some((epoch, m));
+                    strikes = 0;
+                    if cfg.restore_best {
+                        best_params = model.snapshot();
+                    }
+                }
+            }
+        }
         // Fig. 1 / Fig. 5 per-layer values: the model's layer weights when
         // the readout has them (LayerGCN: refinement similarities), else the
         // smoothness chain.
@@ -317,9 +465,65 @@ fn train_inner(
             val_metric,
             layer_values,
         });
+        // --- Periodic training-state checkpoint --------------------------
+        // Saved *after* the epoch's history/strike updates so a resumed run
+        // continues at `epoch + 1` with identical state. A failed save is a
+        // survivable fault: count it, emit a `recovery` record, train on.
+        if cfg.checkpoint_every > 0 && (epoch + 1).is_multiple_of(cfg.checkpoint_every) {
+            if let Some(base) = &ckpt_base {
+                let saved = match model.optim_state() {
+                    Some(optim) => {
+                        let state = TrainState {
+                            epoch_next: epoch + 1,
+                            strikes,
+                            best,
+                            best_params: best_params.clone(),
+                            rng_state: rng.state(),
+                            optim,
+                            history: history.clone(),
+                            recoveries,
+                        };
+                        resume::save_generation(
+                            base,
+                            cfg.checkpoint_tag.as_deref(),
+                            model,
+                            &state,
+                        )
+                    }
+                    None => Err(format!(
+                        "{} exposes no optimizer state; training-state checkpoints \
+                         are unsupported for it",
+                        model.name()
+                    )),
+                };
+                match saved {
+                    Ok(path) => {
+                        registry::add(lrgcn_obs::Counter::TrainCheckpoints, 1);
+                        if cfg.verbose {
+                            eprintln!("[{}] checkpoint {}", model.name(), path.display());
+                        }
+                    }
+                    Err(e) => {
+                        registry::add(lrgcn_obs::Counter::TrainCheckpointErrors, 1);
+                        eprintln!("[lrgcn-train] checkpoint save failed: {e}");
+                        if sink::enabled() {
+                            let lr = model.optim_state().map_or(0.0, |s| f64::from(s.lr));
+                            sink::emit(&event::recovery(
+                                run_id,
+                                epoch as u64,
+                                "checkpoint_save_failed",
+                                None,
+                                lr,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
         if strikes >= cfg.patience {
             break;
         }
+        epoch += 1;
     }
     if let Some(params) = best_params {
         model.restore(params);
@@ -420,6 +624,250 @@ mod tests {
             "restored val {val} != best {}",
             out.best_val_metric
         );
+    }
+
+    /// A minimal checkpoint-capable model whose loss goes NaN on chosen
+    /// `train_epoch` calls. The call counter is deliberately *not* part of
+    /// the checkpointed state, so a rollback replays the epoch cleanly —
+    /// modeling a transient divergence.
+    struct Divergent {
+        x: lrgcn_tensor::Matrix,
+        step: u64,
+        lr: f32,
+        calls: usize,
+        nan_calls: Vec<usize>,
+    }
+
+    impl Divergent {
+        fn new(nan_calls: Vec<usize>) -> Self {
+            Self {
+                x: lrgcn_tensor::Matrix::zeros(1, 1),
+                step: 0,
+                lr: 0.1,
+                calls: 0,
+                nan_calls,
+            }
+        }
+    }
+
+    impl lrgcn_models::Recommender for Divergent {
+        fn name(&self) -> String {
+            "divergent".into()
+        }
+        fn train_epoch(
+            &mut self,
+            _ds: &Dataset,
+            _epoch: usize,
+            rng: &mut StdRng,
+        ) -> lrgcn_models::EpochStats {
+            use rand::Rng;
+            self.calls += 1;
+            self.step += 1;
+            self.x.data_mut()[0] += 0.01 + (rng.next_u64() % 1000) as f32 * 1e-6;
+            let loss = if self.nan_calls.contains(&self.calls) {
+                f64::NAN
+            } else {
+                1.0 / (1.0 + f64::from(self.x.data()[0]))
+            };
+            lrgcn_models::EpochStats { loss, n_batches: 1 }
+        }
+        fn refresh(&mut self, _ds: &Dataset) {}
+        fn score_users(&self, ds: &Dataset, users: &[u32]) -> lrgcn_tensor::Matrix {
+            lrgcn_tensor::Matrix::zeros(users.len(), ds.n_items())
+        }
+        fn n_parameters(&self) -> usize {
+            1
+        }
+        fn checkpoint_entries(&self) -> Option<Vec<(String, lrgcn_tensor::Matrix)>> {
+            Some(vec![("x".to_string(), self.x.clone())])
+        }
+        fn load_checkpoint_entries(
+            &mut self,
+            entries: &[(String, lrgcn_tensor::Matrix)],
+        ) -> Result<(), String> {
+            let (_, m) = entries
+                .iter()
+                .find(|(n, _)| n == "x")
+                .ok_or_else(|| "missing x".to_string())?;
+            self.x = m.clone();
+            Ok(())
+        }
+        fn optim_state(&self) -> Option<lrgcn_models::OptimState> {
+            Some(lrgcn_models::OptimState {
+                step: self.step,
+                lr: self.lr,
+                moments: vec![(
+                    "x".to_string(),
+                    lrgcn_tensor::Matrix::zeros(1, 1),
+                    lrgcn_tensor::Matrix::zeros(1, 1),
+                )],
+            })
+        }
+        fn load_optim_state(&mut self, state: &lrgcn_models::OptimState) -> Result<(), String> {
+            self.step = state.step;
+            self.lr = state.lr;
+            Ok(())
+        }
+        fn set_learning_rate(&mut self, lr: f32) -> bool {
+            self.lr = lr;
+            true
+        }
+    }
+
+    fn temp_ckpt_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn resume_matches_uninterrupted_run_bitwise() {
+        let d = ds();
+        let cfg_full = TrainConfig {
+            max_epochs: 8,
+            patience: 100,
+            eval_every: 2,
+            seed: 7,
+            ..Default::default()
+        };
+        let full = {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut m = LayerGcn::new(&d, LayerGcnConfig::default(), &mut rng);
+            train_with_early_stopping(&mut m, &d, &cfg_full)
+        };
+
+        let dir = temp_ckpt_dir("lrgcn_trainer_resume_eq");
+        let base = dir.join("ckpt");
+        {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut m = LayerGcn::new(&d, LayerGcnConfig::default(), &mut rng);
+            let cfg = TrainConfig {
+                max_epochs: 4,
+                checkpoint_every: 2,
+                checkpoint: Some(base.clone()),
+                checkpoint_tag: Some("layergcn".to_string()),
+                ..cfg_full.clone()
+            };
+            train_with_early_stopping(&mut m, &d, &cfg);
+        }
+        let resumed = {
+            // Different init seed on purpose: resume must overwrite it all.
+            let mut rng = StdRng::seed_from_u64(999);
+            let mut m = LayerGcn::new(&d, LayerGcnConfig::default(), &mut rng);
+            let cfg = TrainConfig {
+                resume: Some(base.clone()),
+                ..cfg_full.clone()
+            };
+            train_with_early_stopping(&mut m, &d, &cfg)
+        };
+
+        let (a, b) = (full.history.losses(), resumed.history.losses());
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "loss diverged at epoch {i}");
+        }
+        let (va, vb) = (full.history.val_curve(), resumed.history.val_curve());
+        assert_eq!(va.len(), vb.len());
+        for ((e1, m1), (e2, m2)) in va.iter().zip(&vb) {
+            assert_eq!(e1, e2);
+            assert_eq!(m1.to_bits(), m2.to_bits());
+        }
+        assert_eq!(full.best_epoch, resumed.best_epoch);
+        assert_eq!(
+            full.best_val_metric.to_bits(),
+            resumed.best_val_metric.to_bits()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn divergence_sentinel_rolls_back_and_halves_lr() {
+        let d = ds();
+        let dir = temp_ckpt_dir("lrgcn_trainer_divergence_rollback");
+        let base = dir.join("ckpt");
+        // 5th call (epoch 4 first pass) is transiently poisoned.
+        let mut m = Divergent::new(vec![5]);
+        let cfg = TrainConfig {
+            max_epochs: 6,
+            patience: 100,
+            eval_every: 1,
+            checkpoint_every: 2,
+            checkpoint: Some(base.clone()),
+            ..Default::default()
+        };
+        let out = train_with_early_stopping(&mut m, &d, &cfg);
+        assert_eq!(out.epochs_run, 6);
+        // The rollback replayed epoch 4; every recorded loss is finite and
+        // the trajectory has no gap.
+        assert_eq!(out.history.len(), 6);
+        assert!(out.history.losses().iter().all(|l| l.is_finite()));
+        assert!((m.lr - 0.05).abs() < 1e-9, "lr {} not halved once", m.lr);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn divergence_without_checkpoint_skips_epoch_and_continues() {
+        let d = ds();
+        let mut m = Divergent::new(vec![2]);
+        let cfg = TrainConfig {
+            max_epochs: 4,
+            patience: 100,
+            eval_every: 1,
+            ..Default::default()
+        };
+        let out = train_with_early_stopping(&mut m, &d, &cfg);
+        assert_eq!(out.epochs_run, 4);
+        // The poisoned epoch 1 is dropped from the record, not stored as NaN.
+        assert_eq!(out.history.len(), 3);
+        assert!(out.history.records().iter().all(|r| r.epoch != 1));
+        assert!(out.history.losses().iter().all(|l| l.is_finite()));
+        assert!((m.lr - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovery_budget_caps_a_persistently_diverging_run() {
+        let d = ds();
+        let mut m = Divergent::new((2..50).collect());
+        let cfg = TrainConfig {
+            max_epochs: 40,
+            patience: 100,
+            eval_every: 1,
+            max_recoveries: 3,
+            ..Default::default()
+        };
+        let out = train_with_early_stopping(&mut m, &d, &cfg);
+        assert!(out.epochs_run < 40, "run never gave up");
+        assert_eq!(out.history.len(), 1);
+        // One halving per recovery, including the final over-budget one.
+        assert!((m.lr - 0.1 / 16.0).abs() < 1e-9, "lr {}", m.lr);
+    }
+
+    #[test]
+    fn checkpoint_save_faults_never_kill_training() {
+        let d = ds();
+        let dir = temp_ckpt_dir("lrgcn_trainer_save_fault");
+        let base = dir.join("ckpt");
+        lrgcn_tensor::faultfs::set_thread_override(Some("io_error:1.0")).unwrap();
+        let out = {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut m = LayerGcn::new(&d, LayerGcnConfig::without_dropout(), &mut rng);
+            let cfg = TrainConfig {
+                max_epochs: 4,
+                patience: 100,
+                checkpoint_every: 1,
+                checkpoint: Some(base.clone()),
+                ..Default::default()
+            };
+            train_with_early_stopping(&mut m, &d, &cfg)
+        };
+        lrgcn_tensor::faultfs::set_thread_override(None).unwrap();
+        assert_eq!(out.epochs_run, 4);
+        assert!(out.history.losses().iter().all(|l| l.is_finite()));
+        // Every save failed pre-rename, so no generation ever materialized —
+        // and none of the failures killed the run.
+        assert!(crate::resume::load_latest_valid(&base).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -81,6 +81,7 @@ fn run_trajectory() -> (Vec<f64>, Vec<f64>, Vec<Vec<f64>>) {
         verbose: false,
         restore_best: false,
         record_diagnostics: true,
+        ..Default::default()
     };
     let out = train_with_early_stopping(&mut model, &ds, &cfg);
     let recalls: Vec<f64> = out.history.val_curve().iter().map(|&(_, r)| r).collect();

@@ -39,6 +39,7 @@ fn main() {
             verbose: false,
             restore_best: true,
             record_diagnostics: false,
+            ..Default::default()
         };
         let mut row = Vec::new();
         for pruner in [

@@ -34,6 +34,7 @@ fn main() {
         verbose: false,
         restore_best: true,
         record_diagnostics: false,
+        ..Default::default()
     };
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
     // The paper's Table II column set, then the extra library baselines

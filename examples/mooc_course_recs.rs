@@ -39,6 +39,7 @@ fn main() {
         verbose: false,
         restore_best: true,
         record_diagnostics: false,
+        ..Default::default()
     };
 
     // LightGCN at 4 layers (the depth where the paper shows it degrades).

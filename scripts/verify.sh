@@ -12,7 +12,13 @@
 #   5. serving smoke: train --save a checkpoint, start `lrgcn serve` on an
 #      ephemeral port, query /healthz and /recs over /dev/tcp, then stop it
 #      gracefully via POST /admin/shutdown
-#   6. the PR-1 parallel-execution benchmark (writes BENCH_PR1.json) and
+#   6. fault-injection smoke: train under LRGCN_FAULT=io_error:0.7 with
+#      per-epoch checkpointing — the run must survive every injected save
+#      failure (emitting `recovery` records, finishing with finite
+#      metrics) and every surviving checkpoint generation must still be
+#      loadable by `lrgcn evaluate --load`, plus a kill-mid-save + resume
+#      round-trip
+#   7. the PR-1 parallel-execution benchmark (writes BENCH_PR1.json) and
 #      the PR-4 serving-throughput benchmark (writes BENCH_PR4.json)
 #
 # Usage: scripts/verify.sh [--skip-bench]
@@ -89,6 +95,41 @@ grep -q 'lrgcn_serve_http_requests_total' <<<"$metrics" || {
 http_req POST /admin/shutdown >/dev/null
 wait "$serve_pid" || { echo "verify: serve exited non-zero"; exit 1; }
 echo "serving smoke: OK"
+
+echo "==> fault-injection smoke: checkpointed train under LRGCN_FAULT"
+fault="$smoke/fault"
+mkdir -p "$fault"
+# 70% of checkpoint saves fail with a torn write (pinned seed => replayable).
+# The run must shrug every failure off and still finish.
+LRGCN_FAULT="io_error:0.7" LRGCN_FAULT_SEED=7 \
+    ./target/release/lrgcn train --input "$smoke/interactions.tsv" \
+    --epochs 6 --seed 5 --checkpoint "$fault/ckpt" \
+    --log-json "$fault/run.jsonl" \
+    || { echo "verify: injected io_errors killed the training run"; exit 1; }
+grep -q '"event":"recovery"' "$fault/run.jsonl" || {
+    echo "verify: no recovery record despite io_error:0.7"; exit 1; }
+if grep -q '"loss":null' "$fault/run.jsonl"; then
+    echo "verify: non-finite loss in fault-injected run"; exit 1
+fi
+gens=$(ls "$fault"/ckpt.e* 2>/dev/null | grep -v '\.tmp$' || true)
+[[ -n "$gens" ]] || { echo "verify: no checkpoint generation survived"; exit 1; }
+for gen in $gens; do
+    ./target/release/lrgcn evaluate --input "$smoke/interactions.tsv" \
+        --load "$gen" --ks 10 --seed 5 >/dev/null \
+        || { echo "verify: surviving generation $gen is not loadable"; exit 1; }
+done
+# Crash mid-way through the 2nd checkpoint write, then resume past the
+# torn file from the newest valid generation.
+rm -f "$fault"/ckpt.e* "$fault/run.jsonl"
+if LRGCN_FAULT="kill:2" ./target/release/lrgcn train \
+    --input "$smoke/interactions.tsv" --epochs 4 --seed 5 \
+    --checkpoint "$fault/ckpt" --log-json "$fault/run.jsonl" 2>/dev/null; then
+    echo "verify: kill:2 failed to kill the run"; exit 1
+fi
+./target/release/lrgcn train --input "$smoke/interactions.tsv" \
+    --epochs 4 --seed 5 --resume "$fault/ckpt" --log-json "$fault/run.jsonl" \
+    || { echo "verify: resume after mid-save kill failed"; exit 1; }
+echo "fault-injection smoke: OK"
 
 if [[ "${1:-}" != "--skip-bench" ]]; then
     echo "==> bench: epoch + eval wall time at 1 vs N threads -> BENCH_PR1.json"

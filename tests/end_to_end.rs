@@ -90,6 +90,7 @@ fn all_models_improve_over_their_own_init() {
         verbose: false,
         restore_best: false,
         record_diagnostics: false,
+        ..Default::default()
     };
     // A fast, representative subset (full zoo is covered in model unit
     // tests and the model_zoo example).

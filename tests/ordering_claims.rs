@@ -20,6 +20,7 @@ fn r20(kind: ModelKind, ds: &Dataset, epochs: usize) -> f64 {
         verbose: false,
         restore_best: false,
         record_diagnostics: false,
+        ..Default::default()
     };
     let (_, rep) = train_and_test(&mut *m, ds, &tc, &[20]);
     rep.recall(20)
