@@ -14,13 +14,16 @@
 //!                 [--exclude-seen true|false]       # default true
 //! lrgcn serve     model.ckpt --input interactions.tsv [--port P] [--host H]
 //!                 [--workers N] [--cache N]         # online HTTP serving
+//!                 [--quant | --exact]               # int8 or exact read path
 //! lrgcn report    LOG.jsonl            # or: report --diff A.jsonl B.jsonl
 //! ```
 //!
 //! Every subcommand also accepts `--threads N` to pin the worker-thread
 //! count of the parallel kernels (default: `LRGCN_THREADS` env var, then
-//! the machine's available parallelism). Results are bitwise identical for
-//! any thread count.
+//! the machine's available parallelism) and `--kernel naive|blocked|simd`
+//! to pin the micro-kernel implementation (default: `LRGCN_KERNEL` env
+//! var, then the best the CPU supports; `simd` needs AVX2). Results are
+//! bitwise identical for any thread count and any kernel.
 //!
 //! ## Observability flags
 //!
@@ -74,6 +77,12 @@
 //! `GET /metrics`, `POST /admin/reload` (hot checkpoint swap) and
 //! `POST /admin/shutdown` (graceful drain). Served rankings are
 //! byte-identical to the offline evaluator's top-K for any thread count.
+//!
+//! `serve --quant` switches the read paths to the int8 two-stage
+//! rank-then-rescore pipeline (quantized full-catalog scan → exact f32
+//! rescore of the top 4·K candidates); its measured recall against the
+//! exact scan is reported in `/healthz` and the `serve.quant.recall_ppm`
+//! gauge. `--exact` (the default) keeps the byte-identical f32 path.
 
 use lrgcn::data::{kcore, loader, Dataset, InteractionLog, SplitRatios};
 use lrgcn::eval::{evaluate_ranking_parallel, Split};
@@ -128,6 +137,11 @@ pub fn run(tokens: Vec<String>) -> CliResult {
             .filter(|&n| n >= 1)
             .ok_or_else(|| format!("--threads wants a positive integer, got {t:?}"))?;
         lrgcn::tensor::par::set_threads(n);
+    }
+    if let Some(name) = args.get("kernel") {
+        let k = lrgcn::tensor::kernels::Kernel::parse(name)
+            .ok_or_else(|| format!("--kernel wants naive, blocked or simd, got {name:?}"))?;
+        lrgcn::tensor::kernels::set_kernel(k);
     }
     // --log-json wins over the environment; either installs the global
     // JSONL sink for the duration of the process.
@@ -314,19 +328,25 @@ fn cmd_train(args: &Args) -> CliResult {
 }
 
 /// Engine options mirroring `layergcn_config`: the checkpoint carries the
-/// embedding dimension, everything else comes from the flags.
-fn engine_options(args: &Args) -> lrgcn_serve::EngineOptions {
-    lrgcn_serve::EngineOptions {
+/// embedding dimension, everything else comes from the flags. `--quant`
+/// opts into the int8 read path; `--exact` (the default) names the exact
+/// one explicitly, so asking for both is an error.
+fn engine_options(args: &Args) -> Result<lrgcn_serve::EngineOptions, String> {
+    if args.has_flag("quant") && args.has_flag("exact") {
+        return Err("--quant and --exact are mutually exclusive".into());
+    }
+    Ok(lrgcn_serve::EngineOptions {
         n_layers: args.get_parsed("layers", 4usize),
         dropout: args.get_parsed("dropout", 0.1f32),
         seed: args.get_parsed("seed", 2023u64),
-    }
+        quant: args.has_flag("quant"),
+    })
 }
 
 fn cmd_evaluate(args: &Args) -> CliResult {
     let ds = std::sync::Arc::new(load_dataset(args)?);
     let path = args.get("load").ok_or("missing --load CHECKPOINT")?;
-    let engine = lrgcn_serve::Engine::open(path, ds.clone(), engine_options(args))?;
+    let engine = lrgcn_serve::Engine::open(path, ds.clone(), engine_options(args)?)?;
     let st = engine.state();
     let ks: Vec<usize> = args
         .get("ks")
@@ -362,7 +382,7 @@ fn cmd_recommend(args: &Args) -> CliResult {
         .map_err(|_| "bad --user id")?;
     let k: usize = args.get_parsed("k", 10usize);
     let exclude_seen = exclude_seen_flag(args)?;
-    let engine = lrgcn_serve::Engine::open(path, ds.clone(), engine_options(args))?;
+    let engine = lrgcn_serve::Engine::open(path, ds.clone(), engine_options(args)?)?;
     let st = engine.state();
     let top = st.top_k(&ds, user, k, exclude_seen)?;
     println!(
@@ -388,7 +408,7 @@ fn cmd_serve(args: &Args, rest: &[String]) -> CliResult {
     let engine = std::sync::Arc::new(lrgcn_serve::Engine::open(
         ckpt,
         ds,
-        engine_options(args),
+        engine_options(args)?,
     )?);
     let st = engine.state();
     let cfg = lrgcn_serve::ServerConfig {

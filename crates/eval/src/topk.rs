@@ -112,6 +112,22 @@ pub fn top_k_with_scores(scores: &[f32], k: usize) -> Vec<(u32, f32)> {
         .collect()
 }
 
+/// Fraction of `reference` indices also present in `candidate`
+/// (`|candidate ∩ reference| / |reference|`; `1.0` when `reference` is
+/// empty). This is recall-of-a-ranking-against-a-reference-ranking — the
+/// guardrail `lrgcn-serve` uses to measure its quantized two-stage read
+/// path against the exact f32 scan.
+pub fn overlap_fraction(candidate: &[u32], reference: &[u32]) -> f64 {
+    if reference.is_empty() {
+        return 1.0;
+    }
+    let hits = reference
+        .iter()
+        .filter(|r| candidate.contains(r))
+        .count();
+    hits as f64 / reference.len() as f64
+}
+
 /// Masks each user's training items to `-inf` and ranks the chunk, writing
 /// the per-user, per-K metric tuples `[recall, ndcg, precision, hit_rate]`
 /// into `out` (user-major: `out[r * ks.len() + ki]`). Both passes are
@@ -329,6 +345,14 @@ mod tests {
         assert_eq!(top_k_indices(&scores, 3), vec![4, 1, 2]);
         assert_eq!(top_k_indices(&scores, 10), vec![4, 1, 2, 0, 3]);
         assert!(top_k_indices(&scores, 0).is_empty());
+    }
+
+    #[test]
+    fn overlap_fraction_counts_shared_indices() {
+        assert_eq!(overlap_fraction(&[1, 2, 3], &[3, 1, 9]), 2.0 / 3.0);
+        assert_eq!(overlap_fraction(&[1, 2], &[]), 1.0);
+        assert_eq!(overlap_fraction(&[], &[5]), 0.0);
+        assert_eq!(overlap_fraction(&[5, 6], &[6, 5]), 1.0);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! keeps construction cheap enough to rebuild the pruned adjacency every
 //! epoch (see [`crate::dropout`]).
 
+use crate::kernels;
 use std::fmt;
 
 /// A sparse matrix in Compressed Sparse Row format.
@@ -300,21 +301,27 @@ impl Csr {
     /// row-major `n_cols x width` buffer and `out` a row-major
     /// `n_rows x width` buffer. This is the propagation kernel `Â·X`.
     ///
+    /// Dispatches through [`crate::kernels`] (naive / column-blocked /
+    /// AVX2); all modes accumulate each output cell in CSR nnz order, so
+    /// results are bitwise identical across `LRGCN_KERNEL` values.
+    ///
     /// # Panics
     /// Panics if the buffer shapes do not line up.
     pub fn spmm_into(&self, dense: &[f32], width: usize, out: &mut [f32]) {
         assert_eq!(dense.len(), self.n_cols * width, "dense operand shape");
         assert_eq!(out.len(), self.n_rows * width, "output shape");
-        out.fill(0.0);
-        for r in 0..self.n_rows {
-            let orow = &mut out[r * width..(r + 1) * width];
-            for (c, v) in self.row(r) {
-                let drow = &dense[c as usize * width..(c as usize + 1) * width];
-                for (o, d) in orow.iter_mut().zip(drow) {
-                    *o += v * d;
-                }
-            }
-        }
+        let kernel = kernels::active_kernel();
+        kernels::count_dispatch(kernel);
+        kernels::spmm_block(
+            kernel,
+            &self.indptr,
+            &self.indices,
+            &self.values,
+            0,
+            dense,
+            width,
+            out,
+        );
     }
 
     /// Allocating wrapper over [`Csr::spmm_into`].
@@ -335,6 +342,8 @@ impl Csr {
             self.spmm_into(dense, width, out);
             return;
         }
+        let kernel = kernels::active_kernel();
+        kernels::count_dispatch(kernel);
         let rows_per = self.n_rows.div_ceil(threads);
         let mut slices: Vec<(usize, &mut [f32])> = Vec::with_capacity(threads);
         let mut rest = out;
@@ -349,18 +358,16 @@ impl Csr {
         std::thread::scope(|scope| {
             for (start, chunk) in slices {
                 scope.spawn(move || {
-                    chunk.fill(0.0);
-                    let rows = chunk.len() / width;
-                    for local in 0..rows {
-                        let r = start + local;
-                        let orow = &mut chunk[local * width..(local + 1) * width];
-                        for (c, v) in self.row(r) {
-                            let drow = &dense[c as usize * width..(c as usize + 1) * width];
-                            for (o, d) in orow.iter_mut().zip(drow) {
-                                *o += v * d;
-                            }
-                        }
-                    }
+                    kernels::spmm_block(
+                        kernel,
+                        &self.indptr,
+                        &self.indices,
+                        &self.values,
+                        start,
+                        dense,
+                        width,
+                        chunk,
+                    );
                 });
             }
         });

@@ -5,6 +5,9 @@
 //!
 //! * [`csr::Csr`] — a compressed-sparse-row `f32` matrix with the propagation
 //!   kernel `Â·X` ([`csr::Csr::spmm_into`]) that every GCN layer runs on;
+//! * [`kernels`] — the naive / cache-blocked / AVX2 implementations of that
+//!   propagation kernel plus the global `LRGCN_KERNEL` mode selection that
+//!   the dense kernels in `lrgcn-tensor` also dispatch through;
 //! * [`bipartite::BipartiteGraph`] — the user–item interaction graph, its
 //!   block adjacency (Eq. 4) and the symmetric normalization
 //!   `D^{-1/2} A D^{-1/2}` used by LightGCN and LayerGCN;
@@ -25,6 +28,7 @@ pub mod bipartite;
 pub mod components;
 pub mod csr;
 pub mod dropout;
+pub mod kernels;
 pub mod khop;
 pub mod wl;
 
@@ -32,3 +36,4 @@ pub use bipartite::{BipartiteGraph, NodeKind};
 pub use components::{component_stats, ComponentStats, UnionFind};
 pub use csr::Csr;
 pub use dropout::EdgePruner;
+pub use kernels::Kernel;

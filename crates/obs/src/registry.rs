@@ -77,11 +77,23 @@ pub enum Counter {
     /// LR halvings without one) after a non-finite loss or exploding
     /// gradient norm.
     TrainRecoveries,
+    /// Hot-loop dispatches that ran the naive (scalar reference) kernels.
+    KernelNaive,
+    /// Hot-loop dispatches that ran the cache-blocked kernels.
+    KernelBlocked,
+    /// Hot-loop dispatches that ran the explicit-AVX2 kernels.
+    KernelSimd,
+    /// Quantized two-stage scans answered by the serving read path
+    /// (`/recs` and `/similar` under `--quant`).
+    QuantScans,
+    /// Candidates exactly re-scored in f32 by the second stage of
+    /// quantized scans.
+    QuantRescored,
 }
 
 impl Counter {
     /// All counters, in stable declaration order.
-    pub const ALL: [Counter; 26] = [
+    pub const ALL: [Counter; 31] = [
         Counter::MatmulCalls,
         Counter::MatmulCells,
         Counter::SpmmCalls,
@@ -108,6 +120,11 @@ impl Counter {
         Counter::TrainCheckpoints,
         Counter::TrainCheckpointErrors,
         Counter::TrainRecoveries,
+        Counter::KernelNaive,
+        Counter::KernelBlocked,
+        Counter::KernelSimd,
+        Counter::QuantScans,
+        Counter::QuantRescored,
     ];
 
     /// Dotted metric name used in JSONL records and snapshots.
@@ -139,6 +156,11 @@ impl Counter {
             Counter::TrainCheckpoints => "train.checkpoints",
             Counter::TrainCheckpointErrors => "train.checkpoint_errors",
             Counter::TrainRecoveries => "train.recoveries",
+            Counter::KernelNaive => "tensor.kernel.naive",
+            Counter::KernelBlocked => "tensor.kernel.blocked",
+            Counter::KernelSimd => "tensor.kernel.simd",
+            Counter::QuantScans => "serve.quant.scans",
+            Counter::QuantRescored => "serve.quant.rescored",
         }
     }
 }
@@ -172,14 +194,20 @@ pub enum Gauge {
     /// Bytes currently held by live dense [`Matrix`] buffers
     /// (`lrgcn-tensor` maintains this from constructors, clones and drops).
     MatrixBytes,
+    /// Measured recall@K of the quantized serving read path against the
+    /// exact f32 scan, in parts per million (`1_000_000` = identical
+    /// top-K). Set by `lrgcn-serve` when a checkpoint is (re)loaded with
+    /// quantization enabled; `0` when quantization is off.
+    QuantRecallPpm,
 }
 
 impl Gauge {
-    pub const ALL: [Gauge; 1] = [Gauge::MatrixBytes];
+    pub const ALL: [Gauge; 2] = [Gauge::MatrixBytes, Gauge::QuantRecallPpm];
 
     pub fn name(self) -> &'static str {
         match self {
             Gauge::MatrixBytes => "tensor.matrix.bytes",
+            Gauge::QuantRecallPpm => "serve.quant.recall_ppm",
         }
     }
 }
@@ -200,6 +228,14 @@ pub fn gauge_add(g: Gauge, v: u64) {
 #[inline]
 pub fn gauge_sub(g: Gauge, v: u64) {
     GAUGE_CUR[g as usize].fetch_sub(v as i64, Ordering::Relaxed);
+}
+
+/// Sets a gauge to an absolute value, updating its peak. For gauges that
+/// track a *measurement* (e.g. quantization recall) rather than a balance.
+#[inline]
+pub fn gauge_set(g: Gauge, v: u64) {
+    GAUGE_CUR[g as usize].store(v as i64, Ordering::Relaxed);
+    GAUGE_PEAK[g as usize].fetch_max(v as i64, Ordering::Relaxed);
 }
 
 /// Current gauge value (clamped at zero for display).

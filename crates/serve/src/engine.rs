@@ -16,18 +16,26 @@
 //! the `Arc` snapshot they already cloned, so zero requests fail or observe
 //! a torn state during a reload. The generation counter feeds the response
 //! cache keys, which is what invalidates cached answers.
+//!
+//! With [`EngineOptions::quant`] the state additionally carries an int8
+//! [`QuantizedTable`] of the item block (rebuilt on every reload) and the
+//! read paths switch to a two-stage rank-then-rescore: the quantized scan
+//! ranks the full catalog cheaply, the exact f32 kernel re-scores only the
+//! top `4·K` candidates. The measured recall of that path against the exact
+//! scan ([`EngineState::quant_recall`]) is computed once per load and
+//! exported as the `serve.quant.recall_ppm` gauge.
 
 use lrgcn_data::Dataset;
-use lrgcn_eval::top_k_with_scores;
+use lrgcn_eval::{overlap_fraction, top_k_indices_into, top_k_with_scores};
 use lrgcn_graph::EdgePruner;
 use lrgcn_models::checkpoint::{model_tag, require_entry, SERVABLE_TAGS};
 use lrgcn_models::common::score_from_final;
 use lrgcn_models::{
     LayerGcn, LayerGcnConfig, LightGcn, LightGcnConfig, LrGccf, LrGccfConfig, Recommender,
 };
-use lrgcn_obs::{registry, Counter};
+use lrgcn_obs::{registry, Counter, Gauge};
 use lrgcn_tensor::matrix::dot;
-use lrgcn_tensor::Matrix;
+use lrgcn_tensor::{kernels, Matrix, QuantizedTable};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::{Path, PathBuf};
@@ -44,6 +52,9 @@ pub struct EngineOptions {
     /// training uses it; inference propagates over the full adjacency).
     pub dropout: f32,
     pub seed: u64,
+    /// Serve `/recs`, `/similar` and `/score` through the int8 quantized
+    /// two-stage read path instead of the exact f32 scan.
+    pub quant: bool,
 }
 
 impl Default for EngineOptions {
@@ -52,8 +63,28 @@ impl Default for EngineOptions {
             n_layers: 4,
             dropout: 0.1,
             seed: 2023,
+            quant: false,
         }
     }
+}
+
+/// First-stage candidate multiplier: the quantized scan keeps `4·K`
+/// candidates for the exact rescore.
+const CANDIDATE_FACTOR: usize = 4;
+/// How many users the build-time recall guardrail samples.
+const RECALL_SAMPLE_USERS: usize = 64;
+/// The K the guardrail compares at (the paper's headline Recall@20 cut).
+const RECALL_K: usize = 20;
+
+/// Reusable per-worker request buffers. Request handling on the hot path
+/// writes scores into these instead of allocating an `n_items`-sized score
+/// matrix plus an index vector per request; `server.rs` keeps one per
+/// worker thread in a `thread_local`.
+#[derive(Default)]
+pub struct Scratch {
+    scores: Vec<f32>,
+    idx: Vec<u32>,
+    qbuf: Vec<i8>,
 }
 
 /// One immutable, fully-materialized serving snapshot.
@@ -73,9 +104,15 @@ pub struct EngineState {
     final_emb: Matrix,
     /// Per-item L2 norms of the item block (cosine for /similar).
     item_norms: Vec<f32>,
+    /// Int8 table of the item block when the quantized read path is on.
+    quant: Option<QuantizedTable>,
+    /// Mean overlap of the quantized top-20 with the exact top-20 over a
+    /// user sample, measured at build time. `1.0` when quant is off.
+    pub quant_recall: f64,
 }
 
 impl EngineState {
+    #[allow(clippy::too_many_arguments)] // internal constructor, one call site
     fn new(
         model_name: String,
         tag: String,
@@ -84,6 +121,7 @@ impl EngineState {
         n_users: usize,
         n_items: usize,
         final_emb: Matrix,
+        quant: bool,
     ) -> Self {
         let dim = final_emb.cols();
         let item_norms = (n_users..n_users + n_items)
@@ -92,6 +130,7 @@ impl EngineState {
                 dot(row, row).sqrt()
             })
             .collect();
+        let quant = quant.then(|| QuantizedTable::from_matrix_rows(&final_emb, n_users, n_users + n_items));
         Self {
             model_name,
             tag,
@@ -102,7 +141,28 @@ impl EngineState {
             dim,
             final_emb,
             item_norms,
+            quant,
+            quant_recall: 1.0,
         }
+    }
+
+    /// True when this snapshot serves through the quantized read path.
+    pub fn quant_enabled(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    /// Heap bytes of the int8 table (0 when quant is off).
+    pub fn quant_bytes(&self) -> usize {
+        self.quant.as_ref().map_or(0, |q| q.bytes())
+    }
+
+    /// The contiguous item block of the final embedding table.
+    fn item_block(&self) -> &[f32] {
+        &self.final_emb.data()[self.n_users * self.dim..]
+    }
+
+    fn item_row(&self, item: usize) -> &[f32] {
+        self.final_emb.row(self.n_users + item)
     }
 
     /// The raw score matrix for a chunk of users — the exact evaluator
@@ -113,7 +173,8 @@ impl EngineState {
 
     /// Top-K recommendations for one user, optionally masking the items the
     /// user interacted with in training — the same masking and the same
-    /// tie-break as the offline evaluator.
+    /// tie-break as the offline evaluator. Allocating wrapper around
+    /// [`EngineState::top_k_into`].
     pub fn top_k(
         &self,
         ds: &Dataset,
@@ -121,41 +182,192 @@ impl EngineState {
         k: usize,
         exclude_seen: bool,
     ) -> Result<Vec<(u32, f32)>, String> {
+        self.top_k_into(ds, user, k, exclude_seen, &mut Scratch::default())
+    }
+
+    /// [`EngineState::top_k`] writing all `O(n_items)` intermediates into a
+    /// caller-held [`Scratch`]. Dispatches to the quantized two-stage path
+    /// when the state carries a table, else to the exact scan.
+    pub fn top_k_into(
+        &self,
+        ds: &Dataset,
+        user: u32,
+        k: usize,
+        exclude_seen: bool,
+        scratch: &mut Scratch,
+    ) -> Result<Vec<(u32, f32)>, String> {
         if user as usize >= self.n_users {
             return Err(format!("user {user} out of range (0..{})", self.n_users));
         }
-        let mut scores = self.score_users(&[user]);
-        let row = scores.row_mut(0);
+        if self.quant.is_some() {
+            Ok(self.top_k_quant(ds, user, k, exclude_seen, scratch))
+        } else {
+            Ok(self.top_k_exact(ds, user, k, exclude_seen, scratch))
+        }
+    }
+
+    /// Exact f32 scores of one (in-range) user against the whole catalog,
+    /// written into `out`. Routes the user row against the contiguous item
+    /// block through the same `matmul_nt` kernel as
+    /// [`score_from_final`], so the scores — and therefore the served
+    /// ranking — stay byte-identical to the offline evaluator's.
+    fn exact_scores_into(&self, user: u32, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(self.n_items, 0.0);
+        let kern = kernels::active_kernel();
+        kernels::count_dispatch(kern);
+        kernels::matmul_nt_block(
+            kern,
+            self.final_emb.row(user as usize),
+            self.dim,
+            self.item_block(),
+            self.n_items,
+            out,
+        );
+    }
+
+    fn top_k_exact(
+        &self,
+        ds: &Dataset,
+        user: u32,
+        k: usize,
+        exclude_seen: bool,
+        scratch: &mut Scratch,
+    ) -> Vec<(u32, f32)> {
+        self.exact_scores_into(user, &mut scratch.scores);
         if exclude_seen {
             for &it in ds.train_items(user) {
-                row[it as usize] = f32::NEG_INFINITY;
+                scratch.scores[it as usize] = f32::NEG_INFINITY;
             }
         }
-        Ok(top_k_with_scores(row, k))
+        top_k_indices_into(&scratch.scores, k, &mut scratch.idx);
+        scratch
+            .idx
+            .iter()
+            .map(|&i| (i, scratch.scores[i as usize]))
+            .filter(|&(_, s)| s != f32::NEG_INFINITY)
+            .collect()
+    }
+
+    /// The two-stage quantized path: int8 full-catalog scan, keep the
+    /// approximate top `CANDIDATE_FACTOR·k`, re-score those candidates with
+    /// the exact f32 dot, re-rank with the evaluator's tie-break.
+    fn top_k_quant(
+        &self,
+        ds: &Dataset,
+        user: u32,
+        k: usize,
+        exclude_seen: bool,
+        scratch: &mut Scratch,
+    ) -> Vec<(u32, f32)> {
+        let qt = self.quant.as_ref().expect("quant table");
+        let urow = self.final_emb.row(user as usize);
+        let q_scale = QuantizedTable::quantize_query(urow, &mut scratch.qbuf);
+        scratch.scores.clear();
+        scratch.scores.resize(self.n_items, 0.0);
+        qt.scores_into(&scratch.qbuf, q_scale, &mut scratch.scores);
+        registry::add(Counter::QuantScans, 1);
+        if exclude_seen {
+            for &it in ds.train_items(user) {
+                scratch.scores[it as usize] = f32::NEG_INFINITY;
+            }
+        }
+        top_k_indices_into(
+            &scratch.scores,
+            k.saturating_mul(CANDIDATE_FACTOR),
+            &mut scratch.idx,
+        );
+        let mut out: Vec<(u32, f32)> = scratch
+            .idx
+            .iter()
+            .filter(|&&i| scratch.scores[i as usize] != f32::NEG_INFINITY)
+            .map(|&i| (i, dot(urow, self.item_row(i as usize))))
+            .collect();
+        registry::add(Counter::QuantRescored, out.len() as u64);
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("scores must not be NaN")
+                .then(a.0.cmp(&b.0))
+        });
+        out.truncate(k);
+        out
     }
 
     /// Top-K most similar items by embedding cosine (the query item itself
-    /// excluded). Zero-norm embeddings score 0 rather than NaN.
+    /// excluded). Zero-norm embeddings score 0 rather than NaN. Allocating
+    /// wrapper around [`EngineState::similar_items_into`].
     pub fn similar_items(&self, item: u32, k: usize) -> Result<Vec<(u32, f32)>, String> {
+        self.similar_items_into(item, k, &mut Scratch::default())
+    }
+
+    /// [`EngineState::similar_items`] with caller-held scratch. Under quant
+    /// the first stage ranks by int8-approximated cosine, then the exact
+    /// f32 cosine re-scores the candidates.
+    pub fn similar_items_into(
+        &self,
+        item: u32,
+        k: usize,
+        scratch: &mut Scratch,
+    ) -> Result<Vec<(u32, f32)>, String> {
         if item as usize >= self.n_items {
             return Err(format!("item {item} out of range (0..{})", self.n_items));
         }
-        let q = self.final_emb.row(self.n_users + item as usize);
+        let q = self.item_row(item as usize);
         let qn = self.item_norms[item as usize];
-        let mut scores = vec![0.0f32; self.n_items];
-        for (i, s) in scores.iter_mut().enumerate() {
+        scratch.scores.clear();
+        scratch.scores.resize(self.n_items, 0.0);
+        if let Some(qt) = &self.quant {
+            let q_scale = QuantizedTable::quantize_query(q, &mut scratch.qbuf);
+            qt.scores_into(&scratch.qbuf, q_scale, &mut scratch.scores);
+            registry::add(Counter::QuantScans, 1);
+            for (i, s) in scratch.scores.iter_mut().enumerate() {
+                let n = qn * self.item_norms[i];
+                *s = if n > 0.0 { *s / n } else { 0.0 };
+            }
+            scratch.scores[item as usize] = f32::NEG_INFINITY;
+            top_k_indices_into(
+                &scratch.scores,
+                k.saturating_mul(CANDIDATE_FACTOR),
+                &mut scratch.idx,
+            );
+            let mut out: Vec<(u32, f32)> = scratch
+                .idx
+                .iter()
+                .filter(|&&i| scratch.scores[i as usize] != f32::NEG_INFINITY)
+                .map(|&i| {
+                    let n = qn * self.item_norms[i as usize];
+                    let c = if n > 0.0 {
+                        dot(q, self.item_row(i as usize)) / n
+                    } else {
+                        0.0
+                    };
+                    (i, c)
+                })
+                .collect();
+            registry::add(Counter::QuantRescored, out.len() as u64);
+            out.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .expect("scores must not be NaN")
+                    .then(a.0.cmp(&b.0))
+            });
+            out.truncate(k);
+            return Ok(out);
+        }
+        for (i, s) in scratch.scores.iter_mut().enumerate() {
             let n = qn * self.item_norms[i];
             if n > 0.0 {
-                *s = dot(q, self.final_emb.row(self.n_users + i)) / n;
+                *s = dot(q, self.item_row(i)) / n;
             }
         }
-        scores[item as usize] = f32::NEG_INFINITY;
-        Ok(top_k_with_scores(&scores, k))
+        scratch.scores[item as usize] = f32::NEG_INFINITY;
+        Ok(top_k_with_scores(&scratch.scores, k))
     }
 
     /// Dot-product scores for explicit `(user, item)` pairs — the
     /// micro-batcher's coalesced kernel. Out-of-range ids are an error (the
-    /// whole batch is rejected so the caller can 400 it).
+    /// whole batch is rejected so the caller can 400 it). Under quant the
+    /// dots are int8-approximated (documented serving trade-off); the
+    /// default path is exact f32.
     pub fn score_pairs(&self, pairs: &[(u32, u32)]) -> Result<Vec<f32>, String> {
         for &(u, i) in pairs {
             if u as usize >= self.n_users {
@@ -164,6 +376,18 @@ impl EngineState {
             if i as usize >= self.n_items {
                 return Err(format!("item {i} out of range (0..{})", self.n_items));
             }
+        }
+        if let Some(qt) = &self.quant {
+            let mut qbuf = Vec::new();
+            registry::add(Counter::QuantScans, 1);
+            return Ok(pairs
+                .iter()
+                .map(|&(u, i)| {
+                    let q_scale =
+                        QuantizedTable::quantize_query(self.final_emb.row(u as usize), &mut qbuf);
+                    qt.score_row(i as usize, &qbuf, q_scale)
+                })
+                .collect());
         }
         Ok(pairs
             .iter()
@@ -174,6 +398,43 @@ impl EngineState {
                 )
             })
             .collect())
+    }
+}
+
+/// Mean overlap of the quantized top-`RECALL_K` with the exact top-20 over
+/// up to [`RECALL_SAMPLE_USERS`] users spread evenly across the id space —
+/// the build-time guardrail behind the `serve.quant.recall_ppm` gauge.
+fn measure_quant_recall(state: &EngineState, ds: &Dataset) -> f64 {
+    let mut scratch = Scratch::default();
+    let samples = state.n_users.min(RECALL_SAMPLE_USERS);
+    if samples == 0 {
+        return 1.0;
+    }
+    let stride = (state.n_users / samples).max(1);
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for s in 0..samples {
+        let user = (s * stride) as u32;
+        if user as usize >= state.n_users {
+            break;
+        }
+        let exact: Vec<u32> = state
+            .top_k_exact(ds, user, RECALL_K, true, &mut scratch)
+            .iter()
+            .map(|&(i, _)| i)
+            .collect();
+        let quant: Vec<u32> = state
+            .top_k_quant(ds, user, RECALL_K, true, &mut scratch)
+            .iter()
+            .map(|&(i, _)| i)
+            .collect();
+        total += overlap_fraction(&quant, &exact);
+        counted += 1;
+    }
+    if counted == 0 {
+        1.0
+    } else {
+        total / counted as f64
     }
 }
 
@@ -247,7 +508,7 @@ fn build_state(
             ))
         }
     };
-    Ok(EngineState::new(
+    let mut state = EngineState::new(
         model_name,
         tag,
         generation,
@@ -255,7 +516,16 @@ fn build_state(
         ds.n_users(),
         ds.n_items(),
         final_emb,
-    ))
+        opts.quant,
+    );
+    if state.quant_enabled() {
+        state.quant_recall = measure_quant_recall(&state, ds);
+        registry::gauge_set(
+            Gauge::QuantRecallPpm,
+            (state.quant_recall * 1_000_000.0).round() as u64,
+        );
+    }
+    Ok(state)
 }
 
 /// The live engine: dataset + current [`EngineState`] behind a
@@ -546,6 +816,100 @@ mod tests {
         assert!(eng.reload().is_err());
         assert_eq!(eng.generation(), 1);
         assert_eq!(eng.state().generation, 1);
+        std::fs::remove_file(ckpt).ok();
+    }
+
+    #[test]
+    fn scratch_paths_match_the_allocating_wrappers() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join("lrgcn_engine_scratch");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let ckpt = dir.join("m.ckpt");
+        save_lightgcn(&ds, &ckpt);
+        let eng = Engine::open(&ckpt, ds.clone(), EngineOptions {
+            n_layers: 2,
+            ..EngineOptions::default()
+        })
+        .expect("open");
+        let st = eng.state();
+        let mut scratch = Scratch::default();
+        for user in 0..4u32 {
+            let a = st.top_k(&ds, user, 5, true).expect("top_k");
+            let b = st
+                .top_k_into(&ds, user, 5, true, &mut scratch)
+                .expect("top_k_into");
+            assert_eq!(a, b, "user {user}: scratch path diverged");
+        }
+        // The exact scratch path must also match the offline score matrix
+        // bitwise, not just approximately.
+        let offline = st.score_users(&[2]);
+        let served = st.top_k(&ds, 2, 6, false).expect("top_k");
+        for &(it, s) in &served {
+            assert_eq!(
+                s.to_bits(),
+                offline[(0, it as usize)].to_bits(),
+                "item {it} score drifted from the offline kernel"
+            );
+        }
+        for item in 0..6u32 {
+            let a = st.similar_items(item, 4).expect("similar");
+            let b = st
+                .similar_items_into(item, 4, &mut scratch)
+                .expect("similar_into");
+            assert_eq!(a, b, "item {item}: scratch path diverged");
+        }
+        std::fs::remove_file(ckpt).ok();
+    }
+
+    #[test]
+    fn quant_engine_reranks_with_exact_scores() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join("lrgcn_engine_quant");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let ckpt = dir.join("m.ckpt");
+        save_lightgcn(&ds, &ckpt);
+        let exact_eng = Engine::open(&ckpt, ds.clone(), EngineOptions {
+            n_layers: 2,
+            ..EngineOptions::default()
+        })
+        .expect("open exact");
+        let quant_eng = Engine::open(&ckpt, ds.clone(), EngineOptions {
+            n_layers: 2,
+            quant: true,
+            ..EngineOptions::default()
+        })
+        .expect("open quant");
+        let exact = exact_eng.state();
+        let quant = quant_eng.state();
+        assert!(!exact.quant_enabled());
+        assert!(quant.quant_enabled());
+        assert!(quant.quant_bytes() > 0);
+        assert_eq!(exact.quant_recall, 1.0);
+        assert!(
+            quant.quant_recall > 0.9,
+            "recall {} too low on a 6-item catalog",
+            quant.quant_recall
+        );
+        // Candidate pool (4·K) covers the whole tiny catalog, so the
+        // rescored quant ranking must equal the exact one, scores included.
+        for user in 0..4u32 {
+            let e = exact.top_k(&ds, user, 3, true).expect("exact");
+            let q = quant.top_k(&ds, user, 3, true).expect("quant");
+            assert_eq!(e, q, "user {user}: full-coverage rescore diverged");
+        }
+        let e = exact.similar_items(1, 3).expect("exact similar");
+        let q = quant.similar_items(1, 3).expect("quant similar");
+        assert_eq!(e, q, "similar: full-coverage rescore diverged");
+        // Pair scores are approximate under quant but must stay close.
+        let pairs = [(0u32, 0u32), (1, 4), (3, 5)];
+        let es = exact.score_pairs(&pairs).expect("exact pairs");
+        let qs = quant.score_pairs(&pairs).expect("quant pairs");
+        for (i, (a, b)) in es.iter().zip(&qs).enumerate() {
+            assert!(
+                (a - b).abs() <= 0.05 * a.abs().max(1.0),
+                "pair {i}: exact {a} vs quant {b}"
+            );
+        }
         std::fs::remove_file(ckpt).ok();
     }
 

@@ -31,5 +31,5 @@ pub mod server;
 
 pub use batch::Batcher;
 pub use cache::TopKCache;
-pub use engine::{Engine, EngineOptions, EngineState};
+pub use engine::{Engine, EngineOptions, EngineState, Scratch};
 pub use server::{render_metrics, serve, ServerConfig, ServerHandle};

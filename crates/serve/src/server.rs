@@ -19,10 +19,11 @@
 
 use crate::batch::Batcher;
 use crate::cache::{Key, TopKCache};
-use crate::engine::Engine;
+use crate::engine::{Engine, Scratch};
 use crate::http::{read_request, write_response, Request};
 use lrgcn_obs::json::Value;
 use lrgcn_obs::{registry, timer, Counter, Gauge, Hist};
+use std::cell::RefCell;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -165,6 +166,13 @@ pub fn serve(engine: Arc<Engine>, cfg: ServerConfig) -> Result<ServerHandle, Str
     })
 }
 
+thread_local! {
+    /// Per-worker request buffers: score/index/quant-query scratch reused
+    /// across every request a worker thread handles, so the hot path
+    /// allocates nothing proportional to the catalog size.
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
 /// Everything a worker needs, cloned per thread.
 struct Ctx {
     engine: Arc<Engine>,
@@ -255,6 +263,11 @@ fn healthz(ctx: &Ctx) -> Reply {
         ("n_items", Value::u64(st.n_items as u64)),
         ("dim", Value::u64(st.dim as u64)),
         ("n_parameters", Value::u64(st.n_parameters as u64)),
+        ("quant", Value::Bool(st.quant_enabled())),
+        (
+            "quant_recall_ppm",
+            Value::u64((st.quant_recall * 1_000_000.0).round() as u64),
+        ),
     ]))
 }
 
@@ -328,11 +341,16 @@ fn recs(req: &Request, ctx: &Ctx) -> Reply {
         k,
         exclude_seen,
     };
+    let compute = || {
+        SCRATCH.with(|s| {
+            st.top_k_into(ctx.engine.dataset(), user, k, exclude_seen, &mut s.borrow_mut())
+        })
+    };
     let (items, cached) = if ctx.cache_enabled {
         match ctx.cache.get(&key) {
             Some(hit) => (hit, true),
             None => {
-                let fresh = match st.top_k(ctx.engine.dataset(), user, k, exclude_seen) {
+                let fresh = match compute() {
                     Ok(v) => v,
                     Err(e) => return error_response(404, &e),
                 };
@@ -341,7 +359,7 @@ fn recs(req: &Request, ctx: &Ctx) -> Reply {
             }
         }
     } else {
-        match st.top_k(ctx.engine.dataset(), user, k, exclude_seen) {
+        match compute() {
             Ok(v) => (v, false),
             Err(e) => return error_response(404, &e),
         }
@@ -368,7 +386,7 @@ fn similar(req: &Request, ctx: &Ctx) -> Reply {
     if item as usize >= st.n_items {
         return error_response(404, &format!("item {item} out of range (0..{})", st.n_items));
     }
-    match st.similar_items(item, k) {
+    match SCRATCH.with(|s| st.similar_items_into(item, k, &mut s.borrow_mut())) {
         Ok(items) => json_response(&Value::obj([
             ("item", Value::u64(item as u64)),
             ("k", Value::u64(k as u64)),

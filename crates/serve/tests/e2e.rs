@@ -233,6 +233,83 @@ fn health_metrics_cache_errors_and_scoring() {
 }
 
 #[test]
+fn quant_read_path_keeps_recall_and_reports_health() {
+    let (ds, _model, ckpt) = fixture("quant");
+    let exact = Engine::open(&ckpt, ds.clone(), engine_opts()).expect("open exact");
+    let quant = Engine::open(
+        &ckpt,
+        ds.clone(),
+        EngineOptions {
+            quant: true,
+            ..engine_opts()
+        },
+    )
+    .expect("open quant");
+    let est = exact.state();
+    let qst = quant.state();
+
+    // The build-time guardrail itself must clear the acceptance bar.
+    assert!(
+        qst.quant_recall >= 0.99,
+        "build-time quant recall {} < 0.99",
+        qst.quant_recall
+    );
+
+    // And so must a direct measurement over a fresh user sample: the
+    // two-stage quantized top-20 vs the exact f32 top-20.
+    let users: Vec<u32> = (0..ds.n_users() as u32).step_by(5).take(40).collect();
+    let mut total = 0.0;
+    for &u in &users {
+        let e: Vec<u32> = est
+            .top_k(&ds, u, 20, true)
+            .expect("exact top_k")
+            .iter()
+            .map(|&(i, _)| i)
+            .collect();
+        let q: Vec<u32> = qst
+            .top_k(&ds, u, 20, true)
+            .expect("quant top_k")
+            .iter()
+            .map(|&(i, _)| i)
+            .collect();
+        total += lrgcn_eval::overlap_fraction(&q, &e);
+    }
+    let recall = total / users.len() as f64;
+    assert!(recall >= 0.99, "measured quant recall@20 {recall} < 0.99");
+
+    // The quant engine over HTTP: health reports the mode and the gauge,
+    // requests succeed, and the quant counters tick.
+    let handle = serve(Arc::new(quant), ServerConfig::default()).expect("serve");
+    let addr = handle.addr();
+    let (status, v) = get_json(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(v.get("quant"), Some(&Value::Bool(true)));
+    let ppm = v.get("quant_recall_ppm").and_then(Value::as_f64).expect("ppm");
+    assert!(ppm >= 990_000.0, "healthz recall {ppm} ppm < 990000");
+    let (status, v) = get_json(addr, "/recs/0?k=20");
+    assert_eq!(status, 200);
+    assert!(!item_ids(&v).is_empty());
+    let (status, v) = get_json(addr, "/similar/1?k=10");
+    assert_eq!(status, 200);
+    assert!(!item_ids(&v).contains(&1));
+    let (_, text) = http(addr, "GET", "/metrics", None);
+    let scans: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("lrgcn_serve_quant_scans_total "))
+        .expect("quant scans line")
+        .parse()
+        .expect("numeric");
+    assert!(scans >= 2, "quant scans not counted: {scans}");
+    assert!(
+        text.contains("lrgcn_serve_quant_recall_ppm "),
+        "recall gauge missing from /metrics"
+    );
+    handle.shutdown();
+    handle.wait();
+    std::fs::remove_file(ckpt).ok();
+}
+
+#[test]
 fn hot_reload_under_concurrent_load_fails_nothing() {
     let (ds, _model, ckpt) = fixture("reload");
     let engine = Arc::new(Engine::open(&ckpt, ds.clone(), engine_opts()).expect("open"));

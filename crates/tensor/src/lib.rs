@@ -4,6 +4,11 @@
 //! LayerGCN paper (Zhou et al., ICDE 2023):
 //!
 //! * [`matrix::Matrix`] — row-major dense `f32` matrices;
+//! * [`kernels`] — the naive / cache-blocked / AVX2 micro-kernels behind
+//!   every hot loop, selected by `LRGCN_KERNEL` and bitwise identical to
+//!   each other for finite inputs;
+//! * [`quant::QuantizedTable`] — int8 symmetric row quantization with an
+//!   i32-accumulate dot kernel, the serving read path's first stage;
 //! * [`tape::Tape`] — tape-based reverse-mode autodiff whose op set covers
 //!   every model in `lrgcn-models` (sparse propagation, embedding gathers,
 //!   LayerGCN's row-wise cosine refinement, MLP layers, BPR/VAE losses);
@@ -39,11 +44,15 @@ pub mod faultfs;
 pub mod grad_check;
 pub mod init;
 pub mod io;
+pub mod kernels;
 pub mod matrix;
 pub mod optim;
 pub mod par;
+pub mod quant;
 pub mod tape;
 
+pub use kernels::Kernel;
 pub use matrix::Matrix;
+pub use quant::QuantizedTable;
 pub use optim::{Adam, Param, Sgd};
 pub use tape::{SharedCsr, Tape, Var};

@@ -2,16 +2,18 @@
 //!
 //! [`Matrix`] is the only dense container in the workspace: embedding tables,
 //! propagated layer representations, MLP weights and gradients are all
-//! `Matrix` values. Operations are deliberately BLAS-free — loops are ordered
-//! for cache locality (`i-k-j` matmul) which is plenty for the embedding
-//! sizes the paper uses (`T = 64`).
+//! `Matrix` values. Operations are deliberately BLAS-free; the inner loops
+//! live in [`crate::kernels`], which provides naive / cache-blocked / AVX2
+//! implementations selected by `LRGCN_KERNEL` — all bitwise identical for
+//! finite inputs (see that module's determinism contract).
 //!
 //! The three matmul kernels and the elementwise maps fan out across rows via
 //! [`crate::par`]; results are bitwise identical to serial execution for any
 //! thread count (each output row is produced by one thread running the same
-//! scalar loop as the serial kernel). The `*_with_threads` variants take an
-//! explicit thread count; the plain methods use the globally configured one.
+//! per-row kernel). The `*_with_threads` variants take an explicit thread
+//! count; the plain methods use the globally configured one.
 
+use crate::kernels;
 use crate::par;
 use lrgcn_obs::registry::{self, Counter, Gauge};
 use std::fmt;
@@ -153,7 +155,8 @@ impl Matrix {
 
     /// [`Self::matmul`] with an explicit thread count. Bitwise identical for
     /// any `threads` ≥ 1: output rows are partitioned across threads and
-    /// each row runs the exact serial `k-j` inner loops.
+    /// each row runs the same per-row kernel with the serial `k`-ascending
+    /// accumulation order per cell.
     pub fn matmul_with_threads(&self, other: &Matrix, threads: usize) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
@@ -166,22 +169,15 @@ impl Matrix {
         let _span = lrgcn_obs::trace::span("matmul", "kernel");
         let mut out = Matrix::zeros(self.rows, other.cols);
         let ocols = other.cols;
-        if ocols == 0 {
+        if ocols == 0 || self.cols == 0 {
             return out;
         }
+        let kern = kernels::active_kernel();
+        kernels::count_dispatch(kern);
         par::par_row_chunks_mut(&mut out.data, ocols, threads, |start_row, block| {
-            for (bi, orow) in block.chunks_exact_mut(ocols).enumerate() {
-                let arow = self.row(start_row + bi);
-                for (k, &a) in arow.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let brow = other.row(k);
-                    for (o, &b) in orow.iter_mut().zip(brow) {
-                        *o += a * b;
-                    }
-                }
-            }
+            let rows = block.len() / ocols;
+            let a_block = &self.data[start_row * self.cols..(start_row + rows) * self.cols];
+            kernels::matmul_block(kern, a_block, self.cols, &other.data, ocols, block);
         });
         out
     }
@@ -207,23 +203,22 @@ impl Matrix {
         let _span = lrgcn_obs::trace::span("matmul_tn", "kernel");
         let mut out = Matrix::zeros(self.cols, other.cols);
         let ocols = other.cols;
-        if ocols == 0 {
+        if ocols == 0 || self.rows == 0 {
             return out;
         }
+        let kern = kernels::active_kernel();
+        kernels::count_dispatch(kern);
         par::par_row_chunks_mut(&mut out.data, ocols, threads, |start_row, block| {
-            for k in 0..self.rows {
-                let arow = self.row(k);
-                let brow = other.row(k);
-                for (bi, orow) in block.chunks_exact_mut(ocols).enumerate() {
-                    let a = arow[start_row + bi];
-                    if a == 0.0 {
-                        continue;
-                    }
-                    for (o, &b) in orow.iter_mut().zip(brow) {
-                        *o += a * b;
-                    }
-                }
-            }
+            kernels::matmul_tn_block(
+                kern,
+                &self.data,
+                self.rows,
+                self.cols,
+                start_row,
+                &other.data,
+                ocols,
+                block,
+            );
         });
         out
     }
@@ -234,7 +229,8 @@ impl Matrix {
     }
 
     /// [`Self::matmul_nt`] with an explicit thread count. Each output cell
-    /// is a single [`dot`], so any row partitioning is trivially bitwise
+    /// is one [`dot`]-ordered chain (the blocked kernels just keep several
+    /// chains in flight), so any row partitioning is trivially bitwise
     /// identical to serial.
     pub fn matmul_nt_with_threads(&self, other: &Matrix, threads: usize) -> Matrix {
         assert_eq!(
@@ -251,13 +247,12 @@ impl Matrix {
         if ocols == 0 {
             return out;
         }
+        let kern = kernels::active_kernel();
+        kernels::count_dispatch(kern);
         par::par_row_chunks_mut(&mut out.data, ocols, threads, |start_row, block| {
-            for (bi, orow) in block.chunks_exact_mut(ocols).enumerate() {
-                let arow = self.row(start_row + bi);
-                for (j, o) in orow.iter_mut().enumerate() {
-                    *o = dot(arow, other.row(j));
-                }
-            }
+            let rows = block.len() / ocols;
+            let a_block = &self.data[start_row * self.cols..(start_row + rows) * self.cols];
+            kernels::matmul_nt_block(kern, a_block, self.cols, &other.data, ocols, block);
         });
         out
     }
@@ -290,9 +285,7 @@ impl Matrix {
             |start_row, block| {
                 let off = start_row * self.cols;
                 let src = &self.data[off..off + block.len()];
-                for (o, &x) in block.iter_mut().zip(src) {
-                    *o = f(x);
-                }
+                kernels::map_slice(src, block, &f);
             },
         );
         out
@@ -310,9 +303,7 @@ impl Matrix {
             self.cols,
             par::effective_threads(),
             |_start_row, block| {
-                for x in block.iter_mut() {
-                    *x = f(*x);
-                }
+                kernels::map_slice_inplace(block, &f);
             },
         );
     }
@@ -320,32 +311,24 @@ impl Matrix {
     /// `self += other`.
     pub fn add_assign(&mut self, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        kernels::add_slices(&mut self.data, &other.data);
     }
 
     /// `self += s * other` (axpy).
     pub fn add_scaled(&mut self, other: &Matrix, s: f32) {
         assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += s * b;
-        }
+        kernels::axpy(&mut self.data, s, &other.data);
     }
 
     /// `self -= other`.
     pub fn sub_assign(&mut self, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "sub_assign shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a -= b;
-        }
+        kernels::sub_slices(&mut self.data, &other.data);
     }
 
     /// `self *= s`.
     pub fn scale(&mut self, s: f32) {
-        for a in &mut self.data {
-            *a *= s;
-        }
+        kernels::scale_slice(&mut self.data, s);
     }
 
     /// New matrix `self + other`.
@@ -463,10 +446,10 @@ impl Matrix {
     }
 }
 
-/// Dot product of two equal-length slices.
+/// Dot product of two equal-length slices — a single sequential add chain
+/// in every kernel mode (see [`crate::kernels`] for why).
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    kernels::dot(a, b)
 }
 
 impl Index<(usize, usize)> for Matrix {

@@ -18,8 +18,13 @@
 #      metrics) and every surviving checkpoint generation must still be
 #      loadable by `lrgcn evaluate --load`, plus a kill-mid-save + resume
 #      round-trip
-#   7. the PR-1 parallel-execution benchmark (writes BENCH_PR1.json) and
-#      the PR-4 serving-throughput benchmark (writes BENCH_PR4.json)
+#   7. kernel sweep: the golden-trajectory suite re-run under every
+#      LRGCN_KERNEL={naive,blocked,simd} × LRGCN_THREADS={1,8} pair — the
+#      cache-blocked and AVX2 kernels are contractually bitwise identical
+#      to the naive reference, so any trajectory drift fails the stage
+#   8. the PR-1 parallel-execution benchmark (writes BENCH_PR1.json), the
+#      PR-4 serving-throughput benchmark (writes BENCH_PR4.json) and the
+#      PR-6 kernel/quantized-read-path benchmark (writes BENCH_PR6.json)
 #
 # Usage: scripts/verify.sh [--skip-bench]
 set -euo pipefail
@@ -131,11 +136,31 @@ fi
     || { echo "verify: resume after mid-save kill failed"; exit 1; }
 echo "fault-injection smoke: OK"
 
+echo "==> kernel sweep: golden trajectory under every kernel x thread pair"
+for kernel in naive blocked simd; do
+    for threads in 1 8; do
+        out=$(LRGCN_KERNEL=$kernel LRGCN_THREADS=$threads \
+            cargo test -q -p lrgcn-train --test golden_trajectory 2>&1) || {
+            echo "$out"
+            echo "verify: golden trajectory FAILED at LRGCN_KERNEL=$kernel LRGCN_THREADS=$threads"
+            exit 1
+        }
+        if grep -qi "drift" <<<"$out"; then
+            echo "$out"
+            echo "verify: trajectory drift at LRGCN_KERNEL=$kernel LRGCN_THREADS=$threads"
+            exit 1
+        fi
+        echo "kernel sweep: $kernel x $threads threads OK"
+    done
+done
+
 if [[ "${1:-}" != "--skip-bench" ]]; then
     echo "==> bench: epoch + eval wall time at 1 vs N threads -> BENCH_PR1.json"
     cargo run --release -p lrgcn-bench --bin bench_pr1 -- --scale 1.0 --reps 3
     echo "==> bench: serving throughput, single vs pooled -> BENCH_PR4.json"
     cargo run --release -p lrgcn-serve --bin bench_pr4 -- --requests 400
+    echo "==> bench: kernel GFLOP/s + quantized read path -> BENCH_PR6.json"
+    cargo run --release -p lrgcn-serve --bin bench_pr6 -- --topk-requests 1000
 fi
 
 echo "verify: OK"
