@@ -15,6 +15,7 @@
 //! lrgcn serve     model.ckpt --input interactions.tsv [--port P] [--host H]
 //!                 [--workers N] [--cache N]         # online HTTP serving
 //!                 [--quant | --exact]               # int8 or exact read path
+//!                 [--ann [--nprobe N] [--ann-cells C]]  # IVF ANN retrieval
 //! lrgcn report    LOG.jsonl            # or: report --diff A.jsonl B.jsonl
 //! ```
 //!
@@ -83,6 +84,16 @@
 //! rescore of the top 4·K candidates); its measured recall against the
 //! exact scan is reported in `/healthz` and the `serve.quant.recall_ppm`
 //! gauge. `--exact` (the default) keeps the byte-identical f32 path.
+//!
+//! `serve --ann` builds a zero-dependency IVF index over the item
+//! embeddings (deterministic k-means coarse quantizer, rebuilt on every
+//! hot reload) and serves `/recs` and `/similar` from the `--nprobe N`
+//! (default 8) best cells instead of the full catalog — sub-linear
+//! candidate generation with a measured recall guardrail in `/healthz`
+//! (`ann_recall_ppm`) and the `serve.ann.recall_ppm` gauge. `--ann-cells C`
+//! overrides the cell count (default ≈ √n_items). `--quant` composes: the
+//! in-cell scan uses the int8 table, survivors get the exact f32 rescore.
+//! Candidate sets are bitwise-identical at any `LRGCN_THREADS`.
 
 use lrgcn::data::{kcore, loader, Dataset, InteractionLog, SplitRatios};
 use lrgcn::eval::{evaluate_ranking_parallel, Split};
@@ -329,17 +340,31 @@ fn cmd_train(args: &Args) -> CliResult {
 
 /// Engine options mirroring `layergcn_config`: the checkpoint carries the
 /// embedding dimension, everything else comes from the flags. `--quant`
-/// opts into the int8 read path; `--exact` (the default) names the exact
-/// one explicitly, so asking for both is an error.
+/// opts into the int8 read path and `--ann` into the IVF index (they
+/// compose); `--exact` (the default) names the full exact scan explicitly,
+/// so pairing it with either approximation is an error.
 fn engine_options(args: &Args) -> Result<lrgcn_serve::EngineOptions, String> {
     if args.has_flag("quant") && args.has_flag("exact") {
         return Err("--quant and --exact are mutually exclusive".into());
+    }
+    if args.has_flag("ann") && args.has_flag("exact") {
+        return Err("--ann and --exact are mutually exclusive".into());
+    }
+    let nprobe = args.get_parsed("nprobe", lrgcn_serve::IvfConfig::default().nprobe);
+    if nprobe == 0 {
+        return Err("--nprobe must be at least 1".into());
+    }
+    if !args.has_flag("ann") && (args.get("nprobe").is_some() || args.get("ann-cells").is_some()) {
+        return Err("--nprobe/--ann-cells only make sense with --ann".into());
     }
     Ok(lrgcn_serve::EngineOptions {
         n_layers: args.get_parsed("layers", 4usize),
         dropout: args.get_parsed("dropout", 0.1f32),
         seed: args.get_parsed("seed", 2023u64),
         quant: args.has_flag("quant"),
+        ann: args.has_flag("ann"),
+        nprobe,
+        ann_cells: args.get_parsed("ann-cells", 0usize),
     })
 }
 
@@ -426,6 +451,14 @@ fn cmd_serve(args: &Args, rest: &[String]) -> CliResult {
         "serving {} — {} users x {} items, dim {}, {} parameters",
         st.model_name, st.n_users, st.n_items, st.dim, st.n_parameters
     );
+    if st.ann_enabled() {
+        println!(
+            "ann: {} IVF cells, nprobe {}, sampled recall@20 {:.4}",
+            st.ann_cells(),
+            st.ann_nprobe(),
+            st.ann_recall
+        );
+    }
     println!("listening on http://{}", handle.addr());
     println!("POST /admin/shutdown to stop");
     handle.wait();

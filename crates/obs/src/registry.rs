@@ -89,11 +89,17 @@ pub enum Counter {
     /// Candidates exactly re-scored in f32 by the second stage of
     /// quantized scans.
     QuantRescored,
+    /// IVF cells probed by ANN-served requests (`serve --ann`); divided by
+    /// `serve.ann.scans`-like request counts this is the effective nprobe.
+    AnnCellsProbed,
+    /// Candidate items scanned inside probed IVF cells before the
+    /// rank-then-rescore stage.
+    AnnCandidates,
 }
 
 impl Counter {
     /// All counters, in stable declaration order.
-    pub const ALL: [Counter; 31] = [
+    pub const ALL: [Counter; 33] = [
         Counter::MatmulCalls,
         Counter::MatmulCells,
         Counter::SpmmCalls,
@@ -125,6 +131,8 @@ impl Counter {
         Counter::KernelSimd,
         Counter::QuantScans,
         Counter::QuantRescored,
+        Counter::AnnCellsProbed,
+        Counter::AnnCandidates,
     ];
 
     /// Dotted metric name used in JSONL records and snapshots.
@@ -161,6 +169,8 @@ impl Counter {
             Counter::KernelSimd => "tensor.kernel.simd",
             Counter::QuantScans => "serve.quant.scans",
             Counter::QuantRescored => "serve.quant.rescored",
+            Counter::AnnCellsProbed => "serve.ann.cells_probed",
+            Counter::AnnCandidates => "serve.ann.candidates",
         }
     }
 }
@@ -199,15 +209,24 @@ pub enum Gauge {
     /// top-K). Set by `lrgcn-serve` when a checkpoint is (re)loaded with
     /// quantization enabled; `0` when quantization is off.
     QuantRecallPpm,
+    /// Measured recall@K of the IVF ANN read path against the exact scan,
+    /// in parts per million. Set by `lrgcn-serve` when a checkpoint is
+    /// (re)loaded with `--ann`; `0` when the index is off.
+    AnnRecallPpm,
 }
 
 impl Gauge {
-    pub const ALL: [Gauge; 2] = [Gauge::MatrixBytes, Gauge::QuantRecallPpm];
+    pub const ALL: [Gauge; 3] = [
+        Gauge::MatrixBytes,
+        Gauge::QuantRecallPpm,
+        Gauge::AnnRecallPpm,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
             Gauge::MatrixBytes => "tensor.matrix.bytes",
             Gauge::QuantRecallPpm => "serve.quant.recall_ppm",
+            Gauge::AnnRecallPpm => "serve.ann.recall_ppm",
         }
     }
 }

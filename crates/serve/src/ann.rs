@@ -1,0 +1,472 @@
+//! Zero-dependency IVF (inverted-file) ANN index over the item embeddings.
+//!
+//! The full-catalog scans behind `/recs` and `/similar` are O(items) per
+//! request — the wall between this serving stack and a web-scale catalog
+//! (PinSage serves its GCN embeddings through exactly this kind of
+//! approximate nearest-neighbor retrieval). This module trades a bounded
+//! amount of recall for sub-linear candidate generation:
+//!
+//! 1. **Build** (once per checkpoint (re)load): a k-means coarse quantizer
+//!    clusters the item embeddings into `n_cells` cells (default
+//!    `≈ √n_items`) with a fixed number of Lloyd iterations, then stores
+//!    per-cell item lists in ascending id order.
+//! 2. **Probe** (per request): rank the cells by inner product between the
+//!    query and the cell centroid, take the top `nprobe`, and scan only the
+//!    items in those cells. The candidates feed the engine's existing
+//!    rank-then-rescore pipeline (under `--quant` the in-cell scan is int8,
+//!    the survivors get an exact f32 rescore).
+//!
+//! ## MIPS reduction
+//!
+//! Serving ranks by **inner product**, not Euclidean distance, and item
+//! norms vary widely (popular items have large embeddings) — plain
+//! Euclidean k-means cells do not align with inner-product neighborhoods,
+//! which wrecks recall. The index therefore clusters in the standard
+//! norm-augmented space that reduces MIPS to L2 nearest-neighbor search:
+//! each item `x` becomes `x̃ = [x, √(Φ² − ‖x‖²)]` with `Φ = max‖x‖`, and a
+//! query `q` becomes `q̃ = [q, 0]`. Then `‖q̃ − x̃‖² = ‖q‖² + Φ² − 2·q·x`,
+//! so the L2-nearest augmented item IS the maximum-inner-product item.
+//! K-means runs over the augmented vectors; probing ranks cells by the
+//! L2 surrogate `½‖c̃‖² − q̃·c̃` ascending.
+//!
+//! ## Determinism contract (DESIGN.md §11)
+//!
+//! The index — and therefore every served candidate set — is
+//! **bitwise-reproducible at any `LRGCN_THREADS`**:
+//!
+//! * Initial centroids are `n_cells` distinct items chosen by a seeded
+//!   partial Fisher–Yates over item ids (`StdRng::seed_from_u64`).
+//! * Assignment minimizes the surrogate `½‖c‖² − x·c` (the squared-distance
+//!   argmin with the constant `½‖x‖²` dropped), computed through
+//!   [`kernels::centroid_scores_block`] — the same bitwise-thread-invariant
+//!   `matmul_nt` kernels as serving. Ties break toward the **lowest
+//!   centroid index** ([`kernels::argmin_first`]). The parallel fan-out
+//!   only partitions *which rows* a thread computes, never the arithmetic
+//!   inside a row.
+//! * Centroid updates are serial, accumulating members in ascending item
+//!   order; an empty cell keeps its previous centroid.
+//! * Probing sorts cells by the L2 surrogate ascending with ties toward
+//!   the lowest cell index; each cell's member list is stored ascending,
+//!   so the concatenated candidate set is a pure function of
+//!   (embeddings, config). The augmentation itself is elementwise and the
+//!   max-norm reduction is a serial scan, so both are thread-invariant.
+
+use lrgcn_tensor::{kernels, par};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Fixed Lloyd iteration count — part of the determinism contract (no
+/// data-dependent convergence test, so every build does identical work).
+const KMEANS_ITERS: usize = 10;
+/// Row block size for the assignment pass: amortizes the `matmul_nt`
+/// dispatch without growing the per-thread score buffer past L1.
+const ASSIGN_BLOCK: usize = 32;
+
+/// Build/probe parameters for [`IvfIndex`].
+#[derive(Clone, Copy, Debug)]
+pub struct IvfConfig {
+    /// Number of k-means cells; `0` picks `≈ √n_items` (min 1), the usual
+    /// IVF balance point between probe cost and in-cell scan cost.
+    pub n_cells: usize,
+    /// How many cells a query scans, in centroid-score order.
+    pub nprobe: usize,
+    /// Seed for the centroid initialization.
+    pub seed: u64,
+}
+
+impl Default for IvfConfig {
+    fn default() -> Self {
+        Self {
+            n_cells: 0,
+            nprobe: 8,
+            seed: 2023,
+        }
+    }
+}
+
+impl IvfConfig {
+    /// The concrete cell count for a catalog of `n_items`.
+    pub fn resolved_cells(&self, n_items: usize) -> usize {
+        let auto = (n_items as f64).sqrt().round() as usize;
+        let cells = if self.n_cells == 0 { auto } else { self.n_cells };
+        cells.clamp(1, n_items.max(1))
+    }
+}
+
+/// The built index: centroid table + inverted lists.
+pub struct IvfIndex {
+    /// The *embedding* dimension; centroids live in `dim + 1` (augmented).
+    dim: usize,
+    n_cells: usize,
+    nprobe: usize,
+    /// Row-major `n_cells × (dim + 1)` centroid table in the norm-augmented
+    /// space (see the module docs).
+    centroids: Vec<f32>,
+    /// `Φ = max‖x‖` over the item rows — the augmentation radius; probing
+    /// rescales queries to this norm (MIPS order is scale-invariant).
+    phi: f32,
+    /// `½‖c̃_j‖²` per centroid (the probe surrogate's constant term).
+    half_cnorm: Vec<f32>,
+    /// `cell_start[j]..cell_start[j+1]` indexes `members` — a CSR layout of
+    /// the inverted lists; each cell's slice is ascending item ids.
+    cell_start: Vec<usize>,
+    members: Vec<u32>,
+}
+
+impl IvfIndex {
+    /// Clusters `items` (row-major `n_items × dim`) into an IVF index.
+    /// Deterministic in `(items, cfg)` — see the module docs.
+    pub fn build(items: &[f32], n_items: usize, dim: usize, cfg: &IvfConfig) -> IvfIndex {
+        assert_eq!(items.len(), n_items * dim, "item table is not whole rows");
+        let n_cells = cfg.resolved_cells(n_items);
+        let (aug, phi) = augment(items, n_items, dim);
+        let adim = dim + 1;
+        let mut centroids = init_centroids(&aug, n_items, adim, n_cells, cfg.seed);
+        let mut half_cnorm = vec![0.0f32; n_cells];
+        let mut assign = vec![0u32; n_items];
+        for _ in 0..KMEANS_ITERS {
+            refresh_half_norms(&centroids, adim, &mut half_cnorm);
+            assign_items(&aug, adim, &centroids, n_cells, &half_cnorm, &mut assign);
+            update_centroids(&aug, adim, &assign, n_cells, &mut centroids);
+        }
+        refresh_half_norms(&centroids, adim, &mut half_cnorm);
+        assign_items(&aug, adim, &centroids, n_cells, &half_cnorm, &mut assign);
+
+        // Counting sort into CSR lists; iterating items in ascending id
+        // order keeps each cell's member slice sorted.
+        let mut counts = vec![0usize; n_cells];
+        for &c in &assign {
+            counts[c as usize] += 1;
+        }
+        let mut cell_start = vec![0usize; n_cells + 1];
+        for j in 0..n_cells {
+            cell_start[j + 1] = cell_start[j] + counts[j];
+        }
+        let mut cursor = cell_start[..n_cells].to_vec();
+        let mut members = vec![0u32; n_items];
+        for (item, &c) in assign.iter().enumerate() {
+            members[cursor[c as usize]] = item as u32;
+            cursor[c as usize] += 1;
+        }
+        IvfIndex {
+            dim,
+            n_cells,
+            nprobe: cfg.nprobe.clamp(1, n_cells),
+            centroids,
+            phi,
+            half_cnorm,
+            cell_start,
+            members,
+        }
+    }
+
+    pub fn n_cells(&self) -> usize {
+        self.n_cells
+    }
+
+    /// The effective probe width (the configured `nprobe`, clamped to the
+    /// cell count at build time).
+    pub fn nprobe(&self) -> usize {
+        self.nprobe
+    }
+
+    /// Heap bytes held by the index (centroid table + lists).
+    pub fn bytes(&self) -> usize {
+        self.centroids.len() * 4
+            + self.half_cnorm.len() * 4
+            + self.cell_start.len() * std::mem::size_of::<usize>()
+            + self.members.len() * 4
+    }
+
+    /// Ascending item ids assigned to `cell`.
+    pub fn cell_items(&self, cell: usize) -> &[u32] {
+        &self.members[self.cell_start[cell]..self.cell_start[cell + 1]]
+    }
+
+    /// Ranks cells by the L2 surrogate `½‖c̃‖² − q̃·c̃` **ascending** (ties
+    /// toward the lowest cell index) and writes the top
+    /// [`IvfIndex::nprobe`] cell ids into `out`. The augmented query is
+    /// `[q, 0]`, so its dot against an augmented centroid only touches the
+    /// first `dim` coordinates. The scalar-sequential [`kernels::dot`]
+    /// makes the ranking thread- and kernel-mode-invariant.
+    pub fn probe_cells(&self, query: &[f32], out: &mut Vec<u32>) {
+        debug_assert_eq!(query.len(), self.dim);
+        let adim = self.dim + 1;
+        // MIPS item order is invariant to the query's scale, so rescale the
+        // query to the augmentation radius Φ before ranking cells: a
+        // small-norm query would otherwise shrink the alignment term `q·c̃`
+        // until the constant `½‖c̃‖²` term dominates and every query probes
+        // the same cells.
+        let qnorm = kernels::dot(query, query).sqrt();
+        let scale = if qnorm > 0.0 { self.phi / qnorm } else { 1.0 };
+        let mut scored: Vec<(f32, u32)> = (0..self.n_cells)
+            .map(|j| {
+                let c = &self.centroids[j * adim..j * adim + self.dim];
+                (self.half_cnorm[j] - scale * kernels::dot(query, c), j as u32)
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("centroid scores must not be NaN")
+                .then(a.1.cmp(&b.1))
+        });
+        out.clear();
+        out.extend(scored.iter().take(self.nprobe).map(|&(_, j)| j));
+    }
+
+    /// Probes for `query` and appends every member of the probed cells to
+    /// `out` (cells in probe order, items ascending within a cell).
+    /// Returns the number of cells probed.
+    pub fn candidates_into(&self, query: &[f32], cells_buf: &mut Vec<u32>, out: &mut Vec<u32>) -> usize {
+        self.probe_cells(query, cells_buf);
+        out.clear();
+        for &cell in cells_buf.iter() {
+            out.extend_from_slice(self.cell_items(cell as usize));
+        }
+        cells_buf.len()
+    }
+}
+
+/// Norm-augments the item table for the MIPS→L2 reduction (module docs):
+/// each row `x` becomes `[x, √(Φ² − ‖x‖²)]` with `Φ² = max‖x‖²`. Returns
+/// the augmented table and `Φ`. The max is a serial scan and the per-row
+/// math is self-contained, so the output is thread-invariant; the radicand
+/// is clamped at 0 so float rounding on the max row cannot produce a NaN.
+fn augment(items: &[f32], n_items: usize, dim: usize) -> (Vec<f32>, f32) {
+    let mut sq_norms = vec![0.0f32; n_items];
+    let mut phi2 = 0.0f32;
+    for (s, row) in sq_norms.iter_mut().zip(items.chunks_exact(dim.max(1))) {
+        *s = kernels::dot(row, row);
+        if *s > phi2 {
+            phi2 = *s;
+        }
+    }
+    let adim = dim + 1;
+    let mut aug = vec![0.0f32; n_items * adim];
+    for i in 0..n_items {
+        aug[i * adim..i * adim + dim].copy_from_slice(&items[i * dim..(i + 1) * dim]);
+        aug[i * adim + dim] = (phi2 - sq_norms[i]).max(0.0).sqrt();
+    }
+    (aug, phi2.sqrt())
+}
+
+/// Seeded initial centroids: a partial Fisher–Yates over item ids picks
+/// `n_cells` distinct items, whose rows are copied as the starting table.
+fn init_centroids(items: &[f32], n_items: usize, dim: usize, n_cells: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids: Vec<u32> = (0..n_items as u32).collect();
+    for i in 0..n_cells.min(n_items.saturating_sub(1)) {
+        let j = rng.random_range(i..n_items);
+        ids.swap(i, j);
+    }
+    let mut centroids = vec![0.0f32; n_cells * dim];
+    for (c, &item) in ids.iter().take(n_cells).enumerate() {
+        let row = &items[item as usize * dim..(item as usize + 1) * dim];
+        centroids[c * dim..(c + 1) * dim].copy_from_slice(row);
+    }
+    centroids
+}
+
+fn refresh_half_norms(centroids: &[f32], dim: usize, half_cnorm: &mut [f32]) {
+    for (h, c) in half_cnorm.iter_mut().zip(centroids.chunks_exact(dim)) {
+        *h = 0.5 * kernels::dot(c, c);
+    }
+}
+
+/// Assigns every item to its nearest centroid. Parallel over item rows via
+/// the workspace `par` layer; each row's surrogate scores and argmin are
+/// computed by self-contained scalar-deterministic code, so the result is
+/// identical for every thread count.
+fn assign_items(
+    items: &[f32],
+    dim: usize,
+    centroids: &[f32],
+    n_cells: usize,
+    half_cnorm: &[f32],
+    assign: &mut [u32],
+) {
+    let kern = kernels::active_kernel();
+    let threads = par::effective_threads();
+    par::par_row_chunks_mut(assign, 1, threads, |start_row, chunk| {
+        let mut scores = vec![0.0f32; ASSIGN_BLOCK * n_cells];
+        let mut row = 0usize;
+        while row < chunk.len() {
+            let block = ASSIGN_BLOCK.min(chunk.len() - row);
+            let first = start_row + row;
+            kernels::centroid_scores_block(
+                kern,
+                &items[first * dim..(first + block) * dim],
+                dim,
+                centroids,
+                n_cells,
+                half_cnorm,
+                &mut scores[..block * n_cells],
+            );
+            for (r, srow) in scores[..block * n_cells].chunks_exact(n_cells).enumerate() {
+                chunk[row + r] = kernels::argmin_first(srow) as u32;
+            }
+            row += block;
+        }
+    });
+}
+
+/// Serial Lloyd update: mean of each cell's members accumulated in
+/// ascending item order. Empty cells keep their previous centroid.
+fn update_centroids(items: &[f32], dim: usize, assign: &[u32], n_cells: usize, centroids: &mut [f32]) {
+    let mut sums = vec![0.0f32; n_cells * dim];
+    let mut counts = vec![0u32; n_cells];
+    for (item, &c) in assign.iter().enumerate() {
+        let row = &items[item * dim..(item + 1) * dim];
+        let s = &mut sums[c as usize * dim..(c as usize + 1) * dim];
+        for (acc, &x) in s.iter_mut().zip(row) {
+            *acc += x;
+        }
+        counts[c as usize] += 1;
+    }
+    for j in 0..n_cells {
+        if counts[j] == 0 {
+            continue;
+        }
+        let inv = 1.0 / counts[j] as f32;
+        for (c, &s) in centroids[j * dim..(j + 1) * dim]
+            .iter_mut()
+            .zip(&sums[j * dim..(j + 1) * dim])
+        {
+            *c = s * inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-embeddings (splitmix64 like the bench bins).
+    fn pseudo(n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^= z >> 31;
+                (z >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_item_lands_in_exactly_one_cell() {
+        let (n, d) = (200usize, 8usize);
+        let items = pseudo(n * d, 1);
+        let idx = IvfIndex::build(&items, n, d, &IvfConfig::default());
+        let mut seen = vec![false; n];
+        for cell in 0..idx.n_cells() {
+            let mut prev = None;
+            for &it in idx.cell_items(cell) {
+                assert!(!seen[it as usize], "item {it} in two cells");
+                seen[it as usize] = true;
+                if let Some(p) = prev {
+                    assert!(it > p, "cell {cell} member list not ascending");
+                }
+                prev = Some(it);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "item missing from the index");
+    }
+
+    #[test]
+    fn build_is_bitwise_deterministic_across_thread_counts() {
+        let (n, d) = (300usize, 12usize);
+        let items = pseudo(n * d, 7);
+        let cfg = IvfConfig {
+            n_cells: 16,
+            nprobe: 4,
+            seed: 99,
+        };
+        let before = par::configured_threads();
+        par::set_threads(1);
+        let a = IvfIndex::build(&items, n, d, &cfg);
+        par::set_threads(4);
+        let b = IvfIndex::build(&items, n, d, &cfg);
+        par::set_threads(before);
+        assert_eq!(a.members, b.members, "inverted lists diverged");
+        assert_eq!(a.cell_start, b.cell_start);
+        let ab: Vec<u32> = a.centroids.iter().map(|x| x.to_bits()).collect();
+        let bb: Vec<u32> = b.centroids.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(ab, bb, "centroids not bitwise identical");
+    }
+
+    #[test]
+    fn probe_returns_nprobe_cells_best_first() {
+        let (n, d) = (100usize, 6usize);
+        let items = pseudo(n * d, 3);
+        let idx = IvfIndex::build(
+            &items,
+            n,
+            d,
+            &IvfConfig {
+                n_cells: 10,
+                nprobe: 3,
+                seed: 5,
+            },
+        );
+        let query = &items[0..d];
+        let mut cells = Vec::new();
+        idx.probe_cells(query, &mut cells);
+        assert_eq!(cells.len(), 3);
+        // The probe surrogate: ½‖c̃‖² − q̃·c̃ over the augmented centroid,
+        // where the query's augmentation coordinate is 0 and the query is
+        // rescaled to norm Φ (MIPS order is scale-invariant).
+        let adim = d + 1;
+        let scale = idx.phi / kernels::dot(query, query).sqrt();
+        let surrogate = |j: u32| {
+            let j = j as usize;
+            idx.half_cnorm[j]
+                - scale * kernels::dot(query, &idx.centroids[j * adim..j * adim + d])
+        };
+        assert!(surrogate(cells[0]) <= surrogate(cells[1]));
+        assert!(surrogate(cells[1]) <= surrogate(cells[2]));
+        // Every unprobed cell scores no better (higher surrogate) than the
+        // probed tail.
+        for j in 0..idx.n_cells() as u32 {
+            if !cells.contains(&j) {
+                assert!(surrogate(j) >= surrogate(cells[2]));
+            }
+        }
+    }
+
+    #[test]
+    fn nprobe_all_cells_covers_the_catalog() {
+        let (n, d) = (64usize, 4usize);
+        let items = pseudo(n * d, 11);
+        let idx = IvfIndex::build(
+            &items,
+            n,
+            d,
+            &IvfConfig {
+                n_cells: 8,
+                nprobe: 8,
+                seed: 1,
+            },
+        );
+        let mut cells = Vec::new();
+        let mut cand = Vec::new();
+        let probed = idx.candidates_into(&items[0..d], &mut cells, &mut cand);
+        assert_eq!(probed, 8);
+        assert_eq!(cand.len(), n, "probing every cell must cover every item");
+    }
+
+    #[test]
+    fn auto_cells_is_about_sqrt_and_config_clamps() {
+        let cfg = IvfConfig::default();
+        assert_eq!(cfg.resolved_cells(8000), 89);
+        assert_eq!(cfg.resolved_cells(1), 1);
+        let wide = IvfConfig {
+            n_cells: 500,
+            ..IvfConfig::default()
+        };
+        assert_eq!(wide.resolved_cells(6), 6, "cells must clamp to n_items");
+    }
+}

@@ -1,0 +1,210 @@
+//! PR 7 benchmark: exact full-catalog top-20 vs the IVF ANN read path.
+//!
+//! Opens the same checkpoint through an exact engine and a series of ANN
+//! engines across a probe-width sweep, measuring end-to-end top-20
+//! throughput and the build-time recall@20 guardrail for each — the
+//! recall/latency trade-off curve behind `--nprobe`. One extra row runs
+//! the fully composed path (IVF candidates + int8 in-cell scan + exact
+//! rescore). The catalog is deliberately serving-scale (8000 items at
+//! scale 1.0): the exact scan is O(items) per request, which is exactly
+//! the cost the index is meant to beat. Emits `BENCH_PR7.json` (override
+//! with `--out PATH`).
+//!
+//! ```text
+//! cargo run -p lrgcn-serve --release --bin bench_pr7 -- \
+//!     [--scale F] [--topk-requests N] [--out PATH] [--quick]
+//! ```
+//!
+//! `--quick` shrinks the catalog and request count for CI smoke runs.
+
+use lrgcn_data::{Dataset, SplitRatios, SyntheticConfig};
+use lrgcn_models::{LayerGcn, LayerGcnConfig, Recommender};
+use lrgcn_obs::json::Value;
+use lrgcn_serve::{Engine, EngineOptions, Scratch};
+use lrgcn_tensor::kernels::{self, simd_available, Kernel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// `--key value` flags; everything is optional.
+fn arg(key: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == &format!("--{key}"))
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn arg_parsed<T: std::str::FromStr>(key: &str, default: T) -> T {
+    arg(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn has_flag(key: &str) -> bool {
+    std::env::args().any(|a| a == format!("--{key}"))
+}
+
+fn main() {
+    let quick = has_flag("quick");
+    let scale: f64 = arg_parsed("scale", if quick { 0.25 } else { 1.0 });
+    let topk_requests: usize = arg_parsed("topk-requests", if quick { 200 } else { 1000 });
+    let out_path = arg("out").unwrap_or_else(|| "BENCH_PR7.json".into());
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    const DIM: usize = 64;
+
+    // The catalog-heavy workload from bench_pr6: serving cost is O(items),
+    // so the read-path comparison needs a catalog that dwarfs the training
+    // presets.
+    let serve_cfg = SyntheticConfig {
+        n_items: 8000,
+        n_interactions: 120_000,
+        n_clusters: 64,
+        ..SyntheticConfig::games()
+    }
+    .scaled(scale);
+    let log = serve_cfg.generate(2023);
+    let ds = Arc::new(Dataset::chronological_split(
+        "games-like",
+        &log,
+        SplitRatios::default(),
+    ));
+    let cfg = LayerGcnConfig {
+        embedding_dim: DIM,
+        n_layers: 2,
+        ..LayerGcnConfig::default()
+    };
+    // Throughput does not depend on model quality, but the IVF recall
+    // numbers do: random-init embeddings have near-random inner-product
+    // neighborhoods that no coarse quantizer can capture, so a few training
+    // epochs are spent making the recall column measure the index on
+    // embeddings shaped like the ones a deployment would actually serve.
+    let epochs: usize = arg_parsed("epochs", if quick { 1 } else { 4 });
+    let mut rng = StdRng::seed_from_u64(2023);
+    let mut model = LayerGcn::new(&ds, cfg, &mut rng);
+    for epoch in 0..epochs {
+        model.train_epoch(&ds, epoch, &mut rng);
+    }
+    let dir = std::env::temp_dir().join("lrgcn_bench_pr7");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let ckpt = dir.join("bench.ckpt");
+    model.save(&ckpt).expect("save checkpoint");
+    let opts = EngineOptions {
+        n_layers: 2,
+        ..EngineOptions::default()
+    };
+
+    let serving_kernel = if simd_available() {
+        Kernel::Simd
+    } else {
+        Kernel::Blocked
+    };
+    kernels::set_kernel(serving_kernel);
+    let n_users = ds.n_users();
+    let throughput = |eng: &Engine| {
+        let st = eng.state();
+        let mut scratch = Scratch::default();
+        for u in 0..32u32.min(n_users as u32) {
+            st.top_k_into(&ds, u, 20, true, &mut scratch).expect("top_k");
+        }
+        let t0 = Instant::now();
+        for i in 0..topk_requests {
+            let u = (i % n_users) as u32;
+            std::hint::black_box(
+                st.top_k_into(&ds, u, 20, true, &mut scratch).expect("top_k"),
+            );
+        }
+        topk_requests as f64 / t0.elapsed().as_secs_f64()
+    };
+
+    let exact = Engine::open(&ckpt, ds.clone(), opts.clone()).expect("open exact");
+    let exact_rps = throughput(&exact);
+
+    // Probe-width sweep at the auto cell count (≈ √n_items): each row is
+    // one point on the recall/latency curve.
+    let nprobes: &[usize] = if quick { &[4, 8, 16] } else { &[4, 8, 16, 32] };
+    let mut sweep = Vec::new();
+    for &nprobe in nprobes {
+        let eng = Engine::open(
+            &ckpt,
+            ds.clone(),
+            EngineOptions {
+                ann: true,
+                nprobe,
+                ..opts.clone()
+            },
+        )
+        .expect("open ann");
+        let st = eng.state();
+        let rps = throughput(&eng);
+        sweep.push(Value::obj([
+            ("nprobe", Value::u64(nprobe as u64)),
+            ("cells", Value::u64(st.ann_cells() as u64)),
+            ("topk_per_second", Value::num(rps)),
+            ("speedup_vs_exact", Value::num(rps / exact_rps)),
+            ("recall_at_20", Value::num(st.ann_recall)),
+            ("index_bytes", Value::u64(st.ann_bytes() as u64)),
+        ]));
+    }
+
+    // The fully composed path: IVF candidates, int8 in-cell scan, exact
+    // f32 rescore of the survivors.
+    let composed_nprobe = 8usize;
+    let composed = Engine::open(
+        &ckpt,
+        ds.clone(),
+        EngineOptions {
+            ann: true,
+            nprobe: composed_nprobe,
+            quant: true,
+            ..opts
+        },
+    )
+    .expect("open ann+quant");
+    let composed_rps = throughput(&composed);
+    let composed_recall = composed.state().ann_recall;
+    kernels::set_kernel(Kernel::Naive);
+    std::fs::remove_file(&ckpt).ok();
+
+    let report = Value::obj([
+        ("bench", Value::str("pr7_ivf_ann_vs_exact_read_path")),
+        ("cpus_available", Value::u64(cpus as u64)),
+        ("threads", Value::u64(1)),
+        ("embedding_dim", Value::u64(DIM as u64)),
+        ("kernel", Value::str(serving_kernel.name())),
+        ("quick", Value::Bool(quick)),
+        ("train_epochs", Value::u64(epochs as u64)),
+        (
+            "dataset",
+            Value::str(format!(
+                "games-like, catalog-heavy (synthetic, {} items, scale {scale})",
+                serve_cfg.n_items
+            )),
+        ),
+        ("n_users", Value::u64(ds.n_users() as u64)),
+        ("n_items", Value::u64(ds.n_items() as u64)),
+        ("topk_requests", Value::u64(topk_requests as u64)),
+        ("exact_topk_per_second", Value::num(exact_rps)),
+        ("ann_sweep", Value::Arr(sweep)),
+        (
+            "ann_quant_composed",
+            Value::obj([
+                ("nprobe", Value::u64(composed_nprobe as u64)),
+                ("topk_per_second", Value::num(composed_rps)),
+                ("speedup_vs_exact", Value::num(composed_rps / exact_rps)),
+                ("recall_at_20", Value::num(composed_recall)),
+            ]),
+        ),
+        (
+            "note",
+            Value::str(
+                "single-threaded, one client on the in-process engine — isolates the read path, not the HTTP stack; recall_at_20 is the build-time guardrail (64 sampled users vs the exact scan)",
+            ),
+        ),
+    ]);
+    let json = report.render();
+    std::fs::write(&out_path, &json).expect("writing benchmark report");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

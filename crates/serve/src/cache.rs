@@ -17,13 +17,21 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 
 /// What makes a cached response reusable: same engine generation, user,
-/// cutoff and masking mode.
+/// cutoff, masking mode — and the same *read-path configuration*. The
+/// generation alone is not enough: two engines serving the same checkpoint
+/// with different index settings (exact vs quant vs ann, or a different
+/// probe width) produce different top-K lists at the same generation, so
+/// the quant flag and effective nprobe (0 = ANN off) are part of the key.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Key {
     pub generation: u64,
     pub user: u32,
     pub k: usize,
     pub exclude_seen: bool,
+    /// Whether the int8 quantized read path produced the entry.
+    pub quant: bool,
+    /// Effective IVF probe width that produced the entry; `0` = ANN off.
+    pub nprobe: u32,
 }
 
 struct Shard {
@@ -117,6 +125,8 @@ mod tests {
             user,
             k: 10,
             exclude_seen: true,
+            quant: false,
+            nprobe: 0,
         }
     }
 
@@ -128,6 +138,9 @@ mod tests {
         assert_eq!(c.get(&key(1, 0)), Some(vec![(7, 0.5)]));
         // A different generation is a different key: reload invalidates.
         assert!(c.get(&key(1, 1)).is_none());
+        // So is a different read-path configuration at the same generation.
+        assert!(c.get(&Key { quant: true, ..key(1, 0) }).is_none());
+        assert!(c.get(&Key { nprobe: 8, ..key(1, 0) }).is_none());
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! scan ([`EngineState::quant_recall`]) is computed once per load and
 //! exported as the `serve.quant.recall_ppm` gauge.
 
+use crate::ann::{IvfConfig, IvfIndex};
 use lrgcn_data::Dataset;
 use lrgcn_eval::{overlap_fraction, top_k_indices_into, top_k_with_scores};
 use lrgcn_graph::EdgePruner;
@@ -55,6 +56,13 @@ pub struct EngineOptions {
     /// Serve `/recs`, `/similar` and `/score` through the int8 quantized
     /// two-stage read path instead of the exact f32 scan.
     pub quant: bool,
+    /// Serve `/recs` and `/similar` through the IVF ANN index (sub-linear
+    /// candidate generation; composes with `quant` for the in-cell scan).
+    pub ann: bool,
+    /// How many IVF cells a query probes (only meaningful with `ann`).
+    pub nprobe: usize,
+    /// IVF cell count; `0` auto-sizes to `≈ √n_items`.
+    pub ann_cells: usize,
 }
 
 impl Default for EngineOptions {
@@ -64,6 +72,9 @@ impl Default for EngineOptions {
             dropout: 0.1,
             seed: 2023,
             quant: false,
+            ann: false,
+            nprobe: IvfConfig::default().nprobe,
+            ann_cells: 0,
         }
     }
 }
@@ -85,6 +96,10 @@ pub struct Scratch {
     scores: Vec<f32>,
     idx: Vec<u32>,
     qbuf: Vec<i8>,
+    /// Probed IVF cell ids (ANN path only).
+    cells: Vec<u32>,
+    /// ANN candidate item ids gathered from the probed cells.
+    cand: Vec<u32>,
 }
 
 /// One immutable, fully-materialized serving snapshot.
@@ -106,9 +121,14 @@ pub struct EngineState {
     item_norms: Vec<f32>,
     /// Int8 table of the item block when the quantized read path is on.
     quant: Option<QuantizedTable>,
+    /// IVF index over the item block when the ANN read path is on.
+    ann: Option<IvfIndex>,
     /// Mean overlap of the quantized top-20 with the exact top-20 over a
     /// user sample, measured at build time. `1.0` when quant is off.
     pub quant_recall: f64,
+    /// Mean overlap of the ANN top-20 with the exact top-20 over a user
+    /// sample, measured at build time. `1.0` when ANN is off.
+    pub ann_recall: f64,
 }
 
 impl EngineState {
@@ -121,7 +141,7 @@ impl EngineState {
         n_users: usize,
         n_items: usize,
         final_emb: Matrix,
-        quant: bool,
+        opts: &EngineOptions,
     ) -> Self {
         let dim = final_emb.cols();
         let item_norms = (n_users..n_users + n_items)
@@ -130,7 +150,18 @@ impl EngineState {
                 dot(row, row).sqrt()
             })
             .collect();
-        let quant = quant.then(|| QuantizedTable::from_matrix_rows(&final_emb, n_users, n_users + n_items));
+        let quant = opts
+            .quant
+            .then(|| QuantizedTable::from_matrix_rows(&final_emb, n_users, n_users + n_items));
+        let ann = opts.ann.then(|| {
+            let cfg = IvfConfig {
+                n_cells: opts.ann_cells,
+                nprobe: opts.nprobe,
+                seed: opts.seed,
+            };
+            let item_block = &final_emb.data()[n_users * dim..];
+            IvfIndex::build(item_block, n_items, dim, &cfg)
+        });
         Self {
             model_name,
             tag,
@@ -142,7 +173,9 @@ impl EngineState {
             final_emb,
             item_norms,
             quant,
+            ann,
             quant_recall: 1.0,
+            ann_recall: 1.0,
         }
     }
 
@@ -154,6 +187,26 @@ impl EngineState {
     /// Heap bytes of the int8 table (0 when quant is off).
     pub fn quant_bytes(&self) -> usize {
         self.quant.as_ref().map_or(0, |q| q.bytes())
+    }
+
+    /// True when this snapshot serves through the IVF ANN read path.
+    pub fn ann_enabled(&self) -> bool {
+        self.ann.is_some()
+    }
+
+    /// Heap bytes of the IVF index (0 when ANN is off).
+    pub fn ann_bytes(&self) -> usize {
+        self.ann.as_ref().map_or(0, |a| a.bytes())
+    }
+
+    /// IVF cell count (0 when ANN is off).
+    pub fn ann_cells(&self) -> usize {
+        self.ann.as_ref().map_or(0, |a| a.n_cells())
+    }
+
+    /// Effective probe width (0 when ANN is off).
+    pub fn ann_nprobe(&self) -> usize {
+        self.ann.as_ref().map_or(0, |a| a.nprobe())
     }
 
     /// The contiguous item block of the final embedding table.
@@ -199,7 +252,9 @@ impl EngineState {
         if user as usize >= self.n_users {
             return Err(format!("user {user} out of range (0..{})", self.n_users));
         }
-        if self.quant.is_some() {
+        if self.ann.is_some() {
+            Ok(self.top_k_ann(ds, user, k, exclude_seen, scratch))
+        } else if self.quant.is_some() {
             Ok(self.top_k_quant(ds, user, k, exclude_seen, scratch))
         } else {
             Ok(self.top_k_exact(ds, user, k, exclude_seen, scratch))
@@ -293,6 +348,67 @@ impl EngineState {
         out
     }
 
+    /// The IVF ANN path: probe `nprobe` cells for the user's embedding and
+    /// scan only their members. With quant also on, the in-cell scan is the
+    /// int8 table and the top `CANDIDATE_FACTOR·k` survivors get an exact
+    /// f32 rescore (the PR 6 rank-then-rescore pipeline, restricted to the
+    /// probed candidates); without quant every candidate is scored with the
+    /// exact f32 dot directly. Either way the final scores are the exact
+    /// dots, bitwise-equal to the full-scan path's, and the candidate set
+    /// is a deterministic function of (embeddings, config) — see `ann.rs`.
+    fn top_k_ann(
+        &self,
+        ds: &Dataset,
+        user: u32,
+        k: usize,
+        exclude_seen: bool,
+        scratch: &mut Scratch,
+    ) -> Vec<(u32, f32)> {
+        let ann = self.ann.as_ref().expect("ann index");
+        let urow = self.final_emb.row(user as usize);
+        let probed = ann.candidates_into(urow, &mut scratch.cells, &mut scratch.cand);
+        registry::add(Counter::AnnCellsProbed, probed as u64);
+        registry::add(Counter::AnnCandidates, scratch.cand.len() as u64);
+        let seen = ds.train_items(user);
+        let keep = |it: u32| !(exclude_seen && seen.binary_search(&it).is_ok());
+        let mut out: Vec<(u32, f32)> = if let Some(qt) = &self.quant {
+            let q_scale = QuantizedTable::quantize_query(urow, &mut scratch.qbuf);
+            registry::add(Counter::QuantScans, 1);
+            let mut approx: Vec<(u32, f32)> = scratch
+                .cand
+                .iter()
+                .filter(|&&it| keep(it))
+                .map(|&it| (it, qt.score_row(it as usize, &scratch.qbuf, q_scale)))
+                .collect();
+            approx.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .expect("scores must not be NaN")
+                    .then(a.0.cmp(&b.0))
+            });
+            approx.truncate(k.saturating_mul(CANDIDATE_FACTOR));
+            let rescored: Vec<(u32, f32)> = approx
+                .iter()
+                .map(|&(it, _)| (it, dot(urow, self.item_row(it as usize))))
+                .collect();
+            registry::add(Counter::QuantRescored, rescored.len() as u64);
+            rescored
+        } else {
+            scratch
+                .cand
+                .iter()
+                .filter(|&&it| keep(it))
+                .map(|&it| (it, dot(urow, self.item_row(it as usize))))
+                .collect()
+        };
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("scores must not be NaN")
+                .then(a.0.cmp(&b.0))
+        });
+        out.truncate(k);
+        out
+    }
+
     /// Top-K most similar items by embedding cosine (the query item itself
     /// excluded). Zero-norm embeddings score 0 rather than NaN. Allocating
     /// wrapper around [`EngineState::similar_items_into`].
@@ -311,6 +427,9 @@ impl EngineState {
     ) -> Result<Vec<(u32, f32)>, String> {
         if item as usize >= self.n_items {
             return Err(format!("item {item} out of range (0..{})", self.n_items));
+        }
+        if self.ann.is_some() {
+            return Ok(self.similar_ann(item, k, scratch));
         }
         let q = self.item_row(item as usize);
         let qn = self.item_norms[item as usize];
@@ -363,6 +482,66 @@ impl EngineState {
         Ok(top_k_with_scores(&scratch.scores, k))
     }
 
+    /// `/similar` over the IVF index: probe with the query item's embedding
+    /// and rank only the probed cells' members by exact f32 cosine (with
+    /// quant on, an int8-approximated cosine pre-ranks the candidates down
+    /// to `CANDIDATE_FACTOR·k` first). The query item itself is excluded;
+    /// zero-norm embeddings score 0 rather than NaN.
+    fn similar_ann(&self, item: u32, k: usize, scratch: &mut Scratch) -> Vec<(u32, f32)> {
+        let ann = self.ann.as_ref().expect("ann index");
+        let q = self.item_row(item as usize);
+        let qn = self.item_norms[item as usize];
+        let probed = ann.candidates_into(q, &mut scratch.cells, &mut scratch.cand);
+        registry::add(Counter::AnnCellsProbed, probed as u64);
+        registry::add(Counter::AnnCandidates, scratch.cand.len() as u64);
+        let exact_cos = |it: u32| {
+            let n = qn * self.item_norms[it as usize];
+            if n > 0.0 {
+                dot(q, self.item_row(it as usize)) / n
+            } else {
+                0.0
+            }
+        };
+        let mut out: Vec<(u32, f32)> = if let Some(qt) = &self.quant {
+            let q_scale = QuantizedTable::quantize_query(q, &mut scratch.qbuf);
+            registry::add(Counter::QuantScans, 1);
+            let mut approx: Vec<(u32, f32)> = scratch
+                .cand
+                .iter()
+                .filter(|&&it| it != item)
+                .map(|&it| {
+                    let n = qn * self.item_norms[it as usize];
+                    let s = qt.score_row(it as usize, &scratch.qbuf, q_scale);
+                    (it, if n > 0.0 { s / n } else { 0.0 })
+                })
+                .collect();
+            approx.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .expect("scores must not be NaN")
+                    .then(a.0.cmp(&b.0))
+            });
+            approx.truncate(k.saturating_mul(CANDIDATE_FACTOR));
+            let rescored: Vec<(u32, f32)> =
+                approx.iter().map(|&(it, _)| (it, exact_cos(it))).collect();
+            registry::add(Counter::QuantRescored, rescored.len() as u64);
+            rescored
+        } else {
+            scratch
+                .cand
+                .iter()
+                .filter(|&&it| it != item)
+                .map(|&it| (it, exact_cos(it)))
+                .collect()
+        };
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("scores must not be NaN")
+                .then(a.0.cmp(&b.0))
+        });
+        out.truncate(k);
+        out
+    }
+
     /// Dot-product scores for explicit `(user, item)` pairs — the
     /// micro-batcher's coalesced kernel. Out-of-range ids are an error (the
     /// whole batch is rejected so the caller can 400 it). Under quant the
@@ -401,10 +580,15 @@ impl EngineState {
     }
 }
 
-/// Mean overlap of the quantized top-`RECALL_K` with the exact top-20 over
-/// up to [`RECALL_SAMPLE_USERS`] users spread evenly across the id space —
-/// the build-time guardrail behind the `serve.quant.recall_ppm` gauge.
-fn measure_quant_recall(state: &EngineState, ds: &Dataset) -> f64 {
+/// Mean overlap of an approximate top-`RECALL_K` path with the exact
+/// top-20 over up to [`RECALL_SAMPLE_USERS`] users spread evenly across
+/// the id space — the build-time guardrail behind the
+/// `serve.quant.recall_ppm` / `serve.ann.recall_ppm` gauges.
+fn measure_recall(
+    state: &EngineState,
+    ds: &Dataset,
+    approx: impl Fn(&EngineState, &Dataset, u32, &mut Scratch) -> Vec<(u32, f32)>,
+) -> f64 {
     let mut scratch = Scratch::default();
     let samples = state.n_users.min(RECALL_SAMPLE_USERS);
     if samples == 0 {
@@ -423,12 +607,11 @@ fn measure_quant_recall(state: &EngineState, ds: &Dataset) -> f64 {
             .iter()
             .map(|&(i, _)| i)
             .collect();
-        let quant: Vec<u32> = state
-            .top_k_quant(ds, user, RECALL_K, true, &mut scratch)
+        let got: Vec<u32> = approx(state, ds, user, &mut scratch)
             .iter()
             .map(|&(i, _)| i)
             .collect();
-        total += overlap_fraction(&quant, &exact);
+        total += overlap_fraction(&got, &exact);
         counted += 1;
     }
     if counted == 0 {
@@ -436,6 +619,20 @@ fn measure_quant_recall(state: &EngineState, ds: &Dataset) -> f64 {
     } else {
         total / counted as f64
     }
+}
+
+/// [`measure_recall`] over the quantized full-catalog scan.
+fn measure_quant_recall(state: &EngineState, ds: &Dataset) -> f64 {
+    measure_recall(state, ds, |st, ds, u, scratch| {
+        st.top_k_quant(ds, u, RECALL_K, true, scratch)
+    })
+}
+
+/// [`measure_recall`] over the IVF ANN path (composed with quant when on).
+fn measure_ann_recall(state: &EngineState, ds: &Dataset) -> f64 {
+    measure_recall(state, ds, |st, ds, u, scratch| {
+        st.top_k_ann(ds, u, RECALL_K, true, scratch)
+    })
 }
 
 /// Loads a tagged checkpoint and materializes an [`EngineState`].
@@ -516,13 +713,20 @@ fn build_state(
         ds.n_users(),
         ds.n_items(),
         final_emb,
-        opts.quant,
+        opts,
     );
     if state.quant_enabled() {
         state.quant_recall = measure_quant_recall(&state, ds);
         registry::gauge_set(
             Gauge::QuantRecallPpm,
             (state.quant_recall * 1_000_000.0).round() as u64,
+        );
+    }
+    if state.ann_enabled() {
+        state.ann_recall = measure_ann_recall(&state, ds);
+        registry::gauge_set(
+            Gauge::AnnRecallPpm,
+            (state.ann_recall * 1_000_000.0).round() as u64,
         );
     }
     Ok(state)
@@ -909,6 +1113,67 @@ mod tests {
                 (a - b).abs() <= 0.05 * a.abs().max(1.0),
                 "pair {i}: exact {a} vs quant {b}"
             );
+        }
+        std::fs::remove_file(ckpt).ok();
+    }
+
+    #[test]
+    fn ann_engine_with_full_probe_matches_exact() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join("lrgcn_engine_ann");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let ckpt = dir.join("m.ckpt");
+        save_lightgcn(&ds, &ckpt);
+        let exact_eng = Engine::open(&ckpt, ds.clone(), EngineOptions {
+            n_layers: 2,
+            ..EngineOptions::default()
+        })
+        .expect("open exact");
+        // nprobe covers every cell, so the candidate set is the whole
+        // catalog and the exact-rescored ANN ranking must equal the exact
+        // scan, scores included.
+        let ann_eng = Engine::open(&ckpt, ds.clone(), EngineOptions {
+            n_layers: 2,
+            ann: true,
+            nprobe: 6,
+            ann_cells: 3,
+            ..EngineOptions::default()
+        })
+        .expect("open ann");
+        let exact = exact_eng.state();
+        let ann = ann_eng.state();
+        assert!(!exact.ann_enabled());
+        assert!(ann.ann_enabled());
+        assert!(ann.ann_bytes() > 0);
+        assert_eq!(ann.ann_cells(), 3);
+        assert_eq!(ann.ann_nprobe(), 3, "nprobe must clamp to the cell count");
+        assert_eq!(exact.ann_recall, 1.0);
+        assert_eq!(ann.ann_recall, 1.0, "full probe must be lossless");
+        for user in 0..4u32 {
+            let e = exact.top_k(&ds, user, 3, true).expect("exact");
+            let a = ann.top_k(&ds, user, 3, true).expect("ann");
+            assert_eq!(e, a, "user {user}: full-probe ANN diverged");
+        }
+        let e = exact.similar_items(1, 3).expect("exact similar");
+        let a = ann.similar_items(1, 3).expect("ann similar");
+        assert_eq!(e, a, "similar: full-probe ANN diverged");
+
+        // ANN composed with quant still rescores with exact f32 dots.
+        let both_eng = Engine::open(&ckpt, ds.clone(), EngineOptions {
+            n_layers: 2,
+            ann: true,
+            quant: true,
+            nprobe: 6,
+            ann_cells: 3,
+            ..EngineOptions::default()
+        })
+        .expect("open ann+quant");
+        let both = both_eng.state();
+        assert!(both.ann_enabled() && both.quant_enabled());
+        for user in 0..4u32 {
+            let e = exact.top_k(&ds, user, 3, true).expect("exact");
+            let b = both.top_k(&ds, user, 3, true).expect("ann+quant");
+            assert_eq!(e, b, "user {user}: ann+quant full-coverage diverged");
         }
         std::fs::remove_file(ckpt).ok();
     }

@@ -9,6 +9,11 @@
 //!   served rankings are byte-identical to `evaluate_ranking` output for
 //!   any `LRGCN_THREADS`. Hot reload swaps an `Arc<EngineState>` under a
 //!   `RwLock`; requests in flight keep their snapshot.
+//! * [`ann`] — a zero-dependency IVF index (deterministic k-means coarse
+//!   quantizer + inverted cell lists) for sub-linear `/recs` and
+//!   `/similar` candidate generation behind `serve --ann --nprobe N`,
+//!   rebuilt on every hot reload and guarded by a build-time sampled
+//!   recall measurement (`EngineState::ann_recall`).
 //! * [`server`] — a fixed worker pool sharing one nonblocking listener;
 //!   routes for recommendations, item similarity, batch scoring, health,
 //!   Prometheus-rendered obs metrics, reload and graceful shutdown.
@@ -23,12 +28,14 @@
 //! (`serve.request_ns`, `serve.score.batch_ns`) and trace spans, all
 //! exposed at `GET /metrics`.
 
+pub mod ann;
 pub mod batch;
 pub mod cache;
 pub mod engine;
 pub mod http;
 pub mod server;
 
+pub use ann::{IvfConfig, IvfIndex};
 pub use batch::Batcher;
 pub use cache::TopKCache;
 pub use engine::{Engine, EngineOptions, EngineState, Scratch};

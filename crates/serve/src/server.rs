@@ -268,6 +268,13 @@ fn healthz(ctx: &Ctx) -> Reply {
             "quant_recall_ppm",
             Value::u64((st.quant_recall * 1_000_000.0).round() as u64),
         ),
+        ("ann", Value::Bool(st.ann_enabled())),
+        ("ann_cells", Value::u64(st.ann_cells() as u64)),
+        ("ann_nprobe", Value::u64(st.ann_nprobe() as u64)),
+        (
+            "ann_recall_ppm",
+            Value::u64((st.ann_recall * 1_000_000.0).round() as u64),
+        ),
     ]))
 }
 
@@ -340,6 +347,8 @@ fn recs(req: &Request, ctx: &Ctx) -> Reply {
         user,
         k,
         exclude_seen,
+        quant: st.quant_enabled(),
+        nprobe: st.ann_nprobe() as u32,
     };
     let compute = || {
         SCRATCH.with(|s| {

@@ -1,0 +1,250 @@
+//! Property tests bounding the IVF ANN index's recall against the exact
+//! scan across random embedding geometries, and pinning the determinism
+//! contract (bitwise-identical candidate sets at any thread count).
+//!
+//! The geometries mirror how trained item embeddings actually look:
+//!
+//! * **clustered** — items concentrated around a few directions (what
+//!   graph-convolution training produces on clustered interaction data);
+//!   the friendly case for a coarse quantizer.
+//! * **uniform** — isotropic noise with no cluster structure; the hard
+//!   case, where cell boundaries cut through every neighborhood.
+//! * **anisotropic** — variance concentrated in a few leading dimensions
+//!   (low-rank structure typical of matrix-factorization embeddings).
+//!
+//! The bound under test is the acceptance criterion: mean recall@20 of the
+//! probed-cells scan vs the exact full scan ≥ 0.95 per geometry.
+
+use lrgcn_eval::overlap_fraction;
+use lrgcn_serve::{IvfConfig, IvfIndex};
+use lrgcn_tensor::kernels::dot;
+use lrgcn_tensor::par;
+
+const N_ITEMS: usize = 2000;
+const DIM: usize = 16;
+const N_QUERIES: usize = 64;
+const K: usize = 20;
+const RECALL_FLOOR: f64 = 0.95;
+
+/// splitmix64-derived pseudo-random floats in [-1, 1).
+fn pseudo(n: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^= z >> 31;
+            (z >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+        })
+        .collect()
+}
+
+/// Items drawn around 32 random centers with small isotropic noise.
+fn clustered(seed: u64) -> Vec<f32> {
+    let n_centers = 32;
+    let centers = pseudo(n_centers * DIM, seed);
+    let noise = pseudo(N_ITEMS * DIM, seed + 1);
+    (0..N_ITEMS)
+        .flat_map(|i| {
+            let c = &centers[(i % n_centers) * DIM..(i % n_centers + 1) * DIM];
+            let nz = &noise[i * DIM..(i + 1) * DIM];
+            c.iter().zip(nz).map(|(&c, &n)| c + 0.15 * n).collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Isotropic uniform noise — no structure for the quantizer to exploit.
+fn uniform(seed: u64) -> Vec<f32> {
+    pseudo(N_ITEMS * DIM, seed)
+}
+
+/// Uniform noise with per-dimension scales decaying 1, 1/2, 1/3, ... —
+/// variance concentrated in the leading dimensions.
+fn anisotropic(seed: u64) -> Vec<f32> {
+    let mut v = pseudo(N_ITEMS * DIM, seed);
+    for (i, x) in v.iter_mut().enumerate() {
+        *x /= (i % DIM + 1) as f32;
+    }
+    v
+}
+
+/// Exact top-K item ids by dot product, ties toward the lowest id — the
+/// same ordering contract as the serving engine.
+fn exact_top_k(items: &[f32], query: &[f32], k: usize) -> Vec<u32> {
+    let mut scored: Vec<(u32, f32)> = (0..N_ITEMS)
+        .map(|i| (i as u32, dot(query, &items[i * DIM..(i + 1) * DIM])))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("scores must not be NaN")
+            .then(a.0.cmp(&b.0))
+    });
+    scored.truncate(k);
+    scored.into_iter().map(|(i, _)| i).collect()
+}
+
+/// ANN top-K: exact dots restricted to the probed cells' members.
+fn ann_top_k(idx: &IvfIndex, items: &[f32], query: &[f32], k: usize) -> Vec<u32> {
+    let mut cells = Vec::new();
+    let mut cand = Vec::new();
+    idx.candidates_into(query, &mut cells, &mut cand);
+    let mut scored: Vec<(u32, f32)> = cand
+        .iter()
+        .map(|&i| (i, dot(query, &items[i as usize * DIM..(i as usize + 1) * DIM])))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("scores must not be NaN")
+            .then(a.0.cmp(&b.0))
+    });
+    scored.truncate(k);
+    scored.into_iter().map(|(i, _)| i).collect()
+}
+
+fn mean_recall(items: &[f32], cfg: &IvfConfig, query_seed: u64) -> f64 {
+    let idx = IvfIndex::build(items, N_ITEMS, DIM, cfg);
+    // Fewer cells probed than exist — the sub-linear regime, else the test
+    // proves nothing.
+    assert!(
+        idx.nprobe() < idx.n_cells(),
+        "nprobe {} must not cover all {} cells",
+        idx.nprobe(),
+        idx.n_cells()
+    );
+    let queries = pseudo(N_QUERIES * DIM, query_seed);
+    let mut total = 0.0;
+    for q in 0..N_QUERIES {
+        let query = &queries[q * DIM..(q + 1) * DIM];
+        let exact = exact_top_k(items, query, K);
+        let ann = ann_top_k(&idx, items, query, K);
+        total += overlap_fraction(&ann, &exact);
+    }
+    total / N_QUERIES as f64
+}
+
+#[test]
+fn recall_at_20_bounded_on_clustered_geometry() {
+    let cfg = IvfConfig {
+        n_cells: 0, // auto ≈ √2000 = 45
+        nprobe: 16,
+        seed: 2023,
+    };
+    for seed in [11u64, 22, 33] {
+        let items = clustered(seed);
+        let recall = mean_recall(&items, &cfg, seed + 1000);
+        assert!(
+            recall >= RECALL_FLOOR,
+            "clustered seed {seed}: recall@20 {recall:.4} < {RECALL_FLOOR}"
+        );
+    }
+}
+
+#[test]
+fn recall_at_20_bounded_on_uniform_geometry() {
+    // The structureless case needs a wider probe: at nprobe=16 (of ~45
+    // cells) measured recall is ~0.92; 24 cells clears the 0.95 floor with
+    // margin (~0.98). This is exactly the recall/latency trade-off the
+    // README table documents.
+    let cfg = IvfConfig {
+        n_cells: 0,
+        nprobe: 24,
+        seed: 2023,
+    };
+    for seed in [44u64, 55, 66] {
+        let items = uniform(seed);
+        let recall = mean_recall(&items, &cfg, seed + 1000);
+        assert!(
+            recall >= RECALL_FLOOR,
+            "uniform seed {seed}: recall@20 {recall:.4} < {RECALL_FLOOR}"
+        );
+    }
+}
+
+#[test]
+fn recall_at_20_bounded_on_anisotropic_geometry() {
+    let cfg = IvfConfig {
+        n_cells: 0,
+        nprobe: 16,
+        seed: 2023,
+    };
+    for seed in [77u64, 88, 99] {
+        let items = anisotropic(seed);
+        let recall = mean_recall(&items, &cfg, seed + 1000);
+        assert!(
+            recall >= RECALL_FLOOR,
+            "anisotropic seed {seed}: recall@20 {recall:.4} < {RECALL_FLOOR}"
+        );
+    }
+}
+
+#[test]
+fn candidate_sets_are_bitwise_identical_across_thread_counts() {
+    // The determinism contract behind "served --ann results are
+    // deterministic": the index build and the probe must produce the exact
+    // same candidate lists at LRGCN_THREADS=1 and 4 — candidate *sets*, not
+    // just final top-Ks.
+    let cfg = IvfConfig {
+        n_cells: 48,
+        nprobe: 6,
+        seed: 7,
+    };
+    for (name, items) in [
+        ("clustered", clustered(5)),
+        ("uniform", uniform(6)),
+        ("anisotropic", anisotropic(7)),
+    ] {
+        let before = par::configured_threads();
+        par::set_threads(1);
+        let idx1 = IvfIndex::build(&items, N_ITEMS, DIM, &cfg);
+        par::set_threads(4);
+        let idx4 = IvfIndex::build(&items, N_ITEMS, DIM, &cfg);
+        par::set_threads(before);
+        let queries = pseudo(32 * DIM, 900);
+        for q in 0..32 {
+            let query = &queries[q * DIM..(q + 1) * DIM];
+            let (mut c1, mut c4) = (Vec::new(), Vec::new());
+            let (mut m1, mut m4) = (Vec::new(), Vec::new());
+            idx1.candidates_into(query, &mut c1, &mut m1);
+            idx4.candidates_into(query, &mut c4, &mut m4);
+            assert_eq!(c1, c4, "{name} query {q}: probed cells diverged");
+            assert_eq!(m1, m4, "{name} query {q}: candidate set diverged");
+        }
+    }
+}
+
+#[test]
+fn probing_more_cells_never_hurts_recall() {
+    // Monotonicity property: recall@20 is non-decreasing in nprobe (the
+    // candidate set only grows), reaching 1.0 when every cell is probed.
+    let items = clustered(3);
+    let queries = pseudo(16 * DIM, 1234);
+    let mut last = 0.0f64;
+    for nprobe in [1usize, 4, 16, 45] {
+        let idx = IvfIndex::build(
+            &items,
+            N_ITEMS,
+            DIM,
+            &IvfConfig {
+                n_cells: 45,
+                nprobe,
+                seed: 2023,
+            },
+        );
+        let mut total = 0.0;
+        for q in 0..16 {
+            let query = &queries[q * DIM..(q + 1) * DIM];
+            let exact = exact_top_k(items.as_slice(), query, K);
+            let ann = ann_top_k(&idx, &items, query, K);
+            total += overlap_fraction(&ann, &exact);
+        }
+        let recall = total / 16.0;
+        assert!(
+            recall >= last - 1e-12,
+            "recall dropped from {last:.4} to {recall:.4} at nprobe={nprobe}"
+        );
+        last = recall;
+    }
+    assert_eq!(last, 1.0, "probing every cell must be lossless");
+}

@@ -46,6 +46,39 @@ fn fixture(name: &str) -> (Arc<Dataset>, LayerGcn, PathBuf) {
     (ds, model, ckpt)
 }
 
+/// A larger catalog for the ANN tests: recall@20 on the default fixture's
+/// ~33 items would be trivially saturated (top-20 is most of the catalog),
+/// so the IVF tests train on the yelp preset (1411 items) where sub-linear
+/// probing actually discards most of the catalog per query. `epochs`
+/// matters for recall: early in training the embeddings are near-random
+/// and their inner-product neighborhoods have little cluster structure for
+/// the coarse quantizer to exploit (after 4 epochs, nprobe=12 of the 38
+/// auto cells measures ~0.98 recall@20; 1-epoch embeddings need most of
+/// the cells for the same recall).
+fn ann_fixture(name: &str, epochs: usize) -> (Arc<Dataset>, PathBuf) {
+    let log = SyntheticConfig::yelp().generate(99);
+    let ds = Arc::new(Dataset::chronological_split(
+        "e2e_ann",
+        &log,
+        SplitRatios::default(),
+    ));
+    let cfg = LayerGcnConfig {
+        embedding_dim: 16,
+        n_layers: 2,
+        ..LayerGcnConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut model = LayerGcn::new(&ds, cfg, &mut rng);
+    for epoch in 0..epochs {
+        model.train_epoch(&ds, epoch, &mut rng);
+    }
+    let dir = std::env::temp_dir().join("lrgcn_serve_e2e");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let ckpt = dir.join(format!("{name}.ckpt"));
+    model.save(&ckpt).expect("save");
+    (ds, ckpt)
+}
+
 fn engine_opts() -> EngineOptions {
     EngineOptions {
         n_layers: 2,
@@ -257,7 +290,7 @@ fn quant_read_path_keeps_recall_and_reports_health() {
 
     // And so must a direct measurement over a fresh user sample: the
     // two-stage quantized top-20 vs the exact f32 top-20.
-    let users: Vec<u32> = (0..ds.n_users() as u32).step_by(5).take(40).collect();
+    let users: Vec<u32> = (0..ds.n_users() as u32).step_by(50).take(40).collect();
     let mut total = 0.0;
     for &u in &users {
         let e: Vec<u32> = est
@@ -305,6 +338,220 @@ fn quant_read_path_keeps_recall_and_reports_health() {
         "recall gauge missing from /metrics"
     );
     handle.shutdown();
+    handle.wait();
+    std::fs::remove_file(ckpt).ok();
+}
+
+#[test]
+fn ann_read_path_recall_determinism_and_health() {
+    let (ds, ckpt) = ann_fixture("ann", 4);
+    let exact = Engine::open(&ckpt, ds.clone(), engine_opts()).expect("open exact");
+    let ann_opts = EngineOptions {
+        ann: true,
+        ann_cells: 0, // auto: √1411 ≈ 38
+        nprobe: 12,
+        ..engine_opts()
+    };
+    let ann = Engine::open(&ckpt, ds.clone(), ann_opts.clone()).expect("open ann");
+    let est = exact.state();
+    let ast = ann.state();
+    assert!(ast.ann_enabled());
+    assert_eq!(ast.ann_cells(), 38);
+    assert_eq!(ast.ann_nprobe(), 12);
+
+    // Build-time guardrail and a direct measurement over a fresh user
+    // sample must both clear the acceptance floor.
+    assert!(
+        ast.ann_recall >= 0.95,
+        "build-time ann recall {} < 0.95",
+        ast.ann_recall
+    );
+    let users: Vec<u32> = (0..ds.n_users() as u32).step_by(50).take(40).collect();
+    let mut total = 0.0;
+    for &u in &users {
+        let e: Vec<u32> = est
+            .top_k(&ds, u, 20, true)
+            .expect("exact top_k")
+            .iter()
+            .map(|&(i, _)| i)
+            .collect();
+        let a: Vec<u32> = ast
+            .top_k(&ds, u, 20, true)
+            .expect("ann top_k")
+            .iter()
+            .map(|&(i, _)| i)
+            .collect();
+        total += lrgcn_eval::overlap_fraction(&a, &e);
+    }
+    let recall = total / users.len() as f64;
+    assert!(recall >= 0.95, "measured ann recall@20 {recall} < 0.95");
+
+    // Determinism: engines built at LRGCN_THREADS=1 and 4 must serve
+    // identical results — same items, bitwise-equal scores.
+    par::set_threads(1);
+    let eng1 = Engine::open(&ckpt, ds.clone(), ann_opts.clone()).expect("open t1");
+    par::set_threads(4);
+    let eng4 = Engine::open(&ckpt, ds.clone(), ann_opts.clone()).expect("open t4");
+    let (st1, st4) = (eng1.state(), eng4.state());
+    for &u in &users {
+        let a = st1.top_k(&ds, u, 20, true).expect("t1");
+        let b = st4.top_k(&ds, u, 20, true).expect("t4");
+        assert_eq!(a.len(), b.len(), "user {u}: lengths diverged across threads");
+        for ((ia, sa), (ib, sb)) in a.iter().zip(&b) {
+            assert_eq!(ia, ib, "user {u}: items diverged across thread counts");
+            assert_eq!(
+                sa.to_bits(),
+                sb.to_bits(),
+                "user {u}: scores not bitwise equal across thread counts"
+            );
+        }
+    }
+
+    // ANN composed with quant, over HTTP: health reports both modes, the
+    // gauge and counters tick, and the read paths answer.
+    let both = Engine::open(
+        &ckpt,
+        ds.clone(),
+        EngineOptions {
+            quant: true,
+            ..ann_opts
+        },
+    )
+    .expect("open ann+quant");
+    let handle = serve(Arc::new(both), ServerConfig::default()).expect("serve");
+    let addr = handle.addr();
+    let (status, v) = get_json(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(v.get("ann"), Some(&Value::Bool(true)));
+    assert_eq!(v.get("quant"), Some(&Value::Bool(true)));
+    assert_eq!(v.get("ann_cells").and_then(Value::as_f64), Some(38.0));
+    assert_eq!(v.get("ann_nprobe").and_then(Value::as_f64), Some(12.0));
+    let ppm = v.get("ann_recall_ppm").and_then(Value::as_f64).expect("ppm");
+    assert!(ppm >= 950_000.0, "healthz ann recall {ppm} ppm < 950000");
+    let (status, v) = get_json(addr, "/recs/0?k=20");
+    assert_eq!(status, 200);
+    assert!(!item_ids(&v).is_empty());
+    let (status, v) = get_json(addr, "/similar/1?k=10");
+    assert_eq!(status, 200);
+    assert!(!item_ids(&v).contains(&1));
+    let (_, text) = http(addr, "GET", "/metrics", None);
+    let probed: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("lrgcn_serve_ann_cells_probed_total "))
+        .expect("cells probed line")
+        .parse()
+        .expect("numeric");
+    assert!(probed >= 12, "ann cells probed not counted: {probed}");
+    let cands: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("lrgcn_serve_ann_candidates_total "))
+        .expect("candidates line")
+        .parse()
+        .expect("numeric");
+    assert!(cands > 0, "ann candidates not counted");
+    assert!(
+        text.contains("lrgcn_serve_ann_recall_ppm "),
+        "ann recall gauge missing from /metrics"
+    );
+    handle.shutdown();
+    handle.wait();
+    std::fs::remove_file(ckpt).ok();
+}
+
+#[test]
+fn ann_quant_hot_reload_under_concurrent_load_fails_nothing() {
+    let (ds, ckpt) = ann_fixture("ann_reload", 1);
+    let engine = Arc::new(
+        Engine::open(
+            &ckpt,
+            ds.clone(),
+            EngineOptions {
+                ann: true,
+                quant: true,
+                ann_cells: 16,
+                nprobe: 8,
+                ..engine_opts()
+            },
+        )
+        .expect("open"),
+    );
+    let handle = serve(
+        engine,
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("serve");
+    let addr = handle.addr();
+
+    // 4 hammer threads × 30 requests against the ANN read paths while the
+    // main thread rebuilds the index 3 times via /admin/reload.
+    let clients: Vec<_> = (0..4u32)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut statuses = Vec::new();
+                for i in 0..30u32 {
+                    let (status, _) = if i % 3 == 0 {
+                        http(addr, "GET", &format!("/similar/{}?k=10", (c + i) % 10), None)
+                    } else {
+                        http(addr, "GET", &format!("/recs/{}?k=10", (c * 5 + i) % 20), None)
+                    };
+                    statuses.push(status);
+                }
+                statuses
+            })
+        })
+        .collect();
+
+    let mut generation = 0;
+    for _ in 0..3 {
+        std::thread::sleep(Duration::from_millis(10));
+        let (status, v) = {
+            let (s, b) = http(addr, "POST", "/admin/reload", None);
+            (s, json::parse(&b).expect("reload JSON"))
+        };
+        assert_eq!(status, 200, "reload failed: {v:?}");
+        generation = v.get("generation").and_then(Value::as_f64).expect("gen") as u64;
+    }
+    assert_eq!(generation, 3);
+
+    for c in clients {
+        let statuses = c.join().expect("client join");
+        assert!(
+            statuses.iter().all(|&s| s == 200),
+            "requests failed during ANN hot reload: {statuses:?}"
+        );
+    }
+
+    // The rebuilt index answers exactly like a fresh engine on the same
+    // checkpoint — the deterministic build makes reloads idempotent.
+    let (_, v) = get_json(addr, "/recs/1?k=10");
+    assert_eq!(v.get("generation").and_then(Value::as_f64), Some(3.0));
+    let engine2 = Engine::open(
+        &ckpt,
+        ds,
+        EngineOptions {
+            ann: true,
+            quant: true,
+            ann_cells: 16,
+            nprobe: 8,
+            ..engine_opts()
+        },
+    )
+    .expect("reopen");
+    let fresh = engine2
+        .state()
+        .top_k(engine2.dataset(), 1, 10, true)
+        .expect("top_k");
+    assert_eq!(
+        item_ids(&v),
+        fresh.iter().map(|&(it, _)| it).collect::<Vec<_>>(),
+        "reload changed ANN answers although the checkpoint did not change"
+    );
+
+    let (status, _) = http(addr, "POST", "/admin/shutdown", None);
+    assert_eq!(status, 200);
     handle.wait();
     std::fs::remove_file(ckpt).ok();
 }

@@ -402,6 +402,53 @@ fn matmul_nt_row_blocked(arow: &[f32], k: usize, b: &[f32], orow: &mut [f32]) {
 }
 
 // ---------------------------------------------------------------------------
+// centroid distances (IVF k-means assignment)
+// ---------------------------------------------------------------------------
+
+/// Computes a contiguous row block of squared-distance surrogates to a
+/// centroid table: `out[r][j] = half_cnorm[j] - x_r · c_j`, where
+/// `half_cnorm[j] = ½‖c_j‖²`. Minimizing this over `j` is equivalent to
+/// minimizing `‖x_r - c_j‖²` (the constant `½‖x_r‖²` term is dropped), so
+/// the argmin is the nearest centroid. The dots run through
+/// [`matmul_nt_block`], which is bitwise-identical across kernel modes and
+/// thread counts; the elementwise flip afterwards is order-free per cell,
+/// so the whole surrogate inherits the determinism contract.
+pub fn centroid_scores_block(
+    kernel: Kernel,
+    x_block: &[f32],
+    k: usize,
+    centroids: &[f32],
+    n_centroids: usize,
+    half_cnorm: &[f32],
+    out_block: &mut [f32],
+) {
+    debug_assert_eq!(half_cnorm.len(), n_centroids);
+    matmul_nt_block(kernel, x_block, k, centroids, n_centroids, out_block);
+    for orow in out_block.chunks_exact_mut(n_centroids) {
+        for (o, &h) in orow.iter_mut().zip(half_cnorm) {
+            *o = h - *o;
+        }
+    }
+}
+
+/// Index of the minimum value in `scores`, breaking ties toward the lowest
+/// index (strict `<` keeps the first minimum seen). This is the assignment
+/// rule for the IVF k-means quantizer: combined with the deterministic
+/// surrogate from [`centroid_scores_block`], assignments are
+/// bitwise-reproducible at any thread count. Returns 0 for an empty slice.
+pub fn argmin_first(scores: &[f32]) -> usize {
+    let mut best = 0usize;
+    let mut best_v = f32::INFINITY;
+    for (j, &s) in scores.iter().enumerate() {
+        if s < best_v {
+            best_v = s;
+            best = j;
+        }
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
 // dot + elementwise
 // ---------------------------------------------------------------------------
 

@@ -62,8 +62,12 @@ fn kernels_under_test() -> Vec<Kernel> {
 }
 
 /// Shapes chosen to hit: empty operands, single rows/cols, exact tile
-/// multiples (32), every tail tier (8-wide, scalar), and odd sizes.
-const SHAPES: [(usize, usize, usize); 10] = [
+/// multiples (32), every tail tier (8-wide, scalar), odd sizes, and the
+/// degenerate boundaries of the dispatch paths — `k = 0` (no shared dim:
+/// the kernels must produce a well-defined all-zero product), `n = 0`
+/// (empty right operand), and single-row/single-column operands that keep
+/// every tile loop in its tail case.
+const SHAPES: [(usize, usize, usize); 15] = [
     (0, 3, 4),
     (1, 1, 1),
     (1, 64, 33),
@@ -74,6 +78,11 @@ const SHAPES: [(usize, usize, usize); 10] = [
     (8, 64, 96),
     (2, 31, 70),
     (6, 17, 9),
+    (3, 0, 5),
+    (4, 7, 0),
+    (0, 0, 0),
+    (1, 40, 1),
+    (9, 1, 9),
 ];
 
 #[test]
@@ -180,6 +189,51 @@ fn nt_blocked_cells_equal_plain_dot_chains() {
                 let want = dot(a.row(i), b.row(j));
                 assert_eq!(got[(i, j)].to_bits(), want.to_bits(), "cell ({i},{j})");
             }
+        }
+    }
+    lrgcn_tensor::kernels::set_kernel(Kernel::Naive);
+}
+
+#[test]
+fn all_zero_blocks_stay_bitwise_equal_across_kernels() {
+    let _guard = KERNEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Fully-zero operands push the blocked/simd block-density dispatch
+    // (nz*8 < len) to its extreme: every block takes the sparse branch.
+    // The result must still be bitwise-identical to naive — all +0.0, no
+    // stray -0.0 from a vectorized path.
+    let (m, k, n) = (6, 40, 35);
+    let zero_a = Matrix::zeros(m, k);
+    let zero_b = Matrix::zeros(k, n);
+    let dense_a = Matrix::from_vec(m, k, pseudo(m * k, 77));
+    let dense_b = Matrix::from_vec(k, n, pseudo(k * n, 78));
+    let cases: [(&Matrix, &Matrix, &str); 3] = [
+        (&zero_a, &dense_b, "zero_a"),
+        (&dense_a, &zero_b, "zero_b"),
+        (&zero_a, &zero_b, "zero_both"),
+    ];
+    for (a, b, tag) in cases {
+        lrgcn_tensor::kernels::set_kernel(Kernel::Naive);
+        let reference = a.matmul_with_threads(b, 1);
+        for kern in kernels_under_test() {
+            lrgcn_tensor::kernels::set_kernel(kern);
+            for threads in [1usize, 3] {
+                let got = a.matmul_with_threads(b, threads);
+                assert_bitwise_eq(&reference, &got, &format!("matmul {tag} {kern:?} t={threads}"));
+            }
+        }
+    }
+    // Same boundary for the nt variant (B stored row-major n x k).
+    let zero_bt = Matrix::zeros(n, k);
+    let dense_bt = Matrix::from_vec(n, k, pseudo(n * k, 79));
+    let nt_cases: [(&Matrix, &Matrix, &str); 2] =
+        [(&zero_a, &dense_bt, "zero_a"), (&dense_a, &zero_bt, "zero_b")];
+    for (a, b, tag) in nt_cases {
+        lrgcn_tensor::kernels::set_kernel(Kernel::Naive);
+        let reference = a.matmul_nt_with_threads(b, 1);
+        for kern in kernels_under_test() {
+            lrgcn_tensor::kernels::set_kernel(kern);
+            let got = a.matmul_nt_with_threads(b, 1);
+            assert_bitwise_eq(&reference, &got, &format!("matmul_nt {tag} {kern:?}"));
         }
     }
     lrgcn_tensor::kernels::set_kernel(Kernel::Naive);

@@ -22,9 +22,15 @@
 #      LRGCN_KERNEL={naive,blocked,simd} × LRGCN_THREADS={1,8} pair — the
 #      cache-blocked and AVX2 kernels are contractually bitwise identical
 #      to the naive reference, so any trajectory drift fails the stage
-#   8. the PR-1 parallel-execution benchmark (writes BENCH_PR1.json), the
-#      PR-4 serving-throughput benchmark (writes BENCH_PR4.json) and the
+#   8. ANN smoke: train on the yelp-like preset, serve the same checkpoint
+#      behind `--exact` and `--ann`, query both over /dev/tcp and fail if
+#      the IVF read path's recall@20 against the exact scan drops below
+#      0.95
+#   9. the PR-1 parallel-execution benchmark (writes BENCH_PR1.json), the
+#      PR-4 serving-throughput benchmark (writes BENCH_PR4.json), the
 #      PR-6 kernel/quantized-read-path benchmark (writes BENCH_PR6.json)
+#      and a `--quick` run of the PR-7 IVF-vs-exact benchmark (written to
+#      a temp path so the committed full-run BENCH_PR7.json survives)
 #
 # Usage: scripts/verify.sh [--skip-bench]
 set -euo pipefail
@@ -154,6 +160,62 @@ for kernel in naive blocked simd; do
     done
 done
 
+echo "==> ANN smoke: serve --ann vs --exact recall@20 over /dev/tcp"
+ann="$smoke/ann"
+mkdir -p "$ann"
+# The yelp-like preset (2480 users x 1411 items) is the smallest fixture
+# with a genuinely sub-linear probe regime; a few training epochs give the
+# embeddings the clustered inner-product structure the coarse quantizer
+# needs (random init has near-random neighborhoods).
+cargo run --release -q -p lrgcn-bench --bin make_fixture -- \
+    --out "$ann/interactions.tsv" --preset yelp --scale 1.0 --seed 99
+./target/release/lrgcn train --input "$ann/interactions.tsv" \
+    --epochs 4 --seed 7 --layers 2 --save "$ann/model.ckpt"
+start_serve() { # logfile extra-args... -> port on stdout
+    local logfile=$1
+    shift
+    ./target/release/lrgcn serve "$ann/model.ckpt" \
+        --input "$ann/interactions.tsv" --layers 2 --port 0 "$@" \
+        >"$logfile" 2>&1 &
+    local p=""
+    for _ in $(seq 1 50); do
+        p=$(sed -n 's#.*listening on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' "$logfile")
+        [[ -n "$p" ]] && break
+        sleep 0.2
+    done
+    [[ -n "$p" ]] || { echo "verify: ANN smoke serve never reported its port" >&2; cat "$logfile" >&2; exit 1; }
+    echo "$p"
+}
+ann_req() { # port method path -> full response on stdout
+    exec 4<>"/dev/tcp/127.0.0.1/$1"
+    printf '%s %s HTTP/1.1\r\nHost: verify\r\nContent-Length: 0\r\n\r\n' "$2" "$3" >&4
+    cat <&4
+    exec 4<&-
+}
+exact_port=$(start_serve "$ann/exact.log" --exact)
+ann_port=$(start_serve "$ann/ann.log" --ann --nprobe 16)
+grep -q '^ann: ' "$ann/ann.log" || {
+    echo "verify: serve --ann printed no ANN banner"; cat "$ann/ann.log"; exit 1; }
+total=0
+hit=0
+for u in $(seq 0 100 2400); do
+    exact_ids=$(ann_req "$exact_port" GET "/recs/$u?k=20" | grep -o '"item":[0-9]*' | cut -d: -f2)
+    ann_ids=$(ann_req "$ann_port" GET "/recs/$u?k=20" | grep -o '"item":[0-9]*' | cut -d: -f2)
+    [[ -n "$exact_ids" ]] || { echo "verify: exact /recs/$u returned no items"; exit 1; }
+    total=$((total + $(wc -w <<<"$exact_ids")))
+    overlap=$(grep -cFx -f <(tr ' ' '\n' <<<"$ann_ids") <(tr ' ' '\n' <<<"$exact_ids") || true)
+    hit=$((hit + overlap))
+done
+ann_req "$exact_port" POST /admin/shutdown >/dev/null
+ann_req "$ann_port" POST /admin/shutdown >/dev/null
+wait
+echo "ANN smoke: recall@20 = $hit/$total (bound: >= 95%)"
+if (( hit * 100 < total * 95 )); then
+    echo "verify: IVF recall@20 vs the exact scan fell below 0.95"
+    exit 1
+fi
+echo "ANN smoke: OK"
+
 if [[ "${1:-}" != "--skip-bench" ]]; then
     echo "==> bench: epoch + eval wall time at 1 vs N threads -> BENCH_PR1.json"
     cargo run --release -p lrgcn-bench --bin bench_pr1 -- --scale 1.0 --reps 3
@@ -161,6 +223,9 @@ if [[ "${1:-}" != "--skip-bench" ]]; then
     cargo run --release -p lrgcn-serve --bin bench_pr4 -- --requests 400
     echo "==> bench: kernel GFLOP/s + quantized read path -> BENCH_PR6.json"
     cargo run --release -p lrgcn-serve --bin bench_pr6 -- --topk-requests 1000
+    echo "==> bench: IVF ANN vs exact read path (--quick smoke)"
+    cargo run --release -p lrgcn-serve --bin bench_pr7 -- --quick \
+        --out "$smoke/BENCH_PR7.quick.json"
 fi
 
 echo "verify: OK"
