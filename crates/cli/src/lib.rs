@@ -1,7 +1,7 @@
 //! # lrgcn-cli — command-line workflows for the LayerGCN recommender
 //!
-//! Six subcommands — five over `user item [timestamp]` text logs, plus an
-//! offline reporter over the JSONL run logs:
+//! Seven subcommands — five over `user item [timestamp]` text logs, an
+//! offline reporter over the JSONL run logs, and a live serving dashboard:
 //!
 //! ```text
 //! lrgcn stats     --input interactions.tsv [--kcore K]
@@ -16,7 +16,10 @@
 //!                 [--workers N] [--cache N]         # online HTTP serving
 //!                 [--quant | --exact]               # int8 or exact read path
 //!                 [--ann [--nprobe N] [--ann-cells C]]  # IVF ANN retrieval
+//!                 [--access-log PATH [--access-sample N]]   # JSONL access log
+//!                 [--slo-p99-ms MS] [--slo-err-ppm PPM]     # SLO burn gauges
 //! lrgcn report    LOG.jsonl            # or: report --diff A.jsonl B.jsonl
+//! lrgcn top       http://HOST:PORT [--interval SECS] [--once]
 //! ```
 //!
 //! Every subcommand also accepts `--threads N` to pin the worker-thread
@@ -105,6 +108,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 pub mod report;
+pub mod top;
 
 /// Exit-style result: user-facing message on failure.
 pub type CliResult = Result<(), String>;
@@ -181,6 +185,7 @@ pub fn run(tokens: Vec<String>) -> CliResult {
         "recommend" => cmd_recommend(&args),
         "serve" => cmd_serve(&args, rest),
         "report" => report::cmd_report(rest),
+        "top" => top::cmd_top(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -197,6 +202,7 @@ fn usage() -> String {
     "usage: lrgcn <stats|train|evaluate|recommend> --input FILE [options]\n\
      \x20      lrgcn serve CKPT --input FILE [--port P]\n\
      \x20      lrgcn report LOG.jsonl | report --diff A.jsonl B.jsonl\n\
+     \x20      lrgcn top http://HOST:PORT [--interval SECS] [--once]\n\
      run `lrgcn help` or see the crate docs for the full option list"
         .to_string()
 }
@@ -444,6 +450,16 @@ fn cmd_serve(args: &Args, rest: &[String]) -> CliResult {
         ),
         workers: args.get_parsed("workers", 0usize),
         cache_capacity: args.get_parsed("cache", 4096usize),
+        access_log: args.get("access-log").map(std::path::PathBuf::from),
+        access_sample: args.get_parsed("access-sample", 1u64).max(1),
+        slo_p99_ms: args.get("slo-p99-ms").map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("could not parse --slo-p99-ms {v}"))
+        }),
+        slo_err_ppm: args.get("slo-err-ppm").map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("could not parse --slo-err-ppm {v}"))
+        }),
         ..lrgcn_serve::ServerConfig::default()
     };
     let handle = lrgcn_serve::serve(engine, cfg)?;

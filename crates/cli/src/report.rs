@@ -257,7 +257,7 @@ fn parse_log(path: &str) -> Result<RunLog, String> {
 }
 
 /// 8-level ASCII sparkline; constant series render as a flat middle band.
-fn sparkline(values: &[f64]) -> String {
+pub(crate) fn sparkline(values: &[f64]) -> String {
     const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     let finite: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
     if finite.is_empty() {
@@ -283,7 +283,7 @@ fn sparkline(values: &[f64]) -> String {
         .collect()
 }
 
-fn fmt_si(x: f64) -> String {
+pub(crate) fn fmt_si(x: f64) -> String {
     let ax = x.abs();
     if ax >= 1e9 {
         format!("{:.2}G", x / 1e9)
@@ -296,7 +296,7 @@ fn fmt_si(x: f64) -> String {
     }
 }
 
-fn fmt_ns(ns: f64) -> String {
+pub(crate) fn fmt_ns(ns: f64) -> String {
     if ns >= 1e9 {
         format!("{:.2}s", ns / 1e9)
     } else if ns >= 1e6 {

@@ -1,0 +1,345 @@
+//! `lrgcn top URL` — a polling terminal dashboard over a running server's
+//! `GET /admin/obs` windowed snapshot (DESIGN.md §12).
+//!
+//! One frame shows live RPS with a sparkline over the recent polls,
+//! windowed latency quantiles per route, cache/ANN/quant counters, SLO
+//! burn rates and generation/reload status. `--once` renders a single
+//! frame and exits (scriptable, used by verify.sh); otherwise the screen
+//! refreshes every `--interval` seconds until interrupted.
+//!
+//! The HTTP client is the same zero-dependency `std::net` style as the
+//! server: one `Connection: close` GET per poll.
+
+use crate::report::{fmt_ns, fmt_si, sparkline};
+use crate::CliResult;
+use lrgcn::obs::json::{self, Value};
+use lrgcn_bench::Args;
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// How many polls of RPS history back the sparkline.
+const HISTORY: usize = 48;
+
+pub fn cmd_top(tokens: &[String]) -> CliResult {
+    let args = Args::from_tokens(tokens.to_vec());
+    let url = tokens
+        .first()
+        .filter(|t| !t.starts_with("--"))
+        .map(String::as_str)
+        .ok_or("usage: lrgcn top URL [--interval SECS] [--once]")?;
+    let (host, port) = parse_url(url)?;
+    let interval = args.get_parsed("interval", 2.0f64).max(0.1);
+    let once = args.has_flag("once");
+
+    let mut history: Vec<f64> = Vec::new();
+    loop {
+        match poll(&host, port) {
+            Ok(obs) => {
+                let rps = obs
+                    .get("windows")
+                    .and_then(|w| w.get("10s"))
+                    .and_then(|w| w.get("rps"))
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0);
+                history.push(rps);
+                if history.len() > HISTORY {
+                    let drop = history.len() - HISTORY;
+                    history.drain(..drop);
+                }
+                let frame = render_frame(url, &obs, &history);
+                if once {
+                    print!("{frame}");
+                    return Ok(());
+                }
+                // Clear + home, then the frame: a flicker-free-enough live view.
+                print!("\x1b[2J\x1b[H{frame}");
+                let _ = std::io::stdout().flush();
+            }
+            Err(e) if once => return Err(format!("{url}: {e}")),
+            Err(e) => {
+                println!("\x1b[2J\x1b[H{url}: {e} (retrying)");
+                let _ = std::io::stdout().flush();
+            }
+        }
+        std::thread::sleep(Duration::from_secs_f64(interval));
+    }
+}
+
+/// Accepts `http://host:port[/...]` or bare `host:port`.
+fn parse_url(url: &str) -> Result<(String, u16), String> {
+    let rest = url.strip_prefix("http://").unwrap_or(url);
+    if rest.starts_with("https://") || url.starts_with("https://") {
+        return Err("https is not supported; use http://host:port".into());
+    }
+    let authority = rest.split('/').next().unwrap_or("");
+    let (host, port) = authority
+        .rsplit_once(':')
+        .ok_or_else(|| format!("{url:?}: expected http://host:port"))?;
+    let port: u16 = port
+        .parse()
+        .map_err(|_| format!("{url:?}: bad port {port:?}"))?;
+    if host.is_empty() {
+        return Err(format!("{url:?}: empty host"));
+    }
+    Ok((host.to_string(), port))
+}
+
+/// One `GET /admin/obs` poll, parsed.
+fn poll(host: &str, port: u16) -> Result<Value, String> {
+    let body = http_get(host, port, "/admin/obs")?;
+    json::parse(&body).map_err(|e| format!("bad /admin/obs JSON: {e}"))
+}
+
+/// Minimal HTTP/1.1 GET returning the response body on a 200.
+fn http_get(host: &str, port: u16, path: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect((host, port)).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .set_write_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| format!("write: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or("malformed HTTP response")?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or("malformed status line")?;
+    if status != 200 {
+        return Err(format!("{path} returned {status}"));
+    }
+    Ok(body.to_string())
+}
+
+fn get_f64(v: &Value, path: &[&str]) -> f64 {
+    let mut cur = v;
+    for key in path {
+        match cur.get(key) {
+            Some(next) => cur = next,
+            None => return 0.0,
+        }
+    }
+    cur.as_f64().unwrap_or(0.0)
+}
+
+fn get_str<'v>(v: &'v Value, path: &[&str]) -> &'v str {
+    let mut cur = v;
+    for key in path {
+        match cur.get(key) {
+            Some(next) => cur = next,
+            None => return "?",
+        }
+    }
+    cur.as_str().unwrap_or("?")
+}
+
+/// Renders one dashboard frame from an `/admin/obs` snapshot. Pure —
+/// exercised directly by the unit tests.
+fn render_frame(url: &str, obs: &Value, rps_history: &[f64]) -> String {
+    let mut out = String::new();
+    let pct = |x: f64| format!("{:.2}%", x * 100.0);
+
+    let _ = writeln!(
+        out,
+        "lrgcn top — {url} — {} gen {} — read path {} — up {}s — reloads {}",
+        get_str(obs, &["model"]),
+        get_f64(obs, &["generation"]) as u64,
+        get_str(obs, &["read_path"]),
+        get_f64(obs, &["uptime_s"]) as u64,
+        get_f64(obs, &["reloads"]) as u64,
+    );
+    let _ = writeln!(
+        out,
+        "rps 10s/60s/300s: {} / {} / {}   err 60s {}   [{}]",
+        fmt_si(get_f64(obs, &["windows", "10s", "rps"])),
+        fmt_si(get_f64(obs, &["windows", "60s", "rps"])),
+        fmt_si(get_f64(obs, &["windows", "300s", "rps"])),
+        pct(get_f64(obs, &["windows", "60s", "error_ratio"])),
+        sparkline(rps_history),
+    );
+    let _ = writeln!(
+        out,
+        "latency 10s p50/p95/p99: {} / {} / {}",
+        fmt_ns(get_f64(obs, &["windows", "10s", "p50_ms"]) * 1e6),
+        fmt_ns(get_f64(obs, &["windows", "10s", "p95_ms"]) * 1e6),
+        fmt_ns(get_f64(obs, &["windows", "10s", "p99_ms"]) * 1e6),
+    );
+
+    let (hits, misses) = (
+        get_f64(obs, &["cache", "hits"]),
+        get_f64(obs, &["cache", "misses"]),
+    );
+    let mut line = format!(
+        "cache hit {} ({} hits / {} misses)",
+        pct(get_f64(obs, &["cache", "hit_ratio"])),
+        fmt_si(hits),
+        fmt_si(misses),
+    );
+    let ann_recall = get_f64(obs, &["ann", "recall_ppm"]);
+    if ann_recall > 0.0 {
+        let _ = write!(
+            line,
+            "   ann recall {} cells {} cand {}",
+            pct(ann_recall / 1e6),
+            fmt_si(get_f64(obs, &["ann", "cells_probed"])),
+            fmt_si(get_f64(obs, &["ann", "candidates"])),
+        );
+    }
+    let quant_recall = get_f64(obs, &["quant", "recall_ppm"]);
+    if quant_recall > 0.0 {
+        let _ = write!(
+            line,
+            "   quant recall {} scans {}",
+            pct(quant_recall / 1e6),
+            fmt_si(get_f64(obs, &["quant", "scans"])),
+        );
+    }
+    let _ = writeln!(out, "{line}");
+
+    // SLO section only when the server has targets configured.
+    let slo = obs.get("slo");
+    let has_lat = slo.and_then(|s| s.get("p99_ms")).and_then(Value::as_f64);
+    let has_err = slo.and_then(|s| s.get("err_ppm")).and_then(Value::as_f64);
+    if has_lat.is_some() || has_err.is_some() {
+        let mut line = String::from("slo");
+        if let Some(ms) = has_lat {
+            let _ = write!(
+                line,
+                "  p99<{ms}ms burn 10s/60s: {:.2} / {:.2}",
+                get_f64(obs, &["slo", "burn_latency_10s"]),
+                get_f64(obs, &["slo", "burn_latency_60s"]),
+            );
+        }
+        if let Some(ppm) = has_err {
+            let _ = write!(
+                line,
+                "  err<{ppm}ppm burn 10s/60s: {:.2} / {:.2}",
+                get_f64(obs, &["slo", "burn_err_10s"]),
+                get_f64(obs, &["slo", "burn_err_60s"]),
+            );
+        }
+        let _ = writeln!(out, "{line}");
+    }
+
+    // Per-route table over the 60s window, busiest first.
+    let _ = writeln!(
+        out,
+        "{:<16} {:>9} {:>8} {:>9} {:>9} {:>9}",
+        "route (60s)", "requests", "rps", "p50", "p95", "p99"
+    );
+    let mut routes: Vec<(String, f64, f64, f64, f64)> = Vec::new();
+    if let Some(Value::Obj(m)) = obs.get("windows").and_then(|w| w.get("60s")) {
+        if let Some(Value::Obj(rm)) = m.get("routes") {
+            for (name, r) in rm {
+                routes.push((
+                    name.clone(),
+                    get_f64(r, &["requests"]),
+                    get_f64(r, &["p50_ms"]),
+                    get_f64(r, &["p95_ms"]),
+                    get_f64(r, &["p99_ms"]),
+                ));
+            }
+        }
+    }
+    routes.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (name, req, p50, p95, p99) in &routes {
+        let _ = writeln!(
+            out,
+            "{name:<16} {:>9} {:>8} {:>9} {:>9} {:>9}",
+            fmt_si(*req),
+            fmt_si(req / 60.0),
+            fmt_ns(p50 * 1e6),
+            fmt_ns(p95 * 1e6),
+            fmt_ns(p99 * 1e6),
+        );
+    }
+    if routes.is_empty() {
+        let _ = writeln!(out, "(no requests in the last 60s)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_parsing_accepts_http_and_bare_authorities() {
+        assert_eq!(
+            parse_url("http://127.0.0.1:8642").unwrap(),
+            ("127.0.0.1".to_string(), 8642)
+        );
+        assert_eq!(
+            parse_url("http://localhost:80/admin/obs").unwrap(),
+            ("localhost".to_string(), 80)
+        );
+        assert_eq!(
+            parse_url("10.0.0.2:9999").unwrap(),
+            ("10.0.0.2".to_string(), 9999)
+        );
+        assert!(parse_url("http://nohost").is_err());
+        assert!(parse_url("http://h:notaport").is_err());
+        assert!(parse_url("https://h:1").is_err());
+    }
+
+    #[test]
+    fn frame_renders_routes_quantiles_and_slo_from_a_snapshot() {
+        let snapshot = r#"{
+            "uptime_s": 12, "model": "layergcn", "generation": 3,
+            "read_path": "ann", "reloads": 1,
+            "cache": {"hits": 80, "misses": 20, "hit_ratio": 0.8},
+            "ann": {"cells_probed": 64, "candidates": 900, "recall_ppm": 986000},
+            "quant": {"scans": 0, "rescored": 0, "recall_ppm": 0},
+            "slo": {"p99_ms": 50, "err_ppm": 1000,
+                    "burn_latency_10s": 0.5, "burn_latency_60s": 0.25,
+                    "burn_err_10s": 2.0, "burn_err_60s": 1.0},
+            "windows": {
+              "10s": {"rps": 42.5, "error_ratio": 0.01,
+                      "p50_ms": 1.2, "p95_ms": 4.5, "p99_ms": 9.0},
+              "60s": {"rps": 40.0, "error_ratio": 0.005,
+                      "p50_ms": 1.1, "p95_ms": 4.0, "p99_ms": 8.0,
+                      "routes": {
+                        "recs": {"requests": 1200, "p50_ms": 1.0, "p95_ms": 4.0, "p99_ms": 8.0},
+                        "score": {"requests": 60, "p50_ms": 0.5, "p95_ms": 1.0, "p99_ms": 2.0}}},
+              "300s": {"rps": 10.0, "error_ratio": 0.0,
+                       "p50_ms": 1.0, "p95_ms": 3.0, "p99_ms": 6.0}
+            }
+        }"#;
+        let obs = json::parse(snapshot).unwrap();
+        let frame = render_frame("http://127.0.0.1:1", &obs, &[10.0, 20.0, 42.5]);
+        assert!(frame.contains("layergcn gen 3"));
+        assert!(frame.contains("read path ann"));
+        assert!(frame.contains("recs"));
+        assert!(frame.contains("score"));
+        assert!(frame.contains("cache hit 80.00%"));
+        assert!(frame.contains("ann recall 98.60%"));
+        assert!(frame.contains("p99<50ms"));
+        assert!(frame.contains("burn 10s/60s: 0.50 / 0.25"));
+        // Busiest route sorts first.
+        let recs_at = frame.find("recs").unwrap();
+        let score_at = frame.find("score").unwrap();
+        assert!(recs_at < score_at);
+        // Sparkline rendered something for the history.
+        assert!(frame.contains('█') || frame.contains('▁'));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_without_panicking() {
+        let obs = json::parse("{}").unwrap();
+        let frame = render_frame("http://h:1", &obs, &[]);
+        assert!(frame.contains("no requests in the last 60s"));
+    }
+}

@@ -27,6 +27,11 @@
 //!    on the CLI, or `LRGCN_TRACE`), writing the Chrome `trace_event`
 //!    JSON-array format loadable in Perfetto / `chrome://tracing`. Span
 //!    sites follow the same suppressed-fast-path contract as the sink.
+//! 5. **[`window`]** — lock-free rolling-window aggregation for serving:
+//!    rings of per-second log2-ns histogram and counter slices yielding
+//!    windowed p50/p95/p99, request rate and error ratio over 10s/60s/300s,
+//!    plus a (route × status class × read path) labeled serving registry
+//!    with a compile-time cardinality bound.
 //!
 //! ## Overhead contract
 //!
@@ -58,6 +63,7 @@ pub mod registry;
 pub mod sink;
 pub mod timer;
 pub mod trace;
+pub mod window;
 
 pub use registry::{Counter, Gauge, Hist};
 pub use timer::scoped;

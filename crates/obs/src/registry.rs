@@ -173,6 +173,45 @@ impl Counter {
             Counter::AnnCandidates => "serve.ann.candidates",
         }
     }
+
+    /// One-line description used for Prometheus `# HELP` metadata.
+    pub fn help(self) -> &'static str {
+        match self {
+            Counter::MatmulCalls => "Dense matmul invocations (all transpose variants)",
+            Counter::MatmulCells => "Output cells produced by dense matmuls",
+            Counter::SpmmCalls => "Sparse-dense (SpMM) invocations, forward and backward",
+            Counter::SpmmMacs => "Multiply-accumulates performed by SpMM calls",
+            Counter::MapCalls => "Elementwise map invocations",
+            Counter::MapElems => "Elements visited by elementwise maps",
+            Counter::GatherCalls => "Embedding row-gather invocations",
+            Counter::GatherRows => "Rows copied by gathers",
+            Counter::MatrixAllocs => "Dense matrices allocated",
+            Counter::CsrBuilds => "CSR matrices assembled from COO triples",
+            Counter::DropoutSamples => "Edge-dropout resampling rounds",
+            Counter::DropoutEdgesKept => "Edges surviving dropout rounds",
+            Counter::SamplerTriples => "BPR (u,i,j) triples sampled",
+            Counter::EvalRankCalls => "Ranking-evaluation rounds",
+            Counter::EvalRankUsers => "Users ranked under the all-ranking protocol",
+            Counter::TrainEpochs => "Training epochs completed by the trainer",
+            Counter::ServeRequests => "HTTP requests accepted by the serving subsystem",
+            Counter::ServeErrors => "HTTP requests answered with a 4xx/5xx status",
+            Counter::ServeCacheHits => "Top-K responses served from the response cache",
+            Counter::ServeCacheMisses => "Top-K responses computed on cache miss",
+            Counter::ServeScoreBatches => "Micro-batched scoring ticks",
+            Counter::ServeScorePairs => "User/item pairs scored through the micro-batcher",
+            Counter::ServeReloads => "Hot checkpoint reloads that swapped the engine",
+            Counter::TrainCheckpoints => "Training-state checkpoints written successfully",
+            Counter::TrainCheckpointErrors => "Training-state checkpoint saves that failed",
+            Counter::TrainRecoveries => "Divergence recoveries (rollback or LR halving)",
+            Counter::KernelNaive => "Hot-loop dispatches through the naive kernels",
+            Counter::KernelBlocked => "Hot-loop dispatches through the cache-blocked kernels",
+            Counter::KernelSimd => "Hot-loop dispatches through the AVX2 kernels",
+            Counter::QuantScans => "Quantized two-stage scans on the serving read path",
+            Counter::QuantRescored => "Candidates exactly re-scored after quantized scans",
+            Counter::AnnCellsProbed => "IVF cells probed by ANN-served requests",
+            Counter::AnnCandidates => "Candidate items scanned inside probed IVF cells",
+        }
+    }
 }
 
 const N_COUNTERS: usize = Counter::ALL.len();
@@ -227,6 +266,19 @@ impl Gauge {
             Gauge::MatrixBytes => "tensor.matrix.bytes",
             Gauge::QuantRecallPpm => "serve.quant.recall_ppm",
             Gauge::AnnRecallPpm => "serve.ann.recall_ppm",
+        }
+    }
+
+    /// One-line description used for Prometheus `# HELP` metadata.
+    pub fn help(self) -> &'static str {
+        match self {
+            Gauge::MatrixBytes => "Bytes currently held by live dense Matrix buffers",
+            Gauge::QuantRecallPpm => {
+                "Recall of the quantized read path vs the exact scan, parts per million"
+            }
+            Gauge::AnnRecallPpm => {
+                "Recall of the IVF ANN read path vs the exact scan, parts per million"
+            }
         }
     }
 }
@@ -325,6 +377,21 @@ impl Hist {
             Hist::ServeScoreBatch => "serve.score.batch_ns",
         }
     }
+
+    /// One-line description used for Prometheus `# HELP` metadata.
+    pub fn help(self) -> &'static str {
+        match self {
+            Hist::EpochTrain => "Wall time of one training epoch, nanoseconds",
+            Hist::EpochVal => "Wall time of one validation round, nanoseconds",
+            Hist::EpochRefresh => "Wall time of one inference-embedding refresh, nanoseconds",
+            Hist::EvalRank => "Wall time of one full ranking evaluation, nanoseconds",
+            Hist::CsrBuild => "Wall time of one CSR assembly, nanoseconds",
+            Hist::DropoutSample => "Wall time of one edge-dropout resample, nanoseconds",
+            Hist::SamplerBatch => "Wall time of one BPR batch construction, nanoseconds",
+            Hist::ServeRequest => "Wall time of one HTTP request end to end, nanoseconds",
+            Hist::ServeScoreBatch => "Wall time of one micro-batched scoring tick, nanoseconds",
+        }
+    }
 }
 
 const N_HISTS: usize = Hist::ALL.len();
@@ -350,13 +417,27 @@ const HIST_ZERO: HistCell = HistCell {
 
 static HISTS: [HistCell; N_HISTS] = [HIST_ZERO; N_HISTS];
 
-/// Bucket index of a nanosecond sample: `floor(log2(ns))`, clamped.
+/// Bucket index of a nanosecond sample: `floor(log2(ns))`, clamped. Shared
+/// with [`crate::window`] so rolling slices and the cumulative histograms
+/// bucket identically, and with Prometheus `_bucket` rendering.
 #[inline]
-fn bucket_of(ns: u64) -> usize {
+pub fn bucket_of(ns: u64) -> usize {
     if ns == 0 {
         0
     } else {
         ((63 - ns.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of log2 bucket `b`: `2^(b+1) - 1` nanoseconds
+/// (samples are integral, so this is the exact `le` boundary of the
+/// bucket's half-open range `[2^b, 2^(b+1))`).
+#[inline]
+pub fn bucket_upper_ns(b: usize) -> u64 {
+    if b + 1 >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << (b + 1)) - 1
     }
 }
 

@@ -1,0 +1,241 @@
+//! Property and concurrency tests for `obs::window`.
+//!
+//! The rolling rings are compared against a brute-force reference that
+//! keeps every raw `(second, sample)` pair and recomputes each window from
+//! scratch — including across slice rotation (second strides larger than
+//! the ring force slot reuse). The multi-threaded tests drive many writers
+//! through second boundaries and slot reclamation and assert sample
+//! conservation: nothing lost, nothing double counted.
+
+use lrgcn_obs::registry::{bucket_of, bucket_upper_ns, HistSnapshot, HIST_BUCKETS};
+use lrgcn_obs::window::{CounterRing, HistRing, RING_SLICES, WINDOWS_S};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The workspace's zero-dependency test PRNG.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Brute-force window aggregate: every sample with `sec` in
+/// `(now - window, now]`, assembled into the same snapshot type the ring
+/// returns.
+fn reference_hist(samples: &[(u64, u64)], now: u64, window: u64) -> HistSnapshot {
+    let lo = now.saturating_sub(window - 1);
+    let mut out = HistSnapshot {
+        count: 0,
+        sum_ns: 0,
+        max_ns: 0,
+        buckets: [0; HIST_BUCKETS],
+    };
+    for &(sec, ns) in samples {
+        if sec < lo || sec > now {
+            continue;
+        }
+        out.count += 1;
+        out.sum_ns += ns;
+        out.max_ns = out.max_ns.max(ns);
+        out.buckets[bucket_of(ns)] += 1;
+    }
+    out
+}
+
+/// True rank-order quantile bound: the inclusive upper bucket bound of the
+/// `ceil(q*n)`-th smallest in-window sample, clamped by the window max —
+/// exactly what the log2 histogram is specified to return.
+fn reference_quantile(samples: &[(u64, u64)], now: u64, window: u64, q: f64) -> u64 {
+    let lo = now.saturating_sub(window - 1);
+    let mut ns: Vec<u64> = samples
+        .iter()
+        .filter(|&&(sec, _)| sec >= lo && sec <= now)
+        .map(|&(_, v)| v)
+        .collect();
+    if ns.is_empty() {
+        return 0;
+    }
+    ns.sort_unstable();
+    let rank = ((q * ns.len() as f64).ceil() as usize).clamp(1, ns.len());
+    bucket_upper_ns(bucket_of(ns[rank - 1])).min(*ns.last().unwrap())
+}
+
+#[test]
+fn windowed_hist_matches_brute_force_under_rotation() {
+    let mut rng = SplitMix64(0xC0FFEE);
+    for case in 0..40u64 {
+        let ring = Box::new(HistRing::new());
+        let mut samples: Vec<(u64, u64)> = Vec::new();
+        let mut sec = 1 + rng.below(1000);
+        for _ in 0..300 {
+            // Second strides: mostly stay, sometimes step, occasionally
+            // leap past a full ring revolution to force slot reuse.
+            match rng.below(100) {
+                0 => sec += RING_SLICES as u64 + rng.below(50),
+                1..=4 => sec += 10 + rng.below(70),
+                5..=29 => sec += 1 + rng.below(3),
+                _ => {}
+            }
+            // Magnitudes spanning many log2 buckets.
+            let ns = (1u64 << rng.below(30)) + rng.below(1000);
+            ring.record_at(sec, ns);
+            samples.push((sec, ns));
+        }
+        let now = sec;
+        for w in WINDOWS_S {
+            let got = ring.snapshot_at(now, w);
+            let want = reference_hist(&samples, now, w);
+            assert_eq!(got.count, want.count, "case {case} window {w}: count");
+            assert_eq!(got.sum_ns, want.sum_ns, "case {case} window {w}: sum");
+            assert_eq!(got.max_ns, want.max_ns, "case {case} window {w}: max");
+            assert_eq!(got.buckets, want.buckets, "case {case} window {w}: buckets");
+            for q in [0.5, 0.95, 0.99, 1.0] {
+                assert_eq!(
+                    got.quantile_ns(q),
+                    reference_quantile(&samples, now, w, q),
+                    "case {case} window {w}: q{q}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn windowed_counter_matches_brute_force_under_rotation() {
+    let mut rng = SplitMix64(0xFACADE);
+    for case in 0..40u64 {
+        let ring = Box::new(CounterRing::new());
+        let mut adds: Vec<(u64, u64)> = Vec::new();
+        let mut sec = 1 + rng.below(500);
+        for _ in 0..400 {
+            match rng.below(100) {
+                0 => sec += RING_SLICES as u64 + rng.below(40),
+                1..=9 => sec += 1 + rng.below(20),
+                _ => {}
+            }
+            let v = rng.below(17);
+            ring.add_at(sec, v);
+            adds.push((sec, v));
+        }
+        for w in WINDOWS_S {
+            let lo = sec.saturating_sub(w - 1);
+            let want: u64 = adds
+                .iter()
+                .filter(|&&(s, _)| s >= lo && s <= sec)
+                .map(|&(_, v)| v)
+                .sum();
+            assert_eq!(ring.sum_at(sec, w), want, "case {case} window {w}");
+        }
+    }
+}
+
+/// Drives 8 writers through ~120 fresh second boundaries concurrently: the
+/// per-second claim/reset race happens with every thread in contention,
+/// and at the end the 300s window must hold exactly every recorded sample.
+#[test]
+fn concurrent_writers_lose_nothing_at_second_boundaries() {
+    const THREADS: u64 = 8;
+    const PER_SEC: u64 = 97;
+    const SECONDS: u64 = 120; // fits one 300s window: all samples visible
+    let ring = Arc::new(HistRing::new());
+    let next_op = Arc::new(AtomicU64::new(0));
+    let base = 1_000u64;
+    let total_ops = PER_SEC * SECONDS;
+    let mut handles = Vec::new();
+    for _ in 0..THREADS {
+        let ring = ring.clone();
+        let next_op = next_op.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut sum = 0u64;
+            let mut count = 0u64;
+            loop {
+                let op = next_op.fetch_add(1, Ordering::Relaxed);
+                if op >= total_ops {
+                    return (count, sum);
+                }
+                let sec = base + op / PER_SEC;
+                let ns = 1 + (op % 1024);
+                ring.record_at(sec, ns);
+                count += 1;
+                sum += ns;
+            }
+        }));
+    }
+    let (mut want_count, mut want_sum) = (0u64, 0u64);
+    for h in handles {
+        let (c, s) = h.join().unwrap();
+        want_count += c;
+        want_sum += s;
+    }
+    assert_eq!(want_count, total_ops);
+    let got = ring.snapshot_at(base + SECONDS - 1, 300);
+    assert_eq!(got.count, want_count, "samples lost or double counted");
+    assert_eq!(got.sum_ns, want_sum);
+    assert_eq!(got.buckets.iter().sum::<u64>(), want_count);
+}
+
+/// Same conservation claim across slot *reuse*: after a full ring
+/// revolution the same slots are reclaimed by concurrent writers, the old
+/// seconds' contents must be wiped exactly once, and the new seconds must
+/// hold exactly the new samples.
+#[test]
+fn concurrent_writers_survive_slot_reclamation() {
+    const THREADS: u64 = 8;
+    const PER_SEC: u64 = 151;
+    const SECONDS: u64 = 40;
+    let ring = Arc::new(HistRing::new());
+    let base = 77u64;
+
+    let run_phase = |phase_base: u64| -> (u64, u64) {
+        let next_op = Arc::new(AtomicU64::new(0));
+        let total_ops = PER_SEC * SECONDS;
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let ring = ring.clone();
+            let next_op = next_op.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut sum = 0u64;
+                let mut count = 0u64;
+                loop {
+                    let op = next_op.fetch_add(1, Ordering::Relaxed);
+                    if op >= total_ops {
+                        return (count, sum);
+                    }
+                    let sec = phase_base + op / PER_SEC;
+                    let ns = 1 + (op % 4096);
+                    ring.record_at(sec, ns);
+                    count += 1;
+                    sum += ns;
+                }
+            }));
+        }
+        let (mut c, mut s) = (0u64, 0u64);
+        for h in handles {
+            let (hc, hs) = h.join().unwrap();
+            c += hc;
+            s += hs;
+        }
+        (c, s)
+    };
+
+    run_phase(base);
+    // One revolution later: the exact same slots, concurrently reclaimed.
+    let reuse_base = base + RING_SLICES as u64;
+    let (want_count, want_sum) = run_phase(reuse_base);
+    let got = ring.snapshot_at(reuse_base + SECONDS - 1, 300);
+    assert_eq!(
+        got.count, want_count,
+        "reclaimed slices must hold exactly the new phase's samples"
+    );
+    assert_eq!(got.sum_ns, want_sum);
+}

@@ -16,7 +16,7 @@ const MAX_HEADER_BYTES: usize = 16 * 1024;
 /// Maximum bytes of request body (`POST /score` batches).
 const MAX_BODY_BYTES: usize = 1024 * 1024;
 
-/// A parsed request: method, decoded path, query map and raw body.
+/// A parsed request: method, decoded path, query map, headers and raw body.
 #[derive(Debug)]
 pub struct Request {
     pub method: String,
@@ -24,12 +24,20 @@ pub struct Request {
     pub path: String,
     /// Percent-decoded `key=value` pairs; later duplicates win.
     pub query: HashMap<String, String>,
+    /// Header fields, names lowercased, values trimmed; later duplicates
+    /// win. Bounded by the 16 KiB header cap.
+    pub headers: HashMap<String, String>,
     pub body: Vec<u8>,
 }
 
 impl Request {
     pub fn query_get(&self, key: &str) -> Option<&str> {
         self.query.get(key).map(String::as_str)
+    }
+
+    /// Case-insensitive header lookup (`name` must be lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(name).map(String::as_str)
     }
 }
 
@@ -63,14 +71,17 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
         return Err(format!("unsupported version {version:?}"));
     }
     let mut content_length = 0usize;
+    let mut headers = HashMap::new();
     for line in lines {
         if let Some((k, v)) = line.split_once(':') {
-            if k.trim().eq_ignore_ascii_case("content-length") {
-                content_length = v
-                    .trim()
+            let key = k.trim().to_ascii_lowercase();
+            let value = v.trim();
+            if key == "content-length" {
+                content_length = value
                     .parse()
                     .map_err(|_| format!("bad Content-Length {v:?}"))?;
             }
+            headers.insert(key, value.to_string());
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -99,6 +110,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
         method,
         path: percent_decode(raw_path),
         query,
+        headers,
         body,
     })
 }
@@ -141,17 +153,27 @@ pub fn percent_decode(s: &str) -> String {
 }
 
 /// Writes a complete response and flushes. Always `Connection: close`.
+/// `extra` headers (e.g. `x-lrgcn-request-id`) are emitted verbatim after
+/// the fixed ones; callers must pass sanitized values (no CR/LF).
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
     content_type: &str,
+    extra: &[(&str, &str)],
     body: &[u8],
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         status_reason(status),
         body.len()
     );
+    for (k, v) in extra {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()
@@ -192,5 +214,30 @@ mod tests {
         assert_eq!(status_reason(200), "OK");
         assert_eq!(status_reason(404), "Not Found");
         assert_eq!(status_reason(599), "Unknown");
+    }
+
+    #[test]
+    fn headers_are_captured_lowercased_and_trimmed() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(
+                b"POST /score HTTP/1.1\r\nHost: x\r\nX-LRGCN-Request-Id:  abc-123 \r\nContent-Length: 2\r\n\r\nhi",
+            )
+            .unwrap();
+            s.flush().unwrap();
+            // Keep the stream open until the server side has parsed.
+            s
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let req = read_request(&mut stream).unwrap();
+        drop(client.join().unwrap());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("x-lrgcn-request-id"), Some("abc-123"));
+        assert_eq!(req.header("content-length"), Some("2"));
+        assert_eq!(req.header("missing"), None);
+        assert_eq!(req.body, b"hi");
     }
 }

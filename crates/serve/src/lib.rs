@@ -26,7 +26,11 @@
 //! Every request path is instrumented with `lrgcn_obs` counters
 //! (`serve.http.requests`, `serve.cache.hits`, ...), histograms
 //! (`serve.request_ns`, `serve.score.batch_ns`) and trace spans, all
-//! exposed at `GET /metrics`.
+//! exposed at `GET /metrics`. A per-request middleware in [`server`]
+//! additionally mints/echoes `x-lrgcn-request-id`, feeds the
+//! `lrgcn_obs::window` rolling 10s/60s/300s windows (read at
+//! `GET /admin/obs` and by `lrgcn top`), appends an optional sampled JSONL
+//! access log, and tracks SLO burn rates — see DESIGN.md §12.
 
 pub mod ann;
 pub mod batch;

@@ -2,8 +2,9 @@
 //! shutdown.
 //!
 //! ```text
-//! GET  /healthz                     liveness + model/generation info
+//! GET  /healthz                     liveness + model/generation + 60s window
 //! GET  /metrics                     Prometheus text of the obs registry
+//! GET  /admin/obs                   windowed RED snapshot (10s/60s/300s) JSON
 //! GET  /recs/{user}?k=N[&exclude_seen=bool]   cached top-K for a user
 //! GET  /similar/{item}?k=N          item-item cosine neighbours
 //! POST /score                       {"pairs": [[u,i],...]} micro-batched
@@ -16,20 +17,31 @@
 //! completion — shutdown only flips an `AtomicBool` the workers check
 //! *between* connections — and reloads swap an `Arc` snapshot, so neither
 //! ever fails an accepted request.
+//!
+//! Every request passes through a thin observability middleware (DESIGN.md
+//! §12): it assigns a request id (honoring an inbound
+//! `x-lrgcn-request-id`, echoing it on the response), times the full
+//! handler, classifies (route × status class × read path), feeds the
+//! cumulative registry and the `obs::window` rolling rings, and appends a
+//! sampled JSONL access-log line when `--access-log` is armed.
 
 use crate::batch::Batcher;
 use crate::cache::{Key, TopKCache};
 use crate::engine::{Engine, Scratch};
 use crate::http::{read_request, write_response, Request};
 use lrgcn_obs::json::Value;
-use lrgcn_obs::{registry, timer, Counter, Gauge, Hist};
+use lrgcn_obs::registry::{bucket_upper_ns, HIST_BUCKETS};
+use lrgcn_obs::window::{self, ReadPath, Route, WindowStats, WINDOWS_S};
+use lrgcn_obs::{registry, Counter, Gauge, Hist};
 use std::cell::RefCell;
-use std::io::ErrorKind;
+use std::fs::{File, OpenOptions};
+use std::io::{ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Server knobs. `Default` binds an ephemeral localhost port.
 #[derive(Clone, Debug)]
@@ -43,6 +55,16 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Micro-batch coalescing window.
     pub batch_tick: Duration,
+    /// JSONL access-log path (append); `None` disables the access log.
+    pub access_log: Option<PathBuf>,
+    /// Log one request in N (1 = every request). Ignored without
+    /// `access_log`.
+    pub access_sample: u64,
+    /// Latency SLO threshold: p99 target in milliseconds. Requests slower
+    /// than this are "slow" for burn-rate purposes.
+    pub slo_p99_ms: Option<u64>,
+    /// Availability SLO budget: tolerated error ratio in parts per million.
+    pub slo_err_ppm: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +74,10 @@ impl Default for ServerConfig {
             workers: 0,
             cache_capacity: 4096,
             batch_tick: Duration::from_millis(1),
+            access_log: None,
+            access_sample: 1,
+            slo_p99_ms: None,
+            slo_err_ppm: None,
         }
     }
 }
@@ -117,6 +143,7 @@ pub fn serve(engine: Arc<Engine>, cfg: ServerConfig) -> Result<ServerHandle, Str
     let stop = Arc::new(AtomicBool::new(false));
     let cache = Arc::new(TopKCache::new(cfg.cache_capacity, n_workers.max(1)));
     let batcher = Batcher::new(cfg.batch_tick);
+    let obs = Arc::new(ObsState::new(&cfg, read_path_of(&engine))?);
 
     let scorer = {
         let b = batcher.clone();
@@ -138,6 +165,7 @@ pub fn serve(engine: Arc<Engine>, cfg: ServerConfig) -> Result<ServerHandle, Str
             batcher: batcher.clone(),
             stop: stop.clone(),
             cache_enabled: cfg.cache_capacity > 0,
+            obs: obs.clone(),
         };
         workers.push(
             std::thread::Builder::new()
@@ -180,6 +208,149 @@ struct Ctx {
     batcher: Arc<Batcher>,
     stop: Arc<AtomicBool>,
     cache_enabled: bool,
+    obs: Arc<ObsState>,
+}
+
+/// Which scan this engine configuration answers requests with. Fixed per
+/// process: reload preserves the engine options, so one label per server.
+fn read_path_of(engine: &Engine) -> ReadPath {
+    let st = engine.state();
+    if st.ann_enabled() {
+        ReadPath::Ann
+    } else if st.quant_enabled() {
+        ReadPath::Quant
+    } else {
+        ReadPath::Exact
+    }
+}
+
+/// Per-server observability state shared by every worker: request-id
+/// generator, SLO thresholds, and the (optional) sampled access log.
+struct ObsState {
+    started: Instant,
+    read_path: ReadPath,
+    slo_p99_ms: Option<u64>,
+    slo_err_ppm: Option<u64>,
+    access: Option<Mutex<File>>,
+    access_sample: u64,
+    access_seq: AtomicU64,
+    id_prefix: String,
+    id_seq: AtomicU64,
+}
+
+impl ObsState {
+    fn new(cfg: &ServerConfig, read_path: ReadPath) -> Result<Self, String> {
+        let access = match &cfg.access_log {
+            Some(p) => Some(Mutex::new(
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(p)
+                    .map_err(|e| format!("opening access log {}: {e}", p.display()))?,
+            )),
+            None => None,
+        };
+        let boot_ns = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        Ok(Self {
+            started: Instant::now(),
+            read_path,
+            slo_p99_ms: cfg.slo_p99_ms,
+            slo_err_ppm: cfg.slo_err_ppm,
+            access,
+            access_sample: cfg.access_sample.max(1),
+            access_seq: AtomicU64::new(0),
+            id_prefix: format!("{:08x}", (boot_ns >> 16) as u32 ^ boot_ns as u32),
+            id_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// A fresh process-unique request id: boot-derived prefix + sequence.
+    fn fresh_id(&self) -> String {
+        format!(
+            "{}-{:x}",
+            self.id_prefix,
+            self.id_seq.fetch_add(1, Ordering::Relaxed)
+        )
+    }
+
+    /// Honors a well-formed inbound `x-lrgcn-request-id` (propagation from
+    /// an upstream caller); anything missing, oversized or containing
+    /// header-unsafe bytes gets a fresh id instead.
+    fn request_id(&self, req: &Request) -> String {
+        if let Some(id) = req.header("x-lrgcn-request-id") {
+            let ok = !id.is_empty()
+                && id.len() <= 64
+                && id
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b':'));
+            if ok {
+                return id.to_string();
+            }
+        }
+        self.fresh_id()
+    }
+
+    /// Appends one JSONL access-log line for every `access_sample`-th
+    /// request. The line reuses the `obs::json` bit-exact encoder; a full
+    /// line is written with one `write_all`, so concurrent workers never
+    /// interleave partial lines.
+    #[allow(clippy::too_many_arguments)]
+    fn access_log(
+        &self,
+        id: &str,
+        method: &str,
+        path: &str,
+        route: Route,
+        status: u16,
+        ns: u64,
+        generation: u64,
+    ) {
+        let Some(file) = &self.access else { return };
+        let seq = self.access_seq.fetch_add(1, Ordering::Relaxed);
+        if !seq.is_multiple_of(self.access_sample) {
+            return;
+        }
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut line = Value::obj([
+            ("ts_ms", Value::u64(ts_ms)),
+            ("id", Value::str(id)),
+            ("method", Value::str(method)),
+            ("path", Value::str(path)),
+            ("route", Value::str(route.name())),
+            ("status", Value::u64(status as u64)),
+            ("latency_ns", Value::u64(ns)),
+            ("read_path", Value::str(self.read_path.name())),
+            ("generation", Value::u64(generation)),
+        ])
+        .render()
+        .into_bytes();
+        line.push(b'\n');
+        if let Ok(mut f) = file.lock() {
+            let _ = f.write_all(&line);
+        }
+    }
+}
+
+/// Maps a parsed request onto the closed [`Route`] label space. Must agree
+/// with [`route`]'s dispatch so latency series line up with handlers.
+fn classify_route(req: &Request) -> Route {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Route::Healthz,
+        ("GET", "/metrics") => Route::Metrics,
+        ("GET", "/admin/obs") => Route::AdminObs,
+        ("POST", "/score") => Route::Score,
+        ("POST", "/admin/reload") => Route::AdminReload,
+        ("POST", "/admin/shutdown") => Route::AdminShutdown,
+        ("GET", p) if p.starts_with("/recs/") => Route::Recs,
+        ("GET", p) if p.starts_with("/similar/") => Route::Similar,
+        _ => Route::Other,
+    }
 }
 
 fn worker_loop(listener: TcpListener, ctx: Ctx) {
@@ -207,17 +378,51 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
     let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
     let _ = stream.set_nonblocking(false);
     registry::add(Counter::ServeRequests, 1);
-    let _t = timer::scoped(Hist::ServeRequest);
     let _span = lrgcn_obs::trace::span("serve_request", "serve");
+    let t0 = Instant::now();
 
-    let (status, content_type, body) = match read_request(&mut stream) {
-        Ok(req) => route(&req, ctx),
-        Err(msg) => error_response(400, &msg),
+    let (req_id, route_label, method, path, reply) = match read_request(&mut stream) {
+        Ok(req) => {
+            let id = ctx.obs.request_id(&req);
+            let label = classify_route(&req);
+            let reply = route(&req, ctx);
+            (id, label, req.method, req.path, reply)
+        }
+        Err(msg) => (
+            ctx.obs.fresh_id(),
+            Route::Other,
+            "-".to_string(),
+            "-".to_string(),
+            error_response(400, &msg),
+        ),
     };
+    let (status, content_type, body) = reply;
     if status >= 400 {
         registry::add(Counter::ServeErrors, 1);
     }
-    let _ = write_response(&mut stream, status, content_type, &body);
+    let _ = write_response(
+        &mut stream,
+        status,
+        content_type,
+        &[("x-lrgcn-request-id", &req_id)],
+        &body,
+    );
+
+    // The measurement covers parse → route → respond, exactly what the
+    // cumulative `Hist::ServeRequest` always covered; both sinks are fed
+    // from the same sample so windows and lifetime histograms agree.
+    let ns = t0.elapsed().as_nanos() as u64;
+    registry::record_ns(Hist::ServeRequest, ns);
+    let slow = ctx
+        .obs
+        .slo_p99_ms
+        .is_some_and(|ms| ns > ms.saturating_mul(1_000_000));
+    window::record_request(route_label, status, ctx.obs.read_path, ns, slow);
+    if ctx.obs.access.is_some() {
+        let generation = ctx.engine.generation();
+        ctx.obs
+            .access_log(&req_id, &method, &path, route_label, status, ns, generation);
+    }
 }
 
 type Reply = (u16, &'static str, Vec<u8>);
@@ -237,7 +442,12 @@ fn json_response(v: &Value) -> Reply {
 fn route(req: &Request, ctx: &Ctx) -> Reply {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(ctx),
-        ("GET", "/metrics") => (200, TEXT, render_metrics().into_bytes()),
+        ("GET", "/metrics") => {
+            let mut text = render_metrics();
+            text.push_str(&render_serving_metrics(&ctx.obs));
+            (200, TEXT, text.into_bytes())
+        }
+        ("GET", "/admin/obs") => admin_obs(ctx),
         ("POST", "/score") => score(req, ctx),
         ("POST", "/admin/reload") => reload(ctx),
         ("POST", "/admin/shutdown") => {
@@ -254,8 +464,14 @@ fn route(req: &Request, ctx: &Ctx) -> Reply {
 
 fn healthz(ctx: &Ctx) -> Reply {
     let st = ctx.engine.state();
+    // Freshness for load balancers: rate and error ratio over the last
+    // 60s, not just liveness.
+    let w60 = window::serving_window(window::now_sec(), 60);
     json_response(&Value::obj([
         ("status", Value::str("ok")),
+        ("uptime_s", Value::u64(ctx.obs.started.elapsed().as_secs())),
+        ("rate_60s", Value::num(w60.rps())),
+        ("error_ratio_60s", Value::num(w60.error_ratio())),
         ("model", Value::str(st.model_name.clone())),
         ("tag", Value::str(st.tag.clone())),
         ("generation", Value::u64(st.generation)),
@@ -275,6 +491,161 @@ fn healthz(ctx: &Ctx) -> Reply {
             "ann_recall_ppm",
             Value::u64((st.ann_recall * 1_000_000.0).round() as u64),
         ),
+    ]))
+}
+
+/// Static JSON key for one of the supported windows.
+fn window_key(w: u64) -> &'static str {
+    match w {
+        10 => "10s",
+        60 => "60s",
+        300 => "300s",
+        _ => "other",
+    }
+}
+
+/// One window's RED summary as JSON: totals, rates, merged and per-route
+/// latency quantiles (milliseconds), read-path mix.
+fn window_json(s: &WindowStats) -> Value {
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let routes = Value::Obj(
+        s.routes
+            .iter()
+            .filter(|(_, h)| h.count > 0)
+            .map(|(r, h)| {
+                (
+                    r.name().to_string(),
+                    Value::obj([
+                        ("requests", Value::u64(h.count)),
+                        ("p50_ms", Value::num(ms(h.quantile_ns(0.50)))),
+                        ("p95_ms", Value::num(ms(h.quantile_ns(0.95)))),
+                        ("p99_ms", Value::num(ms(h.quantile_ns(0.99)))),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    Value::obj([
+        ("window_s", Value::u64(s.window_s)),
+        ("requests", Value::u64(s.requests)),
+        ("errors", Value::u64(s.errors)),
+        ("rps", Value::num(s.rps())),
+        ("error_ratio", Value::num(s.error_ratio())),
+        ("p50_ms", Value::num(ms(s.hist.quantile_ns(0.50)))),
+        ("p95_ms", Value::num(ms(s.hist.quantile_ns(0.95)))),
+        ("p99_ms", Value::num(ms(s.hist.quantile_ns(0.99)))),
+        (
+            "read_paths",
+            Value::obj(
+                ReadPath::ALL.map(|p| (p.name(), Value::u64(s.read_paths[p as usize]))),
+            ),
+        ),
+        ("slo_slow", Value::u64(s.slo_slow)),
+        ("routes", routes),
+    ])
+}
+
+/// SLO burn rates over the short (10s) and long (60s) windows. Latency
+/// burn = slow-request ratio over the 1% budget a p99 target implies;
+/// error burn = error ratio over the configured ppm budget. 1.0 = burning
+/// the budget exactly at the sustainable rate.
+fn slo_json(obs: &ObsState, w10: &WindowStats, w60: &WindowStats) -> Value {
+    let lat = |w: &WindowStats| {
+        if obs.slo_p99_ms.is_some() {
+            window::burn_rate(w.slo_slow, w.requests, window::LATENCY_SLO_BUDGET)
+        } else {
+            0.0
+        }
+    };
+    let err = |w: &WindowStats| match obs.slo_err_ppm {
+        Some(ppm) => window::burn_rate(w.errors, w.requests, ppm as f64 / 1e6),
+        None => 0.0,
+    };
+    Value::obj([
+        (
+            "p99_ms",
+            obs.slo_p99_ms.map_or(Value::Null, Value::u64),
+        ),
+        (
+            "err_ppm",
+            obs.slo_err_ppm.map_or(Value::Null, Value::u64),
+        ),
+        ("burn_latency_10s", Value::num(lat(w10))),
+        ("burn_latency_60s", Value::num(lat(w60))),
+        ("burn_err_10s", Value::num(err(w10))),
+        ("burn_err_60s", Value::num(err(w60))),
+    ])
+}
+
+/// `GET /admin/obs`: the full windowed observability snapshot — read-only,
+/// no admin side effects despite the path prefix.
+fn admin_obs(ctx: &Ctx) -> Reply {
+    let st = ctx.engine.state();
+    let now = window::now_sec();
+    let stats: Vec<WindowStats> = WINDOWS_S
+        .iter()
+        .map(|&w| window::serving_window(now, w))
+        .collect();
+    let windows = Value::Obj(
+        stats
+            .iter()
+            .map(|s| (window_key(s.window_s).to_string(), window_json(s)))
+            .collect(),
+    );
+    let hits = registry::get(Counter::ServeCacheHits);
+    let misses = registry::get(Counter::ServeCacheMisses);
+    let lookups = hits + misses;
+    json_response(&Value::obj([
+        ("uptime_s", Value::u64(ctx.obs.started.elapsed().as_secs())),
+        ("model", Value::str(st.model_name.clone())),
+        ("generation", Value::u64(st.generation)),
+        ("read_path", Value::str(ctx.obs.read_path.name())),
+        ("reloads", Value::u64(registry::get(Counter::ServeReloads))),
+        (
+            "cache",
+            Value::obj([
+                ("hits", Value::u64(hits)),
+                ("misses", Value::u64(misses)),
+                (
+                    "hit_ratio",
+                    Value::num(if lookups == 0 {
+                        0.0
+                    } else {
+                        hits as f64 / lookups as f64
+                    }),
+                ),
+            ]),
+        ),
+        (
+            "quant",
+            Value::obj([
+                ("scans", Value::u64(registry::get(Counter::QuantScans))),
+                ("rescored", Value::u64(registry::get(Counter::QuantRescored))),
+                (
+                    "recall_ppm",
+                    Value::u64(registry::gauge_current(Gauge::QuantRecallPpm)),
+                ),
+            ]),
+        ),
+        (
+            "ann",
+            Value::obj([
+                (
+                    "cells_probed",
+                    Value::u64(registry::get(Counter::AnnCellsProbed)),
+                ),
+                (
+                    "candidates",
+                    Value::u64(registry::get(Counter::AnnCandidates)),
+                ),
+                (
+                    "recall_ppm",
+                    Value::u64(registry::gauge_current(Gauge::AnnRecallPpm)),
+                ),
+            ]),
+        ),
+        ("slo", slo_json(&ctx.obs, &stats[0], &stats[1])),
+        ("windows", windows),
     ]))
 }
 
@@ -455,37 +826,153 @@ fn score(req: &Request, ctx: &Ctx) -> Reply {
     }
 }
 
-/// Renders every obs counter, gauge and histogram as Prometheus text.
-/// Dotted metric names become `lrgcn_`-prefixed snake_case
-/// (`serve.cache.hits` → `lrgcn_serve_cache_hits_total`).
+/// Appends one `# HELP`/`# TYPE`-prefixed sample line.
+fn push_family(out: &mut String, name: &str, help: &str, kind: &str, value: impl std::fmt::Display) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+    ));
+}
+
+/// Renders every obs counter, gauge and histogram as Prometheus text with
+/// full scrape metadata: `# HELP`/`# TYPE` per family, and cumulative
+/// `_bucket{le="..."}` series derived from the log2 histogram buckets
+/// (bucket `b` covers `[2^b, 2^(b+1))` ns, so its inclusive `le` boundary
+/// is `2^(b+1)-1`). Dotted metric names become `lrgcn_`-prefixed
+/// snake_case (`serve.cache.hits` → `lrgcn_serve_cache_hits_total`).
 pub fn render_metrics() -> String {
     let snap = registry::snapshot();
     let mut out = String::new();
     for c in Counter::ALL {
-        out.push_str(&format!(
-            "lrgcn_{}_total {}\n",
-            sanitize(c.name()),
-            snap.counter(c)
-        ));
+        let name = format!("lrgcn_{}_total", sanitize(c.name()));
+        push_family(&mut out, &name, c.help(), "counter", snap.counter(c));
     }
     for g in Gauge::ALL {
-        let name = sanitize(g.name());
-        out.push_str(&format!(
-            "lrgcn_{name} {}\nlrgcn_{name}_peak {}\n",
-            registry::gauge_current(g),
-            registry::gauge_peak(g)
-        ));
+        let name = format!("lrgcn_{}", sanitize(g.name()));
+        push_family(&mut out, &name, g.help(), "gauge", registry::gauge_current(g));
+        let peak = format!("{name}_peak");
+        push_family(
+            &mut out,
+            &peak,
+            "High-water mark of the matching gauge",
+            "gauge",
+            registry::gauge_peak(g),
+        );
     }
     for h in Hist::ALL {
         let hs = snap.hist(h);
-        let name = sanitize(h.name());
+        let name = format!("lrgcn_{}", sanitize(h.name()));
         out.push_str(&format!(
-            "lrgcn_{name}_count {}\nlrgcn_{name}_sum {}\nlrgcn_{name}_max {}\nlrgcn_{name}_p95 {}\n",
-            hs.count,
-            hs.sum_ns,
-            hs.max_ns,
-            hs.quantile_ns(0.95)
+            "# HELP {name} {}\n# TYPE {name} histogram\n",
+            h.help()
         ));
+        let mut cum = 0u64;
+        for b in 0..HIST_BUCKETS {
+            cum += hs.buckets[b];
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                bucket_upper_ns(b)
+            ));
+        }
+        // Relaxed reads can momentarily disagree between buckets and
+        // count; +Inf takes the max so the cumulative series stays
+        // monotone for scrapers.
+        out.push_str(&format!(
+            "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+            cum.max(hs.count),
+            hs.sum_ns,
+            hs.count
+        ));
+        let max = format!("{name}_max");
+        push_family(
+            &mut out,
+            &max,
+            "Maximum observed sample, nanoseconds",
+            "gauge",
+            hs.max_ns,
+        );
+        let p95 = format!("{name}_p95");
+        push_family(
+            &mut out,
+            &p95,
+            "Approximate p95 from the log2 buckets, nanoseconds",
+            "gauge",
+            hs.quantile_ns(0.95),
+        );
+    }
+    out
+}
+
+/// Serving-only extension of [`render_metrics`]: uptime, windowed RED
+/// gauges and (when configured) SLO burn rates. Appended by the `/metrics`
+/// handler — these need per-server state the registry renderer has no
+/// access to.
+fn render_serving_metrics(obs: &ObsState) -> String {
+    let now = window::now_sec();
+    let stats: Vec<WindowStats> = WINDOWS_S
+        .iter()
+        .map(|&w| window::serving_window(now, w))
+        .collect();
+    let mut out = String::new();
+    push_family(
+        &mut out,
+        "lrgcn_serve_uptime_seconds",
+        "Seconds since this server started",
+        "gauge",
+        obs.started.elapsed().as_secs(),
+    );
+    out.push_str(
+        "# HELP lrgcn_serve_window_rps Windowed request rate, requests per second\n# TYPE lrgcn_serve_window_rps gauge\n",
+    );
+    for s in &stats {
+        out.push_str(&format!(
+            "lrgcn_serve_window_rps{{window=\"{}\"}} {}\n",
+            window_key(s.window_s),
+            s.rps()
+        ));
+    }
+    out.push_str(
+        "# HELP lrgcn_serve_window_error_ratio Windowed non-2xx response ratio\n# TYPE lrgcn_serve_window_error_ratio gauge\n",
+    );
+    for s in &stats {
+        out.push_str(&format!(
+            "lrgcn_serve_window_error_ratio{{window=\"{}\"}} {}\n",
+            window_key(s.window_s),
+            s.error_ratio()
+        ));
+    }
+    out.push_str(
+        "# HELP lrgcn_serve_window_p95_ns Windowed p95 request latency, nanoseconds\n# TYPE lrgcn_serve_window_p95_ns gauge\n",
+    );
+    for s in &stats {
+        out.push_str(&format!(
+            "lrgcn_serve_window_p95_ns{{window=\"{}\"}} {}\n",
+            window_key(s.window_s),
+            s.hist.quantile_ns(0.95)
+        ));
+    }
+    if obs.slo_p99_ms.is_some() || obs.slo_err_ppm.is_some() {
+        out.push_str(
+            "# HELP lrgcn_serve_slo_burn SLO burn rate (1.0 = consuming the error budget exactly at the sustainable rate)\n# TYPE lrgcn_serve_slo_burn gauge\n",
+        );
+        let (w10, w60) = (&stats[0], &stats[1]);
+        if obs.slo_p99_ms.is_some() {
+            for w in [w10, w60] {
+                out.push_str(&format!(
+                    "lrgcn_serve_slo_burn{{slo=\"latency\",window=\"{}\"}} {}\n",
+                    window_key(w.window_s),
+                    window::burn_rate(w.slo_slow, w.requests, window::LATENCY_SLO_BUDGET)
+                ));
+            }
+        }
+        if let Some(ppm) = obs.slo_err_ppm {
+            for w in [w10, w60] {
+                out.push_str(&format!(
+                    "lrgcn_serve_slo_burn{{slo=\"errors\",window=\"{}\"}} {}\n",
+                    window_key(w.window_s),
+                    window::burn_rate(w.errors, w.requests, ppm as f64 / 1e6)
+                ));
+            }
+        }
     }
     out
 }
@@ -499,21 +986,171 @@ fn sanitize(name: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    /// Validates Prometheus text-exposition structure: every sample line
+    /// belongs to a family announced by `# HELP` + `# TYPE`, names are
+    /// scrape-safe, values parse, histogram `_bucket` series are
+    /// cumulative-monotone with increasing `le` boundaries and a `+Inf`
+    /// terminator.
+    fn validate_scrape(text: &str) {
+        let mut help: HashSet<String> = HashSet::new();
+        let mut kinds: HashMap<String, String> = HashMap::new();
+        // (family → (prev cumulative, prev le, saw +Inf))
+        let mut hist_state: HashMap<String, (u64, u64, bool)> = HashMap::new();
+        let name_ok = |n: &str| n.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, doc) = rest.split_once(' ').expect("HELP name doc");
+                assert!(name_ok(name), "unsafe family name {name:?}");
+                assert!(!doc.is_empty(), "empty HELP for {name}");
+                help.insert(name.to_string());
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, kind) = rest.split_once(' ').expect("TYPE name kind");
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "histogram"),
+                    "unknown TYPE {kind:?}"
+                );
+                assert!(help.contains(name), "TYPE before HELP for {name}");
+                kinds.insert(name.to_string(), kind.to_string());
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            let v: f64 = value
+                .parse()
+                .unwrap_or_else(|_| panic!("bad value in {line:?}"));
+            let (name, labels) = match series.split_once('{') {
+                Some((n, l)) => (n, Some(l.strip_suffix('}').expect("closed label set"))),
+                None => (series, None),
+            };
+            assert!(name_ok(name), "unsafe metric name {name:?}");
+            // Resolve the declaring family: exact match, or a histogram
+            // child (`_bucket`/`_sum`/`_count`).
+            let family = if kinds.contains_key(name) {
+                name.to_string()
+            } else {
+                let parent = name
+                    .strip_suffix("_bucket")
+                    .or_else(|| name.strip_suffix("_sum"))
+                    .or_else(|| name.strip_suffix("_count"))
+                    .unwrap_or_else(|| panic!("sample {name} has no TYPE metadata"));
+                assert_eq!(
+                    kinds.get(parent).map(String::as_str),
+                    Some("histogram"),
+                    "suffix child {name} outside a histogram family"
+                );
+                parent.to_string()
+            };
+            if name.ends_with("_bucket") {
+                let cum = v as u64;
+                let le = labels
+                    .and_then(|l| l.strip_prefix("le=\""))
+                    .and_then(|l| l.strip_suffix('"'))
+                    .unwrap_or_else(|| panic!("bucket without le label in {line:?}"));
+                let entry = hist_state.entry(family.clone()).or_insert((0, 0, false));
+                assert!(!entry.2, "{family}: bucket after +Inf");
+                assert!(
+                    cum >= entry.0,
+                    "{family}: non-monotone cumulative bucket at le={le}"
+                );
+                if le == "+Inf" {
+                    entry.2 = true;
+                } else {
+                    let bound: u64 = le.parse().expect("numeric le");
+                    assert!(bound > entry.1, "{family}: le boundaries must increase");
+                    entry.1 = bound;
+                }
+                entry.0 = cum;
+            }
+        }
+        for (family, (_, _, inf)) in &hist_state {
+            assert!(inf, "{family}: histogram without +Inf bucket");
+        }
+    }
 
     #[test]
-    fn metric_names_are_prometheus_safe() {
+    fn registry_renderer_is_scrape_valid_and_keeps_stable_names() {
         let text = render_metrics();
+        // Names the dashboards / verify.sh already grep for must not move.
         assert!(text.contains("lrgcn_serve_http_requests_total "));
         assert!(text.contains("lrgcn_serve_cache_hits_total "));
         assert!(text.contains("lrgcn_serve_request_ns_count "));
         assert!(text.contains("lrgcn_tensor_matrix_bytes "));
-        for line in text.lines() {
-            let (name, value) = line.split_once(' ').expect("name value");
-            assert!(
-                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
-                "unsafe metric name {name:?}"
-            );
-            value.parse::<u64>().unwrap_or_else(|_| panic!("bad value in {line:?}"));
+        // New bucket series from the log2 histograms.
+        assert!(text.contains("lrgcn_serve_request_ns_bucket{le=\"1\"}"));
+        assert!(text.contains("lrgcn_serve_request_ns_bucket{le=\"+Inf\"}"));
+        assert!(text.contains("# TYPE lrgcn_serve_request_ns histogram"));
+        validate_scrape(&text);
+    }
+
+    #[test]
+    fn serving_renderer_is_scrape_valid_with_slo_gauges() {
+        let cfg = ServerConfig {
+            slo_p99_ms: Some(50),
+            slo_err_ppm: Some(1000),
+            ..ServerConfig::default()
+        };
+        let obs = ObsState::new(&cfg, ReadPath::Exact).unwrap();
+        window::record_request(Route::Recs, 200, ReadPath::Exact, 1_000_000, false);
+        window::record_request(Route::Recs, 500, ReadPath::Exact, 90_000_000, true);
+        let text = render_serving_metrics(&obs);
+        assert!(text.contains("lrgcn_serve_uptime_seconds "));
+        assert!(text.contains("lrgcn_serve_window_rps{window=\"10s\"}"));
+        assert!(text.contains("lrgcn_serve_window_error_ratio{window=\"300s\"}"));
+        assert!(text.contains("lrgcn_serve_slo_burn{slo=\"latency\",window=\"10s\"}"));
+        assert!(text.contains("lrgcn_serve_slo_burn{slo=\"errors\",window=\"60s\"}"));
+        validate_scrape(&text);
+    }
+
+    fn fake_request(method: &str, path: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            query: Default::default(),
+            headers: Default::default(),
+            body: Vec::new(),
         }
+    }
+
+    #[test]
+    fn route_classification_matches_dispatch() {
+        let cases = [
+            ("GET", "/healthz", Route::Healthz),
+            ("GET", "/metrics", Route::Metrics),
+            ("GET", "/admin/obs", Route::AdminObs),
+            ("POST", "/score", Route::Score),
+            ("POST", "/admin/reload", Route::AdminReload),
+            ("POST", "/admin/shutdown", Route::AdminShutdown),
+            ("GET", "/recs/7", Route::Recs),
+            ("GET", "/similar/3", Route::Similar),
+            ("GET", "/nope", Route::Other),
+            ("DELETE", "/recs/7", Route::Other),
+        ];
+        for (m, p, want) in cases {
+            assert_eq!(classify_route(&fake_request(m, p)), want, "{m} {p}");
+        }
+    }
+
+    #[test]
+    fn request_ids_honor_wellformed_inbound_headers_only() {
+        let obs = ObsState::new(&ServerConfig::default(), ReadPath::Exact).unwrap();
+        let mut req = fake_request("GET", "/healthz");
+        req.headers
+            .insert("x-lrgcn-request-id".into(), "trace-1.2:a_b".into());
+        assert_eq!(obs.request_id(&req), "trace-1.2:a_b");
+        // Malformed inbound ids are replaced, not echoed.
+        for bad in ["", "has space", "x".repeat(65).as_str(), "new\nline"] {
+            req.headers
+                .insert("x-lrgcn-request-id".into(), bad.into());
+            let got = obs.request_id(&req);
+            assert_ne!(got, bad);
+            assert!(got.contains('-'), "generated id shape: {got}");
+        }
+        // Generated ids are unique.
+        let a = obs.fresh_id();
+        let b = obs.fresh_id();
+        assert_ne!(a, b);
     }
 }

@@ -1,0 +1,136 @@
+//! Overhead guard for the per-request observability middleware.
+//!
+//! The budget argument, same style as `lrgcn-obs/tests/overhead.rs`: the
+//! cheapest request the server can possibly answer — a cache-hit `/recs`
+//! over loopback — still pays an `accept`, a socket read, a response write
+//! and a close, which is well over 100 µs of syscall traffic even on an
+//! idle machine. The 5% regression allowance therefore gives the per-
+//! request observability tail a 5 µs wall-clock budget. The tail is:
+//!
+//!   1. one `window::record_request` (route hist ring + series counter
+//!      ring + optional SLO-slow counter — a handful of relaxed RMWs,
+//!      plus a claim-CAS once per second),
+//!   2. one cumulative `registry::record_ns`,
+//!   3. one request-id mint (an atomic sequence bump and a short format),
+//!   4. one access-log sampling decision (atomic bump + modulo) when the
+//!      log is armed; the sampled-in file write is off the 5% budget by
+//!      design — that is what `--access-sample` exists for.
+//!
+//! Each component is pinned to a per-op ceiling loose enough for debug
+//! builds on shared CI boxes, yet orders of magnitude below what a mutex,
+//! syscall or allocation sneaking onto the path would cost. A combined
+//! simulation then pins the whole tail to the 5 µs budget directly.
+
+use lrgcn_obs::registry::{self, Hist};
+use lrgcn_obs::window::{self, ReadPath, Route};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Mean ns/op of `f` over `iters` iterations, after one warm-up call.
+fn ns_per_op<F: FnMut()>(iters: u64, mut f: F) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+#[test]
+fn windowed_record_request_stays_under_budget() {
+    let mut ns = 0u64;
+    let per_op = ns_per_op(200_000, || {
+        ns = ns.wrapping_add(977) % 50_000_000;
+        window::record_request(Route::Recs, 200, ReadPath::Exact, ns, false);
+    });
+    assert!(
+        per_op < 2_000.0,
+        "window::record_request costs {per_op:.1} ns/op — rotation protocol \
+         or series indexing no longer lock-free relaxed RMWs?"
+    );
+}
+
+#[test]
+fn windowed_record_with_slo_accounting_stays_under_budget() {
+    let per_op = ns_per_op(200_000, || {
+        window::record_request(Route::Score, 500, ReadPath::Ann, 60_000_000, true);
+    });
+    assert!(
+        per_op < 2_500.0,
+        "record_request with error + SLO-slow accounting costs {per_op:.1} ns/op"
+    );
+}
+
+#[test]
+fn cumulative_request_histogram_stays_under_budget() {
+    let per_op = ns_per_op(500_000, || {
+        registry::record_ns(Hist::ServeRequest, 1_234_567);
+    });
+    assert!(
+        per_op < 500.0,
+        "registry::record_ns costs {per_op:.1} ns/op — no longer relaxed atomics?"
+    );
+}
+
+#[test]
+fn request_id_mint_stays_under_budget() {
+    // Same shape as the server's id mint: one relaxed sequence bump plus
+    // one short format into a fresh String (`{prefix}-{seq:x}`).
+    let seq = AtomicU64::new(0);
+    let prefix = "1a2b3c4d";
+    let per_op = ns_per_op(200_000, || {
+        let id = format!("{prefix}-{:x}", seq.fetch_add(1, Ordering::Relaxed));
+        std::hint::black_box(id);
+    });
+    assert!(
+        per_op < 1_000.0,
+        "request-id mint costs {per_op:.1} ns/op — formatting grew an allocation storm?"
+    );
+}
+
+#[test]
+fn access_log_sampling_decision_stays_under_budget() {
+    // The sampled-out path of the access log: one relaxed bump and a
+    // modulo against `--access-sample`. Only sampled-in requests pay the
+    // (single) buffered write under the log mutex.
+    let seq = AtomicU64::new(0);
+    let sample = 16u64;
+    let mut kept = 0u64;
+    let per_op = ns_per_op(500_000, || {
+        if seq.fetch_add(1, Ordering::Relaxed).is_multiple_of(sample) {
+            kept += 1;
+        }
+    });
+    assert!(kept > 0);
+    assert!(
+        per_op < 250.0,
+        "access-log sampling decision costs {per_op:.1} ns/op"
+    );
+}
+
+/// End-to-end version of the budget math: the complete per-request tail —
+/// windowed recording, cumulative histogram, id mint and sampling decision
+/// — must stay under 5 µs per request, i.e. under 5% of the ≥100 µs floor
+/// a loopback request actually costs.
+#[test]
+fn per_request_obs_tail_is_under_five_percent_of_request_floor() {
+    const REQUESTS: u64 = 20_000;
+    let seq = AtomicU64::new(0);
+    let id_seq = AtomicU64::new(0);
+    let start = Instant::now();
+    for i in 0..REQUESTS {
+        let ns = 50_000 + (i % 1024) * 977;
+        let id = format!("1a2b3c4d-{:x}", id_seq.fetch_add(1, Ordering::Relaxed));
+        std::hint::black_box(&id);
+        registry::record_ns(Hist::ServeRequest, ns);
+        window::record_request(Route::Recs, 200, ReadPath::Exact, ns, ns > 1_000_000);
+        if seq.fetch_add(1, Ordering::Relaxed).is_multiple_of(8) {
+            std::hint::black_box(&id);
+        }
+    }
+    let per_request = start.elapsed().as_nanos() as f64 / REQUESTS as f64;
+    assert!(
+        per_request < 5_000.0,
+        "per-request obs tail costs {per_request:.1} ns — over the 5 µs (5%) budget"
+    );
+}

@@ -12,21 +12,26 @@
 #   5. serving smoke: train --save a checkpoint, start `lrgcn serve` on an
 #      ephemeral port, query /healthz and /recs over /dev/tcp, then stop it
 #      gracefully via POST /admin/shutdown
-#   6. fault-injection smoke: train under LRGCN_FAULT=io_error:0.7 with
+#   6. request-observability smoke: serve the same checkpoint with
+#      --access-log and --slo-* armed, drive mixed /recs + /score traffic
+#      over /dev/tcp, assert the /admin/obs 300s-window request count
+#      equals the driven count exactly, and `lrgcn top --once` renders a
+#      non-empty dashboard naming the driven routes
+#   7. fault-injection smoke: train under LRGCN_FAULT=io_error:0.7 with
 #      per-epoch checkpointing — the run must survive every injected save
 #      failure (emitting `recovery` records, finishing with finite
 #      metrics) and every surviving checkpoint generation must still be
 #      loadable by `lrgcn evaluate --load`, plus a kill-mid-save + resume
 #      round-trip
-#   7. kernel sweep: the golden-trajectory suite re-run under every
+#   8. kernel sweep: the golden-trajectory suite re-run under every
 #      LRGCN_KERNEL={naive,blocked,simd} × LRGCN_THREADS={1,8} pair — the
 #      cache-blocked and AVX2 kernels are contractually bitwise identical
 #      to the naive reference, so any trajectory drift fails the stage
-#   8. ANN smoke: train on the yelp-like preset, serve the same checkpoint
+#   9. ANN smoke: train on the yelp-like preset, serve the same checkpoint
 #      behind `--exact` and `--ann`, query both over /dev/tcp and fail if
 #      the IVF read path's recall@20 against the exact scan drops below
 #      0.95
-#   9. the PR-1 parallel-execution benchmark (writes BENCH_PR1.json), the
+#  10. the PR-1 parallel-execution benchmark (writes BENCH_PR1.json), the
 #      PR-4 serving-throughput benchmark (writes BENCH_PR4.json), the
 #      PR-6 kernel/quantized-read-path benchmark (writes BENCH_PR6.json)
 #      and a `--quick` run of the PR-7 IVF-vs-exact benchmark (written to
@@ -106,6 +111,58 @@ grep -q 'lrgcn_serve_http_requests_total' <<<"$metrics" || {
 http_req POST /admin/shutdown >/dev/null
 wait "$serve_pid" || { echo "verify: serve exited non-zero"; exit 1; }
 echo "serving smoke: OK"
+
+echo "==> request-observability smoke: windowed counts + lrgcn top"
+obsdir="$smoke/obs"
+mkdir -p "$obsdir"
+./target/release/lrgcn serve "$smoke/model.ckpt" \
+    --input "$smoke/interactions.tsv" --port 0 \
+    --access-log "$obsdir/access.jsonl" --slo-p99-ms 250 --slo-err-ppm 10000 \
+    >"$obsdir/serve.log" 2>&1 &
+obs_pid=$!
+obs_port=""
+for _ in $(seq 1 50); do
+    obs_port=$(sed -n 's#.*listening on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' "$obsdir/serve.log")
+    [[ -n "$obs_port" ]] && break
+    sleep 0.2
+done
+[[ -n "$obs_port" ]] || { echo "verify: obs smoke serve never reported its port"; cat "$obsdir/serve.log"; exit 1; }
+obs_req() { # method path [body] -> full response on stdout
+    local body="${3:-}"
+    exec 5<>"/dev/tcp/127.0.0.1/$obs_port"
+    printf '%s %s HTTP/1.1\r\nHost: verify\r\nContent-Length: %s\r\n\r\n%s' \
+        "$1" "$2" "${#body}" "$body" >&5
+    cat <&5
+    exec 5<&-
+}
+driven=0
+for u in $(seq 0 19); do
+    obs_req GET "/recs/$u?k=5" >/dev/null
+    driven=$((driven + 1))
+done
+for _ in $(seq 1 10); do
+    obs_req POST /score '{"pairs": [[0, 1], [2, 3]]}' >/dev/null
+    driven=$((driven + 1))
+done
+obs=$(obs_req GET /admin/obs)
+# First "requests" after the "300s" key is that window's total (the routes
+# sub-object sorts after it). Traffic above took well under 300s, so the
+# window must hold exactly what was driven — the /admin/obs request itself
+# is recorded only after its response is written.
+w300=$(sed 's/.*"300s"://' <<<"$obs" | grep -o '"requests":[0-9]*' | head -1 | cut -d: -f2)
+[[ "$w300" == "$driven" ]] || {
+    echo "verify: /admin/obs 300s window counted ${w300:-nothing}, drove $driven"
+    echo "$obs"; exit 1; }
+grep -q '"score":' <<<"$obs" || { echo "verify: /admin/obs missing the score route"; echo "$obs"; exit 1; }
+top_out=$(./target/release/lrgcn top "http://127.0.0.1:$obs_port" --once)
+[[ -n "$top_out" ]] || { echo "verify: lrgcn top --once produced no output"; exit 1; }
+grep -q "recs" <<<"$top_out" || { echo "verify: lrgcn top shows no recs route"; echo "$top_out"; exit 1; }
+access_lines=$(wc -l <"$obsdir/access.jsonl")
+(( access_lines >= driven )) || {
+    echo "verify: access log has $access_lines lines for $driven requests"; exit 1; }
+obs_req POST /admin/shutdown >/dev/null
+wait "$obs_pid" || { echo "verify: obs smoke serve exited non-zero"; exit 1; }
+echo "request-observability smoke: OK"
 
 echo "==> fault-injection smoke: checkpointed train under LRGCN_FAULT"
 fault="$smoke/fault"
