@@ -108,6 +108,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 pub mod report;
+pub mod retrain;
 pub mod top;
 
 /// Exit-style result: user-facing message on failure.
@@ -184,6 +185,7 @@ pub fn run(tokens: Vec<String>) -> CliResult {
         "evaluate" => cmd_evaluate(&args),
         "recommend" => cmd_recommend(&args),
         "serve" => cmd_serve(&args, rest),
+        "retrain" => retrain::cmd_retrain(&args),
         "report" => report::cmd_report(rest),
         "top" => top::cmd_top(rest),
         "help" | "--help" | "-h" => {
@@ -200,7 +202,9 @@ pub fn run(tokens: Vec<String>) -> CliResult {
 
 fn usage() -> String {
     "usage: lrgcn <stats|train|evaluate|recommend> --input FILE [options]\n\
-     \x20      lrgcn serve CKPT --input FILE [--port P]\n\
+     \x20      lrgcn serve CKPT --input FILE [--port P] [--events-log DIR]\n\
+     \x20      lrgcn retrain --input FILE --checkpoint BASE --follow DIR\n\
+     \x20             [--epochs N] [--publish CKPT] [--reload http://HOST:PORT]\n\
      \x20      lrgcn report LOG.jsonl | report --diff A.jsonl B.jsonl\n\
      \x20      lrgcn top http://HOST:PORT [--interval SECS] [--once]\n\
      run `lrgcn help` or see the crate docs for the full option list"
@@ -371,6 +375,7 @@ fn engine_options(args: &Args) -> Result<lrgcn_serve::EngineOptions, String> {
         ann: args.has_flag("ann"),
         nprobe,
         ann_cells: args.get_parsed("ann-cells", 0usize),
+        events_dir: args.get("events-log").map(std::path::PathBuf::from),
     })
 }
 
@@ -460,6 +465,8 @@ fn cmd_serve(args: &Args, rest: &[String]) -> CliResult {
             v.parse()
                 .unwrap_or_else(|_| panic!("could not parse --slo-err-ppm {v}"))
         }),
+        events_log: args.get("events-log").map(std::path::PathBuf::from),
+        events_max_pending: args.get_parsed("events-max-pending", 1024u64).max(1),
         ..lrgcn_serve::ServerConfig::default()
     };
     let handle = lrgcn_serve::serve(engine, cfg)?;
@@ -475,6 +482,13 @@ fn cmd_serve(args: &Args, rest: &[String]) -> CliResult {
             st.ann_recall
         );
     }
+    if let Some(dir) = args.get("events-log") {
+        println!(
+            "streaming ingestion on: POST /events appends to {dir} \
+             ({} covered by the checkpoint)",
+            st.covered_events
+        );
+    }
     println!("listening on http://{}", handle.addr());
     println!("POST /admin/shutdown to stop");
     handle.wait();
@@ -482,12 +496,13 @@ fn cmd_serve(args: &Args, rest: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Fixture helpers shared by this crate's test modules (`tests` below and
+/// `retrain::tests`).
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use lrgcn::data::SyntheticConfig;
+pub(crate) mod tests_support {
+    use lrgcn::data::{loader, SyntheticConfig};
 
-    fn write_fixture(dir: &std::path::Path) -> std::path::PathBuf {
+    pub(crate) fn write_fixture(dir: &std::path::Path) -> std::path::PathBuf {
         std::fs::create_dir_all(dir).expect("mkdir");
         let path = dir.join("interactions.tsv");
         let log = SyntheticConfig::games().scaled(0.1).generate(13);
@@ -495,9 +510,15 @@ mod tests {
         path
     }
 
-    fn argv(s: &str) -> Vec<String> {
+    pub(crate) fn argv(s: &str) -> Vec<String> {
         s.split_whitespace().map(String::from).collect()
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tests_support::{argv, write_fixture};
 
     #[test]
     fn unknown_command_errors_with_usage() {

@@ -34,6 +34,8 @@ pub fn cmd_top(tokens: &[String]) -> CliResult {
     let once = args.has_flag("once");
 
     let mut history: Vec<f64> = Vec::new();
+    let mut ev_history: Vec<f64> = Vec::new();
+    let mut last_accepted: Option<f64> = None;
     loop {
         match poll(&host, port) {
             Ok(obs) => {
@@ -48,7 +50,18 @@ pub fn cmd_top(tokens: &[String]) -> CliResult {
                     let drop = history.len() - HISTORY;
                     history.drain(..drop);
                 }
-                let frame = render_frame(url, &obs, &history);
+                // Ingestion rate between polls: the accepted counter is
+                // cumulative, so the first poll only seeds the baseline.
+                let accepted = get_f64(&obs, &["events", "accepted"]);
+                if let Some(prev) = last_accepted {
+                    ev_history.push(((accepted - prev) / interval).max(0.0));
+                    if ev_history.len() > HISTORY {
+                        let drop = ev_history.len() - HISTORY;
+                        ev_history.drain(..drop);
+                    }
+                }
+                last_accepted = Some(accepted);
+                let frame = render_frame(url, &obs, &history, &ev_history);
                 if once {
                     print!("{frame}");
                     return Ok(());
@@ -68,7 +81,7 @@ pub fn cmd_top(tokens: &[String]) -> CliResult {
 }
 
 /// Accepts `http://host:port[/...]` or bare `host:port`.
-fn parse_url(url: &str) -> Result<(String, u16), String> {
+pub(crate) fn parse_url(url: &str) -> Result<(String, u16), String> {
     let rest = url.strip_prefix("http://").unwrap_or(url);
     if rest.starts_with("https://") || url.starts_with("https://") {
         return Err("https is not supported; use http://host:port".into());
@@ -147,8 +160,9 @@ fn get_str<'v>(v: &'v Value, path: &[&str]) -> &'v str {
 }
 
 /// Renders one dashboard frame from an `/admin/obs` snapshot. Pure —
-/// exercised directly by the unit tests.
-fn render_frame(url: &str, obs: &Value, rps_history: &[f64]) -> String {
+/// exercised directly by the unit tests. `ev_history` holds the measured
+/// events/sec between recent polls (empty before the second poll).
+fn render_frame(url: &str, obs: &Value, rps_history: &[f64], ev_history: &[f64]) -> String {
     let mut out = String::new();
     let pct = |x: f64| format!("{:.2}%", x * 100.0);
 
@@ -208,6 +222,30 @@ fn render_frame(url: &str, obs: &Value, rps_history: &[f64]) -> String {
         );
     }
     let _ = writeln!(out, "{line}");
+
+    // Streaming ingestion health, only when the server runs an event log.
+    if let Some(Value::Bool(true)) = obs.get("events").and_then(|e| e.get("enabled")) {
+        let ev_rate = ev_history.last().copied().unwrap_or(0.0);
+        let mut line = format!(
+            "events {}/s  acked {}  dup {}  rej {}  fold-ins {}  log lag {}",
+            fmt_si(ev_rate),
+            fmt_si(get_f64(obs, &["events", "accepted"])),
+            fmt_si(get_f64(obs, &["events", "duplicates"])),
+            fmt_si(get_f64(obs, &["events", "rejected"])),
+            fmt_si(get_f64(obs, &["events", "fold_ins"])),
+            fmt_si(get_f64(obs, &["events", "log_lag"])),
+        );
+        match obs.get("events").and_then(|e| e.get("last_fold_in_age_ms")) {
+            Some(Value::Num(ms)) => {
+                let _ = write!(line, "  last fold-in {:.1}s ago", ms / 1e3);
+            }
+            _ => line.push_str("  no fold-in yet"),
+        }
+        if !ev_history.is_empty() {
+            let _ = write!(line, "  [{}]", sparkline(ev_history));
+        }
+        let _ = writeln!(out, "{line}");
+    }
 
     // SLO section only when the server has targets configured.
     let slo = obs.get("slo");
@@ -319,8 +357,10 @@ mod tests {
             }
         }"#;
         let obs = json::parse(snapshot).unwrap();
-        let frame = render_frame("http://127.0.0.1:1", &obs, &[10.0, 20.0, 42.5]);
+        let frame = render_frame("http://127.0.0.1:1", &obs, &[10.0, 20.0, 42.5], &[]);
         assert!(frame.contains("layergcn gen 3"));
+        // No "events" object in the snapshot: the ingestion line is absent.
+        assert!(!frame.contains("fold-ins"));
         assert!(frame.contains("read path ann"));
         assert!(frame.contains("recs"));
         assert!(frame.contains("score"));
@@ -339,7 +379,33 @@ mod tests {
     #[test]
     fn empty_snapshot_renders_without_panicking() {
         let obs = json::parse("{}").unwrap();
-        let frame = render_frame("http://h:1", &obs, &[]);
+        let frame = render_frame("http://h:1", &obs, &[], &[]);
         assert!(frame.contains("no requests in the last 60s"));
+    }
+
+    #[test]
+    fn events_health_line_renders_when_ingestion_is_on() {
+        let snapshot = r#"{
+            "model": "layergcn", "generation": 1,
+            "events": {"enabled": true, "accepted": 1200, "duplicates": 3,
+                       "rejected": 1, "fold_ins": 40, "log_lag": 200,
+                       "total_events": 1200, "covered_events": 1000,
+                       "last_fold_in_age_ms": 2500, "fold_in_p95_ns": 120000}
+        }"#;
+        let obs = json::parse(snapshot).unwrap();
+        let frame = render_frame("http://h:1", &obs, &[], &[5.0, 80.0, 20.0]);
+        assert!(frame.contains("events 20/s"), "{frame}");
+        assert!(frame.contains("acked 1.2k"));
+        assert!(frame.contains("log lag 200"));
+        assert!(frame.contains("fold-ins 40"));
+        assert!(frame.contains("last fold-in 2.5s ago"));
+        assert!(frame.contains('█') || frame.contains('▁'));
+        // Never folded: the age shows as a placeholder instead.
+        let never = r#"{"events": {"enabled": true, "accepted": 0,
+            "duplicates": 0, "rejected": 0, "fold_ins": 0, "log_lag": 0,
+            "last_fold_in_age_ms": null}}"#;
+        let obs2 = json::parse(never).unwrap();
+        let frame2 = render_frame("http://h:1", &obs2, &[], &[]);
+        assert!(frame2.contains("no fold-in yet"), "{frame2}");
     }
 }

@@ -279,6 +279,37 @@ impl Dataset {
         }
     }
 
+    /// Grows the dataset with streamed interaction events (DESIGN.md §13):
+    /// any user/item id at or past the current universe enlarges it, every
+    /// event becomes a training edge (repeats collapse), and the held-out
+    /// ground truth carries over unchanged (new users get empty entries).
+    /// Used by `lrgcn retrain` to fold an event log into the training
+    /// matrices, and by the serving engine to rebuild the dataset a
+    /// retrained generation was fit on.
+    pub fn extend_with_events(&self, events: &[(u32, u32)]) -> Dataset {
+        let n_users = self
+            .n_users
+            .max(events.iter().map(|&(u, _)| u as usize + 1).max().unwrap_or(0));
+        let n_items = self
+            .n_items
+            .max(events.iter().map(|&(_, i)| i as usize + 1).max().unwrap_or(0));
+        let mut pairs: Vec<(u32, u32)> = self.train.edges().to_vec();
+        pairs.extend_from_slice(events);
+        let pad = |held: &[Vec<u32>]| {
+            let mut v = held.to_vec();
+            v.resize(n_users, Vec::new());
+            v
+        };
+        Dataset::from_parts(
+            &self.name,
+            n_users,
+            n_items,
+            pairs,
+            pad(&self.val),
+            pad(&self.test),
+        )
+    }
+
     pub fn n_users(&self) -> usize {
         self.n_users
     }
@@ -524,6 +555,29 @@ mod tests {
         assert_eq!(ds.test_items(2), &[2]);
         let (v, t) = ds.heldout_sizes();
         assert_eq!((v, t), (3, 3));
+    }
+
+    #[test]
+    fn extend_with_events_grows_universe_and_keeps_heldout() {
+        let ds = Dataset::chronological_split("t", &log(), SplitRatios::default());
+        // New user 5 (>= 4) on new item 6 (>= 5), plus a fresh edge for a
+        // known user and a repeat of an existing training edge.
+        let grown = ds.extend_with_events(&[(5, 6), (0, 3), (0, 0)]);
+        assert_eq!(grown.n_users(), 6);
+        assert_eq!(grown.n_items(), 7);
+        // 7 original edges + (5,6) + (0,3); the (0,0) repeat collapses.
+        assert_eq!(grown.train().n_edges(), 9);
+        assert!(grown.is_train_interaction(5, 6));
+        assert!(grown.is_train_interaction(0, 3));
+        // Held-out ground truth is untouched; new users have none.
+        assert_eq!(grown.val_items(0), ds.val_items(0));
+        assert_eq!(grown.test_items(1), ds.test_items(1));
+        assert!(grown.val_items(5).is_empty());
+        assert!(grown.test_items(5).is_empty());
+        // No events → an identical dataset.
+        let same = ds.extend_with_events(&[]);
+        assert_eq!(same.n_users(), ds.n_users());
+        assert_eq!(same.train().n_edges(), ds.train().n_edges());
     }
 
     #[test]

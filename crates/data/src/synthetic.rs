@@ -318,6 +318,24 @@ mod tests {
     }
 
     #[test]
+    fn every_preset_emits_monotone_timestamps() {
+        // The streaming pipeline (DESIGN.md §13) replays synthetic logs
+        // through the event log in emission order — that is only a
+        // *chronological* replay if every preset's timestamps are monotone
+        // non-decreasing after dedup. Pin it for all four Table I replicas.
+        for cfg in SyntheticConfig::all_presets() {
+            let name = cfg.name;
+            let log = cfg.scaled(0.1).generate(42);
+            assert!(
+                log.interactions()
+                    .windows(2)
+                    .all(|w| w[0].timestamp <= w[1].timestamp),
+                "{name}: timestamps regressed"
+            );
+        }
+    }
+
+    #[test]
     fn mooc_is_denser_than_yelp() {
         let mooc = SyntheticConfig::mooc().scaled(0.25).generate(1);
         let yelp = SyntheticConfig::yelp().scaled(0.25).generate(1);

@@ -1,0 +1,208 @@
+//! Warm-start fold-in for streaming ingestion (DESIGN.md §13).
+//!
+//! LayerGCN's inference readout is `F = Σ_{l=1..L} X^l'` where each
+//! refined layer is `X^l' = (Sim(X^l, X^0) + ε) ⊙ Â X^{l-1}'` (Eq. 6–9).
+//! Because propagation is *linear* in the embeddings, the readout row of a
+//! single node can be expressed as a weighted sum of its neighbours'
+//! **prefix sums** `S = X^0 + Σ_{l=1..L-1} X^l'` — which makes fold-in of
+//! a new node exact to first order while every trained row stays frozen:
+//!
+//! * **New user** `u` with item set `I`: the trained ego row `x_u^0` does
+//!   not exist, so its refinement weight collapses to the ε floor of
+//!   Eq. 6 (`cos(·, 0) = 0` under the cosine clamp), and
+//!   `f_u = ε · Σ_{i∈I} S_{item(i)} / sqrt(d_u · (d_i + 1))` — exactly the
+//!   L-layer propagation of the new adjacency row through the frozen
+//!   graph, restricted to the new row (the O(ε²) feedback of the new row
+//!   onto its neighbours is dropped). ε > 0 is a scalar on the whole row,
+//!   so rankings are invariant to it.
+//! * **Known user** `u` gaining edges to `I'`: to first order the readout
+//!   changes by the same propagated sum, weighted by the user's *actual*
+//!   mean refinement weight `w̄_u = ε + mean_l Sim(x_u^l, x_u^0)`:
+//!   `f_u' = f_u + w̄_u · Σ_{i∈I'} S_{item(i)} / sqrt((d_u+|I'|)(d_i+1))`.
+//! * **New items** are symmetric (propagate from their users' prefix
+//!   rows).
+//!
+//! Degrees are frozen at their training values except the folded node's
+//! own degree; all sums run serially in event order, so folded rows are
+//! bitwise identical at any thread count.
+
+use lrgcn_tensor::Matrix;
+
+/// Everything the serving layer needs to synthesize embedding rows for
+/// nodes (or edges) that arrived after training. Built once per
+/// checkpoint load by [`crate::traits::Recommender::fold_in_basis`].
+pub struct FoldInBasis {
+    /// `S = X^0 + Σ_{l=1..L-1} X^l'` over all `n_users + n_items` nodes.
+    prefix: Matrix,
+    /// Node degrees of the frozen training graph (users then items).
+    degrees: Vec<u32>,
+    /// Per-node mean refinement weight `w̄ = ε + mean_l Sim(X^l, X^0)`.
+    weights: Vec<f32>,
+    /// The ε floor of Eq. 6 — the refinement weight of a node with no
+    /// trained ego row.
+    epsilon: f32,
+    n_users: usize,
+}
+
+impl FoldInBasis {
+    pub fn new(
+        prefix: Matrix,
+        degrees: Vec<u32>,
+        weights: Vec<f32>,
+        epsilon: f32,
+        n_users: usize,
+    ) -> Self {
+        assert_eq!(prefix.rows(), degrees.len(), "degree per node");
+        assert_eq!(prefix.rows(), weights.len(), "weight per node");
+        assert!(n_users <= prefix.rows());
+        assert!(epsilon > 0.0, "Eq. 6 requires a positive ε floor");
+        Self { prefix, degrees, weights, epsilon, n_users }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.prefix.cols()
+    }
+
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    pub fn n_items(&self) -> usize {
+        self.prefix.rows() - self.n_users
+    }
+
+    /// Accumulates `scale * S_node` into `out` for one known node.
+    fn add_prefix(&self, node: usize, scale: f32, out: &mut [f32]) {
+        for (o, &s) in out.iter_mut().zip(self.prefix.row(node)) {
+            *o += scale * s;
+        }
+    }
+
+    /// Propagated sum `Σ_n S_n / sqrt(d_self · (d_n + 1))` over the known
+    /// subset of `nodes`; unknown nodes (beyond the trained table — e.g.
+    /// an event that is new on *both* sides) contribute only to the
+    /// degree, matching a zero prefix row.
+    fn propagate(&self, nodes: &[usize], node_count: usize, weight: f32) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim()];
+        if node_count == 0 {
+            return out;
+        }
+        let d_self = node_count as f32;
+        for &n in nodes {
+            if n < self.prefix.rows() {
+                let d_n = self.degrees[n] as f32 + 1.0;
+                self.add_prefix(n, weight / (d_self * d_n).sqrt(), &mut out);
+            }
+        }
+        out
+    }
+
+    /// Readout row for a user unseen at training time, from the item ids
+    /// of its folded-in interactions (`items` deduplicated by the caller;
+    /// ids at or past `n_items` are degree-only).
+    pub fn synth_user_row(&self, items: &[u32]) -> Vec<f32> {
+        let nodes: Vec<usize> = items.iter().map(|&i| self.n_users + i as usize).collect();
+        self.propagate(&nodes, items.len(), self.epsilon)
+    }
+
+    /// Readout row for an item unseen at training time, from the user ids
+    /// that interacted with it.
+    pub fn synth_item_row(&self, users: &[u32]) -> Vec<f32> {
+        let nodes: Vec<usize> = users.iter().map(|&u| u as usize).collect();
+        self.propagate(&nodes, users.len(), self.epsilon)
+    }
+
+    /// First-order update of a known user's served readout row after new
+    /// edges to `new_items`: `base + w̄_u · Σ S_i / sqrt(d_u'·(d_i+1))`.
+    pub fn updated_user_row(&self, user: u32, base: &[f32], new_items: &[u32]) -> Vec<f32> {
+        let u = user as usize;
+        assert!(u < self.n_users, "updated_user_row is for trained users");
+        assert_eq!(base.len(), self.dim());
+        let mut out = base.to_vec();
+        let d_u = (self.degrees[u] as usize + new_items.len()) as f32;
+        if d_u == 0.0 {
+            return out;
+        }
+        let w = self.weights[u];
+        for &i in new_items {
+            let node = self.n_users + i as usize;
+            if node < self.prefix.rows() {
+                let d_i = self.degrees[node] as f32 + 1.0;
+                self.add_prefix(node, w / (d_u * d_i).sqrt(), &mut out);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn basis() -> FoldInBasis {
+        // 2 users, 3 items, dim 2. Prefix rows are easy to eyeball.
+        let prefix = Matrix::from_vec(
+            5,
+            2,
+            vec![
+                1.0, 0.0, // user 0
+                0.0, 1.0, // user 1
+                2.0, 0.0, // item 0
+                0.0, 2.0, // item 1
+                4.0, 4.0, // item 2
+            ],
+        );
+        let degrees = vec![2, 1, 1, 1, 1];
+        let weights = vec![0.5, 0.25, 1.0, 1.0, 1.0];
+        FoldInBasis::new(prefix, degrees, weights, 1e-8, 2)
+    }
+
+    #[test]
+    fn new_user_row_is_scaled_prefix_sum() {
+        let b = basis();
+        let row = b.synth_user_row(&[0, 1]);
+        // d_u = 2, both items have trained degree 1 → d_i + 1 = 2.
+        let s = 1e-8 / (2.0f32 * 2.0).sqrt();
+        assert!((row[0] - 2.0 * s).abs() < 1e-12, "{row:?}");
+        assert!((row[1] - 2.0 * s).abs() < 1e-12, "{row:?}");
+        // The ε scale is rank-invariant: relative order of coordinates
+        // matches the unscaled sum.
+        let unscaled = [2.0f32, 2.0];
+        assert_eq!(
+            row[0].partial_cmp(&row[1]),
+            unscaled[0].partial_cmp(&unscaled[1])
+        );
+    }
+
+    #[test]
+    fn unknown_items_contribute_degree_only() {
+        let b = basis();
+        let with_ghost = b.synth_user_row(&[2, 99]);
+        let alone = b.synth_user_row(&[2]);
+        // Same prefix mass but larger own-degree → strictly smaller norm.
+        assert!(with_ghost[0] < alone[0]);
+        assert!(with_ghost[0] > 0.0);
+    }
+
+    #[test]
+    fn known_user_update_uses_its_refinement_weight() {
+        let b = basis();
+        let base = vec![1.0f32, 1.0];
+        let row = b.updated_user_row(0, &base, &[2]);
+        // d_u' = 2 + 1 = 3, d_i = 1 + 1 = 2, w̄_0 = 0.5.
+        let s = 0.5 / (3.0f32 * 2.0).sqrt();
+        assert!((row[0] - (1.0 + 4.0 * s)).abs() < 1e-6, "{row:?}");
+        assert!((row[1] - (1.0 + 4.0 * s)).abs() < 1e-6, "{row:?}");
+        // Empty update is the identity.
+        assert_eq!(b.updated_user_row(0, &base, &[]), base);
+    }
+
+    #[test]
+    fn item_side_is_symmetric() {
+        let b = basis();
+        let row = b.synth_item_row(&[0]);
+        let s = 1e-8 / (1.0f32 * 3.0).sqrt(); // d_i = 1, d_u = 2 + 1
+        assert!((row[0] - s).abs() < 1e-12, "{row:?}");
+        assert!(row[1].abs() < 1e-12);
+    }
+}

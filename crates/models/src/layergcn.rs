@@ -181,6 +181,32 @@ impl LayerGcn {
         self.ego.value()
     }
 
+    /// Warm-starts this model's ego table from a checkpoint trained on a
+    /// *smaller* universe: user rows `0..old_n_users` and item rows
+    /// `old_n_users..` of `old_ego` are copied into their (shifted)
+    /// positions, and rows for users/items first seen in the stream keep
+    /// their fresh initialization. Used by `lrgcn retrain` to fold the
+    /// event log in without starting from scratch.
+    pub fn warm_start_from(&mut self, old_ego: &Matrix, old_n_users: usize, new_n_users: usize) {
+        let dim = self.ego.value().cols();
+        assert_eq!(old_ego.cols(), dim, "embedding dim changed across retrain");
+        assert!(old_n_users <= old_ego.rows());
+        assert!(old_n_users <= new_n_users);
+        let old_n_items = old_ego.rows() - old_n_users;
+        let new_rows = self.ego.value().rows();
+        assert!(new_n_users + old_n_items <= new_rows, "item table shrank");
+        let mut ego = self.ego.value().clone();
+        for r in 0..old_n_users {
+            ego.row_mut(r).copy_from_slice(old_ego.row(r));
+        }
+        for i in 0..old_n_items {
+            ego.row_mut(new_n_users + i)
+                .copy_from_slice(old_ego.row(old_n_users + i));
+        }
+        self.ego.set_value(ego);
+        self.inference = None;
+    }
+
     /// Checkpoints the learned parameters (the ego table) to a file,
     /// tagged with the `layergcn` model family (see `crate::checkpoint`).
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), lrgcn_tensor::io::IoError> {
@@ -336,6 +362,45 @@ impl Recommender for LayerGcn {
     fn set_learning_rate(&mut self, lr: f32) -> bool {
         self.adam.lr = lr;
         true
+    }
+
+    fn fold_in_basis(&self, ds: &Dataset) -> Option<crate::foldin::FoldInBasis> {
+        // One full-adjacency pass gives everything at once: the refined
+        // layers for the prefix sums S = X^0 + Σ_{l=1..L-1} X^l' and the
+        // per-node refinement similarities for the fold-in weights
+        // w̄ = ε + mean_l Sim(X^l, X^0) (Eq. 6–9; see crate::foldin).
+        let mut tape = Tape::new();
+        let x0 = tape.constant(self.ego.value().clone());
+        let (layers, sims) = refined_chain(
+            &mut tape,
+            &self.adj_full,
+            x0,
+            self.cfg.n_layers,
+            self.cfg.epsilon,
+            self.cfg.cosine_eps,
+        );
+        let mut prefix = tape.value(x0).clone();
+        for &l in layers.iter().take(self.cfg.n_layers.saturating_sub(1)) {
+            let lv = tape.value(l);
+            for (p, &v) in prefix.data_mut().iter_mut().zip(lv.data()) {
+                *p += v;
+            }
+        }
+        let n = prefix.rows();
+        let mut weights = vec![self.cfg.epsilon; n];
+        for &s in &sims {
+            let sv = tape.value(s);
+            for (w, &c) in weights.iter_mut().zip(sv.data()) {
+                *w += c / sims.len() as f32;
+            }
+        }
+        Some(crate::foldin::FoldInBasis::new(
+            prefix,
+            ds.train().node_degrees(),
+            weights,
+            self.cfg.epsilon,
+            ds.n_users(),
+        ))
     }
 
     fn diagnostics(&self, _ds: &Dataset) -> Option<ModelDiagnostics> {

@@ -28,6 +28,7 @@ pub mod checkpoint;
 pub mod classic;
 pub mod ehcf;
 pub mod common;
+pub mod foldin;
 pub mod impgcn;
 pub mod layergcn;
 pub mod layergcn_ssl;
@@ -46,6 +47,7 @@ pub(crate) mod test_util;
 pub use bpr::{BprMf, BprMfConfig};
 pub use checkpoint::{model_tag, save_model, MODEL_TAG_PREFIX, SERVABLE_TAGS};
 pub use classic::{ItemKnn, ItemKnnConfig, Popularity};
+pub use foldin::FoldInBasis;
 pub use buir::{Buir, BuirConfig};
 pub use ehcf::{Ehcf, EhcfConfig};
 pub use impgcn::{ImpGcn, ImpGcnConfig};

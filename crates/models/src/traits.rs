@@ -158,6 +158,17 @@ pub trait Recommender: Sync {
         false
     }
 
+    /// Basis for streaming fold-in (see [`crate::foldin::FoldInBasis`]):
+    /// the frozen-graph prefix sums and refinement weights from which the
+    /// serving layer synthesizes embedding rows for users/items that
+    /// arrived after training. The default is `None`: models whose
+    /// readout is not a per-layer sum over a fixed propagation (or that
+    /// have no stable checkpoint) opt out, and serving falls back to
+    /// logging events without synthesizing rows.
+    fn fold_in_basis(&self, _ds: &Dataset) -> Option<crate::foldin::FoldInBasis> {
+        None
+    }
+
     /// Model-health diagnostics for the current parameters (see
     /// [`ModelDiagnostics`]). The default is `None`: models without a
     /// layered propagation structure (or where the probes would be

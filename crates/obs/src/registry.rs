@@ -95,11 +95,23 @@ pub enum Counter {
     /// Candidate items scanned inside probed IVF cells before the
     /// rank-then-rescore stage.
     AnnCandidates,
+    /// Interaction events durably appended to the streaming log by
+    /// `POST /events` (acknowledged writes only).
+    ServeEventsAccepted,
+    /// Events dropped as idempotent duplicates (client sequence number at
+    /// or below the acknowledged high-water mark).
+    ServeEventsDuplicates,
+    /// `POST /events` requests rejected before any append: backpressure
+    /// 503s, parse failures, or append faults.
+    ServeEventsRejected,
+    /// Fold-in passes applied to the serving delta (one per acknowledged
+    /// `POST /events` batch).
+    ServeEventsFoldIns,
 }
 
 impl Counter {
     /// All counters, in stable declaration order.
-    pub const ALL: [Counter; 33] = [
+    pub const ALL: [Counter; 37] = [
         Counter::MatmulCalls,
         Counter::MatmulCells,
         Counter::SpmmCalls,
@@ -133,6 +145,10 @@ impl Counter {
         Counter::QuantRescored,
         Counter::AnnCellsProbed,
         Counter::AnnCandidates,
+        Counter::ServeEventsAccepted,
+        Counter::ServeEventsDuplicates,
+        Counter::ServeEventsRejected,
+        Counter::ServeEventsFoldIns,
     ];
 
     /// Dotted metric name used in JSONL records and snapshots.
@@ -171,6 +187,10 @@ impl Counter {
             Counter::QuantRescored => "serve.quant.rescored",
             Counter::AnnCellsProbed => "serve.ann.cells_probed",
             Counter::AnnCandidates => "serve.ann.candidates",
+            Counter::ServeEventsAccepted => "serve.events.accepted",
+            Counter::ServeEventsDuplicates => "serve.events.duplicates",
+            Counter::ServeEventsRejected => "serve.events.rejected",
+            Counter::ServeEventsFoldIns => "serve.events.fold_ins",
         }
     }
 
@@ -210,6 +230,10 @@ impl Counter {
             Counter::QuantRescored => "Candidates exactly re-scored after quantized scans",
             Counter::AnnCellsProbed => "IVF cells probed by ANN-served requests",
             Counter::AnnCandidates => "Candidate items scanned inside probed IVF cells",
+            Counter::ServeEventsAccepted => "Events durably appended to the streaming log",
+            Counter::ServeEventsDuplicates => "Events dropped as idempotent duplicates",
+            Counter::ServeEventsRejected => "POST /events requests rejected before append",
+            Counter::ServeEventsFoldIns => "Fold-in passes applied to the serving delta",
         }
     }
 }
@@ -252,13 +276,17 @@ pub enum Gauge {
     /// in parts per million. Set by `lrgcn-serve` when a checkpoint is
     /// (re)loaded with `--ann`; `0` when the index is off.
     AnnRecallPpm,
+    /// Events in the streaming log not yet covered by a checkpoint
+    /// generation (`log length - covered prefix`): the retrain backlog.
+    EventsLogLag,
 }
 
 impl Gauge {
-    pub const ALL: [Gauge; 3] = [
+    pub const ALL: [Gauge; 4] = [
         Gauge::MatrixBytes,
         Gauge::QuantRecallPpm,
         Gauge::AnnRecallPpm,
+        Gauge::EventsLogLag,
     ];
 
     pub fn name(self) -> &'static str {
@@ -266,6 +294,7 @@ impl Gauge {
             Gauge::MatrixBytes => "tensor.matrix.bytes",
             Gauge::QuantRecallPpm => "serve.quant.recall_ppm",
             Gauge::AnnRecallPpm => "serve.ann.recall_ppm",
+            Gauge::EventsLogLag => "serve.events.log_lag",
         }
     }
 
@@ -278,6 +307,9 @@ impl Gauge {
             }
             Gauge::AnnRecallPpm => {
                 "Recall of the IVF ANN read path vs the exact scan, parts per million"
+            }
+            Gauge::EventsLogLag => {
+                "Streaming-log events not yet covered by a checkpoint generation"
             }
         }
     }
@@ -349,10 +381,13 @@ pub enum Hist {
     ServeRequest,
     /// One micro-batched scoring tick (coalesced pairs → one matmul).
     ServeScoreBatch,
+    /// One fold-in pass: applying an acknowledged `POST /events` batch to
+    /// the serving delta (row synthesis + seen-set updates).
+    ServeFoldIn,
 }
 
 impl Hist {
-    pub const ALL: [Hist; 9] = [
+    pub const ALL: [Hist; 10] = [
         Hist::EpochTrain,
         Hist::EpochVal,
         Hist::EpochRefresh,
@@ -362,6 +397,7 @@ impl Hist {
         Hist::SamplerBatch,
         Hist::ServeRequest,
         Hist::ServeScoreBatch,
+        Hist::ServeFoldIn,
     ];
 
     pub fn name(self) -> &'static str {
@@ -375,6 +411,7 @@ impl Hist {
             Hist::SamplerBatch => "data.sampler.batch_ns",
             Hist::ServeRequest => "serve.request_ns",
             Hist::ServeScoreBatch => "serve.score.batch_ns",
+            Hist::ServeFoldIn => "serve.events.fold_in_ns",
         }
     }
 
@@ -390,6 +427,7 @@ impl Hist {
             Hist::SamplerBatch => "Wall time of one BPR batch construction, nanoseconds",
             Hist::ServeRequest => "Wall time of one HTTP request end to end, nanoseconds",
             Hist::ServeScoreBatch => "Wall time of one micro-batched scoring tick, nanoseconds",
+            Hist::ServeFoldIn => "Wall time of one event fold-in pass, nanoseconds",
         }
     }
 }

@@ -261,11 +261,12 @@ pub enum Route {
     AdminObs,
     AdminReload,
     AdminShutdown,
+    Events,
     Other,
 }
 
 impl Route {
-    pub const ALL: [Route; 9] = [
+    pub const ALL: [Route; 10] = [
         Route::Recs,
         Route::Similar,
         Route::Score,
@@ -274,6 +275,7 @@ impl Route {
         Route::AdminObs,
         Route::AdminReload,
         Route::AdminShutdown,
+        Route::Events,
         Route::Other,
     ];
 
@@ -287,6 +289,7 @@ impl Route {
             Route::AdminObs => "admin_obs",
             Route::AdminReload => "admin_reload",
             Route::AdminShutdown => "admin_shutdown",
+            Route::Events => "events",
             Route::Other => "other",
         }
     }
@@ -357,7 +360,7 @@ pub const N_ROUTES: usize = Route::ALL.len();
 /// cross product, closed at compile time. A registry that cannot allocate
 /// cannot blow up under hostile paths either.
 pub const MAX_SERIES: usize = N_ROUTES * StatusClass::ALL.len() * ReadPath::ALL.len();
-const _: () = assert!(MAX_SERIES == 81, "closed label space drifted");
+const _: () = assert!(MAX_SERIES == 90, "closed label space drifted");
 const _: () = assert!(MAX_SERIES <= 128, "serving label cardinality bound");
 
 #[inline]

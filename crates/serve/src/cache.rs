@@ -32,6 +32,11 @@ pub struct Key {
     pub quant: bool,
     /// Effective IVF probe width that produced the entry; `0` = ANN off.
     pub nprobe: u32,
+    /// Streaming fold-in delta version the entry was computed against
+    /// (`StreamDelta::version`); `0` = nothing folded in. Each `/events`
+    /// fold-in bumps it, invalidating cached answers the same way a
+    /// reload's generation bump does.
+    pub delta: u64,
 }
 
 struct Shard {
@@ -127,6 +132,7 @@ mod tests {
             exclude_seen: true,
             quant: false,
             nprobe: 0,
+            delta: 0,
         }
     }
 
@@ -141,6 +147,8 @@ mod tests {
         // So is a different read-path configuration at the same generation.
         assert!(c.get(&Key { quant: true, ..key(1, 0) }).is_none());
         assert!(c.get(&Key { nprobe: 8, ..key(1, 0) }).is_none());
+        // And so is a newer streaming fold-in delta version.
+        assert!(c.get(&Key { delta: 1, ..key(1, 0) }).is_none());
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! The epoch-free streaming delta: what the server has folded in on top of
+//! the immutable [`crate::engine::EngineState`] it was built from.
+//!
+//! A delta is an immutable value — the ingest path builds the next version
+//! by cloning and extending the current one under the server's ingest lock
+//! (see `EngineState::apply_events`), then swaps the `Arc`. Readers clone
+//! the `Arc` once per request, so a request always sees one consistent
+//! (state, delta) pair and fold-ins never block the read path.
+//!
+//! Every collection is a `BTreeMap`/sorted `Vec`, so iteration order — and
+//! therefore every merged top-K list — is a deterministic function of the
+//! event sequence, independent of hash seeds or thread count.
+
+use std::collections::BTreeMap;
+
+/// Folded-in interactions and the serving rows they synthesize.
+/// Constructed only through `EngineState::apply_events`; the fold-in math
+/// lives in `lrgcn_models::foldin` (DESIGN.md §13).
+#[derive(Clone, Debug, Default)]
+pub struct StreamDelta {
+    /// Monotone per-state fold-in counter; part of every cache key.
+    pub(crate) version: u64,
+    /// Log events this delta has consumed (including duplicates of
+    /// training edges, so `covered + events_applied` tracks the log
+    /// position exactly).
+    pub(crate) events_applied: u64,
+    /// Per-user folded-in items (sorted; may include ids past the trained
+    /// catalog). Feeds `exclude_seen` masking and the fold-in updates.
+    pub(crate) user_items: BTreeMap<u32, Vec<u32>>,
+    /// Served readout rows for users with folded-in events: synthesized
+    /// for unseen users, first-order-updated for trained ones. Absent when
+    /// the model has no fold-in basis (events are logged but rows are not
+    /// synthesized).
+    pub(crate) user_rows: BTreeMap<u32, Vec<f32>>,
+    /// Per-new-item user lists (item ids at or past the trained catalog).
+    pub(crate) item_users: BTreeMap<u32, Vec<u32>>,
+    /// Synthesized rows for new items, served as extra top-K candidates.
+    pub(crate) item_rows: BTreeMap<u32, Vec<f32>>,
+}
+
+const NO_ITEMS: &[u32] = &[];
+
+impl StreamDelta {
+    /// Monotone fold-in version (0 = nothing folded in).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Log events consumed by this delta (beyond the state's covered
+    /// prefix).
+    pub fn events_applied(&self) -> u64 {
+        self.events_applied
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.user_items.is_empty() && self.item_users.is_empty()
+    }
+
+    /// Users with at least one folded-in interaction.
+    pub fn touched_users(&self) -> usize {
+        self.user_items.len()
+    }
+
+    /// Items unseen at training time that arrived through the stream.
+    pub fn new_items(&self) -> usize {
+        self.item_users.len()
+    }
+
+    /// The served readout row for `user`, if fold-in synthesized one.
+    pub fn user_row(&self, user: u32) -> Option<&[f32]> {
+        self.user_rows.get(&user).map(Vec::as_slice)
+    }
+
+    /// Sorted folded-in items of `user` (empty when untouched).
+    pub fn user_items(&self, user: u32) -> &[u32] {
+        self.user_items.get(&user).map_or(NO_ITEMS, Vec::as_slice)
+    }
+
+    /// Synthesized `(item, row)` pairs for new items, ascending by id.
+    pub(crate) fn item_rows(&self) -> impl Iterator<Item = (u32, &[f32])> {
+        self.item_rows.iter().map(|(&i, r)| (i, r.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_delta_answers_defaults() {
+        let d = StreamDelta::default();
+        assert_eq!(d.version(), 0);
+        assert_eq!(d.events_applied(), 0);
+        assert!(d.is_empty());
+        assert_eq!(d.touched_users(), 0);
+        assert_eq!(d.new_items(), 0);
+        assert!(d.user_row(3).is_none());
+        assert!(d.user_items(3).is_empty());
+        assert_eq!(d.item_rows().count(), 0);
+    }
+}

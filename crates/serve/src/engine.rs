@@ -26,7 +26,10 @@
 //! exported as the `serve.quant.recall_ppm` gauge.
 
 use crate::ann::{IvfConfig, IvfIndex};
+use crate::delta::StreamDelta;
 use lrgcn_data::Dataset;
+use lrgcn_models::foldin::FoldInBasis;
+use lrgcn_stream::{EventLog, StreamEvent};
 use lrgcn_eval::{overlap_fraction, top_k_indices_into, top_k_with_scores};
 use lrgcn_graph::EdgePruner;
 use lrgcn_models::checkpoint::{model_tag, require_entry, SERVABLE_TAGS};
@@ -63,6 +66,12 @@ pub struct EngineOptions {
     pub nprobe: usize,
     /// IVF cell count; `0` auto-sizes to `≈ √n_items`.
     pub ann_cells: usize,
+    /// Streaming ingestion (DESIGN.md §13): the event-log directory whose
+    /// acknowledged events the engine replays on every open/reload. The
+    /// covered prefix (recorded in the checkpoint by `lrgcn retrain`)
+    /// extends the training dataset; the uncovered suffix becomes the
+    /// state's fold-in [`StreamDelta`]. `None` disables streaming.
+    pub events_dir: Option<PathBuf>,
 }
 
 impl Default for EngineOptions {
@@ -75,6 +84,7 @@ impl Default for EngineOptions {
             ann: false,
             nprobe: IvfConfig::default().nprobe,
             ann_cells: 0,
+            events_dir: None,
         }
     }
 }
@@ -103,6 +113,13 @@ pub struct Scratch {
 }
 
 /// One immutable, fully-materialized serving snapshot.
+///
+/// With streaming on, "immutable" means the *trained* part: the snapshot
+/// additionally carries a swappable [`StreamDelta`] of folded-in events
+/// (see [`EngineState::apply_events`]). Keeping the delta inside the state
+/// makes the (state, delta) pair a single consistency domain — a request
+/// that cloned the state `Arc` always reads a delta built for exactly that
+/// state, even across a hot reload.
 pub struct EngineState {
     /// Human-readable model name (`Recommender::name`).
     pub model_name: String,
@@ -115,6 +132,20 @@ pub struct EngineState {
     pub n_users: usize,
     pub n_items: usize,
     pub dim: usize,
+    /// Log events baked into this state's training matrices (the covered
+    /// prefix recorded in the checkpoint by `lrgcn retrain`); 0 without
+    /// streaming.
+    pub covered_events: u64,
+    /// The dataset this state was built against: the base dataset extended
+    /// with the covered event prefix (identical to the base without
+    /// streaming).
+    ds: Arc<Dataset>,
+    /// Fold-in basis for synthesizing rows of post-training nodes; `None`
+    /// when streaming is off or the model family opts out.
+    foldin: Option<FoldInBasis>,
+    /// Folded-in events on top of this state (always the empty delta at
+    /// version 0 without streaming).
+    delta: RwLock<Arc<StreamDelta>>,
     /// Final node embeddings, users first: `(n_users + n_items) × dim`.
     final_emb: Matrix,
     /// Per-item L2 norms of the item block (cosine for /similar).
@@ -138,11 +169,13 @@ impl EngineState {
         tag: String,
         generation: u64,
         n_parameters: usize,
-        n_users: usize,
-        n_items: usize,
+        ds: Arc<Dataset>,
+        covered_events: u64,
+        foldin: Option<FoldInBasis>,
         final_emb: Matrix,
         opts: &EngineOptions,
     ) -> Self {
+        let (n_users, n_items) = (ds.n_users(), ds.n_items());
         let dim = final_emb.cols();
         let item_norms = (n_users..n_users + n_items)
             .map(|r| {
@@ -170,12 +203,87 @@ impl EngineState {
             n_users,
             n_items,
             dim,
+            covered_events,
+            ds,
+            foldin,
+            delta: RwLock::new(Arc::new(StreamDelta::default())),
             final_emb,
             item_norms,
             quant,
             ann,
             quant_recall: 1.0,
             ann_recall: 1.0,
+        }
+    }
+
+    /// The dataset this state was built against (base + covered events).
+    pub fn ds(&self) -> &Arc<Dataset> {
+        &self.ds
+    }
+
+    /// True when this snapshot can synthesize fold-in rows for
+    /// post-training users/items.
+    pub fn foldin_enabled(&self) -> bool {
+        self.foldin.is_some()
+    }
+
+    /// The current fold-in delta. Cloning the `Arc` pins a consistent
+    /// snapshot for the whole request.
+    pub fn delta(&self) -> Arc<StreamDelta> {
+        self.delta.read().expect("stream delta poisoned").clone()
+    }
+
+    /// Folds acknowledged log events into this state's delta and returns
+    /// the new delta. The caller must serialize calls (the server's ingest
+    /// lock does) so fold-ins apply in log order; each call clones the
+    /// current delta off to the side and swaps the `Arc`, so concurrent
+    /// readers never block or observe a torn delta. All arithmetic runs
+    /// serially in event order — folded rows are bitwise identical for any
+    /// `LRGCN_THREADS`.
+    pub fn apply_events(&self, events: &[StreamEvent]) -> Arc<StreamDelta> {
+        let cur = self.delta();
+        let mut next = (*cur).clone();
+        next.version += 1;
+        for ev in events {
+            next.events_applied += 1;
+            self.fold_event(&mut next, ev.user, ev.item);
+        }
+        let next = Arc::new(next);
+        *self.delta.write().expect("stream delta poisoned") = next.clone();
+        next
+    }
+
+    /// One event's fold-in (see `lrgcn_models::foldin` for the math).
+    /// Repeats of training edges and already-folded pairs are no-ops.
+    fn fold_event(&self, d: &mut StreamDelta, user: u32, item: u32) {
+        if (user as usize) < self.n_users
+            && (item as usize) < self.n_items
+            && self.ds.is_train_interaction(user, item)
+        {
+            return;
+        }
+        let entry = d.user_items.entry(user).or_default();
+        match entry.binary_search(&item) {
+            Ok(_) => return,
+            Err(pos) => entry.insert(pos, item),
+        }
+        let items = entry.clone();
+        if (item as usize) >= self.n_items {
+            let users = d.item_users.entry(item).or_default();
+            if let Err(pos) = users.binary_search(&user) {
+                users.insert(pos, user);
+            }
+        }
+        let Some(basis) = &self.foldin else { return };
+        let row = if (user as usize) < self.n_users {
+            basis.updated_user_row(user, self.final_emb.row(user as usize), &items)
+        } else {
+            basis.synth_user_row(&items)
+        };
+        d.user_rows.insert(user, row);
+        if (item as usize) >= self.n_items {
+            let users = d.item_users.get(&item).expect("just inserted").clone();
+            d.item_rows.insert(item, basis.synth_item_row(&users));
         }
     }
 
@@ -252,46 +360,118 @@ impl EngineState {
         if user as usize >= self.n_users {
             return Err(format!("user {user} out of range (0..{})", self.n_users));
         }
+        let row = self.final_emb.row(user as usize);
+        let seen: &[u32] = if exclude_seen { ds.train_items(user) } else { &[] };
+        Ok(self.top_k_row(row, seen, k, scratch))
+    }
+
+    /// Top-K against the trained catalog for an arbitrary readout row and a
+    /// sorted `seen` mask (empty slice = no masking). Every public top-K
+    /// entry point funnels through here, so the streaming path shares the
+    /// exact/quant/ANN dispatch with the trained-user path.
+    fn top_k_row(
+        &self,
+        row: &[f32],
+        seen: &[u32],
+        k: usize,
+        scratch: &mut Scratch,
+    ) -> Vec<(u32, f32)> {
         if self.ann.is_some() {
-            Ok(self.top_k_ann(ds, user, k, exclude_seen, scratch))
+            self.top_k_ann(row, seen, k, scratch)
         } else if self.quant.is_some() {
-            Ok(self.top_k_quant(ds, user, k, exclude_seen, scratch))
+            self.top_k_quant(row, seen, k, scratch)
         } else {
-            Ok(self.top_k_exact(ds, user, k, exclude_seen, scratch))
+            self.top_k_exact(row, seen, k, scratch)
         }
     }
 
-    /// Exact f32 scores of one (in-range) user against the whole catalog,
-    /// written into `out`. Routes the user row against the contiguous item
-    /// block through the same `matmul_nt` kernel as
-    /// [`score_from_final`], so the scores — and therefore the served
-    /// ranking — stay byte-identical to the offline evaluator's.
-    fn exact_scores_into(&self, user: u32, out: &mut Vec<f32>) {
-        out.clear();
-        out.resize(self.n_items, 0.0);
-        let kern = kernels::active_kernel();
-        kernels::count_dispatch(kern);
-        kernels::matmul_nt_block(
-            kern,
-            self.final_emb.row(user as usize),
-            self.dim,
-            self.item_block(),
-            self.n_items,
-            out,
-        );
-    }
-
-    fn top_k_exact(
+    /// Top-K for a user as seen through a streaming fold-in [`StreamDelta`]
+    /// (pin one `Arc` per request via [`EngineState::delta`]): post-training
+    /// users serve from their synthesized row, trained users with folded-in
+    /// events from their updated row, and synthesized new-item rows join the
+    /// candidate pool. With `exclude_seen`, folded-in interactions are
+    /// masked alongside training ones. With an empty delta this is
+    /// byte-identical to [`EngineState::top_k`].
+    pub fn top_k_stream(
         &self,
-        ds: &Dataset,
+        delta: &StreamDelta,
         user: u32,
         k: usize,
         exclude_seen: bool,
         scratch: &mut Scratch,
+    ) -> Result<Vec<(u32, f32)>, String> {
+        let trained = (user as usize) < self.n_users;
+        let row: &[f32] = match delta.user_row(user) {
+            Some(r) => r,
+            None if trained => self.final_emb.row(user as usize),
+            None => {
+                return Err(format!(
+                    "user {user} out of range (0..{}) and not folded in",
+                    self.n_users
+                ))
+            }
+        };
+        let folded = delta.user_items(user);
+        let mut merged: Vec<u32> = Vec::new();
+        let seen: &[u32] = if !exclude_seen {
+            &[]
+        } else {
+            let train: &[u32] = if trained { self.ds.train_items(user) } else { &[] };
+            if folded.is_empty() {
+                train
+            } else {
+                merged.reserve(train.len() + folded.len());
+                merged.extend_from_slice(train);
+                merged.extend_from_slice(folded);
+                merged.sort_unstable();
+                merged.dedup();
+                &merged
+            }
+        };
+        let mut out = self.top_k_row(row, seen, k, scratch);
+        let mut extended = false;
+        for (it, irow) in delta.item_rows() {
+            if seen.binary_search(&it).is_ok() {
+                continue;
+            }
+            out.push((it, dot(row, irow)));
+            extended = true;
+        }
+        if extended {
+            out.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .expect("scores must not be NaN")
+                    .then(a.0.cmp(&b.0))
+            });
+            out.truncate(k);
+        }
+        Ok(out)
+    }
+
+    /// Exact f32 scores of a readout row against the whole catalog, written
+    /// into `out`. Routes the row against the contiguous item block through
+    /// the same `matmul_nt` kernel as [`score_from_final`], so the scores —
+    /// and therefore the served ranking — stay byte-identical to the
+    /// offline evaluator's.
+    fn exact_scores_into(&self, row: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(self.n_items, 0.0);
+        let kern = kernels::active_kernel();
+        kernels::count_dispatch(kern);
+        kernels::matmul_nt_block(kern, row, self.dim, self.item_block(), self.n_items, out);
+    }
+
+    fn top_k_exact(
+        &self,
+        row: &[f32],
+        seen: &[u32],
+        k: usize,
+        scratch: &mut Scratch,
     ) -> Vec<(u32, f32)> {
-        self.exact_scores_into(user, &mut scratch.scores);
-        if exclude_seen {
-            for &it in ds.train_items(user) {
+        self.exact_scores_into(row, &mut scratch.scores);
+        for &it in seen {
+            // The mask may carry folded-in ids past the trained catalog.
+            if (it as usize) < self.n_items {
                 scratch.scores[it as usize] = f32::NEG_INFINITY;
             }
         }
@@ -309,21 +489,19 @@ impl EngineState {
     /// the exact f32 dot, re-rank with the evaluator's tie-break.
     fn top_k_quant(
         &self,
-        ds: &Dataset,
-        user: u32,
+        row: &[f32],
+        seen: &[u32],
         k: usize,
-        exclude_seen: bool,
         scratch: &mut Scratch,
     ) -> Vec<(u32, f32)> {
         let qt = self.quant.as_ref().expect("quant table");
-        let urow = self.final_emb.row(user as usize);
-        let q_scale = QuantizedTable::quantize_query(urow, &mut scratch.qbuf);
+        let q_scale = QuantizedTable::quantize_query(row, &mut scratch.qbuf);
         scratch.scores.clear();
         scratch.scores.resize(self.n_items, 0.0);
         qt.scores_into(&scratch.qbuf, q_scale, &mut scratch.scores);
         registry::add(Counter::QuantScans, 1);
-        if exclude_seen {
-            for &it in ds.train_items(user) {
+        for &it in seen {
+            if (it as usize) < self.n_items {
                 scratch.scores[it as usize] = f32::NEG_INFINITY;
             }
         }
@@ -336,7 +514,7 @@ impl EngineState {
             .idx
             .iter()
             .filter(|&&i| scratch.scores[i as usize] != f32::NEG_INFINITY)
-            .map(|&i| (i, dot(urow, self.item_row(i as usize))))
+            .map(|&i| (i, dot(row, self.item_row(i as usize))))
             .collect();
         registry::add(Counter::QuantRescored, out.len() as u64);
         out.sort_by(|a, b| {
@@ -358,21 +536,18 @@ impl EngineState {
     /// is a deterministic function of (embeddings, config) — see `ann.rs`.
     fn top_k_ann(
         &self,
-        ds: &Dataset,
-        user: u32,
+        row: &[f32],
+        seen: &[u32],
         k: usize,
-        exclude_seen: bool,
         scratch: &mut Scratch,
     ) -> Vec<(u32, f32)> {
         let ann = self.ann.as_ref().expect("ann index");
-        let urow = self.final_emb.row(user as usize);
-        let probed = ann.candidates_into(urow, &mut scratch.cells, &mut scratch.cand);
+        let probed = ann.candidates_into(row, &mut scratch.cells, &mut scratch.cand);
         registry::add(Counter::AnnCellsProbed, probed as u64);
         registry::add(Counter::AnnCandidates, scratch.cand.len() as u64);
-        let seen = ds.train_items(user);
-        let keep = |it: u32| !(exclude_seen && seen.binary_search(&it).is_ok());
+        let keep = |it: u32| seen.binary_search(&it).is_err();
         let mut out: Vec<(u32, f32)> = if let Some(qt) = &self.quant {
-            let q_scale = QuantizedTable::quantize_query(urow, &mut scratch.qbuf);
+            let q_scale = QuantizedTable::quantize_query(row, &mut scratch.qbuf);
             registry::add(Counter::QuantScans, 1);
             let mut approx: Vec<(u32, f32)> = scratch
                 .cand
@@ -388,7 +563,7 @@ impl EngineState {
             approx.truncate(k.saturating_mul(CANDIDATE_FACTOR));
             let rescored: Vec<(u32, f32)> = approx
                 .iter()
-                .map(|&(it, _)| (it, dot(urow, self.item_row(it as usize))))
+                .map(|&(it, _)| (it, dot(row, self.item_row(it as usize))))
                 .collect();
             registry::add(Counter::QuantRescored, rescored.len() as u64);
             rescored
@@ -397,7 +572,7 @@ impl EngineState {
                 .cand
                 .iter()
                 .filter(|&&it| keep(it))
-                .map(|&it| (it, dot(urow, self.item_row(it as usize))))
+                .map(|&it| (it, dot(row, self.item_row(it as usize))))
                 .collect()
         };
         out.sort_by(|a, b| {
@@ -603,7 +778,12 @@ fn measure_recall(
             break;
         }
         let exact: Vec<u32> = state
-            .top_k_exact(ds, user, RECALL_K, true, &mut scratch)
+            .top_k_exact(
+                state.final_emb.row(user as usize),
+                ds.train_items(user),
+                RECALL_K,
+                &mut scratch,
+            )
             .iter()
             .map(|&(i, _)| i)
             .collect();
@@ -624,28 +804,56 @@ fn measure_recall(
 /// [`measure_recall`] over the quantized full-catalog scan.
 fn measure_quant_recall(state: &EngineState, ds: &Dataset) -> f64 {
     measure_recall(state, ds, |st, ds, u, scratch| {
-        st.top_k_quant(ds, u, RECALL_K, true, scratch)
+        st.top_k_quant(
+            st.final_emb.row(u as usize),
+            ds.train_items(u),
+            RECALL_K,
+            scratch,
+        )
     })
 }
 
 /// [`measure_recall`] over the IVF ANN path (composed with quant when on).
 fn measure_ann_recall(state: &EngineState, ds: &Dataset) -> f64 {
     measure_recall(state, ds, |st, ds, u, scratch| {
-        st.top_k_ann(ds, u, RECALL_K, true, scratch)
+        st.top_k_ann(
+            st.final_emb.row(u as usize),
+            ds.train_items(u),
+            RECALL_K,
+            scratch,
+        )
     })
 }
 
 /// Loads a tagged checkpoint and materializes an [`EngineState`].
+///
+/// `events` is the full acknowledged event log (empty without streaming).
+/// The checkpoint's covered-prefix entry (written by `lrgcn retrain`, see
+/// `lrgcn_stream::COVERED_ENTRY`) says how many of those events its
+/// training matrices already include: that prefix extends the dataset the
+/// state is built against, and the uncovered suffix is folded into the
+/// state's [`StreamDelta`] before the state goes live.
 fn build_state(
-    ds: &Dataset,
+    base: &Arc<Dataset>,
     opts: &EngineOptions,
     ckpt: &Path,
     generation: u64,
+    events: &[StreamEvent],
 ) -> Result<EngineState, String> {
     let entries = lrgcn_tensor::io::load_checkpoint(ckpt)
         .map_err(|e| format!("loading {}: {e}", ckpt.display()))?;
     // Untagged files predate the marker and were always LayerGCN.
     let tag = model_tag(&entries).unwrap_or("layergcn").to_string();
+    let covered = lrgcn_stream::unpack_covered(&entries).min(events.len() as u64);
+    let ds: Arc<Dataset> = if covered > 0 {
+        let pairs: Vec<(u32, u32)> = events[..covered as usize]
+            .iter()
+            .map(|e| (e.user, e.item))
+            .collect();
+        Arc::new(base.extend_with_events(&pairs))
+    } else {
+        base.clone()
+    };
     let ego = require_entry(&entries, "ego")?;
     let n_nodes = ds.n_users() + ds.n_items();
     if ego.rows() != n_nodes {
@@ -658,8 +866,9 @@ fn build_state(
         ));
     }
     let dim = ego.cols();
+    let want_foldin = opts.events_dir.is_some();
     let mut rng = StdRng::seed_from_u64(opts.seed);
-    let (model_name, n_parameters, final_emb) = match tag.as_str() {
+    let (model_name, n_parameters, final_emb, foldin) = match tag.as_str() {
         "layergcn" => {
             let cfg = LayerGcnConfig {
                 embedding_dim: dim,
@@ -673,9 +882,10 @@ fn build_state(
                 },
                 ..LayerGcnConfig::default()
             };
-            let mut m = LayerGcn::new(ds, cfg, &mut rng);
+            let mut m = LayerGcn::new(&ds, cfg, &mut rng);
             m.load_checkpoint_entries(&entries)?;
-            (m.name(), m.n_parameters(), m.final_embeddings())
+            let basis = if want_foldin { m.fold_in_basis(&ds) } else { None };
+            (m.name(), m.n_parameters(), m.final_embeddings(), basis)
         }
         "lightgcn" => {
             let cfg = LightGcnConfig {
@@ -683,9 +893,10 @@ fn build_state(
                 n_layers: opts.n_layers,
                 ..LightGcnConfig::default()
             };
-            let mut m = LightGcn::new(ds, cfg, &mut rng);
+            let mut m = LightGcn::new(&ds, cfg, &mut rng);
             m.load_checkpoint_entries(&entries)?;
-            (m.name(), m.n_parameters(), m.final_embeddings())
+            let basis = if want_foldin { m.fold_in_basis(&ds) } else { None };
+            (m.name(), m.n_parameters(), m.final_embeddings(), basis)
         }
         "lrgccf" => {
             let cfg = LrGccfConfig {
@@ -693,9 +904,10 @@ fn build_state(
                 n_layers: opts.n_layers,
                 ..LrGccfConfig::default()
             };
-            let mut m = LrGccf::new(ds, cfg, &mut rng);
+            let mut m = LrGccf::new(&ds, cfg, &mut rng);
             m.load_checkpoint_entries(&entries)?;
-            (m.name(), m.n_parameters(), m.final_embeddings())
+            let basis = if want_foldin { m.fold_in_basis(&ds) } else { None };
+            (m.name(), m.n_parameters(), m.final_embeddings(), basis)
         }
         other => {
             return Err(format!(
@@ -710,24 +922,30 @@ fn build_state(
         tag,
         generation,
         n_parameters,
-        ds.n_users(),
-        ds.n_items(),
+        ds.clone(),
+        covered,
+        foldin,
         final_emb,
         opts,
     );
     if state.quant_enabled() {
-        state.quant_recall = measure_quant_recall(&state, ds);
+        state.quant_recall = measure_quant_recall(&state, &ds);
         registry::gauge_set(
             Gauge::QuantRecallPpm,
             (state.quant_recall * 1_000_000.0).round() as u64,
         );
     }
     if state.ann_enabled() {
-        state.ann_recall = measure_ann_recall(&state, ds);
+        state.ann_recall = measure_ann_recall(&state, &ds);
         registry::gauge_set(
             Gauge::AnnRecallPpm,
             (state.ann_recall * 1_000_000.0).round() as u64,
         );
+    }
+    // Events past the covered prefix become the state's starting delta, so
+    // a freshly opened (or reloaded) engine serves every acknowledged event.
+    if (covered as usize) < events.len() {
+        state.apply_events(&events[covered as usize..]);
     }
     Ok(state)
 }
@@ -742,15 +960,28 @@ pub struct Engine {
     generation: AtomicU64,
 }
 
+/// Replays the configured event log (empty without streaming, or before
+/// the server has written its first segment).
+fn load_events(opts: &EngineOptions) -> Result<Vec<StreamEvent>, String> {
+    match &opts.events_dir {
+        Some(dir) => EventLog::replay(dir),
+        None => Ok(Vec::new()),
+    }
+}
+
 impl Engine {
-    /// Loads the checkpoint once and propagates the final embeddings.
+    /// Loads the checkpoint once and propagates the final embeddings. With
+    /// [`EngineOptions::events_dir`] set, the acknowledged event log is
+    /// replayed into the initial state (covered prefix → training matrices,
+    /// suffix → fold-in delta), so a restart never forgets an acked event.
     pub fn open(
         ckpt: impl AsRef<Path>,
         ds: Arc<Dataset>,
         opts: EngineOptions,
     ) -> Result<Engine, String> {
         let ckpt = ckpt.as_ref().to_path_buf();
-        let state = build_state(&ds, &opts, &ckpt, 0)?;
+        let events = load_events(&opts)?;
+        let state = build_state(&ds, &opts, &ckpt, 0, &events)?;
         Ok(Engine {
             ds,
             opts,
@@ -760,8 +991,17 @@ impl Engine {
         })
     }
 
+    /// The **base** dataset the engine was opened with (never extended by
+    /// streaming; see [`EngineState::ds`] for the state's own view).
     pub fn dataset(&self) -> &Arc<Dataset> {
         &self.ds
+    }
+
+    /// Folds freshly acknowledged events into the current state's delta.
+    /// The server's ingest path calls this after every durable append,
+    /// under its log lock — see `EngineState::apply_events` for ordering.
+    pub fn fold_in(&self, events: &[StreamEvent]) -> Arc<StreamDelta> {
+        self.state().apply_events(events)
     }
 
     /// The current snapshot. Cloning the `Arc` means the caller keeps a
@@ -786,7 +1026,8 @@ impl Engine {
     /// checkpoint path on success.
     pub fn reload_from(&self, path: &Path) -> Result<Arc<EngineState>, String> {
         let generation = self.generation.load(Ordering::SeqCst) + 1;
-        let state = Arc::new(build_state(&self.ds, &self.opts, path, generation)?);
+        let events = load_events(&self.opts)?;
+        let state = Arc::new(build_state(&self.ds, &self.opts, path, generation, &events)?);
         *self.ckpt_path.lock().expect("ckpt path poisoned") = path.to_path_buf();
         *self.state.write().expect("engine state poisoned") = state.clone();
         self.generation.store(generation, Ordering::SeqCst);
@@ -1176,6 +1417,189 @@ mod tests {
             assert_eq!(e, b, "user {user}: ann+quant full-coverage diverged");
         }
         std::fs::remove_file(ckpt).ok();
+    }
+
+    fn save_layergcn(ds: &Dataset, path: &Path) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut m = LayerGcn::new(
+            ds,
+            LayerGcnConfig {
+                embedding_dim: 8,
+                n_layers: 2,
+                pruner: EdgePruner::None,
+                ..LayerGcnConfig::default()
+            },
+            &mut rng,
+        );
+        m.train_epoch(ds, 0, &mut rng);
+        save_model(path, "layergcn", &m).expect("save");
+    }
+
+    fn ev(user: u32, item: u32, seq: u64) -> StreamEvent {
+        StreamEvent {
+            user,
+            item,
+            timestamp: 1_700_000_000 + seq as i64,
+            client: "t".into(),
+            seq,
+            request_id: String::new(),
+        }
+    }
+
+    #[test]
+    fn streaming_fold_in_serves_new_users_and_items() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join("lrgcn_engine_stream");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let ckpt = dir.join("m.ckpt");
+        save_layergcn(&ds, &ckpt);
+        let events_dir = dir.join("events");
+        {
+            let mut log = EventLog::open(&events_dir).expect("log");
+            // New user 4 on trained items, plus a brand-new item 6.
+            log.append_batch(&[ev(4, 0, 1), ev(4, 5, 2), ev(0, 6, 3)])
+                .expect("append");
+        }
+        let eng = Engine::open(&ckpt, ds.clone(), EngineOptions {
+            n_layers: 2,
+            dropout: 0.0,
+            events_dir: Some(events_dir.clone()),
+            ..EngineOptions::default()
+        })
+        .expect("open");
+        let st = eng.state();
+        assert!(st.foldin_enabled());
+        assert_eq!(st.covered_events, 0);
+        let delta = st.delta();
+        assert_eq!(delta.events_applied(), 3);
+        assert_eq!(delta.version(), 1);
+        assert_eq!(delta.touched_users(), 2);
+        assert_eq!(delta.new_items(), 1);
+        let mut scratch = Scratch::default();
+
+        // The post-training user serves a non-empty, sorted, finite top-K
+        // spanning trained items and the folded-in item 6.
+        let recs = st
+            .top_k_stream(&delta, 4, 10, false, &mut scratch)
+            .expect("stream recs");
+        assert_eq!(recs.len(), 7, "all 6 trained items + folded item 6");
+        assert!(recs.windows(2).all(|w| w[0].1 >= w[1].1), "not sorted");
+        assert!(recs.iter().all(|&(_, s)| s.is_finite()));
+
+        // exclude_seen masks the folded-in interactions too.
+        let masked = st
+            .top_k_stream(&delta, 4, 10, true, &mut scratch)
+            .expect("masked");
+        let ids: Vec<u32> = masked.iter().map(|&(i, _)| i).collect();
+        assert!(!ids.contains(&0) && !ids.contains(&5), "folded items leaked");
+        assert!(ids.contains(&6), "new item should still be servable");
+
+        // Trained user 0 folded in item 6: masked out for them, and their
+        // row was refreshed (still a valid ranking over the rest).
+        let u0 = st
+            .top_k_stream(&delta, 0, 10, true, &mut scratch)
+            .expect("u0");
+        let u0_ids: Vec<u32> = u0.iter().map(|&(i, _)| i).collect();
+        assert!(!u0_ids.contains(&6), "folded item 6 leaked for user 0");
+        for &it in ds.train_items(0) {
+            assert!(!u0_ids.contains(&it), "trained item {it} leaked");
+        }
+
+        // Users far past anything folded in are still a clean error.
+        assert!(st.top_k_stream(&delta, 99, 5, true, &mut scratch).is_err());
+
+        // An untouched trained user with exclude_seen and no new-item
+        // overlap keeps the plain path's ranking as a prefix.
+        let plain = st.top_k(&ds, 2, 3, true).expect("plain");
+        let stream = st
+            .top_k_stream(&delta, 2, 3, true, &mut scratch)
+            .expect("stream");
+        // Item 6's score may displace the tail, but the surviving trained
+        // items must keep their exact scores.
+        for (it, s) in &stream {
+            if (*it as usize) < st.n_items {
+                let exact = plain.iter().find(|(p, _)| p == it);
+                if let Some((_, ps)) = exact {
+                    assert_eq!(s.to_bits(), ps.to_bits(), "score drifted for {it}");
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reload_replays_the_event_log_into_the_new_state() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join("lrgcn_engine_stream_reload");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let ckpt = dir.join("m.ckpt");
+        save_layergcn(&ds, &ckpt);
+        let events_dir = dir.join("events");
+        let eng = Engine::open(&ckpt, ds.clone(), EngineOptions {
+            n_layers: 2,
+            dropout: 0.0,
+            events_dir: Some(events_dir.clone()),
+            ..EngineOptions::default()
+        })
+        .expect("open");
+        // Nothing logged yet: the starting delta is empty at version 0.
+        assert!(eng.state().delta().is_empty());
+        assert_eq!(eng.state().delta().version(), 0);
+
+        // Log two events (as the server's ingest path would), fold them in.
+        let batch = [ev(5, 1, 1), ev(5, 2, 2)];
+        {
+            let mut log = EventLog::open(&events_dir).expect("log");
+            log.append_batch(&batch).expect("append");
+        }
+        let delta = eng.fold_in(&batch);
+        assert_eq!(delta.events_applied(), 2);
+        let mut scratch = Scratch::default();
+        let st = eng.state();
+        let before = st
+            .top_k_stream(&delta, 5, 4, true, &mut scratch)
+            .expect("before");
+        assert!(!before.is_empty());
+
+        // Reload rebuilds the state and replays the log from disk — the
+        // folded-in user survives with the identical synthesized ranking.
+        let st2 = eng.reload().expect("reload");
+        let d2 = st2.delta();
+        assert_eq!(d2.events_applied(), 2);
+        let after = st2
+            .top_k_stream(&d2, 5, 4, true, &mut scratch)
+            .expect("after");
+        assert_eq!(before, after, "replayed fold-in state diverged");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fold_in_without_a_basis_logs_but_serves_no_rows() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join("lrgcn_engine_stream_nobasis");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let ckpt = dir.join("m.ckpt");
+        save_lightgcn(&ds, &ckpt); // LightGCN opts out of fold-in.
+        let events_dir = dir.join("events");
+        let eng = Engine::open(&ckpt, ds, EngineOptions {
+            n_layers: 2,
+            events_dir: Some(events_dir),
+            ..EngineOptions::default()
+        })
+        .expect("open");
+        let st = eng.state();
+        assert!(!st.foldin_enabled());
+        let delta = eng.fold_in(&[ev(7, 0, 1)]);
+        assert_eq!(delta.events_applied(), 1);
+        // The interaction is tracked (exclude_seen, retrain) but no row is
+        // synthesized, so the unseen user stays an error.
+        assert_eq!(delta.user_items(7), &[0]);
+        let mut scratch = Scratch::default();
+        assert!(st.top_k_stream(&delta, 7, 5, true, &mut scratch).is_err());
+        std::fs::remove_dir_all(std::env::temp_dir().join("lrgcn_engine_stream_nobasis")).ok();
     }
 
     #[test]

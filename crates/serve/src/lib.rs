@@ -21,6 +21,10 @@
 //!   scoring kernel per tick through a condvar queue.
 //! * [`cache`] — a sharded LRU of per-user top-K responses, keyed by
 //!   engine generation so reloads invalidate implicitly.
+//! * [`delta`] — the epoch-free streaming fold-in overlay: `POST /events`
+//!   appends to a crash-safe `lrgcn_stream::EventLog` and folds the new
+//!   interactions into an immutable [`StreamDelta`] the read paths merge
+//!   on top of the trained state — see DESIGN.md §13.
 //! * [`http`] — the minimal HTTP/1.1 request/response layer.
 //!
 //! Every request path is instrumented with `lrgcn_obs` counters
@@ -35,6 +39,7 @@
 pub mod ann;
 pub mod batch;
 pub mod cache;
+pub mod delta;
 pub mod engine;
 pub mod http;
 pub mod server;
@@ -42,5 +47,6 @@ pub mod server;
 pub use ann::{IvfConfig, IvfIndex};
 pub use batch::Batcher;
 pub use cache::TopKCache;
+pub use delta::StreamDelta;
 pub use engine::{Engine, EngineOptions, EngineState, Scratch};
 pub use server::{render_metrics, serve, ServerConfig, ServerHandle};

@@ -8,6 +8,7 @@
 //! GET  /recs/{user}?k=N[&exclude_seen=bool]   cached top-K for a user
 //! GET  /similar/{item}?k=N          item-item cosine neighbours
 //! POST /score                       {"pairs": [[u,i],...]} micro-batched
+//! POST /events                      append interaction events (JSON/JSONL)
 //! POST /admin/reload                re-read the checkpoint, swap, bump gen
 //! POST /admin/shutdown              begin graceful shutdown
 //! ```
@@ -33,6 +34,7 @@ use lrgcn_obs::json::Value;
 use lrgcn_obs::registry::{bucket_upper_ns, HIST_BUCKETS};
 use lrgcn_obs::window::{self, ReadPath, Route, WindowStats, WINDOWS_S};
 use lrgcn_obs::{registry, Counter, Gauge, Hist};
+use lrgcn_stream::{EventLog, StreamEvent};
 use std::cell::RefCell;
 use std::fs::{File, OpenOptions};
 use std::io::{ErrorKind, Write};
@@ -65,6 +67,15 @@ pub struct ServerConfig {
     pub slo_p99_ms: Option<u64>,
     /// Availability SLO budget: tolerated error ratio in parts per million.
     pub slo_err_ppm: Option<u64>,
+    /// Streaming ingestion: directory of the crash-safe event log behind
+    /// `POST /events` (DESIGN.md §13). Should match
+    /// `EngineOptions::events_dir` so reloads replay what ingestion wrote.
+    /// `None` disables the route (404).
+    pub events_log: Option<PathBuf>,
+    /// Backpressure threshold: concurrent in-flight `/events` requests at
+    /// or above this answer 503 + `Retry-After` instead of queueing on the
+    /// log mutex without bound.
+    pub events_max_pending: u64,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +89,8 @@ impl Default for ServerConfig {
             access_sample: 1,
             slo_p99_ms: None,
             slo_err_ppm: None,
+            events_log: None,
+            events_max_pending: 1024,
         }
     }
 }
@@ -144,6 +157,24 @@ pub fn serve(engine: Arc<Engine>, cfg: ServerConfig) -> Result<ServerHandle, Str
     let cache = Arc::new(TopKCache::new(cfg.cache_capacity, n_workers.max(1)));
     let batcher = Batcher::new(cfg.batch_tick);
     let obs = Arc::new(ObsState::new(&cfg, read_path_of(&engine))?);
+    let ingest = match &cfg.events_log {
+        Some(dir) => {
+            let log = EventLog::open(dir)?;
+            // Retrain staleness at boot: events the serving checkpoint's
+            // training matrices don't include yet.
+            registry::gauge_set(
+                Gauge::EventsLogLag,
+                log.len().saturating_sub(engine.state().covered_events),
+            );
+            Some(Arc::new(EventIngest {
+                log: Mutex::new(log),
+                pending: AtomicU64::new(0),
+                max_pending: cfg.events_max_pending,
+                last_fold_in_ms: AtomicU64::new(0),
+            }))
+        }
+        None => None,
+    };
 
     let scorer = {
         let b = batcher.clone();
@@ -166,6 +197,7 @@ pub fn serve(engine: Arc<Engine>, cfg: ServerConfig) -> Result<ServerHandle, Str
             stop: stop.clone(),
             cache_enabled: cfg.cache_capacity > 0,
             obs: obs.clone(),
+            ingest: ingest.clone(),
         };
         workers.push(
             std::thread::Builder::new()
@@ -209,6 +241,30 @@ struct Ctx {
     stop: Arc<AtomicBool>,
     cache_enabled: bool,
     obs: Arc<ObsState>,
+    /// Streaming ingestion state; `None` when `--events-log` is off.
+    ingest: Option<Arc<EventIngest>>,
+}
+
+/// Shared `POST /events` ingestion state: the durable log behind one mutex
+/// (appends and fold-ins happen under it, in arrival order — which is also
+/// what makes `/admin/reload`'s full-log replay consistent: the reload
+/// handler holds this lock too, so disk and memory agree at the swap), plus
+/// the backpressure counter the handlers check *before* queueing on it.
+struct EventIngest {
+    log: Mutex<EventLog>,
+    /// `/events` requests currently in flight (parsing, appending, folding).
+    pending: AtomicU64,
+    /// At or above this many in-flight requests, new ones get 503.
+    max_pending: u64,
+    /// Unix millis of the last completed fold-in; 0 = none yet.
+    last_fold_in_ms: AtomicU64,
+}
+
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
 }
 
 /// Which scan this engine configuration answers requests with. Fixed per
@@ -345,6 +401,7 @@ fn classify_route(req: &Request) -> Route {
         ("GET", "/metrics") => Route::Metrics,
         ("GET", "/admin/obs") => Route::AdminObs,
         ("POST", "/score") => Route::Score,
+        ("POST", "/events") => Route::Events,
         ("POST", "/admin/reload") => Route::AdminReload,
         ("POST", "/admin/shutdown") => Route::AdminShutdown,
         ("GET", p) if p.starts_with("/recs/") => Route::Recs,
@@ -385,7 +442,7 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
         Ok(req) => {
             let id = ctx.obs.request_id(&req);
             let label = classify_route(&req);
-            let reply = route(&req, ctx);
+            let reply = route(&req, ctx, &id);
             (id, label, req.method, req.path, reply)
         }
         Err(msg) => (
@@ -400,13 +457,12 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
     if status >= 400 {
         registry::add(Counter::ServeErrors, 1);
     }
-    let _ = write_response(
-        &mut stream,
-        status,
-        content_type,
-        &[("x-lrgcn-request-id", &req_id)],
-        &body,
-    );
+    let mut extra: Vec<(&str, &str)> = vec![("x-lrgcn-request-id", &req_id)];
+    if status == 503 {
+        // Backpressure contract: tell well-behaved producers when to retry.
+        extra.push(("retry-after", "1"));
+    }
+    let _ = write_response(&mut stream, status, content_type, &extra, &body);
 
     // The measurement covers parse → route → respond, exactly what the
     // cumulative `Hist::ServeRequest` always covered; both sinks are fed
@@ -439,7 +495,7 @@ fn json_response(v: &Value) -> Reply {
     (200, JSON, v.render().into_bytes())
 }
 
-fn route(req: &Request, ctx: &Ctx) -> Reply {
+fn route(req: &Request, ctx: &Ctx, req_id: &str) -> Reply {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(ctx),
         ("GET", "/metrics") => {
@@ -449,6 +505,7 @@ fn route(req: &Request, ctx: &Ctx) -> Reply {
         }
         ("GET", "/admin/obs") => admin_obs(ctx),
         ("POST", "/score") => score(req, ctx),
+        ("POST", "/events") => events(req, ctx, req_id),
         ("POST", "/admin/reload") => reload(ctx),
         ("POST", "/admin/shutdown") => {
             ctx.stop.store(true, Ordering::SeqCst);
@@ -464,6 +521,7 @@ fn route(req: &Request, ctx: &Ctx) -> Reply {
 
 fn healthz(ctx: &Ctx) -> Reply {
     let st = ctx.engine.state();
+    let delta = st.delta();
     // Freshness for load balancers: rate and error ratio over the last
     // 60s, not just liveness.
     let w60 = window::serving_window(window::now_sec(), 60);
@@ -491,6 +549,15 @@ fn healthz(ctx: &Ctx) -> Reply {
             "ann_recall_ppm",
             Value::u64((st.ann_recall * 1_000_000.0).round() as u64),
         ),
+        ("events_log", Value::Bool(ctx.ingest.is_some())),
+        // covered + delta = acknowledged log length, without taking the
+        // ingest lock on the health path.
+        (
+            "events_total",
+            Value::u64(st.covered_events + delta.events_applied()),
+        ),
+        ("covered_events", Value::u64(st.covered_events)),
+        ("delta_events", Value::u64(delta.events_applied())),
     ]))
 }
 
@@ -644,20 +711,213 @@ fn admin_obs(ctx: &Ctx) -> Reply {
                 ),
             ]),
         ),
+        (
+            "events",
+            Value::obj([
+                ("enabled", Value::Bool(ctx.ingest.is_some())),
+                (
+                    "accepted",
+                    Value::u64(registry::get(Counter::ServeEventsAccepted)),
+                ),
+                (
+                    "duplicates",
+                    Value::u64(registry::get(Counter::ServeEventsDuplicates)),
+                ),
+                (
+                    "rejected",
+                    Value::u64(registry::get(Counter::ServeEventsRejected)),
+                ),
+                (
+                    "fold_ins",
+                    Value::u64(registry::get(Counter::ServeEventsFoldIns)),
+                ),
+                (
+                    "log_lag",
+                    Value::u64(registry::gauge_current(Gauge::EventsLogLag)),
+                ),
+                (
+                    "total_events",
+                    Value::u64(st.covered_events + st.delta().events_applied()),
+                ),
+                (
+                    "covered_events",
+                    Value::u64(st.covered_events),
+                ),
+                (
+                    "last_fold_in_age_ms",
+                    match ctx
+                        .ingest
+                        .as_ref()
+                        .map(|i| i.last_fold_in_ms.load(Ordering::Relaxed))
+                    {
+                        Some(ms) if ms > 0 => Value::u64(unix_ms().saturating_sub(ms)),
+                        _ => Value::Null,
+                    },
+                ),
+                (
+                    "fold_in_p95_ns",
+                    Value::u64(registry::snapshot().hist(Hist::ServeFoldIn).quantile_ns(0.95)),
+                ),
+            ]),
+        ),
         ("slo", slo_json(&ctx.obs, &stats[0], &stats[1])),
         ("windows", windows),
     ]))
 }
 
 fn reload(ctx: &Ctx) -> Reply {
+    // With ingestion on, hold the log mutex across the swap: no event can
+    // be acknowledged between the engine's full-log replay and the new
+    // state going live, so the replayed state covers every acked event.
+    // Requests in flight keep their (state, delta) Arc snapshot — nothing
+    // is dropped while the rebuild runs off to the side.
+    let _log_guard = ctx
+        .ingest
+        .as_ref()
+        .map(|i| i.log.lock().expect("event log poisoned"));
     match ctx.engine.reload() {
-        Ok(st) => json_response(&Value::obj([
-            ("status", Value::str("reloaded")),
-            ("generation", Value::u64(st.generation)),
-            ("model", Value::str(st.model_name.clone())),
-        ])),
+        Ok(st) => {
+            if let Some(log) = &_log_guard {
+                registry::gauge_set(
+                    Gauge::EventsLogLag,
+                    log.len().saturating_sub(st.covered_events),
+                );
+            }
+            json_response(&Value::obj([
+                ("status", Value::str("reloaded")),
+                ("generation", Value::u64(st.generation)),
+                ("model", Value::str(st.model_name.clone())),
+                ("covered_events", Value::u64(st.covered_events)),
+            ]))
+        }
         Err(e) => error_response(500, &e),
     }
+}
+
+/// Parses one `/events` JSON object: `{"user": u, "item": i[, "ts": t]
+/// [, "client": "c", "seq": n]}`. `client`+`seq` arm idempotent retries
+/// (monotone per-client sequence numbers); omitting `client` opts out.
+fn parse_event(line: &str, req_id: &str) -> Result<StreamEvent, String> {
+    let v = lrgcn_obs::json::parse(line).map_err(|e| format!("bad JSON event: {e}"))?;
+    let uint = |key: &str, max: f64| -> Result<Option<u64>, String> {
+        match v.get(key) {
+            None => Ok(None),
+            Some(x) => match x.as_f64() {
+                Some(n) if n >= 0.0 && n.fract() == 0.0 && n <= max => Ok(Some(n as u64)),
+                _ => Err(format!("{key} must be an integer in 0..={max}")),
+            },
+        }
+    };
+    let user = uint("user", u32::MAX as f64)?.ok_or("event is missing \"user\"")?;
+    let item = uint("item", u32::MAX as f64)?.ok_or("event is missing \"item\"")?;
+    let timestamp = match v.get("ts") {
+        None => 0,
+        Some(x) => match x.as_f64() {
+            Some(n) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => n as i64,
+            _ => return Err("ts must be an integer timestamp".into()),
+        },
+    };
+    let client = match v.get("client") {
+        None => String::new(),
+        Some(c) => match c.as_str() {
+            Some(s) if s.len() <= 256 => s.to_string(),
+            Some(_) => return Err("client id longer than 256 bytes".into()),
+            None => return Err("client must be a string".into()),
+        },
+    };
+    let seq = uint("seq", (1u64 << 53) as f64)?.unwrap_or(0);
+    if !client.is_empty() && seq == 0 {
+        return Err("seq must be >= 1 when client is set".into());
+    }
+    Ok(StreamEvent {
+        user: user as u32,
+        item: item as u32,
+        timestamp,
+        client,
+        seq,
+        request_id: req_id.to_string(),
+    })
+}
+
+/// Decrements the in-flight `/events` counter on every exit path.
+struct PendingGuard<'a>(&'a AtomicU64);
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// `POST /events`: the streaming ingestion path (DESIGN.md §13). Body is
+/// one JSON event object or a JSONL batch. Under the log mutex the batch
+/// is deduplicated, framed, written and fsync'd — only then acknowledged —
+/// and the accepted suffix is folded into the live state's delta, so a 200
+/// means both "durable" and "already serving".
+fn events(req: &Request, ctx: &Ctx, req_id: &str) -> Reply {
+    let Some(ingest) = &ctx.ingest else {
+        return error_response(404, "streaming ingestion is off (start with --events-log DIR)");
+    };
+    let in_flight = ingest.pending.fetch_add(1, Ordering::SeqCst);
+    let _guard = PendingGuard(&ingest.pending);
+    if in_flight >= ingest.max_pending {
+        registry::add(Counter::ServeEventsRejected, 1);
+        return error_response(503, "event ingestion backlog full, retry later");
+    }
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return error_response(400, "body is not UTF-8"),
+    };
+    let mut batch = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        match parse_event(line, req_id) {
+            Ok(ev) => batch.push(ev),
+            Err(e) => {
+                registry::add(Counter::ServeEventsRejected, 1);
+                return error_response(400, &e);
+            }
+        }
+    }
+    if batch.is_empty() {
+        return error_response(400, "body must carry at least one event");
+    }
+    let mut log = ingest.log.lock().expect("event log poisoned");
+    let outcome = match log.append_batch(&batch) {
+        Ok(o) => o,
+        Err(e) => {
+            registry::add(Counter::ServeEventsRejected, batch.len() as u64);
+            return error_response(503, &format!("event log append failed: {e}"));
+        }
+    };
+    registry::add(Counter::ServeEventsAccepted, outcome.accepted.len() as u64);
+    registry::add(Counter::ServeEventsDuplicates, outcome.duplicates as u64);
+    // Fold in while still holding the log lock: fold-ins apply in exactly
+    // the order events hit the disk, keeping memory a prefix-replay of the
+    // log (and thus identical to what a restart would rebuild).
+    let st = ctx.engine.state();
+    let delta = if outcome.accepted.is_empty() {
+        st.delta()
+    } else {
+        let t0 = Instant::now();
+        let delta = st.apply_events(&outcome.accepted);
+        registry::record_ns(Hist::ServeFoldIn, t0.elapsed().as_nanos() as u64);
+        registry::add(Counter::ServeEventsFoldIns, 1);
+        ingest.last_fold_in_ms.store(unix_ms(), Ordering::Relaxed);
+        delta
+    };
+    registry::gauge_set(
+        Gauge::EventsLogLag,
+        log.len().saturating_sub(st.covered_events),
+    );
+    let total = log.len();
+    drop(log);
+    json_response(&Value::obj([
+        ("accepted", Value::u64(outcome.accepted.len() as u64)),
+        ("duplicates", Value::u64(outcome.duplicates as u64)),
+        ("total_events", Value::u64(total)),
+        ("covered_events", Value::u64(st.covered_events)),
+        ("delta_version", Value::u64(delta.version())),
+        ("delta_events", Value::u64(delta.events_applied())),
+    ]))
 }
 
 /// Parses the `{id}` tail of `/recs/{id}` / `/similar/{id}`.
@@ -710,7 +970,10 @@ fn recs(req: &Request, ctx: &Ctx) -> Reply {
         }
     };
     let st = ctx.engine.state();
-    if user as usize >= st.n_users {
+    // Pin one delta snapshot for the whole request: the 404 check, the
+    // cache key and the computation all agree on what has been folded in.
+    let delta = st.delta();
+    if user as usize >= st.n_users && delta.user_row(user).is_none() {
         return error_response(404, &format!("user {user} out of range (0..{})", st.n_users));
     }
     let key = Key {
@@ -720,10 +983,15 @@ fn recs(req: &Request, ctx: &Ctx) -> Reply {
         exclude_seen,
         quant: st.quant_enabled(),
         nprobe: st.ann_nprobe() as u32,
+        delta: delta.version(),
     };
     let compute = || {
         SCRATCH.with(|s| {
-            st.top_k_into(ctx.engine.dataset(), user, k, exclude_seen, &mut s.borrow_mut())
+            if delta.is_empty() {
+                st.top_k_into(st.ds(), user, k, exclude_seen, &mut s.borrow_mut())
+            } else {
+                st.top_k_stream(&delta, user, k, exclude_seen, &mut s.borrow_mut())
+            }
         })
     };
     let (items, cached) = if ctx.cache_enabled {
@@ -1121,6 +1389,7 @@ mod tests {
             ("GET", "/metrics", Route::Metrics),
             ("GET", "/admin/obs", Route::AdminObs),
             ("POST", "/score", Route::Score),
+            ("POST", "/events", Route::Events),
             ("POST", "/admin/reload", Route::AdminReload),
             ("POST", "/admin/shutdown", Route::AdminShutdown),
             ("GET", "/recs/7", Route::Recs),
@@ -1130,6 +1399,32 @@ mod tests {
         ];
         for (m, p, want) in cases {
             assert_eq!(classify_route(&fake_request(m, p)), want, "{m} {p}");
+        }
+    }
+
+    #[test]
+    fn event_parsing_validates_and_stamps_the_request_id() {
+        let ev = parse_event(
+            r#"{"user": 7, "item": 3, "ts": 1700000000, "client": "app-1", "seq": 9}"#,
+            "rid-1",
+        )
+        .expect("parse");
+        assert_eq!((ev.user, ev.item, ev.timestamp), (7, 3, 1_700_000_000));
+        assert_eq!((ev.client.as_str(), ev.seq), ("app-1", 9));
+        assert_eq!(ev.request_id, "rid-1");
+        // Minimal form: ts/client/seq optional; no-client opts out of dedup.
+        let min = parse_event(r#"{"user": 0, "item": 1}"#, "rid-2").expect("minimal");
+        assert_eq!((min.timestamp, min.seq), (0, 0));
+        assert!(min.client.is_empty());
+        for bad in [
+            r#"{"item": 1}"#,                                // user missing
+            r#"{"user": -1, "item": 1}"#,                    // negative id
+            r#"{"user": 0, "item": 1.5}"#,                   // non-integer
+            r#"{"user": 0, "item": 1, "client": "c"}"#,      // client without seq
+            r#"{"user": 0, "item": 1, "client": 3, "seq": 1}"#, // non-string client
+            "not json",
+        ] {
+            assert!(parse_event(bad, "rid").is_err(), "accepted {bad:?}");
         }
     }
 

@@ -1,0 +1,701 @@
+//! # lrgcn-stream — append-only crash-safe interaction event log
+//!
+//! The write path of the streaming ingestion subsystem (DESIGN.md §13):
+//! `POST /events` appends framed binary records here, the serving engine
+//! folds the tail of the log into its read state, and `lrgcn retrain`
+//! replays the whole log into the training matrices.
+//!
+//! ## Durability contract
+//!
+//! * Every record is framed as `u32 len | u32 crc32(payload) | payload`,
+//!   appended to fsync'd segment files under one directory
+//!   (`events-NNNNNN.seg`, each starting with an 8-byte magic).
+//! * [`EventLog::append_batch`] acknowledges a batch only after
+//!   `fdatasync` of all its frames — **an acknowledged event is never
+//!   lost**, no matter where a crash lands.
+//! * On [`EventLog::open`] after a crash, a torn frame at the tail of the
+//!   *newest* segment is truncated away (it was never acknowledged); a
+//!   torn frame anywhere else is real corruption and refuses to open.
+//! * Replay is deterministic: the recovered event sequence is exactly the
+//!   acknowledged append order, so folding it into any consumer
+//!   reproduces the pre-crash state byte-for-byte.
+//!
+//! ## Idempotency
+//!
+//! Producers may stamp events with a `(client, seq)` pair; the log keeps a
+//! per-client high-water mark (rebuilt on replay) and silently drops
+//! re-sent events with `seq` at or below it, so at-least-once retries
+//! after a 503 or a lost ack never duplicate records. Events with an empty
+//! client id opt out of deduplication.
+//!
+//! Fault injection: `LRGCN_FAULT` `io_error:<p>` clauses also fire on
+//! appends (see `lrgcn_tensor::faultfs::append_fault`); an injected fault
+//! leaves no acknowledged bytes behind (the partial frame is rolled back)
+//! and surfaces as a retryable error.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use lrgcn_tensor::Matrix;
+
+/// 8-byte magic at the start of every segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"LRGCNEV1";
+
+/// Default rotation threshold for segment files.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 1 << 20;
+
+/// Name of the reserved checkpoint entry recording how many log events the
+/// checkpoint's training matrices already include (the "covered" prefix).
+/// Written by `lrgcn retrain`, read by the serving engine so the fold-in
+/// delta starts exactly where the checkpoint left off.
+pub const COVERED_ENTRY: &str = "__stream__:covered";
+
+/// One interaction event as recorded in the log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamEvent {
+    pub user: u32,
+    pub item: u32,
+    pub timestamp: i64,
+    /// Producer id for idempotent retries; empty opts out.
+    pub client: String,
+    /// Producer-assigned sequence number (monotone per client).
+    pub seq: u64,
+    /// The `x-lrgcn-request-id` of the HTTP request that carried the
+    /// event, for end-to-end tracing (arrival → fold-in → generation).
+    pub request_id: String,
+}
+
+/// Outcome of one acknowledged append.
+#[derive(Debug, Default)]
+pub struct AppendOutcome {
+    /// Events durably written by this call, in append order.
+    pub accepted: Vec<StreamEvent>,
+    /// Events dropped as idempotent duplicates.
+    pub duplicates: usize,
+}
+
+// ---------------------------------------------------------------------------
+// crc32 (IEEE, reflected) — table-driven, zero-dependency.
+// ---------------------------------------------------------------------------
+
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    })
+}
+
+/// IEEE CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = !0u32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// Record encoding
+// ---------------------------------------------------------------------------
+
+/// Longest allowed client / request-id string in a record.
+const MAX_STR: usize = 256;
+
+fn encode_payload(ev: &StreamEvent, out: &mut Vec<u8>) -> Result<(), String> {
+    if ev.client.len() > MAX_STR {
+        return Err(format!("client id longer than {MAX_STR} bytes"));
+    }
+    if ev.request_id.len() > MAX_STR {
+        return Err(format!("request id longer than {MAX_STR} bytes"));
+    }
+    out.extend_from_slice(&ev.user.to_le_bytes());
+    out.extend_from_slice(&ev.item.to_le_bytes());
+    out.extend_from_slice(&ev.timestamp.to_le_bytes());
+    out.extend_from_slice(&ev.seq.to_le_bytes());
+    out.extend_from_slice(&(ev.client.len() as u16).to_le_bytes());
+    out.extend_from_slice(ev.client.as_bytes());
+    out.extend_from_slice(&(ev.request_id.len() as u16).to_le_bytes());
+    out.extend_from_slice(ev.request_id.as_bytes());
+    Ok(())
+}
+
+fn decode_payload(buf: &[u8]) -> Result<StreamEvent, String> {
+    let take = |buf: &[u8], at: usize, n: usize| -> Result<Vec<u8>, String> {
+        buf.get(at..at + n)
+            .map(|s| s.to_vec())
+            .ok_or_else(|| "record payload truncated".to_string())
+    };
+    let u32_at = |at: usize| -> Result<u32, String> {
+        Ok(u32::from_le_bytes(take(buf, at, 4)?.try_into().unwrap()))
+    };
+    let user = u32_at(0)?;
+    let item = u32_at(4)?;
+    let timestamp = i64::from_le_bytes(take(buf, 8, 8)?.try_into().unwrap());
+    let seq = u64::from_le_bytes(take(buf, 16, 8)?.try_into().unwrap());
+    let clen = u16::from_le_bytes(take(buf, 24, 2)?.try_into().unwrap()) as usize;
+    let client = String::from_utf8(take(buf, 26, clen)?)
+        .map_err(|_| "client id is not UTF-8".to_string())?;
+    let rat = 26 + clen;
+    let rlen = u16::from_le_bytes(take(buf, rat, 2)?.try_into().unwrap()) as usize;
+    let request_id = String::from_utf8(take(buf, rat + 2, rlen)?)
+        .map_err(|_| "request id is not UTF-8".to_string())?;
+    if rat + 2 + rlen != buf.len() {
+        return Err("record payload has trailing bytes".to_string());
+    }
+    Ok(StreamEvent { user, item, timestamp, client, seq, request_id })
+}
+
+fn encode_frame(ev: &StreamEvent, out: &mut Vec<u8>) -> Result<(), String> {
+    let mut payload = Vec::with_capacity(64);
+    encode_payload(ev, &mut payload)?;
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    Ok(())
+}
+
+/// Largest frame we accept when scanning (defends against reading a
+/// garbage length field in a torn tail).
+const MAX_FRAME_PAYLOAD: u32 = 16 * 1024;
+
+/// Scans one segment's bytes. Returns the decoded events and the byte
+/// offset of the end of the last *valid* frame; `Ok` even when a torn tail
+/// follows (the caller decides whether truncation is allowed).
+fn scan_segment(bytes: &[u8]) -> Result<(Vec<StreamEvent>, u64), String> {
+    if bytes.len() < SEGMENT_MAGIC.len() || &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        return Err("segment missing magic header".to_string());
+    }
+    let mut events = Vec::new();
+    let mut at = SEGMENT_MAGIC.len();
+    let mut good_end = at as u64;
+    while at + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+        if len > MAX_FRAME_PAYLOAD {
+            break; // torn/garbage length field
+        }
+        let (start, end) = (at + 8, at + 8 + len as usize);
+        if end > bytes.len() {
+            break; // torn frame: payload runs past the file
+        }
+        let payload = &bytes[start..end];
+        if crc32(payload) != crc {
+            break; // torn frame: checksum mismatch
+        }
+        match decode_payload(payload) {
+            Ok(ev) => events.push(ev),
+            Err(_) => break, // checksum passed but payload malformed: treat as torn
+        }
+        at = end;
+        good_end = at as u64;
+    }
+    Ok((events, good_end))
+}
+
+fn segment_name(n: u64) -> String {
+    format!("events-{n:06}.seg")
+}
+
+fn list_segments(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut segs = Vec::new();
+    let rd = fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in rd {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("events-") && name.ends_with(".seg") {
+            segs.push(entry.path());
+        }
+    }
+    segs.sort();
+    Ok(segs)
+}
+
+fn fsync_dir(dir: &Path) -> Result<(), String> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| format!("fsync {}: {e}", dir.display()))
+}
+
+/// The writable, replayable event log over one directory of segments.
+pub struct EventLog {
+    dir: PathBuf,
+    segment_bytes: u64,
+    /// 1-based index of the current (newest) segment.
+    current_seg: u64,
+    file: File,
+    file_len: u64,
+    events: Vec<StreamEvent>,
+    /// Per-client acknowledged-sequence high-water marks.
+    hwm: HashMap<String, u64>,
+    /// Set when a failed append could not be rolled back; all further
+    /// appends refuse rather than risk writing after a torn frame.
+    poisoned: bool,
+}
+
+impl EventLog {
+    /// Opens (creating if needed) the log at `dir`, replaying all segments
+    /// and truncating a torn tail on the newest one.
+    pub fn open(dir: impl AsRef<Path>) -> Result<EventLog, String> {
+        Self::open_with_segment_bytes(dir, DEFAULT_SEGMENT_BYTES)
+    }
+
+    /// [`EventLog::open`] with an explicit rotation threshold (tests).
+    pub fn open_with_segment_bytes(
+        dir: impl AsRef<Path>,
+        segment_bytes: u64,
+    ) -> Result<EventLog, String> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        let mut segs = list_segments(&dir)?;
+        if segs.is_empty() {
+            let first = dir.join(segment_name(1));
+            let mut f = File::create(&first)
+                .map_err(|e| format!("creating {}: {e}", first.display()))?;
+            f.write_all(SEGMENT_MAGIC)
+                .and_then(|_| f.sync_all())
+                .map_err(|e| format!("initializing {}: {e}", first.display()))?;
+            fsync_dir(&dir)?;
+            segs.push(first);
+        }
+        let mut events = Vec::new();
+        let last = segs.len() - 1;
+        let mut tail_good_end = 0u64;
+        for (i, seg) in segs.iter().enumerate() {
+            let bytes =
+                fs::read(seg).map_err(|e| format!("reading {}: {e}", seg.display()))?;
+            let (evs, good_end) = scan_segment(&bytes)
+                .map_err(|e| format!("{}: {e}", seg.display()))?;
+            if i < last && (good_end as usize) != bytes.len() {
+                return Err(format!(
+                    "{}: corrupt frame in a non-tail segment (crash recovery only \
+                     truncates the newest segment)",
+                    seg.display()
+                ));
+            }
+            if i == last {
+                tail_good_end = good_end;
+                if (good_end as usize) != bytes.len() {
+                    // Torn tail: the partial frame was never acknowledged.
+                    let f = OpenOptions::new()
+                        .write(true)
+                        .open(seg)
+                        .map_err(|e| format!("opening {}: {e}", seg.display()))?;
+                    f.set_len(good_end)
+                        .and_then(|_| f.sync_all())
+                        .map_err(|e| format!("truncating {}: {e}", seg.display()))?;
+                }
+            }
+            events.extend(evs);
+        }
+        let current_seg = segs.len() as u64;
+        let mut file = OpenOptions::new()
+            .append(true)
+            .open(&segs[last])
+            .map_err(|e| format!("opening {}: {e}", segs[last].display()))?;
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| format!("seeking {}: {e}", segs[last].display()))?;
+        let mut hwm = HashMap::new();
+        for ev in &events {
+            if !ev.client.is_empty() {
+                let e = hwm.entry(ev.client.clone()).or_insert(0u64);
+                *e = (*e).max(ev.seq);
+            }
+        }
+        Ok(EventLog {
+            dir,
+            segment_bytes,
+            current_seg,
+            file,
+            file_len: tail_good_end,
+            events,
+            hwm,
+            poisoned: false,
+        })
+    }
+
+    /// Number of acknowledged events in the log.
+    pub fn len(&self) -> u64 {
+        self.events.len() as u64
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All acknowledged events in append order.
+    pub fn events(&self) -> &[StreamEvent] {
+        &self.events
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends a batch: filters idempotent duplicates, writes one frame
+    /// per fresh event, fsyncs once, then acknowledges. On error nothing
+    /// is acknowledged and any partial frame is rolled back, so the call
+    /// is safe to retry.
+    pub fn append_batch(&mut self, batch: &[StreamEvent]) -> Result<AppendOutcome, String> {
+        if self.poisoned {
+            return Err("event log poisoned by an earlier unrecoverable append failure".into());
+        }
+        let mut out = AppendOutcome::default();
+        let mut buf = Vec::new();
+        let mut batch_hwm: HashMap<&str, u64> = HashMap::new();
+        for ev in batch {
+            if !ev.client.is_empty() {
+                let acked = self.hwm.get(&ev.client).copied().unwrap_or(0);
+                let in_batch = batch_hwm.get(ev.client.as_str()).copied().unwrap_or(0);
+                if ev.seq <= acked.max(in_batch) {
+                    out.duplicates += 1;
+                    continue;
+                }
+                batch_hwm.insert(&ev.client, ev.seq);
+            }
+            encode_frame(ev, &mut buf)?;
+            out.accepted.push(ev.clone());
+        }
+        if out.accepted.is_empty() {
+            return Ok(out);
+        }
+        if lrgcn_tensor::faultfs::append_fault() {
+            // Simulate a torn write: half the first frame hits the disk,
+            // then roll back so the in-process log stays appendable. A
+            // real crash here is what open()'s tail truncation handles.
+            let torn = &buf[..buf.len() / 2];
+            let _ = self.file.write_all(torn);
+            let _ = self.file.flush();
+            if self.file.set_len(self.file_len).is_err()
+                || self.file.seek(SeekFrom::End(0)).is_err()
+            {
+                self.poisoned = true;
+            }
+            return Err("injected append fault (no events acknowledged; retry)".into());
+        }
+        let write = self
+            .file
+            .write_all(&buf)
+            .and_then(|_| self.file.sync_data());
+        if let Err(e) = write {
+            if self.file.set_len(self.file_len).is_err()
+                || self.file.seek(SeekFrom::End(0)).is_err()
+            {
+                self.poisoned = true;
+            }
+            return Err(format!("append failed (no events acknowledged; retry): {e}"));
+        }
+        // Acknowledged: update in-memory state.
+        self.file_len += buf.len() as u64;
+        for ev in &out.accepted {
+            if !ev.client.is_empty() {
+                let e = self.hwm.entry(ev.client.clone()).or_insert(0);
+                *e = (*e).max(ev.seq);
+            }
+        }
+        self.events.extend(out.accepted.iter().cloned());
+        if self.file_len >= self.segment_bytes {
+            self.rotate()?;
+        }
+        Ok(out)
+    }
+
+    fn rotate(&mut self) -> Result<(), String> {
+        let next = self.current_seg + 1;
+        let path = self.dir.join(segment_name(next));
+        let mut f =
+            File::create(&path).map_err(|e| format!("creating {}: {e}", path.display()))?;
+        f.write_all(SEGMENT_MAGIC)
+            .and_then(|_| f.sync_all())
+            .map_err(|e| format!("initializing {}: {e}", path.display()))?;
+        fsync_dir(&self.dir)?;
+        self.current_seg = next;
+        self.file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("opening {}: {e}", path.display()))?;
+        self.file_len = SEGMENT_MAGIC.len() as u64;
+        Ok(())
+    }
+
+    /// Read-only deterministic replay of the log at `dir` without taking
+    /// the writer: returns the acknowledged events in append order. A torn
+    /// tail on the newest segment is ignored (not truncated). A directory
+    /// that does not exist yet is an empty log, not an error — the serving
+    /// engine opens before the first event is ever written.
+    pub fn replay(dir: impl AsRef<Path>) -> Result<Vec<StreamEvent>, String> {
+        let dir = dir.as_ref();
+        if !dir.exists() {
+            return Ok(Vec::new());
+        }
+        let segs = list_segments(dir)?;
+        let mut events = Vec::new();
+        let last = segs.len().saturating_sub(1);
+        for (i, seg) in segs.iter().enumerate() {
+            let bytes =
+                fs::read(seg).map_err(|e| format!("reading {}: {e}", seg.display()))?;
+            let (evs, good_end) = scan_segment(&bytes)
+                .map_err(|e| format!("{}: {e}", seg.display()))?;
+            if i < last && (good_end as usize) != bytes.len() {
+                return Err(format!(
+                    "{}: corrupt frame in a non-tail segment",
+                    seg.display()
+                ));
+            }
+            events.extend(evs);
+        }
+        Ok(events)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Covered-prefix checkpoint entry
+// ---------------------------------------------------------------------------
+
+/// Packs the covered-event count into a checkpoint matrix entry: four
+/// little-endian u16 limbs stored as exact f32 values (the same scheme the
+/// trainer uses for its own u64 metadata, so any f32 container roundtrips
+/// it losslessly).
+pub fn pack_covered(n: u64) -> Matrix {
+    let limbs: Vec<f32> = (0..4).map(|k| ((n >> (16 * k)) & 0xffff) as f32).collect();
+    Matrix::from_vec(1, 4, limbs)
+}
+
+/// Reads the covered-event count back from checkpoint entries; 0 when the
+/// entry is absent (pre-streaming checkpoints) or malformed.
+pub fn unpack_covered(entries: &[(String, Matrix)]) -> u64 {
+    let Some((_, m)) = entries.iter().find(|(n, _)| n == COVERED_ENTRY) else {
+        return 0;
+    };
+    if m.shape() != (1, 4) {
+        return 0;
+    }
+    let mut n = 0u64;
+    for (k, &limb) in m.data().iter().enumerate() {
+        if !(0.0..=65535.0).contains(&limb) || limb.fract() != 0.0 {
+            return 0;
+        }
+        n |= (limb as u64) << (16 * k);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lrgcn_stream_{name}"));
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn ev(user: u32, item: u32, ts: i64, client: &str, seq: u64) -> StreamEvent {
+        StreamEvent {
+            user,
+            item,
+            timestamp: ts,
+            client: client.to_string(),
+            seq,
+            request_id: format!("rid-{user}-{item}"),
+        }
+    }
+
+    #[test]
+    fn append_replay_roundtrip_preserves_order_and_fields() {
+        let dir = tmpdir("roundtrip");
+        let mut log = EventLog::open(&dir).expect("open");
+        let batch: Vec<_> = (0..20).map(|i| ev(i, i * 2, i as i64, "c", i as u64 + 1)).collect();
+        let out = log.append_batch(&batch).expect("append");
+        assert_eq!(out.accepted.len(), 20);
+        assert_eq!(out.duplicates, 0);
+        drop(log);
+        let replayed = EventLog::replay(&dir).expect("replay");
+        assert_eq!(replayed, batch);
+        let reopened = EventLog::open(&dir).expect("reopen");
+        assert_eq!(reopened.events(), &batch[..]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn idempotent_duplicates_are_dropped_across_reopen() {
+        let dir = tmpdir("idem");
+        let mut log = EventLog::open(&dir).expect("open");
+        log.append_batch(&[ev(1, 2, 0, "c", 1), ev(1, 3, 1, "c", 2)]).unwrap();
+        // Retry of seq 1/2 plus one fresh event, including an in-batch dup.
+        let out = log
+            .append_batch(&[ev(1, 2, 0, "c", 1), ev(1, 4, 2, "c", 3), ev(1, 4, 2, "c", 3)])
+            .unwrap();
+        assert_eq!(out.accepted.len(), 1);
+        assert_eq!(out.duplicates, 2);
+        drop(log);
+        // The high-water mark survives replay.
+        let mut log = EventLog::open(&dir).expect("reopen");
+        let out = log.append_batch(&[ev(1, 5, 3, "c", 3), ev(1, 5, 3, "c", 4)]).unwrap();
+        assert_eq!(out.duplicates, 1, "seq 3 already acknowledged");
+        assert_eq!(out.accepted.len(), 1);
+        assert_eq!(log.len(), 4);
+        // Empty client ids opt out of deduplication.
+        let out = log.append_batch(&[ev(9, 9, 9, "", 0), ev(9, 9, 9, "", 0)]).unwrap();
+        assert_eq!(out.accepted.len(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open_but_not_replay() {
+        let dir = tmpdir("torn");
+        let mut log = EventLog::open(&dir).expect("open");
+        log.append_batch(&[ev(1, 2, 0, "c", 1), ev(3, 4, 1, "c", 2)]).unwrap();
+        drop(log);
+        // Simulate a crash mid-frame: append half a valid frame.
+        let seg = dir.join(segment_name(1));
+        let mut frame = Vec::new();
+        encode_frame(&ev(5, 6, 2, "c", 3), &mut frame).unwrap();
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&frame[..frame.len() / 2]).unwrap();
+        drop(f);
+        let replayed = EventLog::replay(&dir).expect("replay tolerates torn tail");
+        assert_eq!(replayed.len(), 2);
+        let before = fs::metadata(&seg).unwrap().len();
+        let mut log = EventLog::open(&dir).expect("open truncates");
+        assert_eq!(log.len(), 2);
+        assert!(fs::metadata(&seg).unwrap().len() < before, "tail truncated");
+        // And the log is appendable again right where it left off.
+        log.append_batch(&[ev(5, 6, 2, "c", 3)]).unwrap();
+        drop(log);
+        assert_eq!(EventLog::replay(&dir).unwrap().len(), 3);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn garbage_length_field_is_treated_as_torn() {
+        let dir = tmpdir("garbage");
+        let mut log = EventLog::open(&dir).expect("open");
+        log.append_batch(&[ev(1, 2, 0, "", 0)]).unwrap();
+        drop(log);
+        let seg = dir.join(segment_name(1));
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&[0xff; 32]).unwrap();
+        drop(f);
+        let log = EventLog::open(&dir).expect("recovers");
+        assert_eq!(log.len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segments_rotate_and_interior_corruption_refuses_to_open() {
+        let dir = tmpdir("rotate");
+        let mut log = EventLog::open_with_segment_bytes(&dir, 256).expect("open");
+        for i in 0..40 {
+            log.append_batch(&[ev(i, i, i as i64, "c", i as u64 + 1)]).unwrap();
+        }
+        drop(log);
+        let segs = list_segments(&dir).unwrap();
+        assert!(segs.len() >= 2, "expected rotation, got {} segments", segs.len());
+        assert_eq!(EventLog::replay(&dir).unwrap().len(), 40);
+        assert_eq!(EventLog::open_with_segment_bytes(&dir, 256).unwrap().len(), 40);
+        // Flip a payload byte in the FIRST segment: not crash-recoverable.
+        let mut bytes = fs::read(&segs[0]).unwrap();
+        let at = bytes.len() - 3;
+        bytes[at] ^= 0x5a;
+        fs::write(&segs[0], &bytes).unwrap();
+        assert!(EventLog::open_with_segment_bytes(&dir, 256).is_err());
+        assert!(EventLog::replay(&dir).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_append_fault_acknowledges_nothing_and_stays_usable() {
+        let dir = tmpdir("fault");
+        let mut log = EventLog::open(&dir).expect("open");
+        log.append_batch(&[ev(1, 1, 0, "c", 1)]).unwrap();
+        lrgcn_tensor::faultfs::set_thread_override(Some("io_error:1.0")).unwrap();
+        let err = log.append_batch(&[ev(2, 2, 1, "c", 2)]).expect_err("injected");
+        assert!(err.contains("no events acknowledged"), "{err}");
+        lrgcn_tensor::faultfs::set_thread_override(None).unwrap();
+        assert_eq!(log.len(), 1, "failed append acknowledged nothing");
+        // Retry succeeds and the on-disk log is clean.
+        let out = log.append_batch(&[ev(2, 2, 1, "c", 2)]).expect("retry");
+        assert_eq!(out.accepted.len(), 1);
+        drop(log);
+        let replayed = EventLog::replay(&dir).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(EventLog::open(&dir).unwrap().len(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn covered_entry_roundtrips_and_defaults_to_zero() {
+        for n in [0u64, 1, 65535, 65536, 1 << 40, (1 << 48) + 12345] {
+            let m = pack_covered(n);
+            let entries = vec![(COVERED_ENTRY.to_string(), m)];
+            assert_eq!(unpack_covered(&entries), n);
+        }
+        assert_eq!(unpack_covered(&[]), 0);
+        let bad = vec![(COVERED_ENTRY.to_string(), Matrix::from_vec(1, 4, vec![0.5; 4]))];
+        assert_eq!(unpack_covered(&bad), 0);
+    }
+
+    /// Satellite: chronological replay through the log reproduces the
+    /// offline split partition exactly — the streaming path and the batch
+    /// path see the same train/val/test worlds.
+    #[test]
+    fn replay_through_log_reproduces_offline_split() {
+        use lrgcn_data::{Dataset, InteractionLog, SplitRatios, SyntheticConfig};
+        let dir = tmpdir("split_equiv");
+        let log0 = SyntheticConfig::games().scaled(0.05).generate(42);
+        let mut elog = EventLog::open(&dir).expect("open");
+        let events: Vec<StreamEvent> = log0
+            .interactions()
+            .iter()
+            .enumerate()
+            .map(|(i, x)| StreamEvent {
+                user: x.user,
+                item: x.item,
+                timestamp: x.timestamp,
+                client: "replayer".into(),
+                seq: i as u64 + 1,
+                request_id: String::new(),
+            })
+            .collect();
+        for chunk in events.chunks(97) {
+            elog.append_batch(chunk).expect("append");
+        }
+        drop(elog);
+        let replayed = EventLog::replay(&dir).expect("replay");
+        let log1 = InteractionLog::new(
+            log0.n_users(),
+            log0.n_items(),
+            replayed
+                .iter()
+                .map(|e| lrgcn_data::Interaction {
+                    user: e.user,
+                    item: e.item,
+                    timestamp: e.timestamp,
+                })
+                .collect(),
+        );
+        let a = Dataset::chronological_split("a", &log0, SplitRatios::default());
+        let b = Dataset::chronological_split("b", &log1, SplitRatios::default());
+        assert_eq!(a.n_users(), b.n_users());
+        assert_eq!(a.n_items(), b.n_items());
+        assert_eq!(a.train().edges(), b.train().edges(), "train edges differ");
+        for u in 0..a.n_users() as u32 {
+            assert_eq!(a.val_items(u), b.val_items(u), "val differs for user {u}");
+            assert_eq!(a.test_items(u), b.test_items(u), "test differs for user {u}");
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -102,6 +102,7 @@ struct ThreadState {
     plan: Plan,
     save_ops: u64,
     read_ops: u64,
+    append_ops: u64,
 }
 
 thread_local! {
@@ -110,6 +111,7 @@ thread_local! {
 
 static SAVE_OPS: AtomicU64 = AtomicU64::new(0);
 static READ_OPS: AtomicU64 = AtomicU64::new(0);
+static APPEND_OPS: AtomicU64 = AtomicU64::new(0);
 
 fn env_plan() -> Option<&'static Plan> {
     static PLAN: OnceLock<Option<Plan>> = OnceLock::new();
@@ -142,6 +144,7 @@ pub fn set_thread_override(spec: Option<&str>) -> Result<(), String> {
             plan: Plan::parse(s, 0x5eed)?,
             save_ops: 0,
             read_ops: 0,
+            append_ops: 0,
         }),
         None => None,
     };
@@ -177,6 +180,15 @@ fn decide_save(plan: &Plan, op: u64) -> Option<SaveFault> {
     None
 }
 
+/// Appends share the probabilistic `io_error` clauses with saves (on an
+/// independent draw stream / op counter); the save-specific clauses
+/// (`torn_write:save`, `kill`, `panic`) do not apply to appends.
+fn decide_append(plan: &Plan, op: u64) -> bool {
+    plan.clauses.iter().enumerate().any(|(i, clause)| {
+        matches!(clause, Clause::IoError(p) if unit(plan.seed, i as u64 ^ 0xA99E, op) < *p)
+    })
+}
+
 fn decide_read(plan: &Plan, op: u64) -> bool {
     plan.clauses.iter().enumerate().any(|(i, clause)| {
         matches!(clause, Clause::ShortRead(p) if unit(plan.seed, i as u64, op) < *p)
@@ -208,6 +220,24 @@ pub(crate) fn read_fault() -> bool {
             Some(plan) => {
                 let op = READ_OPS.fetch_add(1, Ordering::SeqCst) + 1;
                 decide_read(plan, op)
+            }
+            None => false,
+        }
+    })
+}
+
+/// Consulted once per event-log append (see `lrgcn-stream`); `true` means
+/// the append must fail after a partial (torn) write.
+pub fn append_fault() -> bool {
+    OVERRIDE.with(|o| {
+        if let Some(st) = o.borrow_mut().as_mut() {
+            st.append_ops += 1;
+            return decide_append(&st.plan, st.append_ops);
+        }
+        match env_plan() {
+            Some(plan) => {
+                let op = APPEND_OPS.fetch_add(1, Ordering::SeqCst) + 1;
+                decide_append(plan, op)
             }
             None => false,
         }

@@ -180,6 +180,21 @@ pub fn save_train_state(
     model: &dyn Recommender,
     state: &TrainState,
 ) -> Result<(), String> {
+    save_train_state_with_extras(path, tag, model, state, &[])
+}
+
+/// [`save_train_state`] with additional caller-supplied entries appended —
+/// e.g. the streaming covered-prefix marker (`lrgcn_stream::COVERED_ENTRY`)
+/// `lrgcn retrain` stamps so a serving engine knows how much of the event
+/// log a generation's training matrices already include. Extra names must
+/// not collide with model entries or the reserved `__train__:` names.
+pub fn save_train_state_with_extras(
+    path: impl AsRef<Path>,
+    tag: Option<&str>,
+    model: &dyn Recommender,
+    state: &TrainState,
+    extras: &[(String, Matrix)],
+) -> Result<(), String> {
     let model_entries = model.checkpoint_entries().ok_or_else(|| {
         format!(
             "{} has no stable checkpoint format; cannot write a training-state checkpoint",
@@ -233,6 +248,9 @@ pub fn save_train_state(
         refs.push((vn.as_str(), v));
     }
     for (n, m) in best_names.iter().zip(state.best_params.iter().flatten()) {
+        refs.push((n.as_str(), m));
+    }
+    for (n, m) in extras {
         refs.push((n.as_str(), m));
     }
 
@@ -405,8 +423,20 @@ pub fn save_generation(
     model: &dyn Recommender,
     state: &TrainState,
 ) -> Result<PathBuf, String> {
+    save_generation_with_extras(base, tag, model, state, &[])
+}
+
+/// [`save_generation`] with extra checkpoint entries (see
+/// [`save_train_state_with_extras`]).
+pub fn save_generation_with_extras(
+    base: &Path,
+    tag: Option<&str>,
+    model: &dyn Recommender,
+    state: &TrainState,
+    extras: &[(String, Matrix)],
+) -> Result<PathBuf, String> {
     let path = generation_path(base, state.epoch_next);
-    save_train_state(&path, tag, model, state)?;
+    save_train_state_with_extras(&path, tag, model, state, extras)?;
     for (_, old) in list_generations(base).into_iter().skip(KEEP_GENERATIONS) {
         let _ = std::fs::remove_file(old);
     }

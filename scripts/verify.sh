@@ -31,15 +31,24 @@
 #      behind `--exact` and `--ann`, query both over /dev/tcp and fail if
 #      the IVF read path's recall@20 against the exact scan drops below
 #      0.95
-#  10. the PR-1 parallel-execution benchmark (writes BENCH_PR1.json), the
-#      PR-4 serving-throughput benchmark (writes BENCH_PR4.json), the
-#      PR-6 kernel/quantized-read-path benchmark (writes BENCH_PR6.json)
-#      and a `--quick` run of the PR-7 IVF-vs-exact benchmark (written to
-#      a temp path so the committed full-run BENCH_PR7.json survives)
+#  10. streaming smoke: serve with `--events-log`, POST /events bursts over
+#      /dev/tcp, kill -9 the server mid-stream, restart on the same log and
+#      assert the recovered fold-in serves the same recommendations with
+#      every acknowledged event intact; then a serve run under
+#      LRGCN_FAULT=io_error where faulted appends 503 and only acked
+#      events survive; finally `lrgcn retrain --follow` folds the log into
+#      a new checkpoint generation and hot-reloads the live server
+#  11. quick runs of every benchmark bin, each written to a temp path —
+#      the committed BENCH_*.json are historical artifacts of their own
+#      PRs and must stay byte-identical through verification (checked at
+#      the end against a checksum snapshot taken here)
 #
 # Usage: scripts/verify.sh [--skip-bench]
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Snapshot the committed benchmark reports: no stage may rewrite them.
+bench_baseline=$(sha256sum BENCH_*.json 2>/dev/null || true)
 
 echo "==> tier-1: cargo build --release"
 cargo build --release
@@ -273,16 +282,129 @@ if (( hit * 100 < total * 95 )); then
 fi
 echo "ANN smoke: OK"
 
+echo "==> streaming smoke: ingest, kill -9, recover, retrain, hot reload"
+stream="$smoke/stream"
+mkdir -p "$stream"
+./target/release/lrgcn train --input "$smoke/interactions.tsv" \
+    --epochs 2 --seed 5 --checkpoint "$stream/gen" --save "$stream/live.ckpt"
+start_stream_serve() { # logfile [env-prefix...] -> sets $sport and $stream_pid
+    local logfile=$1
+    shift
+    env "$@" ./target/release/lrgcn serve "$stream/live.ckpt" \
+        --input "$smoke/interactions.tsv" --port 0 \
+        --events-log "$stream/events" >"$logfile" 2>&1 &
+    stream_pid=$!
+    sport=""
+    for _ in $(seq 1 50); do
+        sport=$(sed -n 's#.*listening on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' "$logfile")
+        [[ -n "$sport" ]] && break
+        sleep 0.2
+    done
+    [[ -n "$sport" ]] || { echo "verify: streaming serve never reported its port"; cat "$logfile"; exit 1; }
+}
+stream_req() { # port method path [body] -> full response on stdout
+    local body="${4:-}"
+    exec 6<>"/dev/tcp/127.0.0.1/$1"
+    printf '%s %s HTTP/1.1\r\nHost: verify\r\nContent-Length: %s\r\n\r\n%s' \
+        "$2" "$3" "${#body}" "$body" >&6
+    cat <&6
+    exec 6<&-
+}
+accepted_of() { grep -o '"accepted":[0-9]*' <<<"$1" | head -1 | cut -d: -f2; }
+start_stream_serve "$stream/serve.log"
+grep -q 'streaming ingestion on' "$stream/serve.log" || {
+    echo "verify: serve --events-log printed no ingestion banner"; cat "$stream/serve.log"; exit 1; }
+# Burst three JSONL batches for a user the checkpoint has never seen.
+new_user=4000
+acked=0
+for b in 0 1 2; do
+    body=""
+    for i in 0 1 2 3 4; do
+        n=$((b * 5 + i + 1))
+        body+="{\"user\": $new_user, \"item\": $((n % 37)), \"ts\": $((1700000000 + n)), \"client\": \"smoke\", \"seq\": $n}"$'\n'
+    done
+    resp=$(stream_req "$sport" POST /events "$body")
+    got=$(accepted_of "$resp")
+    [[ -n "$got" ]] || { echo "verify: /events batch $b not acknowledged: $resp"; exit 1; }
+    acked=$((acked + got))
+done
+(( acked == 15 )) || { echo "verify: acked $acked of 15 streamed events"; exit 1; }
+# The streamed user is immediately servable via fold-in; pin the ranking.
+recs_before=$(stream_req "$sport" GET "/recs/$new_user?k=5" | grep -o '"item":[0-9]*' | tr '\n' ' ')
+[[ -n "$recs_before" ]] || { echo "verify: fold-in /recs/$new_user empty before crash"; exit 1; }
+# SIGKILL mid-flight: no graceful shutdown, the log is all that survives.
+kill -9 "$stream_pid" 2>/dev/null || true
+wait "$stream_pid" 2>/dev/null || true
+start_stream_serve "$stream/serve2.log"
+health=$(stream_req "$sport" GET /healthz)
+grep -q "\"events_total\":$acked" <<<"$health" || {
+    echo "verify: recovered log lost acked events: $health"; exit 1; }
+recs_after=$(stream_req "$sport" GET "/recs/$new_user?k=5" | grep -o '"item":[0-9]*' | tr '\n' ' ')
+[[ "$recs_after" == "$recs_before" ]] || {
+    echo "verify: fold-in state diverged across kill -9: '$recs_before' vs '$recs_after'"; exit 1; }
+stream_req "$sport" POST /admin/shutdown >/dev/null
+wait "$stream_pid" || { echo "verify: recovered serve exited non-zero"; exit 1; }
+# Fault composition: with io_error injected, faulted appends must answer
+# 503 and acknowledge nothing; a clean restart replays only acked events.
+start_stream_serve "$stream/serve3.log" LRGCN_FAULT=io_error:0.5 LRGCN_FAULT_SEED=11
+fault_acked=0
+for n in $(seq 1 10); do
+    resp=$(stream_req "$sport" POST /events \
+        "{\"user\": $new_user, \"item\": $((n % 37)), \"client\": \"faulty\", \"seq\": $n}"$'\n')
+    if grep -q ' 200 ' <<<"${resp%%$'\r\n'*}"; then
+        fault_acked=$((fault_acked + $(accepted_of "$resp")))
+    elif ! grep -q ' 503 ' <<<"${resp%%$'\r\n'*}"; then
+        echo "verify: faulted append answered neither 200 nor 503: $resp"; exit 1
+    fi
+done
+(( fault_acked < 10 )) || { echo "verify: io_error:0.5 faulted no append in 10"; exit 1; }
+kill -9 "$stream_pid" 2>/dev/null || true
+wait "$stream_pid" 2>/dev/null || true
+start_stream_serve "$stream/serve4.log"
+health=$(stream_req "$sport" GET /healthz)
+want_total=$((acked + fault_acked))
+grep -q "\"events_total\":$want_total" <<<"$health" || {
+    echo "verify: faulted run lost acked events (want $want_total): $health"; exit 1; }
+# Close the loop: fold the log into a new generation, publish it over the
+# live checkpoint and hot-reload the running server.
+./target/release/lrgcn retrain --input "$smoke/interactions.tsv" \
+    --checkpoint "$stream/gen" --follow "$stream/events" --epochs 2 \
+    --publish "$stream/live.ckpt" --reload "http://127.0.0.1:$sport" \
+    || { echo "verify: lrgcn retrain failed"; exit 1; }
+health=$(stream_req "$sport" GET /healthz)
+grep -q "\"covered_events\":$want_total" <<<"$health" || {
+    echo "verify: reload did not cover the log (want $want_total): $health"; exit 1; }
+recs=$(stream_req "$sport" GET "/recs/$new_user?k=5")
+grep -q '"items":\[{' <<<"$recs" || {
+    echo "verify: retrained generation serves nothing for $new_user: $recs"; exit 1; }
+stream_req "$sport" POST /admin/shutdown >/dev/null
+wait "$stream_pid" || { echo "verify: streaming serve exited non-zero"; exit 1; }
+echo "streaming smoke: OK"
+
 if [[ "${1:-}" != "--skip-bench" ]]; then
-    echo "==> bench: epoch + eval wall time at 1 vs N threads -> BENCH_PR1.json"
-    cargo run --release -p lrgcn-bench --bin bench_pr1 -- --scale 1.0 --reps 3
-    echo "==> bench: serving throughput, single vs pooled -> BENCH_PR4.json"
-    cargo run --release -p lrgcn-serve --bin bench_pr4 -- --requests 400
-    echo "==> bench: kernel GFLOP/s + quantized read path -> BENCH_PR6.json"
-    cargo run --release -p lrgcn-serve --bin bench_pr6 -- --topk-requests 1000
+    echo "==> bench: epoch + eval wall time at 1 vs N threads (--quick smoke)"
+    cargo run --release -p lrgcn-bench --bin bench_pr1 -- --scale 0.5 --reps 1 \
+        --out "$smoke/BENCH_PR1.quick.json"
+    echo "==> bench: serving throughput, single vs pooled (--quick smoke)"
+    cargo run --release -p lrgcn-serve --bin bench_pr4 -- --requests 200 \
+        --out "$smoke/BENCH_PR4.quick.json"
+    echo "==> bench: kernel GFLOP/s + quantized read path (--quick smoke)"
+    cargo run --release -p lrgcn-serve --bin bench_pr6 -- --topk-requests 400 \
+        --out "$smoke/BENCH_PR6.quick.json"
     echo "==> bench: IVF ANN vs exact read path (--quick smoke)"
     cargo run --release -p lrgcn-serve --bin bench_pr7 -- --quick \
         --out "$smoke/BENCH_PR7.quick.json"
+    echo "==> bench: streaming staleness-vs-recall (--quick smoke)"
+    cargo run --release -p lrgcn-serve --bin bench_pr9 -- --quick \
+        --out "$smoke/BENCH_PR9.quick.json"
+fi
+
+# The committed benchmark reports are per-PR historical artifacts; fail if
+# anything above rewrote one.
+if [[ "$(sha256sum BENCH_*.json 2>/dev/null || true)" != "$bench_baseline" ]]; then
+    echo "verify: committed BENCH_*.json changed during verification"
+    diff <(echo "$bench_baseline") <(sha256sum BENCH_*.json 2>/dev/null || true) || true
+    exit 1
 fi
 
 echo "verify: OK"

@@ -154,6 +154,7 @@ fn cache_key_separates_read_path_configurations() {
         exclude_seen: true,
         quant: false,
         nprobe: 0,
+        delta: 0,
     };
     cache.insert(base, vec![(1, 0.5), (2, 0.25)]);
     assert!(cache.get(&base).is_some(), "exact self-lookup must hit");
@@ -183,4 +184,8 @@ fn cache_key_separates_read_path_configurations() {
         ..base
     };
     assert!(cache.get(&next_gen).is_none(), "generation not in the key");
+
+    // And each streaming fold-in bumps the delta version the same way.
+    let folded = Key { delta: 1, ..base };
+    assert!(cache.get(&folded).is_none(), "delta version not in the key");
 }
