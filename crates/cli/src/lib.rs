@@ -16,8 +16,12 @@
 //!                 [--workers N] [--cache N]         # online HTTP serving
 //!                 [--quant | --exact]               # int8 or exact read path
 //!                 [--ann [--nprobe N] [--ann-cells C]]  # IVF ANN retrieval
+//!                 [--ann-standby]                   # build index, serve exact
 //!                 [--access-log PATH [--access-sample N]]   # JSONL access log
 //!                 [--slo-p99-ms MS] [--slo-err-ppm PPM]     # SLO burn gauges
+//!                 [--max-inflight N [--max-queue N]]        # admission gate
+//!                 [--deadline-default-ms MS]        # per-request deadlines
+//!                 [--brownout [--brownout-up-ticks N] [--brownout-down-ticks N]]
 //! lrgcn report    LOG.jsonl            # or: report --diff A.jsonl B.jsonl
 //! lrgcn top       http://HOST:PORT [--interval SECS] [--once]
 //! ```
@@ -97,6 +101,22 @@
 //! overrides the cell count (default ≈ √n_items). `--quant` composes: the
 //! in-cell scan uses the int8 table, survivors get the exact f32 rescore.
 //! Candidate sets are bitwise-identical at any `LRGCN_THREADS`.
+//!
+//! ## Overload control (DESIGN.md §14)
+//!
+//! `serve --max-inflight N` arms a bounded admission gate over the compute
+//! routes (`/recs`, `/similar`, `/score`): at most N execute concurrently,
+//! `--max-queue` more may wait, and everything beyond that is shed with a
+//! prompt `503` + `Retry-After`. Clients can bound their wait with an
+//! `x-lrgcn-deadline-ms` header (`--deadline-default-ms` sets a server
+//! default); a request whose deadline passes while queued — or that
+//! reaches the scoring kernel already doomed — is dropped early with the
+//! same 503 surface. `--brownout` (requires `--slo-p99-ms`) additionally
+//! steps the live read path down under sustained pressure: level 1 forces
+//! the ANN index (pair with `--ann-standby`, which builds the index
+//! without serving through it), level 2 halves the probe width and caps
+//! `k`, level 3 serves stale cache entries and stops queueing. Recovery is
+//! hysteretic; `lrgcn top` and `/admin/obs` show the level and shed rates.
 
 use lrgcn::data::{kcore, loader, Dataset, InteractionLog, SplitRatios};
 use lrgcn::eval::{evaluate_ranking_parallel, Split};
@@ -360,12 +380,16 @@ fn engine_options(args: &Args) -> Result<lrgcn_serve::EngineOptions, String> {
     if args.has_flag("ann") && args.has_flag("exact") {
         return Err("--ann and --exact are mutually exclusive".into());
     }
+    if args.has_flag("ann") && args.has_flag("ann-standby") {
+        return Err("--ann already serves from the index; drop --ann-standby".into());
+    }
     let nprobe = args.get_parsed("nprobe", lrgcn_serve::IvfConfig::default().nprobe);
     if nprobe == 0 {
         return Err("--nprobe must be at least 1".into());
     }
-    if !args.has_flag("ann") && (args.get("nprobe").is_some() || args.get("ann-cells").is_some()) {
-        return Err("--nprobe/--ann-cells only make sense with --ann".into());
+    let ann_built = args.has_flag("ann") || args.has_flag("ann-standby");
+    if !ann_built && (args.get("nprobe").is_some() || args.get("ann-cells").is_some()) {
+        return Err("--nprobe/--ann-cells only make sense with --ann/--ann-standby".into());
     }
     Ok(lrgcn_serve::EngineOptions {
         n_layers: args.get_parsed("layers", 4usize),
@@ -373,6 +397,7 @@ fn engine_options(args: &Args) -> Result<lrgcn_serve::EngineOptions, String> {
         seed: args.get_parsed("seed", 2023u64),
         quant: args.has_flag("quant"),
         ann: args.has_flag("ann"),
+        ann_standby: args.has_flag("ann-standby"),
         nprobe,
         ann_cells: args.get_parsed("ann-cells", 0usize),
         events_dir: args.get("events-log").map(std::path::PathBuf::from),
@@ -467,6 +492,12 @@ fn cmd_serve(args: &Args, rest: &[String]) -> CliResult {
         }),
         events_log: args.get("events-log").map(std::path::PathBuf::from),
         events_max_pending: args.get_parsed("events-max-pending", 1024u64).max(1),
+        max_inflight: args.get_parsed("max-inflight", 0usize),
+        max_queue: args.get_parsed("max-queue", 32usize),
+        deadline_default_ms: args.get_parsed("deadline-default-ms", 0u64),
+        brownout: args.has_flag("brownout"),
+        brownout_up_ticks: args.get_parsed("brownout-up-ticks", 3u32).max(1),
+        brownout_down_ticks: args.get_parsed("brownout-down-ticks", 10u32).max(1),
         ..lrgcn_serve::ServerConfig::default()
     };
     let handle = lrgcn_serve::serve(engine, cfg)?;
@@ -474,13 +505,28 @@ fn cmd_serve(args: &Args, rest: &[String]) -> CliResult {
         "serving {} — {} users x {} items, dim {}, {} parameters",
         st.model_name, st.n_users, st.n_items, st.dim, st.n_parameters
     );
-    if st.ann_enabled() {
+    if st.ann_available() {
         println!(
-            "ann: {} IVF cells, nprobe {}, sampled recall@20 {:.4}",
+            "ann{}: {} IVF cells, nprobe {}, sampled recall@20 {:.4}",
+            if st.ann_enabled() { "" } else { " (standby)" },
             st.ann_cells(),
             st.ann_nprobe(),
             st.ann_recall
         );
+    }
+    if args.get_parsed("max-inflight", 0usize) > 0 {
+        println!(
+            "admission control on: max {} in flight, queue {}, default deadline {}",
+            args.get_parsed("max-inflight", 0usize),
+            args.get_parsed("max-queue", 32usize),
+            match args.get_parsed("deadline-default-ms", 0u64) {
+                0 => "none".to_string(),
+                ms => format!("{ms}ms"),
+            }
+        );
+    }
+    if args.has_flag("brownout") {
+        println!("brownout control armed (watch /admin/obs overload.level)");
     }
     if let Some(dir) = args.get("events-log") {
         println!(

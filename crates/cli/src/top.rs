@@ -247,6 +247,57 @@ fn render_frame(url: &str, obs: &Value, rps_history: &[f64], ev_history: &[f64])
         let _ = writeln!(out, "{line}");
     }
 
+    // Overload control (DESIGN.md §14), only when the admission gate or
+    // the brownout controller is armed. Shed/deadline rates come from the
+    // 10s rolling window, not the cumulative counters.
+    let gate_on = matches!(
+        obs.get("overload").and_then(|o| o.get("admission")),
+        Some(Value::Bool(true))
+    );
+    let brownout_on = matches!(
+        obs.get("overload").and_then(|o| o.get("brownout")),
+        Some(Value::Bool(true))
+    );
+    if gate_on || brownout_on {
+        let level = get_f64(obs, &["overload", "level"]) as u64;
+        let mut line = if brownout_on {
+            format!(
+                "overload L{level}{}",
+                if level > 0 { " (degraded)" } else { "" }
+            )
+        } else {
+            String::from("overload")
+        };
+        if gate_on {
+            let _ = write!(
+                line,
+                "  inflight {}/{}  queued {}",
+                fmt_si(get_f64(obs, &["overload", "inflight"])),
+                fmt_si(get_f64(obs, &["overload", "max_inflight"])),
+                fmt_si(get_f64(obs, &["overload", "queued"])),
+            );
+        }
+        let _ = write!(
+            line,
+            "  shed {}/s  deadline {}/s",
+            fmt_si(get_f64(obs, &["windows", "10s", "sheds"]) / 10.0),
+            fmt_si(get_f64(obs, &["windows", "10s", "deadline_exceeded"]) / 10.0),
+        );
+        let stale = get_f64(obs, &["overload", "stale_hits"]);
+        if stale > 0.0 {
+            let _ = write!(line, "  stale {}", fmt_si(stale));
+        }
+        if brownout_on {
+            let _ = write!(
+                line,
+                "  steps {}↑/{}↓",
+                fmt_si(get_f64(obs, &["overload", "step_ups"])),
+                fmt_si(get_f64(obs, &["overload", "step_downs"])),
+            );
+        }
+        let _ = writeln!(out, "{line}");
+    }
+
     // SLO section only when the server has targets configured.
     let slo = obs.get("slo");
     let has_lat = slo.and_then(|s| s.get("p99_ms")).and_then(Value::as_f64);
@@ -367,6 +418,9 @@ mod tests {
         assert!(frame.contains("cache hit 80.00%"));
         assert!(frame.contains("ann recall 98.60%"));
         assert!(frame.contains("p99<50ms"));
+        // No "overload" object in the snapshot: the degradation line is
+        // absent (servers without the gate or brownout stay uncluttered).
+        assert!(!frame.contains("overload"));
         assert!(frame.contains("burn 10s/60s: 0.50 / 0.25"));
         // Busiest route sorts first.
         let recs_at = frame.find("recs").unwrap();
@@ -381,6 +435,54 @@ mod tests {
         let obs = json::parse("{}").unwrap();
         let frame = render_frame("http://h:1", &obs, &[], &[]);
         assert!(frame.contains("no requests in the last 60s"));
+    }
+
+    #[test]
+    fn overload_line_renders_gate_and_degradation_state() {
+        let snapshot = r#"{
+            "model": "layergcn", "generation": 1,
+            "overload": {"admission": true, "max_inflight": 64,
+                         "inflight": 61, "queued": 7,
+                         "brownout": true, "level": 2,
+                         "step_ups": 4, "step_downs": 2,
+                         "sheds": 900, "deadline_exceeded": 30,
+                         "stale_hits": 12},
+            "windows": {"10s": {"rps": 100.0, "sheds": 250,
+                                "deadline_exceeded": 10}}
+        }"#;
+        let obs = json::parse(snapshot).unwrap();
+        let frame = render_frame("http://h:1", &obs, &[], &[]);
+        assert!(frame.contains("overload L2 (degraded)"), "{frame}");
+        assert!(frame.contains("inflight 61/64"), "{frame}");
+        assert!(frame.contains("queued 7"), "{frame}");
+        assert!(frame.contains("shed 25/s"), "{frame}");
+        assert!(frame.contains("deadline 1/s"), "{frame}");
+        assert!(frame.contains("stale 12"), "{frame}");
+        assert!(frame.contains("steps 4↑/2↓"), "{frame}");
+
+        // Gate without brownout: no level, still shed visibility.
+        let gate_only = r#"{
+            "overload": {"admission": true, "max_inflight": 8, "inflight": 2,
+                         "queued": 0, "brownout": false, "level": 0,
+                         "step_ups": 0, "step_downs": 0,
+                         "sheds": 0, "deadline_exceeded": 0, "stale_hits": 0},
+            "windows": {"10s": {"sheds": 0, "deadline_exceeded": 0}}
+        }"#;
+        let frame2 = render_frame("http://h:1", &json::parse(gate_only).unwrap(), &[], &[]);
+        assert!(frame2.contains("overload  inflight 2/8"), "{frame2}");
+        assert!(!frame2.contains("degraded"), "{frame2}");
+        assert!(!frame2.contains("steps"), "{frame2}");
+
+        // Healthy brownout server: level 0, no "(degraded)" tag.
+        let healthy = r#"{
+            "overload": {"admission": false, "max_inflight": 0, "inflight": 0,
+                         "queued": 0, "brownout": true, "level": 0,
+                         "step_ups": 0, "step_downs": 0,
+                         "sheds": 0, "deadline_exceeded": 0, "stale_hits": 0}
+        }"#;
+        let frame3 = render_frame("http://h:1", &json::parse(healthy).unwrap(), &[], &[]);
+        assert!(frame3.contains("overload L0"), "{frame3}");
+        assert!(!frame3.contains("degraded"), "{frame3}");
     }
 
     #[test]

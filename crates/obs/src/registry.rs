@@ -107,11 +107,25 @@ pub enum Counter {
     /// Fold-in passes applied to the serving delta (one per acknowledged
     /// `POST /events` batch).
     ServeEventsFoldIns,
+    /// Compute requests shed by the admission controller before any
+    /// scoring work (queue full or in-flight limit reached): prompt 503s
+    /// with `Retry-After` instead of unbounded queueing.
+    ServeShed,
+    /// Requests dropped because their deadline (`x-lrgcn-deadline-ms` or
+    /// the server default) expired before the scoring kernel ran.
+    ServeDeadlineExceeded,
+    /// Brownout controller transitions to a *more* degraded level.
+    ServeBrownoutStepUps,
+    /// Brownout controller transitions to a *less* degraded level.
+    ServeBrownoutStepDowns,
+    /// Top-K responses served from a stale cache generation while the
+    /// brownout controller allowed staleness (level >= 3).
+    ServeStaleHits,
 }
 
 impl Counter {
     /// All counters, in stable declaration order.
-    pub const ALL: [Counter; 37] = [
+    pub const ALL: [Counter; 42] = [
         Counter::MatmulCalls,
         Counter::MatmulCells,
         Counter::SpmmCalls,
@@ -149,6 +163,11 @@ impl Counter {
         Counter::ServeEventsDuplicates,
         Counter::ServeEventsRejected,
         Counter::ServeEventsFoldIns,
+        Counter::ServeShed,
+        Counter::ServeDeadlineExceeded,
+        Counter::ServeBrownoutStepUps,
+        Counter::ServeBrownoutStepDowns,
+        Counter::ServeStaleHits,
     ];
 
     /// Dotted metric name used in JSONL records and snapshots.
@@ -191,6 +210,11 @@ impl Counter {
             Counter::ServeEventsDuplicates => "serve.events.duplicates",
             Counter::ServeEventsRejected => "serve.events.rejected",
             Counter::ServeEventsFoldIns => "serve.events.fold_ins",
+            Counter::ServeShed => "serve.admission.sheds",
+            Counter::ServeDeadlineExceeded => "serve.deadline.exceeded",
+            Counter::ServeBrownoutStepUps => "serve.brownout.step_ups",
+            Counter::ServeBrownoutStepDowns => "serve.brownout.step_downs",
+            Counter::ServeStaleHits => "serve.cache.stale_hits",
         }
     }
 
@@ -234,6 +258,11 @@ impl Counter {
             Counter::ServeEventsDuplicates => "Events dropped as idempotent duplicates",
             Counter::ServeEventsRejected => "POST /events requests rejected before append",
             Counter::ServeEventsFoldIns => "Fold-in passes applied to the serving delta",
+            Counter::ServeShed => "Compute requests shed by the admission controller",
+            Counter::ServeDeadlineExceeded => "Requests dropped after their deadline expired",
+            Counter::ServeBrownoutStepUps => "Brownout transitions to a more degraded level",
+            Counter::ServeBrownoutStepDowns => "Brownout transitions to a less degraded level",
+            Counter::ServeStaleHits => "Top-K responses served from a stale cache generation",
         }
     }
 }
@@ -279,14 +308,19 @@ pub enum Gauge {
     /// Events in the streaming log not yet covered by a checkpoint
     /// generation (`log length - covered prefix`): the retrain backlog.
     EventsLogLag,
+    /// Current brownout degradation level of the serving read path
+    /// (0 = healthy, 3 = maximally degraded). Set by the brownout
+    /// controller thread in `lrgcn-serve`.
+    BrownoutLevel,
 }
 
 impl Gauge {
-    pub const ALL: [Gauge; 4] = [
+    pub const ALL: [Gauge; 5] = [
         Gauge::MatrixBytes,
         Gauge::QuantRecallPpm,
         Gauge::AnnRecallPpm,
         Gauge::EventsLogLag,
+        Gauge::BrownoutLevel,
     ];
 
     pub fn name(self) -> &'static str {
@@ -295,6 +329,7 @@ impl Gauge {
             Gauge::QuantRecallPpm => "serve.quant.recall_ppm",
             Gauge::AnnRecallPpm => "serve.ann.recall_ppm",
             Gauge::EventsLogLag => "serve.events.log_lag",
+            Gauge::BrownoutLevel => "serve.brownout.level",
         }
     }
 
@@ -310,6 +345,9 @@ impl Gauge {
             }
             Gauge::EventsLogLag => {
                 "Streaming-log events not yet covered by a checkpoint generation"
+            }
+            Gauge::BrownoutLevel => {
+                "Current brownout degradation level (0 healthy .. 3 maximally degraded)"
             }
         }
     }

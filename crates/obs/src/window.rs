@@ -373,6 +373,10 @@ static ROUTE_HISTS: [HistRing; N_ROUTES] = [const { HistRing::new() }; N_ROUTES]
 static SERIES_COUNTS: [CounterRing; MAX_SERIES] = [const { CounterRing::new() }; MAX_SERIES];
 /// Requests that exceeded the configured latency SLO threshold.
 static SLO_SLOW: CounterRing = CounterRing::new();
+/// Requests shed by the admission controller (503 before any compute).
+static SHED: CounterRing = CounterRing::new();
+/// Requests dropped because their deadline expired before compute.
+static DEADLINE: CounterRing = CounterRing::new();
 
 /// Records one served request into the rolling serving registry: latency
 /// into the route's histogram ring, one count into the (route × status
@@ -385,6 +389,18 @@ pub fn record_request(route: Route, status: u16, path: ReadPath, ns: u64, slo_sl
     if slo_slow {
         SLO_SLOW.add_at(sec, 1);
     }
+}
+
+/// Records one admission-controller shed into the rolling registry. The
+/// request also lands in [`record_request`] as a 5xx; this dedicated ring
+/// lets dashboards separate "shed by design" from organic server errors.
+pub fn record_shed() {
+    SHED.add_at(now_sec(), 1);
+}
+
+/// Records one deadline-exceeded drop into the rolling registry.
+pub fn record_deadline_exceeded() {
+    DEADLINE.add_at(now_sec(), 1);
 }
 
 /// Everything the serving surfaces report about one trailing window.
@@ -404,6 +420,10 @@ pub struct WindowStats {
     pub read_paths: [u64; ReadPath::ALL.len()],
     /// Requests over the latency SLO threshold.
     pub slo_slow: u64,
+    /// Requests shed by the admission controller.
+    pub sheds: u64,
+    /// Requests dropped after their deadline expired.
+    pub deadline_exceeded: u64,
 }
 
 impl WindowStats {
@@ -472,6 +492,8 @@ pub fn serving_window(now_sec: u64, window_s: u64) -> WindowStats {
         routes,
         read_paths,
         slo_slow: SLO_SLOW.sum_at(now_sec, window_s),
+        sheds: SHED.sum_at(now_sec, window_s),
+        deadline_exceeded: DEADLINE.sum_at(now_sec, window_s),
     }
 }
 
@@ -605,5 +627,16 @@ mod tests {
         assert!(recs.count >= 2);
         assert!(after.error_ratio() > 0.0);
         assert!(after.rps() > 0.0);
+    }
+
+    #[test]
+    fn shed_and_deadline_rings_window() {
+        let before = serving_window(now_sec(), 300);
+        record_shed();
+        record_shed();
+        record_deadline_exceeded();
+        let after = serving_window(now_sec(), 300);
+        assert!(after.sheds >= before.sheds + 2);
+        assert!(after.deadline_exceeded > before.deadline_exceeded);
     }
 }

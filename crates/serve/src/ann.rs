@@ -190,6 +190,15 @@ impl IvfIndex {
     /// first `dim` coordinates. The scalar-sequential [`kernels::dot`]
     /// makes the ranking thread- and kernel-mode-invariant.
     pub fn probe_cells(&self, query: &[f32], out: &mut Vec<u32>) {
+        self.probe_cells_n(query, self.nprobe, out);
+    }
+
+    /// [`IvfIndex::probe_cells`] with an explicit probe width, clamped to
+    /// `1..=n_cells`. The brownout controller uses this to narrow the scan
+    /// below the configured `nprobe` under overload without rebuilding the
+    /// index.
+    pub fn probe_cells_n(&self, query: &[f32], nprobe: usize, out: &mut Vec<u32>) {
+        let nprobe = nprobe.clamp(1, self.n_cells);
         debug_assert_eq!(query.len(), self.dim);
         let adim = self.dim + 1;
         // MIPS item order is invariant to the query's scale, so rescale the
@@ -211,14 +220,26 @@ impl IvfIndex {
                 .then(a.1.cmp(&b.1))
         });
         out.clear();
-        out.extend(scored.iter().take(self.nprobe).map(|&(_, j)| j));
+        out.extend(scored.iter().take(nprobe).map(|&(_, j)| j));
     }
 
     /// Probes for `query` and appends every member of the probed cells to
     /// `out` (cells in probe order, items ascending within a cell).
     /// Returns the number of cells probed.
     pub fn candidates_into(&self, query: &[f32], cells_buf: &mut Vec<u32>, out: &mut Vec<u32>) -> usize {
-        self.probe_cells(query, cells_buf);
+        self.candidates_into_n(query, self.nprobe, cells_buf, out)
+    }
+
+    /// [`IvfIndex::candidates_into`] with an explicit probe width (clamped
+    /// to `1..=n_cells`).
+    pub fn candidates_into_n(
+        &self,
+        query: &[f32],
+        nprobe: usize,
+        cells_buf: &mut Vec<u32>,
+        out: &mut Vec<u32>,
+    ) -> usize {
+        self.probe_cells_n(query, nprobe, cells_buf);
         out.clear();
         for &cell in cells_buf.iter() {
             out.extend_from_slice(self.cell_items(cell as usize));
@@ -456,6 +477,43 @@ mod tests {
         let probed = idx.candidates_into(&items[0..d], &mut cells, &mut cand);
         assert_eq!(probed, 8);
         assert_eq!(cand.len(), n, "probing every cell must cover every item");
+    }
+
+    #[test]
+    fn narrowed_probe_is_a_prefix_of_the_full_probe() {
+        let (n, d) = (120usize, 6usize);
+        let items = pseudo(n * d, 17);
+        let idx = IvfIndex::build(
+            &items,
+            n,
+            d,
+            &IvfConfig {
+                n_cells: 10,
+                nprobe: 8,
+                seed: 3,
+            },
+        );
+        let query = &items[7 * d..8 * d];
+        let (mut full, mut narrow) = (Vec::new(), Vec::new());
+        idx.probe_cells(query, &mut full);
+        idx.probe_cells_n(query, 3, &mut narrow);
+        assert_eq!(narrow.len(), 3);
+        assert_eq!(
+            narrow,
+            full[..3],
+            "narrowing must keep the best-first cell order"
+        );
+        // Clamped at both ends.
+        idx.probe_cells_n(query, 0, &mut narrow);
+        assert_eq!(narrow.len(), 1);
+        idx.probe_cells_n(query, 999, &mut narrow);
+        assert_eq!(narrow.len(), 10);
+        // Narrowed candidate sets shrink accordingly.
+        let (mut cells, mut cand_full, mut cand_narrow) = (Vec::new(), Vec::new(), Vec::new());
+        idx.candidates_into(query, &mut cells, &mut cand_full);
+        let probed = idx.candidates_into_n(query, 3, &mut cells, &mut cand_narrow);
+        assert_eq!(probed, 3);
+        assert!(cand_narrow.len() <= cand_full.len());
     }
 
     #[test]

@@ -90,6 +90,40 @@ impl TopKCache {
         }
     }
 
+    /// Brownout-only lookup: any entry for the same `(user, k,
+    /// exclude_seen, quant, nprobe)` regardless of generation or delta
+    /// version, preferring the entry closest to the requested generation
+    /// (newest first). Under deep brownout (DESIGN.md §14, level 3) a
+    /// slightly stale ranking beats a shed request; the handler marks the
+    /// response `"stale": true` so clients can tell. The scan is
+    /// `O(shard entries)` — acceptable exactly because it only runs while
+    /// the server is already saturated and shards are small.
+    pub fn get_stale(&self, key: &Key) -> Option<(u64, Vec<(u32, f32)>)> {
+        let mut s = self.shard(key).lock().expect("cache shard poisoned");
+        s.tick += 1;
+        let tick = s.tick;
+        let found = s
+            .map
+            .iter()
+            .filter(|(k, _)| {
+                k.user == key.user
+                    && k.k == key.k
+                    && k.exclude_seen == key.exclude_seen
+                    && k.quant == key.quant
+                    && k.nprobe == key.nprobe
+            })
+            .max_by_key(|(k, _)| (k.generation, k.delta))
+            .map(|(k, _)| *k)?;
+        let (last_used, items) = s.map.get_mut(&found).expect("key just found");
+        *last_used = tick;
+        if found.generation != key.generation || found.delta != key.delta {
+            registry::add(Counter::ServeStaleHits, 1);
+        } else {
+            registry::add(Counter::ServeCacheHits, 1);
+        }
+        Some((found.generation, items.clone()))
+    }
+
     pub fn insert(&self, key: Key, items: Vec<(u32, f32)>) {
         let mut s = self.shard(&key).lock().expect("cache shard poisoned");
         s.tick += 1;
@@ -149,6 +183,26 @@ mod tests {
         assert!(c.get(&Key { nprobe: 8, ..key(1, 0) }).is_none());
         // And so is a newer streaming fold-in delta version.
         assert!(c.get(&Key { delta: 1, ..key(1, 0) }).is_none());
+    }
+
+    #[test]
+    fn stale_lookup_crosses_generations_but_not_shape() {
+        let c = TopKCache::new(8, 1);
+        c.insert(key(1, 3), vec![(7, 0.5)]);
+        c.insert(key(1, 5), vec![(8, 0.9)]);
+        // Fresh lookup at generation 9 misses; stale lookup serves the
+        // newest matching generation.
+        assert!(c.get(&key(1, 9)).is_none());
+        assert_eq!(c.get_stale(&key(1, 9)), Some((5, vec![(8, 0.9)])));
+        // An exact match is preferred and not counted as stale.
+        assert_eq!(c.get_stale(&key(1, 5)), Some((5, vec![(8, 0.9)])));
+        // Different k / masking / read path never cross over.
+        assert!(c.get_stale(&Key { k: 20, ..key(1, 9) }).is_none());
+        assert!(c
+            .get_stale(&Key { exclude_seen: false, ..key(1, 9) })
+            .is_none());
+        assert!(c.get_stale(&Key { quant: true, ..key(1, 9) }).is_none());
+        assert!(c.get_stale(&key(2, 9)).is_none(), "other user");
     }
 
     #[test]

@@ -1,0 +1,374 @@
+//! Deterministic socket-level chaos for the serving front-end.
+//!
+//! Extends the `LRGCN_FAULT` vocabulary (see `lrgcn_tensor::faultfs` for
+//! the IO half) to *connection* faults, injected from the client side of a
+//! live server socket:
+//!
+//! ```text
+//! abort:<p>      write half the request bytes, then close the connection
+//! slowloris:<p>  trickle a request prefix, stall, then hang up
+//! torn:<p>       valid head + Content-Length, but a truncated body
+//! garbage:<p>    seeded random bytes instead of HTTP
+//! ```
+//!
+//! Clauses are checked in spec order; the first that fires wins, drawing
+//! from the same splitmix64 `(seed, clause, op)` scheme as the IO plans,
+//! so a given spec + seed injects the same faults on the same connections
+//! every run — a chaos soak that fails is replayable byte for byte.
+//!
+//! [`ChaosClient`] drives one connection per call against a real server:
+//! either a clean request (status + headers parsed back) or the planned
+//! fault. The adversarial framing tests and the `bench_pr10` overload
+//! bench share it, so "the server survives hostile sockets" is exercised
+//! by the same code in both places. See DESIGN.md §14.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One kind of injected connection fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnFault {
+    /// Close after writing only half of an otherwise valid request.
+    AbortMidWrite,
+    /// Trickle a few header bytes, stall past any reasonable pace, close.
+    SlowLoris,
+    /// Send a complete head advertising a body, then only part of the body.
+    TornFrame,
+    /// Send bytes that were never HTTP.
+    Garbage,
+}
+
+impl ConnFault {
+    fn parse(kind: &str) -> Option<ConnFault> {
+        Some(match kind {
+            "abort" => ConnFault::AbortMidWrite,
+            "slowloris" => ConnFault::SlowLoris,
+            "torn" => ConnFault::TornFrame,
+            "garbage" => ConnFault::Garbage,
+            _ => return None,
+        })
+    }
+}
+
+/// A parsed connection-fault spec plus its draw seed.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    clauses: Vec<(ConnFault, f64)>,
+    seed: u64,
+}
+
+/// splitmix64-finalized uniform draw in `[0,1)` — identical scheme to
+/// `lrgcn_tensor::faultfs` so the two fault families compose predictably.
+fn unit(seed: u64, stream: u64, op: u64) -> f64 {
+    let mut z = seed
+        ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ op.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl FaultPlan {
+    /// Parses a spec like `abort:0.1,garbage:0.05`. Unknown clauses and
+    /// out-of-range probabilities are errors — a chaos plan that silently
+    /// does nothing would make the soak vacuous.
+    pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, String> {
+        let mut clauses = Vec::new();
+        for raw in spec.split(',') {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            let (kind, arg) = raw
+                .split_once(':')
+                .ok_or_else(|| format!("clause {raw:?} missing ':<p>'"))?;
+            let fault = ConnFault::parse(kind)
+                .ok_or_else(|| format!("unknown connection fault {raw:?}"))?;
+            let p: f64 = arg
+                .parse()
+                .map_err(|_| format!("clause {raw:?}: bad probability {arg:?}"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("clause {raw:?}: probability {p} out of [0,1]"));
+            }
+            clauses.push((fault, p));
+        }
+        Ok(FaultPlan { clauses, seed })
+    }
+
+    /// The fault (if any) planned for the `op`-th connection (1-based).
+    /// First clause whose draw fires wins, matching the IO fault planner.
+    pub fn decide(&self, op: u64) -> Option<ConnFault> {
+        self.clauses
+            .iter()
+            .enumerate()
+            .find(|(i, (_, p))| unit(self.seed, *i as u64, op) < *p)
+            .map(|(_, (f, _))| *f)
+    }
+}
+
+/// A parsed clean-request outcome: status line plus the two headers the
+/// overload contract is pinned on.
+#[derive(Clone, Debug)]
+pub struct ChaosResponse {
+    pub status: u16,
+    /// The `Retry-After` header was present (every 503 must carry it).
+    pub retry_after: bool,
+    pub body: String,
+}
+
+/// What one [`ChaosClient`] connection did.
+#[derive(Debug)]
+pub enum Outcome {
+    /// Clean request, complete response parsed back.
+    Answered(ChaosResponse),
+    /// The planned fault was injected; the server owes us nothing.
+    Faulted(ConnFault),
+    /// A *clean* request failed at the transport layer — under an
+    /// overload-control contract this is the outcome that must not
+    /// happen: rejects are 503s, never resets.
+    TransportError(String),
+}
+
+/// Issues one complete request and parses the response. Standalone so
+/// tests and the bench share one definition of "a well-behaved client".
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    timeout: Duration,
+) -> Result<ChaosResponse, String> {
+    let mut stream =
+        TcpStream::connect_timeout(&addr, timeout).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .and_then(|_| stream.set_write_timeout(Some(timeout)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: chaos\r\n");
+    for (k, v) in headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|_| stream.write_all(body))
+        .map_err(|e| format!("write: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    let text = String::from_utf8_lossy(&raw);
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("unparsable response {:?}", &text[..text.len().min(80)]))?;
+    let (head, body) = text.split_once("\r\n\r\n").unwrap_or((&text, ""));
+    let retry_after = head
+        .lines()
+        .any(|l| l.to_ascii_lowercase().starts_with("retry-after:"));
+    Ok(ChaosResponse {
+        status,
+        retry_after,
+        body: body.to_string(),
+    })
+}
+
+/// A client that interleaves clean requests with planned connection
+/// faults, one connection per call, deterministic under (plan, seed).
+pub struct ChaosClient {
+    addr: SocketAddr,
+    plan: FaultPlan,
+    /// Connections attempted so far (the fault-plan op counter).
+    ops: u64,
+    /// How long a slow-loris connection stalls before hanging up. Short
+    /// in tests; the server's own socket timeout is what's under test,
+    /// not ours.
+    pub slow_hold: Duration,
+    /// Clean-request timeout.
+    pub timeout: Duration,
+}
+
+impl ChaosClient {
+    pub fn new(addr: SocketAddr, plan: FaultPlan) -> Self {
+        Self {
+            addr,
+            plan,
+            ops: 0,
+            slow_hold: Duration::from_millis(50),
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Runs the next planned connection as a GET of `path`: either the
+    /// clean request or the fault the plan scheduled for this op.
+    pub fn get(&mut self, path: &str) -> Outcome {
+        self.ops += 1;
+        match self.plan.decide(self.ops) {
+            None => match request(self.addr, "GET", path, &[], b"", self.timeout) {
+                Ok(resp) => Outcome::Answered(resp),
+                Err(e) => Outcome::TransportError(e),
+            },
+            Some(fault) => {
+                self.inject(fault, path);
+                Outcome::Faulted(fault)
+            }
+        }
+    }
+
+    /// Opens one connection and misbehaves per `fault`. Errors are
+    /// swallowed: a hostile client that itself hits a reset has still
+    /// delivered its hostility.
+    fn inject(&self, fault: ConnFault, path: &str) {
+        let Ok(mut stream) = TcpStream::connect_timeout(&self.addr, self.timeout) else {
+            return;
+        };
+        let _ = stream.set_write_timeout(Some(self.timeout));
+        let _ = stream.set_read_timeout(Some(self.slow_hold));
+        match fault {
+            ConnFault::AbortMidWrite => {
+                let full = format!("GET {path} HTTP/1.1\r\nHost: chaos\r\nX-Chaos: abort\r\n\r\n");
+                let half = &full.as_bytes()[..full.len() / 2];
+                let _ = stream.write_all(half);
+                // Drop without the terminating CRLFCRLF: the server sees
+                // EOF mid-head.
+            }
+            ConnFault::SlowLoris => {
+                for byte in format!("GET {path} HT").bytes() {
+                    if stream.write_all(&[byte]).is_err() {
+                        return;
+                    }
+                    std::thread::sleep(self.slow_hold / 12);
+                }
+                std::thread::sleep(self.slow_hold);
+            }
+            ConnFault::TornFrame => {
+                let head =
+                    "POST /score HTTP/1.1\r\nHost: chaos\r\nContent-Length: 64\r\n\r\n".to_string();
+                let _ = stream.write_all(head.as_bytes());
+                let _ = stream.write_all(b"{\"pairs\": [[1,");
+                // EOF with 50 advertised bytes missing.
+            }
+            ConnFault::Garbage => {
+                // Seeded bytes that never were HTTP; deterministic per op.
+                let mut bytes = [0u8; 256];
+                for (i, b) in bytes.iter_mut().enumerate() {
+                    *b = (unit(self.plan.seed, 0xBAD, self.ops * 256 + i as u64) * 256.0) as u8;
+                }
+                let _ = stream.write_all(&bytes);
+                // Read whatever the server answers (a 400) so the write
+                // isn't racing the server's reject.
+                let mut sink = [0u8; 512];
+                let _ = stream.read(&mut sink);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::read_request;
+    use std::net::TcpListener;
+
+    #[test]
+    fn parses_and_rejects_specs() {
+        let plan = FaultPlan::parse("abort:0.25, slowloris:0.1,torn:0.5,garbage:1.0", 7)
+            .expect("valid spec");
+        assert_eq!(plan.clauses.len(), 4);
+        assert!(FaultPlan::parse("", 0).expect("empty ok").clauses.is_empty());
+        for bad in ["abort", "abort:2.0", "abort:x", "ddos:0.1"] {
+            assert!(FaultPlan::parse(bad, 0).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_respect_probability() {
+        let plan = FaultPlan::parse("garbage:0.3", 42).unwrap();
+        let hits: Vec<Option<ConnFault>> = (1..=10_000).map(|op| plan.decide(op)).collect();
+        let again: Vec<Option<ConnFault>> = (1..=10_000).map(|op| plan.decide(op)).collect();
+        assert_eq!(hits, again, "same plan + op must decide identically");
+        let frac = hits.iter().filter(|h| h.is_some()).count() as f64 / hits.len() as f64;
+        assert!((frac - 0.3).abs() < 0.02, "hit fraction {frac}");
+        // All-on plans fire every op; all-off plans never do.
+        let always = FaultPlan::parse("abort:1.0", 1).unwrap();
+        let never = FaultPlan::parse("abort:0.0", 1).unwrap();
+        for op in 1..=50 {
+            assert_eq!(always.decide(op), Some(ConnFault::AbortMidWrite));
+            assert_eq!(never.decide(op), None);
+        }
+    }
+
+    /// Every fault lands on the real parser as a clean `HttpError`, never
+    /// a panic — the unit-level half of the adversarial framing contract
+    /// (the live-server half is `tests/chaos.rs`).
+    #[test]
+    fn every_fault_is_a_clean_parse_error_on_the_server_side() {
+        for (spec, fault) in [
+            ("abort:1.0", ConnFault::AbortMidWrite),
+            ("slowloris:1.0", ConnFault::SlowLoris),
+            ("torn:1.0", ConnFault::TornFrame),
+            ("garbage:1.0", ConnFault::Garbage),
+        ] {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let plan = FaultPlan::parse(spec, 9).unwrap();
+            let client = std::thread::spawn(move || {
+                let mut c = ChaosClient::new(addr, plan);
+                c.slow_hold = Duration::from_millis(10);
+                match c.get("/healthz") {
+                    Outcome::Faulted(f) => f,
+                    other => panic!("expected a fault, got {other:?}"),
+                }
+            });
+            let (mut stream, _) = listener.accept().unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(2)))
+                .unwrap();
+            let err = read_request(&mut stream)
+                .expect_err(&format!("{fault:?} must not parse as a request"));
+            assert!(
+                err.status == 400 || err.status == 431,
+                "{fault:?} mapped to {}",
+                err.status
+            );
+            assert_eq!(client.join().unwrap(), fault);
+        }
+    }
+
+    #[test]
+    fn clean_requests_round_trip_through_the_helper() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).expect("clean request parses");
+            crate::http::write_response(
+                &mut stream,
+                503,
+                "application/json",
+                &[("retry-after", "1")],
+                b"{}",
+            )
+            .unwrap();
+            req
+        });
+        let resp = request(
+            addr,
+            "GET",
+            "/recs/1",
+            &[("x-lrgcn-deadline-ms", "250")],
+            b"",
+            Duration::from_secs(5),
+        )
+        .expect("round trip");
+        assert_eq!(resp.status, 503);
+        assert!(resp.retry_after, "retry-after header must be detected");
+        let req = server.join().unwrap();
+        assert_eq!(req.header("x-lrgcn-deadline-ms"), Some("250"));
+    }
+}

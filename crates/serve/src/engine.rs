@@ -62,6 +62,11 @@ pub struct EngineOptions {
     /// Serve `/recs` and `/similar` through the IVF ANN index (sub-linear
     /// candidate generation; composes with `quant` for the in-cell scan).
     pub ann: bool,
+    /// Build the IVF index even when `ann` is off, without serving through
+    /// it by default. The brownout controller (DESIGN.md §14) needs a
+    /// ready-made cheap read path to step down to under overload; a standby
+    /// index makes exact-serving deployments degradable without a reload.
+    pub ann_standby: bool,
     /// How many IVF cells a query probes (only meaningful with `ann`).
     pub nprobe: usize,
     /// IVF cell count; `0` auto-sizes to `≈ √n_items`.
@@ -82,6 +87,7 @@ impl Default for EngineOptions {
             seed: 2023,
             quant: false,
             ann: false,
+            ann_standby: false,
             nprobe: IvfConfig::default().nprobe,
             ann_cells: 0,
             events_dir: None,
@@ -110,6 +116,24 @@ pub struct Scratch {
     cells: Vec<u32>,
     /// ANN candidate item ids gathered from the probed cells.
     cand: Vec<u32>,
+}
+
+/// A per-request read-path override. The default (`ReadOverride::default()`)
+/// changes nothing; the brownout controller (DESIGN.md §14) sets `force_ann`
+/// to step an exact/quant deployment down to its standby IVF index under
+/// overload, and `nprobe` to narrow the probe width below the engine's
+/// configured value. The override only ever *cheapens* the read path — it
+/// cannot widen a probe past the built index or enable a path that was not
+/// built.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReadOverride {
+    /// Serve through the IVF index even when the engine default is the
+    /// exact or quantized scan. No-op when no index was built
+    /// (`EngineOptions::ann` and `ann_standby` both false).
+    pub force_ann: bool,
+    /// Explicit probe width for the ANN path, clamped to `1..=n_cells`;
+    /// `None` uses the index's configured `nprobe`.
+    pub nprobe: Option<usize>,
 }
 
 /// One immutable, fully-materialized serving snapshot.
@@ -152,8 +176,12 @@ pub struct EngineState {
     item_norms: Vec<f32>,
     /// Int8 table of the item block when the quantized read path is on.
     quant: Option<QuantizedTable>,
-    /// IVF index over the item block when the ANN read path is on.
+    /// IVF index over the item block when the ANN read path is on *or*
+    /// built on standby for brownout fallback.
     ann: Option<IvfIndex>,
+    /// Whether requests without a [`ReadOverride`] serve through the index
+    /// (`false` for a standby-only index).
+    ann_default: bool,
     /// Mean overlap of the quantized top-20 with the exact top-20 over a
     /// user sample, measured at build time. `1.0` when quant is off.
     pub quant_recall: f64,
@@ -186,7 +214,7 @@ impl EngineState {
         let quant = opts
             .quant
             .then(|| QuantizedTable::from_matrix_rows(&final_emb, n_users, n_users + n_items));
-        let ann = opts.ann.then(|| {
+        let ann = (opts.ann || opts.ann_standby).then(|| {
             let cfg = IvfConfig {
                 n_cells: opts.ann_cells,
                 nprobe: opts.nprobe,
@@ -211,6 +239,7 @@ impl EngineState {
             item_norms,
             quant,
             ann,
+            ann_default: opts.ann,
             quant_recall: 1.0,
             ann_recall: 1.0,
         }
@@ -297,8 +326,16 @@ impl EngineState {
         self.quant.as_ref().map_or(0, |q| q.bytes())
     }
 
-    /// True when this snapshot serves through the IVF ANN read path.
+    /// True when this snapshot serves through the IVF ANN read path *by
+    /// default* (a standby index does not count; see
+    /// [`EngineState::ann_available`]).
     pub fn ann_enabled(&self) -> bool {
+        self.ann.is_some() && self.ann_default
+    }
+
+    /// True when an IVF index exists at all — serving default or standby —
+    /// so a [`ReadOverride`] can route through it.
+    pub fn ann_available(&self) -> bool {
         self.ann.is_some()
     }
 
@@ -357,27 +394,42 @@ impl EngineState {
         exclude_seen: bool,
         scratch: &mut Scratch,
     ) -> Result<Vec<(u32, f32)>, String> {
+        self.top_k_into_opts(ds, user, k, exclude_seen, scratch, ReadOverride::default())
+    }
+
+    /// [`EngineState::top_k_into`] under a [`ReadOverride`].
+    pub fn top_k_into_opts(
+        &self,
+        ds: &Dataset,
+        user: u32,
+        k: usize,
+        exclude_seen: bool,
+        scratch: &mut Scratch,
+        ovr: ReadOverride,
+    ) -> Result<Vec<(u32, f32)>, String> {
         if user as usize >= self.n_users {
             return Err(format!("user {user} out of range (0..{})", self.n_users));
         }
         let row = self.final_emb.row(user as usize);
         let seen: &[u32] = if exclude_seen { ds.train_items(user) } else { &[] };
-        Ok(self.top_k_row(row, seen, k, scratch))
+        Ok(self.top_k_row(row, seen, k, scratch, ovr))
     }
 
     /// Top-K against the trained catalog for an arbitrary readout row and a
     /// sorted `seen` mask (empty slice = no masking). Every public top-K
     /// entry point funnels through here, so the streaming path shares the
-    /// exact/quant/ANN dispatch with the trained-user path.
+    /// exact/quant/ANN dispatch — and the brownout override — with the
+    /// trained-user path.
     fn top_k_row(
         &self,
         row: &[f32],
         seen: &[u32],
         k: usize,
         scratch: &mut Scratch,
+        ovr: ReadOverride,
     ) -> Vec<(u32, f32)> {
-        if self.ann.is_some() {
-            self.top_k_ann(row, seen, k, scratch)
+        if self.ann.is_some() && (self.ann_default || ovr.force_ann) {
+            self.top_k_ann(row, seen, k, scratch, ovr.nprobe)
         } else if self.quant.is_some() {
             self.top_k_quant(row, seen, k, scratch)
         } else {
@@ -399,6 +451,19 @@ impl EngineState {
         k: usize,
         exclude_seen: bool,
         scratch: &mut Scratch,
+    ) -> Result<Vec<(u32, f32)>, String> {
+        self.top_k_stream_opts(delta, user, k, exclude_seen, scratch, ReadOverride::default())
+    }
+
+    /// [`EngineState::top_k_stream`] under a [`ReadOverride`].
+    pub fn top_k_stream_opts(
+        &self,
+        delta: &StreamDelta,
+        user: u32,
+        k: usize,
+        exclude_seen: bool,
+        scratch: &mut Scratch,
+        ovr: ReadOverride,
     ) -> Result<Vec<(u32, f32)>, String> {
         let trained = (user as usize) < self.n_users;
         let row: &[f32] = match delta.user_row(user) {
@@ -428,7 +493,7 @@ impl EngineState {
                 &merged
             }
         };
-        let mut out = self.top_k_row(row, seen, k, scratch);
+        let mut out = self.top_k_row(row, seen, k, scratch, ovr);
         let mut extended = false;
         for (it, irow) in delta.item_rows() {
             if seen.binary_search(&it).is_ok() {
@@ -540,9 +605,11 @@ impl EngineState {
         seen: &[u32],
         k: usize,
         scratch: &mut Scratch,
+        nprobe: Option<usize>,
     ) -> Vec<(u32, f32)> {
         let ann = self.ann.as_ref().expect("ann index");
-        let probed = ann.candidates_into(row, &mut scratch.cells, &mut scratch.cand);
+        let nprobe = nprobe.unwrap_or_else(|| ann.nprobe());
+        let probed = ann.candidates_into_n(row, nprobe, &mut scratch.cells, &mut scratch.cand);
         registry::add(Counter::AnnCellsProbed, probed as u64);
         registry::add(Counter::AnnCandidates, scratch.cand.len() as u64);
         let keep = |it: u32| seen.binary_search(&it).is_err();
@@ -600,11 +667,22 @@ impl EngineState {
         k: usize,
         scratch: &mut Scratch,
     ) -> Result<Vec<(u32, f32)>, String> {
+        self.similar_items_into_opts(item, k, scratch, ReadOverride::default())
+    }
+
+    /// [`EngineState::similar_items_into`] under a [`ReadOverride`].
+    pub fn similar_items_into_opts(
+        &self,
+        item: u32,
+        k: usize,
+        scratch: &mut Scratch,
+        ovr: ReadOverride,
+    ) -> Result<Vec<(u32, f32)>, String> {
         if item as usize >= self.n_items {
             return Err(format!("item {item} out of range (0..{})", self.n_items));
         }
-        if self.ann.is_some() {
-            return Ok(self.similar_ann(item, k, scratch));
+        if self.ann.is_some() && (self.ann_default || ovr.force_ann) {
+            return Ok(self.similar_ann(item, k, scratch, ovr.nprobe));
         }
         let q = self.item_row(item as usize);
         let qn = self.item_norms[item as usize];
@@ -662,11 +740,18 @@ impl EngineState {
     /// quant on, an int8-approximated cosine pre-ranks the candidates down
     /// to `CANDIDATE_FACTOR·k` first). The query item itself is excluded;
     /// zero-norm embeddings score 0 rather than NaN.
-    fn similar_ann(&self, item: u32, k: usize, scratch: &mut Scratch) -> Vec<(u32, f32)> {
+    fn similar_ann(
+        &self,
+        item: u32,
+        k: usize,
+        scratch: &mut Scratch,
+        nprobe: Option<usize>,
+    ) -> Vec<(u32, f32)> {
         let ann = self.ann.as_ref().expect("ann index");
         let q = self.item_row(item as usize);
         let qn = self.item_norms[item as usize];
-        let probed = ann.candidates_into(q, &mut scratch.cells, &mut scratch.cand);
+        let nprobe = nprobe.unwrap_or_else(|| ann.nprobe());
+        let probed = ann.candidates_into_n(q, nprobe, &mut scratch.cells, &mut scratch.cand);
         registry::add(Counter::AnnCellsProbed, probed as u64);
         registry::add(Counter::AnnCandidates, scratch.cand.len() as u64);
         let exact_cos = |it: u32| {
@@ -821,6 +906,7 @@ fn measure_ann_recall(state: &EngineState, ds: &Dataset) -> f64 {
             ds.train_items(u),
             RECALL_K,
             scratch,
+            None,
         )
     })
 }
@@ -935,7 +1021,9 @@ fn build_state(
             (state.quant_recall * 1_000_000.0).round() as u64,
         );
     }
-    if state.ann_enabled() {
+    // A standby index is measured too: its recall is exactly what the
+    // brownout controller trades away when it steps down to ANN.
+    if state.ann_available() {
         state.ann_recall = measure_ann_recall(&state, &ds);
         registry::gauge_set(
             Gauge::AnnRecallPpm,
@@ -1416,6 +1504,95 @@ mod tests {
             let b = both.top_k(&ds, user, 3, true).expect("ann+quant");
             assert_eq!(e, b, "user {user}: ann+quant full-coverage diverged");
         }
+        std::fs::remove_file(ckpt).ok();
+    }
+
+    #[test]
+    fn standby_index_serves_exact_until_overridden() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join("lrgcn_engine_standby");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let ckpt = dir.join("m.ckpt");
+        save_lightgcn(&ds, &ckpt);
+        let exact_eng = Engine::open(&ckpt, ds.clone(), EngineOptions {
+            n_layers: 2,
+            ..EngineOptions::default()
+        })
+        .expect("open exact");
+        let standby_eng = Engine::open(&ckpt, ds.clone(), EngineOptions {
+            n_layers: 2,
+            ann_standby: true,
+            nprobe: 6,
+            ann_cells: 3,
+            ..EngineOptions::default()
+        })
+        .expect("open standby");
+        let exact = exact_eng.state();
+        let st = standby_eng.state();
+        assert!(!st.ann_enabled(), "standby must not change the default path");
+        assert!(st.ann_available());
+        assert!(st.ann_bytes() > 0);
+        assert_eq!(st.ann_recall, 1.0, "standby recall is still measured");
+
+        let mut scratch = Scratch::default();
+        for user in 0..4u32 {
+            let e = exact.top_k(&ds, user, 3, true).expect("exact");
+            // No override: byte-identical to the exact engine.
+            let d = st.top_k(&ds, user, 3, true).expect("default");
+            assert_eq!(e, d, "user {user}: standby changed the default path");
+            // Forced onto the index with a full probe: still identical
+            // (every cell covered, exact rescore).
+            let f = st
+                .top_k_into_opts(
+                    &ds,
+                    user,
+                    3,
+                    true,
+                    &mut scratch,
+                    ReadOverride {
+                        force_ann: true,
+                        nprobe: None,
+                    },
+                )
+                .expect("forced");
+            assert_eq!(e, f, "user {user}: forced full-probe ANN diverged");
+            // Narrowed probe: a valid (possibly shorter) ranking whose
+            // scores are exact dots for whatever candidates survive.
+            let n = st
+                .top_k_into_opts(
+                    &ds,
+                    user,
+                    3,
+                    true,
+                    &mut scratch,
+                    ReadOverride {
+                        force_ann: true,
+                        nprobe: Some(1),
+                    },
+                )
+                .expect("narrowed");
+            assert!(n.len() <= 3);
+            for (it, s) in &n {
+                let hit = e.iter().find(|(ei, _)| ei == it);
+                if let Some((_, es)) = hit {
+                    assert_eq!(s.to_bits(), es.to_bits(), "narrowed rescore drifted");
+                }
+            }
+        }
+        // /similar under a forced override answers too.
+        let e = exact.similar_items(1, 3).expect("exact similar");
+        let f = st
+            .similar_items_into_opts(
+                1,
+                3,
+                &mut scratch,
+                ReadOverride {
+                    force_ann: true,
+                    nprobe: None,
+                },
+            )
+            .expect("forced similar");
+        assert_eq!(e, f, "similar: forced full-probe ANN diverged");
         std::fs::remove_file(ckpt).ok();
     }
 

@@ -41,9 +41,29 @@ impl Request {
     }
 }
 
-/// Reads and parses one request. Errors are user-facing strings; the caller
-/// maps them to a 400.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+/// A request-parse failure carrying the HTTP status the server should
+/// answer with: `431` when the header section blew its byte cap, `400`
+/// for everything else. Keeping the status here (rather than string
+/// matching in the server) pins the mapping at the point the defect is
+/// detected.
+#[derive(Debug)]
+pub struct HttpError {
+    pub status: u16,
+    pub msg: String,
+}
+
+impl HttpError {
+    fn bad(msg: impl Into<String>) -> HttpError {
+        HttpError {
+            status: 400,
+            msg: msg.into(),
+        }
+    }
+}
+
+/// Reads and parses one request. The caller maps the error to its carried
+/// status (400 or 431).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 1024];
     let header_end = loop {
@@ -51,24 +71,36 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
             break pos;
         }
         if buf.len() > MAX_HEADER_BYTES {
-            return Err("request headers exceed 16KiB".into());
+            return Err(HttpError {
+                status: 431,
+                msg: "request headers exceed 16KiB".into(),
+            });
         }
-        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| HttpError::bad(format!("read: {e}")))?;
         if n == 0 {
-            return Err("connection closed mid-request".into());
+            return Err(HttpError::bad("connection closed mid-request"));
         }
         buf.extend_from_slice(&chunk[..n]);
     };
     let head = std::str::from_utf8(&buf[..header_end])
-        .map_err(|_| "non-UTF8 request head".to_string())?;
+        .map_err(|_| HttpError::bad("non-UTF8 request head"))?;
     let mut lines = head.split("\r\n");
-    let request_line = lines.next().ok_or("empty request")?;
+    let request_line = lines.next().ok_or_else(|| HttpError::bad("empty request"))?;
     let mut parts = request_line.split(' ');
-    let method = parts.next().ok_or("missing method")?.to_string();
-    let target = parts.next().ok_or("missing request target")?;
-    let version = parts.next().ok_or("missing HTTP version")?;
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::bad("missing method"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::bad("missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::bad("missing HTTP version"))?;
     if !version.starts_with("HTTP/1.") {
-        return Err(format!("unsupported version {version:?}"));
+        return Err(HttpError::bad(format!("unsupported version {version:?}")));
     }
     let mut content_length = 0usize;
     let mut headers = HashMap::new();
@@ -79,19 +111,21 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
             if key == "content-length" {
                 content_length = value
                     .parse()
-                    .map_err(|_| format!("bad Content-Length {v:?}"))?;
+                    .map_err(|_| HttpError::bad(format!("bad Content-Length {v:?}")))?;
             }
             headers.insert(key, value.to_string());
         }
     }
     if content_length > MAX_BODY_BYTES {
-        return Err("request body exceeds 1MiB".into());
+        return Err(HttpError::bad("request body exceeds 1MiB"));
     }
     let mut body = buf[header_end + 4..].to_vec();
     while body.len() < content_length {
-        let n = stream.read(&mut chunk).map_err(|e| format!("read body: {e}"))?;
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| HttpError::bad(format!("read body: {e}")))?;
         if n == 0 {
-            return Err("connection closed mid-body".into());
+            return Err(HttpError::bad("connection closed mid-body"));
         }
         body.extend_from_slice(&chunk[..n]);
     }
@@ -185,6 +219,7 @@ pub fn status_reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -213,7 +248,47 @@ mod tests {
     fn status_reasons_are_stable() {
         assert_eq!(status_reason(200), "OK");
         assert_eq!(status_reason(404), "Not Found");
+        assert_eq!(status_reason(431), "Request Header Fields Too Large");
         assert_eq!(status_reason(599), "Unknown");
+    }
+
+    #[test]
+    fn oversized_headers_are_rejected_with_431() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"GET / HTTP/1.1\r\n").unwrap();
+            // Trickle headers past the 16 KiB cap without ever sending the
+            // terminating blank line.
+            let line = format!("X-Pad: {}\r\n", "a".repeat(1000));
+            for _ in 0..20 {
+                if s.write_all(line.as_bytes()).is_err() {
+                    break; // server already hung up after rejecting
+                }
+            }
+            s
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let err = read_request(&mut stream).unwrap_err();
+        assert_eq!(err.status, 431, "oversized headers must map to 431: {err:?}");
+        assert!(err.msg.contains("16KiB"), "unexpected message {:?}", err.msg);
+        drop(client.join().unwrap());
+    }
+
+    #[test]
+    fn malformed_requests_are_400_not_431() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"GET / SMTP/9\r\n\r\n").unwrap();
+            s
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let err = read_request(&mut stream).unwrap_err();
+        assert_eq!(err.status, 400);
+        drop(client.join().unwrap());
     }
 
     #[test]

@@ -26,6 +26,20 @@
 //!   interactions into an immutable [`StreamDelta`] the read paths merge
 //!   on top of the trained state — see DESIGN.md §13.
 //! * [`http`] — the minimal HTTP/1.1 request/response layer.
+//! * [`chaos`] — a deterministic socket-level fault injector for tests and
+//!   the overload bench: seeded plans of connection faults (abort
+//!   mid-write, slow-loris, torn frames, garbage bytes) driven against a
+//!   live server — see DESIGN.md §14.
+//!
+//! Overload control (DESIGN.md §14): [`server`] guards the compute routes
+//! with a bounded admission gate (`--max-inflight`/`--max-queue`, sheds
+//! are prompt 503 + `Retry-After`), honors per-request
+//! `x-lrgcn-deadline-ms` deadlines (checked at dequeue and again before
+//! the scoring kernel), and — with `--brownout` — steps the live read
+//! path down under sustained pressure (exact → ANN via
+//! [`engine::ReadOverride`] → narrower probes + k cap → stale cache) and
+//! back up with hysteresis. `--ann-standby` builds the IVF index without
+//! serving through it so level 1 has somewhere cheaper to go.
 //!
 //! Every request path is instrumented with `lrgcn_obs` counters
 //! (`serve.http.requests`, `serve.cache.hits`, ...), histograms
@@ -39,6 +53,7 @@
 pub mod ann;
 pub mod batch;
 pub mod cache;
+pub mod chaos;
 pub mod delta;
 pub mod engine;
 pub mod http;
@@ -47,6 +62,7 @@ pub mod server;
 pub use ann::{IvfConfig, IvfIndex};
 pub use batch::Batcher;
 pub use cache::TopKCache;
+pub use chaos::{ChaosClient, ConnFault, FaultPlan};
 pub use delta::StreamDelta;
-pub use engine::{Engine, EngineOptions, EngineState, Scratch};
+pub use engine::{Engine, EngineOptions, EngineState, ReadOverride, Scratch};
 pub use server::{render_metrics, serve, ServerConfig, ServerHandle};

@@ -28,7 +28,7 @@
 
 use crate::batch::Batcher;
 use crate::cache::{Key, TopKCache};
-use crate::engine::{Engine, Scratch};
+use crate::engine::{Engine, EngineState, ReadOverride, Scratch};
 use crate::http::{read_request, write_response, Request};
 use lrgcn_obs::json::Value;
 use lrgcn_obs::registry::{bucket_upper_ns, HIST_BUCKETS};
@@ -40,8 +40,8 @@ use std::fs::{File, OpenOptions};
 use std::io::{ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
@@ -76,6 +76,30 @@ pub struct ServerConfig {
     /// or above this answer 503 + `Retry-After` instead of queueing on the
     /// log mutex without bound.
     pub events_max_pending: u64,
+    /// Admission control (DESIGN.md §14): maximum concurrent compute
+    /// requests (`/recs`, `/similar`, `/score`) past the gate. `0` turns
+    /// the gate off.
+    pub max_inflight: usize,
+    /// Bounded admission queue: requests allowed to wait for a slot while
+    /// `max_inflight` are executing. Arrivals beyond this shed immediately
+    /// with 503 + `Retry-After`.
+    pub max_queue: usize,
+    /// Default per-request deadline (milliseconds) for compute routes when
+    /// the client sends no `x-lrgcn-deadline-ms` header; `0` = none.
+    pub deadline_default_ms: u64,
+    /// Arms the brownout controller (requires `slo_p99_ms`): under
+    /// sustained overload the live read path steps down — exact → ANN →
+    /// narrower probes + k cap → stale cache + queue off — and steps back
+    /// up with hysteresis once the 10s window is healthy again.
+    pub brownout: bool,
+    /// Consecutive pressured controller ticks before stepping one level
+    /// deeper into degradation.
+    pub brownout_up_ticks: u32,
+    /// Consecutive calm ticks before stepping one level back toward
+    /// healthy. Larger than `brownout_up_ticks` so recovery is cautious.
+    pub brownout_down_ticks: u32,
+    /// Brownout controller tick interval (tests shrink it to milliseconds).
+    pub brownout_tick: Duration,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +115,13 @@ impl Default for ServerConfig {
             slo_err_ppm: None,
             events_log: None,
             events_max_pending: 1024,
+            max_inflight: 0,
+            max_queue: 32,
+            deadline_default_ms: 0,
+            brownout: false,
+            brownout_up_ticks: 3,
+            brownout_down_ticks: 10,
+            brownout_tick: Duration::from_secs(1),
         }
     }
 }
@@ -141,6 +172,9 @@ const SOCKET_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Binds, spawns the worker pool and the batch scorer, returns immediately.
 pub fn serve(engine: Arc<Engine>, cfg: ServerConfig) -> Result<ServerHandle, String> {
+    if cfg.brownout && cfg.slo_p99_ms.is_none() {
+        return Err("brownout control needs a latency target: set slo_p99_ms".into());
+    }
     let listener =
         TcpListener::bind(&cfg.addr).map_err(|e| format!("binding {}: {e}", cfg.addr))?;
     listener
@@ -157,6 +191,8 @@ pub fn serve(engine: Arc<Engine>, cfg: ServerConfig) -> Result<ServerHandle, Str
     let cache = Arc::new(TopKCache::new(cfg.cache_capacity, n_workers.max(1)));
     let batcher = Batcher::new(cfg.batch_tick);
     let obs = Arc::new(ObsState::new(&cfg, read_path_of(&engine))?);
+    let overload = Arc::new(Overload::new(&cfg));
+    registry::gauge_set(Gauge::BrownoutLevel, 0);
     let ingest = match &cfg.events_log {
         Some(dir) => {
             let log = EventLog::open(dir)?;
@@ -198,12 +234,48 @@ pub fn serve(engine: Arc<Engine>, cfg: ServerConfig) -> Result<ServerHandle, Str
             cache_enabled: cfg.cache_capacity > 0,
             obs: obs.clone(),
             ingest: ingest.clone(),
+            overload: overload.clone(),
         };
         workers.push(
             std::thread::Builder::new()
                 .name(format!("lrgcn-serve-{w}"))
                 .spawn(move || worker_loop(listener, ctx))
                 .map_err(|e| format!("spawning worker: {e}"))?,
+        );
+    }
+
+    if cfg.brownout {
+        let ov = overload.clone();
+        let stop_flag = stop.clone();
+        let slo_ns = cfg.slo_p99_ms.unwrap_or(0).saturating_mul(1_000_000);
+        let tick = cfg.brownout_tick;
+        let mut ctl = BrownoutCtl::new(cfg.brownout_up_ticks, cfg.brownout_down_ticks);
+        // The controller joins the worker pool for shutdown purposes: it
+        // sleeps at most one tick past the stop flag flipping.
+        workers.push(
+            std::thread::Builder::new()
+                .name("lrgcn-serve-brownout".into())
+                .spawn(move || {
+                    while !stop_flag.load(Ordering::SeqCst) {
+                        std::thread::sleep(tick);
+                        let w10 = window::serving_window(window::now_sec(), 10);
+                        let old = ov.level.load(Ordering::SeqCst);
+                        let new = ctl.tick(old, under_pressure(&w10, slo_ns, &ov));
+                        if new != old {
+                            ov.level.store(new, Ordering::SeqCst);
+                            registry::gauge_set(Gauge::BrownoutLevel, new as u64);
+                            registry::add(
+                                if new > old {
+                                    Counter::ServeBrownoutStepUps
+                                } else {
+                                    Counter::ServeBrownoutStepDowns
+                                },
+                                1,
+                            );
+                        }
+                    }
+                })
+                .map_err(|e| format!("spawning brownout controller: {e}"))?,
         );
     }
 
@@ -243,6 +315,8 @@ struct Ctx {
     obs: Arc<ObsState>,
     /// Streaming ingestion state; `None` when `--events-log` is off.
     ingest: Option<Arc<EventIngest>>,
+    /// Admission gate + brownout level (DESIGN.md §14).
+    overload: Arc<Overload>,
 }
 
 /// Shared `POST /events` ingestion state: the durable log behind one mutex
@@ -265,6 +339,286 @@ fn unix_ms() -> u64 {
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_millis() as u64)
         .unwrap_or(0)
+}
+
+/// Deepest brownout level; see DESIGN.md §14 for what each level does.
+const BROWNOUT_MAX_LEVEL: u8 = 3;
+/// Per-request `k` ceiling at brownout levels >= 2.
+const BROWNOUT_K_CAP: usize = 20;
+/// A queued request with no deadline is shed after this long: rejects must
+/// stay prompt even for clients that never set `x-lrgcn-deadline-ms`.
+const MAX_QUEUE_WAIT: Duration = Duration::from_secs(2);
+/// Minimum 10s-window traffic before a blown p99 counts as pressure —
+/// below this a single slow request would flap the controller.
+const PRESSURE_MIN_REQUESTS: u64 = 5;
+/// Upper bound on a client-supplied deadline; anything larger is a typo.
+const MAX_DEADLINE_MS: u64 = 3_600_000;
+
+/// Shared overload-control state (DESIGN.md §14): the admission gate over
+/// the compute routes plus the brownout degradation level the controller
+/// thread maintains.
+#[derive(Debug)]
+struct Overload {
+    /// Compute requests allowed to execute concurrently; `0` = gate off.
+    max_inflight: u64,
+    /// Waiters allowed behind a full gate before arrivals shed.
+    max_queue: u64,
+    /// Deadline applied when the client sends none; `0` = none.
+    deadline_default_ms: u64,
+    /// Admitted compute requests currently executing.
+    inflight: AtomicU64,
+    /// Requests currently waiting for a slot.
+    queued: AtomicU64,
+    /// Pairs with `slot_freed`: waiters re-check `inflight` under this
+    /// lock and releasers notify under it, so a freed slot is never
+    /// announced between a waiter's check and its sleep.
+    gate: Mutex<()>,
+    slot_freed: Condvar,
+    /// Brownout level, 0 (healthy) ..= [`BROWNOUT_MAX_LEVEL`]. Written
+    /// only by the controller thread; read on every gated request.
+    level: AtomicU8,
+    brownout: bool,
+}
+
+impl Overload {
+    fn new(cfg: &ServerConfig) -> Self {
+        Self {
+            max_inflight: cfg.max_inflight as u64,
+            max_queue: cfg.max_queue as u64,
+            deadline_default_ms: cfg.deadline_default_ms,
+            inflight: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+            gate: Mutex::new(()),
+            slot_freed: Condvar::new(),
+            level: AtomicU8::new(0),
+            brownout: cfg.brownout,
+        }
+    }
+
+    fn level(&self) -> u8 {
+        if self.brownout {
+            self.level.load(Ordering::SeqCst)
+        } else {
+            0
+        }
+    }
+
+    /// Resolves the request's absolute deadline: the
+    /// `x-lrgcn-deadline-ms` header when present (malformed values are a
+    /// 400, not silently ignored — a client that tried to bound its wait
+    /// must not wait unboundedly), else the server default, else none.
+    fn deadline_of(&self, req: &Request) -> Result<Option<Instant>, Reply> {
+        let ms = match req.header("x-lrgcn-deadline-ms") {
+            Some(raw) => match raw.parse::<u64>() {
+                Ok(ms) if (1..=MAX_DEADLINE_MS).contains(&ms) => ms,
+                _ => {
+                    return Err(error_response(
+                        400,
+                        &format!("x-lrgcn-deadline-ms must be 1..={MAX_DEADLINE_MS}, got {raw:?}"),
+                    ))
+                }
+            },
+            None => self.deadline_default_ms,
+        };
+        Ok((ms > 0).then(|| Instant::now() + Duration::from_millis(ms)))
+    }
+
+    fn try_slot(&self) -> bool {
+        loop {
+            let cur = self.inflight.load(Ordering::SeqCst);
+            if cur >= self.max_inflight {
+                return false;
+            }
+            if self
+                .inflight
+                .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+
+    /// Takes an execution slot, or queues for one within the bounded
+    /// queue. `Err` is the finished 503 reply: shed when the queue is
+    /// full (or at brownout level 3, where queueing is disabled — worker
+    /// time is better spent on requests that can still succeed), or
+    /// deadline-exceeded when the deadline passed while queued — the
+    /// "checked at dequeue" half of the deadline contract.
+    fn admit(&self, deadline: Option<Instant>) -> Result<Option<SlotGuard<'_>>, Reply> {
+        if self.max_inflight == 0 {
+            return Ok(None);
+        }
+        if self.try_slot() {
+            return Ok(Some(SlotGuard(self)));
+        }
+        let max_queue = if self.level() >= BROWNOUT_MAX_LEVEL {
+            0
+        } else {
+            self.max_queue
+        };
+        if self.queued.fetch_add(1, Ordering::SeqCst) >= max_queue {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Err(shed_response("server at capacity, retry later"));
+        }
+        let give_up_at = deadline.unwrap_or_else(|| Instant::now() + MAX_QUEUE_WAIT);
+        let mut guard = self.gate.lock().expect("admission gate poisoned");
+        loop {
+            if self.try_slot() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Ok(Some(SlotGuard(self)));
+            }
+            let now = Instant::now();
+            if now >= give_up_at {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Err(if deadline.is_some() {
+                    deadline_response("deadline expired while queued for admission")
+                } else {
+                    shed_response("queued past the maximum wait, retry later")
+                });
+            }
+            // Fast-path arrivals may steal a freed slot ahead of us
+            // (admission is not FIFO-fair); the bounded wait plus the 503
+            // fallback keeps that unfairness from becoming starvation.
+            let (g, _) = self
+                .slot_freed
+                .wait_timeout(guard, give_up_at - now)
+                .expect("admission gate poisoned");
+            guard = g;
+        }
+    }
+}
+
+/// Releases the admission slot and wakes one queued waiter.
+#[derive(Debug)]
+struct SlotGuard<'a>(&'a Overload);
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+        // Lock-then-notify pairs with the waiter's check-then-wait under
+        // the same mutex: no wakeup can fall in the gap.
+        let _g = self.0.gate.lock().expect("admission gate poisoned");
+        self.0.slot_freed.notify_one();
+    }
+}
+
+/// Hysteresis state machine for the brownout level: one level deeper
+/// after `up_ticks` consecutive pressured ticks, one level back after
+/// `down_ticks` consecutive calm ticks, both streaks reset on every
+/// transition (and on every contrary sample), so one noisy second can
+/// neither trigger nor undo a step.
+struct BrownoutCtl {
+    bad: u32,
+    good: u32,
+    up_ticks: u32,
+    down_ticks: u32,
+}
+
+impl BrownoutCtl {
+    fn new(up_ticks: u32, down_ticks: u32) -> Self {
+        Self {
+            bad: 0,
+            good: 0,
+            up_ticks: up_ticks.max(1),
+            down_ticks: down_ticks.max(1),
+        }
+    }
+
+    /// Feeds one tick's pressure verdict; returns the (possibly stepped)
+    /// level.
+    fn tick(&mut self, level: u8, pressure: bool) -> u8 {
+        if pressure {
+            self.bad += 1;
+            self.good = 0;
+        } else {
+            self.good += 1;
+            self.bad = 0;
+        }
+        if pressure && self.bad >= self.up_ticks && level < BROWNOUT_MAX_LEVEL {
+            self.bad = 0;
+            level + 1
+        } else if !pressure && self.good >= self.down_ticks && level > 0 {
+            self.good = 0;
+            level - 1
+        } else {
+            level
+        }
+    }
+}
+
+/// One controller tick's verdict: the 10s p99 has blown the SLO with real
+/// traffic behind it, or the admission gate is saturated with a backlog
+/// queued behind it.
+fn under_pressure(w10: &WindowStats, slo_ns: u64, ov: &Overload) -> bool {
+    let slow = w10.requests >= PRESSURE_MIN_REQUESTS && w10.hist.quantile_ns(0.99) > slo_ns;
+    let saturated = ov.max_inflight > 0
+        && ov.inflight.load(Ordering::SeqCst) >= ov.max_inflight
+        && ov.queued.load(Ordering::SeqCst) > 0;
+    slow || saturated
+}
+
+/// What a compute handler receives from the overload layer: the deadline
+/// (re-checked right before the scoring kernel), the brownout read-path
+/// override and k cap, and the slot guard that holds its admission slot
+/// for the handler's whole run.
+struct Permit<'a> {
+    deadline: Option<Instant>,
+    ovr: ReadOverride,
+    level: u8,
+    _slot: Option<SlotGuard<'a>>,
+}
+
+impl Permit<'_> {
+    fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Brownout levels >= 2 cap `k` to bound per-request work.
+    fn cap_k(&self, k: usize) -> usize {
+        if self.level >= 2 {
+            k.min(BROWNOUT_K_CAP)
+        } else {
+            k
+        }
+    }
+
+    /// Level 3 serves any cached ranking for the user, generations old
+    /// included, before spending compute.
+    fn stale_ok(&self) -> bool {
+        self.level >= BROWNOUT_MAX_LEVEL
+    }
+}
+
+/// Runs a compute request through deadline resolution and the admission
+/// gate; the brownout read override is sampled once, at admission.
+fn gated<'a>(req: &Request, ctx: &'a Ctx) -> Result<Permit<'a>, Reply> {
+    let deadline = ctx.overload.deadline_of(req)?;
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return Err(deadline_response("deadline expired before admission"));
+    }
+    let slot = ctx.overload.admit(deadline)?;
+    let level = ctx.overload.level();
+    Ok(Permit {
+        deadline,
+        ovr: read_override_for(level, &ctx.engine.state()),
+        level,
+        _slot: slot,
+    })
+}
+
+/// Maps a brownout level onto a [`ReadOverride`]. Level 1 forces the ANN
+/// index (when one is loaded — `--ann-standby` exists exactly for this);
+/// levels 2+ also halve the probe width. A server with no index degrades
+/// by shedding alone: the override never makes a request *more* expensive.
+fn read_override_for(level: u8, st: &EngineState) -> ReadOverride {
+    if level == 0 || !st.ann_available() {
+        return ReadOverride::default();
+    }
+    ReadOverride {
+        force_ann: true,
+        nprobe: (level >= 2).then(|| (st.ann_nprobe() / 2).max(1)),
+    }
 }
 
 /// Which scan this engine configuration answers requests with. Fixed per
@@ -445,23 +799,19 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
             let reply = route(&req, ctx, &id);
             (id, label, req.method, req.path, reply)
         }
-        Err(msg) => (
+        Err(err) => (
             ctx.obs.fresh_id(),
             Route::Other,
             "-".to_string(),
             "-".to_string(),
-            error_response(400, &msg),
+            error_response(err.status, &err.msg),
         ),
     };
     let (status, content_type, body) = reply;
     if status >= 400 {
         registry::add(Counter::ServeErrors, 1);
     }
-    let mut extra: Vec<(&str, &str)> = vec![("x-lrgcn-request-id", &req_id)];
-    if status == 503 {
-        // Backpressure contract: tell well-behaved producers when to retry.
-        extra.push(("retry-after", "1"));
-    }
+    let extra = response_headers(&req_id, status);
     let _ = write_response(&mut stream, status, content_type, &extra, &body);
 
     // The measurement covers parse → route → respond, exactly what the
@@ -473,7 +823,7 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
         .obs
         .slo_p99_ms
         .is_some_and(|ms| ns > ms.saturating_mul(1_000_000));
-    window::record_request(route_label, status, ctx.obs.read_path, ns, slow);
+    window::record_request(route_label, status, effective_read_path(ctx, route_label), ns, slow);
     if ctx.obs.access.is_some() {
         let generation = ctx.engine.generation();
         ctx.obs
@@ -486,9 +836,57 @@ type Reply = (u16, &'static str, Vec<u8>);
 const JSON: &str = "application/json";
 const TEXT: &str = "text/plain; version=0.0.4";
 
+/// Seconds a 503'd client should back off before retrying.
+const RETRY_AFTER_SECS: &str = "1";
+
+/// The one place response headers are assembled: every reply echoes the
+/// request id, and every 503 — admission shed, deadline exceeded,
+/// ingestion backlog, log append failure — carries `Retry-After`, so a
+/// rejected client always knows when to come back. Pinned by
+/// `every_503_carries_retry_after`.
+fn response_headers<'a>(req_id: &'a str, status: u16) -> Vec<(&'static str, &'a str)> {
+    let mut extra: Vec<(&'static str, &'a str)> = vec![("x-lrgcn-request-id", req_id)];
+    if status == 503 {
+        extra.push(("retry-after", RETRY_AFTER_SECS));
+    }
+    extra
+}
+
+/// The read-path label for a request's window sample: the server's
+/// configured path, except compute routes answered under brownout, which
+/// were forced onto the ANN index when one is loaded.
+fn effective_read_path(ctx: &Ctx, route: Route) -> ReadPath {
+    if matches!(route, Route::Recs | Route::Similar)
+        && ctx.obs.read_path != ReadPath::Ann
+        && ctx.overload.level() >= 1
+        && ctx.engine.state().ann_available()
+    {
+        ReadPath::Ann
+    } else {
+        ctx.obs.read_path
+    }
+}
+
 fn error_response(status: u16, msg: &str) -> Reply {
     let body = Value::obj([("error", Value::str(msg))]).render();
     (status, JSON, body.into_bytes())
+}
+
+/// An admission shed: 503 + `Retry-After` (added centrally by
+/// [`response_headers`]), counted in the cumulative registry and the
+/// rolling windows so `/admin/obs` and `lrgcn top` see the rate.
+fn shed_response(reason: &str) -> Reply {
+    registry::add(Counter::ServeShed, 1);
+    window::record_shed();
+    error_response(503, reason)
+}
+
+/// A request dropped because its deadline passed — same 503 + `Retry-After`
+/// surface as a shed (the client's remedy is identical), separate counters.
+fn deadline_response(reason: &str) -> Reply {
+    registry::add(Counter::ServeDeadlineExceeded, 1);
+    window::record_deadline_exceeded();
+    error_response(503, reason)
 }
 
 fn json_response(v: &Value) -> Reply {
@@ -504,7 +902,13 @@ fn route(req: &Request, ctx: &Ctx, req_id: &str) -> Reply {
             (200, TEXT, text.into_bytes())
         }
         ("GET", "/admin/obs") => admin_obs(ctx),
-        ("POST", "/score") => score(req, ctx),
+        // Compute routes pass the admission gate; admin, health, metrics
+        // and ingestion (which has its own backpressure) never queue —
+        // an overloaded server must stay observable and drainable.
+        ("POST", "/score") => match gated(req, ctx) {
+            Ok(permit) => score(req, ctx, &permit),
+            Err(reply) => reply,
+        },
         ("POST", "/events") => events(req, ctx, req_id),
         ("POST", "/admin/reload") => reload(ctx),
         ("POST", "/admin/shutdown") => {
@@ -512,8 +916,14 @@ fn route(req: &Request, ctx: &Ctx, req_id: &str) -> Reply {
             ctx.batcher.shutdown();
             json_response(&Value::obj([("status", Value::str("shutting down"))]))
         }
-        ("GET", path) if path.starts_with("/recs/") => recs(req, ctx),
-        ("GET", path) if path.starts_with("/similar/") => similar(req, ctx),
+        ("GET", path) if path.starts_with("/recs/") => match gated(req, ctx) {
+            Ok(permit) => recs(req, ctx, &permit),
+            Err(reply) => reply,
+        },
+        ("GET", path) if path.starts_with("/similar/") => match gated(req, ctx) {
+            Ok(permit) => similar(req, ctx, &permit),
+            Err(reply) => reply,
+        },
         ("GET" | "POST", _) => error_response(404, &format!("no route for {}", req.path)),
         _ => error_response(405, &format!("method {} not allowed", req.method)),
     }
@@ -543,6 +953,10 @@ fn healthz(ctx: &Ctx) -> Reply {
             Value::u64((st.quant_recall * 1_000_000.0).round() as u64),
         ),
         ("ann", Value::Bool(st.ann_enabled())),
+        (
+            "ann_standby",
+            Value::Bool(st.ann_available() && !st.ann_enabled()),
+        ),
         ("ann_cells", Value::u64(st.ann_cells() as u64)),
         ("ann_nprobe", Value::u64(st.ann_nprobe() as u64)),
         (
@@ -558,6 +972,10 @@ fn healthz(ctx: &Ctx) -> Reply {
         ),
         ("covered_events", Value::u64(st.covered_events)),
         ("delta_events", Value::u64(delta.events_applied())),
+        (
+            "brownout_level",
+            Value::u64(ctx.overload.level() as u64),
+        ),
     ]))
 }
 
@@ -608,6 +1026,8 @@ fn window_json(s: &WindowStats) -> Value {
             ),
         ),
         ("slo_slow", Value::u64(s.slo_slow)),
+        ("sheds", Value::u64(s.sheds)),
+        ("deadline_exceeded", Value::u64(s.deadline_exceeded)),
         ("routes", routes),
     ])
 }
@@ -757,6 +1177,40 @@ fn admin_obs(ctx: &Ctx) -> Reply {
                 (
                     "fold_in_p95_ns",
                     Value::u64(registry::snapshot().hist(Hist::ServeFoldIn).quantile_ns(0.95)),
+                ),
+            ]),
+        ),
+        (
+            "overload",
+            Value::obj([
+                ("admission", Value::Bool(ctx.overload.max_inflight > 0)),
+                ("max_inflight", Value::u64(ctx.overload.max_inflight)),
+                (
+                    "inflight",
+                    Value::u64(ctx.overload.inflight.load(Ordering::SeqCst)),
+                ),
+                (
+                    "queued",
+                    Value::u64(ctx.overload.queued.load(Ordering::SeqCst)),
+                ),
+                ("brownout", Value::Bool(ctx.overload.brownout)),
+                ("level", Value::u64(ctx.overload.level() as u64)),
+                (
+                    "step_ups",
+                    Value::u64(registry::get(Counter::ServeBrownoutStepUps)),
+                ),
+                (
+                    "step_downs",
+                    Value::u64(registry::get(Counter::ServeBrownoutStepDowns)),
+                ),
+                ("sheds", Value::u64(registry::get(Counter::ServeShed))),
+                (
+                    "deadline_exceeded",
+                    Value::u64(registry::get(Counter::ServeDeadlineExceeded)),
+                ),
+                (
+                    "stale_hits",
+                    Value::u64(registry::get(Counter::ServeStaleHits)),
                 ),
             ]),
         ),
@@ -952,13 +1406,13 @@ fn items_json(items: &[(u32, f32)]) -> Value {
     )
 }
 
-fn recs(req: &Request, ctx: &Ctx) -> Reply {
+fn recs(req: &Request, ctx: &Ctx, permit: &Permit) -> Reply {
     let user = match parse_id(&req.path, "/recs/") {
         Ok(u) => u,
         Err(r) => return r,
     };
     let k = match parse_k(req) {
-        Ok(k) => k,
+        Ok(k) => permit.cap_k(k),
         Err(r) => return r,
     };
     let exclude_seen = match req.query_get("exclude_seen") {
@@ -976,21 +1430,47 @@ fn recs(req: &Request, ctx: &Ctx) -> Reply {
     if user as usize >= st.n_users && delta.user_row(user).is_none() {
         return error_response(404, &format!("user {user} out of range (0..{})", st.n_users));
     }
+    // The key encodes the *effective* read configuration for this request:
+    // under a brownout override the ANN path (at its effective probe
+    // width) must not share entries with the exact/quant path, or a
+    // degraded ranking would keep serving after recovery.
+    let ann_used = st.ann_enabled() || (permit.ovr.force_ann && st.ann_available());
+    let eff_nprobe = if ann_used {
+        permit.ovr.nprobe.unwrap_or_else(|| st.ann_nprobe())
+    } else {
+        0
+    };
     let key = Key {
         generation: st.generation,
         user,
         k,
         exclude_seen,
-        quant: st.quant_enabled(),
-        nprobe: st.ann_nprobe() as u32,
+        quant: !ann_used && st.quant_enabled(),
+        nprobe: eff_nprobe as u32,
         delta: delta.version(),
     };
+    // Deep brownout: any cached ranking for this user and shape — prior
+    // generations included — beats spending compute. Marked so clients
+    // can tell.
+    if permit.stale_ok() && ctx.cache_enabled {
+        if let Some((generation, items)) = ctx.cache.get_stale(&key) {
+            return json_response(&Value::obj([
+                ("user", Value::u64(user as u64)),
+                ("k", Value::u64(k as u64)),
+                ("generation", Value::u64(generation)),
+                ("cached", Value::Bool(true)),
+                ("stale", Value::Bool(generation != st.generation)),
+                ("items", items_json(&items)),
+            ]));
+        }
+    }
+    let ovr = permit.ovr;
     let compute = || {
         SCRATCH.with(|s| {
             if delta.is_empty() {
-                st.top_k_into(st.ds(), user, k, exclude_seen, &mut s.borrow_mut())
+                st.top_k_into_opts(st.ds(), user, k, exclude_seen, &mut s.borrow_mut(), ovr)
             } else {
-                st.top_k_stream(&delta, user, k, exclude_seen, &mut s.borrow_mut())
+                st.top_k_stream_opts(&delta, user, k, exclude_seen, &mut s.borrow_mut(), ovr)
             }
         })
     };
@@ -998,6 +1478,11 @@ fn recs(req: &Request, ctx: &Ctx) -> Reply {
         match ctx.cache.get(&key) {
             Some(hit) => (hit, true),
             None => {
+                // Last deadline check before the scoring kernel: a doomed
+                // request must not burn a full catalog scan.
+                if permit.expired() {
+                    return deadline_response("deadline expired before the scoring kernel");
+                }
                 let fresh = match compute() {
                     Ok(v) => v,
                     Err(e) => return error_response(404, &e),
@@ -1007,6 +1492,9 @@ fn recs(req: &Request, ctx: &Ctx) -> Reply {
             }
         }
     } else {
+        if permit.expired() {
+            return deadline_response("deadline expired before the scoring kernel");
+        }
         match compute() {
             Ok(v) => (v, false),
             Err(e) => return error_response(404, &e),
@@ -1021,20 +1509,23 @@ fn recs(req: &Request, ctx: &Ctx) -> Reply {
     ]))
 }
 
-fn similar(req: &Request, ctx: &Ctx) -> Reply {
+fn similar(req: &Request, ctx: &Ctx, permit: &Permit) -> Reply {
     let item = match parse_id(&req.path, "/similar/") {
         Ok(i) => i,
         Err(r) => return r,
     };
     let k = match parse_k(req) {
-        Ok(k) => k,
+        Ok(k) => permit.cap_k(k),
         Err(r) => return r,
     };
     let st = ctx.engine.state();
     if item as usize >= st.n_items {
         return error_response(404, &format!("item {item} out of range (0..{})", st.n_items));
     }
-    match SCRATCH.with(|s| st.similar_items_into(item, k, &mut s.borrow_mut())) {
+    if permit.expired() {
+        return deadline_response("deadline expired before the scoring kernel");
+    }
+    match SCRATCH.with(|s| st.similar_items_into_opts(item, k, &mut s.borrow_mut(), permit.ovr)) {
         Ok(items) => json_response(&Value::obj([
             ("item", Value::u64(item as u64)),
             ("k", Value::u64(k as u64)),
@@ -1045,7 +1536,7 @@ fn similar(req: &Request, ctx: &Ctx) -> Reply {
     }
 }
 
-fn score(req: &Request, ctx: &Ctx) -> Reply {
+fn score(req: &Request, ctx: &Ctx, permit: &Permit) -> Reply {
     let text = match std::str::from_utf8(&req.body) {
         Ok(t) => t,
         Err(_) => return error_response(400, "body is not UTF-8"),
@@ -1080,6 +1571,9 @@ fn score(req: &Request, ctx: &Ctx) -> Reply {
     }
     if pairs.is_empty() {
         return error_response(400, "pairs must be non-empty");
+    }
+    if permit.expired() {
+        return deadline_response("deadline expired before the scoring kernel");
     }
     let generation = ctx.engine.generation();
     match ctx.batcher.submit(pairs) {
@@ -1447,5 +1941,116 @@ mod tests {
         let a = obs.fresh_id();
         let b = obs.fresh_id();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn every_503_carries_retry_after() {
+        let h = response_headers("rid-9", 503);
+        assert!(h.contains(&("retry-after", RETRY_AFTER_SECS)));
+        assert!(h.contains(&("x-lrgcn-request-id", "rid-9")));
+        for status in [200u16, 400, 404, 405, 431, 500] {
+            let h = response_headers("rid-9", status);
+            assert!(
+                !h.iter().any(|(k, _)| *k == "retry-after"),
+                "status {status} must not promise a retry"
+            );
+            assert!(h.contains(&("x-lrgcn-request-id", "rid-9")));
+        }
+        // The shed and deadline replies both ride the 503 contract.
+        assert_eq!(shed_response("x").0, 503);
+        assert_eq!(deadline_response("x").0, 503);
+    }
+
+    #[test]
+    fn admission_gate_sheds_when_full_and_recovers() {
+        let ov = Overload::new(&ServerConfig {
+            max_inflight: 1,
+            max_queue: 0,
+            ..ServerConfig::default()
+        });
+        let slot = ov.admit(None).expect("first request").expect("gate armed");
+        assert_eq!(ov.inflight.load(Ordering::SeqCst), 1);
+        // Gate full and the queue disabled: an immediate 503 shed.
+        let shed = ov.admit(None).expect_err("second request must shed");
+        assert_eq!(shed.0, 503);
+        drop(slot);
+        assert_eq!(ov.inflight.load(Ordering::SeqCst), 0);
+        assert!(ov.admit(None).expect("slot after release").is_some());
+        // Gate off: no guard, never sheds.
+        let off = Overload::new(&ServerConfig::default());
+        assert!(off.admit(None).expect("gate off").is_none());
+    }
+
+    #[test]
+    fn queued_requests_are_dropped_at_dequeue_once_the_deadline_passes() {
+        let ov = Overload::new(&ServerConfig {
+            max_inflight: 1,
+            max_queue: 4,
+            ..ServerConfig::default()
+        });
+        let _slot = ov.admit(None).expect("first").expect("armed");
+        // Deadline already reached: the waiter must come back promptly
+        // with a deadline 503, not a queue-full shed.
+        let before = registry::get(Counter::ServeDeadlineExceeded);
+        let reply = ov
+            .admit(Some(Instant::now()))
+            .expect_err("expired waiter must be dropped");
+        assert_eq!(reply.0, 503);
+        // `>=`: the registry is process-global and other tests also emit
+        // deadline 503s.
+        assert!(registry::get(Counter::ServeDeadlineExceeded) > before);
+        assert_eq!(ov.queued.load(Ordering::SeqCst), 0, "queue slot returned");
+    }
+
+    #[test]
+    fn deadline_header_parses_and_rejects_garbage() {
+        let ov = Overload::new(&ServerConfig {
+            deadline_default_ms: 250,
+            ..ServerConfig::default()
+        });
+        let mut req = fake_request("GET", "/recs/1");
+        assert!(ov.deadline_of(&req).expect("default").is_some());
+        req.headers
+            .insert("x-lrgcn-deadline-ms".into(), "50".into());
+        assert!(ov.deadline_of(&req).expect("explicit").is_some());
+        for bad in ["0", "-5", "abc", "99999999999", "1.5"] {
+            req.headers
+                .insert("x-lrgcn-deadline-ms".into(), bad.into());
+            let reply = ov.deadline_of(&req).expect_err(bad);
+            assert_eq!(reply.0, 400, "{bad}");
+        }
+        // No header and no default: unbounded.
+        let off = Overload::new(&ServerConfig::default());
+        let plain = fake_request("GET", "/recs/1");
+        assert!(off.deadline_of(&plain).expect("off").is_none());
+    }
+
+    #[test]
+    fn brownout_hysteresis_steps_one_level_at_a_time() {
+        let mut ctl = BrownoutCtl::new(2, 3);
+        let mut level = 0u8;
+        level = ctl.tick(level, true);
+        assert_eq!(level, 0, "one bad tick is not a trend");
+        level = ctl.tick(level, true);
+        assert_eq!(level, 1, "two consecutive bad ticks step down the path");
+        level = ctl.tick(level, true);
+        assert_eq!(level, 1, "streak resets after a transition");
+        level = ctl.tick(level, true);
+        assert_eq!(level, 2);
+        // A single calm tick wipes the bad streak.
+        level = ctl.tick(level, false);
+        level = ctl.tick(level, true);
+        assert_eq!(level, 2);
+        level = ctl.tick(level, true);
+        assert_eq!(level, 3);
+        for _ in 0..4 {
+            level = ctl.tick(level, true);
+        }
+        assert_eq!(level, BROWNOUT_MAX_LEVEL, "level saturates");
+        // Recovery needs down_ticks calm ticks per level.
+        for want in [3, 3, 2, 2, 2, 1, 1, 1, 0, 0, 0, 0] {
+            level = ctl.tick(level, false);
+            assert_eq!(level, want);
+        }
     }
 }
